@@ -1,0 +1,257 @@
+"""Ablations over DESIGN.md's called-out design choices.
+
+* work stealing vs a central queue (scheduler design)
+* caching on/off for a repeated-read web workload (Unit 5's lesson)
+* binding overhead ladder: in-process vs REST vs SOAP codec paths
+* our from-scratch XML parser vs the stdlib C parser (cost of
+  self-hosting the XML stack)
+* longest-first vs FIFO scheduling on the simulated machine
+"""
+
+import time
+
+import pytest
+
+from repro.core import ServiceHost
+from repro.parallelism import SimulatedMachine, Task, WorkStealingScheduler, chunk_cost, range_chunks
+from repro.services import EncryptionService
+from repro.transport import HttpRequest, serve_once
+from repro.transport.rest import RestEndpoint
+from repro.transport.soap import SoapEndpoint, build_call
+from repro.web import Cache
+from repro.xmlkit import parse
+
+# ---------------------------------------------------------------------------
+# scheduler: stealing vs central queue
+# ---------------------------------------------------------------------------
+
+
+def _skewed_tasks():
+    # a few heavy tasks + many light ones: the case stealing exists for
+    def heavy():
+        total = 0
+        for i in range(20_000):
+            total += i * i
+        return total
+
+    def light():
+        return 1
+
+    return [Task(heavy) for _ in range(4)] + [Task(light) for _ in range(200)]
+
+
+@pytest.mark.parametrize("central", [False, True], ids=["work-stealing", "central-queue"])
+def test_bench_scheduler_design(benchmark, central):
+    with WorkStealingScheduler(4, central_queue=central) as scheduler:
+        results = benchmark.pedantic(
+            scheduler.run, args=(_skewed_tasks(),), rounds=5, iterations=1
+        )
+    assert len(results) == 204
+
+
+def test_stealing_balances_load(report):
+    with WorkStealingScheduler(4) as scheduler:
+        scheduler.run(_skewed_tasks())
+        stats = scheduler.stats()
+    report(
+        "Ablation: work stealing",
+        f"executed per worker: {stats.executed}\n"
+        f"steals: {stats.total_stolen}, imbalance: {stats.load_imbalance():.2f}",
+    )
+    assert stats.total_executed == 204
+
+
+# ---------------------------------------------------------------------------
+# caching on/off
+# ---------------------------------------------------------------------------
+
+
+def _expensive_read(key: str) -> str:
+    time.sleep(0.0005)  # stands in for a database round trip
+    return f"value-of-{key}"
+
+
+def test_cache_ablation(report):
+    keys = [f"k{i % 10}" for i in range(300)]  # 10 hot keys, 300 reads
+
+    begin = time.perf_counter()
+    for key in keys:
+        _expensive_read(key)
+    uncached = time.perf_counter() - begin
+
+    cache = Cache(64)
+    begin = time.perf_counter()
+    for key in keys:
+        cache.get_or_compute(key, lambda key=key: _expensive_read(key))
+    cached = time.perf_counter() - begin
+
+    speedup = uncached / cached
+    report(
+        "Ablation: caching",
+        f"uncached: {uncached * 1000:.1f} ms, cached: {cached * 1000:.1f} ms "
+        f"({speedup:.1f}x), hit rate: {cache.stats.hit_rate:.0%}",
+    )
+    assert speedup > 5  # 290 of 300 reads become hits
+    assert cache.stats.hit_rate > 0.9
+
+
+def test_bench_cache_hit(benchmark):
+    cache = Cache(64)
+    cache.put("hot", "value")
+    assert benchmark(cache.get, "hot") == "value"
+
+
+# ---------------------------------------------------------------------------
+# binding ladder
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def binding_setups():
+    service = EncryptionService()
+    host = ServiceHost(service)
+    soap_endpoint = SoapEndpoint()
+    soap_endpoint.mount(ServiceHost(EncryptionService()))
+    rest_endpoint = RestEndpoint()
+    rest_endpoint.mount(ServiceHost(EncryptionService()))
+    soap_request = HttpRequest(
+        "POST", "/soap/Encryption", {"Content-Type": "text/xml"},
+        build_call("caesar", {"text": "hello", "shift": 3}).toxml().encode(),
+    )
+    rest_request = HttpRequest("GET", "/rest/Encryption/caesar?text=hello&shift=3")
+    return {
+        "inproc": lambda: host.invoke("caesar", {"text": "hello", "shift": 3}),
+        "rest": lambda: serve_once(rest_endpoint, rest_request),
+        "soap": lambda: serve_once(soap_endpoint, soap_request),
+    }
+
+
+@pytest.mark.parametrize("binding", ["inproc", "rest", "soap"])
+def test_bench_binding_ladder(benchmark, binding_setups, binding):
+    result = benchmark(binding_setups[binding])
+    assert result is not None
+
+
+def test_binding_overhead_ordering(binding_setups, report):
+    """in-process < REST < SOAP: each layer of encoding costs."""
+    timings = {}
+    for name, call in binding_setups.items():
+        call()  # warm
+        begin = time.perf_counter()
+        for _ in range(300):
+            call()
+        timings[name] = (time.perf_counter() - begin) / 300
+    report(
+        "Ablation: binding ladder",
+        "\n".join(f"{name:8} {value * 1e6:8.1f} us/call" for name, value in timings.items()),
+    )
+    assert timings["inproc"] < timings["rest"]
+    assert timings["inproc"] < timings["soap"]
+
+
+# ---------------------------------------------------------------------------
+# XML parser: ours vs stdlib
+# ---------------------------------------------------------------------------
+
+_XML_SAMPLE = (
+    "<catalog>"
+    + "".join(
+        f'<item sku="s{i}"><name>item {i}</name><price>{i}.50</price></item>'
+        for i in range(50)
+    )
+    + "</catalog>"
+)
+
+
+def test_bench_our_parser(benchmark):
+    root = benchmark(parse, _XML_SAMPLE)
+    assert len(root.findall("item")) == 50
+
+
+def test_bench_stdlib_parser(benchmark):
+    import xml.etree.ElementTree as ET
+
+    root = benchmark(ET.fromstring, _XML_SAMPLE)
+    assert len(root.findall("item")) == 50
+
+
+def test_parsers_agree(report):
+    import xml.etree.ElementTree as ET
+
+    ours = parse(_XML_SAMPLE)
+    theirs = ET.fromstring(_XML_SAMPLE)
+    our_names = [e.find("name").text for e in ours.findall("item")]
+    their_names = [e.find("name").text for e in theirs.findall("item")]
+    report("Ablation: XML parser equivalence", f"{len(our_names)} items, identical: {our_names == their_names}")
+    assert our_names == their_names
+
+
+# ---------------------------------------------------------------------------
+# simulated machine: LPT vs FIFO
+# ---------------------------------------------------------------------------
+
+
+def test_lpt_vs_fifo_scheduling(report):
+    costs = [chunk_cost(a, b) for a, b in range_chunks(1, 8000, 64)]
+    machine = SimulatedMachine(8)
+    fifo = machine.run(costs).makespan
+    lpt = machine.run_longest_first(costs).makespan
+    report(
+        "Ablation: LPT vs FIFO on the simulated machine",
+        f"FIFO makespan: {fifo:,.0f}  LPT makespan: {lpt:,.0f}  "
+        f"(LPT/FIFO = {lpt / fifo:.3f})",
+    )
+    assert lpt <= fifo + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# database: indexed lookup vs full scan
+# ---------------------------------------------------------------------------
+
+
+def _orders_table(rows: int = 2000):
+    from repro.data import Column, Database
+
+    db = Database()
+    table = db.create_table(
+        "orders",
+        [Column("oid", "int"), Column("uid", "int"), Column("total", "float")],
+        primary_key="oid",
+    )
+    for i in range(rows):
+        table.insert({"oid": i, "uid": i % 50, "total": float(i % 97)})
+    return table
+
+
+def test_bench_db_scan_lookup(benchmark):
+    table = _orders_table()
+    rows = benchmark(table.lookup, "uid", 7)
+    assert len(rows) == 40
+
+
+def test_bench_db_indexed_lookup(benchmark):
+    table = _orders_table()
+    table.create_index("uid")
+    rows = benchmark(table.lookup, "uid", 7)
+    assert len(rows) == 40
+
+
+def test_index_vs_scan_speedup(report):
+    import time as _time
+
+    table = _orders_table(4000)
+    begin = _time.perf_counter()
+    for _ in range(50):
+        table.lookup("uid", 7)
+    scan = _time.perf_counter() - begin
+    table.create_index("uid")
+    begin = _time.perf_counter()
+    for _ in range(50):
+        table.lookup("uid", 7)
+    indexed = _time.perf_counter() - begin
+    report(
+        "Ablation: hash index vs scan (4000 rows)",
+        f"scan: {scan * 1000:.1f} ms/50 lookups, indexed: {indexed * 1000:.1f} ms "
+        f"({scan / indexed:.0f}x)",
+    )
+    assert indexed < scan

@@ -1,0 +1,94 @@
+"""CSE446 unit 7: Cloud Computing and Software as a Service.
+
+The unit's economics lesson as an experiment: the same diurnal workload
+against (a) a fixed single VM, (b) a fixed over-provisioned fleet, and
+(c) a target-utilization autoscaler.  Shape claims: autoscaling bounds
+queueing like the big fleet but at materially lower cost, and both beat
+the single VM on latency by orders of magnitude.  Plus the RaaS cloud
+control plane: on-demand provisioning, multi-tenant isolation, lease
+reclamation (the paper's "Robot as a Service in Cloud Computing").
+"""
+
+import pytest
+
+from repro.cloud import RobotCloud, Workload, run_simulation
+from repro.core import ServiceBroker, ServiceBus, proxy_from_broker
+
+DIURNAL = Workload.square(50, 600, 10, 80)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        "fixed-1": run_simulation(DIURNAL, autoscale=False, initial_vms=1),
+        "fixed-8": run_simulation(DIURNAL, autoscale=False, initial_vms=8),
+        "autoscale": run_simulation(DIURNAL, autoscale=True),
+    }
+
+
+def test_cloud_economics_table(traces, report):
+    rows = [f"{'policy':12} {'p95 queue':>10} {'max queue':>10} {'cost':>8} {'mean VMs':>9}"]
+    for name, trace in traces.items():
+        rows.append(
+            f"{name:12} {trace.p95_queue():>10.0f} {trace.max_queue():>10} "
+            f"{trace.total_cost:>8.1f} {trace.mean_replicas():>9.1f}"
+        )
+    report("Unit 7: on-demand economics (same diurnal workload)", "\n".join(rows))
+    fixed_1, fixed_8, scaled = traces["fixed-1"], traces["fixed-8"], traces["autoscale"]
+    # latency: autoscaling within 10x of the big fleet, >10x better than fixed-1
+    assert scaled.p95_queue() < fixed_1.p95_queue() / 10
+    # cost: autoscaling cheaper than the big fleet
+    assert scaled.total_cost < fixed_8.total_cost
+    # the single VM is cheapest but unusable (unbounded queue growth)
+    assert fixed_1.total_cost < scaled.total_cost
+    assert fixed_1.max_queue() > 10 * scaled.max_queue()
+
+
+def test_no_requests_lost_by_autoscaler(traces):
+    assert traces["autoscale"].dropped == 0
+
+
+def test_raas_cloud_lifecycle(report):
+    broker, bus = ServiceBroker(), ServiceBus()
+    cloud = RobotCloud(broker, bus, pool_capacity=8, lease_seconds=300)
+    leases = [cloud.acquire(f"class-{i}") for i in range(4)]
+    # each classroom drives its own isolated robot
+    for index, lease in enumerate(leases):
+        proxy = proxy_from_broker(broker, bus, lease.service_name)
+        for _ in range(index):
+            if not proxy.touching():
+                proxy.forward(cells=1)
+            else:
+                proxy.turn(direction="left")
+    moves = [
+        proxy_from_broker(broker, bus, lease.service_name).pose()["moves"]
+        + proxy_from_broker(broker, bus, lease.service_name).pose()["turns"]
+        for lease in leases
+    ]
+    report(
+        "Unit 7: Robot-as-a-Service cloud",
+        f"tenants: {cloud.active_leases()}\n"
+        f"isolated action counts: {moves}\n"
+        f"provisioned total: {cloud.provisioned_total}",
+    )
+    assert moves == [0, 1, 2, 3]
+    # lease expiry reclaims abandoned robots
+    broker.advance(301)
+    assert cloud.active_leases() == []
+
+
+def test_bench_simulation(benchmark):
+    trace = benchmark(run_simulation, DIURNAL)
+    assert trace.served > 0
+
+
+def test_bench_provisioning(benchmark):
+    def provision_and_release():
+        broker, bus = ServiceBroker(), ServiceBus()
+        cloud = RobotCloud(broker, bus, pool_capacity=4)
+        lease = cloud.acquire("t")
+        cloud.release("t")
+        return lease
+
+    lease = benchmark(provision_and_release)
+    assert lease.tenant == "t"

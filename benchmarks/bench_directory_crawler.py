@@ -1,0 +1,120 @@
+"""Section V: the service search engine and crawler.
+
+Regenerates the crawl → index → query pipeline over the synthetic
+provider web, with recall/precision-style figures: fraction of reachable
+contracts harvested, query relevance on themed searches, and the cost of
+each stage.
+"""
+
+import pytest
+
+from repro.directory import (
+    RegistrationDesk,
+    ServiceCrawler,
+    ServiceSearchEngine,
+    synthetic_service_web,
+)
+
+PROVIDERS, PER_PROVIDER, SEED = 8, 4, 2014
+
+
+@pytest.fixture(scope="module")
+def web():
+    return synthetic_service_web(
+        providers=PROVIDERS,
+        services_per_provider=PER_PROVIDER,
+        dead_link_rate=0.0,
+        seed=SEED,
+    )
+
+
+@pytest.fixture(scope="module")
+def crawl_report(web):
+    graph, seeds, _ = web
+    return ServiceCrawler(graph).crawl(seeds)
+
+
+def test_crawl_statistics(web, crawl_report, report):
+    graph, _, planted = web
+    harvested = len(crawl_report.contracts_found)
+    report(
+        "Section V: crawl statistics",
+        f"pages fetched  : {crawl_report.pages_fetched}\n"
+        f"dead links     : {crawl_report.dead_links}\n"
+        f"contracts      : {harvested} harvested of {planted} planted\n"
+        f"simulated time : {crawl_report.simulated_seconds * 1000:.1f} ms",
+    )
+    assert harvested > 0
+    assert crawl_report.dead_links == 0
+    # crawler never fetches a URL twice
+    assert crawl_report.pages_fetched == graph.fetches
+
+
+def test_search_relevance(crawl_report, report):
+    engine = ServiceSearchEngine()
+    engine.index_many(crawl_report.contracts_found)
+    categories = engine.categories()
+    lines = [f"indexed {len(engine)} services, categories: {categories}"]
+    # every category present in the index must be findable by its own keywords
+    theme_queries = {
+        "weather": "weather forecast",
+        "currency": "currency exchange",
+        "stock": "stock quote",
+        "translator": "translate language",
+        "calculator": "arithmetic add",
+        "geocoder": "geocoding address",
+        "zipcode": "zipcode postal",
+        "barcode": "barcode image",
+        "spellcheck": "spelling dictionary",
+        "sms": "sms message",
+    }
+    for category, query in theme_queries.items():
+        if category not in categories:
+            continue
+        hits = engine.search(query, limit=10)
+        top_categories = {hit.contract.category for hit in hits[:3]}
+        lines.append(f"  query {query!r:22} -> top3 categories {sorted(top_categories)}")
+        assert category in top_categories, f"query {query!r} missed its category"
+    report("Section V: search relevance", "\n".join(lines))
+
+
+def test_registration_end_to_end(crawl_report, report):
+    from repro.core import Operation, Parameter, ServiceContract
+    from repro.transport.wsdl import contract_to_xml
+
+    engine = ServiceSearchEngine()
+    engine.index_many(crawl_report.contracts_found)
+    desk = RegistrationDesk(engine)
+    contract = ServiceContract("NewSvc", documentation="freshly registered maze robots")
+    contract.add(Operation("go", (Parameter("d", "str"),), returns="bool"))
+    desk.register_xml(contract_to_xml(contract), submitter="bench")
+    hits = engine.search("freshly registered")
+    report("Section V: registration", f"registered NewSvc; search hit: {hits[0].name}")
+    assert hits[0].name == "NewSvc"
+
+
+def test_bench_crawl(benchmark, web):
+    graph, seeds, _ = web
+
+    def crawl():
+        return ServiceCrawler(graph).crawl(seeds)
+
+    result = benchmark(crawl)
+    assert result.contracts_found
+
+
+def test_bench_index(benchmark, crawl_report):
+    def index():
+        engine = ServiceSearchEngine()
+        engine.index_many(crawl_report.contracts_found)
+        return engine
+
+    engine = benchmark(index)
+    assert len(engine) == len(crawl_report.contracts_found)
+
+
+def test_bench_query(benchmark, crawl_report):
+    engine = ServiceSearchEngine()
+    engine.index_many(crawl_report.contracts_found)
+    hits = benchmark(engine.search, "currency exchange finance")
+    assert isinstance(hits, list)

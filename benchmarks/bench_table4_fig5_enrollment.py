@@ -1,0 +1,85 @@
+"""Table 4 + Figure 5: CSE445/598 enrollment history and trend.
+
+Regenerates every row of Table 4, the three Figure 5 series, the
+paper's headline numbers (39 in Fall 2006 → 134 in Fall 2013), and the
+"significant increase" trend claim; also renders the Figure 5 plot as
+SVG through the dynamic-image service path (the same path a student
+project would use).
+"""
+
+import pytest
+
+from repro.curriculum import ENROLLMENT_TABLE_4, EnrollmentAnalysis
+from repro.web import line_chart_svg
+from repro.xmlkit import parse
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return EnrollmentAnalysis()
+
+
+def test_table4_rows(analysis, report):
+    report("Table 4: enrollments", analysis.render_table())
+    rows = analysis.table_rows()
+    assert len(rows) == 16
+    assert rows[0] == ("Fall 2006", 25, 14, 39)
+    assert rows[-1] == ("Spring 2014", 50, 62, 112)
+    # every total is the row sum (the paper's total column)
+    for _, a, b, total in rows:
+        assert total == a + b
+
+
+def test_fig5_headlines(analysis, report):
+    report(
+        "Figure 5: headline numbers",
+        f"Fall 2006 combined = {analysis.first_term_total()}\n"
+        f"Fall 2013 combined = {analysis.total_for(2013, 'Fall')}\n"
+        f"peak = {analysis.peak()}\n"
+        f"growth factor (first→last) = {analysis.growth_factor():.2f}x",
+    )
+    assert analysis.first_term_total() == 39
+    assert analysis.total_for(2013, "Fall") == 134
+    assert analysis.peak() == ("Fall 2013", 134)
+
+
+def test_fig5_series_and_trend(analysis, report):
+    series = analysis.series()
+    fit = analysis.combined_trend()
+    report(
+        "Figure 5: series + trend",
+        f"CSE445   : {series['CSE445']}\n"
+        f"CSE598   : {series['CSE598']}\n"
+        f"Combined : {series['Combined']}\n"
+        f"trend: +{fit.slope:.1f} students/semester (r^2={fit.r_squared:.3f})",
+    )
+    assert analysis.significant_increase()
+    trends = analysis.section_trends()
+    assert trends["CSE445"].slope > 0 and trends["CSE598"].slope > 0
+    # fall-semester combined totals rise overall (the visual in the figure)
+    falls = [total for _, total in analysis.fall_totals()]
+    assert falls[-1] > falls[0] * 3
+
+
+def test_fig5_rendered_as_svg(analysis, report):
+    svg_text = line_chart_svg(analysis.series(), title="CSE445/598 enrollment 2006-2014")
+    root = parse(svg_text)
+    assert root.tag == "svg"
+    assert len(root.findall("polyline")) == 3  # three series, as in the figure
+    report("Figure 5: SVG render", f"{len(svg_text)} bytes of SVG, 3 series")
+
+
+def test_bench_analysis_pipeline(benchmark):
+    """Cost of recomputing every Table 4 / Figure 5 statistic from raw rows."""
+
+    def recompute():
+        a = EnrollmentAnalysis(ENROLLMENT_TABLE_4)
+        return (a.render_table(), a.series(), a.combined_trend(), a.section_trends())
+
+    table, series, fit, trends = benchmark(recompute)
+    assert "134" in table
+
+
+def test_bench_svg_render(benchmark, analysis):
+    svg_text = benchmark(line_chart_svg, analysis.series())
+    assert svg_text.startswith("<svg")

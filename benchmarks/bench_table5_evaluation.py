@@ -1,0 +1,63 @@
+"""Table 5: CSE445/598 student evaluation scores.
+
+Regenerates the table and verifies the claims the paper makes around it:
+scores out of 5.0 in [3.69, 4.81]; the graduate section never rates below
+the undergraduate one; scores improve after the first offerings
+("Students are excited of learning the latest computing theories").
+"""
+
+import pytest
+
+from repro.curriculum import EVALUATION_TABLE_5, EvaluationAnalysis
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return EvaluationAnalysis()
+
+
+def test_table5_rows(analysis, report):
+    report("Table 5: evaluation scores", analysis.render_table())
+    rows = analysis.table_rows()
+    assert len(rows) == 13
+    assert rows[0] == ("Fall 2006", 3.69, 4.37)
+    assert rows[-1] == ("Fall 2013", 4.17, 4.63)
+
+
+def test_table5_range(analysis, report):
+    low, high = analysis.score_range()
+    report("Table 5: range", f"min={low} (Fall 2006, 445)  max={high} (Fall 2008, 598)")
+    assert (low, high) == (3.69, 4.81)
+
+
+def test_table5_grad_vs_undergrad(analysis, report):
+    report(
+        "Table 5: section comparison",
+        f"598 >= 445 in every semester: {analysis.grad_always_at_least_undergrad()}\n"
+        f"mean 445 = {analysis.mean_445():.3f}, mean 598 = {analysis.mean_598():.3f}",
+    )
+    assert analysis.grad_always_at_least_undergrad()
+    assert analysis.mean_598() > analysis.mean_445()
+
+
+def test_table5_improvement_trend(analysis, report):
+    t445, t598 = analysis.trend_445(), analysis.trend_598()
+    report(
+        "Table 5: trend",
+        f"445 slope {t445.slope:+.4f}/semester, 598 slope {t598.slope:+.4f}/semester\n"
+        f"recent mean above first offering: {analysis.improved_since_first_offering()}",
+    )
+    assert t445.slope > 0 and t598.slope > 0
+    assert analysis.improved_since_first_offering()
+    # the rubric labels: everything from 2008 onward rates 'good' or better
+    for record in analysis.records[3:]:
+        assert analysis.verdict(record.score_445) in ("good", "very good")
+
+
+def test_bench_table5_recompute(benchmark):
+    def recompute():
+        a = EvaluationAnalysis(EVALUATION_TABLE_5)
+        return (a.render_table(), a.trend_445(), a.trend_598(), a.score_range())
+
+    table, *_ = benchmark(recompute)
+    assert "4.81" in table

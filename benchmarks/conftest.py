@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark prints the table/series it regenerates (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them) and asserts the
+paper's *shape* claims, so a green benchmark run is also a reproduction
+check.
+"""
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated artifact in a recognizable block."""
+    print(f"\n===== {title} =====")
+    print(body)
+    print("=" * (12 + len(title)))
+
+
+@pytest.fixture
+def report():
+    return emit

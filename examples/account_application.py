@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""The Figure 4 final project: the three-tier account web application.
+
+Starts the full stack on a real socket — presentation (WebApp pages),
+business logic (AccountProvider with the credit-score service), data
+management (account.xml via our own XML stack) — and drives it like a
+browser: apply → approval → user ID → create password → login.
+"""
+
+import re
+import tempfile
+from pathlib import Path
+
+from repro.apps import AccountProvider, AccountStore, build_web_app
+from repro.services import CreditScoreService
+from repro.transport import HttpClient, HttpServer
+
+FORM = "application/x-www-form-urlencoded"
+
+
+def main() -> None:
+    credit = CreditScoreService()
+    # find one approvable and one rejectable applicant in the synthetic model
+    good_ssn = next(
+        s for s in (f"{i:03d}-12-3456" for i in range(300))
+        if credit.score(ssn=s, income=140_000) >= 600
+    )
+    bad_ssn = next(
+        s for s in (f"{i:03d}-12-3456" for i in range(300))
+        if credit.score(ssn=s, income=0) < 600
+    )
+
+    with tempfile.TemporaryDirectory() as workdir:
+        store_path = Path(workdir) / "account.xml"
+        provider = AccountProvider(AccountStore(store_path), credit.score)
+        app = build_web_app(provider)
+
+        with HttpServer(app) as server:
+            print("account application serving on", server.base_url)
+            with HttpClient(server.host, server.port) as browser:
+                # a rejected applicant
+                rejection = browser.post(
+                    "/apply",
+                    f"name=Low&ssn={bad_ssn}&address=1+Elm&dob=1980-01-01&income=0",
+                    content_type=FORM,
+                )
+                print(f"\nlow-score applicant -> HTTP {rejection.status}")
+                print("  page says:", re.search(r"You do not qualify[^<]*", rejection.text()).group(0))
+
+                # the happy path
+                approval = browser.post(
+                    "/apply",
+                    f"name=Ada+Lovelace&ssn={good_ssn}&address=10+Downing&dob=1990-07-04&income=140000",
+                    content_type=FORM,
+                )
+                user_id = re.search(r"U\d{5}", approval.text()).group(0)
+                print(f"\napproved applicant -> HTTP {approval.status}, issued {user_id}")
+
+                weak = browser.post(
+                    f"/password/{user_id}", "password=weak&retype=weak", content_type=FORM
+                )
+                print(f"weak password -> HTTP {weak.status}")
+
+                strong = browser.post(
+                    f"/password/{user_id}",
+                    "password=Str0ng!pass&retype=Str0ng!pass",
+                    content_type=FORM,
+                )
+                print(f"strong password -> HTTP {strong.status}")
+
+                login = browser.post(
+                    "/login", f"user_id={user_id}&password=Str0ng!pass", content_type=FORM
+                )
+                cookie = login.headers.get("Set-Cookie").split(";")[0]
+                me = browser.get("/me", headers={"Cookie": cookie})
+                print(f"login -> HTTP {login.status}; /me with session -> HTTP {me.status}")
+
+        print("\naccount.xml written by the data tier:")
+        print(store_path.read_text())
+
+        # restart the stack on the same XML file: state survives
+        fresh = AccountProvider(AccountStore(store_path), credit.score)
+        print("login after restart:", fresh.login(user_id, "Str0ng!pass"))
+
+
+if __name__ == "__main__":
+    main()

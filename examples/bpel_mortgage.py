@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""BPEL-based integration (CSE446 unit 4): mortgage orchestration.
+
+Composes the repository's CreditScore, Mortgage, MessageBuffer and
+ShoppingCart services into one long-running process with:
+
+* Flow — parallel credit check and rate lookup
+* Switch — route by credit band
+* Invoke with compensation — withdraw the application if a later step
+  faults (the saga pattern)
+* Scope + fault handler — turn a downstream fault into a clean rejection
+
+Partners resolve through the broker, so every Invoke is a real service
+call through the contract-validated dispatch path.
+"""
+
+from repro.core import BusClient, ServiceFault
+from repro.services import build_repository
+from repro.workflow import (
+    Assign,
+    BpelProcess,
+    Flow,
+    Invoke,
+    Scope,
+    Sequence,
+    Switch,
+)
+
+
+def main() -> None:
+    broker, bus, _ = build_repository()
+    client = BusClient(bus, broker)
+
+    def partners(name):
+        def invoke(operation, arguments):
+            return client.call(name, operation, **arguments)
+        return invoke
+
+    # an SSN whose synthetic score qualifies
+    good_ssn = next(
+        s for s in (f"{i:03d}-44-5566" for i in range(300))
+        if client.call("CreditScore", "score", ssn=s, income=150_000.0) >= 700
+    )
+
+    def underwriting(fail_at_notification: bool) -> BpelProcess:
+        notify = Invoke(
+            "MessageBuffer",
+            "send",
+            lambda c: (_ for _ in ()).throw(ServiceFault("notifier down"))
+            if fail_at_notification
+            else {"queue": "decisions", "message": f"approved:{c.get('decision')['application_id']}"},
+        )
+        body = Sequence([
+            # parallel: score the applicant and compute the payment quote
+            Flow([
+                Invoke(
+                    "CreditScore", "score",
+                    lambda c: {"ssn": c.get("ssn"), "income": c.get("income")},
+                    output="score",
+                ),
+                Invoke(
+                    "Mortgage", "monthly_payment",
+                    lambda c: {"principal": c.get("loan"), "annual_rate": 0.065, "years": 30},
+                    output="quote",
+                ),
+            ]),
+            Invoke(
+                "CreditScore", "rating",
+                lambda c: {"score": c.get("score")}, output="band",
+            ),
+            Switch(
+                cases=[(
+                    lambda c: c.get("band") in ("good", "very-good", "excellent"),
+                    Sequence([
+                        Invoke(
+                            "Mortgage", "apply",
+                            lambda c: {
+                                "ssn": c.get("ssn"),
+                                "income": c.get("income"),
+                                "loan_amount": c.get("loan"),
+                                "property_value": c.get("value"),
+                            },
+                            output="decision",
+                            # saga: undo the application if a later step faults
+                            compensate=lambda c: c.partner("Mortgage")(
+                                "withdraw",
+                                {"application_id": c.get("decision")["application_id"]},
+                            ),
+                        ),
+                        notify,
+                        Assign("outcome", lambda c: "approved"),
+                    ]),
+                )],
+                otherwise=Assign("outcome", lambda c: "declined: " + c.get("band")),
+            ),
+        ])
+        return BpelProcess(
+            "underwriting",
+            Scope(body, fault_handler=lambda c, exc: c.set("outcome", f"rolled back ({exc})")),
+            partners,
+        )
+
+    print("=== happy path ===")
+    final = underwriting(fail_at_notification=False).run(
+        ssn=good_ssn, income=150_000.0, loan=300_000.0, value=450_000.0
+    )
+    print("outcome:", final["outcome"])
+    print("band:", final["band"], "| quote:", final["quote"], "/month")
+    print("application:", final["decision"]["application_id"],
+          "approved =", final["decision"]["approved"])
+
+    print("\n=== notifier fails: compensation withdraws the application ===")
+    final = underwriting(fail_at_notification=True).run(
+        ssn=good_ssn, income=150_000.0, loan=300_000.0, value=450_000.0
+    )
+    print("outcome:", final["outcome"])
+    application_id = final["decision"]["application_id"]
+    try:
+        client.call("Mortgage", "status", application_id=application_id)
+        print("ERROR: application still present")
+    except ServiceFault:
+        print(f"application {application_id} was withdrawn by the compensation handler")
+
+
+if __name__ == "__main__":
+    main()

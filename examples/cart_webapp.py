@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""A web application consuming RESTful services (CSE446 project item).
+
+Two processes-worth of architecture in one script:
+
+* a **service host** exposing the ShoppingCart service over REST
+* a **web application** whose pages hold no business logic at all —
+  every click calls the cart service through a typed REST proxy
+
+The session stores only the cart id (state management lesson: the cart
+contents live with the service, the session holds the reference).
+"""
+
+from repro.core import ServiceHost
+from repro.services import ShoppingCartService
+from repro.transport import (
+    HttpClient,
+    HttpResponse,
+    HttpServer,
+    RestEndpoint,
+    rest_proxy,
+)
+from repro.web import WebApp, render
+
+PAGE = """
+<html><head><title>Cart</title></head><body>
+<h1>Course Materials Shop</h1>
+<ul>
+{% for line in lines %}<li>{{ line.sku }} x{{ line.count }}</li>{% endfor %}
+</ul>
+<p>Total: ${{ total }}</p>
+<p>{{ message }}</p>
+</body></html>
+"""
+
+
+def build_shop(cart_proxy) -> WebApp:
+    """Pages over the remote cart service; no local business logic."""
+    app = WebApp()
+
+    def render_cart(context, message=""):
+        cart_id = context.session.get("cart_id")
+        if cart_id is None:
+            cart_id = cart_proxy.create_cart()
+            context.session.set("cart_id", cart_id)
+        # rebuild the view entirely from the service
+        total = cart_proxy.total(cart_id=cart_id)
+        contents = cart_proxy.contents(cart_id=cart_id)
+        lines = [
+            {"sku": sku, "count": count} for sku, count in sorted(contents.items())
+        ]
+        return HttpResponse.html_response(
+            render(PAGE, lines=lines, total=f"{total:.2f}", message=message)
+        )
+
+    @app.page("/")
+    def index(context):
+        return render_cart(context)
+
+    @app.page("/add/{sku}")
+    def add(context, sku):
+        cart_id = context.session.get("cart_id")
+        if cart_id is None:
+            cart_id = cart_proxy.create_cart()
+            context.session.set("cart_id", cart_id)
+        try:
+            cart_proxy.add_item(cart_id=cart_id, sku=sku, quantity=1)
+            message = f"added {sku}"
+        except Exception as exc:  # noqa: BLE001 - show service fault to the user
+            message = f"could not add {sku}: {exc}"
+        return render_cart(context, message)
+
+    @app.page("/checkout")
+    def checkout(context):
+        cart_id = context.session.pop("cart_id")
+        if cart_id is None:
+            return HttpResponse.text_response("nothing to check out", 400)
+        receipt = cart_proxy.checkout(cart_id=cart_id)
+        return HttpResponse.html_response(
+            f"<html><body><h1>Receipt</h1><p>${receipt['total']:.2f} "
+            f"for {sum(receipt['items'].values())} item(s)</p></body></html>"
+        )
+
+    return app
+
+
+def main() -> None:
+    # tier 1: the cart service, hosted over REST
+    service_endpoint = RestEndpoint()
+    service_endpoint.mount(ServiceHost(ShoppingCartService()))
+    with HttpServer(service_endpoint) as service_server:
+        print("cart service on", service_server.base_url)
+        service_http = HttpClient(service_server.host, service_server.port)
+        cart_proxy = rest_proxy(service_http, "ShoppingCart")
+
+        # tier 2: the web app, consuming the service
+        with HttpServer(build_shop(cart_proxy)) as web_server:
+            print("web shop on    ", web_server.base_url)
+            with HttpClient(web_server.host, web_server.port) as browser:
+                first = browser.get("/")
+                cookie = first.headers.get("Set-Cookie").split(";")[0]
+                session = {"Cookie": cookie}
+                for sku in ("textbook", "robot-kit", "textbook", "nonexistent"):
+                    page = browser.get(f"/add/{sku}", headers=session)
+                    print(f"  add {sku:12} -> HTTP {page.status}")
+                cart_page = browser.get("/", headers=session)
+                total_line = [
+                    line for line in cart_page.text().splitlines() if "Total" in line
+                ]
+                print(" ", total_line[0].strip())
+                receipt = browser.get("/checkout", headers=session)
+                print("  checkout ->", receipt.text().split("<p>")[1].split("</p>")[0])
+
+
+if __name__ == "__main__":
+    main()

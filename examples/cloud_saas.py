@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Cloud Computing and Software as a Service (CSE446 unit 7).
+
+Two halves of the unit:
+
+1. the on-demand economics experiment — one diurnal workload against a
+   fixed single VM, a fixed big fleet, and an autoscaler; prints the
+   latency/cost trade-off table
+2. Robot as a Service in the cloud (paper ref [20]) — classrooms lease
+   isolated robot services from a pool, drive them through broker-
+   discovered proxies, and the pool reclaims expired leases
+"""
+
+from repro.cloud import RobotCloud, Workload, run_simulation
+from repro.core import ServiceBroker, ServiceBus, ServiceFault, proxy_from_broker
+from repro.robotics import CommandProgram
+
+
+def economics() -> None:
+    workload = Workload.square(50, 600, 10, 80)  # day/night request rate
+    policies = {
+        "fixed-1 VM": dict(autoscale=False, initial_vms=1),
+        "fixed-8 VMs": dict(autoscale=False, initial_vms=8),
+        "autoscaled": dict(autoscale=True),
+    }
+    print("on-demand economics (same 80-tick diurnal workload):")
+    print(f"{'policy':14} {'p95 queue':>10} {'cost':>8} {'mean VMs':>9} {'dropped':>8}")
+    for name, options in policies.items():
+        trace = run_simulation(workload, **options)
+        print(
+            f"{name:14} {trace.p95_queue():>10.0f} {trace.total_cost:>8.1f} "
+            f"{trace.mean_replicas():>9.1f} {trace.dropped:>8}"
+        )
+
+
+def robot_cloud() -> None:
+    broker, bus = ServiceBroker(), ServiceBus()
+    cloud = RobotCloud(broker, bus, pool_capacity=4, lease_seconds=600)
+    print("\nRobot as a Service in the cloud:")
+
+    program = CommandProgram.parse(
+        """
+        repeat-until-goal
+          if-wall-right
+            if-wall-ahead
+              left
+            else
+              forward
+            end
+          else
+            right
+            forward
+          end
+        end
+        """
+    )
+    for classroom in ("cse101-morning", "cse101-afternoon"):
+        lease = cloud.acquire(classroom)
+        proxy = proxy_from_broker(broker, bus, lease.service_name)
+        outcome = program.run(proxy)
+        print(
+            f"  {classroom}: provisioned {lease.service_name} (maze seed {lease.seed}); "
+            f"solved in {outcome['moves']} moves"
+        )
+
+    print("  active leases:", cloud.active_leases())
+    try:
+        for extra in ("c", "d", "e"):
+            cloud.acquire(extra)
+    except ServiceFault as fault:
+        print(f"  pool limit enforced: {fault.code}")
+
+    broker.advance(601)  # time passes; leases lapse
+    print("  after lease expiry:", cloud.active_leases())
+    cloud.acquire("next-semester")
+    print("  capacity reclaimed for:", cloud.active_leases())
+
+
+if __name__ == "__main__":
+    economics()
+    robot_cloud()

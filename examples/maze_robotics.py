@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The CSE101 robotics lab (Figures 1 and 2), end to end.
+
+* generates a maze, prints it
+* runs the four navigation algorithms and compares them to the BFS optimum
+* runs the Figure 2 two-distance algorithm as a finite state machine and
+  as a VPL dataflow program — identical trails
+* drives a Robot-as-a-Service through the web environment's drop-down
+  command language, with a virtual↔physical twin in sync
+"""
+
+from repro.robotics import (
+    ALGORITHMS,
+    CommandProgram,
+    Robot,
+    TwinChannel,
+    bfs_navigate,
+    braid,
+    generate_dfs,
+    make_robot_service,
+    run_fsm_navigation,
+    run_workflow_navigation,
+    two_distance_fsm,
+)
+
+
+def main() -> None:
+    maze = generate_dfs(12, 9, seed=2014)
+    print("the maze (S=start, G=goal):")
+    print(maze.render(maze.shortest_path()))
+    optimum = bfs_navigate(Robot(maze)).moves
+    print(f"\nBFS optimum: {optimum} moves\n")
+
+    print(f"{'algorithm':24} {'success':>7} {'moves':>6} {'turns':>6} {'vs-opt':>7}")
+    for name, algorithm in ALGORITHMS.items():
+        result = algorithm(Robot(maze))
+        print(
+            f"{name:24} {str(result.success):>7} {result.moves:>6} "
+            f"{result.turns:>6} {result.efficiency_vs(optimum):>6.0%}"
+        )
+
+    # -- Figure 2: the same algorithm in three formalisms ------------------
+    imperative = ALGORITHMS["two-distance-greedy"](Robot(maze))
+    fsm_run = run_fsm_navigation(two_distance_fsm(), Robot(maze))
+    vpl_run = run_workflow_navigation(Robot(maze))
+    print("\nFigure 2 formalism agreement (two-distance greedy):")
+    print(f"  imperative : {imperative.moves} moves")
+    print(f"  FSM        : {fsm_run.moves} moves  (same trail: {fsm_run.trail == imperative.trail})")
+    print(f"  VPL        : {vpl_run.moves} moves  (same trail: {vpl_run.trail == imperative.trail})")
+
+    # -- a braided maze where greedy shines ---------------------------------
+    looped = braid(generate_dfs(12, 9, seed=7), fraction=1.0, seed=7)
+    looped.goal = (6, 4)  # interior goal: hostile to wall-following
+    greedy = ALGORITHMS["two-distance-greedy"](Robot(looped), max_moves=2000)
+    follower = ALGORITHMS["wall-follow-right"](Robot(looped), max_moves=2000)
+    print("\nbraided maze, interior goal:")
+    print(f"  greedy      : success={greedy.success} moves={greedy.moves}")
+    print(f"  wall-follow : success={follower.success} moves={follower.moves}")
+
+    # -- Figure 1: the web programming environment ---------------------------
+    program_text = """
+    # right-hand rule as drop-down commands
+    repeat-until-goal
+      if-wall-ahead
+        right
+      else
+        forward
+      end
+    end
+    """
+    corridor_maze = generate_dfs(6, 1, seed=1)
+    channel = TwinChannel(
+        make_robot_service(corridor_maze),   # the virtual robot in the Web
+        make_robot_service(corridor_maze),   # the physical NXT robot
+    )
+    outcome = CommandProgram.parse(program_text).run(channel)
+    print("\nFigure 1 web environment run:")
+    print(f"  reached goal: {outcome['reached_goal']} in {outcome['moves']} moves")
+    print(f"  twin divergence: {channel.divergence()} (commands mirrored: {channel.commands_sent})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""The CSE445 multithreading lab (Figure 3): Collatz validation at scale.
+
+* validates a range with the reference, numpy, threaded and process
+  implementations (identical results)
+* measures real 1- and 2-core wall times, calibrates the simulated
+  multicore machine from them, and extends the curve to 32 cores
+* prints the Figure 3 speedup/efficiency table and the Amdahl/Karp-Flatt
+  diagnostics the course derives from it
+"""
+
+import time
+
+from repro.parallelism import (
+    CostModel,
+    ScalingSeries,
+    SimulatedMachine,
+    WorkStealingScheduler,
+    Task,
+    amdahl_speedup,
+    calibrate_from_real,
+    chunk_cost,
+    karp_flatt,
+    parallel_reduce,
+    range_chunks,
+    validate_range,
+    validate_range_numpy,
+)
+
+START, STOP = 1, 120_000
+CHUNKS = 128
+
+
+def timed(fn):
+    begin = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - begin
+
+
+def validate_span(span):
+    """Module-level so the process backend can pickle it."""
+    return validate_range(*span)
+
+
+def merge_results(a, b):
+    """Module-level associative combiner for the process backend."""
+    return a.merge(b)
+
+
+def main() -> None:
+    # -- correctness across implementations ---------------------------------
+    reference, t_ref = timed(lambda: validate_range(START, STOP))
+    vectorized, t_np = timed(lambda: validate_range_numpy(START, STOP))
+    assert (reference.max_steps, reference.argmax) == (vectorized.max_steps, vectorized.argmax)
+    print(f"range [{START}, {STOP}): hardest n = {reference.argmax} "
+          f"({reference.max_steps} steps), total work = {reference.total_steps:,} steps")
+    print(f"pure python: {t_ref:.3f}s   numpy vectorized: {t_np:.3f}s "
+          f"({t_ref / t_np:.1f}x)")
+
+    # -- real multicore points (process backend) ------------------------------
+    chunks = list(range_chunks(START, STOP, CHUNKS))
+
+    def run_processes(workers):
+        merged = parallel_reduce(
+            validate_span,
+            merge_results,
+            chunks,
+            backend="processes",
+            workers=workers,
+        )
+        assert merged.total_steps == reference.total_steps
+        return merged
+
+    _, t1 = timed(lambda: run_processes(1))
+    _, t2 = timed(lambda: run_processes(2))
+    print(f"\nreal process backend: T(1)={t1:.3f}s  T(2)={t2:.3f}s  "
+          f"speedup={t1 / t2:.2f}")
+
+    # -- calibrated simulated machine to 32 cores ------------------------------
+    costs = [chunk_cost(a, b) for a, b in chunks]
+    model = calibrate_from_real(t1, t2, sum(costs), len(costs))
+    print(f"calibrated cost model: sequential={model.sequential_cost:,.0f} units, "
+          f"dispatch={model.dispatch_overhead:.1f} units/task")
+
+    series = ScalingSeries()
+    for cores in (1, 2, 4, 8, 16, 32):
+        result = SimulatedMachine(cores, model).run_longest_first(costs)
+        series.add(cores, result.makespan)
+    print()
+    print(series.table("Figure 3 (simulated Manycore Testing Lab, calibrated)"))
+
+    rows = {m.cores: m for m in series.measurements()}
+    serial_fraction = karp_flatt(rows[32].speedup, 32)
+    print(f"\nKarp-Flatt serial fraction at p=32: {serial_fraction:.3f}")
+    print(f"Amdahl bound for that fraction:     {amdahl_speedup(serial_fraction, 10**9):.1f}x")
+
+    # -- work stealing in action (thread scheduler stats) ----------------------
+    with WorkStealingScheduler(4) as scheduler:
+        scheduler.run([Task(validate_range, span) for span in chunks])
+        stats = scheduler.stats()
+    print(f"\nwork-stealing scheduler (4 workers): executed per worker = {stats.executed}, "
+          f"steals = {stats.total_stolen}, imbalance = {stats.load_imbalance():.2f}")
+
+
+if __name__ == "__main__":
+    main()

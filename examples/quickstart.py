@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: publish a service, discover it, call it over three bindings.
+
+The provider / broker / client triangle of CSE445 Unit 3 in ~60 lines:
+
+1. define a service with typed operations
+2. publish its contract to a broker over the in-process bus
+3. discover + call it through a generated proxy
+4. host the same service over real HTTP with SOAP and REST bindings
+   and call it through wire proxies — same results, same faults
+"""
+
+from repro.core import (
+    Service,
+    ServiceBroker,
+    ServiceBus,
+    ServiceFault,
+    ServiceHost,
+    operation,
+    proxy_from_broker,
+)
+from repro.transport import (
+    HttpClient,
+    HttpServer,
+    RestEndpoint,
+    SoapEndpoint,
+    rest_proxy,
+    soap_proxy,
+)
+from repro.web import compose_handlers
+
+
+class TemperatureService(Service):
+    """Unit conversions — the classic first web service."""
+
+    category = "demo"
+
+    @operation(idempotent=True)
+    def c_to_f(self, celsius: float) -> float:
+        """Celsius to Fahrenheit."""
+        return celsius * 9 / 5 + 32
+
+    @operation(idempotent=True)
+    def f_to_c(self, fahrenheit: float) -> float:
+        """Fahrenheit to Celsius."""
+        if fahrenheit < -459.67:
+            raise ServiceFault("below absolute zero", code="Client.BadInput")
+        return (fahrenheit - 32) * 5 / 9
+
+
+def main() -> None:
+    # -- 1+2: publish over the in-process bus ------------------------------
+    broker, bus = ServiceBroker(), ServiceBus()
+    bus.host_and_publish(TemperatureService(), broker, provider="quickstart")
+    print("published services:", [r.name for r in broker.list_services()])
+
+    # -- 3: discover and call through a typed proxy ------------------------
+    proxy = proxy_from_broker(broker, bus, "TemperatureService")
+    print("100 C =", proxy.c_to_f(celsius=100.0), "F")
+
+    # -- 4: same service over real HTTP, two wire bindings ------------------
+    soap_endpoint, rest_endpoint = SoapEndpoint(), RestEndpoint()
+    soap_endpoint.mount(ServiceHost(TemperatureService()))
+    rest_endpoint.mount(ServiceHost(TemperatureService()))
+    handler = compose_handlers({"/soap": soap_endpoint, "/rest": rest_endpoint})
+
+    with HttpServer(handler) as server:
+        print("serving on", server.base_url)
+        with HttpClient(server.host, server.port) as http:
+            over_soap = soap_proxy(http, "TemperatureService")
+            over_rest = rest_proxy(http, "TemperatureService")
+            print("SOAP: 37 C =", over_soap.c_to_f(celsius=37.0), "F")
+            print("REST: 98.6 F =", round(over_rest.f_to_c(fahrenheit=98.6), 2), "C")
+            try:
+                over_soap.f_to_c(fahrenheit=-1000.0)
+            except ServiceFault as fault:
+                print("typed fault over the wire:", fault.code, "-", fault)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The ASU service search engine (§V): crawl → index → search → register.
+
+Builds a synthetic web of service providers, crawls it with the service
+crawler, indexes every harvested contract, serves the directory frontend
+over HTTP, registers a new service through the registration endpoint,
+and runs ranked queries against it — the full venus.eas.asu.edu/sse
+pipeline offline.
+"""
+
+from repro.core import Operation, Parameter, ServiceContract
+from repro.directory import (
+    RegistrationDesk,
+    ServiceCrawler,
+    ServiceSearchEngine,
+    registration_routes,
+    synthetic_service_web,
+)
+from repro.transport import HttpClient, HttpServer
+from repro.transport.wsdl import contract_to_xml
+from repro.xmlkit import parse
+
+
+def main() -> None:
+    # -- 1. the "internet" of providers -----------------------------------
+    graph, seeds, planted = synthetic_service_web(
+        providers=8, services_per_provider=4, dead_link_rate=0.15, seed=445
+    )
+    print(f"synthetic web: {len(graph)} pages, {planted} contracts planted")
+
+    # -- 2. crawl -----------------------------------------------------------
+    crawler = ServiceCrawler(graph, per_domain_budget=12)
+    report = crawler.crawl(seeds)
+    print(f"crawl: fetched {report.pages_fetched} pages "
+          f"({report.dead_links} dead links, {report.skipped_by_budget} budget-skipped), "
+          f"harvested {len(report.contracts_found)} contracts "
+          f"in {report.simulated_seconds * 1000:.1f} simulated ms")
+
+    # -- 3. index -------------------------------------------------------------
+    engine = ServiceSearchEngine()
+    engine.index_many(report.contracts_found)
+    print(f"indexed {len(engine)} services across categories: {engine.categories()}")
+
+    # -- 4. serve the directory + registration frontend ------------------------
+    desk = RegistrationDesk(engine, verify_against=graph)
+    with HttpServer(registration_routes(desk)) as server:
+        with HttpClient(server.host, server.port) as http:
+            # register our own service through the web form
+            contract = ServiceContract(
+                "AsuMortgage",
+                documentation="mortgage application approval credit underwriting",
+                category="finance",
+            )
+            contract.add(
+                Operation(
+                    "apply",
+                    (Parameter("ssn", "str"), Parameter("income", "float")),
+                    returns="dict",
+                )
+            )
+            response = http.post(
+                "/sse/register?submitter=venus.eas.asu.edu",
+                contract_to_xml(contract),
+                content_type="application/xml",
+            )
+            print(f"\nregistration over HTTP -> {response.status}")
+
+            # ranked queries
+            for query in ("currency exchange", "weather forecast", "mortgage credit"):
+                result = http.get(f"/sse/search?q={query.replace(' ', '+')}&limit=3")
+                hits = parse(result.text()).findall("hit")
+                names = ", ".join(f"{h['name']} ({float(h['score']):.2f})" for h in hits)
+                print(f"  search {query!r:24} -> {names or '(no hits)'}")
+
+            listing = http.get("/sse/list")
+            count = len(parse(listing.text()).findall("service"))
+            print(f"\ndirectory now lists {count} registered service(s) "
+                  f"plus {len(engine) - count} crawled ones")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — Service-Oriented Computing curriculum infrastructure.
+
+A full reproduction of the systems behind Chen & Zhou, "Service-Oriented
+Computing and Software Integration in Computing Curriculum" (IPPS 2014):
+the SOA/SOC/SOD stack taught in CSE445/446, the ASU repository of Web
+services, the service search engine and crawler, the CSE101 robotics
+environment with Robot-as-a-Service, the multicore performance lab of
+Figure 3, and the curriculum analytics of Tables 1-5.
+
+Subpackages
+-----------
+xmlkit        from-scratch XML: parser, DOM, SAX, XPath, schema, XSLT
+core          contracts, services, hosts, broker, bus, proxies, composition
+transport     HTTP/1.1 substrate, SOAP and REST bindings, WSDL documents
+parallelism   sync primitives, work stealing, parallel algorithms,
+              Collatz workload, metrics, simulated multicore (Fig. 3)
+web           web app framework: state management, caching, forms,
+              templates, dynamic images (Unit 5)
+security      dependability: ciphers, auth, RBAC, reliability patterns
+workflow      VPL dataflow, FSM (Fig. 2), BPEL orchestration, flowcharts
+robotics      maze world, robot simulator, Robot-as-a-Service, web
+              programming environment (Figs. 1-2)
+services      the ASU WSRepository catalogue (all eleven Section V services)
+directory     service crawler, tf-idf search engine, registration
+curriculum    Tables 1-5 data and analytics (Fig. 5 trends)
+apps          the Figure 4 three-tier account application
+events        event-driven architecture: pub/sub bus, event store,
+              projections (CSE446 unit 4)
+data          mini relational database + MapReduce (CSE446 unit 5)
+semantic      triple store, SPARQL-style queries, RDFS-lite inference
+              (CSE446 unit 6)
+cloud         cloud simulator (VMs, autoscaling, billing) and the
+              Robot-as-a-Service cloud control plane (CSE446 unit 7)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "xmlkit", "core", "transport", "parallelism", "web", "security",
+    "workflow", "robotics", "services", "directory", "curriculum", "apps",
+    "events", "data", "semantic", "cloud",
+]

@@ -1,0 +1,12 @@
+"""End-to-end applications: the Figure 4 three-tier account application
+(presentation / business logic / data management over account.xml)."""
+
+from .account_app import (
+    AccountProvider,
+    AccountStore,
+    Applicant,
+    Decision,
+    build_web_app,
+)
+
+__all__ = ["Applicant", "Decision", "AccountStore", "AccountProvider", "build_web_app"]

@@ -1,0 +1,361 @@
+"""The CSE445 final project (Figure 4): a three-tier account application.
+
+Client side: "an end user applies for an account by submitting necessary
+information" (Name, SSN, Address, DoB).  Provider side: check the
+applicant doesn't already exist → call the **credit score Web service**
+→ approve or reject → issue a user ID → store to ``account.xml`` →
+the user creates a password (Match? / Strong? checks) → login.
+
+Three tiers, exactly as graded:
+
+* presentation — :func:`build_web_app`: pages over :class:`WebApp`
+  (apply form, result page, create-password page, login page)
+* business logic — :class:`AccountProvider`: the Figure 4 decision
+  flowchart, with the credit service injected as a dependency (any
+  invoker: local instance, bus proxy, SOAP/REST proxy)
+* data management — :class:`AccountStore`: the ``account.xml`` document
+  (our own XML stack), schema-validated on every save/load
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from ..core.faults import ServiceFault
+from ..security.auth import AuthError, PasswordPolicy, PasswordVault
+from ..transport.http11 import HttpResponse
+from ..web.app import RequestContext, WebApp
+from ..web.forms import Field, Form, iso_date, required, ssn
+from ..web.templates import Template
+from ..xmlkit import (
+    Attribute,
+    Element,
+    Schema,
+    STRING,
+    element,
+    parse,
+    sequence,
+    string_type,
+)
+
+__all__ = ["Applicant", "Decision", "AccountStore", "AccountProvider", "build_web_app"]
+
+MIN_APPROVAL_SCORE = 600
+
+
+@dataclass(frozen=True)
+class Applicant:
+    """The Figure 4 client form payload."""
+
+    name: str
+    ssn: str
+    address: str
+    dob: str  # ISO date
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of an application."""
+
+    approved: bool
+    score: int
+    user_id: Optional[str] = None
+    reason: str = ""
+
+
+ACCOUNT_SCHEMA = Schema(
+    element(
+        "accounts",
+        sequence(
+            element(
+                "account",
+                sequence(
+                    element("name", STRING),
+                    element("ssn", string_type(pattern=r"\d{3}-\d{2}-\d{4}")),
+                    element("address", STRING),
+                    element("dob", string_type(pattern=r"\d{4}-\d{2}-\d{2}")),
+                    element("score", STRING),
+                    element("password", STRING, min_occurs=0),
+                ),
+                min_occurs=0,
+                max_occurs=None,
+                attributes={"id": Attribute("id", STRING, required=True)},
+            ),
+        ),
+    )
+)
+
+
+class AccountStore:
+    """``account.xml`` persistence — the data-management tier.
+
+    The whole store is one XML document (as in the course project);
+    every mutation rewrites the file after schema validation, every load
+    validates before use.  In-memory mode (no path) supports tests.
+    """
+
+    def __init__(self, path: Optional[Path | str] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._root = Element("accounts")
+        self._lock = threading.RLock()
+        if self.path is not None and self.path.exists():
+            self._root = parse(self.path.read_text("utf-8"))
+            ACCOUNT_SCHEMA.assert_valid(self._root)
+
+    def _persist_locked(self) -> None:
+        ACCOUNT_SCHEMA.assert_valid(self._root)
+        if self.path is not None:
+            self.path.write_text(self._root.topretty(), "utf-8")
+
+    # -- queries --------------------------------------------------------
+    def find_by_ssn(self, ssn_value: str) -> Optional[Element]:
+        with self._lock:
+            for account in self._root.elements("account"):
+                ssn_el = account.find("ssn")
+                if ssn_el is not None and ssn_el.text == ssn_value:
+                    return account
+            return None
+
+    def find_by_id(self, user_id: str) -> Optional[Element]:
+        with self._lock:
+            for account in self._root.elements("account"):
+                if account.get("id") == user_id:
+                    return account
+            return None
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._root.findall("account"))
+
+    def user_ids(self) -> list[str]:
+        with self._lock:
+            return [a.get("id", "") for a in self._root.elements("account")]
+
+    # -- mutations ------------------------------------------------------------
+    def add_account(self, user_id: str, applicant: Applicant, score: int) -> None:
+        with self._lock:
+            if self.find_by_id(user_id) is not None:
+                raise ValueError(f"duplicate user id {user_id!r}")
+            account = Element("account", {"id": user_id})
+            account.append(Element("name", text=applicant.name))
+            account.append(Element("ssn", text=applicant.ssn))
+            account.append(Element("address", text=applicant.address))
+            account.append(Element("dob", text=applicant.dob))
+            account.append(Element("score", text=str(score)))
+            self._root.append(account)
+            self._persist_locked()
+
+    def set_password_record(self, user_id: str, stored_hash: str) -> None:
+        with self._lock:
+            account = self.find_by_id(user_id)
+            if account is None:
+                raise ValueError(f"no account {user_id!r}")
+            existing = account.find("password")
+            if existing is not None:
+                account.remove(existing)
+            account.append(Element("password", text=stored_hash))
+            self._persist_locked()
+
+    def password_record(self, user_id: str) -> Optional[str]:
+        with self._lock:
+            account = self.find_by_id(user_id)
+            if account is None:
+                return None
+            password_el = account.find("password")
+            return password_el.text if password_el is not None else None
+
+
+CreditInvoker = Callable[..., int]
+
+
+class AccountProvider:
+    """Business-logic tier: the Figure 4 provider flowchart.
+
+    ``credit_score`` is any callable ``(ssn=..., income=...) -> int`` —
+    the local :class:`~repro.services.commerce.CreditScoreService`
+    operation, or a proxy over any binding.
+    """
+
+    def __init__(
+        self,
+        store: AccountStore,
+        credit_score: CreditInvoker,
+        *,
+        policy: Optional[PasswordPolicy] = None,
+        min_score: int = MIN_APPROVAL_SCORE,
+    ) -> None:
+        self.store = store
+        self.credit_score = credit_score
+        self.vault = PasswordVault(policy or PasswordPolicy())
+        self.min_score = min_score
+        self._next_id = store.count()
+        self._lock = threading.Lock()
+
+    # -- the Figure 4 pipeline -----------------------------------------------
+    def apply(self, applicant: Applicant, income: float = 0.0) -> Decision:
+        """AddUserInfo → Check existence → Check credit score → Approval?
+        → Create account → Issue User ID."""
+        if self.store.find_by_ssn(applicant.ssn) is not None:
+            return Decision(False, 0, reason="an account already exists for this SSN")
+        try:
+            score = int(self.credit_score(ssn=applicant.ssn, income=income))
+        except ServiceFault as exc:
+            return Decision(False, 0, reason=f"credit check failed: {exc}")
+        if score < self.min_score:
+            return Decision(
+                False, score, reason=f"credit score {score} below {self.min_score}"
+            )
+        with self._lock:
+            self._next_id += 1
+            user_id = f"U{self._next_id:05d}"
+        self.store.add_account(user_id, applicant, score)
+        return Decision(True, score, user_id=user_id)
+
+    def create_password(self, user_id: str, password: str, confirmation: str) -> None:
+        """addPwd: Match? → Strong? → store (Figure 4's right half)."""
+        if self.store.find_by_id(user_id) is None:
+            raise AuthError(f"no account {user_id!r}")
+        self.vault.set_password(user_id, password, confirmation)
+        # persist hash alongside the account record (the XML data tier)
+        from ..security.auth import hash_password
+
+        self.store.set_password_record(user_id, hash_password(password))
+
+    def login(self, user_id: str, password: str) -> bool:
+        """Login against the vault, falling back to the XML record (fresh
+        process after restart — the persistence lesson)."""
+        if self.vault.has_password(user_id):
+            return self.vault.login(user_id, password)
+        stored = self.store.password_record(user_id)
+        if stored is None:
+            return False
+        from ..security.auth import verify_password
+
+        return verify_password(password, stored)
+
+
+# ---------------------------------------------------------------------------
+# presentation tier
+# ---------------------------------------------------------------------------
+
+APPLY_FORM = Form(
+    "apply",
+    [
+        Field("name", validators=[required()]),
+        Field("ssn", label="SSN", validators=[required(), ssn()]),
+        Field("address", validators=[required()]),
+        Field("dob", label="DoB", validators=[required(), iso_date()]),
+    ],
+)
+
+_PAGE = Template(
+    """<html><head><title>{{ title }}</title></head><body>
+<h1>{{ title }}</h1>{{ body | raw }}</body></html>"""
+)
+
+_RESULT = Template(
+    """{% if approved %}<p class="ok">Approved. Your User ID is <b>{{ user_id }}</b>
+(score {{ score }}). <a href="/password/{{ user_id }}">Create Password</a></p>
+{% else %}<p class="fail">You do not qualify: {{ reason }}</p>{% endif %}"""
+)
+
+
+def build_web_app(provider: AccountProvider) -> WebApp:
+    """Wire the Figure 4 pages onto a :class:`WebApp`."""
+    app = WebApp()
+
+    @app.page("/", methods=("GET",))
+    def index(context: RequestContext) -> HttpResponse:
+        body = APPLY_FORM.render("/apply", submit_label="Subscribe")
+        return HttpResponse.html_response(_PAGE.render(title="Account Application", body=body))
+
+    @app.page("/apply", methods=("POST",))
+    def apply(context: RequestContext) -> HttpResponse:
+        result = APPLY_FORM.validate(context.form)
+        if not result.ok:
+            body = APPLY_FORM.render("/apply", result.values, result.errors, "Subscribe")
+            return HttpResponse.html_response(
+                _PAGE.render(title="Account Application", body=body), status=400
+            )
+        decision = provider.apply(
+            Applicant(
+                result.values["name"],
+                result.values["ssn"],
+                result.values["address"],
+                result.values["dob"],
+            ),
+            income=float(context.form.get("income", "0") or 0),
+        )
+        context.session.set("last_decision", decision.approved)
+        body = _RESULT.render(
+            approved=decision.approved,
+            user_id=decision.user_id or "",
+            score=decision.score,
+            reason=decision.reason,
+        )
+        return HttpResponse.html_response(
+            _PAGE.render(title="Decision", body=body),
+            status=200 if decision.approved else 403,
+        )
+
+    @app.page("/password/{user_id}", methods=("GET", "POST"))
+    def password(context: RequestContext, user_id: str) -> HttpResponse:
+        if context.method == "GET":
+            body = (
+                f'<form method="POST" action="/password/{user_id}">'
+                '<input type="password" name="password"/>'
+                '<input type="password" name="retype"/>'
+                "<button>Create Password</button></form>"
+            )
+            return HttpResponse.html_response(_PAGE.render(title="Create Password", body=body))
+        form = context.form
+        try:
+            provider.create_password(
+                user_id, form.get("password", ""), form.get("retype", "")
+            )
+        except AuthError as exc:
+            return HttpResponse.html_response(
+                _PAGE.render(title="Create Password", body=f"<p>{exc}</p>"), status=400
+            )
+        return HttpResponse.html_response(
+            _PAGE.render(title="Create Password", body="<p>Password set. <a href='/login'>Login</a></p>")
+        )
+
+    @app.page("/login", methods=("GET", "POST"))
+    def login(context: RequestContext) -> HttpResponse:
+        if context.method == "GET":
+            body = (
+                '<form method="POST" action="/login">'
+                '<input name="user_id"/><input type="password" name="password"/>'
+                "<button>Login</button></form>"
+            )
+            return HttpResponse.html_response(_PAGE.render(title="Login", body=body))
+        form = context.form
+        try:
+            ok = provider.login(form.get("user_id", ""), form.get("password", ""))
+        except AuthError as exc:
+            return HttpResponse.html_response(
+                _PAGE.render(title="Login", body=f"<p>{exc}</p>"), status=423
+            )
+        if not ok:
+            return HttpResponse.html_response(
+                _PAGE.render(title="Login", body="<p>Invalid credentials.</p>"), status=401
+            )
+        context.session.set("user_id", form.get("user_id", ""))
+        return HttpResponse.html_response(
+            _PAGE.render(title="Welcome", body=f"<p>Hello, {form.get('user_id','')}.</p>")
+        )
+
+    @app.page("/me", methods=("GET",))
+    def me(context: RequestContext) -> HttpResponse:
+        user_id = context.session.get("user_id")
+        if not user_id:
+            return HttpResponse.redirect("/login")
+        return HttpResponse.html_response(
+            _PAGE.render(title="My Account", body=f"<p>Signed in as {user_id}.</p>")
+        )
+
+    return app

@@ -1,0 +1,22 @@
+"""Cloud computing (CSE446 unit 7): on-demand VM provisioning with
+metered billing, load-balanced service deployments, target-utilization
+autoscaling, deterministic workload traces, and the Robot-as-a-Service
+cloud control plane of paper reference [20]."""
+
+from .simulator import (
+    Autoscaler,
+    CloudError,
+    CloudProvider,
+    ServiceDeployment,
+    SimulationTrace,
+    VM,
+    Workload,
+    run_simulation,
+)
+from .raas_cloud import RobotCloud, RobotLease
+
+__all__ = [
+    "CloudProvider", "VM", "ServiceDeployment", "Autoscaler", "Workload",
+    "SimulationTrace", "run_simulation", "CloudError",
+    "RobotCloud", "RobotLease",
+]

@@ -1,0 +1,131 @@
+"""Robot as a Service in Cloud Computing (paper reference [20]).
+
+The paper's RaaS-in-the-cloud vision: robot services are provisioned on
+demand from a cloud pool, published in the broker, leased to classrooms,
+and reclaimed when the lease lapses.  This module is that control plane:
+
+* :class:`RobotCloud` — a pool of maze-robot service instances managed
+  like cloud resources: ``acquire`` provisions (or reuses) an instance,
+  publishes it to the broker with a lease; ``release`` returns it;
+  broker lease expiry reclaims abandoned robots automatically.
+* per-tenant isolation: each acquisition gets a fresh maze and robot, and
+  a unique service name (``RobotService/<tenant>``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.broker import Endpoint, ServiceBroker
+from ..core.bus import ServiceBus
+from ..core.faults import ServiceFault
+from ..robotics.maze import Maze, generate_dfs
+from ..robotics.raas import RobotService
+from ..robotics.robot import Robot
+
+__all__ = ["RobotLease", "RobotCloud"]
+
+
+@dataclass
+class RobotLease:
+    """A tenant's handle on a provisioned robot service."""
+
+    tenant: str
+    service_name: str
+    address: str
+    seed: int
+
+
+class RobotCloud:
+    """On-demand provisioning of Robot-as-a-Service instances."""
+
+    def __init__(
+        self,
+        broker: ServiceBroker,
+        bus: ServiceBus,
+        *,
+        pool_capacity: int = 16,
+        lease_seconds: float = 3600.0,
+        maze_size: tuple[int, int] = (10, 10),
+    ) -> None:
+        if pool_capacity < 1:
+            raise ServiceFault("pool capacity must be >= 1", code="Cloud.BadConfig")
+        self.broker = broker
+        self.bus = bus
+        self.pool_capacity = pool_capacity
+        self.lease_seconds = lease_seconds
+        self.maze_size = maze_size
+        self._leases: dict[str, RobotLease] = {}
+        self._seed = 0
+        self._lock = threading.Lock()
+        self.provisioned_total = 0
+
+    def acquire(self, tenant: str, *, seed: Optional[int] = None) -> RobotLease:
+        """Provision a robot service for ``tenant`` and publish it."""
+        with self._lock:
+            self._reclaim_locked()
+            if tenant in self._leases:
+                raise ServiceFault(
+                    f"tenant {tenant!r} already holds a lease", code="Cloud.Conflict"
+                )
+            if len(self._leases) >= self.pool_capacity:
+                raise ServiceFault(
+                    f"robot pool exhausted ({self.pool_capacity})",
+                    code="Cloud.CapacityExhausted",
+                )
+            self._seed += 1
+            use_seed = seed if seed is not None else self._seed
+        width, height = self.maze_size
+        maze = generate_dfs(width, height, seed=use_seed)
+        service = RobotService(Robot(maze))
+        service_name = f"RobotService-{tenant}"
+        # publish under a tenant-unique name with a lease
+        contract = service.contract()
+        contract.name = service_name
+        address = self.bus.host(service, address=service_name.lower())
+        self.broker.publish(
+            contract,
+            Endpoint("inproc", address),
+            provider="robot-cloud",
+            lease_seconds=self.lease_seconds,
+        )
+        lease = RobotLease(tenant, service_name, address, use_seed)
+        with self._lock:
+            self._leases[tenant] = lease
+            self.provisioned_total += 1
+        return lease
+
+    def release(self, tenant: str) -> None:
+        with self._lock:
+            lease = self._leases.pop(tenant, None)
+        if lease is None:
+            raise ServiceFault(f"no lease for tenant {tenant!r}", code="Cloud.NoLease")
+        try:
+            self.broker.unpublish(lease.service_name)
+        except ServiceFault:
+            pass  # lease may have expired already
+        self.bus.unhost(lease.address)
+
+    def renew(self, tenant: str) -> None:
+        with self._lock:
+            lease = self._leases.get(tenant)
+        if lease is None:
+            raise ServiceFault(f"no lease for tenant {tenant!r}", code="Cloud.NoLease")
+        self.broker.renew(lease.service_name, self.lease_seconds)
+
+    def _reclaim_locked(self) -> None:
+        """Drop leases whose broker registration has lapsed."""
+        for tenant, lease in list(self._leases.items()):
+            if lease.service_name not in self.broker:
+                try:
+                    self.bus.unhost(lease.address)
+                except Exception:  # noqa: BLE001 - already gone
+                    pass
+                del self._leases[tenant]
+
+    def active_leases(self) -> list[str]:
+        with self._lock:
+            self._reclaim_locked()
+            return sorted(self._leases)

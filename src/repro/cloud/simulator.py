@@ -1,0 +1,309 @@
+"""Cloud computing simulator — CSE446 unit 7, "Cloud Computing and
+Software as a Service".
+
+A deterministic discrete-time simulation of the IaaS/SaaS concepts the
+unit teaches (and that Table 3 pins at Bloom level K: "on-demand,
+virtualized, service-oriented software and hardware resources"):
+
+* :class:`CloudProvider` — hosts with capacity; provisions :class:`VM`\\ s
+  on demand (with a boot delay), bills per tick of uptime
+* :class:`ServiceDeployment` — a service replicated across VMs behind a
+  round-robin load balancer; each VM serves up to ``vm_throughput``
+  requests per tick, the rest queue
+* :class:`Autoscaler` — target-utilization scaling with cooldown
+* :class:`Workload` — deterministic request-rate traces (constant, ramp,
+  diurnal-ish square wave)
+
+The benchmark ablates autoscaling on/off: same trace, compare p95 queue
+delay and cost — the unit's on-demand-economics lesson.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = [
+    "CloudError",
+    "VM",
+    "CloudProvider",
+    "ServiceDeployment",
+    "Autoscaler",
+    "Workload",
+    "SimulationTrace",
+    "run_simulation",
+]
+
+
+class CloudError(RuntimeError):
+    """Provisioning failure (capacity exhausted, unknown VM...)."""
+
+
+@dataclass
+class VM:
+    vm_id: int
+    boot_remaining: int  # ticks until ready
+    uptime_ticks: int = 0
+
+    @property
+    def ready(self) -> bool:
+        return self.boot_remaining == 0
+
+
+class CloudProvider:
+    """On-demand VM provisioning with a capacity pool and metered billing."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 64,
+        boot_ticks: int = 2,
+        price_per_tick: float = 0.10,
+    ) -> None:
+        if capacity < 1 or boot_ticks < 0:
+            raise CloudError("bad provider configuration")
+        self.capacity = capacity
+        self.boot_ticks = boot_ticks
+        self.price_per_tick = price_per_tick
+        self._vms: dict[int, VM] = {}
+        self._next_id = 0
+        self.total_cost = 0.0
+        self.provisioned_count = 0
+        self.released_count = 0
+
+    def provision(self) -> VM:
+        if len(self._vms) >= self.capacity:
+            raise CloudError(f"capacity {self.capacity} exhausted")
+        self._next_id += 1
+        vm = VM(self._next_id, self.boot_ticks)
+        self._vms[vm.vm_id] = vm
+        self.provisioned_count += 1
+        return vm
+
+    def release(self, vm_id: int) -> None:
+        if vm_id not in self._vms:
+            raise CloudError(f"unknown vm {vm_id}")
+        del self._vms[vm_id]
+        self.released_count += 1
+
+    def tick(self) -> None:
+        """Advance one tick: boot progress + billing for every live VM."""
+        for vm in self._vms.values():
+            if vm.boot_remaining > 0:
+                vm.boot_remaining -= 1
+            vm.uptime_ticks += 1
+            self.total_cost += self.price_per_tick
+
+    def vms(self) -> list[VM]:
+        return sorted(self._vms.values(), key=lambda vm: vm.vm_id)
+
+    def ready_vms(self) -> list[VM]:
+        return [vm for vm in self.vms() if vm.ready]
+
+
+class ServiceDeployment:
+    """A replicated service behind a load balancer with a request queue."""
+
+    def __init__(
+        self,
+        provider: CloudProvider,
+        *,
+        vm_throughput: int = 100,
+        initial_vms: int = 1,
+        max_queue: int = 1_000_000,
+    ) -> None:
+        if vm_throughput < 1 or initial_vms < 1:
+            raise CloudError("bad deployment configuration")
+        self.provider = provider
+        self.vm_throughput = vm_throughput
+        self.max_queue = max_queue
+        self._vm_ids: list[int] = []
+        self.queue = 0
+        self.served = 0
+        self.dropped = 0
+        for _ in range(initial_vms):
+            self.scale_out()
+            # initial fleet boots instantly (pre-warmed)
+        for vm in self.provider.vms():
+            vm.boot_remaining = 0
+
+    # -- scaling ---------------------------------------------------------
+    def scale_out(self) -> int:
+        vm = self.provider.provision()
+        self._vm_ids.append(vm.vm_id)
+        return vm.vm_id
+
+    def scale_in(self) -> Optional[int]:
+        if len(self._vm_ids) <= 1:
+            return None  # never below one replica
+        vm_id = self._vm_ids.pop()
+        self.provider.release(vm_id)
+        return vm_id
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._vm_ids)
+
+    def ready_replicas(self) -> int:
+        live = {vm.vm_id for vm in self.provider.ready_vms()}
+        return sum(1 for vm_id in self._vm_ids if vm_id in live)
+
+    # -- one tick of traffic -----------------------------------------------
+    def tick(self, arriving_requests: int) -> None:
+        if arriving_requests < 0:
+            raise CloudError("negative arrivals")
+        self.queue += arriving_requests
+        overflow = max(0, self.queue - self.max_queue)
+        self.dropped += overflow
+        self.queue -= overflow
+        capacity = self.ready_replicas() * self.vm_throughput
+        served_now = min(self.queue, capacity)
+        self.queue -= served_now
+        self.served += served_now
+
+    def utilization(self, arriving_requests: int) -> float:
+        """Offered load over ready capacity (can exceed 1)."""
+        capacity = self.ready_replicas() * self.vm_throughput
+        if capacity == 0:
+            return math.inf
+        return (self.queue + arriving_requests) / capacity
+
+
+class Autoscaler:
+    """Target-utilization autoscaler with a cooldown (in ticks)."""
+
+    def __init__(
+        self,
+        deployment: ServiceDeployment,
+        *,
+        target_utilization: float = 0.7,
+        cooldown_ticks: int = 3,
+        max_replicas: int = 32,
+    ) -> None:
+        if not 0 < target_utilization <= 1:
+            raise CloudError("target utilization must be in (0, 1]")
+        self.deployment = deployment
+        self.target = target_utilization
+        self.cooldown = cooldown_ticks
+        self.max_replicas = max_replicas
+        self._last_action_tick = -10**9
+        self.scale_out_actions = 0
+        self.scale_in_actions = 0
+
+    def observe(self, tick: int, arriving_requests: int) -> None:
+        if tick - self._last_action_tick < self.cooldown:
+            return
+        deployment = self.deployment
+        utilization = arriving_requests / max(
+            deployment.replica_count * deployment.vm_throughput, 1
+        )
+        if utilization > self.target and deployment.replica_count < self.max_replicas:
+            desired = min(
+                self.max_replicas,
+                max(
+                    deployment.replica_count + 1,
+                    math.ceil(arriving_requests / (deployment.vm_throughput * self.target)),
+                ),
+            )
+            while deployment.replica_count < desired:
+                deployment.scale_out()
+            self.scale_out_actions += 1
+            self._last_action_tick = tick
+        elif utilization < self.target * 0.5 and deployment.replica_count > 1:
+            deployment.scale_in()
+            self.scale_in_actions += 1
+            self._last_action_tick = tick
+
+
+class Workload:
+    """Deterministic request-rate traces."""
+
+    def __init__(self, rates: list[int]) -> None:
+        if not rates or any(r < 0 for r in rates):
+            raise CloudError("workload needs non-negative rates")
+        self.rates = list(rates)
+
+    @classmethod
+    def constant(cls, rate: int, ticks: int) -> "Workload":
+        return cls([rate] * ticks)
+
+    @classmethod
+    def ramp(cls, start: int, stop: int, ticks: int) -> "Workload":
+        step = (stop - start) / max(ticks - 1, 1)
+        return cls([round(start + step * i) for i in range(ticks)])
+
+    @classmethod
+    def square(cls, low: int, high: int, period: int, ticks: int) -> "Workload":
+        """Day/night style square wave."""
+        return cls(
+            [high if (i // period) % 2 else low for i in range(ticks)]
+        )
+
+    def __iter__(self):
+        return iter(self.rates)
+
+    def __len__(self) -> int:
+        return len(self.rates)
+
+
+@dataclass
+class SimulationTrace:
+    """Per-tick observables of one simulation run."""
+
+    queue_depths: list[int] = field(default_factory=list)
+    replica_counts: list[int] = field(default_factory=list)
+    total_cost: float = 0.0
+    served: int = 0
+    dropped: int = 0
+
+    def p95_queue(self) -> float:
+        if not self.queue_depths:
+            return 0.0
+        ordered = sorted(self.queue_depths)
+        return float(ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))])
+
+    def max_queue(self) -> int:
+        return max(self.queue_depths, default=0)
+
+    def mean_replicas(self) -> float:
+        if not self.replica_counts:
+            return 0.0
+        return sum(self.replica_counts) / len(self.replica_counts)
+
+
+def run_simulation(
+    workload: Workload,
+    *,
+    vm_throughput: int = 100,
+    initial_vms: int = 1,
+    autoscale: bool = True,
+    target_utilization: float = 0.7,
+    boot_ticks: int = 2,
+    price_per_tick: float = 0.10,
+    provider_capacity: int = 64,
+) -> SimulationTrace:
+    """Run a workload against a deployment; returns the trace."""
+    provider = CloudProvider(
+        capacity=provider_capacity, boot_ticks=boot_ticks, price_per_tick=price_per_tick
+    )
+    deployment = ServiceDeployment(
+        provider, vm_throughput=vm_throughput, initial_vms=initial_vms
+    )
+    autoscaler = (
+        Autoscaler(deployment, target_utilization=target_utilization)
+        if autoscale
+        else None
+    )
+    trace = SimulationTrace()
+    for tick, rate in enumerate(workload):
+        if autoscaler is not None:
+            autoscaler.observe(tick, rate)
+        provider.tick()
+        deployment.tick(rate)
+        trace.queue_depths.append(deployment.queue)
+        trace.replica_counts.append(deployment.replica_count)
+    trace.total_cost = provider.total_cost
+    trace.served = deployment.served
+    trace.dropped = deployment.dropped
+    return trace

@@ -1,0 +1,53 @@
+"""SOA core: contracts, services, hosts, broker, bus, proxies, composition.
+
+The paper's provider / broker / client triangle (CSE445 Unit 3) as a
+library: providers subclass :class:`Service` and publish contracts to a
+:class:`ServiceBroker`; clients discover and bind through generated
+:class:`ServiceProxy` objects over a binding (in-process bus here; SOAP
+and REST wire bindings in :mod:`repro.transport`).
+"""
+
+from .faults import (
+    AccessDenied,
+    ContractViolation,
+    ServiceError,
+    ServiceFault,
+    ServiceUnavailable,
+    TimeoutFault,
+    TransportError,
+    UnknownOperation,
+    fault_from_code,
+)
+from .contracts import Operation, Parameter, ServiceContract, check_type
+from .service import (
+    InvocationContext,
+    InvocationStats,
+    Service,
+    ServiceHost,
+    contract_from_callables,
+    operation,
+)
+from .broker import BrokerError, Endpoint, QoSReport, Registration, ServiceBroker
+from .bus import BusClient, ServiceBus
+from .proxy import ServiceProxy, make_proxy, proxy_from_broker
+from .composition import CompositionError, Pipeline, Router, ScatterGather, compose
+from .evolution import (
+    Incompatibility,
+    check_compatibility,
+    is_backward_compatible,
+    safe_republish,
+)
+
+__all__ = [
+    "ServiceError", "ServiceFault", "ContractViolation", "UnknownOperation",
+    "ServiceUnavailable", "AccessDenied", "TimeoutFault", "TransportError",
+    "fault_from_code",
+    "Parameter", "Operation", "ServiceContract", "check_type",
+    "Service", "ServiceHost", "operation", "InvocationContext",
+    "InvocationStats", "contract_from_callables",
+    "ServiceBroker", "BrokerError", "Endpoint", "Registration", "QoSReport",
+    "ServiceBus", "BusClient",
+    "ServiceProxy", "make_proxy", "proxy_from_broker",
+    "Pipeline", "ScatterGather", "Router", "compose", "CompositionError",
+    "Incompatibility", "check_compatibility", "is_backward_compatible", "safe_republish",
+]

@@ -1,0 +1,254 @@
+"""Service broker / registry — the "service directory" role of SOA.
+
+CSE445 Unit 3 teaches the provider / broker / client triangle: providers
+*publish* contracts into a broker, clients *discover* them and bind.  This
+broker supports:
+
+* publish / unpublish with lease expiry (stale services vanish — the paper
+  §V complains that free public services "are often offline or removed
+  without notice"; leases model that honestly)
+* discovery by name, by category, and by keyword over contract docs
+* multiple endpoints per service (different bindings of one contract)
+* QoS bookkeeping (client-reported latency/fault samples) so discovery
+  can prefer responsive providers
+
+Thread-safe; the HTTP endpoints in :mod:`repro.transport` can be hit from
+many client threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .contracts import ServiceContract
+from .faults import ServiceFault
+
+__all__ = ["Endpoint", "Registration", "QoSReport", "ServiceBroker", "BrokerError"]
+
+
+class BrokerError(ServiceFault):
+    """Registry failure: unknown service, missing binding, bad publication."""
+
+    code = "Broker.Error"
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One way to reach a service: a binding name plus an address.
+
+    ``binding`` is e.g. ``"inproc"``, ``"soap"``, ``"rest"``;
+    ``address`` is binding-specific (bus key, URL...).
+    """
+
+    binding: str
+    address: str
+
+
+@dataclass
+class QoSReport:
+    """Aggregated client-observed quality of a registration."""
+
+    samples: int = 0
+    faults: int = 0
+    total_latency: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.samples if self.samples else 0.0
+
+    @property
+    def availability(self) -> float:
+        return 1.0 - self.faults / self.samples if self.samples else 1.0
+
+
+@dataclass
+class Registration:
+    """A published service: contract + endpoints + lease + provider id."""
+
+    contract: ServiceContract
+    endpoints: list[Endpoint] = field(default_factory=list)
+    provider: str = "anonymous"
+    lease_expires: Optional[float] = None  # broker-clock timestamp
+    qos: QoSReport = field(default_factory=QoSReport)
+
+    @property
+    def name(self) -> str:
+        return self.contract.name
+
+
+class ServiceBroker:
+    """In-memory registry with leases, discovery and QoS feedback.
+
+    The broker has its own logical clock (:meth:`advance`), so lease
+    behaviour is deterministic in tests; callers that want wall-clock
+    leases can pass ``time.time`` as ``clock``.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._registrations: dict[str, Registration] = {}
+        self._lock = threading.RLock()
+        self._now = 0.0
+        self._clock = clock
+
+    # -- time -----------------------------------------------------------
+    def now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Advance the logical clock (no-op meaning when an external clock is set)."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        with self._lock:
+            self._now += seconds
+            self._expire_locked()
+
+    def _expire_locked(self) -> None:
+        now = self.now()
+        dead = [
+            name
+            for name, reg in self._registrations.items()
+            if reg.lease_expires is not None and reg.lease_expires <= now
+        ]
+        for name in dead:
+            del self._registrations[name]
+
+    # -- publication -----------------------------------------------------
+    def publish(
+        self,
+        contract: ServiceContract,
+        endpoints: list[Endpoint] | Endpoint,
+        *,
+        provider: str = "anonymous",
+        lease_seconds: Optional[float] = None,
+    ) -> Registration:
+        """Publish (or republish) a contract with one or more endpoints."""
+        if isinstance(endpoints, Endpoint):
+            endpoints = [endpoints]
+        if not endpoints:
+            raise BrokerError("a registration requires at least one endpoint")
+        with self._lock:
+            self._expire_locked()
+            lease = None if lease_seconds is None else self.now() + lease_seconds
+            registration = Registration(
+                contract=contract,
+                endpoints=list(endpoints),
+                provider=provider,
+                lease_expires=lease,
+            )
+            self._registrations[contract.name] = registration
+            return registration
+
+    def renew(self, name: str, lease_seconds: float) -> None:
+        with self._lock:
+            registration = self._get_locked(name)
+            registration.lease_expires = self.now() + lease_seconds
+
+    def unpublish(self, name: str) -> None:
+        with self._lock:
+            if name not in self._registrations:
+                raise BrokerError(f"service {name!r} is not published")
+            del self._registrations[name]
+
+    def add_endpoint(self, name: str, endpoint: Endpoint) -> None:
+        with self._lock:
+            self._get_locked(name).endpoints.append(endpoint)
+
+    # -- discovery --------------------------------------------------------
+    def _get_locked(self, name: str) -> Registration:
+        self._expire_locked()
+        registration = self._registrations.get(name)
+        if registration is None:
+            raise BrokerError(f"service {name!r} is not published")
+        return registration
+
+    def lookup(self, name: str) -> Registration:
+        """Exact-name discovery; raises :class:`BrokerError` when absent."""
+        with self._lock:
+            return self._get_locked(name)
+
+    def try_lookup(self, name: str) -> Optional[Registration]:
+        with self._lock:
+            self._expire_locked()
+            return self._registrations.get(name)
+
+    def list_services(self, category: Optional[str] = None) -> list[Registration]:
+        with self._lock:
+            self._expire_locked()
+            registrations = sorted(self._registrations.values(), key=lambda r: r.name)
+            if category is None:
+                return registrations
+            return [r for r in registrations if r.contract.category == category]
+
+    def find(self, keyword: str) -> list[Registration]:
+        """Keyword discovery over name, docs and operation names."""
+        needle = keyword.lower()
+        with self._lock:
+            self._expire_locked()
+            hits = []
+            for registration in self._registrations.values():
+                contract = registration.contract
+                haystack = " ".join(
+                    [
+                        contract.name,
+                        contract.documentation,
+                        contract.category,
+                        " ".join(contract.operations),
+                        " ".join(
+                            op.documentation for op in contract.operations.values()
+                        ),
+                    ]
+                ).lower()
+                if needle in haystack:
+                    hits.append(registration)
+            return sorted(hits, key=lambda r: r.name)
+
+    def endpoint_for(self, name: str, binding: Optional[str] = None) -> Endpoint:
+        """Pick an endpoint, optionally constrained to one binding."""
+        registration = self.lookup(name)
+        if binding is None:
+            return registration.endpoints[0]
+        for endpoint in registration.endpoints:
+            if endpoint.binding == binding:
+                return endpoint
+        raise BrokerError(
+            f"service {name!r} has no {binding!r} endpoint "
+            f"(has: {[e.binding for e in registration.endpoints]})"
+        )
+
+    # -- QoS feedback -------------------------------------------------------
+    def report(self, name: str, latency_seconds: float, *, fault: bool = False) -> None:
+        """Clients report observed call quality back to the broker."""
+        with self._lock:
+            registration = self._registrations.get(name)
+            if registration is None:
+                return  # provider vanished; nothing to attribute
+            registration.qos.samples += 1
+            registration.qos.total_latency += latency_seconds
+            if fault:
+                registration.qos.faults += 1
+
+    def best_by_qos(self, names: list[str]) -> Optional[Registration]:
+        """Among published ``names``, pick highest availability then lowest latency."""
+        with self._lock:
+            self._expire_locked()
+            candidates = [
+                self._registrations[n] for n in names if n in self._registrations
+            ]
+            if not candidates:
+                return None
+            return min(
+                candidates,
+                key=lambda r: (-r.qos.availability, r.qos.mean_latency),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._expire_locked()
+            return len(self._registrations)
+
+    def __contains__(self, name: str) -> bool:
+        return self.try_lookup(name) is not None

@@ -1,0 +1,114 @@
+"""In-process service bus: the simplest binding.
+
+The bus maps addresses to :class:`~repro.core.service.ServiceHost`
+dispatchers.  A bus address looks like ``inproc://calculator``.  The bus is
+the reference binding: SOAP and REST endpoints in :mod:`repro.transport`
+produce exactly the same observable behaviour as a bus call, just over a
+wire format (tested by the cross-binding integration tests).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Optional
+
+from .broker import Endpoint, ServiceBroker
+from .faults import TransportError
+from .service import InvocationContext, Service, ServiceHost
+
+__all__ = ["ServiceBus", "BusClient"]
+
+
+class ServiceBus:
+    """A registry of in-process endpoints addressed by name."""
+
+    SCHEME = "inproc://"
+
+    def __init__(self) -> None:
+        self._hosts: dict[str, ServiceHost] = {}
+        self._lock = threading.Lock()
+
+    def host(self, service: Service, address: Optional[str] = None) -> str:
+        """Host a service; returns its full bus address."""
+        host = ServiceHost(service)
+        key = address or host.name.lower()
+        with self._lock:
+            if key in self._hosts:
+                raise TransportError(f"bus address {key!r} already in use")
+            self._hosts[key] = host
+        return self.SCHEME + key
+
+    def host_and_publish(
+        self,
+        service: Service,
+        broker: ServiceBroker,
+        *,
+        provider: str = "anonymous",
+        lease_seconds: Optional[float] = None,
+    ) -> str:
+        """Host a service and publish its contract + endpoint to a broker."""
+        address = self.host(service)
+        broker.publish(
+            service.contract(),
+            Endpoint("inproc", address),
+            provider=provider,
+            lease_seconds=lease_seconds,
+        )
+        return address
+
+    def unhost(self, address: str) -> None:
+        key = self._key(address)
+        with self._lock:
+            if key not in self._hosts:
+                raise TransportError(f"no service hosted at {address!r}")
+            del self._hosts[key]
+
+    def _key(self, address: str) -> str:
+        if address.startswith(self.SCHEME):
+            return address[len(self.SCHEME):]
+        return address
+
+    def resolve(self, address: str) -> ServiceHost:
+        key = self._key(address)
+        with self._lock:
+            host = self._hosts.get(key)
+        if host is None:
+            raise TransportError(f"no service hosted at {address!r}")
+        return host
+
+    def call(
+        self,
+        address: str,
+        operation: str,
+        arguments: Optional[dict[str, Any]] = None,
+        context: Optional[InvocationContext] = None,
+    ) -> Any:
+        """Invoke an operation on the service at ``address``."""
+        return self.resolve(address).invoke(operation, arguments, context)
+
+    def addresses(self) -> list[str]:
+        with self._lock:
+            return sorted(self.SCHEME + key for key in self._hosts)
+
+
+class BusClient:
+    """Broker-aware client: discovers a service by name and calls it,
+    reporting observed QoS back to the broker."""
+
+    def __init__(self, bus: ServiceBus, broker: ServiceBroker) -> None:
+        self.bus = bus
+        self.broker = broker
+
+    def call(self, service_name: str, operation: str, **arguments: Any) -> Any:
+        endpoint = self.broker.endpoint_for(service_name, binding="inproc")
+        start = time.perf_counter()
+        try:
+            result = self.bus.call(endpoint.address, operation, arguments)
+        except Exception:
+            self.broker.report(
+                service_name, time.perf_counter() - start, fault=True
+            )
+            raise
+        self.broker.report(service_name, time.perf_counter() - start)
+        return result

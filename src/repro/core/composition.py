@@ -1,0 +1,122 @@
+"""Service composition utilities.
+
+CSE446's theme is building applications *by composing existing services*.
+This module provides the programmatic composition primitives (the workflow
+engines in :mod:`repro.workflow` provide the declarative ones):
+
+* :class:`Pipeline` — sequential composition, each stage feeding the next
+* :class:`ScatterGather` — fan a request out to several services, gather
+  and aggregate the replies
+* :class:`Router` — content-based routing to one of several services
+* :func:`compose` — make a composite callable from stages
+
+Every primitive works over *invokables*: any ``callable(**kwargs) -> value``,
+which bound proxy operations already are — so compositions mix local
+functions and remote services freely.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from .faults import ServiceFault
+
+__all__ = ["Pipeline", "ScatterGather", "Router", "compose", "CompositionError"]
+
+
+class CompositionError(ServiceFault):
+    """Structural or runtime failure of a composition primitive."""
+
+    code = "Composition.Error"
+
+
+@dataclass
+class Pipeline:
+    """Sequential composition: ``stages[i+1]`` consumes ``stages[i]``'s result.
+
+    Each stage is ``(callable, result_key)`` — the result is passed to the
+    next stage as keyword ``result_key``.  The first stage receives the
+    pipeline's input keywords.
+    """
+
+    stages: Sequence[tuple[Callable[..., Any], str]]
+
+    def __call__(self, **arguments: Any) -> Any:
+        if not self.stages:
+            raise CompositionError("pipeline has no stages")
+        value: Any = None
+        for index, (stage, key) in enumerate(self.stages):
+            if index == 0:
+                value = stage(**arguments)
+            else:
+                value = stage(**{key: value})
+        return value
+
+
+@dataclass
+class ScatterGather:
+    """Parallel fan-out with aggregation.
+
+    Invokes every branch with the same arguments (on a thread pool —
+    remote calls overlap), then reduces the list of results with
+    ``aggregate``.  ``tolerate_faults`` drops failed branches instead of
+    propagating; if all branches fail, a fault is raised regardless.
+    """
+
+    branches: Sequence[Callable[..., Any]]
+    aggregate: Callable[[list[Any]], Any] = lambda results: results
+    tolerate_faults: bool = False
+    max_workers: Optional[int] = None
+
+    def __call__(self, **arguments: Any) -> Any:
+        if not self.branches:
+            raise CompositionError("scatter-gather has no branches")
+        results: list[Any] = []
+        errors: list[Exception] = []
+        with ThreadPoolExecutor(
+            max_workers=self.max_workers or len(self.branches)
+        ) as pool:
+            futures = [pool.submit(branch, **arguments) for branch in self.branches]
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception as exc:  # noqa: BLE001 - branch isolation
+                    if not self.tolerate_faults:
+                        raise
+                    errors.append(exc)
+        if not results:
+            raise CompositionError(
+                f"all {len(self.branches)} branches failed; first: {errors[0]}"
+            )
+        return self.aggregate(results)
+
+
+@dataclass
+class Router:
+    """Content-based router: the first predicate that matches wins."""
+
+    routes: Sequence[tuple[Callable[..., bool], Callable[..., Any]]]
+    default: Optional[Callable[..., Any]] = None
+
+    def __call__(self, **arguments: Any) -> Any:
+        for predicate, target in self.routes:
+            if predicate(**arguments):
+                return target(**arguments)
+        if self.default is not None:
+            return self.default(**arguments)
+        raise CompositionError(f"no route matched arguments {sorted(arguments)}")
+
+
+def compose(*stages: Callable[[Any], Any]) -> Callable[[Any], Any]:
+    """Classic function composition over single-value stages (left to right)."""
+    if not stages:
+        raise CompositionError("compose() needs at least one stage")
+
+    def composed(value: Any) -> Any:
+        for stage in stages:
+            value = stage(value)
+        return value
+
+    return composed

@@ -1,0 +1,193 @@
+"""Service contracts: the typed interface a service publishes.
+
+A :class:`ServiceContract` is the WSDL analogue of the curriculum stack —
+the machine-readable description a broker stores and a client proxy is
+generated from.  It lists typed :class:`Operation`\\ s, and can be
+serialized to / parsed from an XML contract document (see
+:mod:`repro.transport.wsdl`).
+
+The parameter type system is deliberately small (the databindable value
+universe): ``int, float, str, bool, bytes, list, dict, any, none``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from .faults import ContractViolation
+
+__all__ = ["Parameter", "Operation", "ServiceContract", "TYPE_NAMES", "check_type"]
+
+TYPE_NAMES = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+    "bytes": bytes,
+    "list": list,
+    "dict": dict,
+    "none": type(None),
+    "any": object,
+}
+
+_PY_TO_NAME = {
+    int: "int",
+    float: "float",
+    str: "str",
+    bool: "bool",
+    bytes: "bytes",
+    list: "list",
+    dict: "dict",
+    type(None): "none",
+}
+
+
+def type_name_for(annotation: Any) -> str:
+    """Map a Python annotation to a contract type name (default ``any``)."""
+    if annotation in _PY_TO_NAME:
+        return _PY_TO_NAME[annotation]
+    if annotation is Any:
+        return "any"
+    origin = getattr(annotation, "__origin__", None)
+    if origin in (list, tuple, Sequence):
+        return "list"
+    if origin is dict:
+        return "dict"
+    return "any"
+
+
+def check_type(value: Any, type_name: str) -> bool:
+    """Does ``value`` conform to the named contract type?
+
+    ``int`` accepts bool? No — bool is its own type here, matching how the
+    course teaches strict interface typing.  ``float`` accepts int (numeric
+    widening), ``any`` accepts everything, ``none`` only None.
+    """
+    if type_name == "any":
+        return True
+    if type_name == "none":
+        return value is None
+    expected = TYPE_NAMES.get(type_name)
+    if expected is None:
+        raise ContractViolation(f"unknown contract type {type_name!r}")
+    if type_name == "float":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if type_name == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if type_name == "list":
+        return isinstance(value, (list, tuple))
+    return isinstance(value, expected)
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One typed operation parameter."""
+
+    name: str
+    type: str = "any"
+    optional: bool = False
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if self.type not in TYPE_NAMES and self.type != "any":
+            raise ContractViolation(f"unknown parameter type {self.type!r}")
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A named operation with typed inputs and a typed result."""
+
+    name: str
+    parameters: tuple[Parameter, ...] = ()
+    returns: str = "any"
+    documentation: str = ""
+    idempotent: bool = False
+    requires_role: Optional[str] = None
+
+    def validate_arguments(self, arguments: dict[str, Any]) -> dict[str, Any]:
+        """Check + normalize call arguments against the signature.
+
+        Fills optional-parameter defaults, rejects extras, missing
+        requireds, and type mismatches.  Returns the complete bound map.
+        """
+        bound: dict[str, Any] = {}
+        names = {p.name for p in self.parameters}
+        for key in arguments:
+            if key not in names:
+                raise ContractViolation(
+                    f"operation {self.name!r} has no parameter {key!r}"
+                )
+        for parameter in self.parameters:
+            if parameter.name in arguments:
+                value = arguments[parameter.name]
+                if not check_type(value, parameter.type):
+                    raise ContractViolation(
+                        f"parameter {parameter.name!r} of {self.name!r} expects "
+                        f"{parameter.type}, got {type(value).__name__}"
+                    )
+                bound[parameter.name] = value
+            elif parameter.optional:
+                bound[parameter.name] = parameter.default
+            else:
+                raise ContractViolation(
+                    f"operation {self.name!r} missing required parameter {parameter.name!r}"
+                )
+        return bound
+
+    def validate_result(self, value: Any) -> Any:
+        if not check_type(value, self.returns):
+            raise ContractViolation(
+                f"operation {self.name!r} must return {self.returns}, "
+                f"got {type(value).__name__}"
+            )
+        return value
+
+
+@dataclass
+class ServiceContract:
+    """The published interface of a service.
+
+    Attributes:
+        name: service name, unique within a registry.
+        operations: by-name map of :class:`Operation`.
+        documentation: human-readable description (indexed by the
+            service search engine).
+        category: coarse repository category ("security", "commerce", ...).
+        version: contract version string.
+    """
+
+    name: str
+    operations: dict[str, Operation] = field(default_factory=dict)
+    documentation: str = ""
+    category: str = "general"
+    version: str = "1.0"
+
+    def add(self, operation: Operation) -> "ServiceContract":
+        if operation.name in self.operations:
+            raise ContractViolation(
+                f"duplicate operation {operation.name!r} in contract {self.name!r}"
+            )
+        self.operations[operation.name] = operation
+        return self
+
+    def operation(self, name: str) -> Operation:
+        from .faults import UnknownOperation
+
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise UnknownOperation(
+                f"service {self.name!r} has no operation {name!r}"
+            ) from None
+
+    def operation_names(self) -> list[str]:
+        return sorted(self.operations)
+
+    def describe(self) -> str:
+        """One-paragraph plain-text description (used in directory listings)."""
+        ops = ", ".join(
+            f"{op.name}({', '.join(p.name + ':' + p.type for p in op.parameters)}) -> {op.returns}"
+            for op in self.operations.values()
+        )
+        return f"{self.name} v{self.version} [{self.category}]: {self.documentation} Operations: {ops}"

@@ -1,0 +1,129 @@
+"""Contract evolution: backward-compatibility checking.
+
+§V's complaint about free public services: "Service interfaces and
+implementations can be modified too" — breaking deployed clients.  This
+module decides whether a new contract version can safely replace an old
+one for existing clients:
+
+A change is **backward compatible** iff every call that was valid
+against the old contract is valid against the new one and its result
+type still conforms:
+
+* removing an operation → breaking
+* adding a required parameter → breaking
+* removing a parameter clients may pass → breaking
+* narrowing a parameter type (e.g. any → int) → breaking
+* changing the return type (except widening to ``any``) → breaking
+* adding operations, adding optional parameters, widening parameter
+  types to ``any`` → compatible
+
+Used by :meth:`safe_republish` to let a broker refuse silently-breaking
+updates (the guard the paper's public directories lacked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .broker import Endpoint, ServiceBroker
+from .contracts import Operation, ServiceContract
+from .faults import ServiceFault
+
+__all__ = ["Incompatibility", "check_compatibility", "is_backward_compatible", "safe_republish"]
+
+
+@dataclass(frozen=True)
+class Incompatibility:
+    """One breaking change, locatable and explainable."""
+
+    operation: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.operation}: {self.reason}"
+
+
+def _type_widens(old: str, new: str) -> bool:
+    """May a value valid as ``old`` be passed where ``new`` is declared?"""
+    if old == new or new == "any":
+        return True
+    if old == "int" and new == "float":
+        return True  # numeric widening accepted by check_type
+    return False
+
+
+def _operation_changes(old: Operation, new: Operation) -> list[str]:
+    reasons = []
+    old_params = {p.name: p for p in old.parameters}
+    new_params = {p.name: p for p in new.parameters}
+    for name, parameter in new_params.items():
+        if name not in old_params and not parameter.optional:
+            reasons.append(f"new required parameter {name!r}")
+    for name, old_parameter in old_params.items():
+        new_parameter = new_params.get(name)
+        if new_parameter is None:
+            reasons.append(f"parameter {name!r} removed")
+            continue
+        if not _type_widens(old_parameter.type, new_parameter.type):
+            reasons.append(
+                f"parameter {name!r} narrowed {old_parameter.type} -> {new_parameter.type}"
+            )
+        if old_parameter.optional and not new_parameter.optional:
+            reasons.append(f"parameter {name!r} became required")
+    if not _type_widens(old.returns, new.returns):
+        reasons.append(f"return type changed {old.returns} -> {new.returns}")
+    if new.requires_role and new.requires_role != old.requires_role:
+        reasons.append(
+            f"now requires role {new.requires_role!r}"
+        )
+    return reasons
+
+
+def check_compatibility(
+    old: ServiceContract, new: ServiceContract
+) -> list[Incompatibility]:
+    """All breaking changes from ``old`` to ``new`` (empty = compatible)."""
+    problems: list[Incompatibility] = []
+    for name, old_operation in old.operations.items():
+        new_operation = new.operations.get(name)
+        if new_operation is None:
+            problems.append(Incompatibility(name, "operation removed"))
+            continue
+        for reason in _operation_changes(old_operation, new_operation):
+            problems.append(Incompatibility(name, reason))
+    return problems
+
+
+def is_backward_compatible(old: ServiceContract, new: ServiceContract) -> bool:
+    """Can ``new`` replace ``old`` without breaking existing clients?"""
+    return not check_compatibility(old, new)
+
+
+def safe_republish(
+    broker: ServiceBroker,
+    contract: ServiceContract,
+    endpoints: list[Endpoint] | Endpoint,
+    *,
+    provider: str = "anonymous",
+    lease_seconds: Optional[float] = None,
+):
+    """Publish, refusing breaking replacements of a live registration.
+
+    First publication always succeeds; a republication must be backward
+    compatible or a ``Broker.BreakingChange`` fault is raised listing
+    every incompatibility.
+    """
+    existing = broker.try_lookup(contract.name)
+    if existing is not None:
+        problems = check_compatibility(existing.contract, contract)
+        if problems:
+            detail = "; ".join(str(p) for p in problems)
+            raise ServiceFault(
+                f"republishing {contract.name!r} would break clients: {detail}",
+                code="Broker.BreakingChange",
+                detail=[str(p) for p in problems],
+            )
+    return broker.publish(
+        contract, endpoints, provider=provider, lease_seconds=lease_seconds
+    )

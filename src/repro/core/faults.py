@@ -1,0 +1,108 @@
+"""Fault model shared by all service bindings.
+
+SOC distinguishes *transport* failures (couldn't reach the provider) from
+*service faults* (the provider executed and reported an error).  Faults are
+serializable so they cross binding boundaries: a provider raising
+:class:`ServiceFault` surfaces as an equivalent fault at the client proxy,
+whatever the binding (in-process, SOAP-style, REST-style).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = [
+    "ServiceError",
+    "ServiceFault",
+    "ContractViolation",
+    "UnknownOperation",
+    "ServiceUnavailable",
+    "TransportError",
+    "TimeoutFault",
+    "AccessDenied",
+    "FAULT_CODES",
+    "fault_from_code",
+]
+
+
+class ServiceError(Exception):
+    """Base of every error raised by the service stack."""
+
+
+class ServiceFault(ServiceError):
+    """An application-level fault reported by a service operation.
+
+    Attributes:
+        code: machine-readable fault code (e.g. ``"Client.BadInput"``).
+        detail: optional structured detail payload (databindable value).
+    """
+
+    code = "Server"
+
+    def __init__(self, message: str, code: Optional[str] = None, detail: Any = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        self.detail = detail
+
+    @property
+    def message(self) -> str:
+        return str(self)
+
+
+class ContractViolation(ServiceFault):
+    """Request or response did not match the service contract."""
+
+    code = "Client.ContractViolation"
+
+
+class UnknownOperation(ServiceFault):
+    """The requested operation is not part of the contract."""
+
+    code = "Client.UnknownOperation"
+
+
+class ServiceUnavailable(ServiceFault):
+    """The provider exists but refuses work (overload, maintenance, circuit open)."""
+
+    code = "Server.Unavailable"
+
+
+class AccessDenied(ServiceFault):
+    """Caller lacks the permission the operation requires."""
+
+    code = "Client.AccessDenied"
+
+
+class TimeoutFault(ServiceFault):
+    """The invocation exceeded its deadline."""
+
+    code = "Server.Timeout"
+
+
+class TransportError(ServiceError):
+    """Message never reached (or never returned from) the provider."""
+
+
+FAULT_CODES: dict[str, type[ServiceFault]] = {
+    cls.code: cls
+    for cls in (
+        ServiceFault,
+        ContractViolation,
+        UnknownOperation,
+        ServiceUnavailable,
+        AccessDenied,
+        TimeoutFault,
+    )
+}
+
+
+def fault_from_code(code: str, message: str, detail: Any = None) -> ServiceFault:
+    """Rehydrate a fault from its serialized (code, message, detail) triple."""
+    cls = FAULT_CODES.get(code)
+    if cls is None:
+        fault = ServiceFault(message, code=code, detail=detail)
+        return fault
+    fault = cls(message, detail=detail)
+    fault.code = code
+    return fault

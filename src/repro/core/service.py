@@ -1,0 +1,305 @@
+"""Service implementation model: ``Service`` base class and ``@operation``.
+
+A service provider subclasses :class:`Service` and marks its public
+operations with :func:`operation`; the contract is derived automatically
+from the decorated signatures (names, annotations, defaults)::
+
+    class Calculator(Service):
+        "Arithmetic as a service."
+
+        @operation(idempotent=True)
+        def add(self, a: float, b: float) -> float:
+            "Add two numbers."
+            return a + b
+
+    host = ServiceHost(Calculator())
+    host.invoke("add", {"a": 1, "b": 2})   # -> 3
+
+The :class:`ServiceHost` is the provider-side dispatcher every binding
+funnels through: it validates requests against the contract, enforces
+role requirements, applies interceptors, and keeps invocation statistics
+(the QoS figures the broker reports).
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from .contracts import Operation, Parameter, ServiceContract, type_name_for
+from .faults import AccessDenied, ServiceError, ServiceFault
+
+__all__ = [
+    "operation",
+    "Service",
+    "ServiceHost",
+    "InvocationContext",
+    "InvocationStats",
+    "contract_from_callables",
+]
+
+
+def operation(
+    func: Optional[Callable] = None,
+    *,
+    idempotent: bool = False,
+    requires_role: Optional[str] = None,
+    name: Optional[str] = None,
+):
+    """Mark a method as a published service operation.
+
+    Usable bare (``@operation``) or with options
+    (``@operation(idempotent=True)``).
+    """
+
+    def mark(f: Callable) -> Callable:
+        f.__soc_operation__ = {
+            "idempotent": idempotent,
+            "requires_role": requires_role,
+            "name": name or f.__name__,
+        }
+        return f
+
+    if func is not None:
+        return mark(func)
+    return mark
+
+
+def _parameters_from_signature(func: Callable) -> tuple[Parameter, ...]:
+    signature = inspect.signature(func)
+    parameters = []
+    for parameter in signature.parameters.values():
+        if parameter.name == "self":
+            continue
+        if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+            raise ServiceFault(
+                f"operation {func.__name__!r} cannot use *args/**kwargs"
+            )
+        annotation = (
+            parameter.annotation
+            if parameter.annotation is not inspect.Parameter.empty
+            else Any
+        )
+        if isinstance(annotation, str):
+            annotation = {
+                "int": int, "float": float, "str": str, "bool": bool,
+                "bytes": bytes, "list": list, "dict": dict,
+            }.get(annotation, Any)
+        has_default = parameter.default is not inspect.Parameter.empty
+        parameters.append(
+            Parameter(
+                parameter.name,
+                type_name_for(annotation),
+                optional=has_default,
+                default=parameter.default if has_default else None,
+            )
+        )
+    return tuple(parameters)
+
+
+def _returns_from_signature(func: Callable) -> str:
+    signature = inspect.signature(func)
+    if signature.return_annotation is inspect.Signature.empty:
+        return "any"
+    annotation = signature.return_annotation
+    if isinstance(annotation, str):
+        annotation = {
+            "int": int, "float": float, "str": str, "bool": bool,
+            "bytes": bytes, "list": list, "dict": dict, "None": type(None),
+        }.get(annotation, Any)
+    if annotation is None:
+        annotation = type(None)
+    return type_name_for(annotation)
+
+
+class Service:
+    """Base class for service providers.
+
+    Subclasses define operations with :func:`operation`.  The derived
+    contract is available as :meth:`contract`; ``service_name`` and
+    ``category`` may be overridden as class attributes.
+    """
+
+    service_name: Optional[str] = None
+    category: str = "general"
+    version: str = "1.0"
+
+    @classmethod
+    def contract(cls) -> ServiceContract:
+        name = cls.service_name or cls.__name__
+        contract = ServiceContract(
+            name,
+            documentation=inspect.getdoc(cls) or "",
+            category=cls.category,
+            version=cls.version,
+        )
+        for attr_name in dir(cls):
+            member = getattr(cls, attr_name)
+            meta = getattr(member, "__soc_operation__", None)
+            if not meta:
+                continue
+            contract.add(
+                Operation(
+                    meta["name"],
+                    _parameters_from_signature(member),
+                    returns=_returns_from_signature(member),
+                    documentation=inspect.getdoc(member) or "",
+                    idempotent=meta["idempotent"],
+                    requires_role=meta["requires_role"],
+                )
+            )
+        return contract
+
+    def _operation_callables(self) -> dict[str, Callable]:
+        out = {}
+        for attr_name in dir(type(self)):
+            member = getattr(self, attr_name)
+            meta = getattr(member, "__soc_operation__", None)
+            if meta:
+                out[meta["name"]] = member
+        return out
+
+
+def contract_from_callables(
+    name: str,
+    callables: dict[str, Callable],
+    *,
+    documentation: str = "",
+    category: str = "general",
+) -> ServiceContract:
+    """Build a contract from plain functions (no Service subclass needed)."""
+    contract = ServiceContract(name, documentation=documentation, category=category)
+    for op_name, func in callables.items():
+        contract.add(
+            Operation(
+                op_name,
+                _parameters_from_signature(func),
+                returns=_returns_from_signature(func),
+                documentation=inspect.getdoc(func) or "",
+            )
+        )
+    return contract
+
+
+@dataclass
+class InvocationContext:
+    """Per-call metadata passed through interceptors.
+
+    ``principal`` and ``roles`` carry the authenticated caller (if any);
+    ``headers`` carries binding-level metadata (HTTP headers, SOAP header
+    blocks); ``properties`` is a scratch map for interceptors.
+    """
+
+    operation: str
+    principal: Optional[str] = None
+    roles: frozenset[str] = frozenset()
+    headers: dict[str, str] = field(default_factory=dict)
+    properties: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class InvocationStats:
+    """Provider-side QoS counters, aggregated per operation."""
+
+    calls: int = 0
+    faults: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of calls completing without fault (1.0 when unused)."""
+        return 1.0 - (self.faults / self.calls) if self.calls else 1.0
+
+
+Interceptor = Callable[[InvocationContext, dict[str, Any]], None]
+
+
+class ServiceHost:
+    """Dispatches invocations onto a :class:`Service` instance.
+
+    All bindings (in-process bus, SOAP endpoint, REST endpoint) route
+    through :meth:`invoke`, so contract validation, access control and
+    statistics behave identically regardless of the wire format — the
+    "same service, many bindings" property §V of the paper highlights.
+    """
+
+    def __init__(self, service: Service, *, validate_results: bool = True) -> None:
+        self.service = service
+        self.contract = service.contract()
+        self.validate_results = validate_results
+        self._callables = service._operation_callables()
+        self._interceptors: list[Interceptor] = []
+        self._stats: dict[str, InvocationStats] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return self.contract.name
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Interceptors run before dispatch; raise to veto the call."""
+        self._interceptors.append(interceptor)
+
+    def invoke(
+        self,
+        operation_name: str,
+        arguments: Optional[dict[str, Any]] = None,
+        context: Optional[InvocationContext] = None,
+    ) -> Any:
+        """Validate and execute one operation call."""
+        op = self.contract.operation(operation_name)
+        ctx = context or InvocationContext(operation_name)
+        if op.requires_role and op.requires_role not in ctx.roles:
+            self._record(operation_name, 0.0, fault=True)
+            raise AccessDenied(
+                f"operation {operation_name!r} requires role {op.requires_role!r}"
+            )
+        bound = op.validate_arguments(arguments or {})
+        for interceptor in self._interceptors:
+            interceptor(ctx, bound)
+        start = time.perf_counter()
+        try:
+            result = self._callables[operation_name](**bound)
+        except ServiceError:
+            self._record(operation_name, time.perf_counter() - start, fault=True)
+            raise
+        except Exception as exc:
+            self._record(operation_name, time.perf_counter() - start, fault=True)
+            raise ServiceFault(
+                f"operation {operation_name!r} failed: {exc}", code="Server.Internal"
+            ) from exc
+        elapsed = time.perf_counter() - start
+        self._record(operation_name, elapsed, fault=False)
+        if self.validate_results:
+            op.validate_result(result)
+        return result
+
+    def _record(self, operation_name: str, seconds: float, *, fault: bool) -> None:
+        with self._lock:
+            stats = self._stats.setdefault(operation_name, InvocationStats())
+            stats.calls += 1
+            stats.total_seconds += seconds
+            stats.max_seconds = max(stats.max_seconds, seconds)
+            if fault:
+                stats.faults += 1
+
+    def stats(self, operation_name: Optional[str] = None) -> InvocationStats:
+        """Stats for one operation, or aggregated over all operations."""
+        with self._lock:
+            if operation_name is not None:
+                return self._stats.get(operation_name, InvocationStats())
+            total = InvocationStats()
+            for stats in self._stats.values():
+                total.calls += stats.calls
+                total.faults += stats.faults
+                total.total_seconds += stats.total_seconds
+                total.max_seconds = max(total.max_seconds, stats.max_seconds)
+            return total

@@ -1,0 +1,29 @@
+"""Curriculum analytics: Tables 1-5 verbatim data, ACM/Bloom coverage
+mapping, enrollment trends (Figure 5) and evaluation-score analysis."""
+
+from .data import (
+    ACM_TABLE_1_PROGRAMMING,
+    ACM_TABLE_2_ALGORITHMS,
+    ACM_TABLE_3_CROSS_CUTTING,
+    BLOOM_LEVELS,
+    ENROLLMENT_TABLE_4,
+    EVALUATION_TABLE_5,
+    AcmTopic,
+    EnrollmentRecord,
+    EvaluationRecord,
+)
+from .enrollment import EnrollmentAnalysis, TrendFit, linear_fit
+from .evaluation import EvaluationAnalysis
+from .acm import CurriculumMap, DEFAULT_TOPIC_MODULES, TopicCoverage, all_topics
+from .textbook import Chapter, TEXTBOOK_CHAPTERS, chapter_coverage, chapters_for_course
+
+__all__ = [
+    "EnrollmentRecord", "EvaluationRecord", "AcmTopic",
+    "ENROLLMENT_TABLE_4", "EVALUATION_TABLE_5",
+    "ACM_TABLE_1_PROGRAMMING", "ACM_TABLE_2_ALGORITHMS", "ACM_TABLE_3_CROSS_CUTTING",
+    "BLOOM_LEVELS",
+    "EnrollmentAnalysis", "TrendFit", "linear_fit",
+    "EvaluationAnalysis",
+    "CurriculumMap", "TopicCoverage", "DEFAULT_TOPIC_MODULES", "all_topics",
+    "Chapter", "TEXTBOOK_CHAPTERS", "chapters_for_course", "chapter_coverage",
+]

@@ -1,0 +1,124 @@
+"""ACM/TCPP topic coverage analytics (Tables 1–3).
+
+"All ASU classes are designed based on ACM CS curriculum.  This course
+covers the ACM CS topics listed in Tables 1, 2 and 3, which relate the
+topics to the Learning Objectives in Bloom's Taxonomy."
+
+:class:`CurriculumMap` links each table topic to the repro modules that
+implement it, computes coverage per Bloom level, and regenerates the
+three tables — the Tables 1–3 "experiment".
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .data import (
+    ACM_TABLE_1_PROGRAMMING,
+    ACM_TABLE_2_ALGORITHMS,
+    ACM_TABLE_3_CROSS_CUTTING,
+    BLOOM_LEVELS,
+    AcmTopic,
+)
+
+__all__ = ["TopicCoverage", "CurriculumMap", "DEFAULT_TOPIC_MODULES", "all_topics"]
+
+
+def all_topics() -> tuple[AcmTopic, ...]:
+    """Every Tables 1-3 topic, concatenated in table order."""
+    return ACM_TABLE_1_PROGRAMMING + ACM_TABLE_2_ALGORITHMS + ACM_TABLE_3_CROSS_CUTTING
+
+
+#: which repro modules realize each topic (the per-topic evidence)
+DEFAULT_TOPIC_MODULES: dict[str, tuple[str, ...]] = {
+    "Client Server": ("repro.core.bus", "repro.transport.soap", "repro.transport.rest"),
+    "Task/thread spawning": ("repro.parallelism.tasks", "repro.parallelism.parallel"),
+    "Libraries": ("repro.parallelism.tasks",),
+    "Tasks and threads": ("repro.parallelism.machine", "repro.parallelism.metrics"),
+    "Synchronization": ("repro.parallelism.sync",),
+    "Performance metrics": ("repro.parallelism.metrics",),
+    "Speedup": ("repro.parallelism.metrics", "repro.parallelism.collatz"),
+    "Scalability in algorithms and architectures": ("repro.parallelism.machine",),
+    "Dependencies": ("repro.web.caching",),
+    "Cloud": ("repro.core.broker", "repro.services.catalog"),
+    "P2P": ("repro.directory.webgraph", "repro.directory.crawler"),
+    "Security in Distributed Systems": ("repro.security.auth", "repro.security.access"),
+    "Web services": ("repro.transport.soap", "repro.transport.rest", "repro.services.catalog"),
+}
+
+
+@dataclass
+class TopicCoverage:
+    topic: AcmTopic
+    modules: tuple[str, ...]
+    modules_importable: bool
+
+    @property
+    def covered(self) -> bool:
+        return bool(self.modules) and self.modules_importable
+
+
+class CurriculumMap:
+    """Topic → implementing-module map with coverage computation."""
+
+    def __init__(
+        self,
+        topics: Optional[Sequence[AcmTopic]] = None,
+        topic_modules: Optional[dict[str, tuple[str, ...]]] = None,
+    ) -> None:
+        self.topics = tuple(topics) if topics is not None else all_topics()
+        self.topic_modules = dict(topic_modules or DEFAULT_TOPIC_MODULES)
+
+    def coverage(self) -> list[TopicCoverage]:
+        out = []
+        for topic in self.topics:
+            modules = self.topic_modules.get(topic.topic, ())
+            importable = bool(modules)
+            for module_name in modules:
+                try:
+                    importlib.import_module(module_name)
+                except ImportError:
+                    importable = False
+                    break
+            out.append(TopicCoverage(topic, modules, importable))
+        return out
+
+    def coverage_fraction(self) -> float:
+        rows = self.coverage()
+        return sum(1 for row in rows if row.covered) / len(rows) if rows else 0.0
+
+    def by_bloom_level(self) -> dict[str, list[AcmTopic]]:
+        out: dict[str, list[AcmTopic]] = {level: [] for level in BLOOM_LEVELS}
+        for topic in self.topics:
+            for level in topic.bloom_levels():
+                out.setdefault(level, []).append(topic)
+        return out
+
+    def bloom_histogram(self) -> dict[str, int]:
+        return {level: len(topics) for level, topics in self.by_bloom_level().items()}
+
+    def uncovered(self) -> list[str]:
+        return [row.topic.topic for row in self.coverage() if not row.covered]
+
+    # -- table regeneration -------------------------------------------------
+    def render_table(self, table_number: int) -> str:
+        titles = {
+            1: "Table 1. ACM CS Programming topics",
+            2: "Table 2. Algorithms topics",
+            3: "Table 3. Cross cutting and advanced topics",
+        }
+        if table_number not in titles:
+            raise ValueError("table_number must be 1, 2 or 3")
+        rows = [t for t in self.topics if t.table == table_number]
+        lines = [titles[table_number], f"{'Topic':<45} {'Bloom':<6} Learning Outcome"]
+        for topic in rows:
+            outcome = topic.learning_outcome
+            if len(outcome) > 60:
+                outcome = outcome[:57] + "..."
+            lines.append(f"{topic.topic:<45} {topic.bloom:<6} {outcome}")
+        return "\n".join(lines)
+
+    def render_all_tables(self) -> str:
+        return "\n\n".join(self.render_table(i) for i in (1, 2, 3))

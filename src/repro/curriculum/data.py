@@ -1,0 +1,167 @@
+"""Verbatim data from the paper's tables.
+
+Table 4 (CSE445/598 enrollments since Fall 2006), Table 5 (student
+evaluation scores), and Tables 1–3 (ACM CS topics with Bloom levels).
+The analytics modules recompute every derived figure from these records;
+tests pin the paper's headline numbers (39 → 134 combined enrollment,
+scores in [3.69, 4.81]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "EnrollmentRecord",
+    "EvaluationRecord",
+    "AcmTopic",
+    "ENROLLMENT_TABLE_4",
+    "EVALUATION_TABLE_5",
+    "ACM_TABLE_1_PROGRAMMING",
+    "ACM_TABLE_2_ALGORITHMS",
+    "ACM_TABLE_3_CROSS_CUTTING",
+    "BLOOM_LEVELS",
+]
+
+
+@dataclass(frozen=True)
+class EnrollmentRecord:
+    """One Table 4 row."""
+
+    year: int
+    semester: str  # "Spring" | "Fall"
+    cse445: int
+    cse598: int
+
+    @property
+    def total(self) -> int:
+        return self.cse445 + self.cse598
+
+    @property
+    def term_key(self) -> tuple[int, int]:
+        """Chronological sort key (Spring before Fall within a year)."""
+        return (self.year, 0 if self.semester == "Spring" else 1)
+
+    @property
+    def label(self) -> str:
+        return f"{self.semester} {self.year}"
+
+
+# Table 4. CSE445/598 enrollments since Fall 2006
+ENROLLMENT_TABLE_4: tuple[EnrollmentRecord, ...] = (
+    EnrollmentRecord(2006, "Fall", 25, 14),
+    EnrollmentRecord(2007, "Spring", 16, 16),
+    EnrollmentRecord(2007, "Fall", 24, 21),
+    EnrollmentRecord(2008, "Spring", 39, 8),
+    EnrollmentRecord(2008, "Fall", 35, 23),
+    EnrollmentRecord(2009, "Spring", 38, 13),
+    EnrollmentRecord(2009, "Fall", 33, 10),
+    EnrollmentRecord(2010, "Spring", 38, 22),
+    EnrollmentRecord(2010, "Fall", 42, 34),
+    EnrollmentRecord(2011, "Spring", 50, 20),
+    EnrollmentRecord(2011, "Fall", 30, 52),
+    EnrollmentRecord(2012, "Spring", 52, 15),
+    EnrollmentRecord(2012, "Fall", 42, 35),
+    EnrollmentRecord(2013, "Spring", 55, 38),
+    EnrollmentRecord(2013, "Fall", 44, 90),
+    EnrollmentRecord(2014, "Spring", 50, 62),
+)
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One Table 5 row (scores out of 5.0)."""
+
+    year: int
+    semester: str
+    score_445: float
+    score_598: float
+
+    @property
+    def term_key(self) -> tuple[int, int]:
+        return (self.year, 0 if self.semester == "Spring" else 1)
+
+    @property
+    def label(self) -> str:
+        return f"{self.semester} {self.year}"
+
+
+# Table 5. CSE445/598 student evaluation scores
+EVALUATION_TABLE_5: tuple[EvaluationRecord, ...] = (
+    EvaluationRecord(2006, "Fall", 3.69, 4.37),
+    EvaluationRecord(2007, "Spring", 3.99, 4.13),
+    EvaluationRecord(2007, "Fall", 4.03, 4.33),
+    EvaluationRecord(2008, "Fall", 4.52, 4.81),
+    EvaluationRecord(2009, "Spring", 4.22, 4.37),
+    EvaluationRecord(2010, "Spring", 4.44, 4.46),
+    EvaluationRecord(2010, "Fall", 4.56, 4.63),
+    EvaluationRecord(2011, "Spring", 4.49, 4.52),
+    EvaluationRecord(2011, "Fall", 4.44, 4.53),
+    EvaluationRecord(2012, "Spring", 4.55, 4.66),
+    EvaluationRecord(2012, "Fall", 4.36, 4.6),
+    EvaluationRecord(2013, "Spring", 4.13, 4.50),
+    EvaluationRecord(2013, "Fall", 4.17, 4.63),
+)
+
+#: Bloom's Taxonomy abbreviations used in Tables 1-3
+BLOOM_LEVELS = {"K": "Knowledge", "C": "Comprehension", "A": "Application"}
+
+
+@dataclass(frozen=True)
+class AcmTopic:
+    """One row of Tables 1-3: an ACM CS topic with its Bloom level."""
+
+    table: int
+    topic: str
+    bloom: str  # subset of "KCA", e.g. "K" or "K,A"
+    learning_outcome: str
+
+    def bloom_levels(self) -> tuple[str, ...]:
+        return tuple(level.strip() for level in self.bloom.split(","))
+
+
+ACM_TABLE_1_PROGRAMMING: tuple[AcmTopic, ...] = (
+    AcmTopic(1, "Client Server", "C",
+             "Know notions of invoking and providing services (e.g., RPC, RMI, "
+             "web services) - understand these as concurrent processes."),
+    AcmTopic(1, "Task/thread spawning", "A",
+             "Be able to write correct programs with threads, synchronize "
+             "(fork-join, producer/consumer, etc.), use dynamic threads."),
+    AcmTopic(1, "Libraries", "A",
+             "Know one in detail, and know of the existence of some other example "
+             "libraries such as Pthreads, Pfunc, Intel's TBB, Microsoft's TPL."),
+    AcmTopic(1, "Tasks and threads", "K",
+             "Know the relationship between number of tasks/threads/processes and "
+             "processors/cores for performance and impact of context switching."),
+    AcmTopic(1, "Synchronization", "A",
+             "Be able to write shared memory programs with critical regions, "
+             "producer-consumer, and get speedup; know monitors, semaphores."),
+    AcmTopic(1, "Performance metrics", "C",
+             "Know the basic definitions of performance metrics (speedup, "
+             "efficiency, work, cost), Amdahl's law; know the notions of scalability."),
+)
+
+ACM_TABLE_2_ALGORITHMS: tuple[AcmTopic, ...] = (
+    AcmTopic(2, "Speedup", "C",
+             "Use parallelism either to solve same problem faster or to solve "
+             "larger problem in same time."),
+    AcmTopic(2, "Scalability in algorithms and architectures", "K",
+             "Understand that more processors does not always mean faster "
+             "execution; inherent sequentiality; DAG representation."),
+    AcmTopic(2, "Dependencies", "K,A",
+             "Understand the impact of dependencies and be able to define data "
+             "dependencies in Web caching applications."),
+)
+
+ACM_TABLE_3_CROSS_CUTTING: tuple[AcmTopic, ...] = (
+    AcmTopic(3, "Cloud", "K",
+             "Know that both are shared distributed resources - cloud is "
+             "distinguished by on-demand, virtualized, service-oriented resources."),
+    AcmTopic(3, "P2P", "K",
+             "Server and client roles of nodes with distributed data."),
+    AcmTopic(3, "Security in Distributed Systems", "K",
+             "Know that distributed systems are more vulnerable to privacy and "
+             "security threats; distributed attack modes; privacy/security tension."),
+    AcmTopic(3, "Web services", "A",
+             "Be able to develop Web services and service clients to invoke services."),
+)

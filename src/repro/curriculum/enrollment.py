@@ -1,0 +1,122 @@
+"""Enrollment analytics: Table 4 rows, Figure 5 series, trend statistics.
+
+"Both sections show significant increases from 2006 to 2014.  The
+combined enrollment has increased from 39 in Fall 2006 to 134 in Fall
+2013."  This module regenerates the table, the three Figure 5 series,
+and the least-squares trend that quantifies "significant increase".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .data import ENROLLMENT_TABLE_4, EnrollmentRecord
+
+__all__ = ["TrendFit", "EnrollmentAnalysis", "linear_fit"]
+
+
+@dataclass(frozen=True)
+class TrendFit:
+    """Least-squares line y = slope * x + intercept with r²."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(ys: Sequence[float]) -> TrendFit:
+    """Fit y over x = 0..n-1 (term index)."""
+    n = len(ys)
+    if n < 2:
+        raise ValueError("need at least two points")
+    xs = range(n)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_total = sum((y - mean_y) ** 2 for y in ys)
+    ss_residual = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    r_squared = 1.0 - ss_residual / ss_total if ss_total else 1.0
+    return TrendFit(slope, intercept, r_squared)
+
+
+class EnrollmentAnalysis:
+    """All Figure 5 / Table 4 derived quantities."""
+
+    def __init__(self, records: Sequence[EnrollmentRecord] = ENROLLMENT_TABLE_4) -> None:
+        if not records:
+            raise ValueError("no enrollment records")
+        self.records = sorted(records, key=lambda r: r.term_key)
+
+    # -- Table 4 ------------------------------------------------------------
+    def table_rows(self) -> list[tuple[str, int, int, int]]:
+        """(term, 445, 598, total) rows in chronological order."""
+        return [
+            (record.label, record.cse445, record.cse598, record.total)
+            for record in self.records
+        ]
+
+    def render_table(self) -> str:
+        lines = [
+            "Table 4. CSE445/598 enrollments since Fall 2006",
+            f"{'term':<12} {'445':>5} {'598':>5} {'total':>6}",
+        ]
+        for label, a, b, total in self.table_rows():
+            lines.append(f"{label:<12} {a:>5} {b:>5} {total:>6}")
+        return "\n".join(lines)
+
+    # -- Figure 5 series ------------------------------------------------------
+    def series(self) -> dict[str, list[int]]:
+        """The three plotted series: CSE445, CSE598, Combined."""
+        return {
+            "CSE445": [r.cse445 for r in self.records],
+            "CSE598": [r.cse598 for r in self.records],
+            "Combined": [r.total for r in self.records],
+        }
+
+    def labels(self) -> list[str]:
+        return [r.label for r in self.records]
+
+    # -- headline numbers -----------------------------------------------------
+    def first_term_total(self) -> int:
+        return self.records[0].total
+
+    def total_for(self, year: int, semester: str) -> Optional[int]:
+        for record in self.records:
+            if record.year == year and record.semester == semester:
+                return record.total
+        return None
+
+    def peak(self) -> tuple[str, int]:
+        best = max(self.records, key=lambda r: r.total)
+        return best.label, best.total
+
+    def growth_factor(self) -> float:
+        """Last combined total over first (the 39 → 112/134 claim)."""
+        return self.records[-1].total / self.records[0].total
+
+    def combined_trend(self) -> TrendFit:
+        return linear_fit([r.total for r in self.records])
+
+    def section_trends(self) -> dict[str, TrendFit]:
+        return {
+            "CSE445": linear_fit([r.cse445 for r in self.records]),
+            "CSE598": linear_fit([r.cse598 for r in self.records]),
+        }
+
+    def fall_totals(self) -> list[tuple[int, int]]:
+        return [(r.year, r.total) for r in self.records if r.semester == "Fall"]
+
+    def significant_increase(self) -> bool:
+        """The paper's claim, operationalized: positive slope with r² > 0.5
+        on the combined series."""
+        fit = self.combined_trend()
+        return fit.slope > 0 and fit.r_squared > 0.5

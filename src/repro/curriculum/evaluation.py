@@ -1,0 +1,77 @@
+"""Evaluation-score analytics (Table 5).
+
+The paper's claims to verify: scores on a 5-point scale; the graduate
+section (598) rates at or above the undergraduate (445) section every
+semester; scores trend upward from the Fall 2006 low of 3.69.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .data import EVALUATION_TABLE_5, EvaluationRecord
+from .enrollment import TrendFit, linear_fit
+
+__all__ = ["EvaluationAnalysis"]
+
+
+class EvaluationAnalysis:
+    """Derived statistics over Table 5."""
+
+    def __init__(self, records: Sequence[EvaluationRecord] = EVALUATION_TABLE_5) -> None:
+        if not records:
+            raise ValueError("no evaluation records")
+        self.records = sorted(records, key=lambda r: r.term_key)
+
+    def table_rows(self) -> list[tuple[str, float, float]]:
+        return [(r.label, r.score_445, r.score_598) for r in self.records]
+
+    def render_table(self) -> str:
+        lines = [
+            "Table 5. CSE445/598 student evaluation scores",
+            f"{'term':<12} {'445':>6} {'598':>6}",
+        ]
+        for label, a, b in self.table_rows():
+            lines.append(f"{label:<12} {a:>6.2f} {b:>6.2f}")
+        return "\n".join(lines)
+
+    # -- aggregates ---------------------------------------------------------
+    def mean_445(self) -> float:
+        return sum(r.score_445 for r in self.records) / len(self.records)
+
+    def mean_598(self) -> float:
+        return sum(r.score_598 for r in self.records) / len(self.records)
+
+    def score_range(self) -> tuple[float, float]:
+        scores = [r.score_445 for r in self.records] + [
+            r.score_598 for r in self.records
+        ]
+        return min(scores), max(scores)
+
+    def grad_always_at_least_undergrad(self) -> bool:
+        """598 ≥ 445 in every semester (holds in the paper's data)."""
+        return all(r.score_598 >= r.score_445 for r in self.records)
+
+    def trend_445(self) -> TrendFit:
+        return linear_fit([r.score_445 for r in self.records])
+
+    def trend_598(self) -> TrendFit:
+        return linear_fit([r.score_598 for r in self.records])
+
+    def improved_since_first_offering(self) -> bool:
+        """Mean of the last 4 semesters above the first offering's score."""
+        recent = self.records[-4:]
+        recent_mean = sum(r.score_445 for r in recent) / len(recent)
+        return recent_mean > self.records[0].score_445
+
+    def verdict(self, score: float) -> str:
+        """The paper's rubric: 5 very good, 4 good, 3 fair, 2 poor."""
+        if not 0 <= score <= 5:
+            raise ValueError("score must be in [0, 5]")
+        if score >= 4.5:
+            return "very good"
+        if score >= 3.5:
+            return "good"
+        if score >= 2.5:
+            return "fair"
+        return "poor"

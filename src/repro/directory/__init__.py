@@ -1,0 +1,18 @@
+"""Service directory (§V): synthetic provider web, service crawler,
+tf-idf search engine, and registration desk with web frontend."""
+
+from .webgraph import Page, WebGraph, synthetic_service_web
+from .crawler import CrawlReport, ServiceCrawler
+from .search import SearchHit, ServiceSearchEngine
+from .registration import RegistrationDesk, RegistrationError, registration_routes
+from .classification import SERVICE_TAXONOMY, ServiceClassifier
+from .htmlview import directory_page_handler, render_contract_html, render_directory_html
+
+__all__ = [
+    "Page", "WebGraph", "synthetic_service_web",
+    "ServiceCrawler", "CrawlReport",
+    "ServiceSearchEngine", "SearchHit",
+    "RegistrationDesk", "RegistrationError", "registration_routes",
+    "ServiceClassifier", "SERVICE_TAXONOMY",
+    "render_contract_html", "render_directory_html", "directory_page_handler",
+]

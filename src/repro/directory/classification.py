@@ -1,0 +1,137 @@
+"""Ontology-backed classification of the service directory.
+
+CSE446 unit 6 applied to unit 5's directory: crawled contracts are
+asserted into a service ontology (category → class hierarchy), RDFS
+inference rolls instances up the hierarchy, and classification queries
+("all financial services", "every service offering a conversion
+operation") run over the triple store instead of string matching.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.contracts import ServiceContract
+from ..semantic.triples import Ontology, RDF_TYPE
+
+__all__ = ["SERVICE_TAXONOMY", "ServiceClassifier"]
+
+#: class -> parent; the teaching taxonomy for crawled categories
+SERVICE_TAXONOMY: dict[str, Optional[str]] = {
+    "Service": None,
+    "InformationService": "Service",
+    "FinancialService": "Service",
+    "CommunicationService": "Service",
+    "UtilityService": "Service",
+    "GeoService": "InformationService",
+    "WeatherService": "InformationService",
+    "StockService": "FinancialService",
+    "CurrencyService": "FinancialService",
+    "MortgageService": "FinancialService",
+    "SmsService": "CommunicationService",
+    "TranslatorService": "CommunicationService",
+    "CalculatorService": "UtilityService",
+    "SpellcheckService": "UtilityService",
+    "BarcodeService": "UtilityService",
+    "ZipcodeService": "GeoService",
+    "GeocoderService": "GeoService",
+}
+
+#: crawled category string -> ontology class
+CATEGORY_TO_CLASS: dict[str, str] = {
+    "weather": "WeatherService",
+    "stock": "StockService",
+    "currency": "CurrencyService",
+    "finance": "FinancialService",
+    "sms": "SmsService",
+    "translator": "TranslatorService",
+    "calculator": "CalculatorService",
+    "spellcheck": "SpellcheckService",
+    "barcode": "BarcodeService",
+    "zipcode": "ZipcodeService",
+    "geocoder": "GeocoderService",
+}
+
+
+class ServiceClassifier:
+    """Asserts contracts into the taxonomy and answers class queries."""
+
+    def __init__(self, taxonomy: Optional[dict[str, Optional[str]]] = None) -> None:
+        self.ontology = Ontology()
+        taxonomy = taxonomy or SERVICE_TAXONOMY
+        # declare parents before children
+        declared: set[str] = set()
+
+        def declare(cls: str) -> None:
+            if cls in declared:
+                return
+            parent = taxonomy[cls]
+            if parent is not None:
+                declare(parent)
+            self.ontology.declare_class(cls, parent=parent)
+            declared.add(cls)
+
+        for cls in taxonomy:
+            declare(cls)
+        self.ontology.declare_property(
+            "offersOperation", domain="Service", range_="Operation"
+        )
+        self.ontology.declare_property("providedBy", domain="Service")
+        self._inferred = False
+
+    def classify(self, contract: ServiceContract, *, provider: Optional[str] = None) -> str:
+        """Assert one contract; returns the class it was filed under."""
+        cls = CATEGORY_TO_CLASS.get(contract.category.lower(), "Service")
+        self.ontology.assert_instance(contract.name, cls)
+        for operation_name in contract.operations:
+            self.ontology.assert_fact(
+                contract.name, "offersOperation", f"op:{operation_name}"
+            )
+        if provider:
+            self.ontology.assert_fact(contract.name, "providedBy", provider)
+        self._inferred = False
+        return cls
+
+    def classify_many(
+        self, contracts: Iterable[ServiceContract]
+    ) -> dict[str, str]:
+        return {c.name: self.classify(c) for c in contracts}
+
+    def _ensure_inferred(self) -> None:
+        if not self._inferred:
+            self.ontology.infer()
+            self._inferred = True
+
+    # -- queries ---------------------------------------------------------
+    def services_of_class(self, cls: str) -> list[str]:
+        """All services filed under ``cls`` or any subclass (via inference)."""
+        self._ensure_inferred()
+        return [
+            name
+            for name in self.ontology.instances_of(cls)
+            if not name.startswith("op:")
+        ]
+
+    def services_offering(self, operation_name: str) -> list[str]:
+        self._ensure_inferred()
+        bindings = self.ontology.store.query(
+            [("?service", "offersOperation", f"op:{operation_name}")]
+        )
+        return sorted({b["?service"] for b in bindings})
+
+    def classes_of(self, service_name: str) -> list[str]:
+        self._ensure_inferred()
+        return [
+            cls
+            for cls in self.ontology.classes_of(service_name)
+            if cls in SERVICE_TAXONOMY
+        ]
+
+    def classification_report(self) -> dict[str, int]:
+        """Top-level class → number of (direct + inferred) services."""
+        self._ensure_inferred()
+        report = {}
+        for cls, parent in SERVICE_TAXONOMY.items():
+            if parent == "Service" or cls == "Service":
+                report[cls] = len(self.services_of_class(cls))
+        return report

@@ -1,0 +1,75 @@
+"""HTML rendering of directory listings via the XSLT engine.
+
+The venus directory had human-facing pages beside the machine-facing
+XML.  Here the human view is *generated from the contract documents by a
+stylesheet* — the XML stack eating its own dog food: contracts serialize
+through :mod:`repro.transport.wsdl`, the stylesheet below transforms
+them, and the result mounts as a web page.
+"""
+
+from __future__ import annotations
+
+from ..core.contracts import ServiceContract
+from ..transport.http11 import HttpRequest, HttpResponse
+from ..transport.wsdl import contract_to_element
+from ..xmlkit import Element, Stylesheet
+
+__all__ = ["CONTRACT_STYLESHEET", "render_contract_html", "render_directory_html", "directory_page_handler"]
+
+#: transforms one <contract> document into an HTML card
+CONTRACT_STYLESHEET = Stylesheet.from_xml(
+    """
+<stylesheet>
+  <template match="contract">
+    <div class="contract">
+      <h2><value-of select="@name"/> <small>v<value-of select="@version"/></small></h2>
+      <p class="category">category: <value-of select="@category"/></p>
+      <p class="docs"><value-of select="documentation"/></p>
+      <table class="operations">
+        <for-each select="operation">
+          <tr>
+            <td class="op"><value-of select="@name"/></td>
+            <td class="params">
+              <for-each select="parameter">
+                <span class="param"><value-of select="@name"/>:<value-of select="@type"/> </span>
+              </for-each>
+            </td>
+            <td class="returns"><value-of select="@returns"/></td>
+          </tr>
+        </for-each>
+      </table>
+    </div>
+  </template>
+</stylesheet>
+"""
+)
+
+
+def render_contract_html(contract: ServiceContract) -> str:
+    """One contract as an HTML card (via the XSLT engine)."""
+    return CONTRACT_STYLESHEET.apply_to_string(contract_to_element(contract))
+
+
+def render_directory_html(contracts: list[ServiceContract], *, title: str = "Service Directory") -> str:
+    """A full directory page: every contract card inside an HTML shell."""
+    cards = "".join(render_contract_html(c) for c in sorted(contracts, key=lambda c: c.name))
+    head = Element("title", text=title).toxml()
+    return (
+        f"<html><head>{head}</head><body>"
+        f"<h1>{title}</h1><p>{len(contracts)} services</p>{cards}</body></html>"
+    )
+
+
+def directory_page_handler(get_contracts):
+    """An HTTP handler serving the rendered directory at ``/directory``.
+
+    ``get_contracts`` is a zero-arg callable returning the current
+    contract list (e.g. bound to a search engine or registration desk).
+    """
+
+    def handler(request: HttpRequest) -> HttpResponse:
+        if request.path != "/directory":
+            return HttpResponse.error(404)
+        return HttpResponse.html_response(render_directory_html(get_contracts()))
+
+    return handler

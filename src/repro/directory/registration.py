@@ -1,0 +1,151 @@
+"""Service registration — the ServiceRegister.aspx analogue.
+
+"We also offered a registration page for anyone to list their services
+into the service directory."  :class:`RegistrationDesk` validates a
+submitted contract document, dedupes, indexes into the search engine and
+optionally verifies the claimed endpoint is fetchable before accepting.
+
+:func:`registration_routes` wires the desk into a
+:class:`~repro.transport.rest.RestRouter` so the whole directory runs as
+a web frontend in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.contracts import ServiceContract
+from ..core.faults import ContractViolation
+from ..transport.http11 import HttpRequest, HttpResponse
+from ..transport.rest import RestRouter
+from ..transport.wsdl import contract_from_xml, contract_to_xml
+from ..xmlkit import Element, XMLSyntaxError, escape_text
+from .search import ServiceSearchEngine
+from .webgraph import WebGraph
+
+__all__ = ["RegistrationError", "RegistrationDesk", "registration_routes"]
+
+
+class RegistrationError(ValueError):
+    """Rejected registration, with a reason the submitter can act on."""
+
+
+@dataclass
+class _Record:
+    contract: ServiceContract
+    submitter: str
+    endpoint_url: Optional[str]
+
+
+class RegistrationDesk:
+    """Validates and records third-party service registrations."""
+
+    def __init__(
+        self,
+        engine: ServiceSearchEngine,
+        *,
+        verify_against: Optional[WebGraph] = None,
+    ) -> None:
+        self.engine = engine
+        self.verify_against = verify_against
+        self._records: dict[str, _Record] = {}
+        self.rejected = 0
+
+    def register_xml(
+        self,
+        contract_xml: str,
+        *,
+        submitter: str = "anonymous",
+        endpoint_url: Optional[str] = None,
+    ) -> ServiceContract:
+        """Validate and index a contract document; returns the contract."""
+        try:
+            contract = contract_from_xml(contract_xml)
+        except (ContractViolation, XMLSyntaxError) as exc:
+            self.rejected += 1
+            raise RegistrationError(f"invalid contract document: {exc}") from exc
+        if not contract.operations:
+            self.rejected += 1
+            raise RegistrationError("contract declares no operations")
+        if contract.name in self._records:
+            self.rejected += 1
+            raise RegistrationError(f"service {contract.name!r} already registered")
+        if endpoint_url is not None and self.verify_against is not None:
+            if self.verify_against.fetch(endpoint_url) is None:
+                self.rejected += 1
+                raise RegistrationError(
+                    f"endpoint {endpoint_url!r} is not reachable"
+                )
+        self._records[contract.name] = _Record(contract, submitter, endpoint_url)
+        self.engine.index(contract)
+        return contract
+
+    def unregister(self, name: str) -> None:
+        if name not in self._records:
+            raise RegistrationError(f"service {name!r} is not registered")
+        del self._records[name]
+        self.engine.remove(name)
+
+    def listing(self) -> list[tuple[str, str]]:
+        """(name, submitter) pairs, sorted."""
+        return sorted(
+            (name, record.submitter) for name, record in self._records.items()
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def registration_routes(desk: RegistrationDesk) -> RestRouter:
+    """The directory web frontend: register, search, list."""
+    router = RestRouter()
+
+    @router.route("POST", "/sse/register")
+    def register(request: HttpRequest) -> HttpResponse:
+        submitter = request.query.get("submitter", "anonymous")
+        endpoint = request.query.get("endpoint")
+        try:
+            contract = desk.register_xml(
+                request.text(), submitter=submitter, endpoint_url=endpoint
+            )
+        except RegistrationError as exc:
+            return HttpResponse.xml_response(
+                Element("error", text=str(exc)).toxml(), status=400
+            )
+        return HttpResponse.xml_response(
+            Element("registered", {"name": contract.name}).toxml(), status=201
+        )
+
+    @router.route("GET", "/sse/search")
+    def search(request: HttpRequest) -> HttpResponse:
+        query = request.query.get("q", "")
+        hits = desk.engine.search(query, limit=int(request.query.get("limit", "10")))
+        root = Element("results", {"query": query})
+        for hit in hits:
+            root.append(
+                Element(
+                    "hit",
+                    {"name": hit.name, "score": f"{hit.score:.4f}"},
+                    text=hit.contract.documentation,
+                )
+            )
+        return HttpResponse.xml_response(root.toxml())
+
+    @router.route("GET", "/sse/contract/{name}")
+    def contract(request: HttpRequest, name: str) -> HttpResponse:
+        if name not in desk.engine:
+            return HttpResponse.error(404, f"no service {escape_text(name)}")
+        hits = [h for h in desk.engine.search(name, limit=50) if h.name == name]
+        if not hits:  # pragma: no cover - membership checked above
+            return HttpResponse.error(404)
+        return HttpResponse.xml_response(contract_to_xml(hits[0].contract))
+
+    @router.route("GET", "/sse/list")
+    def listing(request: HttpRequest) -> HttpResponse:
+        root = Element("directory")
+        for name, submitter in desk.listing():
+            root.append(Element("service", {"name": name, "submitter": submitter}))
+        return HttpResponse.xml_response(root.toxml())
+
+    return router

@@ -1,0 +1,142 @@
+"""The service search engine (http://venus.eas.asu.edu/sse analogue).
+
+tf-idf ranking over contract documents (name, docs, category, operation
+names and docs), with field boosts for name matches.  Backed by a plain
+inverted index — the information-retrieval content of CSE446's data unit.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.contracts import ServiceContract
+
+__all__ = ["SearchHit", "ServiceSearchEngine"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+_STOPWORDS = frozenset(
+    "a an and are as at be by for from has in is it of on or that the to with".split()
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    # split camelCase before lowering so "CreditScore" indexes as credit, score
+    spread = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", text)
+    return [
+        token
+        for token in _TOKEN_RE.findall(spread.lower())
+        if token not in _STOPWORDS
+    ]
+
+
+def _contract_tokens(contract: ServiceContract) -> list[str]:
+    parts = [contract.name, contract.documentation, contract.category]
+    for operation in contract.operations.values():
+        parts.append(operation.name)
+        parts.append(operation.documentation)
+        parts.extend(p.name for p in operation.parameters)
+    tokens: list[str] = []
+    for part in parts:
+        tokens.extend(_tokenize(part))
+    # boost: name tokens count 3x
+    name_tokens = _tokenize(contract.name)
+    tokens.extend(name_tokens * 2)
+    return tokens
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    name: str
+    score: float
+    contract: ServiceContract
+
+
+class ServiceSearchEngine:
+    """Index contracts; query with ranked free-text search."""
+
+    def __init__(self) -> None:
+        self._contracts: dict[str, ServiceContract] = {}
+        self._term_frequencies: dict[str, dict[str, int]] = {}
+        self._document_lengths: dict[str, int] = {}
+        self._lock = threading.RLock()
+
+    # -- indexing --------------------------------------------------------
+    def index(self, contract: ServiceContract) -> None:
+        """Add or re-index one contract."""
+        tokens = _contract_tokens(contract)
+        with self._lock:
+            self.remove(contract.name)
+            self._contracts[contract.name] = contract
+            frequencies: dict[str, int] = {}
+            for token in tokens:
+                frequencies[token] = frequencies.get(token, 0) + 1
+            self._document_lengths[contract.name] = max(len(tokens), 1)
+            for token, count in frequencies.items():
+                self._term_frequencies.setdefault(token, {})[contract.name] = count
+
+    def index_many(self, contracts: list[ServiceContract]) -> int:
+        for contract in contracts:
+            self.index(contract)
+        return len(contracts)
+
+    def remove(self, name: str) -> None:
+        with self._lock:
+            if name not in self._contracts:
+                return
+            del self._contracts[name]
+            del self._document_lengths[name]
+            for postings in self._term_frequencies.values():
+                postings.pop(name, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._contracts)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._contracts
+
+    # -- query ------------------------------------------------------------
+    def search(self, query: str, *, limit: int = 10) -> list[SearchHit]:
+        """tf-idf ranked results; empty query or no match → empty list."""
+        tokens = _tokenize(query)
+        if not tokens:
+            return []
+        with self._lock:
+            document_count = len(self._contracts)
+            if document_count == 0:
+                return []
+            scores: dict[str, float] = {}
+            for token in tokens:
+                postings = self._term_frequencies.get(token)
+                if not postings:
+                    continue
+                idf = math.log((1 + document_count) / (1 + len(postings))) + 1.0
+                for name, count in postings.items():
+                    tf = count / self._document_lengths[name]
+                    scores[name] = scores.get(name, 0.0) + tf * idf
+            hits = [
+                SearchHit(name, score, self._contracts[name])
+                for name, score in scores.items()
+            ]
+        hits.sort(key=lambda hit: (-hit.score, hit.name))
+        return hits[:limit]
+
+    def by_category(self, category: str) -> list[ServiceContract]:
+        with self._lock:
+            return sorted(
+                (c for c in self._contracts.values() if c.category == category),
+                key=lambda c: c.name,
+            )
+
+    def categories(self) -> dict[str, int]:
+        with self._lock:
+            out: dict[str, int] = {}
+            for contract in self._contracts.values():
+                out[contract.category] = out.get(contract.category, 0) + 1
+            return out

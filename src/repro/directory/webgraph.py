@@ -1,0 +1,155 @@
+"""A synthetic "internet" of service-provider pages for the crawler.
+
+The real system crawled Xmethods.net, WebserviceX.net and similar
+directories.  Offline, we substitute a deterministic web graph:
+provider sites host HTML-ish pages that link to each other and to XML
+contract documents.  The crawler sees exactly what it would online —
+pages, links, contracts, dead links, even slow hosts (latency metadata
+used by the politeness tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.contracts import Operation, Parameter, ServiceContract
+from ..transport.wsdl import contract_to_xml
+
+__all__ = ["Page", "WebGraph", "synthetic_service_web"]
+
+
+@dataclass
+class Page:
+    """One fetchable URL: HTML with links, or an XML contract document."""
+
+    url: str
+    content: str
+    content_type: str = "text/html"
+    links: list[str] = field(default_factory=list)
+    latency: float = 0.0  # simulated fetch cost in seconds
+
+
+class WebGraph:
+    """URL → Page store with fetch counting (the crawler's universe)."""
+
+    def __init__(self) -> None:
+        self._pages: dict[str, Page] = {}
+        self.fetches = 0
+
+    def add(self, page: Page) -> None:
+        self._pages[page.url] = page
+
+    def fetch(self, url: str) -> Optional[Page]:
+        """Return the page or None (dead link). Counts every attempt."""
+        self.fetches += 1
+        return self._pages.get(url)
+
+    def urls(self) -> list[str]:
+        return sorted(self._pages)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._pages
+
+
+_DOMAIN_WORDS = ["acme", "globex", "initech", "umbrella", "stark", "wayne", "tyrell", "hooli"]
+_SERVICE_THEMES = [
+    ("Weather", "weather forecast temperature meteorology", [("forecast", [("city", "str")], "dict")]),
+    ("Geocoder", "geocoding address latitude longitude maps", [("locate", [("address", "str")], "dict")]),
+    ("Currency", "currency exchange rate conversion finance", [("convert", [("amount", "float"), ("to", "str")], "float")]),
+    ("Stock", "stock quote ticker price finance market", [("quote", [("symbol", "str")], "float")]),
+    ("Translator", "translation language text localization", [("translate", [("text", "str"), ("target", "str")], "str")]),
+    ("Zipcode", "zipcode postal lookup address", [("lookup", [("zip", "str")], "dict")]),
+    ("Barcode", "barcode generation ean upc image", [("generate", [("code", "str")], "bytes")]),
+    ("Spellcheck", "spelling dictionary words check text", [("check", [("text", "str")], "list")]),
+    ("Sms", "sms message send phone notification", [("send", [("number", "str"), ("text", "str")], "bool")]),
+    ("Calculator", "arithmetic math add subtract numbers", [("add", [("a", "float"), ("b", "float")], "float")]),
+]
+
+
+def synthetic_service_web(
+    *,
+    providers: int = 6,
+    services_per_provider: int = 4,
+    dead_link_rate: float = 0.1,
+    seed: Optional[int] = None,
+) -> tuple[WebGraph, list[str], int]:
+    """Build a deterministic provider web.
+
+    Returns (graph, seed URLs, number of contracts planted).  Each
+    provider has an index page linking its service pages (and some other
+    providers); each service page links its contract XML.  Some links are
+    dead per ``dead_link_rate``.
+    """
+    if providers < 1 or services_per_provider < 1:
+        raise ValueError("need at least one provider and service")
+    rng = random.Random(seed)
+    graph = WebGraph()
+    contracts_planted = 0
+    provider_urls = []
+    all_index_urls = [
+        f"http://{_DOMAIN_WORDS[i % len(_DOMAIN_WORDS)]}{i}.example/index.html"
+        for i in range(providers)
+    ]
+    for index, index_url in enumerate(all_index_urls):
+        domain = index_url.split("/")[2]
+        service_links = []
+        for service_index in range(services_per_provider):
+            theme_name, keywords, operations = rng.choice(_SERVICE_THEMES)
+            service_name = f"{theme_name}{index}{service_index}"
+            contract = ServiceContract(
+                service_name,
+                documentation=f"{theme_name} service by {domain}: {keywords}.",
+                category=theme_name.lower(),
+            )
+            for op_name, params, returns in operations:
+                contract.add(
+                    Operation(
+                        op_name,
+                        tuple(Parameter(p_name, p_type) for p_name, p_type in params),
+                        returns=returns,
+                        documentation=f"{op_name} operation of {service_name}",
+                    )
+                )
+            contract_url = f"http://{domain}/services/{service_name}.xml"
+            page_url = f"http://{domain}/services/{service_name}.html"
+            if rng.random() >= dead_link_rate:
+                graph.add(
+                    Page(
+                        contract_url,
+                        contract_to_xml(contract),
+                        content_type="application/xml",
+                        latency=rng.uniform(0.001, 0.02),
+                    )
+                )
+                contracts_planted += 1
+            graph.add(
+                Page(
+                    page_url,
+                    f"<html><h1>{service_name}</h1><p>{keywords}</p>"
+                    f'<a href="{contract_url}">contract</a></html>',
+                    links=[contract_url],
+                    latency=rng.uniform(0.001, 0.01),
+                )
+            )
+            service_links.append(page_url)
+        cross_links = rng.sample(
+            [u for u in all_index_urls if u != index_url],
+            k=min(2, providers - 1),
+        )
+        links = service_links + cross_links
+        anchor_html = "".join(f'<a href="{link}">{link}</a>' for link in links)
+        graph.add(
+            Page(
+                index_url,
+                f"<html><h1>{domain}</h1>{anchor_html}</html>",
+                links=links,
+                latency=rng.uniform(0.001, 0.01),
+            )
+        )
+        provider_urls.append(index_url)
+    return graph, [provider_urls[0]], contracts_planted

@@ -1,0 +1,11 @@
+"""Event-driven architecture (CSE446 unit 4): topic pub/sub bus with
+wildcards and dead-lettering, append-only event store with optimistic
+concurrency, and replayable projections."""
+
+from .bus import Event, EventBus, Subscription, topic_matches
+from .store import ConcurrencyError, EventStore, Projection, StoredEvent
+
+__all__ = [
+    "Event", "EventBus", "Subscription", "topic_matches",
+    "EventStore", "StoredEvent", "Projection", "ConcurrencyError",
+]

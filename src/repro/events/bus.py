@@ -1,0 +1,170 @@
+"""Event bus — CSE446 Unit 4, "Event-Driven Architecture and Applications".
+
+Publish/subscribe over hierarchical topics with wildcard subscriptions,
+synchronous or queued (background-thread) delivery, dead-letter capture
+for failing handlers, and per-topic statistics.
+
+Topic grammar: dot-separated segments; subscriptions may use ``*`` for
+one segment and ``#`` as a trailing multi-segment wildcard —
+``orders.*.created``, ``robot.#``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Subscription", "EventBus", "topic_matches"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable published event."""
+
+    topic: str
+    payload: Any
+    sequence: int = 0
+    correlation_id: Optional[str] = None
+
+
+Handler = Callable[[Event], None]
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """Does a subscription pattern match a concrete topic?"""
+    pattern_parts = pattern.split(".")
+    topic_parts = topic.split(".")
+    for index, part in enumerate(pattern_parts):
+        if part == "#":
+            if index != len(pattern_parts) - 1:
+                raise ValueError("'#' is only valid as the last segment")
+            return True
+        if index >= len(topic_parts):
+            return False
+        if part != "*" and part != topic_parts[index]:
+            return False
+    return len(pattern_parts) == len(topic_parts)
+
+
+@dataclass
+class Subscription:
+    pattern: str
+    handler: Handler
+    name: str = ""
+    delivered: int = 0
+    failed: int = 0
+
+
+class EventBus:
+    """Topic-based pub/sub with sync or queued delivery.
+
+    * ``publish`` — synchronous fan-out in subscription order; a handler
+      exception is captured into the dead-letter list, not propagated
+      (handler isolation, the EDA lesson).
+    * ``start()/stop()`` — switch to queued mode: publishes enqueue and a
+      dispatcher thread delivers, decoupling producer latency from
+      consumer work.
+    """
+
+    def __init__(self, dead_letter_capacity: int = 1024) -> None:
+        self._subscriptions: list[Subscription] = []
+        self._lock = threading.RLock()
+        self._sequence = 0
+        self.dead_letters: list[tuple[Event, str, str]] = []  # (event, sub, error)
+        self._dead_letter_capacity = dead_letter_capacity
+        self._queue: list[Event] = []
+        self._queue_cond = threading.Condition(self._lock)
+        self._dispatcher: Optional[threading.Thread] = None
+        self._running = False
+        self.published = 0
+
+    # -- subscription ------------------------------------------------------
+    def subscribe(self, pattern: str, handler: Handler, *, name: str = "") -> Subscription:
+        topic_matches(pattern, pattern.replace("*", "x").replace("#", "x"))  # validate
+        subscription = Subscription(pattern, handler, name or getattr(handler, "__name__", "sub"))
+        with self._lock:
+            self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        with self._lock:
+            if subscription in self._subscriptions:
+                self._subscriptions.remove(subscription)
+
+    def subscriptions_for(self, topic: str) -> list[Subscription]:
+        with self._lock:
+            return [s for s in self._subscriptions if topic_matches(s.pattern, topic)]
+
+    # -- publication ---------------------------------------------------------
+    def publish(
+        self, topic: str, payload: Any, *, correlation_id: Optional[str] = None
+    ) -> Event:
+        with self._lock:
+            self._sequence += 1
+            event = Event(topic, payload, self._sequence, correlation_id)
+            self.published += 1
+            if self._running:
+                self._queue.append(event)
+                self._queue_cond.notify()
+                return event
+        self._deliver(event)
+        return event
+
+    def _deliver(self, event: Event) -> None:
+        for subscription in self.subscriptions_for(event.topic):
+            try:
+                subscription.handler(event)
+                subscription.delivered += 1
+            except Exception as exc:  # noqa: BLE001 - handler isolation
+                subscription.failed += 1
+                with self._lock:
+                    if len(self.dead_letters) < self._dead_letter_capacity:
+                        self.dead_letters.append((event, subscription.name, str(exc)))
+
+    # -- queued mode ---------------------------------------------------------
+    def start(self) -> "EventBus":
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+        self._dispatcher = threading.Thread(target=self._dispatch_loop, daemon=True)
+        self._dispatcher.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        if drain:
+            self.flush()
+        with self._lock:
+            self._running = False
+            self._queue_cond.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=2)
+            self._dispatcher = None
+
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Block until the queue drains (queued mode only)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._queue:
+                    return True
+            time.sleep(0.002)
+        return False
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._queue_cond:
+                while self._running and not self._queue:
+                    self._queue_cond.wait(timeout=0.1)
+                if not self._running and not self._queue:
+                    return
+                event = self._queue.pop(0)
+            self._deliver(event)
+
+    def __enter__(self) -> "EventBus":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

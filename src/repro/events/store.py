@@ -1,0 +1,134 @@
+"""Event store: append-only log, replay, and projections.
+
+The second half of the event-driven unit: state as a fold over an event
+log.  An :class:`EventStore` appends immutable records per stream; a
+:class:`Projection` folds events into a read model and can always be
+rebuilt from scratch (the "replayability" property the course tests).
+Optimistic concurrency via expected stream versions.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["ConcurrencyError", "StoredEvent", "EventStore", "Projection"]
+
+
+class ConcurrencyError(RuntimeError):
+    """Expected stream version did not match (lost update detected)."""
+
+
+@dataclass(frozen=True)
+class StoredEvent:
+    stream: str
+    version: int  # 1-based per stream
+    kind: str
+    payload: Any
+    global_sequence: int
+
+
+class EventStore:
+    """In-memory append-only event log with per-stream versioning."""
+
+    def __init__(self) -> None:
+        self._events: list[StoredEvent] = []
+        self._streams: dict[str, int] = {}  # stream -> current version
+        self._lock = threading.RLock()
+        self._observers: list[Callable[[StoredEvent], None]] = []
+
+    def append(
+        self,
+        stream: str,
+        kind: str,
+        payload: Any,
+        *,
+        expected_version: Optional[int] = None,
+    ) -> StoredEvent:
+        """Append an event; optional optimistic-concurrency check."""
+        with self._lock:
+            current = self._streams.get(stream, 0)
+            if expected_version is not None and expected_version != current:
+                raise ConcurrencyError(
+                    f"stream {stream!r} at version {current}, expected {expected_version}"
+                )
+            event = StoredEvent(stream, current + 1, kind, payload, len(self._events) + 1)
+            self._events.append(event)
+            self._streams[stream] = event.version
+            observers = list(self._observers)
+        for observer in observers:
+            observer(event)
+        return event
+
+    def observe(self, observer: Callable[[StoredEvent], None]) -> None:
+        """Called for every append after commit (projection feeding)."""
+        with self._lock:
+            self._observers.append(observer)
+
+    # -- reads ---------------------------------------------------------------
+    def stream_version(self, stream: str) -> int:
+        with self._lock:
+            return self._streams.get(stream, 0)
+
+    def read_stream(self, stream: str, from_version: int = 1) -> list[StoredEvent]:
+        with self._lock:
+            return [
+                e for e in self._events if e.stream == stream and e.version >= from_version
+            ]
+
+    def read_all(self, from_sequence: int = 1) -> list[StoredEvent]:
+        with self._lock:
+            return [e for e in self._events if e.global_sequence >= from_sequence]
+
+    def streams(self) -> list[str]:
+        with self._lock:
+            return sorted(self._streams)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class Projection:
+    """A read model folded from events.
+
+    ``handlers`` maps event kind → ``(state, event) -> state``.  Attach
+    live with :meth:`follow` or rebuild deterministically with
+    :meth:`rebuild` — both must agree (tested property).
+    """
+
+    def __init__(
+        self,
+        initial: Any,
+        handlers: dict[str, Callable[[Any, StoredEvent], Any]],
+    ) -> None:
+        self.initial = initial
+        self.handlers = dict(handlers)
+        self.state = initial
+        self.applied = 0
+        self._lock = threading.Lock()
+
+    def apply(self, event: StoredEvent) -> None:
+        handler = self.handlers.get(event.kind)
+        if handler is None:
+            return
+        with self._lock:
+            self.state = handler(self.state, event)
+            self.applied += 1
+
+    def follow(self, store: EventStore, *, catch_up: bool = True) -> "Projection":
+        if catch_up:
+            for event in store.read_all():
+                self.apply(event)
+        store.observe(self.apply)
+        return self
+
+    def rebuild(self, store: EventStore) -> Any:
+        """Fold the full log from the initial state; returns final state."""
+        state = self.initial
+        for event in store.read_all():
+            handler = self.handlers.get(event.kind)
+            if handler is not None:
+                state = handler(state, event)
+        return state

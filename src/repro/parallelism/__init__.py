@@ -1,0 +1,50 @@
+"""Parallel & distributed computing lab (CSE445 Unit 2, Figure 3).
+
+Synchronization primitives, a TBB-style work-stealing task scheduler,
+parallel_for/reduce/pipeline with serial/thread/process backends, the
+Collatz validation workload, performance metrics, and the discrete-event
+simulated multicore used to extend the speedup curve to 32 cores.
+"""
+
+from .sync import (
+    AtomicCounter,
+    AtomicReference,
+    BoundedBuffer,
+    CountdownLatch,
+    ReadWriteLock,
+    Rendezvous,
+    TicketLock,
+)
+from .tasks import SchedulerStats, Task, TaskGroup, WorkStealingScheduler
+from .parallel import Pipeline, Stage, parallel_for, parallel_pipeline, parallel_reduce
+from .collatz import (
+    CollatzResult,
+    chunk_cost,
+    collatz_steps,
+    range_chunks,
+    validate_range,
+    validate_range_numpy,
+)
+from .metrics import (
+    ScalingMeasurement,
+    ScalingSeries,
+    amdahl_speedup,
+    cost,
+    efficiency,
+    gustafson_speedup,
+    karp_flatt,
+    speedup,
+)
+from .machine import CostModel, SimulatedMachine, SimulationResult, calibrate_from_real
+
+__all__ = [
+    "AtomicCounter", "AtomicReference", "BoundedBuffer", "CountdownLatch",
+    "ReadWriteLock", "Rendezvous", "TicketLock",
+    "Task", "TaskGroup", "WorkStealingScheduler", "SchedulerStats",
+    "parallel_for", "parallel_reduce", "parallel_pipeline", "Pipeline", "Stage",
+    "collatz_steps", "validate_range", "validate_range_numpy", "range_chunks",
+    "chunk_cost", "CollatzResult",
+    "speedup", "efficiency", "cost", "amdahl_speedup", "gustafson_speedup",
+    "karp_flatt", "ScalingMeasurement", "ScalingSeries",
+    "CostModel", "SimulatedMachine", "SimulationResult", "calibrate_from_real",
+]

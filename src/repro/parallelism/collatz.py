@@ -1,0 +1,146 @@
+"""The Collatz-conjecture validation workload of Figure 3.
+
+The paper: "a program that validates the Collatz conjecture has been used
+to evaluate the performance in a single core up through 32 cores using
+Intel Manycore Testing Lab".  The workload checks, for every n in a
+range, that the 3n+1 iteration reaches 1, and records the maximum number
+of steps (so the work cannot be optimized away).
+
+Three forms are provided:
+
+* :func:`collatz_steps` / :func:`validate_range` — pure-Python reference
+* :func:`validate_range_numpy` — vectorized (the in-core optimization
+  lesson from the HPC guides: same result, different constant factor)
+* :func:`range_chunks` + :func:`chunk_cost` — decomposition helpers used
+  by the schedulers and the simulated machine (chunk cost = total Collatz
+  steps, a deterministic work measure independent of wall clock)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = [
+    "collatz_steps",
+    "validate_range",
+    "validate_range_numpy",
+    "range_chunks",
+    "chunk_cost",
+    "CollatzResult",
+]
+
+
+def collatz_steps(n: int, max_steps: int = 10_000) -> int:
+    """Number of 3n+1 iterations from ``n`` down to 1.
+
+    Raises ValueError for n < 1 or if ``max_steps`` is exceeded (which
+    would falsify the conjecture for the tested range).
+    """
+    if n < 1:
+        raise ValueError("Collatz sequence defined for n >= 1")
+    steps = 0
+    while n != 1:
+        n = 3 * n + 1 if n & 1 else n >> 1
+        steps += 1
+        if steps > max_steps:
+            raise ValueError(f"exceeded {max_steps} steps; conjecture violated?")
+    return steps
+
+
+@dataclass(frozen=True)
+class CollatzResult:
+    """Validation outcome for a range: all verified + hardest case."""
+
+    start: int
+    stop: int
+    verified: int
+    max_steps: int
+    argmax: int
+    total_steps: int
+
+    def merge(self, other: "CollatzResult") -> "CollatzResult":
+        """Combine results of two (disjoint) ranges — the reduce step."""
+        if other.max_steps > self.max_steps:
+            hardest, argmax = other.max_steps, other.argmax
+        else:
+            hardest, argmax = self.max_steps, self.argmax
+        return CollatzResult(
+            min(self.start, other.start),
+            max(self.stop, other.stop),
+            self.verified + other.verified,
+            hardest,
+            argmax,
+            self.total_steps + other.total_steps,
+        )
+
+
+def validate_range(start: int, stop: int) -> CollatzResult:
+    """Validate [start, stop); pure-Python reference implementation."""
+    if start < 1 or stop < start:
+        raise ValueError("need 1 <= start <= stop")
+    max_steps = -1
+    argmax = start
+    total = 0
+    for n in range(start, stop):
+        steps = collatz_steps(n)
+        total += steps
+        if steps > max_steps:
+            max_steps, argmax = steps, n
+    return CollatzResult(start, stop, stop - start, max(max_steps, 0), argmax, total)
+
+
+def validate_range_numpy(start: int, stop: int) -> CollatzResult:
+    """Vectorized validation; bit-identical results to :func:`validate_range`."""
+    import numpy as np
+
+    if start < 1 or stop < start:
+        raise ValueError("need 1 <= start <= stop")
+    if stop == start:
+        return CollatzResult(start, stop, 0, 0, start, 0)
+    values = np.arange(start, stop, dtype=np.int64)
+    steps = np.zeros(values.shape, dtype=np.int64)
+    active = values > 1
+    current = values.copy()
+    while active.any():
+        odd = active & (current % 2 == 1)
+        even = active & ~odd
+        current[odd] = 3 * current[odd] + 1
+        current[even] //= 2
+        steps[active] += 1
+        active = active & (current > 1)
+    argmax_index = int(np.argmax(steps))
+    return CollatzResult(
+        start,
+        stop,
+        int(values.size),
+        int(steps.max()),
+        int(values[argmax_index]),
+        int(steps.sum()),
+    )
+
+
+def range_chunks(
+    start: int, stop: int, chunks: int
+) -> Iterator[tuple[int, int]]:
+    """Split [start, stop) into ``chunks`` near-equal subranges."""
+    if chunks <= 0:
+        raise ValueError("chunks must be positive")
+    total = stop - start
+    base, extra = divmod(total, chunks)
+    position = start
+    for index in range(chunks):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            continue
+        yield position, position + size
+        position += size
+
+
+def chunk_cost(start: int, stop: int) -> int:
+    """Deterministic work measure of a chunk: its total Collatz steps.
+
+    Used as the simulated-machine task cost, so the simulation's load
+    distribution mirrors the real workload's irregularity.
+    """
+    return validate_range(start, stop).total_steps

@@ -1,0 +1,142 @@
+"""Parallel performance metrics — the Table 1 "Performance metrics" topic.
+
+"Know the basic definitions of performance metrics (speedup, efficiency,
+work, cost), Amdahl's law; know the notions of scalability."  Every
+definition the course tests is a function here, and the Fig. 3 benchmark
+reports through :class:`ScalingMeasurement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "cost",
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "karp_flatt",
+    "ScalingMeasurement",
+    "ScalingSeries",
+]
+
+
+def speedup(t1: float, tp: float) -> float:
+    """S(p) = T(1) / T(p)."""
+    if tp <= 0:
+        raise ValueError("parallel time must be positive")
+    return t1 / tp
+
+
+def efficiency(t1: float, tp: float, p: int) -> float:
+    """E(p) = S(p) / p."""
+    if p <= 0:
+        raise ValueError("processor count must be positive")
+    return speedup(t1, tp) / p
+
+
+def cost(tp: float, p: int) -> float:
+    """Cost = p * T(p); cost-optimal when ~T(1)."""
+    if p <= 0:
+        raise ValueError("processor count must be positive")
+    return p * tp
+
+
+def amdahl_speedup(serial_fraction: float, p: int) -> float:
+    """Amdahl's law: S(p) = 1 / (f + (1-f)/p)."""
+    if not 0 <= serial_fraction <= 1:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if p <= 0:
+        raise ValueError("processor count must be positive")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+
+
+def gustafson_speedup(serial_fraction: float, p: int) -> float:
+    """Gustafson's law (scaled speedup): S(p) = p - f * (p - 1)."""
+    if not 0 <= serial_fraction <= 1:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if p <= 0:
+        raise ValueError("processor count must be positive")
+    return p - serial_fraction * (p - 1)
+
+
+def karp_flatt(measured_speedup: float, p: int) -> float:
+    """Experimentally determined serial fraction e = (1/S - 1/p)/(1 - 1/p).
+
+    The diagnostic the course uses to explain *why* efficiency falls.
+    """
+    if p <= 1:
+        raise ValueError("Karp-Flatt needs p > 1")
+    if measured_speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return (1.0 / measured_speedup - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+@dataclass(frozen=True)
+class ScalingMeasurement:
+    """One row of a Fig. 3-style table."""
+
+    cores: int
+    time: float
+    speedup: float
+    efficiency: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.cores:>5} {self.time:>12.4f} {self.speedup:>8.2f} "
+            f"{self.efficiency:>10.1%}"
+        )
+
+
+class ScalingSeries:
+    """A speedup/efficiency curve built from (cores, time) samples."""
+
+    def __init__(self) -> None:
+        self._samples: list[tuple[int, float]] = []
+
+    def add(self, cores: int, time: float) -> None:
+        if cores <= 0 or time <= 0:
+            raise ValueError("cores and time must be positive")
+        self._samples.append((cores, time))
+
+    @property
+    def baseline_time(self) -> float:
+        for cores, time in self._samples:
+            if cores == 1:
+                return time
+        raise ValueError("no single-core baseline sample")
+
+    def measurements(self) -> list[ScalingMeasurement]:
+        t1 = self.baseline_time
+        rows = []
+        for cores, time in sorted(self._samples):
+            rows.append(
+                ScalingMeasurement(cores, time, speedup(t1, time), efficiency(t1, time, cores))
+            )
+        return rows
+
+    def table(self, title: str = "Scaling") -> str:
+        lines = [
+            title,
+            f"{'cores':>5} {'time (s)':>12} {'speedup':>8} {'efficiency':>10}",
+        ]
+        lines.extend(m.as_row() for m in self.measurements())
+        return "\n".join(lines)
+
+    def monotone_speedup(self) -> bool:
+        """Does speedup rise (weakly) with core count? (shape check)"""
+        measurements = self.measurements()
+        return all(
+            b.speedup >= a.speedup * 0.95
+            for a, b in zip(measurements, measurements[1:])
+        )
+
+    def decreasing_efficiency(self) -> bool:
+        """Does efficiency fall (weakly) with core count? (shape check)"""
+        measurements = self.measurements()
+        return all(
+            b.efficiency <= a.efficiency * 1.05
+            for a, b in zip(measurements, measurements[1:])
+        )

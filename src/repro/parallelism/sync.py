@@ -1,0 +1,292 @@
+"""Synchronization primitives — CSE445 Unit 2's vocabulary, as a library.
+
+The unit covers "critical operations, synchronization, resource locking
+versus unbreakable operations, semaphore, events and event coordination".
+Beyond re-exporting the stdlib primitives, this module implements the
+teaching constructs that the stdlib does not ship:
+
+* :class:`AtomicCounter` / :class:`AtomicReference` — "unbreakable
+  operations" vs explicit locking
+* :class:`BoundedBuffer` — the canonical producer/consumer monitor
+* :class:`ReadWriteLock` — writer-preference RW lock
+* :class:`CountdownLatch` — one-shot event coordination
+* :class:`Rendezvous` — two-party exchange
+* :class:`TicketLock` — FIFO-fair lock (spin analogue, condition-based)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Generic, Optional, TypeVar
+
+__all__ = [
+    "AtomicCounter",
+    "AtomicReference",
+    "BoundedBuffer",
+    "ReadWriteLock",
+    "CountdownLatch",
+    "Rendezvous",
+    "TicketLock",
+]
+
+T = TypeVar("T")
+
+
+class AtomicCounter:
+    """A lock-protected counter with atomic read-modify-write operations."""
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def increment(self, delta: int = 1) -> int:
+        """Add ``delta`` and return the new value (atomic)."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def decrement(self, delta: int = 1) -> int:
+        return self.increment(-delta)
+
+    def compare_and_swap(self, expected: int, new: int) -> bool:
+        """Set to ``new`` iff currently ``expected``; returns success."""
+        with self._lock:
+            if self._value == expected:
+                self._value = new
+                return True
+            return False
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class AtomicReference(Generic[T]):
+    """A lock-protected mutable cell with get/set/update."""
+
+    def __init__(self, initial: T) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def get(self) -> T:
+        with self._lock:
+            return self._value
+
+    def set(self, value: T) -> None:
+        with self._lock:
+            self._value = value
+
+    def update(self, fn: Callable[[T], T]) -> T:
+        """Apply ``fn`` atomically; returns the new value."""
+        with self._lock:
+            self._value = fn(self._value)
+            return self._value
+
+
+class BoundedBuffer(Generic[T]):
+    """Classic producer/consumer monitor with two condition variables.
+
+    ``put`` blocks while full, ``take`` blocks while empty.  A closed
+    buffer rejects puts and raises :class:`StopIteration`-style EOFError
+    from ``take`` once drained — the idiom pipeline stages use.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: deque[T] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def put(self, item: T, timeout: Optional[float] = None) -> None:
+        with self._not_full:
+            if self._closed:
+                raise EOFError("buffer closed")
+            if not self._not_full.wait_for(
+                lambda: len(self._items) < self.capacity or self._closed, timeout
+            ):
+                raise TimeoutError("put timed out")
+            if self._closed:
+                raise EOFError("buffer closed")
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def take(self, timeout: Optional[float] = None) -> T:
+        with self._not_empty:
+            if not self._not_empty.wait_for(
+                lambda: self._items or self._closed, timeout
+            ):
+                raise TimeoutError("take timed out")
+            if not self._items:
+                raise EOFError("buffer closed and drained")
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """No more puts; takers drain the remainder then see EOFError."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class ReadWriteLock:
+    """Writer-preference read/write lock.
+
+    Many concurrent readers; writers exclusive.  Arriving writers block
+    new readers, preventing writer starvation (the design-tradeoff point
+    the course discusses).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._readers_ok = threading.Condition(self._lock)
+        self._writers_ok = threading.Condition(self._lock)
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+
+    def acquire_read(self) -> None:
+        with self._lock:
+            self._readers_ok.wait_for(
+                lambda: not self._active_writer and self._waiting_writers == 0
+            )
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._lock:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._writers_ok.notify()
+
+    def acquire_write(self) -> None:
+        with self._lock:
+            self._waiting_writers += 1
+            self._writers_ok.wait_for(
+                lambda: not self._active_writer and self._active_readers == 0
+            )
+            self._waiting_writers -= 1
+            self._active_writer = True
+
+    def release_write(self) -> None:
+        with self._lock:
+            self._active_writer = False
+            self._writers_ok.notify()
+            self._readers_ok.notify_all()
+
+    class _ReadContext:
+        def __init__(self, outer: "ReadWriteLock") -> None:
+            self.outer = outer
+
+        def __enter__(self):
+            self.outer.acquire_read()
+
+        def __exit__(self, *exc_info):
+            self.outer.release_read()
+
+    class _WriteContext:
+        def __init__(self, outer: "ReadWriteLock") -> None:
+            self.outer = outer
+
+        def __enter__(self):
+            self.outer.acquire_write()
+
+        def __exit__(self, *exc_info):
+            self.outer.release_write()
+
+    def reading(self) -> "_ReadContext":
+        return self._ReadContext(self)
+
+    def writing(self) -> "_WriteContext":
+        return self._WriteContext(self)
+
+
+class CountdownLatch:
+    """One-shot latch: ``wait`` releases once ``count_down`` hits zero."""
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._count = count
+        self._lock = threading.Lock()
+        self._zero = threading.Condition(self._lock)
+
+    def count_down(self) -> None:
+        with self._lock:
+            if self._count > 0:
+                self._count -= 1
+                if self._count == 0:
+                    self._zero.notify_all()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        with self._lock:
+            return self._zero.wait_for(lambda: self._count == 0, timeout)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+
+class Rendezvous(Generic[T]):
+    """Two-party exchange: each side offers a value and receives the other's."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._slot: list[Any] = []
+        self._generation = 0
+
+    def exchange(self, value: T, timeout: Optional[float] = None) -> T:
+        with self._condition:
+            if not self._slot:
+                generation = self._generation
+                self._slot.append(value)
+                if not self._condition.wait_for(
+                    lambda: self._generation != generation, timeout
+                ):
+                    self._slot.clear()
+                    raise TimeoutError("no partner arrived")
+                return self._received  # type: ignore[attr-defined]
+            other = self._slot.pop()
+            self._received = value  # type: ignore[attr-defined]
+            self._generation += 1
+            self._condition.notify_all()
+            return other
+
+
+class TicketLock:
+    """FIFO-fair lock: acquirers are served strictly in arrival order."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._turn_changed = threading.Condition(self._lock)
+        self._next_ticket = 0
+        self._now_serving = 0
+
+    def acquire(self) -> None:
+        with self._turn_changed:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._turn_changed.wait_for(lambda: self._now_serving == ticket)
+
+    def release(self) -> None:
+        with self._turn_changed:
+            self._now_serving += 1
+            self._turn_changed.notify_all()
+
+    def __enter__(self):
+        self.acquire()
+
+    def __exit__(self, *exc_info):
+        self.release()

@@ -1,0 +1,253 @@
+"""TBB-style task scheduler with per-worker deques and work stealing.
+
+CSE445's multithreading unit presents Intel's Thread Building Blocks as
+the model library: you express *tasks*, the scheduler maps them onto a
+fixed worker pool, idle workers steal from busy ones.  This is the Python
+analogue: real threads, LIFO local deques (cache-friendly depth-first
+execution of spawned subtasks), FIFO steals (breadth-first distribution).
+
+Because CPython threads share the GIL, thread-level speedup only shows
+for workloads that release the GIL; the *scheduling behaviour* (steal
+counts, locality, load balance) is what this class is for, and what the
+ablation benchmark measures.  Wall-clock multicore scaling is measured
+with the process backend in :mod:`repro.parallelism.parallel` and modelled
+by :mod:`repro.parallelism.machine`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["Task", "TaskGroup", "WorkStealingScheduler", "SchedulerStats"]
+
+
+@dataclass
+class Task:
+    """A unit of work: a callable plus its arguments."""
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+@dataclass
+class SchedulerStats:
+    """Per-run counters: how much work each worker did and stole."""
+
+    executed: list[int]
+    stolen: list[int]
+
+    @property
+    def total_executed(self) -> int:
+        return sum(self.executed)
+
+    @property
+    def total_stolen(self) -> int:
+        return sum(self.stolen)
+
+    def load_imbalance(self) -> float:
+        """max/mean executed ratio; 1.0 = perfectly balanced."""
+        if not self.executed or self.total_executed == 0:
+            return 1.0
+        mean = self.total_executed / len(self.executed)
+        return max(self.executed) / mean if mean else 1.0
+
+
+class _Worker(threading.Thread):
+    def __init__(self, scheduler: "WorkStealingScheduler", index: int) -> None:
+        super().__init__(name=f"ws-worker-{index}", daemon=True)
+        self.scheduler = scheduler
+        self.index = index
+        self.deque: deque[tuple[int, Task]] = deque()
+        self.lock = threading.Lock()
+        self.executed = 0
+        self.stolen = 0
+        self.rng = random.Random(index * 2654435761 % 2**32)
+
+    def push(self, item: tuple[int, Task]) -> None:
+        with self.lock:
+            self.deque.append(item)
+
+    def pop_local(self) -> Optional[tuple[int, Task]]:
+        with self.lock:
+            if self.deque:
+                return self.deque.pop()  # LIFO: own newest first
+        return None
+
+    def steal(self) -> Optional[tuple[int, Task]]:
+        with self.lock:
+            if self.deque:
+                return self.deque.popleft()  # FIFO: victim's oldest
+        return None
+
+    def run(self) -> None:
+        scheduler = self.scheduler
+        while True:
+            item = self.pop_local()
+            if item is None:
+                item = scheduler._steal_for(self)
+            if item is None:
+                if scheduler._maybe_park(self):
+                    continue
+                return  # shutdown
+            index, task = item
+            try:
+                result = task.run()
+                scheduler._complete(index, result, None)
+            except Exception as exc:  # noqa: BLE001 - reported to caller
+                scheduler._complete(index, None, exc)
+            self.executed += 1
+
+
+class WorkStealingScheduler:
+    """Fixed worker pool executing task batches with work stealing.
+
+    ``run(tasks)`` blocks until all tasks finish and returns results in
+    submission order; the first task exception is re-raised after the
+    batch drains.  Use ``central_queue=True`` to disable stealing and use
+    a single shared queue instead (the ablation baseline).
+    """
+
+    def __init__(self, workers: int = 4, *, central_queue: bool = False) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.worker_count = workers
+        self.central_queue = central_queue
+        self._workers: list[_Worker] = []
+        self._central: deque[tuple[int, Task]] = deque()
+        self._central_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._work_available = threading.Condition(self._state_lock)
+        self._batch_done = threading.Condition(self._state_lock)
+        self._pending = 0
+        self._results: dict[int, Any] = {}
+        self._error: Optional[Exception] = None
+        self._shutdown = False
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.worker_count):
+            worker = _Worker(self, index)
+            self._workers.append(worker)
+            worker.start()
+
+    def shutdown(self) -> None:
+        with self._state_lock:
+            self._shutdown = True
+            self._work_available.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=2)
+
+    def __enter__(self) -> "WorkStealingScheduler":
+        self._ensure_started()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- submission --------------------------------------------------------
+    def run(self, tasks: Sequence[Task]) -> list[Any]:
+        """Execute a batch; returns results in order; re-raises first error."""
+        if not tasks:
+            return []
+        self._ensure_started()
+        with self._state_lock:
+            if self._pending:
+                raise RuntimeError("scheduler already running a batch")
+            self._pending = len(tasks)
+            self._results = {}
+            self._error = None
+        if self.central_queue:
+            with self._central_lock:
+                for item in enumerate(tasks):
+                    self._central.append(item)
+        else:
+            for position, item in enumerate(enumerate(tasks)):
+                self._workers[position % self.worker_count].push(item)
+        with self._state_lock:
+            self._work_available.notify_all()
+            self._batch_done.wait_for(lambda: self._pending == 0)
+            error = self._error
+            results = [self._results[i] for i in range(len(tasks))]
+        if error is not None:
+            raise error
+        return results
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        return self.run([Task(fn, (item,)) for item in items])
+
+    # -- worker callbacks -----------------------------------------------
+    def _steal_for(self, thief: _Worker) -> Optional[tuple[int, Task]]:
+        if self.central_queue:
+            with self._central_lock:
+                if self._central:
+                    return self._central.popleft()
+            return None
+        victims = [w for w in self._workers if w is not thief]
+        thief.rng.shuffle(victims)
+        for victim in victims:
+            item = victim.steal()
+            if item is not None:
+                thief.stolen += 1
+                return item
+        return None
+
+    def _maybe_park(self, worker: _Worker) -> bool:
+        """Wait for work or shutdown; True = retry loop, False = exit."""
+        with self._state_lock:
+            if self._shutdown:
+                return False
+            self._work_available.wait(timeout=0.05)
+            return not self._shutdown
+
+    def _complete(self, index: int, result: Any, error: Optional[Exception]) -> None:
+        with self._state_lock:
+            self._results[index] = result
+            if error is not None and self._error is None:
+                self._error = error
+            self._pending -= 1
+            if self._pending == 0:
+                self._batch_done.notify_all()
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> SchedulerStats:
+        return SchedulerStats(
+            executed=[w.executed for w in self._workers],
+            stolen=[w.stolen for w in self._workers],
+        )
+
+
+class TaskGroup:
+    """Structured fork/join: spawn tasks, then ``wait()`` for all results.
+
+    A thin convenience over :class:`WorkStealingScheduler` matching TBB's
+    ``task_group`` teaching shape::
+
+        with WorkStealingScheduler(4) as scheduler:
+            group = TaskGroup(scheduler)
+            for chunk in chunks:
+                group.spawn(process, chunk)
+            results = group.wait()
+    """
+
+    def __init__(self, scheduler: WorkStealingScheduler) -> None:
+        self.scheduler = scheduler
+        self._tasks: list[Task] = []
+
+    def spawn(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+        self._tasks.append(Task(fn, args, kwargs))
+
+    def wait(self) -> list[Any]:
+        tasks, self._tasks = self._tasks, []
+        return self.scheduler.run(tasks)

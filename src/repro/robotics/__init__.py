@@ -1,0 +1,44 @@
+"""Service-oriented robotics (CSE101, Figures 1-2): maze world, simulated
+robot, Robot-as-a-Service, navigation algorithms in imperative / FSM /
+dataflow form, the web drop-down programming environment, and the
+virtual-physical twin channel."""
+
+from .maze import (
+    DIRECTIONS,
+    Maze,
+    braid,
+    corridor,
+    generate_dfs,
+    generate_prim,
+    open_room,
+)
+from .robot import CollisionError, Robot
+from .algorithms import (
+    ALGORITHMS,
+    NavigationResult,
+    bfs_navigate,
+    random_walk,
+    two_distance_greedy,
+    wall_follow,
+)
+from .raas import RobotService, make_robot_service
+from .webenv import Command, CommandProgram, ProgramError, TwinChannel
+from .vplprograms import (
+    greedy_step_workflow,
+    run_fsm_navigation,
+    run_workflow_navigation,
+    two_distance_fsm,
+    wall_follow_fsm,
+)
+
+__all__ = [
+    "Maze", "generate_dfs", "generate_prim", "braid", "open_room", "corridor",
+    "DIRECTIONS",
+    "Robot", "CollisionError",
+    "NavigationResult", "wall_follow", "two_distance_greedy", "bfs_navigate",
+    "random_walk", "ALGORITHMS",
+    "RobotService", "make_robot_service",
+    "CommandProgram", "Command", "ProgramError", "TwinChannel",
+    "two_distance_fsm", "wall_follow_fsm", "run_fsm_navigation",
+    "greedy_step_workflow", "run_workflow_navigation",
+]

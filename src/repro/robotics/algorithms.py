@@ -1,0 +1,185 @@
+"""Maze navigation algorithms — the Figure 1/2 curriculum content.
+
+"Student can design an autonomous maze navigation algorithm, such as a
+short-distance-based greedy algorithm and a wall-following algorithm."
+
+* :func:`wall_follow` — classic left/right-hand rule.  Complete on any
+  simply-connected (perfect) maze with the goal on a wall-connected
+  component; can orbit forever in looped (braided) mazes.
+* :func:`two_distance_greedy` — the Figure 2 algorithm: at each cell,
+  score the open directions by the *two distances* (the Manhattan
+  distance of the neighbor to the goal as primary, the sensed free-run
+  distance in that direction as tiebreak), preferring less-visited cells
+  so it cannot livelock.  Fast on open/looped mazes; suboptimal in
+  twisty perfect mazes.
+* :func:`bfs_navigate` — drives the BFS shortest path (the optimum
+  reference the lab grades against).
+* :func:`random_walk` — the "no algorithm" baseline.
+
+Each returns a :class:`NavigationResult` with success, steps, turns and
+the trail, so the Fig. 1/2 benchmarks can compare shapes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .maze import DELTA, Maze
+from .robot import LEFT_OF, RIGHT_OF, Robot
+
+__all__ = [
+    "NavigationResult",
+    "wall_follow",
+    "two_distance_greedy",
+    "bfs_navigate",
+    "random_walk",
+    "ALGORITHMS",
+]
+
+
+@dataclass(frozen=True)
+class NavigationResult:
+    algorithm: str
+    success: bool
+    moves: int
+    turns: int
+    trail: tuple[tuple[int, int], ...]
+
+    @property
+    def path_length(self) -> int:
+        return len(self.trail) - 1
+
+    def efficiency_vs(self, optimum_moves: int) -> float:
+        """optimum/actual ∈ (0, 1]; 1.0 = optimal."""
+        if not self.success or self.moves == 0:
+            return 0.0
+        return optimum_moves / self.moves
+
+
+def _result(name: str, robot: Robot, success: bool) -> NavigationResult:
+    return NavigationResult(
+        name, success, robot.moves, robot.turns, tuple(robot.trail)
+    )
+
+
+def wall_follow(
+    robot: Robot, *, hand: str = "right", max_moves: int = 10_000
+) -> NavigationResult:
+    """Keep one hand on the wall: the CSE101 first complete algorithm.
+
+    right-hand rule: prefer right turn, then straight, then left, then
+    back — the mirror for ``hand="left"``.
+    """
+    if hand not in ("left", "right"):
+        raise ValueError("hand must be 'left' or 'right'")
+    name = f"wall-follow-{hand}"
+    turn_first = Robot.turn_right if hand == "right" else Robot.turn_left
+    turn_last = Robot.turn_left if hand == "right" else Robot.turn_right
+    first_side = "right" if hand == "right" else "left"
+    while robot.moves < max_moves:
+        if robot.at_goal():
+            return _result(name, robot, True)
+        if not robot.wall(first_side):
+            turn_first(robot)
+            robot.forward()
+        elif not robot.wall("ahead"):
+            robot.forward()
+        elif not robot.wall("left" if hand == "right" else "right"):
+            turn_last(robot)
+            robot.forward()
+        else:
+            robot.turn_around()
+            robot.forward()
+    return _result(name, robot, robot.at_goal())
+
+
+def two_distance_greedy(
+    robot: Robot, *, max_moves: int = 10_000
+) -> NavigationResult:
+    """The Figure 2 two-distance greedy algorithm.
+
+    Decision rule per cell (the FSM's Decide state):
+
+    1. candidate directions = open directions of the current cell
+    2. primary key: Manhattan distance from the candidate *neighbor* to
+       the goal (distance one — "how much closer does this step take me")
+    3. secondary key: negated sensed free-run distance in that direction
+       (distance two — "how far can I run before the next wall"); longer
+       runs win ties, mimicking the distance-sensor preference
+    4. visited-count dominates both (least-visited first) so the robot
+       provably escapes local minima instead of oscillating
+
+    Complete on every connected maze (the visited counter makes it a
+    weighted Tremaux walk); near-optimal on open rooms.
+    """
+    name = "two-distance-greedy"
+    visits: dict[tuple[int, int], int] = defaultdict(int)
+    visits[robot.cell] += 1
+    goal = robot.maze.goal
+    while robot.moves < max_moves:
+        if robot.at_goal():
+            return _result(name, robot, True)
+        candidates = []
+        for direction in robot.maze.open_directions(robot.cell):
+            neighbor = robot.maze.neighbor(robot.cell, direction)
+            assert neighbor is not None
+            manhattan = abs(neighbor[0] - goal[0]) + abs(neighbor[1] - goal[1])
+            robot.face(direction)
+            free_run = robot.distance("ahead")
+            candidates.append(
+                (visits[neighbor], manhattan, -free_run, direction, neighbor)
+            )
+        if not candidates:
+            return _result(name, robot, False)  # sealed cell
+        candidates.sort(key=lambda item: item[:3])
+        _, _, _, direction, neighbor = candidates[0]
+        robot.face(direction)
+        robot.forward()
+        visits[neighbor] += 1
+    return _result(name, robot, robot.at_goal())
+
+
+def bfs_navigate(robot: Robot, *, max_moves: int = 10_000) -> NavigationResult:
+    """Drive the precomputed BFS shortest path (global-knowledge optimum)."""
+    name = "bfs-optimal"
+    path = robot.maze.shortest_path(robot.cell)
+    if path is None:
+        return _result(name, robot, False)
+    for target in path[1:]:
+        if robot.moves >= max_moves:
+            break
+        dx = target[0] - robot.cell[0]
+        dy = target[1] - robot.cell[1]
+        direction = {(0, -1): "N", (0, 1): "S", (1, 0): "E", (-1, 0): "W"}[(dx, dy)]
+        robot.face(direction)
+        robot.forward()
+    return _result(name, robot, robot.at_goal())
+
+
+def random_walk(
+    robot: Robot, *, seed: Optional[int] = None, max_moves: int = 10_000
+) -> NavigationResult:
+    """Uniform random open-direction walk — the control baseline."""
+    name = "random-walk"
+    rng = random.Random(seed)
+    while robot.moves < max_moves:
+        if robot.at_goal():
+            return _result(name, robot, True)
+        options = robot.maze.open_directions(robot.cell)
+        if not options:
+            return _result(name, robot, False)
+        robot.face(rng.choice(options))
+        robot.forward()
+    return _result(name, robot, robot.at_goal())
+
+
+ALGORITHMS: dict[str, Callable[..., NavigationResult]] = {
+    "wall-follow-right": lambda robot, **kw: wall_follow(robot, hand="right", **kw),
+    "wall-follow-left": lambda robot, **kw: wall_follow(robot, hand="left", **kw),
+    "two-distance-greedy": two_distance_greedy,
+    "bfs-optimal": bfs_navigate,
+    "random-walk": random_walk,
+}

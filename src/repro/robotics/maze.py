@@ -1,0 +1,295 @@
+"""Maze model and generators for the CSE101 robotics labs.
+
+A maze is a ``width × height`` cell grid with walls on the four sides of
+each cell; the boundary is always walled.  Generators:
+
+* :func:`generate_dfs` — recursive-backtracker perfect maze (every pair
+  of cells connected by exactly one path)
+* :func:`generate_prim` — randomized-Prim perfect maze (bushier texture)
+* :func:`braid` — knock out dead-ends to introduce loops (imperfect maze,
+  the configuration where greedy beats wall-following)
+* classic fixtures: :func:`open_room`, :func:`corridor`
+
+All generation is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = [
+    "NORTH",
+    "EAST",
+    "SOUTH",
+    "WEST",
+    "DIRECTIONS",
+    "OPPOSITE",
+    "DELTA",
+    "Maze",
+    "generate_dfs",
+    "generate_prim",
+    "braid",
+    "open_room",
+    "corridor",
+]
+
+NORTH, EAST, SOUTH, WEST = "N", "E", "S", "W"
+DIRECTIONS = (NORTH, EAST, SOUTH, WEST)
+OPPOSITE = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+DELTA = {NORTH: (0, -1), SOUTH: (0, 1), EAST: (1, 0), WEST: (-1, 0)}
+
+Cell = tuple[int, int]
+
+
+class Maze:
+    """Grid maze with per-cell wall sets, a start and a goal."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        *,
+        start: Cell = (0, 0),
+        goal: Optional[Cell] = None,
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("maze dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.start = start
+        self.goal = goal if goal is not None else (width - 1, height - 1)
+        # walls[y][x] is the set of closed sides of cell (x, y); all closed initially
+        self._walls: list[list[set[str]]] = [
+            [set(DIRECTIONS) for _ in range(width)] for _ in range(height)
+        ]
+        for cell in (self.start, self.goal):
+            if not self.in_bounds(cell):
+                raise ValueError(f"cell {cell} outside {width}x{height} maze")
+
+    # -- geometry ----------------------------------------------------------
+    def in_bounds(self, cell: Cell) -> bool:
+        x, y = cell
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def neighbor(self, cell: Cell, direction: str) -> Optional[Cell]:
+        dx, dy = DELTA[direction]
+        candidate = (cell[0] + dx, cell[1] + dy)
+        return candidate if self.in_bounds(candidate) else None
+
+    def has_wall(self, cell: Cell, direction: str) -> bool:
+        x, y = cell
+        if not self.in_bounds(cell):
+            raise ValueError(f"cell {cell} out of bounds")
+        return direction in self._walls[y][x]
+
+    def remove_wall(self, cell: Cell, direction: str) -> None:
+        """Open the wall between ``cell`` and its neighbor (both sides)."""
+        other = self.neighbor(cell, direction)
+        if other is None:
+            raise ValueError(f"cannot open boundary wall {direction} of {cell}")
+        x, y = cell
+        self._walls[y][x].discard(direction)
+        ox, oy = other
+        self._walls[oy][ox].discard(OPPOSITE[direction])
+
+    def add_wall(self, cell: Cell, direction: str) -> None:
+        other = self.neighbor(cell, direction)
+        x, y = cell
+        self._walls[y][x].add(direction)
+        if other is not None:
+            ox, oy = other
+            self._walls[oy][ox].add(OPPOSITE[direction])
+
+    def open_directions(self, cell: Cell) -> list[str]:
+        x, y = cell
+        return [d for d in DIRECTIONS if d not in self._walls[y][x]]
+
+    def passable_neighbors(self, cell: Cell) -> list[Cell]:
+        out = []
+        for direction in self.open_directions(cell):
+            neighbor = self.neighbor(cell, direction)
+            if neighbor is not None:
+                out.append(neighbor)
+        return out
+
+    def cells(self) -> Iterator[Cell]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield (x, y)
+
+    # -- analysis ------------------------------------------------------------
+    def shortest_path(self, source: Optional[Cell] = None, target: Optional[Cell] = None) -> Optional[list[Cell]]:
+        """BFS shortest path (the optimum baseline); None if unreachable."""
+        source = source if source is not None else self.start
+        target = target if target is not None else self.goal
+        if source == target:
+            return [source]
+        parents: dict[Cell, Cell] = {}
+        frontier = [source]
+        seen = {source}
+        while frontier:
+            next_frontier = []
+            for cell in frontier:
+                for neighbor in self.passable_neighbors(cell):
+                    if neighbor in seen:
+                        continue
+                    seen.add(neighbor)
+                    parents[neighbor] = cell
+                    if neighbor == target:
+                        path = [target]
+                        while path[-1] != source:
+                            path.append(parents[path[-1]])
+                        return list(reversed(path))
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return None
+
+    def is_connected(self) -> bool:
+        """Every cell reachable from start?"""
+        seen = {self.start}
+        frontier = [self.start]
+        while frontier:
+            cell = frontier.pop()
+            for neighbor in self.passable_neighbors(cell):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == self.width * self.height
+
+    def is_perfect(self) -> bool:
+        """Connected with exactly cells-1 openings (a spanning tree)."""
+        openings = sum(len(self.open_directions(cell)) for cell in self.cells()) // 2
+        return self.is_connected() and openings == self.width * self.height - 1
+
+    def dead_ends(self) -> list[Cell]:
+        return [
+            cell
+            for cell in self.cells()
+            if len(self.open_directions(cell)) == 1 and cell not in (self.start, self.goal)
+        ]
+
+    # -- rendering ------------------------------------------------------------
+    def render(self, path: Optional[list[Cell]] = None) -> str:
+        """ASCII rendering (used by examples and failure messages)."""
+        marks = {self.start: "S", self.goal: "G"}
+        on_path = set(path or ())
+        lines = []
+        top = "".join(
+            "+--" if self.has_wall((x, 0), NORTH) else "+  " for x in range(self.width)
+        )
+        lines.append(top + "+")
+        for y in range(self.height):
+            row = []
+            for x in range(self.width):
+                row.append("|" if self.has_wall((x, y), WEST) else " ")
+                cell = (x, y)
+                glyph = marks.get(cell, "." if cell in on_path else " ")
+                row.append(f"{glyph} ")
+            row.append("|" if self.has_wall((self.width - 1, y), EAST) else " ")
+            lines.append("".join(row))
+            bottom = "".join(
+                "+--" if self.has_wall((x, y), SOUTH) else "+  "
+                for x in range(self.width)
+            )
+            lines.append(bottom + "+")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+
+def generate_dfs(
+    width: int, height: int, *, seed: Optional[int] = None,
+    start: Cell = (0, 0), goal: Optional[Cell] = None,
+) -> Maze:
+    """Recursive-backtracker perfect maze (long winding corridors)."""
+    rng = random.Random(seed)
+    maze = Maze(width, height, start=start, goal=goal)
+    visited = {maze.start}
+    stack = [maze.start]
+    while stack:
+        cell = stack[-1]
+        candidates = [
+            direction
+            for direction in DIRECTIONS
+            if (neighbor := maze.neighbor(cell, direction)) is not None
+            and neighbor not in visited
+        ]
+        if not candidates:
+            stack.pop()
+            continue
+        direction = rng.choice(candidates)
+        maze.remove_wall(cell, direction)
+        neighbor = maze.neighbor(cell, direction)
+        assert neighbor is not None
+        visited.add(neighbor)
+        stack.append(neighbor)
+    return maze
+
+
+def generate_prim(
+    width: int, height: int, *, seed: Optional[int] = None,
+    start: Cell = (0, 0), goal: Optional[Cell] = None,
+) -> Maze:
+    """Randomized-Prim perfect maze (short branchy corridors)."""
+    rng = random.Random(seed)
+    maze = Maze(width, height, start=start, goal=goal)
+    visited = {maze.start}
+    frontier: list[tuple[Cell, str]] = [
+        (maze.start, direction)
+        for direction in DIRECTIONS
+        if maze.neighbor(maze.start, direction) is not None
+    ]
+    while frontier:
+        index = rng.randrange(len(frontier))
+        cell, direction = frontier.pop(index)
+        neighbor = maze.neighbor(cell, direction)
+        assert neighbor is not None
+        if neighbor in visited:
+            continue
+        maze.remove_wall(cell, direction)
+        visited.add(neighbor)
+        for next_direction in DIRECTIONS:
+            if maze.neighbor(neighbor, next_direction) is not None:
+                frontier.append((neighbor, next_direction))
+    return maze
+
+
+def braid(maze: Maze, *, fraction: float = 1.0, seed: Optional[int] = None) -> Maze:
+    """Open a wall in ``fraction`` of dead ends, creating loops in place."""
+    if not 0 <= fraction <= 1:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    for cell in maze.dead_ends():
+        if rng.random() > fraction:
+            continue
+        closed = [
+            direction
+            for direction in DIRECTIONS
+            if maze.has_wall(cell, direction) and maze.neighbor(cell, direction) is not None
+        ]
+        if closed:
+            maze.remove_wall(cell, rng.choice(closed))
+    return maze
+
+
+def open_room(width: int, height: int) -> Maze:
+    """A maze with no interior walls (the first-lab scenario)."""
+    maze = Maze(width, height)
+    for cell in maze.cells():
+        for direction in DIRECTIONS:
+            if maze.neighbor(cell, direction) is not None:
+                maze.remove_wall(cell, direction)
+    return maze
+
+
+def corridor(length: int) -> Maze:
+    """A 1×length straight corridor."""
+    maze = Maze(length, 1)
+    for x in range(length - 1):
+        maze.remove_wall((x, 0), EAST)
+    return maze

@@ -1,0 +1,121 @@
+"""Robot as a Service — the paper's signature concept (§II, refs [20][21]).
+
+"the services hide the hardware and programming details" — a
+:class:`Robot` wrapped as a :class:`~repro.core.service.Service`, so the
+web programming environment (Fig. 1), VPL programs, and remote clients
+all drive the robot through the same published contract, over any
+binding (in-process, SOAP, REST).
+
+Operations mirror the MRDS sensor/actuator service split: sensors are
+idempotent (GET-able over REST), actuators are not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.service import Service, operation
+from ..core.faults import ServiceFault
+from .maze import Maze
+from .robot import CollisionError, Robot
+
+__all__ = ["RobotService", "make_robot_service"]
+
+
+class RobotService(Service):
+    """A maze robot exposed through a service contract.
+
+    One service instance wraps one robot in one maze — the lab's
+    "Robot as a Service in Cloud Computing" unit instantiates several
+    and publishes each in the broker.
+    """
+
+    service_name = "RobotService"
+    category = "robotics"
+
+    def __init__(self, robot: Robot) -> None:
+        self._robot = robot
+
+    # -- sensor operations (idempotent) -----------------------------------
+    @operation(idempotent=True)
+    def pose(self) -> dict:
+        """Current cell, heading and odometry."""
+        robot = self._robot
+        return {
+            "x": robot.cell[0],
+            "y": robot.cell[1],
+            "heading": robot.heading,
+            "moves": robot.moves,
+            "turns": robot.turns,
+        }
+
+    @operation(idempotent=True)
+    def distance(self, side: str = "ahead") -> int:
+        """Distance sensor: free cells toward ``side`` (ahead/left/right/behind)."""
+        try:
+            return self._robot.distance(side)
+        except ValueError as exc:
+            raise ServiceFault(str(exc), code="Client.BadInput") from exc
+
+    @operation(idempotent=True)
+    def touching(self) -> bool:
+        """Touch sensor: is a wall directly ahead?"""
+        return self._robot.touching()
+
+    @operation(idempotent=True)
+    def at_goal(self) -> bool:
+        """Goal sensor."""
+        return self._robot.at_goal()
+
+    @operation(idempotent=True)
+    def goal_distance(self) -> int:
+        """Manhattan distance to the goal."""
+        return self._robot.goal_distance()
+
+    @operation(idempotent=True)
+    def walls(self) -> dict:
+        """Wall sensor bundle: {ahead, left, right, behind}."""
+        robot = self._robot
+        return {side: robot.wall(side) for side in ("ahead", "left", "right", "behind")}
+
+    # -- actuator operations --------------------------------------------------
+    @operation
+    def forward(self, cells: int = 1) -> dict:
+        """Drive forward; faults (without moving further) on a wall."""
+        if cells < 1:
+            raise ServiceFault("cells must be >= 1", code="Client.BadInput")
+        try:
+            self._robot.forward(cells)
+        except CollisionError as exc:
+            raise ServiceFault(str(exc), code="Client.Collision") from exc
+        return self.pose()
+
+    @operation
+    def turn(self, direction: str) -> dict:
+        """Turn 'left', 'right', or 'around'."""
+        robot = self._robot
+        if direction == "left":
+            robot.turn_left()
+        elif direction == "right":
+            robot.turn_right()
+        elif direction == "around":
+            robot.turn_around()
+        else:
+            raise ServiceFault(
+                f"direction must be left/right/around, not {direction!r}",
+                code="Client.BadInput",
+            )
+        return self.pose()
+
+    @operation
+    def reset(self) -> dict:
+        """Teleport back to the start pose, clearing odometry."""
+        self._robot.reset()
+        return self.pose()
+
+
+def make_robot_service(
+    maze: Maze, heading: str = "E", robot: Optional[Robot] = None
+) -> RobotService:
+    """Convenience factory: maze → hosted robot service."""
+    return RobotService(robot or Robot(maze, heading))

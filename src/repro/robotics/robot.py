@@ -1,0 +1,162 @@
+"""Simulated maze robot — the NXT/simulation target of CSE101.
+
+A differential robot living in a :class:`~repro.robotics.maze.Maze`:
+pose = (cell, heading); actuators ``forward`` / ``turn_left`` /
+``turn_right``; sensors:
+
+* ``distance(side)`` — cells of free space ahead/left/right until a wall
+  (the two-distance algorithm reads ahead+left or ahead+right)
+* ``touching()`` — wall directly ahead
+* ``at_goal()``
+
+The robot counts moves and turns (the step metrics graded in the lab) and
+refuses to drive through walls (raising :class:`CollisionError` — in the
+physical lab the robot just grinds, in simulation we fail loudly).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .maze import DELTA, DIRECTIONS, Maze, OPPOSITE
+
+__all__ = ["CollisionError", "Robot", "LEFT_OF", "RIGHT_OF"]
+
+# heading algebra: left/right of each compass heading
+LEFT_OF = {"N": "W", "W": "S", "S": "E", "E": "N"}
+RIGHT_OF = {v: k for k, v in LEFT_OF.items()}
+
+
+class CollisionError(RuntimeError):
+    """Raised when forward() is commanded into a wall."""
+
+
+class Robot:
+    """A robot with a pose in a maze; all sensing is local.
+
+    ``sensor_noise`` > 0 makes the *ranging* sensor (``distance``)
+    unreliable — each reading is perturbed by ±1 cell with that
+    probability (seeded, reproducible).  Touch/wall sensing stays exact,
+    as on the physical NXT: the bumper is reliable, the ultrasonic
+    sensor is not.  The lab's lesson: algorithms that use ranging only
+    for *preference* (the two-distance tiebreak) degrade gracefully;
+    algorithms that would trust it for *safety* would crash.
+    """
+
+    def __init__(
+        self,
+        maze: Maze,
+        heading: str = "E",
+        *,
+        sensor_noise: float = 0.0,
+        noise_seed: Optional[int] = None,
+    ) -> None:
+        if heading not in DIRECTIONS:
+            raise ValueError(f"bad heading {heading!r}")
+        if not 0.0 <= sensor_noise <= 1.0:
+            raise ValueError("sensor_noise must be in [0, 1]")
+        self.maze = maze
+        self.cell = maze.start
+        self.heading = heading
+        self.moves = 0
+        self.turns = 0
+        self.collisions = 0
+        self.trail: list[tuple[int, int]] = [maze.start]
+        self.sensor_noise = sensor_noise
+        self._noise_rng = random.Random(noise_seed)
+
+    # -- sensors --------------------------------------------------------
+    def _absolute(self, side: str) -> str:
+        if side == "ahead":
+            return self.heading
+        if side == "left":
+            return LEFT_OF[self.heading]
+        if side == "right":
+            return RIGHT_OF[self.heading]
+        if side == "behind":
+            return OPPOSITE[self.heading]
+        raise ValueError(f"unknown side {side!r}")
+
+    def distance(self, side: str = "ahead") -> int:
+        """Free cells in the given robot-relative direction until a wall.
+
+        Subject to ``sensor_noise``: the reading may be off by ±1 cell
+        (never negative)."""
+        direction = self._absolute(side)
+        cells = 0
+        current = self.cell
+        while not self.maze.has_wall(current, direction):
+            neighbor = self.maze.neighbor(current, direction)
+            if neighbor is None:
+                break
+            cells += 1
+            current = neighbor
+        if self.sensor_noise and self._noise_rng.random() < self.sensor_noise:
+            cells = max(0, cells + self._noise_rng.choice((-1, 1)))
+        return cells
+
+    def touching(self) -> bool:
+        """Touch sensor: wall directly ahead."""
+        return self.maze.has_wall(self.cell, self.heading)
+
+    def wall(self, side: str) -> bool:
+        return self.maze.has_wall(self.cell, self._absolute(side))
+
+    def at_goal(self) -> bool:
+        return self.cell == self.maze.goal
+
+    def goal_distance(self) -> int:
+        """Manhattan distance to the goal (the greedy heuristic input)."""
+        return abs(self.cell[0] - self.maze.goal[0]) + abs(self.cell[1] - self.maze.goal[1])
+
+    # -- actuators ---------------------------------------------------------
+    def forward(self, cells: int = 1) -> None:
+        for _ in range(cells):
+            if self.maze.has_wall(self.cell, self.heading):
+                self.collisions += 1
+                raise CollisionError(
+                    f"wall {self.heading} of {self.cell}; cannot move"
+                )
+            neighbor = self.maze.neighbor(self.cell, self.heading)
+            assert neighbor is not None  # walls guard the boundary
+            self.cell = neighbor
+            self.moves += 1
+            self.trail.append(neighbor)
+
+    def turn_left(self) -> None:
+        self.heading = LEFT_OF[self.heading]
+        self.turns += 1
+
+    def turn_right(self) -> None:
+        self.heading = RIGHT_OF[self.heading]
+        self.turns += 1
+
+    def turn_around(self) -> None:
+        self.turn_left()
+        self.turn_left()
+
+    def face(self, direction: str) -> None:
+        """Turn (shortest way) until heading equals ``direction``."""
+        if direction not in DIRECTIONS:
+            raise ValueError(f"bad direction {direction!r}")
+        if self.heading == direction:
+            return
+        if LEFT_OF[self.heading] == direction:
+            self.turn_left()
+        elif RIGHT_OF[self.heading] == direction:
+            self.turn_right()
+        else:
+            self.turn_around()
+
+    def reset(self) -> None:
+        """Back to the start pose, clearing odometry."""
+        self.cell = self.maze.start
+        self.heading = "E"
+        self.moves = 0
+        self.turns = 0
+        self.collisions = 0
+        self.trail = [self.maze.start]
+
+    def __repr__(self) -> str:
+        return f"Robot(cell={self.cell}, heading={self.heading}, moves={self.moves})"

@@ -1,0 +1,217 @@
+"""Maze algorithms expressed in the course's two formalisms.
+
+Figure 2 shows the two-distance algorithm "given in finite state machine
+to be implemented in VPL".  This module provides both renderings so the
+lab can compare them with the imperative versions in
+:mod:`repro.robotics.algorithms`:
+
+* :func:`two_distance_fsm` — a :class:`~repro.workflow.fsm.StateMachine`
+  mirroring Figure 2: Sense → Decide → (TurnTo, Move) → CheckGoal loop
+* :func:`wall_follow_fsm` — the wall follower as an FSM
+* :func:`greedy_step_workflow` — one decision wave of the greedy as a VPL
+  dataflow diagram (sensors → compare → actuate), run per cell by
+  :func:`run_workflow_navigation` — the dataflow loop idiom
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from ..workflow.dataflow import Workflow, calculate, data
+from ..workflow.fsm import StateMachine
+from .algorithms import NavigationResult
+from .robot import Robot
+
+__all__ = [
+    "two_distance_fsm",
+    "wall_follow_fsm",
+    "run_fsm_navigation",
+    "greedy_step_workflow",
+    "run_workflow_navigation",
+]
+
+
+class _GreedyContext:
+    """Mutable context threaded through the FSM (the VPL variable bag)."""
+
+    def __init__(self, robot: Robot, max_moves: int) -> None:
+        self.robot = robot
+        self.max_moves = max_moves
+        self.visits: dict[tuple[int, int], int] = defaultdict(int)
+        self.visits[robot.cell] += 1
+        self.chosen_direction: str | None = None
+
+    def budget_left(self) -> bool:
+        return self.robot.moves < self.max_moves
+
+
+def _decide_two_distance(context: _GreedyContext) -> None:
+    """The Decide state's action: compute the two-distance choice."""
+    robot = context.robot
+    goal = robot.maze.goal
+    best: tuple[Any, ...] | None = None
+    for direction in robot.maze.open_directions(robot.cell):
+        neighbor = robot.maze.neighbor(robot.cell, direction)
+        assert neighbor is not None
+        manhattan = abs(neighbor[0] - goal[0]) + abs(neighbor[1] - goal[1])
+        robot.face(direction)
+        free_run = robot.distance("ahead")
+        key = (context.visits[neighbor], manhattan, -free_run, direction)
+        if best is None or key < best[:4]:
+            best = key + (neighbor,)
+    context.chosen_direction = best[3] if best else None
+
+
+def _move_chosen(context: _GreedyContext) -> None:
+    robot = context.robot
+    assert context.chosen_direction is not None
+    robot.face(context.chosen_direction)
+    robot.forward()
+    context.visits[robot.cell] += 1
+
+
+def two_distance_fsm() -> StateMachine:
+    """Figure 2 as a state machine over a :class:`_GreedyContext`."""
+    machine = StateMachine("Sense")
+    machine.state("Sense")
+    machine.state("Decide")
+    machine.state("Move")
+    machine.state("AtGoal", terminal=True)
+    machine.state("Stuck", terminal=True)
+
+    machine.transition(
+        "Sense", "AtGoal", guard=lambda c: c.robot.at_goal(), label="goal reached"
+    )
+    machine.transition(
+        "Sense", "Stuck", guard=lambda c: not c.budget_left(), label="budget exhausted"
+    )
+    machine.transition("Sense", "Decide", action=_decide_two_distance, label="sense")
+    machine.transition(
+        "Decide", "Stuck", guard=lambda c: c.chosen_direction is None, label="sealed"
+    )
+    machine.transition("Decide", "Move", action=_move_chosen, label="choose min")
+    machine.transition("Move", "Sense", label="loop")
+    return machine
+
+
+def wall_follow_fsm(hand: str = "right") -> StateMachine:
+    """Wall following as a state machine (context = Robot)."""
+    if hand not in ("left", "right"):
+        raise ValueError("hand must be 'left' or 'right'")
+    first = hand
+    last = "left" if hand == "right" else "right"
+
+    def turn_first(robot: Robot) -> None:
+        (robot.turn_right if hand == "right" else robot.turn_left)()
+        robot.forward()
+
+    def turn_last(robot: Robot) -> None:
+        (robot.turn_left if hand == "right" else robot.turn_right)()
+        robot.forward()
+
+    def back(robot: Robot) -> None:
+        robot.turn_around()
+        robot.forward()
+
+    machine = StateMachine("Check")
+    machine.state("Check")
+    machine.state("AtGoal", terminal=True)
+    machine.transition("Check", "AtGoal", guard=lambda r: r.at_goal(), label="goal")
+    machine.transition(
+        "Check", "Check",
+        guard=lambda r: not r.wall(first), action=turn_first, label=f"open {first}",
+    )
+    machine.transition(
+        "Check", "Check",
+        guard=lambda r: not r.wall("ahead"), action=lambda r: r.forward(), label="open ahead",
+    )
+    machine.transition(
+        "Check", "Check",
+        guard=lambda r: not r.wall(last), action=turn_last, label=f"open {last}",
+    )
+    machine.transition("Check", "Check", action=back, label="dead end")
+    return machine
+
+
+def run_fsm_navigation(
+    machine: StateMachine, robot: Robot, *, max_moves: int = 10_000
+) -> NavigationResult:
+    """Execute an FSM navigation and package the standard result."""
+    if machine.initial == "Sense":  # two-distance machine wants a context
+        context: Any = _GreedyContext(robot, max_moves)
+    else:
+        context = robot
+    run = machine.run(context, max_steps=max_moves * 4)
+    return NavigationResult(
+        f"fsm-{machine.initial.lower()}",
+        robot.at_goal(),
+        robot.moves,
+        robot.turns,
+        tuple(robot.trail),
+    )
+
+
+# ---------------------------------------------------------------------------
+# dataflow rendering
+# ---------------------------------------------------------------------------
+
+
+def greedy_step_workflow(robot: Robot, visits: dict[tuple[int, int], int]) -> Workflow:
+    """One greedy decision as a VPL diagram.
+
+    Activities: three sensor sources (open directions, goal, visit map) →
+    a Calculate that scores candidates → a Calculate that actuates.  The
+    diagram is rebuilt per wave because VPL sources are constants; the
+    Variable/loop idiom lives in :func:`run_workflow_navigation`.
+    """
+    workflow = Workflow()
+    workflow.add(data("open_dirs", robot.maze.open_directions(robot.cell)))
+    workflow.add(data("goal", robot.maze.goal))
+    workflow.add(data("visit_map", dict(visits)))
+
+    def score(dirs: list[str], goal: tuple[int, int], vmap: dict) -> str | None:
+        best = None
+        for direction in dirs:
+            neighbor = robot.maze.neighbor(robot.cell, direction)
+            assert neighbor is not None
+            manhattan = abs(neighbor[0] - goal[0]) + abs(neighbor[1] - goal[1])
+            robot.face(direction)
+            free = robot.distance("ahead")
+            key = (vmap.get(neighbor, 0), manhattan, -free, direction)
+            if best is None or key < best:
+                best = key
+        return best[3] if best else None
+
+    workflow.add(calculate("score", score, ["dirs", "goal", "vmap"]))
+    workflow.connect("open_dirs", "out", "score", "dirs")
+    workflow.connect("goal", "out", "score", "goal")
+    workflow.connect("visit_map", "out", "score", "vmap")
+
+    def actuate(direction: str | None) -> bool:
+        if direction is None:
+            return False
+        robot.face(direction)
+        robot.forward()
+        return True
+
+    workflow.add(calculate("actuate", actuate, ["direction"]))
+    workflow.connect("score", "result", "actuate", "direction")
+    return workflow
+
+
+def run_workflow_navigation(
+    robot: Robot, *, max_moves: int = 10_000
+) -> NavigationResult:
+    """Drive the robot by repeated dataflow waves until the goal."""
+    visits: dict[tuple[int, int], int] = defaultdict(int)
+    visits[robot.cell] += 1
+    while robot.moves < max_moves and not robot.at_goal():
+        workflow = greedy_step_workflow(robot, visits)
+        outputs = workflow.run()
+        if not outputs.get("actuate", {}).get("result", False):
+            break  # sealed
+        visits[robot.cell] += 1
+    return NavigationResult(
+        "vpl-greedy", robot.at_goal(), robot.moves, robot.turns, tuple(robot.trail)
+    )

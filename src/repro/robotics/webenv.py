@@ -1,0 +1,245 @@
+"""The Web-based robotics programming environment (Figure 1).
+
+"Using this simple Web environment, student can design an autonomous maze
+navigation algorithm ... A maze navigation program can be written using a
+few drop-down commands."  Two pieces:
+
+* :class:`CommandProgram` — the drop-down mini-language: a list of
+  commands (``forward``, ``left``, ``right``, ``repeat-until-wall``,
+  ``if-wall-ahead ... else ...``, ``repeat-until-goal`` over a block)
+  parsed from text and interpreted against a **RobotService proxy** —
+  the program only ever talks to the service, never the robot object
+  (the Robot-as-a-Service abstraction the figure demonstrates).
+* :class:`TwinChannel` — "the virtual robot in the Web can communicate
+  and synchronize with the physical robot": a command-log channel that
+  replays every actuator call onto a second (physical) robot and
+  reports divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["ProgramError", "Command", "CommandProgram", "TwinChannel"]
+
+
+class ProgramError(ValueError):
+    """Parse or runtime error in a drop-down program."""
+
+
+@dataclass
+class Command:
+    """One parsed command; blocks hold nested commands."""
+
+    kind: str
+    block: list["Command"] = field(default_factory=list)
+    else_block: list["Command"] = field(default_factory=list)
+    argument: Optional[int] = None
+
+
+_SIMPLE = {"forward", "left", "right", "around"}
+_BLOCK_OPEN = {
+    "repeat-until-goal",
+    "repeat-until-wall",
+    "if-wall-ahead",
+    "if-wall-left",
+    "if-wall-right",
+}
+_CONDITIONALS = {"if-wall-ahead", "if-wall-left", "if-wall-right"}
+
+
+class CommandProgram:
+    """A drop-down command program, parsed from one-command-per-line text.
+
+    Grammar (indentation-free; ``end`` closes blocks, ``else`` splits the
+    conditional)::
+
+        repeat-until-goal
+          if-wall-ahead
+            right
+          else
+            forward
+          end
+        end
+    """
+
+    MAX_ACTIONS = 100_000
+
+    def __init__(self, commands: list[Command]) -> None:
+        self.commands = commands
+
+    # -- parsing ---------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "CommandProgram":
+        tokens = [
+            line.strip().lower()
+            for line in text.splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        ]
+        commands, position = cls._parse_block(tokens, 0, top_level=True)
+        if position != len(tokens):
+            raise ProgramError(f"unexpected {tokens[position]!r} at line {position + 1}")
+        return cls(commands)
+
+    @classmethod
+    def _parse_block(
+        cls, tokens: list[str], position: int, *, top_level: bool = False
+    ) -> tuple[list[Command], int]:
+        commands: list[Command] = []
+        while position < len(tokens):
+            token = tokens[position]
+            if token in ("end", "else"):
+                if top_level:
+                    raise ProgramError(f"{token!r} without an open block")
+                return commands, position
+            if token in _SIMPLE:
+                commands.append(Command(token))
+                position += 1
+                continue
+            if token.startswith("forward "):
+                try:
+                    count = int(token.split()[1])
+                except (IndexError, ValueError):
+                    raise ProgramError(f"bad forward count in {token!r}") from None
+                if count < 1:
+                    raise ProgramError("forward count must be >= 1")
+                commands.append(Command("forward", argument=count))
+                position += 1
+                continue
+            if token in _BLOCK_OPEN:
+                block, position = cls._parse_block(tokens, position + 1)
+                command = Command(token, block=block)
+                if position < len(tokens) and tokens[position] == "else":
+                    if token not in _CONDITIONALS:
+                        raise ProgramError("'else' only valid after an if-wall conditional")
+                    else_block, position = cls._parse_block(tokens, position + 1)
+                    command.else_block = else_block
+                if position >= len(tokens) or tokens[position] != "end":
+                    raise ProgramError(f"unterminated {token!r} block")
+                position += 1
+                commands.append(command)
+                continue
+            raise ProgramError(f"unknown command {token!r}")
+        if not top_level:
+            raise ProgramError("unterminated block")
+        return commands, position
+
+    # -- interpretation ---------------------------------------------------
+    def run(self, robot_service: Any) -> dict[str, Any]:
+        """Interpret against anything exposing the RobotService contract
+        (the service itself, or a proxy over any binding).
+
+        Returns the final pose dict plus ``actions`` (actuator calls made)
+        and ``reached_goal``.
+        """
+        counter = {"actions": 0}
+        self._run_block(self.commands, robot_service, counter)
+        pose = robot_service.pose()
+        pose["actions"] = counter["actions"]
+        pose["reached_goal"] = bool(robot_service.at_goal())
+        return pose
+
+    def _act(self, counter: dict[str, int]) -> None:
+        counter["actions"] += 1
+        if counter["actions"] > self.MAX_ACTIONS:
+            raise ProgramError(f"program exceeded {self.MAX_ACTIONS} actions")
+
+    def _run_block(self, commands: list[Command], svc: Any, counter: dict[str, int]) -> None:
+        for command in commands:
+            if command.kind == "forward":
+                self._act(counter)
+                svc.forward(cells=command.argument or 1)
+            elif command.kind == "left":
+                self._act(counter)
+                svc.turn(direction="left")
+            elif command.kind == "right":
+                self._act(counter)
+                svc.turn(direction="right")
+            elif command.kind == "around":
+                self._act(counter)
+                svc.turn(direction="around")
+            elif command.kind in _CONDITIONALS:
+                side = command.kind.rsplit("-", 1)[1]
+                if side == "ahead":
+                    blocked = svc.touching()
+                else:
+                    blocked = svc.walls()[side]
+                if blocked:
+                    self._run_block(command.block, svc, counter)
+                else:
+                    self._run_block(command.else_block, svc, counter)
+            elif command.kind == "repeat-until-wall":
+                while not svc.touching():
+                    self._act(counter)
+                    self._run_block(command.block, svc, counter)
+            elif command.kind == "repeat-until-goal":
+                while not svc.at_goal():
+                    self._act(counter)
+                    self._run_block(command.block, svc, counter)
+            else:  # pragma: no cover - parser prevents this
+                raise ProgramError(f"unknown command kind {command.kind!r}")
+
+
+class TwinChannel:
+    """Virtual↔physical robot synchronization (Figure 1's 'excitement').
+
+    Wraps a primary robot service and mirrors every actuator call onto a
+    twin service; :meth:`divergence` reports pose mismatch (nonzero when
+    the physical twin starts elsewhere or misses commands — fault
+    injection in tests).
+    """
+
+    def __init__(self, primary: Any, twin: Any, *, mirror_faults: bool = False) -> None:
+        self.primary = primary
+        self.twin = twin
+        self.mirror_faults = mirror_faults
+        self.commands_sent = 0
+        self.twin_errors = 0
+
+    # sensor pass-throughs ------------------------------------------------
+    def pose(self) -> dict:
+        return self.primary.pose()
+
+    def touching(self) -> bool:
+        return self.primary.touching()
+
+    def at_goal(self) -> bool:
+        return self.primary.at_goal()
+
+    def distance(self, side: str = "ahead") -> int:
+        return self.primary.distance(side=side)
+
+    def walls(self) -> dict:
+        return self.primary.walls()
+
+    # mirrored actuators ---------------------------------------------------
+    def _mirror(self, action: Callable[[Any], Any]) -> None:
+        self.commands_sent += 1
+        try:
+            action(self.twin)
+        except Exception:  # noqa: BLE001 - twin faults must not stop the lab
+            self.twin_errors += 1
+            if self.mirror_faults:
+                raise
+
+    def forward(self, cells: int = 1) -> dict:
+        result = self.primary.forward(cells=cells)
+        self._mirror(lambda twin: twin.forward(cells=cells))
+        return result
+
+    def turn(self, direction: str) -> dict:
+        result = self.primary.turn(direction=direction)
+        self._mirror(lambda twin: twin.turn(direction=direction))
+        return result
+
+    def reset(self) -> dict:
+        result = self.primary.reset()
+        self._mirror(lambda twin: twin.reset())
+        return result
+
+    def divergence(self) -> int:
+        """Manhattan distance between primary and twin poses (0 = in sync)."""
+        a = self.primary.pose()
+        b = self.twin.pose()
+        return abs(a["x"] - b["x"]) + abs(a["y"] - b["y"])

@@ -1,0 +1,108 @@
+"""Role-based access control — the repository's "access control services".
+
+A small RBAC model: permissions are strings, roles bundle permissions,
+roles can inherit, principals hold roles.  :meth:`AccessControl.check`
+is what the host interceptors and the access-control service call.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional
+
+from ..core.faults import AccessDenied
+
+__all__ = ["AccessControl"]
+
+
+class AccessControl:
+    """RBAC store: roles → permissions (with inheritance), users → roles."""
+
+    def __init__(self) -> None:
+        self._role_permissions: dict[str, set[str]] = {}
+        self._role_parents: dict[str, set[str]] = {}
+        self._user_roles: dict[str, set[str]] = {}
+        self._lock = threading.RLock()
+
+    # -- role management -------------------------------------------------
+    def define_role(
+        self,
+        role: str,
+        permissions: Iterable[str] = (),
+        *,
+        inherits: Iterable[str] = (),
+    ) -> None:
+        with self._lock:
+            for parent in inherits:
+                if parent not in self._role_permissions:
+                    raise ValueError(f"unknown parent role {parent!r}")
+            if self._would_cycle(role, set(inherits)):
+                raise ValueError(f"role inheritance cycle through {role!r}")
+            self._role_permissions.setdefault(role, set()).update(permissions)
+            self._role_parents.setdefault(role, set()).update(inherits)
+
+    def _would_cycle(self, role: str, parents: set[str]) -> bool:
+        # walking up from parents must never reach role
+        frontier = set(parents)
+        seen = set()
+        while frontier:
+            current = frontier.pop()
+            if current == role:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.update(self._role_parents.get(current, ()))
+        return False
+
+    def grant_permission(self, role: str, permission: str) -> None:
+        with self._lock:
+            if role not in self._role_permissions:
+                raise ValueError(f"unknown role {role!r}")
+            self._role_permissions[role].add(permission)
+
+    def revoke_permission(self, role: str, permission: str) -> None:
+        with self._lock:
+            self._role_permissions.get(role, set()).discard(permission)
+
+    # -- user management ---------------------------------------------------
+    def assign_role(self, user: str, role: str) -> None:
+        with self._lock:
+            if role not in self._role_permissions:
+                raise ValueError(f"unknown role {role!r}")
+            self._user_roles.setdefault(user, set()).add(role)
+
+    def unassign_role(self, user: str, role: str) -> None:
+        with self._lock:
+            self._user_roles.get(user, set()).discard(role)
+
+    def roles_of(self, user: str) -> frozenset[str]:
+        """All roles of a user, inherited roles included."""
+        with self._lock:
+            direct = set(self._user_roles.get(user, ()))
+            frontier = set(direct)
+            while frontier:
+                role = frontier.pop()
+                for parent in self._role_parents.get(role, ()):
+                    if parent not in direct:
+                        direct.add(parent)
+                        frontier.add(parent)
+            return frozenset(direct)
+
+    def permissions_of(self, user: str) -> frozenset[str]:
+        with self._lock:
+            permissions: set[str] = set()
+            for role in self.roles_of(user):
+                permissions.update(self._role_permissions.get(role, ()))
+            return frozenset(permissions)
+
+    # -- checks ------------------------------------------------------------
+    def is_allowed(self, user: str, permission: str) -> bool:
+        return permission in self.permissions_of(user)
+
+    def check(self, user: str, permission: str) -> None:
+        """Raise :class:`AccessDenied` unless the user holds the permission."""
+        if not self.is_allowed(user, permission):
+            raise AccessDenied(
+                f"user {user!r} lacks permission {permission!r}"
+            )

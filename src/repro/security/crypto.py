@@ -1,0 +1,231 @@
+"""Educational cryptography — the ASU repository's encryption/decryption
+services are built on these primitives.
+
+These are *teaching* ciphers (the course uses them to explain the concepts
+of keys, key exchange and asymmetry), not production cryptography:
+
+* classical: Caesar, Vigenère
+* :class:`XorStreamCipher` — keystream cipher over a seeded PRG
+* toy RSA (small primes, deterministic keygen from a seed)
+* Diffie-Hellman key agreement over a small prime group
+* salted password hashing rides on ``hashlib`` (the one primitive worth
+  not reimplementing badly) in :mod:`repro.security.auth`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from math import gcd
+from typing import Optional
+
+__all__ = [
+    "caesar_encrypt",
+    "caesar_decrypt",
+    "vigenere_encrypt",
+    "vigenere_decrypt",
+    "XorStreamCipher",
+    "RsaKeyPair",
+    "generate_rsa_keypair",
+    "rsa_encrypt",
+    "rsa_decrypt",
+    "DiffieHellman",
+]
+
+_ALPHA = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _shift_char(ch: str, shift: int) -> str:
+    # classical ciphers operate on the 26-letter Latin alphabet only;
+    # anything else (digits, punctuation, non-ASCII letters) passes through
+    if "a" <= ch <= "z":
+        return _ALPHA[(ord(ch) - 97 + shift) % 26]
+    if "A" <= ch <= "Z":
+        return _ALPHA[(ord(ch) - 65 + shift) % 26].upper()
+    return ch
+
+
+def caesar_encrypt(plaintext: str, shift: int) -> str:
+    """Shift alphabetic characters by ``shift``; others pass through."""
+    return "".join(_shift_char(ch, shift) for ch in plaintext)
+
+
+def caesar_decrypt(ciphertext: str, shift: int) -> str:
+    """Invert :func:`caesar_encrypt` with the same shift."""
+    return caesar_encrypt(ciphertext, -shift)
+
+
+def _is_ascii_letter(ch: str) -> bool:
+    return "a" <= ch <= "z" or "A" <= ch <= "Z"
+
+
+def _vigenere(text: str, key: str, sign: int) -> str:
+    if not key or not all(_is_ascii_letter(ch) for ch in key):
+        raise ValueError("Vigenère key must be non-empty ASCII letters")
+    shifts = [ord(ch.lower()) - 97 for ch in key]
+    out = []
+    index = 0
+    for ch in text:
+        if _is_ascii_letter(ch):
+            out.append(_shift_char(ch, sign * shifts[index % len(shifts)]))
+            index += 1
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def vigenere_encrypt(plaintext: str, key: str) -> str:
+    """Polyalphabetic shift keyed by ``key`` (letters only advance the key)."""
+    return _vigenere(plaintext, key, +1)
+
+
+def vigenere_decrypt(ciphertext: str, key: str) -> str:
+    """Invert :func:`vigenere_encrypt` with the same key."""
+    return _vigenere(ciphertext, key, -1)
+
+
+class XorStreamCipher:
+    """Symmetric keystream cipher: bytes XORed with a key-seeded PRG stream.
+
+    Same key encrypts and decrypts (XOR is an involution).  The keystream
+    is derived by iterated SHA-256 so equal keys give equal streams across
+    processes.
+    """
+
+    def __init__(self, key: bytes | str) -> None:
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._key = key
+
+    def _keystream(self, length: int) -> bytes:
+        out = b""
+        block = hashlib.sha256(self._key).digest()
+        while len(out) < length:
+            out += block
+            block = hashlib.sha256(block + self._key).digest()
+        return out[:length]
+
+    def encrypt(self, data: bytes | str) -> bytes:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        stream = self._keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+    def decrypt(self, data: bytes) -> bytes:
+        return self.encrypt(data)
+
+    def decrypt_text(self, data: bytes) -> str:
+        return self.decrypt(data).decode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# toy RSA
+# ---------------------------------------------------------------------------
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 16) -> bool:
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31):
+        if n % small == 0:
+            return n == small
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """(n, e) public / (n, d) private toy RSA key pair."""
+
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public(self) -> tuple[int, int]:
+        return (self.n, self.e)
+
+    @property
+    def private(self) -> tuple[int, int]:
+        return (self.n, self.d)
+
+
+def generate_rsa_keypair(bits: int = 64, seed: Optional[int] = None) -> RsaKeyPair:
+    """Deterministic (when seeded) toy RSA keygen.  ``bits`` per prime."""
+    if bits < 8:
+        raise ValueError("need at least 8 bits per prime")
+    rng = random.Random(seed)
+    p = _random_prime(bits, rng)
+    q = _random_prime(bits, rng)
+    while q == p:
+        q = _random_prime(bits, rng)
+    n = p * q
+    phi = (p - 1) * (q - 1)
+    e = 65537
+    if gcd(e, phi) != 1:
+        e = 3
+        while gcd(e, phi) != 1:
+            e += 2
+    d = pow(e, -1, phi)
+    return RsaKeyPair(n, e, d)
+
+
+def rsa_encrypt(message: int, public: tuple[int, int]) -> int:
+    """Raw RSA: message^e mod n (message must be in [0, n))."""
+    n, e = public
+    if not 0 <= message < n:
+        raise ValueError("message must be in [0, n)")
+    return pow(message, e, n)
+
+
+def rsa_decrypt(ciphertext: int, private: tuple[int, int]) -> int:
+    """Raw RSA: ciphertext^d mod n."""
+    n, d = private
+    if not 0 <= ciphertext < n:
+        raise ValueError("ciphertext must be in [0, n)")
+    return pow(ciphertext, d, n)
+
+
+class DiffieHellman:
+    """Key agreement over a fixed safe-prime group (RFC 3526 1536-bit... no:
+    a small teaching prime).  Both parties derive the same shared secret.
+    """
+
+    # 256-bit safe-ish teaching prime and generator
+    P = 0xFFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC7
+    G = 5
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        rng = random.Random(seed)
+        self._secret = rng.randrange(2, self.P - 2)
+        self.public = pow(self.G, self._secret, self.P)
+
+    def shared_secret(self, other_public: int) -> bytes:
+        if not 2 <= other_public <= self.P - 2:
+            raise ValueError("peer public value out of range")
+        value = pow(other_public, self._secret, self.P)
+        return hashlib.sha256(value.to_bytes((value.bit_length() + 7) // 8, "big")).digest()

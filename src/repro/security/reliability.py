@@ -1,0 +1,274 @@
+"""Reliability patterns — the other half of "Dependability of Web Software".
+
+The paper §V complains about free public services: "too slow to use
+(frequent timeout)... often offline or removed without notice".  CSE445
+Unit 6 teaches the client-side defenses.  Each pattern wraps an invokable
+(``callable(**kwargs) -> value``) and composes with the others:
+
+* :func:`with_retry` — bounded retries with (deterministic) backoff
+* :func:`with_timeout` — deadline enforcement on a worker thread
+* :class:`CircuitBreaker` — closed → open → half-open automaton
+* :class:`ReplicatedInvoker` — failover across equivalent providers
+* :class:`Checkpointer` — save/restore long-running computation state
+* :class:`FaultInjector` — deterministic fault injection for testing
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from ..core.faults import ServiceFault, ServiceUnavailable, TimeoutFault
+
+__all__ = [
+    "with_retry",
+    "with_timeout",
+    "CircuitBreaker",
+    "ReplicatedInvoker",
+    "Checkpointer",
+    "FaultInjector",
+]
+
+Invokable = Callable[..., Any]
+
+
+def with_retry(
+    fn: Invokable,
+    *,
+    attempts: int = 3,
+    backoff_seconds: float = 0.0,
+    backoff_factor: float = 2.0,
+    retry_on: tuple[type[Exception], ...] = (ServiceFault, OSError),
+    sleep: Callable[[float], None] = time.sleep,
+) -> Invokable:
+    """Retry on listed exception types; re-raise the last failure."""
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+
+    def wrapped(**kwargs: Any) -> Any:
+        delay = backoff_seconds
+        last: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                return fn(**kwargs)
+            except retry_on as exc:
+                last = exc
+                if attempt + 1 < attempts and delay > 0:
+                    sleep(delay)
+                    delay *= backoff_factor
+        assert last is not None
+        raise last
+
+    wrapped.__name__ = f"retry({getattr(fn, '__name__', 'fn')})"
+    return wrapped
+
+
+def with_timeout(fn: Invokable, *, seconds: float) -> Invokable:
+    """Run ``fn`` on a worker thread; raise :class:`TimeoutFault` on deadline.
+
+    (The worker is abandoned, not killed — the standard caveat the course
+    discusses about cooperative cancellation.)
+    """
+    if seconds <= 0:
+        raise ValueError("timeout must be positive")
+
+    def wrapped(**kwargs: Any) -> Any:
+        box: dict[str, Any] = {}
+
+        def target() -> None:
+            try:
+                box["result"] = fn(**kwargs)
+            except Exception as exc:  # noqa: BLE001 - transported to caller
+                box["error"] = exc
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        thread.join(timeout=seconds)
+        if thread.is_alive():
+            raise TimeoutFault(f"call exceeded {seconds}s deadline")
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    wrapped.__name__ = f"timeout({getattr(fn, '__name__', 'fn')})"
+    return wrapped
+
+
+class CircuitBreaker:
+    """The closed → open → half-open availability automaton.
+
+    * closed: calls pass; ``failure_threshold`` consecutive failures trip it
+    * open: calls fail fast with :class:`ServiceUnavailable` until
+      ``recovery_seconds`` of the supplied clock elapse
+    * half-open: one probe call; success closes, failure re-opens
+    """
+
+    def __init__(
+        self,
+        fn: Invokable,
+        *,
+        failure_threshold: int = 3,
+        recovery_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.fn = fn
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.clock = clock
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == "open"
+            and self.clock() - self._opened_at >= self.recovery_seconds
+        ):
+            self._state = "half-open"
+
+    def __call__(self, **kwargs: Any) -> Any:
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == "open":
+                raise ServiceUnavailable(
+                    f"circuit open; retry after {self.recovery_seconds}s"
+                )
+            probing = self._state == "half-open"
+        try:
+            result = self.fn(**kwargs)
+        except Exception:
+            with self._lock:
+                self._consecutive_failures += 1
+                if probing or self._consecutive_failures >= self.failure_threshold:
+                    self._state = "open"
+                    self._opened_at = self.clock()
+            raise
+        with self._lock:
+            self._consecutive_failures = 0
+            self._state = "closed"
+        return result
+
+
+class ReplicatedInvoker:
+    """Failover across equivalent providers (active/standby replication).
+
+    Tries replicas in preference order; first success wins.  With
+    ``sticky=True`` the last successful replica is tried first next time
+    (primary promotion).  Raises the last failure if all replicas fail.
+    """
+
+    def __init__(self, replicas: Sequence[Invokable], *, sticky: bool = True) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self._replicas = list(replicas)
+        self.sticky = sticky
+        self._preferred = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, **kwargs: Any) -> Any:
+        with self._lock:
+            order = list(range(len(self._replicas)))
+            order = order[self._preferred :] + order[: self._preferred]
+        last: Optional[Exception] = None
+        for index in order:
+            try:
+                result = self._replicas[index](**kwargs)
+            except Exception as exc:  # noqa: BLE001 - failover semantics
+                last = exc
+                continue
+            if self.sticky:
+                with self._lock:
+                    self._preferred = index
+            return result
+        assert last is not None
+        raise last
+
+    @property
+    def preferred_replica(self) -> int:
+        with self._lock:
+            return self._preferred
+
+
+class Checkpointer:
+    """Checkpoint/restore for long computations (recovery-oriented design).
+
+    ``run`` executes ``step(state) -> (state, done)`` repeatedly, saving
+    state through ``save`` every ``interval`` steps; on restart, ``run``
+    resumes from the last saved state.
+    """
+
+    def __init__(
+        self,
+        save: Callable[[Any], None],
+        load: Callable[[], Optional[Any]],
+        *,
+        interval: int = 10,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.save = save
+        self.load = load
+        self.interval = interval
+
+    def run(self, step: Callable[[Any], tuple[Any, bool]], initial: Any) -> Any:
+        state = self.load()
+        if state is None:
+            state = initial
+        count = 0
+        while True:
+            state, done = step(state)
+            count += 1
+            if done:
+                self.save(state)
+                return state
+            if count % self.interval == 0:
+                self.save(state)
+
+
+class FaultInjector:
+    """Deterministic fault injection wrapper for dependability testing.
+
+    ``plan`` is a sequence of fault specs consumed one call at a time:
+    ``None`` (pass through), an Exception instance (raised), or a float
+    (seconds of injected latency).  When the plan is exhausted the wrapped
+    callable passes through untouched.
+    """
+
+    def __init__(
+        self,
+        fn: Invokable,
+        plan: Sequence[Optional[Exception | float]],
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.fn = fn
+        self._plan = list(plan)
+        self._position = 0
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.injected_faults = 0
+
+    def __call__(self, **kwargs: Any) -> Any:
+        with self._lock:
+            self.calls += 1
+            spec = (
+                self._plan[self._position] if self._position < len(self._plan) else None
+            )
+            self._position += 1
+        if isinstance(spec, Exception):
+            with self._lock:
+                self.injected_faults += 1
+            raise spec
+        if isinstance(spec, (int, float)) and spec:
+            self._sleep(float(spec))
+        return self.fn(**kwargs)

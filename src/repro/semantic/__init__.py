@@ -1,0 +1,18 @@
+"""Ontology and Semantic Web (CSE446 unit 6): indexed triple store,
+SPARQL-style variable joins, and a forward-chaining RDFS-lite reasoner."""
+
+from .triples import (
+    Ontology,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROP,
+    Triple,
+    TripleStore,
+)
+
+__all__ = [
+    "Triple", "TripleStore", "Ontology",
+    "RDF_TYPE", "RDFS_SUBCLASS", "RDFS_SUBPROP", "RDFS_DOMAIN", "RDFS_RANGE",
+]

@@ -1,0 +1,233 @@
+"""Triple store and RDFS-lite inference — CSE446 unit 6, "Ontology and
+Semantic Web".
+
+A subject–predicate–object store with:
+
+* pattern queries (``None`` = wildcard) and multi-pattern joins with
+  variables (``"?x"``) — the SPARQL idea at teaching scale
+* an :class:`Ontology` layer: class/property hierarchies, domain/range
+* forward-chaining RDFS-subset inference to fixpoint:
+  - rdfs9  (x type C) ∧ (C subClassOf D)       → (x type D)
+  - rdfs7  (x p y) ∧ (p subPropertyOf q)       → (x q y)
+  - rdfs2  (x p y) ∧ (p domain C)              → (x type C)
+  - rdfs3  (x p y) ∧ (p range C)               → (y type C)
+  - transitivity of subClassOf / subPropertyOf (rdfs5, rdfs11)
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["Triple", "TripleStore", "Ontology", "RDF_TYPE", "RDFS_SUBCLASS", "RDFS_SUBPROP", "RDFS_DOMAIN", "RDFS_RANGE"]
+
+RDF_TYPE = "rdf:type"
+RDFS_SUBCLASS = "rdfs:subClassOf"
+RDFS_SUBPROP = "rdfs:subPropertyOf"
+RDFS_DOMAIN = "rdfs:domain"
+RDFS_RANGE = "rdfs:range"
+
+
+@dataclass(frozen=True)
+class Triple:
+    subject: str
+    predicate: str
+    object: str
+
+    def __iter__(self) -> Iterator[str]:
+        return iter((self.subject, self.predicate, self.object))
+
+
+def _is_variable(term: Optional[str]) -> bool:
+    return isinstance(term, str) and term.startswith("?")
+
+
+class TripleStore:
+    """Indexed S-P-O store with pattern matching and variable joins."""
+
+    def __init__(self) -> None:
+        self._triples: set[Triple] = set()
+        self._by_subject: dict[str, set[Triple]] = {}
+        self._by_predicate: dict[str, set[Triple]] = {}
+        self._by_object: dict[str, set[Triple]] = {}
+        self._lock = threading.RLock()
+
+    def add(self, subject: str, predicate: str, object_: str) -> bool:
+        """Add a triple; returns False if it was already present."""
+        triple = Triple(subject, predicate, object_)
+        with self._lock:
+            if triple in self._triples:
+                return False
+            self._triples.add(triple)
+            self._by_subject.setdefault(subject, set()).add(triple)
+            self._by_predicate.setdefault(predicate, set()).add(triple)
+            self._by_object.setdefault(object_, set()).add(triple)
+            return True
+
+    def add_all(self, triples: Iterable[tuple[str, str, str]]) -> int:
+        return sum(1 for t in triples if self.add(*t))
+
+    def remove(self, subject: str, predicate: str, object_: str) -> None:
+        triple = Triple(subject, predicate, object_)
+        with self._lock:
+            if triple not in self._triples:
+                return
+            self._triples.discard(triple)
+            self._by_subject.get(subject, set()).discard(triple)
+            self._by_predicate.get(predicate, set()).discard(triple)
+            self._by_object.get(object_, set()).discard(triple)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._triples)
+
+    def __contains__(self, spo: tuple[str, str, str]) -> bool:
+        return Triple(*spo) in self._triples
+
+    # -- pattern matching ---------------------------------------------------
+    def match(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        object_: Optional[str] = None,
+    ) -> list[Triple]:
+        """All triples matching the pattern (None or '?var' = wildcard)."""
+        subject = None if _is_variable(subject) else subject
+        predicate = None if _is_variable(predicate) else predicate
+        object_ = None if _is_variable(object_) else object_
+        with self._lock:
+            candidates: Optional[set[Triple]] = None
+            for term, index in (
+                (subject, self._by_subject),
+                (predicate, self._by_predicate),
+                (object_, self._by_object),
+            ):
+                if term is not None:
+                    bucket = index.get(term, set())
+                    candidates = bucket if candidates is None else candidates & bucket
+            if candidates is None:
+                candidates = set(self._triples)
+            return sorted(candidates, key=lambda t: (t.subject, t.predicate, t.object))
+
+    def query(
+        self, patterns: list[tuple[str, str, str]]
+    ) -> list[dict[str, str]]:
+        """Multi-pattern join: terms starting with '?' are variables.
+
+        Returns one binding dict per solution, in deterministic order.
+        """
+        solutions: list[dict[str, str]] = [{}]
+        for pattern in patterns:
+            next_solutions: list[dict[str, str]] = []
+            for binding in solutions:
+                bound = [
+                    binding.get(term, term) if _is_variable(term) else term
+                    for term in pattern
+                ]
+                lookup = [None if _is_variable(term) else term for term in bound]
+                for triple in self.match(*lookup):
+                    new_binding = dict(binding)
+                    consistent = True
+                    for term, value in zip(pattern, triple):
+                        if _is_variable(term):
+                            if term in new_binding and new_binding[term] != value:
+                                consistent = False
+                                break
+                            new_binding[term] = value
+                    if consistent:
+                        next_solutions.append(new_binding)
+            solutions = next_solutions
+            if not solutions:
+                return []
+        # deterministic order
+        return sorted(solutions, key=lambda b: sorted(b.items()).__repr__())
+
+
+class Ontology:
+    """Schema layer + forward-chaining RDFS-lite reasoner over a store."""
+
+    def __init__(self, store: Optional[TripleStore] = None) -> None:
+        self.store = store or TripleStore()
+
+    # -- schema declaration -------------------------------------------------
+    def declare_class(self, cls: str, *, parent: Optional[str] = None) -> None:
+        self.store.add(cls, RDF_TYPE, "rdfs:Class")
+        if parent is not None:
+            self.store.add(cls, RDFS_SUBCLASS, parent)
+
+    def declare_property(
+        self,
+        prop: str,
+        *,
+        parent: Optional[str] = None,
+        domain: Optional[str] = None,
+        range_: Optional[str] = None,
+    ) -> None:
+        self.store.add(prop, RDF_TYPE, "rdf:Property")
+        if parent is not None:
+            self.store.add(prop, RDFS_SUBPROP, parent)
+        if domain is not None:
+            self.store.add(prop, RDFS_DOMAIN, domain)
+        if range_ is not None:
+            self.store.add(prop, RDFS_RANGE, range_)
+
+    def assert_instance(self, instance: str, cls: str) -> None:
+        self.store.add(instance, RDF_TYPE, cls)
+
+    def assert_fact(self, subject: str, predicate: str, object_: str) -> None:
+        self.store.add(subject, predicate, object_)
+
+    # -- reasoning ---------------------------------------------------------
+    def infer(self, *, max_rounds: int = 100) -> int:
+        """Run the rule set to fixpoint; returns triples added."""
+        added_total = 0
+        for _ in range(max_rounds):
+            added = 0
+            # rdfs11: subClassOf transitivity
+            for t1 in self.store.match(None, RDFS_SUBCLASS, None):
+                for t2 in self.store.match(t1.object, RDFS_SUBCLASS, None):
+                    if self.store.add(t1.subject, RDFS_SUBCLASS, t2.object):
+                        added += 1
+            # rdfs5: subPropertyOf transitivity
+            for t1 in self.store.match(None, RDFS_SUBPROP, None):
+                for t2 in self.store.match(t1.object, RDFS_SUBPROP, None):
+                    if self.store.add(t1.subject, RDFS_SUBPROP, t2.object):
+                        added += 1
+            # rdfs9: type propagation up the class hierarchy
+            for t1 in self.store.match(None, RDF_TYPE, None):
+                for t2 in self.store.match(t1.object, RDFS_SUBCLASS, None):
+                    if self.store.add(t1.subject, RDF_TYPE, t2.object):
+                        added += 1
+            # rdfs7: property propagation up the property hierarchy
+            for t1 in self.store.match(None, RDFS_SUBPROP, None):
+                for fact in self.store.match(None, t1.subject, None):
+                    if self.store.add(fact.subject, t1.object, fact.object):
+                        added += 1
+            # rdfs2/rdfs3: domain and range typing
+            for decl in self.store.match(None, RDFS_DOMAIN, None):
+                for fact in self.store.match(None, decl.subject, None):
+                    if self.store.add(fact.subject, RDF_TYPE, decl.object):
+                        added += 1
+            for decl in self.store.match(None, RDFS_RANGE, None):
+                for fact in self.store.match(None, decl.subject, None):
+                    if self.store.add(fact.object, RDF_TYPE, decl.object):
+                        added += 1
+            added_total += added
+            if added == 0:
+                return added_total
+        raise RuntimeError(f"inference did not converge in {max_rounds} rounds")
+
+    # -- convenience queries ----------------------------------------------
+    def instances_of(self, cls: str) -> list[str]:
+        return sorted(
+            t.subject
+            for t in self.store.match(None, RDF_TYPE, cls)
+            if not t.subject.startswith("rdfs:")
+        )
+
+    def classes_of(self, instance: str) -> list[str]:
+        return sorted(t.object for t in self.store.match(instance, RDF_TYPE, None))
+
+    def is_a(self, instance: str, cls: str) -> bool:
+        return (instance, RDF_TYPE, cls) in self.store

@@ -1,0 +1,33 @@
+"""The ASU WSRepository service catalogue (§V of the paper): encryption,
+access control, guessing game, random string, dynamic image, image
+verifier, caching, shopping cart, message buffer, credit score, and
+mortgage services — each publishable over every binding."""
+
+from .basic import (
+    AccessControlService,
+    EncryptionService,
+    GuessingGameService,
+    ImageService,
+    ImageVerifierService,
+    RandomStringService,
+)
+from .commerce import (
+    CachingService,
+    CreditScoreService,
+    MessageBufferService,
+    MortgageService,
+    ShoppingCartService,
+)
+from .catalog import CATALOG_SERVICES, build_repository, mount_all
+from .data_service import DatabaseService
+from .workflow_service import WorkflowService, make_prequalification_service
+
+__all__ = [
+    "EncryptionService", "AccessControlService", "GuessingGameService",
+    "RandomStringService", "ImageService", "ImageVerifierService",
+    "CachingService", "ShoppingCartService", "MessageBufferService",
+    "CreditScoreService", "MortgageService",
+    "CATALOG_SERVICES", "build_repository", "mount_all",
+    "DatabaseService",
+    "WorkflowService", "make_prequalification_service",
+]

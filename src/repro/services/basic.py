@@ -1,0 +1,279 @@
+"""ASU repository services, part 1: encryption, access control, games,
+random strings, dynamic images, image verifier.
+
+§V: "The services and applications include simple function services that
+illustrate the development process, for example, encryption and
+decryption services, access control services, random number guessing
+game services, random string (strong password) generation services,
+dynamic image generation services, random string image (image verifier)
+service ..." — each is a :class:`~repro.core.service.Service` publishable
+over every binding.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+import string
+import threading
+from typing import Optional
+
+from ..core.faults import ServiceFault
+from ..core.service import Service, operation
+from ..security.access import AccessControl
+from ..security.crypto import (
+    XorStreamCipher,
+    caesar_decrypt,
+    caesar_encrypt,
+    vigenere_decrypt,
+    vigenere_encrypt,
+)
+from ..web.images import VERIFIER_ALPHABET, bar_chart_svg, line_chart_svg, verifier_image
+
+__all__ = [
+    "EncryptionService",
+    "AccessControlService",
+    "GuessingGameService",
+    "RandomStringService",
+    "ImageService",
+    "ImageVerifierService",
+]
+
+
+class EncryptionService(Service):
+    """Encryption and decryption service (Caesar, Vigenère, XOR-stream)."""
+
+    service_name = "Encryption"
+    category = "security"
+
+    @operation(idempotent=True)
+    def caesar(self, text: str, shift: int, decrypt: bool = False) -> str:
+        """Caesar-shift text; set decrypt=true to reverse."""
+        return caesar_decrypt(text, shift) if decrypt else caesar_encrypt(text, shift)
+
+    @operation(idempotent=True)
+    def vigenere(self, text: str, key: str, decrypt: bool = False) -> str:
+        """Vigenère cipher with an alphabetic key."""
+        try:
+            if decrypt:
+                return vigenere_decrypt(text, key)
+            return vigenere_encrypt(text, key)
+        except ValueError as exc:
+            raise ServiceFault(str(exc), code="Client.BadInput") from exc
+
+    @operation(idempotent=True)
+    def xor_encrypt(self, data: bytes, key: str) -> bytes:
+        """Keystream-encrypt bytes (same call decrypts)."""
+        try:
+            return XorStreamCipher(key).encrypt(data)
+        except ValueError as exc:
+            raise ServiceFault(str(exc), code="Client.BadInput") from exc
+
+
+class AccessControlService(Service):
+    """RBAC as a service: manage roles and answer permission checks."""
+
+    service_name = "AccessControl"
+    category = "security"
+
+    def __init__(self) -> None:
+        self._rbac = AccessControl()
+
+    @operation
+    def define_role(self, role: str, permissions: list) -> bool:
+        """Create/extend a role with permissions."""
+        self._rbac.define_role(role, [str(p) for p in permissions])
+        return True
+
+    @operation
+    def assign_role(self, user: str, role: str) -> bool:
+        """Give a user a role."""
+        try:
+            self._rbac.assign_role(user, role)
+        except ValueError as exc:
+            raise ServiceFault(str(exc), code="Client.BadInput") from exc
+        return True
+
+    @operation(idempotent=True)
+    def check(self, user: str, permission: str) -> bool:
+        """Does the user hold the permission?"""
+        return self._rbac.is_allowed(user, permission)
+
+    @operation(idempotent=True)
+    def permissions(self, user: str) -> list:
+        """All permissions of a user."""
+        return sorted(self._rbac.permissions_of(user))
+
+
+class GuessingGameService(Service):
+    """The random number guessing game service.
+
+    ``new_game`` draws a secret in [1, upper]; ``guess`` answers
+    lower/higher/correct and counts attempts.  Sessions are server-side
+    state (the state-management lesson in service form).
+    """
+
+    service_name = "GuessingGame"
+    category = "games"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+        self._games: dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    @operation
+    def new_game(self, upper: int = 100) -> dict:
+        """Start a game; returns {game_id, upper}."""
+        if upper < 2:
+            raise ServiceFault("upper must be >= 2", code="Client.BadInput")
+        with self._lock:
+            game_id = f"g{len(self._games) + 1}-{self._rng.randrange(10**6)}"
+            self._games[game_id] = {
+                "secret": self._rng.randint(1, upper),
+                "upper": upper,
+                "attempts": 0,
+                "won": False,
+            }
+        return {"game_id": game_id, "upper": upper}
+
+    @operation
+    def guess(self, game_id: str, number: int) -> dict:
+        """Guess; returns {answer: lower|higher|correct, attempts}."""
+        with self._lock:
+            game = self._games.get(game_id)
+            if game is None:
+                raise ServiceFault(f"no game {game_id!r}", code="Client.NoGame")
+            if game["won"]:
+                raise ServiceFault("game already won", code="Client.GameOver")
+            game["attempts"] += 1
+            if number == game["secret"]:
+                game["won"] = True
+                answer = "correct"
+            elif number < game["secret"]:
+                answer = "higher"
+            else:
+                answer = "lower"
+            return {"answer": answer, "attempts": game["attempts"]}
+
+    @operation(idempotent=True)
+    def stats(self, game_id: str) -> dict:
+        """Attempts and completion state for a game."""
+        with self._lock:
+            game = self._games.get(game_id)
+            if game is None:
+                raise ServiceFault(f"no game {game_id!r}", code="Client.NoGame")
+            return {"attempts": game["attempts"], "won": game["won"]}
+
+
+class RandomStringService(Service):
+    """Random string (strong password) generation service."""
+
+    service_name = "RandomString"
+    category = "security"
+
+    _LOWER = string.ascii_lowercase
+    _UPPER = string.ascii_uppercase
+    _DIGITS = string.digits
+    _SPECIAL = "!@#$%^&*()-_=+"
+
+    @operation
+    def password(self, length: int = 12) -> str:
+        """A password satisfying the course policy (lower/upper/digit/special)."""
+        if length < 8:
+            raise ServiceFault("length must be >= 8", code="Client.BadInput")
+        pools = [self._LOWER, self._UPPER, self._DIGITS, self._SPECIAL]
+        chars = [secrets.choice(pool) for pool in pools]
+        alphabet = "".join(pools)
+        chars.extend(secrets.choice(alphabet) for _ in range(length - len(chars)))
+        # Fisher-Yates with a crypto RNG
+        for i in range(len(chars) - 1, 0, -1):
+            j = secrets.randbelow(i + 1)
+            chars[i], chars[j] = chars[j], chars[i]
+        return "".join(chars)
+
+    @operation
+    def token(self, length: int = 16, alphabet: str = "") -> str:
+        """A random token over the given (or URL-safe) alphabet."""
+        if length < 1:
+            raise ServiceFault("length must be >= 1", code="Client.BadInput")
+        pool = alphabet or (string.ascii_letters + string.digits)
+        return "".join(secrets.choice(pool) for _ in range(length))
+
+    @operation
+    def verifier_code(self, length: int = 5) -> str:
+        """A code drawn from the image-verifier alphabet."""
+        if not 3 <= length <= 10:
+            raise ServiceFault("length must be in [3, 10]", code="Client.BadInput")
+        return "".join(secrets.choice(VERIFIER_ALPHABET) for _ in range(length))
+
+
+class ImageService(Service):
+    """Dynamic image generation service: charts as SVG, rasters as BMP."""
+
+    service_name = "DynamicImage"
+    category = "graphics"
+
+    @operation(idempotent=True)
+    def bar_chart(self, labels: list, values: list, title: str = "") -> str:
+        """Render a bar chart; returns SVG text."""
+        try:
+            return bar_chart_svg(
+                [str(l) for l in labels], [float(v) for v in values], title=title
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceFault(str(exc), code="Client.BadInput") from exc
+
+    @operation(idempotent=True)
+    def line_chart(self, series: dict, title: str = "") -> str:
+        """Render a multi-series line chart; returns SVG text."""
+        try:
+            clean = {str(k): [float(x) for x in v] for k, v in series.items()}
+            return line_chart_svg(clean, title=title)
+        except (TypeError, ValueError) as exc:
+            raise ServiceFault(str(exc), code="Client.BadInput") from exc
+
+
+class ImageVerifierService(Service):
+    """Random string image (image verifier) service — a CAPTCHA.
+
+    ``challenge`` returns {challenge_id, image} (BMP bytes); ``verify``
+    checks the user's transcription, single-use.
+    """
+
+    service_name = "ImageVerifier"
+    category = "security"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+        self._pending: dict[str, str] = {}
+        self._lock = threading.Lock()
+        self.issued = 0
+        self.solved = 0
+
+    @operation
+    def challenge(self, length: int = 5) -> dict:
+        """Issue a challenge image; returns {challenge_id, image: bytes}."""
+        if not 3 <= length <= 8:
+            raise ServiceFault("length must be in [3, 8]", code="Client.BadInput")
+        code = "".join(self._rng.choice(VERIFIER_ALPHABET) for _ in range(length))
+        image = verifier_image(code, seed=self._rng.randrange(2**31))
+        with self._lock:
+            self.issued += 1
+            challenge_id = f"c{self.issued}"
+            self._pending[challenge_id] = code
+        return {"challenge_id": challenge_id, "image": image.to_bmp()}
+
+    @operation
+    def verify(self, challenge_id: str, answer: str) -> bool:
+        """Check the transcription; a challenge is consumed either way."""
+        with self._lock:
+            code = self._pending.pop(challenge_id, None)
+        if code is None:
+            raise ServiceFault(
+                f"unknown or used challenge {challenge_id!r}", code="Client.NoChallenge"
+            )
+        ok = answer.strip().upper() == code
+        if ok:
+            with self._lock:
+                self.solved += 1
+        return ok

@@ -1,0 +1,92 @@
+"""The ASU WSRepository catalogue: every §V service, ready to publish.
+
+:func:`build_repository` instantiates the full service set and publishes
+each to a broker over the in-process bus; :func:`mount_all` additionally
+exposes them over SOAP and REST endpoints — "implemented in multiple
+formats" exactly as the paper describes its repository.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.broker import Endpoint, ServiceBroker
+from ..core.bus import ServiceBus
+from ..core.service import Service, ServiceHost
+from ..transport.rest import RestEndpoint
+from ..transport.soap import SoapEndpoint
+from .basic import (
+    AccessControlService,
+    EncryptionService,
+    GuessingGameService,
+    ImageService,
+    ImageVerifierService,
+    RandomStringService,
+)
+from .commerce import (
+    CachingService,
+    CreditScoreService,
+    MessageBufferService,
+    MortgageService,
+    ShoppingCartService,
+)
+
+__all__ = ["CATALOG_SERVICES", "build_repository", "mount_all"]
+
+#: every service class of the §V catalogue
+CATALOG_SERVICES: list[type[Service]] = [
+    EncryptionService,
+    AccessControlService,
+    GuessingGameService,
+    RandomStringService,
+    ImageService,
+    ImageVerifierService,
+    CachingService,
+    ShoppingCartService,
+    MessageBufferService,
+    CreditScoreService,
+    MortgageService,
+]
+
+
+def build_repository(
+    broker: Optional[ServiceBroker] = None,
+    bus: Optional[ServiceBus] = None,
+    *,
+    provider: str = "venus.eas.asu.edu",
+) -> tuple[ServiceBroker, ServiceBus, dict[str, Service]]:
+    """Instantiate and publish the full catalogue on the in-process bus.
+
+    Returns (broker, bus, {service_name: instance}).
+    """
+    broker = broker or ServiceBroker()
+    bus = bus or ServiceBus()
+    instances: dict[str, Service] = {}
+    for service_class in CATALOG_SERVICES:
+        instance = service_class()
+        bus.host_and_publish(instance, broker, provider=provider)
+        instances[instance.contract().name] = instance
+    return broker, bus, instances
+
+
+def mount_all(
+    instances: dict[str, Service],
+    broker: Optional[ServiceBroker] = None,
+    *,
+    base_url: str = "",
+) -> tuple[SoapEndpoint, RestEndpoint]:
+    """Expose already-built service instances over SOAP and REST.
+
+    When ``broker`` is given, each binding is registered as an extra
+    endpoint on the existing registration (multi-binding discovery).
+    """
+    soap = SoapEndpoint()
+    rest = RestEndpoint()
+    for name, instance in instances.items():
+        host = ServiceHost(instance)
+        soap_path = soap.mount(host)
+        rest_path = rest.mount(ServiceHost(instance))
+        if broker is not None and name in broker:
+            broker.add_endpoint(name, Endpoint("soap", base_url + soap_path))
+            broker.add_endpoint(name, Endpoint("rest", base_url + rest_path))
+    return soap, rest

@@ -1,0 +1,341 @@
+"""ASU repository services, part 2: caching, shopping cart, messaging
+buffer, credit score, mortgage application/approval.
+
+These are the stateful/composite services of §V: the shopping cart and
+message buffer demonstrate server-side state and producer/consumer over
+services; credit score and mortgage approval are the partners the Fig. 4
+web application and the BPEL examples orchestrate.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from ..core.faults import ServiceFault
+from ..core.service import Service, operation
+from ..web.caching import Cache
+
+__all__ = [
+    "CachingService",
+    "ShoppingCartService",
+    "MessageBufferService",
+    "CreditScoreService",
+    "MortgageService",
+]
+
+
+class CachingService(Service):
+    """Caching as a service: shared key-value cache with expirations."""
+
+    service_name = "Caching"
+    category = "infrastructure"
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._cache = Cache(capacity)
+
+    @operation
+    def put(self, key: str, value: str, ttl_seconds: float = 0.0) -> bool:
+        """Store a value; ttl_seconds=0 means no expiry."""
+        self._cache.put(key, value, absolute_seconds=ttl_seconds or None)
+        return True
+
+    @operation(idempotent=True)
+    def get(self, key: str) -> str:
+        """Fetch a value; empty string on miss (match the course API)."""
+        return self._cache.get(key, "")
+
+    @operation
+    def invalidate(self, key: str) -> bool:
+        self._cache.remove(key)
+        return True
+
+    @operation(idempotent=True)
+    def stats(self) -> dict:
+        stats = self._cache.stats
+        return {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": stats.hit_rate,
+            "entries": len(self._cache),
+        }
+
+
+class ShoppingCartService(Service):
+    """Shopping cart service: per-cart line items with a priced catalog."""
+
+    service_name = "ShoppingCart"
+    category = "commerce"
+
+    #: default catalog used by the course assignments
+    DEFAULT_CATALOG = {
+        "textbook": 89.50,
+        "robot-kit": 249.99,
+        "sensor-pack": 39.95,
+        "usb-cable": 4.25,
+        "sd-card": 12.00,
+    }
+
+    def __init__(self, catalog: Optional[dict[str, float]] = None) -> None:
+        self.catalog = dict(catalog or self.DEFAULT_CATALOG)
+        self._carts: dict[str, dict[str, int]] = {}
+        self._next = 0
+        self._lock = threading.Lock()
+
+    @operation
+    def create_cart(self) -> str:
+        """New empty cart; returns its id."""
+        with self._lock:
+            self._next += 1
+            cart_id = f"cart-{self._next}"
+            self._carts[cart_id] = {}
+        return cart_id
+
+    def _cart(self, cart_id: str) -> dict[str, int]:
+        cart = self._carts.get(cart_id)
+        if cart is None:
+            raise ServiceFault(f"no cart {cart_id!r}", code="Client.NoCart")
+        return cart
+
+    @operation
+    def add_item(self, cart_id: str, sku: str, quantity: int = 1) -> dict:
+        """Add quantity of a catalog item; returns the cart contents."""
+        if quantity < 1:
+            raise ServiceFault("quantity must be >= 1", code="Client.BadInput")
+        if sku not in self.catalog:
+            raise ServiceFault(f"unknown sku {sku!r}", code="Client.NoSku")
+        with self._lock:
+            cart = self._cart(cart_id)
+            cart[sku] = cart.get(sku, 0) + quantity
+            return dict(cart)
+
+    @operation
+    def remove_item(self, cart_id: str, sku: str, quantity: int = 1) -> dict:
+        """Remove quantity (clamps at zero; zero lines vanish)."""
+        with self._lock:
+            cart = self._cart(cart_id)
+            if sku not in cart:
+                raise ServiceFault(f"{sku!r} not in cart", code="Client.NoSku")
+            cart[sku] -= quantity
+            if cart[sku] <= 0:
+                del cart[sku]
+            return dict(cart)
+
+    @operation(idempotent=True)
+    def contents(self, cart_id: str) -> dict:
+        """Current line items: {sku: quantity}."""
+        with self._lock:
+            return dict(self._cart(cart_id))
+
+    @operation(idempotent=True)
+    def total(self, cart_id: str) -> float:
+        """Cart total in dollars."""
+        with self._lock:
+            cart = self._cart(cart_id)
+            return round(
+                sum(self.catalog[sku] * count for sku, count in cart.items()), 2
+            )
+
+    @operation
+    def checkout(self, cart_id: str) -> dict:
+        """Close the cart; returns {total, items}."""
+        with self._lock:
+            cart = self._cart(cart_id)
+            total = round(
+                sum(self.catalog[sku] * count for sku, count in cart.items()), 2
+            )
+            items = dict(cart)
+            del self._carts[cart_id]
+        if not items:
+            raise ServiceFault("cannot check out an empty cart", code="Client.EmptyCart")
+        return {"total": total, "items": items}
+
+
+class MessageBufferService(Service):
+    """Messaging buffer service: named FIFO queues between service clients.
+
+    The producer/consumer unit as a service: ``send`` enqueues,
+    ``receive`` dequeues (empty string marker when drained — mirroring
+    the course's polling API), ``peek``/``depth`` observe.
+    """
+
+    service_name = "MessageBuffer"
+    category = "infrastructure"
+
+    def __init__(self, capacity_per_queue: int = 1024) -> None:
+        self.capacity = capacity_per_queue
+        self._queues: dict[str, list[str]] = {}
+        self._lock = threading.Lock()
+
+    @operation
+    def send(self, queue: str, message: str) -> int:
+        """Enqueue; returns resulting depth; faults when full."""
+        with self._lock:
+            items = self._queues.setdefault(queue, [])
+            if len(items) >= self.capacity:
+                raise ServiceFault(
+                    f"queue {queue!r} full ({self.capacity})", code="Server.QueueFull"
+                )
+            items.append(message)
+            return len(items)
+
+    @operation
+    def receive(self, queue: str) -> dict:
+        """Dequeue; returns {has_message, message}."""
+        with self._lock:
+            items = self._queues.get(queue, [])
+            if not items:
+                return {"has_message": False, "message": ""}
+            return {"has_message": True, "message": items.pop(0)}
+
+    @operation(idempotent=True)
+    def peek(self, queue: str) -> dict:
+        with self._lock:
+            items = self._queues.get(queue, [])
+            if not items:
+                return {"has_message": False, "message": ""}
+            return {"has_message": True, "message": items[0]}
+
+    @operation(idempotent=True)
+    def depth(self, queue: str) -> int:
+        with self._lock:
+            return len(self._queues.get(queue, []))
+
+
+class CreditScoreService(Service):
+    """The credit-score partner of Figure 4's approval flow.
+
+    Deterministic synthetic model (no bureau access, per the substitution
+    rule): score = base from a stable hash of the SSN, adjusted by
+    reported income and derogatory marks — same SSN, same score.
+    """
+
+    service_name = "CreditScore"
+    category = "finance"
+
+    @operation(idempotent=True)
+    def score(self, ssn: str, income: float = 0.0, derogatory_marks: int = 0) -> int:
+        """FICO-like score in [300, 850]."""
+        import hashlib
+
+        if not ssn or len(ssn.replace("-", "")) != 9 or not ssn.replace("-", "").isdigit():
+            raise ServiceFault("ssn must be 9 digits (NNN-NN-NNNN)", code="Client.BadSsn")
+        digest = hashlib.sha256(ssn.replace("-", "").encode()).digest()
+        base = 450 + digest[0] % 300  # [450, 749], stable per ssn
+        income_bonus = min(int(income // 20_000) * 10, 80)
+        derogatory_penalty = min(derogatory_marks, 10) * 35
+        return max(300, min(850, base + income_bonus - derogatory_penalty))
+
+    @operation(idempotent=True)
+    def rating(self, score: int) -> str:
+        """Band a numeric score: poor/fair/good/very-good/excellent."""
+        if not 300 <= score <= 850:
+            raise ServiceFault("score must be in [300, 850]", code="Client.BadInput")
+        if score < 580:
+            return "poor"
+        if score < 670:
+            return "fair"
+        if score < 740:
+            return "good"
+        if score < 800:
+            return "very-good"
+        return "excellent"
+
+
+class MortgageService(Service):
+    """Mortgage application/approval service (the §V composite example).
+
+    ``apply`` runs the underwriting rules: debt-to-income, loan-to-value
+    and the credit band gate; ``monthly_payment`` is the amortization
+    formula the course derives in class.
+    """
+
+    service_name = "Mortgage"
+    category = "finance"
+
+    MIN_SCORE = 620
+    MAX_DTI = 0.43
+    MAX_LTV = 0.95
+
+    def __init__(self, credit: Optional[CreditScoreService] = None) -> None:
+        self._credit = credit or CreditScoreService()
+        self._applications: dict[str, dict[str, Any]] = {}
+        self._next = 0
+        self._lock = threading.Lock()
+
+    @operation(idempotent=True)
+    def monthly_payment(self, principal: float, annual_rate: float, years: int) -> float:
+        """Standard amortized monthly payment."""
+        if principal <= 0 or years <= 0:
+            raise ServiceFault("principal and years must be positive", code="Client.BadInput")
+        if annual_rate < 0:
+            raise ServiceFault("rate cannot be negative", code="Client.BadInput")
+        months = years * 12
+        if annual_rate == 0:
+            return round(principal / months, 2)
+        monthly_rate = annual_rate / 12
+        factor = (1 + monthly_rate) ** months
+        return round(principal * monthly_rate * factor / (factor - 1), 2)
+
+    @operation
+    def apply(
+        self,
+        ssn: str,
+        income: float,
+        loan_amount: float,
+        property_value: float,
+        monthly_debts: float = 0.0,
+        annual_rate: float = 0.065,
+        years: int = 30,
+    ) -> dict:
+        """Underwrite an application; returns the full decision record."""
+        if income <= 0 or loan_amount <= 0 or property_value <= 0:
+            raise ServiceFault("amounts must be positive", code="Client.BadInput")
+        score = self._credit.score(ssn=ssn, income=income)
+        payment = self.monthly_payment(
+            principal=loan_amount, annual_rate=annual_rate, years=years
+        )
+        dti = (payment + monthly_debts) / (income / 12)
+        ltv = loan_amount / property_value
+        reasons = []
+        if score < self.MIN_SCORE:
+            reasons.append(f"credit score {score} below {self.MIN_SCORE}")
+        if dti > self.MAX_DTI:
+            reasons.append(f"debt-to-income {dti:.2f} above {self.MAX_DTI}")
+        if ltv > self.MAX_LTV:
+            reasons.append(f"loan-to-value {ltv:.2f} above {self.MAX_LTV}")
+        with self._lock:
+            self._next += 1
+            application_id = f"app-{self._next}"
+            record = {
+                "application_id": application_id,
+                "approved": not reasons,
+                "score": score,
+                "monthly_payment": payment,
+                "dti": round(dti, 4),
+                "ltv": round(ltv, 4),
+                "reasons": reasons,
+            }
+            self._applications[application_id] = record
+        return record
+
+    @operation(idempotent=True)
+    def status(self, application_id: str) -> dict:
+        with self._lock:
+            record = self._applications.get(application_id)
+        if record is None:
+            raise ServiceFault(
+                f"no application {application_id!r}", code="Client.NoApplication"
+            )
+        return dict(record)
+
+    @operation
+    def withdraw(self, application_id: str) -> bool:
+        """Withdraw an application (the BPEL compensation example uses this)."""
+        with self._lock:
+            if application_id not in self._applications:
+                raise ServiceFault(
+                    f"no application {application_id!r}", code="Client.NoApplication"
+                )
+            del self._applications[application_id]
+        return True

@@ -1,0 +1,130 @@
+"""Database-as-a-Service — CSE446 unit 5's integration exercise.
+
+"Students can integrate application logic with different databases" —
+here the integration point is itself a service: a
+:class:`~repro.data.minidb.Database` published behind a contract, so web
+applications and BPEL processes reach storage the same way they reach
+any other partner.  Rows travel as databindable dicts; faults carry the
+underlying constraint violation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.faults import ServiceFault
+from ..core.service import Service, operation
+from ..data.minidb import Column, Database, DbError
+
+__all__ = ["DatabaseService"]
+
+
+class DatabaseService(Service):
+    """A multi-table database exposed through a service contract."""
+
+    service_name = "Database"
+    category = "infrastructure"
+
+    def __init__(self, database: Optional[Database] = None) -> None:
+        self._db = database or Database("service-db")
+
+    @operation
+    def create_table(
+        self,
+        table: str,
+        columns: list,
+        primary_key: str,
+        unique: list = [],
+    ) -> bool:
+        """Create a table; columns are [name, type, nullable?] triples."""
+        try:
+            parsed = []
+            for spec in columns:
+                if isinstance(spec, str):
+                    parsed.append(Column(spec))
+                else:
+                    name, type_name, *rest = spec
+                    parsed.append(Column(name, type_name, bool(rest and rest[0])))
+            self._db.create_table(
+                table, parsed, primary_key=primary_key, unique=list(unique)
+            )
+        except DbError as exc:
+            raise ServiceFault(str(exc), code="Client.BadSchema") from exc
+        return True
+
+    @operation
+    def insert(self, table: str, row: dict) -> dict:
+        """Insert a row; returns the stored (completed) row."""
+        try:
+            return self._db.table(table).insert(row)
+        except DbError as exc:
+            raise ServiceFault(str(exc), code="Client.Constraint") from exc
+
+    @operation
+    def update(self, table: str, key: Any, changes: dict) -> dict:
+        try:
+            return self._db.table(table).update(key, changes)
+        except DbError as exc:
+            raise ServiceFault(str(exc), code="Client.Constraint") from exc
+
+    @operation
+    def delete(self, table: str, key: Any) -> bool:
+        try:
+            self._db.table(table).delete(key)
+        except DbError as exc:
+            raise ServiceFault(str(exc), code="Client.Constraint") from exc
+        return True
+
+    @operation(idempotent=True)
+    def get(self, table: str, key: Any) -> dict:
+        """Fetch one row by primary key; {} when absent."""
+        try:
+            row = self._db.table(table).get(key)
+        except DbError as exc:
+            raise ServiceFault(str(exc), code="Client.NoTable") from exc
+        return row or {}
+
+    @operation(idempotent=True)
+    def find(self, table: str, column: str, value: Any) -> list:
+        """Equality lookup (index-accelerated when available)."""
+        try:
+            return self._db.table(table).lookup(column, value)
+        except DbError as exc:
+            raise ServiceFault(str(exc), code="Client.NoTable") from exc
+
+    @operation(idempotent=True)
+    def count(self, table: str) -> int:
+        try:
+            return len(self._db.table(table))
+        except DbError as exc:
+            raise ServiceFault(str(exc), code="Client.NoTable") from exc
+
+    @operation(idempotent=True)
+    def tables(self) -> list:
+        return self._db.tables()
+
+    @operation
+    def create_index(self, table: str, column: str) -> bool:
+        try:
+            self._db.table(table).create_index(column)
+        except DbError as exc:
+            raise ServiceFault(str(exc), code="Client.BadSchema") from exc
+        return True
+
+    @operation(idempotent=True)
+    def aggregate(self, table: str, group_by: str, column: str, fn: str = "sum") -> dict:
+        """Grouped aggregate; fn in {sum, count, min, max, avg}."""
+        functions = {
+            "sum": sum,
+            "count": len,
+            "min": min,
+            "max": max,
+            "avg": lambda values: sum(values) / len(values) if values else 0,
+        }
+        if fn not in functions:
+            raise ServiceFault(f"unknown aggregate {fn!r}", code="Client.BadInput")
+        try:
+            raw = self._db.query(table).aggregate(group_by, column, functions[fn])
+        except DbError as exc:
+            raise ServiceFault(str(exc), code="Client.NoTable") from exc
+        return {str(key): value for key, value in raw.items()}

@@ -1,0 +1,161 @@
+"""Workflow services — the fourth §V service format.
+
+"The services are implemented in multiple formats, including ASP.Net
+services, Windows Communication Foundation services, RESTful services,
+and **Work Flow services**."  A workflow service's implementation *is* a
+workflow: :func:`workflow_service` wraps any BPEL process (or plain
+callable pipeline) behind a standard service contract, so composed
+logic publishes, discovers and invokes exactly like a hand-coded
+service — composition all the way down.
+
+Ships the catalogue's composite example: the **loan pre-qualification
+workflow service**, orchestrating CreditScore and Mortgage behind one
+``prequalify`` operation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..core.contracts import Operation, Parameter, ServiceContract
+from ..core.faults import ServiceFault
+from ..core.service import Service, operation
+from ..workflow.bpel import Assign, BpelProcess, Invoke, Sequence, Switch
+from .commerce import CreditScoreService, MortgageService
+
+__all__ = ["WorkflowService", "make_prequalification_service"]
+
+
+class WorkflowService(Service):
+    """A service whose single ``execute`` operation runs a workflow.
+
+    Subclass-free usage: pass a name, the process, and the names of the
+    process variables that form the request/response::
+
+        svc = WorkflowService("LoanPrequal", process,
+                              inputs=["ssn", "income"], output="result")
+    """
+
+    category = "workflow"
+
+    def __init__(
+        self,
+        name: str,
+        process: BpelProcess,
+        *,
+        inputs: list[str],
+        output: str,
+        documentation: str = "",
+    ) -> None:
+        self._name = name
+        self._process = process
+        self._inputs = list(inputs)
+        self._output = output
+        self._documentation = documentation or (process.name + " as a service")
+        self.executions = 0
+
+    # the contract is hand-built (inputs are dynamic, not reflected)
+    def contract(self) -> ServiceContract:  # type: ignore[override]
+        contract = ServiceContract(
+            self._name,
+            documentation=self._documentation,
+            category=self.category,
+        )
+        contract.add(
+            Operation(
+                "execute",
+                tuple(Parameter(name, "any") for name in self._inputs),
+                returns="any",
+                documentation=f"Run the {self._process.name} workflow.",
+            )
+        )
+        return contract
+
+    def _operation_callables(self) -> dict[str, Callable]:  # type: ignore[override]
+        return {"execute": self._execute}
+
+    def _execute(self, **arguments: Any) -> Any:
+        missing = [name for name in self._inputs if name not in arguments]
+        if missing:
+            raise ServiceFault(
+                f"workflow inputs missing: {missing}", code="Client.BadInput"
+            )
+        self.executions += 1
+        final = self._process.run(**arguments)
+        if self._output not in final:
+            raise ServiceFault(
+                f"workflow did not produce {self._output!r}", code="Server.NoOutput"
+            )
+        return final[self._output]
+
+
+def make_prequalification_service(
+    credit: Optional[CreditScoreService] = None,
+    mortgage: Optional[MortgageService] = None,
+) -> WorkflowService:
+    """The catalogue's composite: loan pre-qualification as a workflow.
+
+    prequalify(ssn, income, loan_amount, property_value) →
+    {qualified, band, score, monthly_payment}
+    """
+    credit = credit or CreditScoreService()
+    mortgage = mortgage or MortgageService(credit)
+    partners_table = {
+        "credit": {"score": credit.score, "rating": credit.rating},
+        "mortgage": {"monthly_payment": mortgage.monthly_payment},
+    }
+
+    def partners(name: str):
+        table = partners_table[name]
+
+        def invoke(op: str, args: dict[str, Any]) -> Any:
+            return table[op](**args)
+
+        return invoke
+
+    process = BpelProcess(
+        "loan-prequalification",
+        Sequence([
+            Invoke(
+                "credit", "score",
+                lambda c: {"ssn": c.get("ssn"), "income": c.get("income")},
+                output="score",
+            ),
+            Invoke("credit", "rating", lambda c: {"score": c.get("score")}, output="band"),
+            Invoke(
+                "mortgage", "monthly_payment",
+                lambda c: {
+                    "principal": c.get("loan_amount"),
+                    "annual_rate": 0.065,
+                    "years": 30,
+                },
+                output="payment",
+            ),
+            Switch(
+                cases=[(
+                    lambda c: c.get("band") in ("good", "very-good", "excellent")
+                    and c.get("payment") * 12 < c.get("income") * 0.43,
+                    Assign("qualified", lambda c: True),
+                )],
+                otherwise=Assign("qualified", lambda c: False),
+            ),
+            Assign(
+                "result",
+                lambda c: {
+                    "qualified": c.get("qualified"),
+                    "band": c.get("band"),
+                    "score": c.get("score"),
+                    "monthly_payment": c.get("payment"),
+                },
+            ),
+        ]),
+        partners,
+    )
+    return WorkflowService(
+        "LoanPrequalification",
+        process,
+        inputs=["ssn", "income", "loan_amount", "property_value"],
+        output="result",
+        documentation="Composite loan pre-qualification workflow over "
+                      "CreditScore and Mortgage (the Work Flow service format).",
+    )

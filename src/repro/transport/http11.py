@@ -1,0 +1,311 @@
+"""HTTP/1.1 message model and wire codec, from scratch.
+
+The curriculum's service bindings ride on HTTP ("communication protocols
+such as SOAP and HTTP").  This module implements just enough of RFC 7230:
+request/response objects, header handling, Content-Length framing, and
+(de)serialization to bytes.  It is transport-agnostic — the socket server
+in :mod:`repro.transport.httpserver` and the in-memory tests both use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+from urllib.parse import parse_qsl, quote, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "parse_request",
+    "parse_response",
+    "parse_query_string",
+    "encode_query",
+    "STATUS_PHRASES",
+]
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+_METHODS = {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH"}
+
+
+class HttpError(ValueError):
+    """Malformed HTTP message."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Headers:
+    """Case-insensitive multi-map with first-value convenience access."""
+
+    def __init__(self, items: Optional[list[tuple[str, str]]] = None) -> None:
+        self._items: list[tuple[str, str]] = list(items or [])
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        lowered = name.lower()
+        for key, value in self._items:
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        lowered = name.lower()
+        return [v for k, v in self._items if k.lower() == lowered]
+
+    def set(self, name: str, value: str) -> None:
+        lowered = name.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+        self._items.append((name, value))
+
+    def add(self, name: str, value: str) -> None:
+        self._items.append((name, value))
+
+    def remove(self, name: str) -> None:
+        lowered = name.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+
+    def items(self) -> list[tuple[str, str]]:
+        return list(self._items)
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __repr__(self) -> str:
+        return f"_Headers({self._items!r})"
+
+
+def _normalize_headers(
+    headers: Optional[dict[str, str] | list[tuple[str, str]] | _Headers],
+) -> _Headers:
+    if headers is None:
+        return _Headers()
+    if isinstance(headers, _Headers):
+        return headers
+    if isinstance(headers, dict):
+        return _Headers(list(headers.items()))
+    return _Headers(list(headers))
+
+
+@dataclass
+class HttpRequest:
+    """One HTTP request: method, target (path + query), headers, body."""
+
+    method: str
+    target: str
+    headers: _Headers = field(default_factory=_Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def __post_init__(self) -> None:
+        self.headers = _normalize_headers(self.headers)  # type: ignore[arg-type]
+
+    @property
+    def path(self) -> str:
+        return unquote(urlsplit(self.target).path)
+
+    @property
+    def query(self) -> dict[str, str]:
+        return parse_query_string(urlsplit(self.target).query)
+
+    @property
+    def content_type(self) -> str:
+        return (self.headers.get("Content-Type") or "").split(";")[0].strip()
+
+    def text(self, encoding: str = "utf-8") -> str:
+        return self.body.decode(encoding)
+
+    def form(self) -> dict[str, str]:
+        """Decode an ``application/x-www-form-urlencoded`` body."""
+        return parse_query_string(self.body.decode("utf-8", "replace"))
+
+    def to_bytes(self) -> bytes:
+        headers = _Headers(self.headers.items())
+        if self.body and "Content-Length" not in headers:
+            headers.set("Content-Length", str(len(self.body)))
+        elif not self.body and self.method in ("POST", "PUT", "PATCH"):
+            headers.set("Content-Length", "0")
+        lines = [f"{self.method} {self.target} {self.version}"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+@dataclass
+class HttpResponse:
+    """One HTTP response; helpers build common content types."""
+
+    status: int = 200
+    headers: _Headers = field(default_factory=_Headers)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def __post_init__(self) -> None:
+        self.headers = _normalize_headers(self.headers)  # type: ignore[arg-type]
+
+    @property
+    def reason(self) -> str:
+        return STATUS_PHRASES.get(self.status, "Unknown")
+
+    @property
+    def content_type(self) -> str:
+        return (self.headers.get("Content-Type") or "").split(";")[0].strip()
+
+    def text(self, encoding: str = "utf-8") -> str:
+        return self.body.decode(encoding)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @classmethod
+    def text_response(
+        cls, body: str, status: int = 200, content_type: str = "text/plain"
+    ) -> "HttpResponse":
+        return cls(
+            status,
+            _Headers([("Content-Type", f"{content_type}; charset=utf-8")]),
+            body.encode("utf-8"),
+        )
+
+    @classmethod
+    def xml_response(cls, body: str, status: int = 200) -> "HttpResponse":
+        return cls.text_response(body, status, "application/xml")
+
+    @classmethod
+    def html_response(cls, body: str, status: int = 200) -> "HttpResponse":
+        return cls.text_response(body, status, "text/html")
+
+    @classmethod
+    def error(cls, status: int, message: str = "") -> "HttpResponse":
+        phrase = STATUS_PHRASES.get(status, "Error")
+        return cls.text_response(message or phrase, status)
+
+    @classmethod
+    def redirect(cls, location: str, status: int = 302) -> "HttpResponse":
+        return cls(status, _Headers([("Location", location)]))
+
+    def to_bytes(self) -> bytes:
+        headers = _Headers(self.headers.items())
+        headers.set("Content-Length", str(len(self.body)))
+        lines = [f"{self.version} {self.status} {self.reason}"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+# ---------------------------------------------------------------------------
+# wire parsing
+# ---------------------------------------------------------------------------
+
+
+def _split_message(raw: bytes) -> tuple[list[str], bytes]:
+    separator = raw.find(b"\r\n\r\n")
+    if separator == -1:
+        raise HttpError("incomplete message: no header terminator")
+    head = raw[:separator]
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError("header section too large", status=431)
+    body = raw[separator + 4 :]
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise HttpError("undecodable header bytes") from exc
+    return lines, body
+
+
+def _parse_headers(lines: list[str]) -> _Headers:
+    headers = _Headers()
+    for line in lines:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HttpError(f"malformed header line {line!r}")
+        name, _, value = line.partition(":")
+        if not name or name != name.strip() or "\t" in name or " " in name:
+            raise HttpError(f"malformed header name {name!r}")
+        headers.add(name, value.strip())
+    return headers
+
+
+def _body_with_length(headers: _Headers, body: bytes) -> bytes:
+    raw_length = headers.get("Content-Length")
+    if raw_length is None:
+        return body
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise HttpError(f"bad Content-Length {raw_length!r}") from exc
+    if length < 0:
+        raise HttpError("negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise HttpError("body too large", status=413)
+    if len(body) < length:
+        raise HttpError("incomplete message: body shorter than Content-Length")
+    return body[:length]
+
+
+def parse_request(raw: bytes) -> HttpRequest:
+    """Parse a full request message from bytes."""
+    lines, body = _split_message(raw)
+    if not lines or not lines[0]:
+        raise HttpError("empty request line")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if method not in _METHODS:
+        raise HttpError(f"unsupported method {method!r}", status=501)
+    if not version.startswith("HTTP/"):
+        raise HttpError(f"bad HTTP version {version!r}")
+    headers = _parse_headers(lines[1:])
+    return HttpRequest(method, target, headers, _body_with_length(headers, body), version)
+
+
+def parse_response(raw: bytes) -> HttpResponse:
+    """Parse a full response message from bytes."""
+    lines, body = _split_message(raw)
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HttpError(f"malformed status line {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise HttpError(f"bad status code {parts[1]!r}") from exc
+    headers = _parse_headers(lines[1:])
+    return HttpResponse(status, headers, _body_with_length(headers, body), parts[0])
+
+
+def parse_query_string(query: str) -> dict[str, str]:
+    """Decode a query string / form body; last duplicate key wins."""
+    return dict(parse_qsl(query, keep_blank_values=True))
+
+
+def encode_query(values: dict[str, str]) -> str:
+    """Percent-encode a dict as a query string."""
+    return "&".join(f"{quote(str(k))}={quote(str(v))}" for k, v in values.items())

@@ -1,0 +1,276 @@
+"""Threaded socket HTTP server and client.
+
+A deliberately small, dependency-free web server: one accept loop, a
+thread per connection, Content-Length framing, keep-alive support.  It
+hosts any *handler* — a callable ``HttpRequest -> HttpResponse`` — so the
+SOAP endpoint, REST endpoint, web application framework, and the service
+directory all run on the same substrate, as they did on the paper's IIS
+deployment.
+
+The matching :class:`HttpClient` speaks the same dialect over a plain
+socket (no ``http.client``), completing the self-hosted loop used in the
+end-to-end integration tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Optional
+
+from .http11 import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    parse_request,
+    parse_response,
+)
+
+__all__ = ["HttpServer", "HttpClient", "serve_once"]
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+_RECV_CHUNK = 65536
+
+
+def _read_message(sock: socket.socket) -> Optional[bytes]:
+    """Read one full HTTP message (headers + Content-Length body).
+
+    Returns None on clean EOF before any bytes arrive.
+    """
+    buffer = b""
+    # read until header terminator
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(_RECV_CHUNK)
+        if not chunk:
+            if not buffer:
+                return None
+            raise HttpError("connection closed mid-headers")
+        buffer += chunk
+        if len(buffer) > 1024 * 1024:
+            raise HttpError("header section too large", status=431)
+    head, _, rest = buffer.partition(b"\r\n\r\n")
+    content_length = 0
+    for line in head.split(b"\r\n")[1:]:
+        if line.lower().startswith(b"content-length:"):
+            try:
+                content_length = int(line.split(b":", 1)[1].strip())
+            except ValueError as exc:
+                raise HttpError("bad Content-Length") from exc
+    while len(rest) < content_length:
+        chunk = sock.recv(_RECV_CHUNK)
+        if not chunk:
+            raise HttpError("connection closed mid-body")
+        rest += chunk
+    return head + b"\r\n\r\n" + rest
+
+
+class HttpServer:
+    """Accept-loop server dispatching requests to a handler callable.
+
+    Use as a context manager in tests::
+
+        with HttpServer(handler) as server:
+            client = HttpClient("127.0.0.1", server.port)
+            response = client.get("/ping")
+    """
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.handler = handler
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()
+        self._running = False
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: set[socket.socket] = set()
+        self._lock = threading.Lock()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "HttpServer":
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="http-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        # closing an fd does NOT wake a thread blocked in accept(2) on
+        # Linux — the kernel socket would stay in LISTEN and the accept
+        # thread would leak.  shutdown() interrupts it; where shutdown on
+        # a listening socket is unsupported, a self-connection wakes it.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            try:
+                with socket.create_connection((self.host, self.port), timeout=1):
+                    pass
+            except OSError:  # pragma: no cover - already unblocked
+                pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        with self._lock:
+            for conn in list(self._connections):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._connections.clear()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2)
+
+    def __enter__(self) -> "HttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- internals -----------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                self._connections.add(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(30)
+            while self._running:
+                try:
+                    raw = _read_message(conn)
+                except (HttpError, socket.timeout, OSError):
+                    break
+                if raw is None:
+                    break
+                try:
+                    request = parse_request(raw)
+                except HttpError as exc:
+                    conn.sendall(HttpResponse.error(exc.status, str(exc)).to_bytes())
+                    break
+                try:
+                    response = self.handler(request)
+                except Exception as exc:  # noqa: BLE001 - server must not die
+                    response = HttpResponse.error(500, f"handler error: {exc}")
+                keep_alive = (
+                    request.headers.get("Connection", "keep-alive").lower()
+                    != "close"
+                )
+                if not keep_alive:
+                    response.headers.set("Connection", "close")
+                try:
+                    conn.sendall(response.to_bytes())
+                except OSError:
+                    break
+                if not keep_alive:
+                    break
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+class HttpClient:
+    """Persistent-connection HTTP client over a raw socket."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        return sock
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+                self._sock = None
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, request: HttpRequest) -> HttpResponse:
+        """Send one request, reusing the connection when possible."""
+        with self._lock:
+            for attempt in (1, 2):
+                if self._sock is None:
+                    self._sock = self._connect()
+                try:
+                    self._sock.sendall(request.to_bytes())
+                    raw = _read_message(self._sock)
+                    if raw is None:
+                        raise OSError("server closed connection")
+                    return parse_response(raw)
+                except (OSError, HttpError):
+                    self.close()
+                    if attempt == 2:
+                        raise
+            raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- verb helpers ---------------------------------------------------
+    def get(self, target: str, headers: Optional[dict[str, str]] = None) -> HttpResponse:
+        return self.request(HttpRequest("GET", target, dict(headers or {})))
+
+    def post(
+        self,
+        target: str,
+        body: bytes | str,
+        content_type: str = "application/octet-stream",
+        headers: Optional[dict[str, str]] = None,
+    ) -> HttpResponse:
+        payload = body.encode("utf-8") if isinstance(body, str) else body
+        merged = {"Content-Type": content_type, **(headers or {})}
+        return self.request(HttpRequest("POST", target, merged, payload))
+
+    def put(
+        self,
+        target: str,
+        body: bytes | str,
+        content_type: str = "application/octet-stream",
+        headers: Optional[dict[str, str]] = None,
+    ) -> HttpResponse:
+        payload = body.encode("utf-8") if isinstance(body, str) else body
+        merged = {"Content-Type": content_type, **(headers or {})}
+        return self.request(HttpRequest("PUT", target, merged, payload))
+
+    def delete(self, target: str, headers: Optional[dict[str, str]] = None) -> HttpResponse:
+        return self.request(HttpRequest("DELETE", target, dict(headers or {})))
+
+
+def serve_once(handler: Handler, request: HttpRequest) -> HttpResponse:
+    """Run a handler through the full wire codec without a socket.
+
+    Serializes the request to bytes, reparses, dispatches, serializes the
+    response and reparses it — so tests exercise the codec path without
+    network nondeterminism.
+    """
+    reparsed = parse_request(request.to_bytes())
+    response = handler(reparsed)
+    return parse_response(response.to_bytes())

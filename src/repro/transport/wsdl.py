@@ -1,0 +1,122 @@
+"""WSDL-style contract documents.
+
+"Students understand the role of service publication and service
+directories" (CSE445 objective 3) — the artifact behind that is the WSDL
+document.  This module serializes a
+:class:`~repro.core.contracts.ServiceContract` to an XML contract document
+and parses it back, losslessly, so clients can generate proxies from a
+``?wsdl`` fetch alone.
+
+The dialect is a compact WSDL analogue::
+
+    <contract name="Calculator" version="1.0" category="math">
+      <documentation>Arithmetic as a service.</documentation>
+      <operation name="add" returns="float" idempotent="true">
+        <documentation>Add two numbers.</documentation>
+        <parameter name="a" type="float"/>
+        <parameter name="b" type="float"/>
+      </operation>
+    </contract>
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.contracts import Operation, Parameter, ServiceContract
+from ..core.faults import ContractViolation
+from ..xmlkit import Element, from_element, parse, to_element
+
+__all__ = ["contract_to_element", "contract_to_xml", "contract_from_xml", "contract_from_element"]
+
+
+def contract_to_element(contract: ServiceContract) -> Element:
+    """Serialize a contract to its XML document element."""
+    root = Element(
+        "contract",
+        {
+            "name": contract.name,
+            "version": contract.version,
+            "category": contract.category,
+        },
+    )
+    if contract.documentation:
+        root.append(Element("documentation", text=contract.documentation))
+    for operation in contract.operations.values():
+        root.append(_operation_to_element(operation))
+    return root
+
+
+def _operation_to_element(operation: Operation) -> Element:
+    attrs = {"name": operation.name, "returns": operation.returns}
+    if operation.idempotent:
+        attrs["idempotent"] = "true"
+    if operation.requires_role:
+        attrs["requiresRole"] = operation.requires_role
+    el = Element("operation", attrs)
+    if operation.documentation:
+        el.append(Element("documentation", text=operation.documentation))
+    for parameter in operation.parameters:
+        p_attrs = {"name": parameter.name, "type": parameter.type}
+        if parameter.optional:
+            p_attrs["optional"] = "true"
+        p_el = Element("parameter", p_attrs)
+        if parameter.optional and parameter.default is not None:
+            p_el.append(to_element("default", parameter.default))
+        el.append(p_el)
+    return el
+
+
+def contract_to_xml(contract: ServiceContract) -> str:
+    """Serialize a contract to pretty-printed XML text."""
+    return contract_to_element(contract).topretty()
+
+
+def contract_from_element(root: Element) -> ServiceContract:
+    """Parse a contract document element back into a ServiceContract."""
+    if root.tag != "contract":
+        raise ContractViolation(f"not a contract document: <{root.tag}>")
+    name = root.get("name")
+    if not name:
+        raise ContractViolation("contract missing name attribute")
+    doc_el = root.find("documentation")
+    contract = ServiceContract(
+        name,
+        documentation=doc_el.text if doc_el is not None else "",
+        category=root.get("category", "general"),
+        version=root.get("version", "1.0"),
+    )
+    for op_el in root.elements("operation"):
+        op_name = op_el.get("name")
+        if not op_name:
+            raise ContractViolation("operation missing name attribute")
+        parameters = []
+        for p_el in op_el.elements("parameter"):
+            p_name = p_el.get("name")
+            if not p_name:
+                raise ContractViolation("parameter missing name attribute")
+            optional = p_el.get("optional") == "true"
+            default: Any = None
+            default_el = p_el.find("default")
+            if default_el is not None:
+                default = from_element(default_el)
+            parameters.append(
+                Parameter(p_name, p_el.get("type", "any"), optional, default)
+            )
+        op_doc = op_el.find("documentation")
+        contract.add(
+            Operation(
+                op_name,
+                tuple(parameters),
+                returns=op_el.get("returns", "any"),
+                documentation=op_doc.text if op_doc is not None else "",
+                idempotent=op_el.get("idempotent") == "true",
+                requires_role=op_el.get("requiresRole"),
+            )
+        )
+    return contract
+
+
+def contract_from_xml(text: str) -> ServiceContract:
+    """Parse contract XML text back into a ServiceContract."""
+    return contract_from_element(parse(text))

@@ -1,0 +1,31 @@
+"""Web application framework (CSE445 Unit 5): routing, state management
+(view/session/application state, cookies), caching with dependencies,
+forms with validation, templates, and dynamic image generation."""
+
+from .state import ApplicationState, Session, SessionManager, ViewState, ViewStateError
+from .caching import Cache, CacheStats
+from .forms import (
+    Field,
+    Form,
+    ValidationResult,
+    email,
+    iso_date,
+    length,
+    numeric_range,
+    pattern,
+    required,
+    ssn,
+)
+from .templates import Template, TemplateError, render
+from .images import Raster, bar_chart_svg, line_chart_svg, verifier_image
+from .app import RequestContext, WebApp, compose_handlers, format_cookie, parse_cookies
+
+__all__ = [
+    "ViewState", "ViewStateError", "Session", "SessionManager", "ApplicationState",
+    "Cache", "CacheStats",
+    "Field", "Form", "ValidationResult", "required", "pattern", "length",
+    "numeric_range", "ssn", "iso_date", "email",
+    "Template", "TemplateError", "render",
+    "Raster", "verifier_image", "bar_chart_svg", "line_chart_svg",
+    "WebApp", "RequestContext", "compose_handlers", "parse_cookies", "format_cookie",
+]

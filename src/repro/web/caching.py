@@ -1,0 +1,179 @@
+"""Caching support for web-application state management.
+
+"Database and caching support to Web application state management" — the
+course's cache has the ASP.NET Cache semantics: absolute and sliding
+expirations, *dependencies* (invalidate entry B when A changes), LRU
+eviction under a capacity bound, and hit/miss statistics (the numbers the
+caching-ablation benchmark reports).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["Cache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    value: Any
+    absolute_deadline: Optional[float]
+    sliding_seconds: Optional[float]
+    last_access: float
+    dependencies: frozenset[str]
+
+
+class Cache:
+    """Thread-safe cache with expirations, dependencies and LRU bound."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._clock = clock
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._dependents: dict[str, set[str]] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # -- write ------------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        value: Any,
+        *,
+        absolute_seconds: Optional[float] = None,
+        sliding_seconds: Optional[float] = None,
+        depends_on: Iterable[str] = (),
+    ) -> None:
+        """Insert/replace an entry.
+
+        ``depends_on`` names other cache keys; when any of them is removed
+        or replaced, this entry is invalidated too (cascade).
+        """
+        if absolute_seconds is not None and absolute_seconds <= 0:
+            raise ValueError("absolute expiration must be positive")
+        if sliding_seconds is not None and sliding_seconds <= 0:
+            raise ValueError("sliding expiration must be positive")
+        now = self._clock()
+        dependencies = frozenset(depends_on)
+        with self._lock:
+            if key in self._entries:
+                self._remove_locked(key, cascade=True, count_invalidation=False)
+            entry = _Entry(
+                value,
+                now + absolute_seconds if absolute_seconds else None,
+                sliding_seconds,
+                now,
+                dependencies,
+            )
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            for dependency in dependencies:
+                self._dependents.setdefault(dependency, set()).add(key)
+            while len(self._entries) > self.capacity:
+                oldest, _ = next(iter(self._entries.items()))
+                self._remove_locked(oldest, cascade=True, count_invalidation=False)
+                self.stats.evictions += 1
+
+    # -- read ---------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return default
+            if self._expired_locked(entry, now):
+                self._remove_locked(key, cascade=True, count_invalidation=False)
+                self.stats.misses += 1
+                return default
+            entry.last_access = now
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.value
+
+    def get_or_compute(
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        **put_options: Any,
+    ) -> Any:
+        """Cache-aside read: on miss, compute, insert, return."""
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value
+        value = compute()
+        self.put(key, value, **put_options)
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        sentinel = object()
+        # non-counting probe
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            return not self._expired_locked(entry, self._clock())
+
+    # -- invalidation --------------------------------------------------------
+    def remove(self, key: str) -> None:
+        """Remove an entry and cascade to everything depending on it."""
+        with self._lock:
+            self._remove_locked(key, cascade=True, count_invalidation=True)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._dependents.clear()
+
+    def _expired_locked(self, entry: _Entry, now: float) -> bool:
+        if entry.absolute_deadline is not None and now >= entry.absolute_deadline:
+            return True
+        if (
+            entry.sliding_seconds is not None
+            and now - entry.last_access > entry.sliding_seconds
+        ):
+            return True
+        return False
+
+    def _remove_locked(self, key: str, *, cascade: bool, count_invalidation: bool) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        if count_invalidation:
+            self.stats.invalidations += 1
+        for dependency in entry.dependencies:
+            dependents = self._dependents.get(dependency)
+            if dependents:
+                dependents.discard(key)
+        if cascade:
+            for dependent in list(self._dependents.get(key, ())):
+                self._remove_locked(dependent, cascade=True, count_invalidation=count_invalidation)
+            self._dependents.pop(key, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,194 @@
+"""Form definition and validation — the presentation-layer half of Fig. 4.
+
+The Figure 4 client collects Name, SSN, Address, DoB and posts them; the
+provider validates.  :class:`Form` models that: typed fields with
+validators, HTML rendering (with sticky values and error messages), and
+server-side sanitisation (the XSS lesson from Unit 6: every echoed value
+is escaped).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..xmlkit import escape_attribute, escape_text
+
+__all__ = [
+    "Field",
+    "Form",
+    "ValidationResult",
+    "required",
+    "pattern",
+    "length",
+    "numeric_range",
+    "ssn",
+    "iso_date",
+    "email",
+]
+
+Validator = Callable[[str], Optional[str]]
+
+
+def required() -> Validator:
+    """Reject empty or whitespace-only values."""
+    def check(value: str) -> Optional[str]:
+        return "is required" if not value.strip() else None
+
+    return check
+
+
+def pattern(regex: str, message: str = "has an invalid format") -> Validator:
+    """Require a full-match against ``regex`` (empty values pass)."""
+    compiled = re.compile(regex)
+
+    def check(value: str) -> Optional[str]:
+        if value and not compiled.fullmatch(value):
+            return message
+        return None
+
+    return check
+
+
+def length(minimum: int = 0, maximum: Optional[int] = None) -> Validator:
+    """Bound the value's length to [minimum, maximum]."""
+    def check(value: str) -> Optional[str]:
+        if len(value) < minimum:
+            return f"must be at least {minimum} characters"
+        if maximum is not None and len(value) > maximum:
+            return f"must be at most {maximum} characters"
+        return None
+
+    return check
+
+
+def numeric_range(minimum: float, maximum: float) -> Validator:
+    """Require a number within [minimum, maximum] (empty values pass)."""
+    def check(value: str) -> Optional[str]:
+        if not value:
+            return None
+        try:
+            number = float(value)
+        except ValueError:
+            return "must be a number"
+        if not minimum <= number <= maximum:
+            return f"must be between {minimum} and {maximum}"
+        return None
+
+    return check
+
+
+def ssn() -> Validator:
+    """The Fig. 4 SSN field: NNN-NN-NNNN."""
+    return pattern(r"\d{3}-\d{2}-\d{4}", "must look like 123-45-6789")
+
+
+def iso_date() -> Validator:
+    """The Fig. 4 DoB field: YYYY-MM-DD with sane month/day."""
+
+    def check(value: str) -> Optional[str]:
+        if not value:
+            return None
+        if not re.fullmatch(r"\d{4}-\d{2}-\d{2}", value):
+            return "must look like 1990-07-04"
+        _, month, day = (int(p) for p in value.split("-"))
+        if not 1 <= month <= 12 or not 1 <= day <= 31:
+            return "is not a real calendar date"
+        return None
+
+    return check
+
+
+def email() -> Validator:
+    """Loose email shape check (user@host.tld)."""
+    return pattern(r"[^@\s]+@[^@\s]+\.[^@\s]+", "must be an email address")
+
+
+@dataclass
+class Field:
+    """One form field: name, label, validators, input type."""
+
+    name: str
+    label: str = ""
+    validators: list[Validator] = field(default_factory=list)
+    input_type: str = "text"
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = self.name.replace("_", " ").title()
+
+    def validate(self, value: str) -> list[str]:
+        return [
+            message
+            for message in (v(value) for v in self.validators)
+            if message is not None
+        ]
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of a form post: cleaned values + per-field errors."""
+
+    values: dict[str, str]
+    errors: dict[str, list[str]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def error_summary(self) -> str:
+        return "; ".join(
+            f"{name} {message}" for name, messages in self.errors.items() for message in messages
+        )
+
+
+class Form:
+    """A typed form: validate posted data, render sticky HTML."""
+
+    def __init__(self, name: str, fields: list[Field]) -> None:
+        if not fields:
+            raise ValueError("form needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate field names")
+        self.name = name
+        self.fields = fields
+
+    def validate(self, posted: dict[str, str]) -> ValidationResult:
+        values: dict[str, str] = {}
+        errors: dict[str, list[str]] = {}
+        for form_field in self.fields:
+            raw = posted.get(form_field.name, "").strip()
+            values[form_field.name] = raw
+            messages = form_field.validate(raw)
+            if messages:
+                errors[form_field.name] = messages
+        return ValidationResult(values, errors)
+
+    def render(
+        self,
+        action: str,
+        values: Optional[dict[str, str]] = None,
+        errors: Optional[dict[str, list[str]]] = None,
+        submit_label: str = "Submit",
+    ) -> str:
+        """Render an HTML form; echoed values and errors are escaped."""
+        values = values or {}
+        errors = errors or {}
+        rows = []
+        for form_field in self.fields:
+            value = escape_attribute(values.get(form_field.name, ""))
+            row = [
+                f'<label for="{form_field.name}">{escape_text(form_field.label)}</label>',
+                f'<input type="{form_field.input_type}" id="{form_field.name}" '
+                f'name="{form_field.name}" value="{value}"/>',
+            ]
+            for message in errors.get(form_field.name, []):
+                row.append(f'<span class="error">{escape_text(message)}</span>')
+            rows.append("<div>" + "".join(row) + "</div>")
+        body = "".join(rows)
+        return (
+            f'<form id="{self.name}" method="POST" action="{escape_attribute(action)}">'
+            f"{body}<button type=\"submit\">{escape_text(submit_label)}</button></form>"
+        )

@@ -1,0 +1,324 @@
+"""Dynamic image generation — "dynamic graphics generation to leverage the
+presentation of Web applications at the programming level" (Unit 5).
+
+Two artifact families from the ASU repository:
+
+* :class:`Raster` — an RGB raster with drawing primitives, serialized to
+  PPM (binary P6) and to an uncompressed BMP (browser-renderable); used
+  for charts and the **image-verifier (CAPTCHA) service**.
+* SVG helpers — :func:`bar_chart_svg` / :func:`line_chart_svg`, the
+  "dynamic graphics" used by sample Web apps (e.g. plotting Fig. 5's
+  enrollment series server-side).
+
+Everything is deterministic given an RNG seed — verifier images can be
+regression-tested byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Optional, Sequence
+
+from ..xmlkit import Element, escape_text
+
+__all__ = ["Raster", "verifier_image", "bar_chart_svg", "line_chart_svg", "FONT_5X7"]
+
+Color = tuple[int, int, int]
+
+# A minimal 5x7 bitmap font covering the verifier alphabet.
+FONT_5X7: dict[str, tuple[str, ...]] = {
+    "A": ("01110", "10001", "10001", "11111", "10001", "10001", "10001"),
+    "B": ("11110", "10001", "11110", "10001", "10001", "10001", "11110"),
+    "C": ("01111", "10000", "10000", "10000", "10000", "10000", "01111"),
+    "D": ("11110", "10001", "10001", "10001", "10001", "10001", "11110"),
+    "E": ("11111", "10000", "11110", "10000", "10000", "10000", "11111"),
+    "F": ("11111", "10000", "11110", "10000", "10000", "10000", "10000"),
+    "G": ("01111", "10000", "10000", "10111", "10001", "10001", "01111"),
+    "H": ("10001", "10001", "11111", "10001", "10001", "10001", "10001"),
+    "K": ("10001", "10010", "11100", "10010", "10001", "10001", "10001"),
+    "M": ("10001", "11011", "10101", "10001", "10001", "10001", "10001"),
+    "N": ("10001", "11001", "10101", "10011", "10001", "10001", "10001"),
+    "P": ("11110", "10001", "10001", "11110", "10000", "10000", "10000"),
+    "R": ("11110", "10001", "10001", "11110", "10100", "10010", "10001"),
+    "S": ("01111", "10000", "01110", "00001", "00001", "10001", "01110"),
+    "T": ("11111", "00100", "00100", "00100", "00100", "00100", "00100"),
+    "U": ("10001", "10001", "10001", "10001", "10001", "10001", "01110"),
+    "W": ("10001", "10001", "10001", "10101", "10101", "11011", "10001"),
+    "X": ("10001", "01010", "00100", "00100", "00100", "01010", "10001"),
+    "Y": ("10001", "01010", "00100", "00100", "00100", "00100", "00100"),
+    "Z": ("11111", "00010", "00100", "01000", "10000", "10000", "11111"),
+    "2": ("01110", "10001", "00001", "00110", "01000", "10000", "11111"),
+    "3": ("11110", "00001", "00001", "01110", "00001", "00001", "11110"),
+    "4": ("00010", "00110", "01010", "10010", "11111", "00010", "00010"),
+    "5": ("11111", "10000", "11110", "00001", "00001", "10001", "01110"),
+    "7": ("11111", "00001", "00010", "00100", "01000", "01000", "01000"),
+    "8": ("01110", "10001", "10001", "01110", "10001", "10001", "01110"),
+    "9": ("01110", "10001", "10001", "01111", "00001", "00001", "01110"),
+}
+
+VERIFIER_ALPHABET = "".join(sorted(FONT_5X7))
+
+
+class Raster:
+    """A width×height RGB image with simple drawing primitives."""
+
+    def __init__(self, width: int, height: int, background: Color = (255, 255, 255)) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._pixels = bytearray(bytes(background) * (width * height))
+
+    # -- pixel access ------------------------------------------------------
+    def set_pixel(self, x: int, y: int, color: Color) -> None:
+        if 0 <= x < self.width and 0 <= y < self.height:
+            offset = (y * self.width + x) * 3
+            self._pixels[offset : offset + 3] = bytes(color)
+
+    def get_pixel(self, x: int, y: int) -> Color:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"pixel ({x},{y}) outside {self.width}x{self.height}")
+        offset = (y * self.width + x) * 3
+        return tuple(self._pixels[offset : offset + 3])  # type: ignore[return-value]
+
+    # -- primitives --------------------------------------------------------
+    def fill_rect(self, x: int, y: int, w: int, h: int, color: Color) -> None:
+        for yy in range(max(0, y), min(self.height, y + h)):
+            for xx in range(max(0, x), min(self.width, x + w)):
+                self.set_pixel(xx, yy, color)
+
+    def line(self, x0: int, y0: int, x1: int, y1: int, color: Color) -> None:
+        """Bresenham line."""
+        dx, dy = abs(x1 - x0), -abs(y1 - y0)
+        sx = 1 if x0 < x1 else -1
+        sy = 1 if y0 < y1 else -1
+        err = dx + dy
+        while True:
+            self.set_pixel(x0, y0, color)
+            if x0 == x1 and y0 == y1:
+                return
+            e2 = 2 * err
+            if e2 >= dy:
+                err += dy
+                x0 += sx
+            if e2 <= dx:
+                err += dx
+                y0 += sy
+
+    def draw_text(self, x: int, y: int, text: str, color: Color, scale: int = 1) -> int:
+        """Render 5x7 glyphs; returns the x after the last glyph."""
+        cursor = x
+        for ch in text.upper():
+            glyph = FONT_5X7.get(ch)
+            if glyph is None:
+                cursor += 6 * scale  # unknown glyph: blank advance
+                continue
+            for row, bits in enumerate(glyph):
+                for col, bit in enumerate(bits):
+                    if bit == "1":
+                        self.fill_rect(
+                            cursor + col * scale, y + row * scale, scale, scale, color
+                        )
+            cursor += 6 * scale
+        return cursor
+
+    # -- encodings -----------------------------------------------------------
+    def to_ppm(self) -> bytes:
+        header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
+        return header + bytes(self._pixels)
+
+    def to_bmp(self) -> bytes:
+        """Uncompressed 24-bit BMP (bottom-up rows, BGR, 4-byte padding)."""
+        row_size = (self.width * 3 + 3) & ~3
+        image_size = row_size * self.height
+        file_size = 54 + image_size
+        header = struct.pack(
+            "<2sIHHIIiiHHIIiiII",
+            b"BM", file_size, 0, 0, 54,
+            40, self.width, self.height, 1, 24, 0, image_size, 2835, 2835, 0, 0,
+        )
+        rows = []
+        padding = b"\x00" * (row_size - self.width * 3)
+        for y in range(self.height - 1, -1, -1):
+            row = bytearray()
+            for x in range(self.width):
+                r, g, b = self.get_pixel(x, y)
+                row += bytes((b, g, r))
+            rows.append(bytes(row) + padding)
+        return header + b"".join(rows)
+
+    @classmethod
+    def from_ppm(cls, data: bytes) -> "Raster":
+        if not data.startswith(b"P6"):
+            raise ValueError("not a P6 PPM")
+        parts = data.split(b"\n", 3)
+        if len(parts) < 4:
+            raise ValueError("truncated PPM header")
+        width, height = (int(v) for v in parts[1].split())
+        raster = cls(width, height)
+        raster._pixels = bytearray(parts[3][: width * height * 3])
+        if len(raster._pixels) != width * height * 3:
+            raise ValueError("truncated PPM pixel data")
+        return raster
+
+
+def verifier_image(
+    code: str,
+    *,
+    width: int = 180,
+    height: int = 60,
+    seed: Optional[int] = None,
+    noise_lines: int = 6,
+    noise_dots: int = 120,
+) -> Raster:
+    """The repository's "random string image (image verifier) service".
+
+    Renders ``code`` with per-glyph jitter plus noise lines and dots.
+    Deterministic for a given (code, seed).
+    """
+    for ch in code.upper():
+        if ch not in FONT_5X7:
+            raise ValueError(
+                f"character {ch!r} not in verifier alphabet {VERIFIER_ALPHABET!r}"
+            )
+    rng = random.Random(seed)
+    raster = Raster(width, height, background=(245, 245, 245))
+    for _ in range(noise_lines):
+        raster.line(
+            rng.randrange(width), rng.randrange(height),
+            rng.randrange(width), rng.randrange(height),
+            (rng.randrange(150, 230),) * 3,  # light gray
+        )
+    scale = 3
+    x = 10
+    for ch in code.upper():
+        jitter_y = rng.randrange(-5, 6)
+        color = (rng.randrange(0, 120), rng.randrange(0, 120), rng.randrange(0, 120))
+        x = raster.draw_text(x, height // 2 - 10 + jitter_y, ch, color, scale=scale) + 4
+    for _ in range(noise_dots):
+        raster.set_pixel(
+            rng.randrange(width), rng.randrange(height),
+            (rng.randrange(100, 200),) * 3,
+        )
+    return raster
+
+
+# ---------------------------------------------------------------------------
+# SVG charts
+# ---------------------------------------------------------------------------
+
+
+def _svg_root(width: int, height: int) -> Element:
+    return Element(
+        "svg",
+        {
+            "xmlns": "http://www.w3.org/2000/svg",
+            "width": str(width),
+            "height": str(height),
+            "viewBox": f"0 0 {width} {height}",
+        },
+    )
+
+
+def bar_chart_svg(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 480,
+    height: int = 280,
+    title: str = "",
+    color: str = "#3b6ea5",
+) -> str:
+    """Server-side bar chart (the Fig. 5 enrollment plot uses this)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        raise ValueError("no data")
+    svg = _svg_root(width, height)
+    margin = 30
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    peak = max(max(values), 1e-9)
+    bar_w = plot_w / len(values)
+    if title:
+        svg.append(
+            Element("text", {"x": str(width // 2), "y": "18", "text-anchor": "middle"},
+                    text=title)
+        )
+    for index, (label, value) in enumerate(zip(labels, values)):
+        bar_h = plot_h * (value / peak)
+        x = margin + index * bar_w
+        y = margin + (plot_h - bar_h)
+        svg.append(
+            Element("rect", {
+                "x": f"{x + bar_w * 0.1:.1f}", "y": f"{y:.1f}",
+                "width": f"{bar_w * 0.8:.1f}", "height": f"{bar_h:.1f}",
+                "fill": color,
+            })
+        )
+        svg.append(
+            Element("text", {
+                "x": f"{x + bar_w / 2:.1f}", "y": str(height - 8),
+                "text-anchor": "middle", "font-size": "9",
+            }, text=str(label))
+        )
+    svg.append(Element("line", {
+        "x1": str(margin), "y1": str(height - margin),
+        "x2": str(width - margin), "y2": str(height - margin),
+        "stroke": "#333",
+    }))
+    return svg.toxml()
+
+
+def line_chart_svg(
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 480,
+    height: int = 280,
+    title: str = "",
+    colors: Sequence[str] = ("#3b6ea5", "#a53b3b", "#3ba55d", "#a5823b"),
+) -> str:
+    """Multi-series line chart (speedup/efficiency curves, Fig. 3/5)."""
+    if not series:
+        raise ValueError("no series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have equal length")
+    (points,) = lengths
+    if points < 2:
+        raise ValueError("need at least two points per series")
+    svg = _svg_root(width, height)
+    margin = 30
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    peak = max(max(v) for v in series.values())
+    peak = max(peak, 1e-9)
+    if title:
+        svg.append(
+            Element("text", {"x": str(width // 2), "y": "18", "text-anchor": "middle"},
+                    text=title)
+        )
+    for index, (name, values) in enumerate(sorted(series.items())):
+        color = colors[index % len(colors)]
+        coordinates = []
+        for position, value in enumerate(values):
+            x = margin + plot_w * position / (points - 1)
+            y = margin + plot_h * (1 - value / peak)
+            coordinates.append(f"{x:.1f},{y:.1f}")
+        svg.append(
+            Element("polyline", {
+                "points": " ".join(coordinates), "fill": "none",
+                "stroke": color, "stroke-width": "2",
+            })
+        )
+        svg.append(
+            Element("text", {
+                "x": str(margin + 4), "y": str(margin + 14 * (index + 1)),
+                "fill": color, "font-size": "11",
+            }, text=name)
+        )
+    svg.append(Element("line", {
+        "x1": str(margin), "y1": str(height - margin),
+        "x2": str(width - margin), "y2": str(height - margin),
+        "stroke": "#333",
+    }))
+    return svg.toxml()

@@ -1,0 +1,205 @@
+"""A small, auto-escaping template engine for the web framework.
+
+Syntax (subset of the familiar dialects, enough for the course pages):
+
+* ``{{ expr }}`` — HTML-escaped interpolation (dotted lookups:
+  ``{{ user.name }}`` works on dicts and attributes)
+* ``{{ expr | raw }}`` — unescaped (for pre-rendered fragments)
+* ``{% if expr %} ... {% elif expr %} ... {% else %} ... {% endif %}``
+* ``{% for name in expr %} ... {% endfor %}`` (exposes ``loop.index``)
+
+Templates compile to a node tree once and render many times.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from ..xmlkit import escape_text
+
+__all__ = ["Template", "TemplateError", "render"]
+
+
+class TemplateError(ValueError):
+    """Malformed template or render-time lookup failure."""
+
+
+_TOKEN_RE = re.compile(r"({{.*?}}|{%.*?%})", re.DOTALL)
+
+
+def _lookup(expr: str, context: dict[str, Any]) -> Any:
+    expr = expr.strip()
+    if not expr:
+        raise TemplateError("empty expression")
+    parts = expr.split(".")
+    if parts[0] not in context:
+        raise TemplateError(f"unknown name {parts[0]!r}")
+    value: Any = context[parts[0]]
+    for part in parts[1:]:
+        if isinstance(value, dict):
+            if part not in value:
+                raise TemplateError(f"missing key {part!r} in {expr!r}")
+            value = value[part]
+        elif hasattr(value, part):
+            value = getattr(value, part)
+        else:
+            raise TemplateError(f"cannot resolve {part!r} in {expr!r}")
+    return value
+
+
+def _truthy(expr: str, context: dict[str, Any]) -> bool:
+    negated = False
+    expr = expr.strip()
+    while expr.startswith("not "):
+        negated = not negated
+        expr = expr[4:].strip()
+    try:
+        value = bool(_lookup(expr, context))
+    except TemplateError:
+        value = False  # undefined names are falsy in conditions
+    return value != negated
+
+
+class _Node:
+    def render(self, context: dict[str, Any], out: list[str]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _TextNode(_Node):
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def render(self, context: dict[str, Any], out: list[str]) -> None:
+        out.append(self.text)
+
+
+class _ExprNode(_Node):
+    def __init__(self, expr: str) -> None:
+        self.raw = False
+        if "|" in expr:
+            expr, _, modifier = expr.rpartition("|")
+            if modifier.strip() != "raw":
+                raise TemplateError(f"unknown filter {modifier.strip()!r}")
+            self.raw = True
+        self.expr = expr.strip()
+
+    def render(self, context: dict[str, Any], out: list[str]) -> None:
+        value = _lookup(self.expr, context)
+        text = "" if value is None else str(value)
+        out.append(text if self.raw else escape_text(text))
+
+
+class _IfNode(_Node):
+    def __init__(self) -> None:
+        # list of (condition or None-for-else, children)
+        self.branches: list[tuple[Optional[str], list[_Node]]] = []
+
+    def render(self, context: dict[str, Any], out: list[str]) -> None:
+        for condition, children in self.branches:
+            if condition is None or _truthy(condition, context):
+                for child in children:
+                    child.render(context, out)
+                return
+
+
+class _ForNode(_Node):
+    def __init__(self, var: str, expr: str, children: list[_Node]) -> None:
+        self.var = var
+        self.expr = expr
+        self.children = children
+
+    def render(self, context: dict[str, Any], out: list[str]) -> None:
+        iterable = _lookup(self.expr, context)
+        try:
+            items = list(iterable)
+        except TypeError as exc:
+            raise TemplateError(f"{self.expr!r} is not iterable") from exc
+        for index, item in enumerate(items):
+            scope = dict(context)
+            scope[self.var] = item
+            scope["loop"] = {"index": index + 1, "first": index == 0, "last": index == len(items) - 1}
+            for child in self.children:
+                child.render(scope, out)
+
+
+class Template:
+    """A compiled template."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        tokens = _TOKEN_RE.split(source)
+        self._nodes, remainder = self._parse(tokens, 0, ())
+        if remainder != len(tokens):
+            raise TemplateError("unbalanced block tags")
+
+    def _parse(
+        self, tokens: list[str], position: int, stop_on: tuple[str, ...]
+    ) -> tuple[list[_Node], int]:
+        nodes: list[_Node] = []
+        while position < len(tokens):
+            token = tokens[position]
+            if token.startswith("{{") and token.endswith("}}"):
+                nodes.append(_ExprNode(token[2:-2]))
+                position += 1
+                continue
+            if token.startswith("{%") and token.endswith("%}"):
+                directive = token[2:-2].strip()
+                keyword = directive.split(None, 1)[0] if directive else ""
+                if keyword in stop_on:
+                    return nodes, position
+                if keyword == "if":
+                    node = _IfNode()
+                    condition: Optional[str] = directive[2:].strip()
+                    position += 1
+                    while True:
+                        children, position = self._parse(
+                            tokens, position, ("elif", "else", "endif")
+                        )
+                        node.branches.append((condition, children))
+                        if position >= len(tokens):
+                            raise TemplateError("unterminated {% if %}")
+                        terminator = tokens[position][2:-2].strip()
+                        position += 1
+                        if terminator.startswith("elif"):
+                            condition = terminator[4:].strip()
+                        elif terminator == "else":
+                            condition = None
+                            children, position = self._parse(tokens, position, ("endif",))
+                            node.branches.append((None, children))
+                            if position >= len(tokens):
+                                raise TemplateError("unterminated {% if %}")
+                            position += 1
+                            break
+                        elif terminator == "endif":
+                            break
+                    nodes.append(node)
+                    continue
+                if keyword == "for":
+                    match = re.fullmatch(r"for\s+(\w+)\s+in\s+(.+)", directive)
+                    if not match:
+                        raise TemplateError(f"malformed for: {directive!r}")
+                    position += 1
+                    children, position = self._parse(tokens, position, ("endfor",))
+                    if position >= len(tokens):
+                        raise TemplateError("unterminated {% for %}")
+                    position += 1
+                    nodes.append(_ForNode(match.group(1), match.group(2), children))
+                    continue
+                raise TemplateError(f"unknown directive {keyword!r}")
+            nodes.append(_TextNode(token))
+            position += 1
+        if stop_on:
+            raise TemplateError(f"expected one of {stop_on}")
+        return nodes, position
+
+    def render(self, **context: Any) -> str:
+        out: list[str] = []
+        for node in self._nodes:
+            node.render(context, out)
+        return "".join(out)
+
+
+def render(source: str, **context: Any) -> str:
+    """Compile-and-render convenience."""
+    return Template(source).render(**context)

@@ -1,0 +1,42 @@
+"""Workflow engines: VPL-style dataflow, FSM (Fig. 2), BPEL-subset
+orchestration with compensation, and flowchart-to-executable translation
+(CSE446 units 2 and 4)."""
+
+from .dataflow import (
+    Activity,
+    Variable,
+    Wire,
+    Workflow,
+    WorkflowError,
+    branch,
+    calculate,
+    data,
+    join,
+    merge,
+)
+from .fsm import FsmError, MachineRun, State, StateMachine, Transition, fsm_from_xml
+from .bpel import (
+    Assign,
+    Receive,
+    Reply,
+    BpelError,
+    BpelProcess,
+    Flow,
+    Invoke,
+    Pick,
+    ProcessContext,
+    Scope,
+    Sequence,
+    Switch,
+    While,
+)
+from .flowchart import Flowchart, FlowchartError
+
+__all__ = [
+    "Workflow", "WorkflowError", "Activity", "Wire", "Variable",
+    "calculate", "data", "branch", "merge", "join",
+    "StateMachine", "State", "Transition", "MachineRun", "FsmError", "fsm_from_xml",
+    "BpelProcess", "BpelError", "ProcessContext", "Invoke", "Assign", "Receive", "Reply",
+    "Sequence", "Flow", "Switch", "While", "Pick", "Scope",
+    "Flowchart", "FlowchartError",
+]

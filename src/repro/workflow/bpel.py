@@ -1,0 +1,307 @@
+"""BPEL-subset orchestration engine.
+
+CSE446's project list includes "BPEL-based integration": composing
+*services* into long-running processes.  This engine executes a process
+tree over a variable scope, invoking real service proxies:
+
+* :class:`Sequence` — ordered execution
+* :class:`Flow` — parallel branches (thread pool), all must finish
+* :class:`Invoke` — call a partner service operation, store the result
+* :class:`Assign` — compute a variable from the scope
+* :class:`Receive` / :class:`Reply` — consume an inbound message from a
+  named channel / append a response to the process outbox
+* :class:`Switch` — guarded branches (first match)
+* :class:`While` — guarded loop with an iteration cap
+* :class:`Pick` — first-ready alternative (by guard evaluation order)
+* :class:`Scope` — fault handler + compensation handlers: on fault inside
+  the scope, already-completed compensable activities are compensated in
+  reverse order (the saga pattern the course teaches for distributed
+  transactions)
+
+Partners resolve by name through any ``callable(operation, arguments)``
+— a broker-backed resolver in practice.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence as Seq
+
+from ..core.faults import ServiceFault
+
+__all__ = [
+    "BpelError",
+    "ProcessContext",
+    "Invoke",
+    "Assign",
+    "Receive",
+    "Reply",
+    "Sequence",
+    "Flow",
+    "Switch",
+    "While",
+    "Pick",
+    "Scope",
+    "BpelProcess",
+]
+
+
+class BpelError(ServiceFault):
+    """Structural or runtime failure of a BPEL process."""
+
+    code = "Bpel.Error"
+
+
+PartnerResolver = Callable[[str], Callable[[str, dict[str, Any]], Any]]
+
+
+class ProcessContext:
+    """Process scope: variables + partner resolution + compensation log +
+    message channels (inboxes consumed by :class:`Receive`, outboxes
+    filled by :class:`Reply`)."""
+
+    def __init__(self, partners: PartnerResolver, variables: Optional[dict[str, Any]] = None) -> None:
+        self._partners = partners
+        self.variables: dict[str, Any] = dict(variables or {})
+        self._lock = threading.RLock()
+        self._compensations: list[Callable[["ProcessContext"], None]] = []
+        self._inboxes: dict[str, list[Any]] = {}
+        self.outbox: list[tuple[str, Any]] = []
+
+    def deliver(self, channel: str, message: Any) -> None:
+        """Enqueue an inbound message for a :class:`Receive` on ``channel``."""
+        with self._lock:
+            self._inboxes.setdefault(channel, []).append(message)
+
+    def _take(self, channel: str) -> Any:
+        with self._lock:
+            inbox = self._inboxes.get(channel, [])
+            if not inbox:
+                raise BpelError(f"no message waiting on channel {channel!r}")
+            return inbox.pop(0)
+
+    def has_message(self, channel: str) -> bool:
+        with self._lock:
+            return bool(self._inboxes.get(channel))
+
+    def partner(self, name: str) -> Callable[[str, dict[str, Any]], Any]:
+        return self._partners(name)
+
+    def get(self, name: str) -> Any:
+        with self._lock:
+            if name not in self.variables:
+                raise BpelError(f"undefined process variable {name!r}")
+            return self.variables[name]
+
+    def set(self, name: str, value: Any) -> None:
+        with self._lock:
+            self.variables[name] = value
+
+    def push_compensation(self, handler: Callable[["ProcessContext"], None]) -> None:
+        with self._lock:
+            self._compensations.append(handler)
+
+    def compensate_all(self) -> int:
+        """Run registered compensations newest-first; returns count run."""
+        with self._lock:
+            handlers = list(reversed(self._compensations))
+            self._compensations.clear()
+        for handler in handlers:
+            handler(self)
+        return len(handlers)
+
+
+class _ActivityBase:
+    def execute(self, context: ProcessContext) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class Invoke(_ActivityBase):
+    """Call ``partner.operation(**inputs(scope))`` storing into ``output``.
+
+    ``compensate`` (optional) registers an undo step that runs if a later
+    activity in an enclosing :class:`Scope` faults.
+    """
+
+    partner: str
+    operation: str
+    inputs: Callable[[ProcessContext], dict[str, Any]] = lambda context: {}
+    output: Optional[str] = None
+    compensate: Optional[Callable[[ProcessContext], None]] = None
+
+    def execute(self, context: ProcessContext) -> None:
+        invoker = context.partner(self.partner)
+        result = invoker(self.operation, self.inputs(context))
+        if self.output:
+            context.set(self.output, result)
+        if self.compensate is not None:
+            context.push_compensation(self.compensate)
+
+
+@dataclass
+class Assign(_ActivityBase):
+    """Set ``variable`` to ``expression(scope)``."""
+
+    variable: str
+    expression: Callable[[ProcessContext], Any]
+
+    def execute(self, context: ProcessContext) -> None:
+        context.set(self.variable, self.expression(context))
+
+
+@dataclass
+class Receive(_ActivityBase):
+    """Consume the next message on ``channel`` into ``variable``.
+
+    Messages are injected by the host through
+    :meth:`ProcessContext.deliver` before (or between) activity steps;
+    an empty channel is a fault — pair with :class:`Pick` plus
+    :meth:`ProcessContext.has_message` for optional receives.
+    """
+
+    channel: str
+    variable: str
+
+    def execute(self, context: ProcessContext) -> None:
+        context.set(self.variable, context._take(self.channel))
+
+
+@dataclass
+class Reply(_ActivityBase):
+    """Append ``expression(scope)`` to the outbox under ``channel``."""
+
+    channel: str
+    expression: Callable[[ProcessContext], Any]
+
+    def execute(self, context: ProcessContext) -> None:
+        context.outbox.append((self.channel, self.expression(context)))
+
+
+@dataclass
+class Sequence(_ActivityBase):
+    activities: Seq[_ActivityBase]
+
+    def execute(self, context: ProcessContext) -> None:
+        for activity in self.activities:
+            activity.execute(context)
+
+
+@dataclass
+class Flow(_ActivityBase):
+    """Parallel branches; waits for all; first branch fault propagates."""
+
+    branches: Seq[_ActivityBase]
+
+    def execute(self, context: ProcessContext) -> None:
+        if not self.branches:
+            return
+        with ThreadPoolExecutor(max_workers=len(self.branches)) as pool:
+            futures = [pool.submit(branch.execute, context) for branch in self.branches]
+            first_error: Optional[Exception] = None
+            for future in futures:
+                try:
+                    future.result()
+                except Exception as exc:  # noqa: BLE001 - gathered below
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+
+
+@dataclass
+class Switch(_ActivityBase):
+    """Guarded cases; first true guard executes; optional otherwise."""
+
+    cases: Seq[tuple[Callable[[ProcessContext], bool], _ActivityBase]]
+    otherwise: Optional[_ActivityBase] = None
+
+    def execute(self, context: ProcessContext) -> None:
+        for guard, activity in self.cases:
+            if guard(context):
+                activity.execute(context)
+                return
+        if self.otherwise is not None:
+            self.otherwise.execute(context)
+
+
+@dataclass
+class While(_ActivityBase):
+    condition: Callable[[ProcessContext], bool]
+    body: _ActivityBase
+    max_iterations: int = 100_000
+
+    def execute(self, context: ProcessContext) -> None:
+        iterations = 0
+        while self.condition(context):
+            if iterations >= self.max_iterations:
+                raise BpelError(
+                    f"while loop exceeded {self.max_iterations} iterations"
+                )
+            self.body.execute(context)
+            iterations += 1
+
+
+@dataclass
+class Pick(_ActivityBase):
+    """First alternative whose readiness guard holds (evaluation order)."""
+
+    alternatives: Seq[tuple[Callable[[ProcessContext], bool], _ActivityBase]]
+
+    def execute(self, context: ProcessContext) -> None:
+        for ready, activity in self.alternatives:
+            if ready(context):
+                activity.execute(context)
+                return
+        raise BpelError("no pick alternative was ready")
+
+
+@dataclass
+class Scope(_ActivityBase):
+    """Fault-handling + compensation boundary.
+
+    On fault inside ``body``: compensations registered during the scope
+    run newest-first, then ``fault_handler`` (if any) runs; without a
+    handler the fault propagates after compensation.
+    """
+
+    body: _ActivityBase
+    fault_handler: Optional[Callable[[ProcessContext, Exception], None]] = None
+
+    def execute(self, context: ProcessContext) -> None:
+        try:
+            self.body.execute(context)
+        except Exception as exc:  # noqa: BLE001 - scope boundary
+            context.compensate_all()
+            if self.fault_handler is None:
+                raise
+            self.fault_handler(context, exc)
+
+
+class BpelProcess:
+    """A named process: root activity + a partner resolver."""
+
+    def __init__(self, name: str, root: _ActivityBase, partners: PartnerResolver) -> None:
+        self.name = name
+        self.root = root
+        self.partners = partners
+
+    def run(
+        self, *, messages: Optional[dict[str, list[Any]]] = None, **inputs: Any
+    ) -> dict[str, Any]:
+        """Execute the process; returns the final variable scope.
+
+        ``messages`` pre-loads inbound channels for :class:`Receive`
+        activities; replies accumulate under the ``"__outbox__"`` key.
+        """
+        context = ProcessContext(self.partners, inputs)
+        for channel, queued in (messages or {}).items():
+            for message in queued:
+                context.deliver(channel, message)
+        self.root.execute(context)
+        final = dict(context.variables)
+        if context.outbox:
+            final["__outbox__"] = list(context.outbox)
+        return final

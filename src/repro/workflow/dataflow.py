@@ -1,0 +1,287 @@
+"""VPL-style dataflow workflow engine.
+
+Microsoft VPL (the CSE101 robotics language) is "architecture-driven":
+programs are *activities* with input/output **pins** connected by
+**wires**; a message arriving on a pin fires the activity, which emits
+messages on its output pins.  This module is that model:
+
+* :class:`Activity` — named node with declared input/output pins and a
+  ``fire(inputs) -> {pin: value}`` function
+* builtin activities: :func:`calculate`, :func:`data`, :func:`branch`
+  (the VPL If), :func:`merge`, :func:`join`, :class:`Variable`
+* :class:`Workflow` — the diagram: activities + wires, validated
+  (existence, arity, acyclicity for run-to-completion execution)
+* :meth:`Workflow.run` — deterministic topological execution of one
+  message wave from the entry activities
+
+Loops are expressed the VPL way — by re-running the workflow from state
+held in :class:`Variable` activities (see the maze programs in
+:mod:`repro.robotics.vplprograms`) — keeping each wave terminating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "WorkflowError",
+    "Activity",
+    "calculate",
+    "data",
+    "branch",
+    "merge",
+    "join",
+    "Variable",
+    "Wire",
+    "Workflow",
+]
+
+
+class WorkflowError(ValueError):
+    """Structural or runtime workflow failure."""
+
+
+class Activity:
+    """A dataflow node.
+
+    ``fire`` receives a dict of input-pin values and returns a dict of
+    output-pin values; omitting an output pin means "no message on that
+    wire this wave" (how branching works).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        fire: Callable[[dict[str, Any]], dict[str, Any]],
+        *,
+        require_all_inputs: bool = True,
+    ) -> None:
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self._fire = fire
+        self.require_all_inputs = require_all_inputs
+        if len(set(self.inputs)) != len(self.inputs):
+            raise WorkflowError(f"duplicate input pins on {name!r}")
+        if len(set(self.outputs)) != len(self.outputs):
+            raise WorkflowError(f"duplicate output pins on {name!r}")
+
+    def fire(self, inputs: dict[str, Any]) -> dict[str, Any]:
+        produced = self._fire(inputs)
+        unknown = set(produced) - set(self.outputs)
+        if unknown:
+            raise WorkflowError(
+                f"activity {self.name!r} produced undeclared pins {sorted(unknown)}"
+            )
+        return produced
+
+    def __repr__(self) -> str:
+        return f"Activity({self.name!r}, in={list(self.inputs)}, out={list(self.outputs)})"
+
+
+# -- builtin activity constructors (the VPL toolbox) --------------------------
+
+
+def calculate(name: str, fn: Callable[..., Any], inputs: Iterable[str]) -> Activity:
+    """VPL Calculate: one output pin ``result`` computed from the inputs."""
+    input_names = tuple(inputs)
+
+    def fire(values: dict[str, Any]) -> dict[str, Any]:
+        return {"result": fn(**{k: values[k] for k in input_names})}
+
+    return Activity(name, input_names, ("result",), fire)
+
+
+def data(name: str, value: Any) -> Activity:
+    """VPL Data: a source emitting a constant on ``out`` when triggered."""
+    return Activity(name, (), ("out",), lambda values: {"out": value})
+
+
+def branch(name: str, predicate: Callable[[Any], bool]) -> Activity:
+    """VPL If: routes ``in`` to ``then`` or ``else`` by the predicate."""
+
+    def fire(values: dict[str, Any]) -> dict[str, Any]:
+        value = values["in"]
+        return {"then": value} if predicate(value) else {"else": value}
+
+    return Activity(name, ("in",), ("then", "else"), fire)
+
+
+def merge(name: str, count: int = 2) -> Activity:
+    """VPL Merge: first message on any input passes through to ``out``."""
+    inputs = tuple(f"in{i}" for i in range(count))
+
+    def fire(values: dict[str, Any]) -> dict[str, Any]:
+        for pin in inputs:
+            if pin in values:
+                return {"out": values[pin]}
+        raise WorkflowError(f"merge {name!r} fired with no inputs")
+
+    return Activity(name, inputs, ("out",), fire, require_all_inputs=False)
+
+
+def join(name: str, count: int = 2) -> Activity:
+    """VPL Join: waits for *all* inputs, emits the tuple on ``out``."""
+    inputs = tuple(f"in{i}" for i in range(count))
+
+    def fire(values: dict[str, Any]) -> dict[str, Any]:
+        return {"out": tuple(values[pin] for pin in inputs)}
+
+    return Activity(name, inputs, ("out",), fire, require_all_inputs=True)
+
+
+class Variable(Activity):
+    """VPL Variable: persistent state across workflow waves.
+
+    ``set`` input stores a value; an incoming trigger on ``get`` emits the
+    current value on ``value``.
+    """
+
+    def __init__(self, name: str, initial: Any = None) -> None:
+        self.state = initial
+        super().__init__(
+            name, ("set", "get"), ("value",), self._var_fire, require_all_inputs=False
+        )
+
+    def _var_fire(self, values: dict[str, Any]) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        if "set" in values:
+            self.state = values["set"]
+        if "get" in values:
+            out["value"] = self.state
+        return out
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A connection: (source activity, output pin) → (target, input pin)."""
+
+    source: str
+    source_pin: str
+    target: str
+    target_pin: str
+
+
+class Workflow:
+    """A validated dataflow diagram, executable wave by wave."""
+
+    def __init__(self) -> None:
+        self._activities: dict[str, Activity] = {}
+        self._wires: list[Wire] = []
+
+    # -- construction ----------------------------------------------------
+    def add(self, activity: Activity) -> Activity:
+        if activity.name in self._activities:
+            raise WorkflowError(f"duplicate activity {activity.name!r}")
+        self._activities[activity.name] = activity
+        return activity
+
+    def connect(
+        self, source: str, source_pin: str, target: str, target_pin: str
+    ) -> None:
+        src = self._activities.get(source)
+        dst = self._activities.get(target)
+        if src is None:
+            raise WorkflowError(f"unknown source activity {source!r}")
+        if dst is None:
+            raise WorkflowError(f"unknown target activity {target!r}")
+        if source_pin not in src.outputs:
+            raise WorkflowError(f"{source!r} has no output pin {source_pin!r}")
+        if target_pin not in dst.inputs:
+            raise WorkflowError(f"{target!r} has no input pin {target_pin!r}")
+        for wire in self._wires:
+            if wire.target == target and wire.target_pin == target_pin and (
+                wire.source != source or wire.source_pin != source_pin
+            ):
+                # multiple writers to one pin are allowed only on merges
+                if dst.require_all_inputs:
+                    raise WorkflowError(
+                        f"input pin {target}.{target_pin} already wired"
+                    )
+        self._wires.append(Wire(source, source_pin, target, target_pin))
+
+    def activities(self) -> list[str]:
+        return sorted(self._activities)
+
+    def validate(self) -> None:
+        """Check the wave graph is acyclic (so run() terminates)."""
+        order = self._topological_order()
+        if order is None:
+            raise WorkflowError("workflow wave graph has a cycle")
+
+    def _topological_order(self) -> Optional[list[str]]:
+        indegree = {name: 0 for name in self._activities}
+        adjacency: dict[str, set[str]] = {name: set() for name in self._activities}
+        for wire in self._wires:
+            if wire.target not in adjacency[wire.source]:
+                adjacency[wire.source].add(wire.target)
+                indegree[wire.target] += 1
+        frontier = sorted(name for name, degree in indegree.items() if degree == 0)
+        order: list[str] = []
+        while frontier:
+            name = frontier.pop(0)
+            order.append(name)
+            for successor in sorted(adjacency[name]):
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    frontier.append(successor)
+            frontier.sort()
+        if len(order) != len(self._activities):
+            return None
+        return order
+
+    # -- execution ---------------------------------------------------------
+    def run(
+        self, triggers: Optional[dict[str, dict[str, Any]]] = None
+    ) -> dict[str, dict[str, Any]]:
+        """Execute one wave.
+
+        ``triggers`` seeds input-pin values per activity (source activities
+        with no inputs fire unconditionally).  Returns every activity's
+        produced outputs, keyed by activity name.
+        """
+        self.validate()
+        order = self._topological_order()
+        assert order is not None
+        pending: dict[str, dict[str, Any]] = {
+            name: dict(values) for name, values in (triggers or {}).items()
+        }
+        produced: dict[str, dict[str, Any]] = {}
+        for name in order:
+            activity = self._activities[name]
+            inputs = pending.get(name, {})
+            if activity.inputs:
+                if activity.require_all_inputs:
+                    if set(inputs) != set(activity.inputs):
+                        continue  # starved this wave
+                elif not inputs:
+                    continue
+            outputs = activity.fire(inputs)
+            produced[name] = outputs
+            for wire in self._wires:
+                if wire.source == name and wire.source_pin in outputs:
+                    pending.setdefault(wire.target, {})[wire.target_pin] = outputs[
+                        wire.source_pin
+                    ]
+        return produced
+
+    def run_until(
+        self,
+        make_triggers: Callable[[int], dict[str, dict[str, Any]]],
+        stop: Callable[[dict[str, dict[str, Any]]], bool],
+        *,
+        max_waves: int = 10_000,
+    ) -> tuple[dict[str, dict[str, Any]], int]:
+        """Run repeated waves (the VPL loop idiom) until ``stop`` or limit.
+
+        Returns (last wave's outputs, waves executed).
+        """
+        outputs: dict[str, dict[str, Any]] = {}
+        for wave in range(max_waves):
+            outputs = self.run(make_triggers(wave))
+            if stop(outputs):
+                return outputs, wave + 1
+        raise WorkflowError(f"no termination within {max_waves} waves")

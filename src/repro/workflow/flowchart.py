@@ -1,0 +1,141 @@
+"""Flowchart → executable translation.
+
+"Another highlight of the course is ... workflow-based software
+development, which turns the dream of generating executable directly
+from the flowchart into reality" (§IV, the JICSIT 2011 keynote topic).
+
+A :class:`Flowchart` is classic boxes-and-diamonds: Start, Process
+(action), Decision (predicate with true/false exits), End.  ``compile()``
+validates the chart (single start, reachable end, no dangling exits) and
+returns an executable function over a mutable context dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = ["FlowchartError", "Flowchart"]
+
+
+class FlowchartError(ValueError):
+    """Structural flowchart problem found at compile time."""
+
+
+@dataclass
+class _Node:
+    kind: str  # start | process | decision | end
+    action: Optional[Callable[[dict[str, Any]], None]] = None
+    predicate: Optional[Callable[[dict[str, Any]], bool]] = None
+    next: Optional[str] = None
+    on_true: Optional[str] = None
+    on_false: Optional[str] = None
+
+
+class Flowchart:
+    """Build with ``start/process/decision/end``, then :meth:`compile`."""
+
+    def __init__(self, name: str = "flowchart") -> None:
+        self.name = name
+        self._nodes: dict[str, _Node] = {}
+        self._start: Optional[str] = None
+
+    def start(self, name: str, next_node: str) -> "Flowchart":
+        if self._start is not None:
+            raise FlowchartError("flowchart already has a start node")
+        self._nodes[name] = _Node("start", next=next_node)
+        self._start = name
+        return self
+
+    def process(
+        self, name: str, action: Callable[[dict[str, Any]], None], next_node: str
+    ) -> "Flowchart":
+        self._add(name, _Node("process", action=action, next=next_node))
+        return self
+
+    def decision(
+        self,
+        name: str,
+        predicate: Callable[[dict[str, Any]], bool],
+        on_true: str,
+        on_false: str,
+    ) -> "Flowchart":
+        self._add(name, _Node("decision", predicate=predicate, on_true=on_true, on_false=on_false))
+        return self
+
+    def end(self, name: str) -> "Flowchart":
+        self._add(name, _Node("end"))
+        return self
+
+    def _add(self, name: str, node: _Node) -> None:
+        if name in self._nodes:
+            raise FlowchartError(f"duplicate node {name!r}")
+        self._nodes[name] = node
+
+    # -- compilation ------------------------------------------------------
+    def _exits(self, node: _Node) -> list[str]:
+        if node.kind == "decision":
+            return [node.on_true or "", node.on_false or ""]
+        if node.kind == "end":
+            return []
+        return [node.next or ""]
+
+    def validate(self) -> None:
+        if self._start is None:
+            raise FlowchartError("no start node")
+        ends = [n for n in self._nodes.values() if n.kind == "end"]
+        if not ends:
+            raise FlowchartError("no end node")
+        for name, node in self._nodes.items():
+            for exit_name in self._exits(node):
+                if exit_name not in self._nodes:
+                    raise FlowchartError(
+                        f"node {name!r} exits to unknown node {exit_name!r}"
+                    )
+        # every node reachable from start
+        reachable = set()
+        frontier = [self._start]
+        while frontier:
+            current = frontier.pop()
+            if current in reachable:
+                continue
+            reachable.add(current)
+            frontier.extend(self._exits(self._nodes[current]))
+        unreachable = set(self._nodes) - reachable
+        if unreachable:
+            raise FlowchartError(f"unreachable nodes: {sorted(unreachable)}")
+        # an end must be reachable (it is, since ends have no exits and are in graph;
+        # but check at least one reachable end)
+        if not any(self._nodes[name].kind == "end" for name in reachable):
+            raise FlowchartError("no end node reachable from start")
+
+    def compile(self, *, max_steps: int = 1_000_000) -> Callable[[dict[str, Any]], dict[str, Any]]:
+        """Validate and return an executable ``run(context) -> context``."""
+        self.validate()
+        nodes = dict(self._nodes)
+        start = self._start
+        assert start is not None
+
+        def run(context: dict[str, Any]) -> dict[str, Any]:
+            current = start
+            trace: list[str] = []
+            for _ in range(max_steps):
+                node = nodes[current]
+                trace.append(current)
+                if node.kind == "end":
+                    context["__trace__"] = trace
+                    return context
+                if node.kind == "decision":
+                    assert node.predicate is not None
+                    current = node.on_true if node.predicate(context) else node.on_false
+                    assert current is not None
+                    continue
+                if node.kind == "process":
+                    assert node.action is not None
+                    node.action(context)
+                current = node.next
+                assert current is not None
+            raise FlowchartError(f"execution exceeded {max_steps} steps (loop?)")
+
+        run.__name__ = self.name
+        return run

@@ -1,0 +1,69 @@
+"""XML toolkit built from scratch: parser, DOM, SAX, XPath, schema, XSLT.
+
+Implements CSE445 Unit 4 ("XML Data Representation and Processing") of the
+reproduced curriculum: the three processing models (SAX, DOM, XPath), type
+definition and schema validation, and stylesheet transformation — all
+self-hosted with no dependency on ``xml.*``.
+"""
+
+from .dom import (
+    Comment,
+    Document,
+    Element,
+    Node,
+    ProcessingInstruction,
+    Text,
+    escape_attribute,
+    escape_text,
+)
+from .parser import XMLSyntaxError, parse, parse_document, parse_events
+from .sax import ContentHandler, ElementCounter, TextCollector, sax_parse
+from .xpath import XPath, XPathError, count, exists, select, select_one
+from .schema import (
+    Attribute,
+    BOOLEAN,
+    Choice,
+    ComplexType,
+    DATE,
+    DECIMAL,
+    ElementDecl,
+    INTEGER,
+    STRING,
+    Schema,
+    SchemaError,
+    Sequence_,
+    SimpleType,
+    Violation,
+    choice,
+    decimal_type,
+    element,
+    enumeration,
+    integer_type,
+    schema_from_xml,
+    sequence,
+    string_type,
+)
+from .xslt import Stylesheet, XSLTError, transform
+from .databind import DataBindingError, dumps, from_element, loads, to_element
+
+__all__ = [
+    # dom
+    "Node", "Element", "Text", "Comment", "ProcessingInstruction", "Document",
+    "escape_text", "escape_attribute",
+    # parser
+    "parse", "parse_document", "parse_events", "XMLSyntaxError",
+    # sax
+    "ContentHandler", "sax_parse", "ElementCounter", "TextCollector",
+    # xpath
+    "XPath", "XPathError", "select", "select_one", "exists", "count",
+    # schema
+    "Schema", "SchemaError", "Violation", "SimpleType", "Attribute",
+    "ElementDecl", "Sequence_", "Choice", "ComplexType",
+    "STRING", "INTEGER", "DECIMAL", "BOOLEAN", "DATE",
+    "string_type", "integer_type", "decimal_type", "enumeration",
+    "element", "sequence", "choice", "schema_from_xml",
+    # xslt
+    "Stylesheet", "XSLTError", "transform",
+    # databind
+    "DataBindingError", "to_element", "from_element", "dumps", "loads",
+]

@@ -1,0 +1,122 @@
+"""Object ↔ XML databinding used by the SOAP-style transport binding.
+
+Service payloads in the curriculum stack are plain Python values.  This
+module converts between those values and XML elements with a small,
+self-describing encoding (a ``type`` attribute per element), so a message
+serialized by one endpoint deserializes to equal values at the other:
+
+* None, bool, int, float, str, bytes
+* list / tuple (as ``<item>`` children)
+* dict with string keys (as ``<entry key="...">`` children)
+* dataclasses (as field children; decoded back to dicts)
+
+The encoding is deliberately explicit — matching how the course teaches
+"XML data representation" — rather than schema-inferred.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+from typing import Any
+
+from .dom import Element, Text
+
+__all__ = ["DataBindingError", "to_element", "from_element", "dumps", "loads"]
+
+
+class DataBindingError(ValueError):
+    """Raised when a value cannot be encoded or an element decoded."""
+
+
+def to_element(name: str, value: Any) -> Element:
+    """Encode ``value`` as an element named ``name``."""
+    if value is None:
+        return Element(name, {"type": "nil"})
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return Element(name, {"type": "boolean"}, text="true" if value else "false")
+    if isinstance(value, int):
+        return Element(name, {"type": "int"}, text=str(value))
+    if isinstance(value, float):
+        return Element(name, {"type": "double"}, text=repr(value))
+    if isinstance(value, str):
+        return Element(name, {"type": "string"}, text=value)
+    if isinstance(value, (bytes, bytearray)):
+        return Element(
+            name, {"type": "base64"}, text=base64.b64encode(bytes(value)).decode("ascii")
+        )
+    if isinstance(value, (list, tuple)):
+        el = Element(name, {"type": "list"})
+        for item in value:
+            el.append(to_element("item", item))
+        return el
+    if isinstance(value, dict):
+        el = Element(name, {"type": "map"})
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise DataBindingError(f"map keys must be strings, got {type(key).__name__}")
+            child = to_element("entry", item)
+            child.set("key", key)
+            return_type = child.get("type")
+            assert return_type is not None
+            el.append(child)
+        return el
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        el = Element(name, {"type": "struct", "class": type(value).__name__})
+        for field in dataclasses.fields(value):
+            el.append(to_element(field.name, getattr(value, field.name)))
+        return el
+    raise DataBindingError(f"cannot encode value of type {type(value).__name__}")
+
+
+def from_element(el: Element) -> Any:
+    """Decode an element produced by :func:`to_element`."""
+    kind = el.get("type")
+    if kind is None:
+        raise DataBindingError(f"element <{el.tag}> has no type attribute")
+    if kind == "nil":
+        return None
+    if kind == "boolean":
+        return el.text.strip() == "true"
+    if kind == "int":
+        try:
+            return int(el.text.strip())
+        except ValueError as exc:
+            raise DataBindingError(f"bad int payload {el.text!r}") from exc
+    if kind == "double":
+        try:
+            return float(el.text.strip())
+        except ValueError as exc:
+            raise DataBindingError(f"bad double payload {el.text!r}") from exc
+    if kind == "string":
+        return el.text
+    if kind == "base64":
+        try:
+            return base64.b64decode(el.text.strip().encode("ascii"))
+        except Exception as exc:
+            raise DataBindingError("bad base64 payload") from exc
+    if kind == "list":
+        return [from_element(child) for child in el.elements("item")]
+    if kind == "map":
+        out: dict[str, Any] = {}
+        for child in el.elements("entry"):
+            key = child.get("key")
+            if key is None:
+                raise DataBindingError("map entry missing key")
+            out[key] = from_element(child)
+        return out
+    if kind == "struct":
+        return {child.tag: from_element(child) for child in el.elements()}
+    raise DataBindingError(f"unknown encoded type {kind!r}")
+
+
+def dumps(name: str, value: Any) -> str:
+    """Encode to an XML string."""
+    return to_element(name, value).toxml()
+
+
+def loads(text: str) -> Any:
+    """Decode from an XML string."""
+    from .parser import parse
+
+    return from_element(parse(text))

@@ -1,0 +1,113 @@
+"""SAX-style push parsing — the event-driven XML model of CSE445 Unit 4.
+
+A :class:`ContentHandler` receives callbacks as the document is scanned;
+memory use is O(depth) instead of O(document).  Layered on the pull parser
+in :mod:`repro.xmlkit.parser`.
+
+Also ships two classic teaching handlers:
+
+* :class:`ElementCounter` — tally tags (the canonical first SAX exercise).
+* :class:`TextCollector` — gather character data under selected tags.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from .parser import (
+    Characters,
+    CommentEvent,
+    EndElement,
+    PIEvent,
+    StartElement,
+    parse_events,
+)
+
+__all__ = ["ContentHandler", "sax_parse", "ElementCounter", "TextCollector"]
+
+
+class ContentHandler:
+    """Override the callbacks you care about; the rest are no-ops."""
+
+    def start_document(self) -> None: ...
+
+    def end_document(self) -> None: ...
+
+    def start_element(self, tag: str, attributes: dict[str, str]) -> None: ...
+
+    def end_element(self, tag: str) -> None: ...
+
+    def characters(self, data: str) -> None: ...
+
+    def comment(self, data: str) -> None: ...
+
+    def processing_instruction(self, target: str, data: str) -> None: ...
+
+
+def sax_parse(text: str, handler: ContentHandler) -> None:
+    """Drive ``handler`` with events parsed from ``text``."""
+    handler.start_document()
+    for event in parse_events(text):
+        if isinstance(event, StartElement):
+            handler.start_element(event.tag, event.attributes)
+        elif isinstance(event, EndElement):
+            handler.end_element(event.tag)
+        elif isinstance(event, Characters):
+            handler.characters(event.data)
+        elif isinstance(event, CommentEvent):
+            handler.comment(event.data)
+        elif isinstance(event, PIEvent):
+            handler.processing_instruction(event.target, event.data)
+    handler.end_document()
+
+
+class ElementCounter(ContentHandler):
+    """Count occurrences of each element tag and the maximum nesting depth."""
+
+    def __init__(self) -> None:
+        self.counts: Counter[str] = Counter()
+        self.depth = 0
+        self.max_depth = 0
+
+    def start_element(self, tag: str, attributes: dict[str, str]) -> None:
+        self.counts[tag] += 1
+        self.depth += 1
+        self.max_depth = max(self.max_depth, self.depth)
+
+    def end_element(self, tag: str) -> None:
+        self.depth -= 1
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class TextCollector(ContentHandler):
+    """Collect the text content of every element named ``tag``.
+
+    ``collector = TextCollector("price"); sax_parse(doc, collector)``
+    leaves one string per ``<price>`` element in ``collector.values``.
+    """
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self.values: list[str] = []
+        self._depth_inside = 0
+        self._buffer: Optional[list[str]] = None
+
+    def start_element(self, tag: str, attributes: dict[str, str]) -> None:
+        if tag == self.tag and self._depth_inside == 0:
+            self._buffer = []
+        if self._depth_inside or tag == self.tag:
+            self._depth_inside += 1
+
+    def characters(self, data: str) -> None:
+        if self._buffer is not None:
+            self._buffer.append(data)
+
+    def end_element(self, tag: str) -> None:
+        if self._depth_inside:
+            self._depth_inside -= 1
+            if self._depth_inside == 0 and self._buffer is not None:
+                self.values.append("".join(self._buffer))
+                self._buffer = None

@@ -1,0 +1,557 @@
+"""XML Schema (XSD) subset: type definition and validation.
+
+CSE445 Unit 4 covers "XML type definition and schema, XML validation".
+This module implements a pragmatic subset sufficient for the curriculum's
+service payloads: simple types with facets, complex types with sequences
+and choices, occurrence constraints, and attribute declarations.
+
+Schemas can be built programmatically::
+
+    schema = Schema(
+        element("account",
+            sequence(
+                element("name", STRING),
+                element("ssn", string_type(pattern=r"\\d{3}-\\d{2}-\\d{4}")),
+                element("score", integer_type(minimum=300, maximum=850)),
+            ),
+            attributes={"id": Attribute("id", STRING, required=True)},
+        )
+    )
+    schema.validate(dom_element)   # -> [] or list of Violation
+
+or loaded from a small XSD-like XML dialect via :func:`schema_from_xml`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from .dom import Element, Text
+from .parser import parse
+
+__all__ = [
+    "SchemaError",
+    "Violation",
+    "SimpleType",
+    "STRING",
+    "INTEGER",
+    "DECIMAL",
+    "BOOLEAN",
+    "DATE",
+    "string_type",
+    "integer_type",
+    "decimal_type",
+    "enumeration",
+    "Attribute",
+    "ElementDecl",
+    "Sequence_",
+    "Choice",
+    "ComplexType",
+    "Schema",
+    "element",
+    "sequence",
+    "choice",
+    "schema_from_xml",
+]
+
+
+class SchemaError(ValueError):
+    """Raised when a schema definition itself is malformed."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One validation failure: where (path) and why (message)."""
+
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# simple types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimpleType:
+    """A named text type with an optional list of facet checks."""
+
+    name: str
+    check: Callable[[str], Optional[str]]
+
+    def validate(self, value: str) -> Optional[str]:
+        """Return an error message, or None when the value conforms."""
+        return self.check(value)
+
+
+def _string_check(
+    pattern: Optional[str],
+    min_length: Optional[int],
+    max_length: Optional[int],
+    values: Optional[Sequence[str]],
+) -> Callable[[str], Optional[str]]:
+    compiled = re.compile(pattern) if pattern else None
+
+    def check(value: str) -> Optional[str]:
+        if min_length is not None and len(value) < min_length:
+            return f"shorter than minLength={min_length}"
+        if max_length is not None and len(value) > max_length:
+            return f"longer than maxLength={max_length}"
+        if compiled is not None and not compiled.fullmatch(value):
+            return f"does not match pattern {pattern!r}"
+        if values is not None and value not in values:
+            return f"not one of enumeration {list(values)!r}"
+        return None
+
+    return check
+
+
+def string_type(
+    name: str = "string",
+    *,
+    pattern: Optional[str] = None,
+    min_length: Optional[int] = None,
+    max_length: Optional[int] = None,
+) -> SimpleType:
+    """A string type with optional pattern/length facets."""
+    return SimpleType(name, _string_check(pattern, min_length, max_length, None))
+
+
+def enumeration(name: str, values: Sequence[str]) -> SimpleType:
+    """A string type restricted to the given value set."""
+    return SimpleType(name, _string_check(None, None, None, tuple(values)))
+
+
+def integer_type(
+    name: str = "integer",
+    *,
+    minimum: Optional[int] = None,
+    maximum: Optional[int] = None,
+) -> SimpleType:
+    """An integer type with optional min/max inclusive facets."""
+
+    def check(value: str) -> Optional[str]:
+        try:
+            number = int(value.strip())
+        except ValueError:
+            return f"not an integer: {value!r}"
+        if minimum is not None and number < minimum:
+            return f"less than minInclusive={minimum}"
+        if maximum is not None and number > maximum:
+            return f"greater than maxInclusive={maximum}"
+        return None
+
+    return SimpleType(name, check)
+
+
+def decimal_type(
+    name: str = "decimal",
+    *,
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> SimpleType:
+    """A decimal type with optional min/max inclusive facets."""
+
+    def check(value: str) -> Optional[str]:
+        try:
+            number = float(value.strip())
+        except ValueError:
+            return f"not a decimal: {value!r}"
+        if minimum is not None and number < minimum:
+            return f"less than minInclusive={minimum}"
+        if maximum is not None and number > maximum:
+            return f"greater than maxInclusive={maximum}"
+        return None
+
+    return SimpleType(name, check)
+
+
+def _boolean_check(value: str) -> Optional[str]:
+    if value.strip() in ("true", "false", "0", "1"):
+        return None
+    return f"not a boolean: {value!r}"
+
+
+_DATE_RE = re.compile(r"\d{4}-\d{2}-\d{2}")
+
+
+def _date_check(value: str) -> Optional[str]:
+    value = value.strip()
+    if not _DATE_RE.fullmatch(value):
+        return f"not an ISO date: {value!r}"
+    _, month, day = (int(p) for p in value.split("-"))
+    if not 1 <= month <= 12:
+        return f"month out of range in {value!r}"
+    if not 1 <= day <= 31:
+        return f"day out of range in {value!r}"
+    return None
+
+
+STRING = string_type()
+INTEGER = integer_type()
+DECIMAL = decimal_type()
+BOOLEAN = SimpleType("boolean", _boolean_check)
+DATE = SimpleType("date", _date_check)
+
+BUILTIN_TYPES = {
+    "string": STRING,
+    "integer": INTEGER,
+    "int": INTEGER,
+    "decimal": DECIMAL,
+    "double": DECIMAL,
+    "float": DECIMAL,
+    "boolean": BOOLEAN,
+    "date": DATE,
+}
+
+
+# ---------------------------------------------------------------------------
+# structure model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Attribute:
+    name: str
+    type: SimpleType = STRING
+    required: bool = False
+    default: Optional[str] = None
+
+
+@dataclass
+class ElementDecl:
+    """Declaration of an element: name, content model, occurrence bounds."""
+
+    name: str
+    content: Union[SimpleType, "ComplexType"]
+    min_occurs: int = 1
+    max_occurs: Optional[int] = 1  # None = unbounded
+
+    def __post_init__(self) -> None:
+        if self.min_occurs < 0:
+            raise SchemaError("minOccurs must be >= 0")
+        if self.max_occurs is not None and self.max_occurs < self.min_occurs:
+            raise SchemaError("maxOccurs must be >= minOccurs")
+
+
+@dataclass
+class Sequence_:
+    """Ordered content model: children must appear in declaration order."""
+
+    items: list[ElementDecl]
+
+
+@dataclass
+class Choice:
+    """Exactly one of the alternatives must appear."""
+
+    items: list[ElementDecl]
+
+
+@dataclass
+class ComplexType:
+    """Element content: a sequence or choice of child declarations, plus attributes."""
+
+    model: Optional[Union[Sequence_, Choice]] = None
+    attributes: dict[str, Attribute] = field(default_factory=dict)
+    mixed: bool = False  # allow interleaved text
+
+
+# -- builder helpers ----------------------------------------------------------
+
+
+def element(
+    name: str,
+    content: Union[SimpleType, ComplexType, Sequence_, Choice, None] = None,
+    *,
+    min_occurs: int = 1,
+    max_occurs: Optional[int] = 1,
+    attributes: Optional[dict[str, Attribute]] = None,
+) -> ElementDecl:
+    """Declare an element.  ``content`` may be a simple type, a complex
+    type, or a bare sequence/choice (wrapped into a complex type)."""
+    if content is None:
+        content_model: Union[SimpleType, ComplexType] = ComplexType()
+    elif isinstance(content, (Sequence_, Choice)):
+        content_model = ComplexType(model=content)
+    else:
+        content_model = content
+    if attributes:
+        if isinstance(content_model, SimpleType):
+            # simple content with attributes: model as complex+text
+            simple = content_model
+            content_model = ComplexType(mixed=True)
+            content_model.attributes = dict(attributes)
+            decl = ElementDecl(name, content_model, min_occurs, max_occurs)
+            object.__setattr__(decl, "_simple_text", simple)  # type: ignore[arg-type]
+            return decl
+        content_model.attributes = dict(attributes)
+    return ElementDecl(name, content_model, min_occurs, max_occurs)
+
+
+def sequence(*items: ElementDecl) -> Sequence_:
+    """Ordered content model from the given element declarations."""
+    return Sequence_(list(items))
+
+
+def choice(*items: ElementDecl) -> Choice:
+    """Exclusive-alternative content model."""
+    return Choice(list(items))
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+
+class Schema:
+    """A validating schema with a single global root element declaration."""
+
+    def __init__(self, root: ElementDecl) -> None:
+        self.root = root
+
+    def validate(self, node: Element) -> list[Violation]:
+        """Validate ``node`` against the root declaration.
+
+        Returns an empty list when the document is valid.
+        """
+        violations: list[Violation] = []
+        if node.tag != self.root.name:
+            violations.append(
+                Violation("/", f"root element is <{node.tag}>, expected <{self.root.name}>")
+            )
+            return violations
+        _validate_element(node, self.root, f"/{node.tag}", violations)
+        return violations
+
+    def is_valid(self, node: Element) -> bool:
+        return not self.validate(node)
+
+    def assert_valid(self, node: Element) -> None:
+        violations = self.validate(node)
+        if violations:
+            detail = "; ".join(str(v) for v in violations[:5])
+            raise SchemaError(f"document invalid: {detail}")
+
+
+def _validate_element(
+    node: Element, decl: ElementDecl, path: str, violations: list[Violation]
+) -> None:
+    content = decl.content
+    simple_text = getattr(decl, "_simple_text", None)
+    if isinstance(content, SimpleType):
+        for child in node.children:
+            if isinstance(child, Element):
+                violations.append(
+                    Violation(path, f"unexpected child element <{child.tag}> in simple content")
+                )
+        error = content.validate(node.text)
+        if error:
+            violations.append(Violation(path, error))
+        return
+
+    # attributes
+    for name, attribute in content.attributes.items():
+        value = node.get(name)
+        if value is None:
+            if attribute.required and attribute.default is None:
+                violations.append(Violation(path, f"missing required attribute {name!r}"))
+            continue
+        error = attribute.type.validate(value)
+        if error:
+            violations.append(Violation(f"{path}/@{name}", error))
+    for name in node.attributes:
+        if name not in content.attributes and not name.startswith("xmlns"):
+            violations.append(Violation(path, f"undeclared attribute {name!r}"))
+
+    if simple_text is not None:
+        error = simple_text.validate(node.text)
+        if error:
+            violations.append(Violation(path, error))
+        return
+
+    child_elements = [c for c in node.children if isinstance(c, Element)]
+    if not content.mixed:
+        stray = [
+            c.data.strip()
+            for c in node.children
+            if isinstance(c, Text) and c.data.strip()
+        ]
+        if stray and content.model is not None:
+            violations.append(Violation(path, "text content not allowed (not mixed)"))
+
+    model = content.model
+    if model is None:
+        if child_elements:
+            violations.append(
+                Violation(path, f"unexpected child <{child_elements[0].tag}> in empty content")
+            )
+        return
+    if isinstance(model, Sequence_):
+        _validate_sequence(child_elements, model, path, violations)
+    else:
+        _validate_choice(child_elements, model, path, violations)
+
+
+def _validate_sequence(
+    children: list[Element], model: Sequence_, path: str, violations: list[Violation]
+) -> None:
+    index = 0
+    for decl in model.items:
+        matched = 0
+        while index < len(children) and children[index].tag == decl.name:
+            if decl.max_occurs is not None and matched >= decl.max_occurs:
+                break
+            _validate_element(
+                children[index], decl, f"{path}/{decl.name}[{matched + 1}]", violations
+            )
+            matched += 1
+            index += 1
+        if matched < decl.min_occurs:
+            violations.append(
+                Violation(
+                    path,
+                    f"expected at least {decl.min_occurs} <{decl.name}>, found {matched}",
+                )
+            )
+    while index < len(children):
+        violations.append(Violation(path, f"unexpected element <{children[index].tag}>"))
+        index += 1
+
+
+def _validate_choice(
+    children: list[Element], model: Choice, path: str, violations: list[Violation]
+) -> None:
+    names = {d.name: d for d in model.items}
+    if not children:
+        if all(d.min_occurs > 0 for d in model.items):
+            expected = ", ".join(sorted(names))
+            violations.append(Violation(path, f"expected one of: {expected}"))
+        return
+    first = children[0]
+    decl = names.get(first.tag)
+    if decl is None:
+        expected = ", ".join(sorted(names))
+        violations.append(
+            Violation(path, f"element <{first.tag}> not in choice ({expected})")
+        )
+        return
+    count = 0
+    for child in children:
+        if child.tag != first.tag:
+            violations.append(
+                Violation(path, f"mixed alternatives in choice: <{child.tag}>")
+            )
+            return
+        if decl.max_occurs is not None and count >= decl.max_occurs:
+            violations.append(Violation(path, f"too many <{child.tag}> in choice"))
+            return
+        _validate_element(child, decl, f"{path}/{child.tag}[{count + 1}]", violations)
+        count += 1
+
+
+# ---------------------------------------------------------------------------
+# XSD-like XML dialect loader
+# ---------------------------------------------------------------------------
+
+
+def schema_from_xml(text: str) -> Schema:
+    """Load a schema from a small XSD-like dialect::
+
+        <schema>
+          <element name="account">
+            <sequence>
+              <element name="name" type="string"/>
+              <element name="score" type="integer" min="300" max="850"/>
+              <element name="tag" type="string" minOccurs="0" maxOccurs="unbounded"/>
+            </sequence>
+            <attribute name="id" type="string" required="true"/>
+          </element>
+        </schema>
+    """
+    root = parse(text)
+    if root.local_name() != "schema":
+        raise SchemaError("schema document must have <schema> root")
+    decls = root.findall("element")
+    if len(decls) != 1:
+        raise SchemaError("expected exactly one global <element>")
+    return Schema(_decl_from_xml(decls[0]))
+
+
+def _simple_from_attrs(el: Element) -> SimpleType:
+    type_name = el.get("type", "string")
+    base = BUILTIN_TYPES.get(type_name)
+    if base is None:
+        raise SchemaError(f"unknown type {type_name!r}")
+    minimum = el.get("min")
+    maximum = el.get("max")
+    pattern = el.get("pattern")
+    values = el.get("values")
+    if values is not None:
+        return enumeration(type_name, values.split("|"))
+    if type_name in ("integer", "int") and (minimum or maximum):
+        return integer_type(
+            minimum=int(minimum) if minimum else None,
+            maximum=int(maximum) if maximum else None,
+        )
+    if type_name in ("decimal", "double", "float") and (minimum or maximum):
+        return decimal_type(
+            minimum=float(minimum) if minimum else None,
+            maximum=float(maximum) if maximum else None,
+        )
+    if type_name == "string" and (pattern or el.get("minLength") or el.get("maxLength")):
+        return string_type(
+            pattern=pattern,
+            min_length=int(el["minLength"]) if "minLength" in el else None,
+            max_length=int(el["maxLength"]) if "maxLength" in el else None,
+        )
+    return base
+
+
+def _occurs(el: Element) -> tuple[int, Optional[int]]:
+    min_occurs = int(el.get("minOccurs", "1"))
+    raw_max = el.get("maxOccurs", "1")
+    max_occurs = None if raw_max == "unbounded" else int(raw_max)
+    return min_occurs, max_occurs
+
+
+def _decl_from_xml(el: Element) -> ElementDecl:
+    name = el.get("name")
+    if not name:
+        raise SchemaError("<element> requires a name attribute")
+    min_occurs, max_occurs = _occurs(el)
+    seq = el.find("sequence")
+    cho = el.find("choice")
+    attributes = {
+        a["name"]: Attribute(
+            a["name"],
+            BUILTIN_TYPES.get(a.get("type", "string"), STRING),
+            required=a.get("required", "false") == "true",
+            default=a.get("default"),
+        )
+        for a in el.findall("attribute")
+    }
+    if seq is not None:
+        model: Union[Sequence_, Choice] = Sequence_(
+            [_decl_from_xml(c) for c in seq.findall("element")]
+        )
+        complex_type = ComplexType(model=model, attributes=attributes)
+        return ElementDecl(name, complex_type, min_occurs, max_occurs)
+    if cho is not None:
+        model = Choice([_decl_from_xml(c) for c in cho.findall("element")])
+        complex_type = ComplexType(model=model, attributes=attributes)
+        return ElementDecl(name, complex_type, min_occurs, max_occurs)
+    if attributes:
+        return element(
+            name,
+            _simple_from_attrs(el),
+            min_occurs=min_occurs,
+            max_occurs=max_occurs,
+            attributes=attributes,
+        )
+    return ElementDecl(name, _simple_from_attrs(el), min_occurs, max_occurs)

@@ -1,0 +1,322 @@
+"""An XPath 1.0 subset — the third XML processing model of CSE445 Unit 4.
+
+Supported syntax (location paths over the DOM of :mod:`repro.xmlkit.dom`):
+
+* absolute (``/catalog/item``) and relative (``item/name``) paths
+* the descendant-or-self shorthand ``//`` at any step
+* name tests (``item``), wildcard (``*``), ``.`` and ``..``
+* attribute steps ``@name`` and ``@*`` (terminal — select attribute values)
+* ``text()`` node test (terminal — selects text content)
+* predicates, possibly chained:
+  positional ``[3]`` and ``[last()]``,
+  existence ``[child]`` / ``[@attr]``,
+  comparison ``[@attr='v']``, ``[@attr!='v']``, ``[child='v']``,
+  ``[.='v']``, and numeric comparisons ``[@n>5]`` etc.
+* the union operator ``|`` between full paths
+
+``select`` returns a list of :class:`Element` (or strings for attribute /
+``text()`` selections) in document order with duplicates removed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from .dom import Document, Element
+
+__all__ = ["XPathError", "XPath", "select", "select_one", "exists", "count"]
+
+Result = Union[Element, str]
+
+
+class XPathError(ValueError):
+    """Raised for unsupported or malformed path expressions."""
+
+
+_STEP_RE = re.compile(
+    r"""
+    (?P<axis>@)?
+    (?P<name>\*|[\w:.-]+(\(\))?)
+    (?P<predicates>(\[[^\]]*\])*)
+    $""",
+    re.VERBOSE,
+)
+
+_PRED_CMP_RE = re.compile(
+    r"^\s*(?P<lhs>@[\w:.-]+|[\w:.-]+|\.)\s*(?P<op><=|>=|!=|=|<|>)\s*(?P<rhs>.+?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class _Predicate:
+    raw: str
+
+    def matches(self, element: Element, position: int, size: int) -> bool:
+        text = self.raw.strip()
+        if not text:
+            raise XPathError("empty predicate")
+        if text.isdigit():
+            return position == int(text)
+        if text == "last()":
+            return position == size
+        match = _PRED_CMP_RE.match(text)
+        if match:
+            lhs_raw = match.group("lhs")
+            op = match.group("op")
+            rhs_raw = match.group("rhs")
+            lhs = _lhs_value(element, lhs_raw)
+            if lhs is None:
+                return False
+            if lhs_raw == "position()":  # pragma: no cover - not supported lhs
+                raise XPathError("position() comparisons not supported")
+            rhs = _literal(rhs_raw)
+            return _compare(lhs, op, rhs)
+        # existence: @attr or child element name
+        if text.startswith("@"):
+            return text[1:] in element.attributes
+        return element.find(text) is not None
+
+
+def _lhs_value(element: Element, lhs: str) -> Optional[str]:
+    if lhs == ".":
+        return element.text
+    if lhs.startswith("@"):
+        return element.get(lhs[1:])
+    child = element.find(lhs)
+    return None if child is None else child.text
+
+
+def _literal(raw: str) -> str:
+    raw = raw.strip()
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "'\"":
+        return raw[1:-1]
+    return raw
+
+
+def _compare(lhs: str, op: str, rhs: str) -> bool:
+    try:
+        l_num, r_num = float(lhs), float(rhs)
+        pair: tuple = (l_num, r_num)
+    except ValueError:
+        if op in ("<", ">", "<=", ">="):
+            return False
+        pair = (lhs, rhs)
+    a, b = pair
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == ">":
+        return a > b
+    if op == "<=":
+        return a <= b
+    return a >= b
+
+
+@dataclass(frozen=True)
+class _Step:
+    name: str  # element name, '*', '.', '..', 'text()', or attribute name
+    axis: str  # 'child', 'descendant-or-self', 'attribute'
+    predicates: tuple[_Predicate, ...] = field(default_factory=tuple)
+
+
+class XPath:
+    """A compiled path expression; reusable across documents."""
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        self._alternatives = [
+            _compile_path(part.strip()) for part in expression.split("|")
+        ]
+        if not expression.strip():
+            raise XPathError("empty XPath expression")
+
+    def select(self, context: Union[Element, Document]) -> list[Result]:
+        root = context.root if isinstance(context, Document) else context
+        results: list[Result] = []
+        seen: set[int] = set()
+        for absolute, steps in self._alternatives:
+            for item in _evaluate(root, absolute, steps):
+                key = id(item) if isinstance(item, Element) else hash(("s", item, len(results)))
+                if isinstance(item, Element):
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                results.append(item)
+        return results
+
+    def __repr__(self) -> str:
+        return f"XPath({self.expression!r})"
+
+
+def _compile_path(path: str) -> tuple[bool, list[_Step]]:
+    if not path:
+        raise XPathError("empty path")
+    absolute = path.startswith("/")
+    # tokenize on '/', treating '//' as a descendant marker on the next step
+    steps: list[_Step] = []
+    i = 0
+    if absolute:
+        i = 1
+    descendant_next = False
+    if path.startswith("//"):
+        descendant_next = True
+        i = 2
+    buf = ""
+    depth = 0
+    tokens: list[tuple[str, bool]] = []
+
+    def push(token: str, desc: bool) -> None:
+        if token:
+            tokens.append((token, desc))
+
+    while i < len(path):
+        ch = path[i]
+        if ch == "[":
+            depth += 1
+            buf += ch
+        elif ch == "]":
+            depth -= 1
+            buf += ch
+        elif ch == "/" and depth == 0:
+            push(buf, descendant_next)
+            buf = ""
+            if i + 1 < len(path) and path[i + 1] == "/":
+                descendant_next = True
+                i += 1
+            else:
+                descendant_next = False
+        else:
+            buf += ch
+        i += 1
+    push(buf, descendant_next)
+
+    for token, descendant in tokens:
+        match = _STEP_RE.match(token)
+        if not match:
+            raise XPathError(f"cannot parse step {token!r} in {path!r}")
+        axis = "attribute" if match.group("axis") else (
+            "descendant-or-self" if descendant else "child"
+        )
+        name = match.group("name")
+        raw_predicates = match.group("predicates") or ""
+        predicates = tuple(
+            _Predicate(p) for p in re.findall(r"\[([^\]]*)\]", raw_predicates)
+        )
+        steps.append(_Step(name, axis, predicates))
+    return absolute, steps
+
+
+def _candidates(node: Element, step: _Step) -> list[Element]:
+    if step.axis == "descendant-or-self":
+        pool: Iterable[Element] = node.iter()
+    else:
+        pool = node.elements()
+    if step.name == "*":
+        return [e for e in pool if e is not node or step.axis == "descendant-or-self"]
+    if step.name in (".", "..", "text()"):
+        return list(pool)
+    return [e for e in pool if e.tag == step.name or e.local_name() == step.name]
+
+
+def _apply_predicates(elements: list[Element], predicates: tuple[_Predicate, ...]) -> list[Element]:
+    current = elements
+    for predicate in predicates:
+        size = len(current)
+        current = [
+            e
+            for position, e in enumerate(current, start=1)
+            if predicate.matches(e, position, size)
+        ]
+    return current
+
+
+def _evaluate(root: Element, absolute: bool, steps: list[_Step]) -> list[Result]:
+    if absolute:
+        first = steps[0]
+        if first.name not in ("*", root.tag, root.local_name(), ".", "text()") and first.axis != "descendant-or-self":
+            if first.name.startswith("@"):
+                raise XPathError("attribute step cannot be the root step")
+            return []
+        if first.axis == "descendant-or-self":
+            context: list[Element] = _apply_predicates(
+                _candidates_root_descendant(root, first), first.predicates
+            )
+            steps = steps[1:]
+        elif first.name == "text()":
+            return [root.text]
+        else:
+            context = _apply_predicates([root], first.predicates)
+            steps = steps[1:]
+    else:
+        context = [root]
+
+    for step in steps:
+        if step.axis == "attribute":
+            out: list[Result] = []
+            for element in context:
+                if step.name == "*":
+                    out.extend(element.attributes.values())
+                else:
+                    value = element.get(step.name)
+                    if value is not None:
+                        out.append(value)
+            return out
+        if step.name == "text()":
+            return [e.text for e in context]
+        if step.name == ".":
+            context = _apply_predicates(context, step.predicates)
+            continue
+        if step.name == "..":
+            parents: list[Element] = []
+            seen: set[int] = set()
+            for element in context:
+                parent = element.parent
+                if isinstance(parent, Element) and id(parent) not in seen:
+                    seen.add(id(parent))
+                    parents.append(parent)
+            context = _apply_predicates(parents, step.predicates)
+            continue
+        nxt: list[Element] = []
+        seen_ids: set[int] = set()
+        for element in context:
+            for candidate in _apply_predicates(_candidates(element, step), step.predicates):
+                if id(candidate) not in seen_ids:
+                    seen_ids.add(id(candidate))
+                    nxt.append(candidate)
+        context = nxt
+    return list(context)
+
+
+def _candidates_root_descendant(root: Element, step: _Step) -> list[Element]:
+    if step.name == "*":
+        return list(root.iter())
+    return [e for e in root.iter() if e.tag == step.name or e.local_name() == step.name]
+
+
+# -- module-level conveniences ------------------------------------------------
+
+
+def select(context: Union[Element, Document], expression: str) -> list[Result]:
+    """Compile and evaluate ``expression`` against ``context``."""
+    return XPath(expression).select(context)
+
+
+def select_one(context: Union[Element, Document], expression: str) -> Optional[Result]:
+    """First result of the expression, or None."""
+    results = select(context, expression)
+    return results[0] if results else None
+
+
+def exists(context: Union[Element, Document], expression: str) -> bool:
+    """Does the expression select anything?"""
+    return bool(select(context, expression))
+
+
+def count(context: Union[Element, Document], expression: str) -> int:
+    """Number of results the expression selects."""
+    return len(select(context, expression))

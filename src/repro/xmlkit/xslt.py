@@ -1,0 +1,229 @@
+"""XSLT-subset: declarative template transformation of XML trees.
+
+CSE445 Unit 4 ends with "XML Stylesheet language".  This module provides a
+template-rule engine modelled on XSLT 1.0's core:
+
+* ``<template match="pattern">`` rules (pattern = tag name, ``/`` for the
+  root, ``*`` wildcard, or ``parent/child`` tail patterns)
+* ``<value-of select="xpath"/>`` — insert string value of an XPath selection
+* ``<apply-templates/>`` and ``<apply-templates select="xpath"/>``
+* ``<for-each select="xpath">`` iteration
+* ``<if test="xpath">`` conditional (non-empty selection = true)
+* attribute value templates ``{xpath}`` inside literal result attributes
+* built-in default rules (recurse elements, copy text)
+
+Stylesheets are themselves XML documents parsed with our parser, so the
+whole pipeline is self-hosted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .dom import Comment, Element, Node, ProcessingInstruction, Text
+from .parser import parse
+from .xpath import XPath, select
+
+__all__ = ["XSLTError", "Stylesheet", "transform"]
+
+
+class XSLTError(ValueError):
+    """Raised for malformed stylesheets."""
+
+
+_INSTRUCTIONS = {"value-of", "apply-templates", "for-each", "if", "template", "copy-of", "text"}
+
+
+def _strip_ns(tag: str) -> str:
+    return tag.rsplit(":", 1)[-1]
+
+
+class _TemplateRule:
+    def __init__(self, pattern: str, body: list[Node]) -> None:
+        self.pattern = pattern
+        self.body = body
+        self.specificity = self._specificity(pattern)
+
+    @staticmethod
+    def _specificity(pattern: str) -> int:
+        if pattern == "/":
+            return 100
+        if pattern == "*":
+            return 0
+        return 10 + pattern.count("/") * 5
+
+    def matches(self, node: Element, is_root: bool) -> bool:
+        if self.pattern == "/":
+            return is_root
+        if self.pattern == "*":
+            return True
+        if "/" in self.pattern:
+            parts = self.pattern.split("/")
+            current: Optional[Element] = node
+            for part in reversed(parts):
+                if current is None:
+                    return False
+                if part != "*" and current.tag != part and current.local_name() != part:
+                    return False
+                current = current.parent
+            return True
+        return node.tag == self.pattern or node.local_name() == self.pattern
+
+
+class Stylesheet:
+    """A compiled stylesheet; apply with :meth:`apply`."""
+
+    def __init__(self, rules: list[_TemplateRule]) -> None:
+        self.rules = sorted(rules, key=lambda r: -r.specificity)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "Stylesheet":
+        root = parse(text)
+        if _strip_ns(root.tag) not in ("stylesheet", "transform"):
+            raise XSLTError("stylesheet root must be <stylesheet> or <transform>")
+        rules = []
+        for child in root.elements():
+            if _strip_ns(child.tag) != "template":
+                continue
+            pattern = child.get("match")
+            if not pattern:
+                raise XSLTError("<template> requires a match attribute")
+            rules.append(_TemplateRule(pattern, list(child.children)))
+        if not rules:
+            raise XSLTError("stylesheet has no template rules")
+        return cls(rules)
+
+    # -- application --------------------------------------------------------
+    def apply(self, source: Element) -> list[Node]:
+        """Transform ``source``; returns the produced result nodes."""
+        return self._apply_to(source, is_root=True)
+
+    def apply_to_string(self, source: Element) -> str:
+        return "".join(n.toxml() for n in self.apply(source))
+
+    def _find_rule(self, node: Element, is_root: bool) -> Optional[_TemplateRule]:
+        for rule in self.rules:
+            if rule.matches(node, is_root):
+                return rule
+        return None
+
+    def _apply_to(self, node: Element, is_root: bool = False) -> list[Node]:
+        rule = self._find_rule(node, is_root)
+        if rule is None:
+            # built-in rule: recurse into children, copying text
+            out: list[Node] = []
+            for child in node.children:
+                if isinstance(child, Element):
+                    out.extend(self._apply_to(child))
+                elif isinstance(child, Text):
+                    out.append(Text(child.data))
+            return out
+        return self._instantiate(rule.body, node)
+
+    def _instantiate(self, body: list[Node], context: Element) -> list[Node]:
+        out: list[Node] = []
+        for node in body:
+            out.extend(self._instantiate_node(node, context))
+        return out
+
+    def _instantiate_node(self, node: Node, context: Element) -> list[Node]:
+        if isinstance(node, Text):
+            return [Text(node.data)] if node.data.strip() or node.data == " " else []
+        if isinstance(node, (Comment, ProcessingInstruction)):
+            return []
+        assert isinstance(node, Element)
+        name = _strip_ns(node.tag)
+        if name == "value-of":
+            return [Text(self._string_value(node, context))]
+        if name == "text":
+            return [Text(node.text)]
+        if name == "copy-of":
+            expr = node.get("select")
+            if not expr:
+                raise XSLTError("<copy-of> requires select")
+            copies: list[Node] = []
+            for item in select(context, expr):
+                if isinstance(item, Element):
+                    copies.append(parse(item.toxml()))
+                else:
+                    copies.append(Text(str(item)))
+            return copies
+        if name == "apply-templates":
+            expr = node.get("select")
+            targets: list[Element]
+            if expr:
+                targets = [t for t in select(context, expr) if isinstance(t, Element)]
+            else:
+                targets = list(context.elements())
+            out: list[Node] = []
+            for target in targets:
+                out.extend(self._apply_to(target))
+            return out
+        if name == "for-each":
+            expr = node.get("select")
+            if not expr:
+                raise XSLTError("<for-each> requires select")
+            out = []
+            for item in select(context, expr):
+                if isinstance(item, Element):
+                    out.extend(self._instantiate(list(node.children), item))
+            return out
+        if name == "if":
+            expr = node.get("test")
+            if not expr:
+                raise XSLTError("<if> requires test")
+            if select(context, expr):
+                return self._instantiate(list(node.children), context)
+            return []
+        # literal result element: copy, expanding {xpath} in attribute values
+        result = Element(node.tag)
+        for attr, value in node.attributes.items():
+            result.set(attr, self._expand_avt(value, context))
+        for child in node.children:
+            for produced in self._instantiate_node(child, context):
+                result.append(produced)
+        return [result]
+
+    def _string_value(self, node: Element, context: Element) -> str:
+        expr = node.get("select")
+        if not expr:
+            raise XSLTError("<value-of> requires select")
+        if expr == ".":
+            return context.text
+        results = select(context, expr)
+        if not results:
+            return ""
+        first = results[0]
+        return first.text if isinstance(first, Element) else str(first)
+
+    def _expand_avt(self, template: str, context: Element) -> str:
+        if "{" not in template:
+            return template
+        out: list[str] = []
+        i = 0
+        while i < len(template):
+            ch = template[i]
+            if ch == "{":
+                end = template.find("}", i)
+                if end == -1:
+                    raise XSLTError(f"unterminated attribute value template in {template!r}")
+                expr = template[i + 1 : end]
+                if expr == ".":
+                    out.append(context.text)
+                else:
+                    results = select(context, expr)
+                    if results:
+                        first = results[0]
+                        out.append(first.text if isinstance(first, Element) else str(first))
+                i = end + 1
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out)
+
+
+def transform(source: Union[str, Element], stylesheet: Union[str, Stylesheet]) -> str:
+    """One-shot transform; accepts raw XML strings or parsed objects."""
+    src = parse(source) if isinstance(source, str) else source
+    sheet = Stylesheet.from_xml(stylesheet) if isinstance(stylesheet, str) else stylesheet
+    return sheet.apply_to_string(src)

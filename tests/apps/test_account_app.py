@@ -1,0 +1,248 @@
+"""Tests for the Figure 4 three-tier account application."""
+
+import re
+
+import pytest
+
+from repro.apps import AccountProvider, AccountStore, Applicant, build_web_app
+from repro.core import ServiceFault
+from repro.security import AuthError
+from repro.services import CreditScoreService
+from repro.transport import HttpRequest, serve_once
+
+CREDIT = CreditScoreService()
+
+
+def find_ssn(minimum=600, income=120_000.0, below=False):
+    for i in range(500):
+        ssn = f"{i:03d}-77-88{i % 100:02d}"
+        score = CREDIT.score(ssn=ssn, income=income)
+        if below and score < minimum:
+            return ssn
+        if not below and score >= minimum:
+            return ssn
+    raise AssertionError("no suitable ssn")
+
+
+GOOD_SSN = find_ssn()
+BAD_SSN = find_ssn(below=True, income=0.0)
+
+
+def make_provider(tmp_path=None):
+    store = AccountStore(tmp_path / "account.xml" if tmp_path else None)
+    return AccountProvider(store, CREDIT.score), store
+
+
+APPLICANT = Applicant("Ada Lovelace", GOOD_SSN, "10 Downing St", "1990-07-04")
+
+
+class TestAccountStore:
+    def test_add_and_find(self):
+        _, store = make_provider()
+        store.add_account("U00001", APPLICANT, 700)
+        assert store.find_by_id("U00001") is not None
+        assert store.find_by_ssn(GOOD_SSN).get("id") == "U00001"
+        assert store.count() == 1
+        assert store.user_ids() == ["U00001"]
+
+    def test_duplicate_id_rejected(self):
+        _, store = make_provider()
+        store.add_account("U00001", APPLICANT, 700)
+        with pytest.raises(ValueError):
+            store.add_account("U00001", APPLICANT, 700)
+
+    def test_persistence_round_trip(self, tmp_path):
+        _, store = make_provider(tmp_path)
+        store.add_account("U00001", APPLICANT, 700)
+        store.set_password_record("U00001", "salt$hash")
+        restored = AccountStore(tmp_path / "account.xml")
+        assert restored.count() == 1
+        assert restored.password_record("U00001") == "salt$hash"
+
+    def test_schema_validated_on_load(self, tmp_path):
+        (tmp_path / "account.xml").write_text("<accounts><bogus/></accounts>")
+        with pytest.raises(Exception):
+            AccountStore(tmp_path / "account.xml")
+
+    def test_password_record_operations(self):
+        _, store = make_provider()
+        store.add_account("U00001", APPLICANT, 700)
+        assert store.password_record("U00001") is None
+        store.set_password_record("U00001", "a$b")
+        store.set_password_record("U00001", "c$d")  # replace
+        assert store.password_record("U00001") == "c$d"
+        with pytest.raises(ValueError):
+            store.set_password_record("ghost", "x$y")
+        assert store.password_record("ghost") is None
+
+
+class TestAccountProvider:
+    def test_approval_issues_user_id(self):
+        provider, store = make_provider()
+        decision = provider.apply(APPLICANT, income=120_000)
+        assert decision.approved
+        assert re.fullmatch(r"U\d{5}", decision.user_id)
+        assert store.count() == 1
+
+    def test_duplicate_ssn_rejected(self):
+        provider, _ = make_provider()
+        provider.apply(APPLICANT, income=120_000)
+        second = provider.apply(APPLICANT, income=120_000)
+        assert not second.approved
+        assert "already exists" in second.reason
+
+    def test_low_score_rejected(self):
+        provider, store = make_provider()
+        applicant = Applicant("Low Score", BAD_SSN, "addr", "1980-01-01")
+        decision = provider.apply(applicant, income=0)
+        assert not decision.approved
+        assert "below" in decision.reason
+        assert store.count() == 0
+
+    def test_credit_fault_becomes_rejection(self):
+        def broken(**kwargs):
+            raise ServiceFault("bureau offline")
+
+        provider = AccountProvider(AccountStore(), broken)
+        decision = provider.apply(APPLICANT)
+        assert not decision.approved
+        assert "credit check failed" in decision.reason
+
+    def test_password_lifecycle(self):
+        provider, _ = make_provider()
+        decision = provider.apply(APPLICANT, income=120_000)
+        provider.create_password(decision.user_id, "Str0ng!pass", "Str0ng!pass")
+        assert provider.login(decision.user_id, "Str0ng!pass")
+        assert not provider.login(decision.user_id, "wrong")
+
+    def test_password_match_check(self):
+        provider, _ = make_provider()
+        decision = provider.apply(APPLICANT, income=120_000)
+        with pytest.raises(AuthError, match="match"):
+            provider.create_password(decision.user_id, "Str0ng!pass", "Other!123")
+
+    def test_password_strength_check(self):
+        provider, _ = make_provider()
+        decision = provider.apply(APPLICANT, income=120_000)
+        with pytest.raises(AuthError, match="weak"):
+            provider.create_password(decision.user_id, "weak", "weak")
+
+    def test_password_for_unknown_account(self):
+        provider, _ = make_provider()
+        with pytest.raises(AuthError, match="no account"):
+            provider.create_password("U99999", "Str0ng!pass", "Str0ng!pass")
+
+    def test_login_unknown_user(self):
+        provider, _ = make_provider()
+        assert not provider.login("ghost", "x")
+
+    def test_login_survives_restart(self, tmp_path):
+        provider, _ = make_provider(tmp_path)
+        decision = provider.apply(APPLICANT, income=120_000)
+        provider.create_password(decision.user_id, "Str0ng!pass", "Str0ng!pass")
+        # fresh provider over the same XML file: vault empty, XML record used
+        fresh = AccountProvider(AccountStore(tmp_path / "account.xml"), CREDIT.score)
+        assert fresh.login(decision.user_id, "Str0ng!pass")
+        assert not fresh.login(decision.user_id, "wrong")
+
+    def test_user_ids_unique_after_restart(self, tmp_path):
+        provider, _ = make_provider(tmp_path)
+        first = provider.apply(APPLICANT, income=120_000)
+        fresh = AccountProvider(AccountStore(tmp_path / "account.xml"), CREDIT.score)
+        other = Applicant("Grace", find_ssn_other(), "addr", "1985-05-05")
+        second = fresh.apply(other, income=120_000)
+        assert second.approved
+        assert second.user_id != first.user_id
+
+
+def find_ssn_other():
+    for i in range(500, 999):
+        ssn = f"{i:03d}-77-8800"
+        if CREDIT.score(ssn=ssn, income=120_000.0) >= 600 and ssn != GOOD_SSN:
+            return ssn
+    raise AssertionError("no ssn")
+
+
+def post_form(app, path, **fields):
+    body = "&".join(f"{k}={v}" for k, v in fields.items()).replace(" ", "+")
+    return serve_once(
+        app,
+        HttpRequest(
+            "POST", path, {"Content-Type": "application/x-www-form-urlencoded"},
+            body.encode(),
+        ),
+    )
+
+
+class TestWebTier:
+    @pytest.fixture
+    def app(self):
+        provider, _ = make_provider()
+        return build_web_app(provider)
+
+    def test_index_renders_form(self, app):
+        response = serve_once(app, HttpRequest("GET", "/"))
+        assert response.status == 200
+        assert 'name="ssn"' in response.text()
+
+    def test_full_figure4_lifecycle(self, app):
+        response = post_form(
+            app, "/apply",
+            name="Ada", ssn=GOOD_SSN, address="10 Downing", dob="1990-07-04",
+            income="120000",
+        )
+        assert response.status == 200
+        user_id = re.search(r"U\d{5}", response.text()).group(0)
+
+        response = post_form(
+            app, f"/password/{user_id}",
+            password="Str0ng!pass", retype="Str0ng!pass",
+        )
+        assert response.status == 200
+
+        response = post_form(app, "/login", user_id=user_id, password="Str0ng!pass")
+        assert response.status == 200
+        assert user_id in response.text()
+
+    def test_invalid_form_is_400_with_errors(self, app):
+        response = post_form(app, "/apply", name="", ssn="bogus", address="", dob="x")
+        assert response.status == 400
+        assert 'class="error"' in response.text()
+
+    def test_rejection_page_is_403(self, app):
+        response = post_form(
+            app, "/apply",
+            name="Low", ssn=BAD_SSN, address="addr", dob="1980-01-01", income="0",
+        )
+        assert response.status == 403
+        assert "You do not qualify" in response.text()
+
+    def test_weak_password_rejected_400(self, app):
+        apply_response = post_form(
+            app, "/apply",
+            name="Ada", ssn=GOOD_SSN, address="a", dob="1990-07-04", income="120000",
+        )
+        user_id = re.search(r"U\d{5}", apply_response.text()).group(0)
+        response = post_form(app, f"/password/{user_id}", password="weak", retype="weak")
+        assert response.status == 400
+
+    def test_bad_login_is_401(self, app):
+        response = post_form(app, "/login", user_id="U00001", password="nope")
+        assert response.status == 401
+
+    def test_me_redirects_without_session(self, app):
+        response = serve_once(app, HttpRequest("GET", "/me"))
+        assert response.status == 302
+
+    def test_me_with_session(self, app):
+        apply_response = post_form(
+            app, "/apply",
+            name="Ada", ssn=GOOD_SSN, address="a", dob="1990-07-04", income="120000",
+        )
+        user_id = re.search(r"U\d{5}", apply_response.text()).group(0)
+        post_form(app, f"/password/{user_id}", password="Str0ng!pass", retype="Str0ng!pass")
+        login = post_form(app, "/login", user_id=user_id, password="Str0ng!pass")
+        cookie = login.headers.get("Set-Cookie").split(";")[0]
+        response = serve_once(app, HttpRequest("GET", "/me", {"Cookie": cookie}))
+        assert response.status == 200
+        assert user_id in response.text()

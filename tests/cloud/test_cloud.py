@@ -1,0 +1,264 @@
+"""Tests for the cloud simulator and the RaaS cloud control plane."""
+
+import pytest
+
+from repro.cloud import (
+    Autoscaler,
+    CloudError,
+    CloudProvider,
+    RobotCloud,
+    ServiceDeployment,
+    Workload,
+    run_simulation,
+)
+from repro.core import ServiceBroker, ServiceBus, ServiceFault, proxy_from_broker
+
+
+class TestCloudProvider:
+    def test_provision_and_boot(self):
+        provider = CloudProvider(boot_ticks=2)
+        vm = provider.provision()
+        assert not vm.ready
+        provider.tick()
+        provider.tick()
+        assert vm.ready
+        assert vm.uptime_ticks == 2
+
+    def test_capacity_enforced(self):
+        provider = CloudProvider(capacity=2)
+        provider.provision()
+        provider.provision()
+        with pytest.raises(CloudError, match="capacity"):
+            provider.provision()
+
+    def test_release(self):
+        provider = CloudProvider()
+        vm = provider.provision()
+        provider.release(vm.vm_id)
+        assert provider.vms() == []
+        with pytest.raises(CloudError):
+            provider.release(vm.vm_id)
+
+    def test_metered_billing(self):
+        provider = CloudProvider(price_per_tick=0.5)
+        provider.provision()
+        provider.provision()
+        for _ in range(3):
+            provider.tick()
+        assert provider.total_cost == pytest.approx(3.0)  # 2 VMs * 3 ticks * 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(CloudError):
+            CloudProvider(capacity=0)
+
+
+class TestDeployment:
+    def test_serves_within_capacity(self):
+        provider = CloudProvider(boot_ticks=0)
+        deployment = ServiceDeployment(provider, vm_throughput=100, initial_vms=2)
+        provider.tick()
+        deployment.tick(150)
+        assert deployment.served == 150
+        assert deployment.queue == 0
+
+    def test_overload_queues(self):
+        provider = CloudProvider(boot_ticks=0)
+        deployment = ServiceDeployment(provider, vm_throughput=100, initial_vms=1)
+        provider.tick()
+        deployment.tick(250)
+        assert deployment.served == 100
+        assert deployment.queue == 150
+
+    def test_queue_drains_when_load_drops(self):
+        provider = CloudProvider(boot_ticks=0)
+        deployment = ServiceDeployment(provider, vm_throughput=100, initial_vms=1)
+        provider.tick()
+        deployment.tick(250)
+        provider.tick()
+        deployment.tick(0)
+        assert deployment.queue == 50
+
+    def test_booting_vms_do_not_serve(self):
+        provider = CloudProvider(boot_ticks=3)
+        deployment = ServiceDeployment(provider, vm_throughput=100, initial_vms=1)
+        deployment.scale_out()  # boots for 3 ticks
+        provider.tick()
+        deployment.tick(200)
+        assert deployment.served == 100  # only the pre-warmed replica
+
+    def test_scale_in_floor(self):
+        provider = CloudProvider()
+        deployment = ServiceDeployment(provider, initial_vms=1)
+        assert deployment.scale_in() is None
+        assert deployment.replica_count == 1
+
+    def test_drop_overflow(self):
+        provider = CloudProvider(boot_ticks=0)
+        deployment = ServiceDeployment(provider, vm_throughput=1, initial_vms=1, max_queue=10)
+        provider.tick()
+        deployment.tick(100)
+        # 100 arrive, queue cap 10 drops 90 before the tick serves 1
+        assert deployment.dropped == 90
+        assert deployment.queue == 9
+
+
+class TestAutoscaler:
+    def test_scales_out_under_load(self):
+        provider = CloudProvider(boot_ticks=0)
+        deployment = ServiceDeployment(provider, vm_throughput=100, initial_vms=1)
+        autoscaler = Autoscaler(deployment, target_utilization=0.7, cooldown_ticks=0)
+        autoscaler.observe(0, 500)
+        assert deployment.replica_count >= 5  # ceil(500 / 70)
+
+    def test_scales_in_when_idle(self):
+        provider = CloudProvider(boot_ticks=0)
+        deployment = ServiceDeployment(provider, vm_throughput=100, initial_vms=4)
+        autoscaler = Autoscaler(deployment, target_utilization=0.7, cooldown_ticks=0)
+        autoscaler.observe(0, 10)
+        assert deployment.replica_count == 3
+
+    def test_cooldown_suppresses_flapping(self):
+        provider = CloudProvider(boot_ticks=0)
+        deployment = ServiceDeployment(provider, vm_throughput=100, initial_vms=1)
+        autoscaler = Autoscaler(deployment, cooldown_ticks=5)
+        autoscaler.observe(0, 500)
+        replicas_after_first = deployment.replica_count
+        autoscaler.observe(1, 2000)  # within cooldown: ignored
+        assert deployment.replica_count == replicas_after_first
+        autoscaler.observe(6, 2000)  # past cooldown: acts
+        assert deployment.replica_count > replicas_after_first
+
+    def test_max_replica_cap(self):
+        provider = CloudProvider(boot_ticks=0, capacity=100)
+        deployment = ServiceDeployment(provider, vm_throughput=10, initial_vms=1)
+        autoscaler = Autoscaler(deployment, max_replicas=4, cooldown_ticks=0)
+        autoscaler.observe(0, 10_000)
+        assert deployment.replica_count == 4
+
+    def test_validation(self):
+        provider = CloudProvider()
+        deployment = ServiceDeployment(provider)
+        with pytest.raises(CloudError):
+            Autoscaler(deployment, target_utilization=0)
+
+
+class TestWorkloadAndSimulation:
+    def test_workload_shapes(self):
+        assert list(Workload.constant(5, 3)) == [5, 5, 5]
+        ramp = list(Workload.ramp(0, 10, 6))
+        assert ramp[0] == 0 and ramp[-1] == 10
+        square = list(Workload.square(1, 9, 2, 8))
+        assert square == [1, 1, 9, 9, 1, 1, 9, 9]
+
+    def test_workload_validation(self):
+        with pytest.raises(CloudError):
+            Workload([])
+        with pytest.raises(CloudError):
+            Workload([-1])
+
+    def test_autoscaling_beats_fixed_small_on_latency(self):
+        workload = Workload.square(50, 600, 10, 80)
+        scaled = run_simulation(workload, autoscale=True)
+        fixed = run_simulation(workload, autoscale=False, initial_vms=1)
+        assert scaled.p95_queue() < fixed.p95_queue() / 5
+
+    def test_autoscaling_beats_fixed_big_on_cost(self):
+        workload = Workload.square(50, 600, 10, 80)
+        scaled = run_simulation(workload, autoscale=True)
+        fixed_big = run_simulation(workload, autoscale=False, initial_vms=8)
+        assert scaled.total_cost < fixed_big.total_cost
+        # ...while keeping queues bounded
+        assert scaled.max_queue() < 2000
+
+    def test_simulation_deterministic(self):
+        workload = Workload.ramp(10, 500, 50)
+        a = run_simulation(workload)
+        b = run_simulation(workload)
+        assert a.queue_depths == b.queue_depths
+        assert a.total_cost == b.total_cost
+
+    def test_everything_served_eventually_under_capacity(self):
+        workload = Workload.constant(100, 20)
+        trace = run_simulation(workload, vm_throughput=200, autoscale=False, initial_vms=1)
+        assert trace.served == 2000
+        assert trace.dropped == 0
+
+    def test_trace_statistics(self):
+        trace = run_simulation(Workload.constant(10, 5), autoscale=False)
+        assert trace.mean_replicas() == 1.0
+        assert trace.p95_queue() >= 0
+
+
+class TestRobotCloud:
+    @pytest.fixture
+    def cloud(self):
+        broker, bus = ServiceBroker(), ServiceBus()
+        return RobotCloud(broker, bus, pool_capacity=3, lease_seconds=100), broker, bus
+
+    def test_acquire_and_drive(self, cloud):
+        robot_cloud, broker, bus = cloud
+        lease = robot_cloud.acquire("class-a")
+        proxy = proxy_from_broker(broker, bus, lease.service_name)
+        pose = proxy.pose()
+        assert pose["x"] == 0 and pose["y"] == 0
+
+    def test_tenant_isolation(self, cloud):
+        robot_cloud, broker, bus = cloud
+        a = robot_cloud.acquire("class-a")
+        b = robot_cloud.acquire("class-b")
+        proxy_a = proxy_from_broker(broker, bus, a.service_name)
+        proxy_b = proxy_from_broker(broker, bus, b.service_name)
+        proxy_a.forward(cells=1)
+        assert proxy_a.pose()["moves"] == 1
+        assert proxy_b.pose()["moves"] == 0
+
+    def test_double_acquire_conflict(self, cloud):
+        robot_cloud, *_ = cloud
+        robot_cloud.acquire("class-a")
+        with pytest.raises(ServiceFault) as info:
+            robot_cloud.acquire("class-a")
+        assert info.value.code == "Cloud.Conflict"
+
+    def test_capacity_exhaustion(self, cloud):
+        robot_cloud, *_ = cloud
+        for tenant in ("a", "b", "c"):
+            robot_cloud.acquire(tenant)
+        with pytest.raises(ServiceFault) as info:
+            robot_cloud.acquire("d")
+        assert info.value.code == "Cloud.CapacityExhausted"
+
+    def test_release_frees_capacity(self, cloud):
+        robot_cloud, broker, bus = cloud
+        for tenant in ("a", "b", "c"):
+            robot_cloud.acquire(tenant)
+        robot_cloud.release("b")
+        robot_cloud.acquire("d")
+        assert sorted(robot_cloud.active_leases()) == ["a", "c", "d"]
+
+    def test_release_unknown(self, cloud):
+        robot_cloud, *_ = cloud
+        with pytest.raises(ServiceFault):
+            robot_cloud.release("ghost")
+
+    def test_lease_expiry_reclaims(self, cloud):
+        robot_cloud, broker, bus = cloud
+        lease = robot_cloud.acquire("class-a")
+        broker.advance(101)
+        assert robot_cloud.active_leases() == []
+        robot_cloud.acquire("class-b")  # capacity was reclaimed
+
+    def test_renew_extends_lease(self, cloud):
+        robot_cloud, broker, _ = cloud
+        robot_cloud.acquire("class-a")
+        broker.advance(80)
+        robot_cloud.renew("class-a")
+        broker.advance(80)
+        assert robot_cloud.active_leases() == ["class-a"]
+
+    def test_deterministic_mazes_per_seed(self, cloud):
+        robot_cloud, broker, bus = cloud
+        a = robot_cloud.acquire("t1", seed=7)
+        b = robot_cloud.acquire("t2", seed=7)
+        proxy_a = proxy_from_broker(broker, bus, a.service_name)
+        proxy_b = proxy_from_broker(broker, bus, b.service_name)
+        assert proxy_a.walls() == proxy_b.walls()

@@ -1,0 +1,297 @@
+"""Tests for the broker, in-process bus, proxies, and composition."""
+
+import pytest
+
+from repro.core import (
+    BrokerError,
+    BusClient,
+    CompositionError,
+    ContractViolation,
+    Endpoint,
+    Pipeline,
+    Router,
+    ScatterGather,
+    Service,
+    ServiceBroker,
+    ServiceBus,
+    ServiceFault,
+    TransportError,
+    UnknownOperation,
+    compose,
+    make_proxy,
+    operation,
+    proxy_from_broker,
+)
+
+
+class Echo(Service):
+    """Echoes its input; smallest possible provider."""
+
+    category = "demo"
+
+    @operation
+    def say(self, text: str) -> str:
+        """Return the text unchanged."""
+        return text
+
+
+class Adder(Service):
+    category = "math"
+
+    @operation
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+
+@pytest.fixture
+def broker():
+    return ServiceBroker()
+
+
+@pytest.fixture
+def bus():
+    return ServiceBus()
+
+
+class TestBroker:
+    def test_publish_and_lookup(self, broker):
+        broker.publish(Echo.contract(), Endpoint("inproc", "inproc://echo"))
+        registration = broker.lookup("Echo")
+        assert registration.contract.name == "Echo"
+        assert registration.endpoints[0].binding == "inproc"
+
+    def test_lookup_missing_raises(self, broker):
+        with pytest.raises(BrokerError):
+            broker.lookup("Ghost")
+
+    def test_try_lookup_returns_none(self, broker):
+        assert broker.try_lookup("Ghost") is None
+
+    def test_unpublish(self, broker):
+        broker.publish(Echo.contract(), Endpoint("inproc", "x"))
+        broker.unpublish("Echo")
+        assert "Echo" not in broker
+
+    def test_unpublish_missing_raises(self, broker):
+        with pytest.raises(BrokerError):
+            broker.unpublish("Ghost")
+
+    def test_publish_requires_endpoint(self, broker):
+        with pytest.raises(BrokerError):
+            broker.publish(Echo.contract(), [])
+
+    def test_republish_replaces(self, broker):
+        broker.publish(Echo.contract(), Endpoint("inproc", "a"))
+        broker.publish(Echo.contract(), Endpoint("inproc", "b"))
+        assert broker.lookup("Echo").endpoints[0].address == "b"
+        assert len(broker) == 1
+
+    def test_lease_expiry(self, broker):
+        broker.publish(Echo.contract(), Endpoint("inproc", "x"), lease_seconds=10)
+        assert "Echo" in broker
+        broker.advance(9.9)
+        assert "Echo" in broker
+        broker.advance(0.2)
+        assert "Echo" not in broker
+
+    def test_lease_renewal(self, broker):
+        broker.publish(Echo.contract(), Endpoint("inproc", "x"), lease_seconds=10)
+        broker.advance(8)
+        broker.renew("Echo", 10)
+        broker.advance(8)
+        assert "Echo" in broker
+
+    def test_no_lease_never_expires(self, broker):
+        broker.publish(Echo.contract(), Endpoint("inproc", "x"))
+        broker.advance(1e9)
+        assert "Echo" in broker
+
+    def test_advance_negative_rejected(self, broker):
+        with pytest.raises(ValueError):
+            broker.advance(-1)
+
+    def test_list_by_category(self, broker):
+        broker.publish(Echo.contract(), Endpoint("inproc", "e"))
+        broker.publish(Adder.contract(), Endpoint("inproc", "a"))
+        assert [r.name for r in broker.list_services()] == ["Adder", "Echo"]
+        assert [r.name for r in broker.list_services("math")] == ["Adder"]
+
+    def test_keyword_find(self, broker):
+        broker.publish(Echo.contract(), Endpoint("inproc", "e"))
+        broker.publish(Adder.contract(), Endpoint("inproc", "a"))
+        assert [r.name for r in broker.find("unchanged")] == ["Echo"]
+        assert [r.name for r in broker.find("add")] == ["Adder"]
+        assert broker.find("zzz") == []
+
+    def test_endpoint_binding_selection(self, broker):
+        broker.publish(
+            Echo.contract(),
+            [Endpoint("inproc", "bus"), Endpoint("rest", "http://x/echo")],
+        )
+        assert broker.endpoint_for("Echo", "rest").address == "http://x/echo"
+        with pytest.raises(BrokerError):
+            broker.endpoint_for("Echo", "soap")
+
+    def test_qos_reports_and_selection(self, broker):
+        broker.publish(Echo.contract(), Endpoint("inproc", "e"))
+        broker.publish(Adder.contract(), Endpoint("inproc", "a"))
+        broker.report("Echo", 0.5)
+        broker.report("Echo", 0.5, fault=True)
+        broker.report("Adder", 0.1)
+        best = broker.best_by_qos(["Echo", "Adder"])
+        assert best.name == "Adder"
+        assert broker.lookup("Echo").qos.availability == 0.5
+        assert broker.lookup("Adder").qos.mean_latency == pytest.approx(0.1)
+
+    def test_report_on_missing_service_ignored(self, broker):
+        broker.report("Ghost", 1.0)  # must not raise
+
+    def test_best_by_qos_empty(self, broker):
+        assert broker.best_by_qos(["Ghost"]) is None
+
+
+class TestBus:
+    def test_host_and_call(self, bus):
+        address = bus.host(Echo())
+        assert address == "inproc://echo"
+        assert bus.call(address, "say", {"text": "hi"}) == "hi"
+
+    def test_duplicate_address_rejected(self, bus):
+        bus.host(Echo())
+        with pytest.raises(TransportError):
+            bus.host(Echo())
+
+    def test_unhost(self, bus):
+        address = bus.host(Echo())
+        bus.unhost(address)
+        with pytest.raises(TransportError):
+            bus.call(address, "say", {"text": "x"})
+
+    def test_unhost_missing_raises(self, bus):
+        with pytest.raises(TransportError):
+            bus.unhost("inproc://ghost")
+
+    def test_addresses_listing(self, bus):
+        bus.host(Echo())
+        bus.host(Adder())
+        assert bus.addresses() == ["inproc://adder", "inproc://echo"]
+
+    def test_host_and_publish(self, bus, broker):
+        bus.host_and_publish(Echo(), broker, provider="asu")
+        assert broker.lookup("Echo").provider == "asu"
+
+    def test_bus_client_reports_qos(self, bus, broker):
+        bus.host_and_publish(Echo(), broker)
+        client = BusClient(bus, broker)
+        assert client.call("Echo", "say", text="yo") == "yo"
+        assert broker.lookup("Echo").qos.samples == 1
+
+    def test_bus_client_reports_fault(self, bus, broker):
+        bus.host_and_publish(Echo(), broker)
+        client = BusClient(bus, broker)
+        with pytest.raises(ContractViolation):
+            client.call("Echo", "say", wrong="arg")
+        assert broker.lookup("Echo").qos.faults == 1
+
+
+class TestProxy:
+    def test_proxy_calls_through(self, bus, broker):
+        bus.host_and_publish(Adder(), broker)
+        proxy = proxy_from_broker(broker, bus, "Adder")
+        assert proxy.add(a=2, b=3) == 5
+
+    def test_proxy_validates_client_side(self):
+        calls = []
+        proxy = make_proxy(Adder.contract(), lambda op, args: calls.append(op))
+        with pytest.raises(ContractViolation):
+            proxy.add(a="x", b=1)
+        assert calls == []  # invoker never reached
+
+    def test_proxy_unknown_operation(self, bus, broker):
+        bus.host_and_publish(Adder(), broker)
+        proxy = proxy_from_broker(broker, bus, "Adder")
+        with pytest.raises(UnknownOperation):
+            proxy.subtract(a=1, b=2)
+
+    def test_proxy_dir_lists_operations(self):
+        proxy = make_proxy(Adder.contract(), lambda op, args: None)
+        assert "add" in dir(proxy)
+
+    def test_proxy_repr_of_bound_operation(self):
+        proxy = make_proxy(Adder.contract(), lambda op, args: None)
+        assert "add(a: int, b: int) -> int" in repr(proxy.add)
+
+
+class TestComposition:
+    def test_pipeline(self):
+        pipeline = Pipeline(
+            [(lambda x: x + 1, "v"), (lambda v: v * 2, "v"), (lambda v: v - 3, "v")]
+        )
+        assert pipeline(x=5) == 9
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(CompositionError):
+            Pipeline([])()
+
+    def test_scatter_gather(self):
+        sg = ScatterGather(
+            branches=[lambda x: x + 1, lambda x: x + 2, lambda x: x + 3],
+            aggregate=sum,
+        )
+        assert sg(x=0) == 6
+
+    def test_scatter_gather_fault_propagates(self):
+        def bad(x):
+            raise ServiceFault("down")
+
+        sg = ScatterGather(branches=[lambda x: 1, bad])
+        with pytest.raises(ServiceFault):
+            sg(x=0)
+
+    def test_scatter_gather_tolerates_faults(self):
+        def bad(x):
+            raise ServiceFault("down")
+
+        sg = ScatterGather(branches=[lambda x: 1, bad, lambda x: 2], tolerate_faults=True)
+        assert sorted(sg(x=0)) == [1, 2]
+
+    def test_scatter_gather_all_fail(self):
+        def bad(x):
+            raise ServiceFault("down")
+
+        sg = ScatterGather(branches=[bad, bad], tolerate_faults=True)
+        with pytest.raises(CompositionError):
+            sg(x=0)
+
+    def test_router(self):
+        router = Router(
+            routes=[
+                (lambda n: n < 0, lambda n: "negative"),
+                (lambda n: n == 0, lambda n: "zero"),
+            ],
+            default=lambda n: "positive",
+        )
+        assert router(n=-5) == "negative"
+        assert router(n=0) == "zero"
+        assert router(n=7) == "positive"
+
+    def test_router_no_match_no_default(self):
+        router = Router(routes=[(lambda n: False, lambda n: None)])
+        with pytest.raises(CompositionError):
+            router(n=1)
+
+    def test_compose(self):
+        f = compose(lambda x: x + 1, lambda x: x * 10)
+        assert f(2) == 30
+
+    def test_compose_empty_rejected(self):
+        with pytest.raises(CompositionError):
+            compose()
+
+    def test_composition_of_proxies(self, bus, broker):
+        bus.host_and_publish(Adder(), broker)
+        proxy = proxy_from_broker(broker, bus, "Adder")
+        pipeline = Pipeline(
+            [(lambda a, b: proxy.add(a=a, b=b), "a"), (lambda a: proxy.add(a=a, b=10), "a")]
+        )
+        assert pipeline(a=1, b=2) == 13

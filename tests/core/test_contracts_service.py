@@ -1,0 +1,229 @@
+"""Tests for contracts, the Service base class, and ServiceHost dispatch."""
+
+import pytest
+
+from repro.core import (
+    AccessDenied,
+    ContractViolation,
+    InvocationContext,
+    Operation,
+    Parameter,
+    Service,
+    ServiceContract,
+    ServiceFault,
+    ServiceHost,
+    UnknownOperation,
+    check_type,
+    contract_from_callables,
+    operation,
+)
+
+
+class Calculator(Service):
+    """Arithmetic as a service."""
+
+    category = "math"
+
+    @operation(idempotent=True)
+    def add(self, a: float, b: float) -> float:
+        """Add two numbers."""
+        return a + b
+
+    @operation
+    def divide(self, a: float, b: float) -> float:
+        """Divide a by b."""
+        if b == 0:
+            raise ServiceFault("division by zero", code="Client.BadInput")
+        return a / b
+
+    @operation(requires_role="admin")
+    def reset(self) -> bool:
+        return True
+
+    @operation
+    def greet(self, name: str, prefix: str = "Hello") -> str:
+        return f"{prefix}, {name}!"
+
+    def not_an_operation(self):  # pragma: no cover - must stay unpublished
+        return "hidden"
+
+
+@pytest.fixture
+def host():
+    return ServiceHost(Calculator())
+
+
+class TestContractDerivation:
+    def test_contract_name_and_category(self):
+        contract = Calculator.contract()
+        assert contract.name == "Calculator"
+        assert contract.category == "math"
+        assert "Arithmetic" in contract.documentation
+
+    def test_operations_discovered(self):
+        contract = Calculator.contract()
+        assert contract.operation_names() == ["add", "divide", "greet", "reset"]
+
+    def test_non_decorated_methods_excluded(self):
+        contract = Calculator.contract()
+        assert "not_an_operation" not in contract.operations
+
+    def test_parameter_types_from_annotations(self):
+        op = Calculator.contract().operation("add")
+        assert [(p.name, p.type) for p in op.parameters] == [
+            ("a", "float"),
+            ("b", "float"),
+        ]
+        assert op.returns == "float"
+
+    def test_default_marks_optional(self):
+        op = Calculator.contract().operation("greet")
+        prefix = next(p for p in op.parameters if p.name == "prefix")
+        assert prefix.optional and prefix.default == "Hello"
+
+    def test_idempotent_and_role_metadata(self):
+        contract = Calculator.contract()
+        assert contract.operation("add").idempotent
+        assert not contract.operation("divide").idempotent
+        assert contract.operation("reset").requires_role == "admin"
+
+    def test_operation_docs_preserved(self):
+        assert Calculator.contract().operation("add").documentation == "Add two numbers."
+
+    def test_contract_from_callables(self):
+        def square(x: int) -> int:
+            return x * x
+
+        contract = contract_from_callables("MathBits", {"square": square})
+        assert contract.operation("square").returns == "int"
+
+    def test_duplicate_operation_rejected(self):
+        contract = ServiceContract("X")
+        contract.add(Operation("f"))
+        with pytest.raises(ContractViolation):
+            contract.add(Operation("f"))
+
+    def test_describe_mentions_ops(self):
+        text = Calculator.contract().describe()
+        assert "add(a:float, b:float) -> float" in text
+
+
+class TestTypeChecking:
+    @pytest.mark.parametrize(
+        "value,type_name,ok",
+        [
+            (1, "int", True),
+            (True, "int", False),
+            (1.5, "float", True),
+            (2, "float", True),
+            (True, "float", False),
+            ("x", "str", True),
+            (1, "str", False),
+            (None, "none", True),
+            (0, "none", False),
+            ([1], "list", True),
+            ((1,), "list", True),
+            ({}, "dict", True),
+            (b"x", "bytes", True),
+            (object(), "any", True),
+        ],
+    )
+    def test_check_type(self, value, type_name, ok):
+        assert check_type(value, type_name) is ok
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ContractViolation):
+            check_type(1, "quaternion")
+
+    def test_unknown_parameter_type_rejected(self):
+        with pytest.raises(ContractViolation):
+            Parameter("x", "quaternion")
+
+
+class TestDispatch:
+    def test_invoke_success(self, host):
+        assert host.invoke("add", {"a": 2, "b": 3}) == 5
+
+    def test_optional_default_filled(self, host):
+        assert host.invoke("greet", {"name": "Ada"}) == "Hello, Ada!"
+
+    def test_missing_required_rejected(self, host):
+        with pytest.raises(ContractViolation):
+            host.invoke("add", {"a": 1})
+
+    def test_extra_argument_rejected(self, host):
+        with pytest.raises(ContractViolation):
+            host.invoke("add", {"a": 1, "b": 2, "c": 3})
+
+    def test_type_mismatch_rejected(self, host):
+        with pytest.raises(ContractViolation):
+            host.invoke("add", {"a": "one", "b": 2})
+
+    def test_unknown_operation(self, host):
+        with pytest.raises(UnknownOperation):
+            host.invoke("multiply", {})
+
+    def test_service_fault_propagates(self, host):
+        with pytest.raises(ServiceFault) as info:
+            host.invoke("divide", {"a": 1, "b": 0})
+        assert info.value.code == "Client.BadInput"
+
+    def test_unexpected_exception_wrapped(self):
+        class Broken(Service):
+            @operation
+            def boom(self) -> int:
+                raise RuntimeError("oops")
+
+        host = ServiceHost(Broken())
+        with pytest.raises(ServiceFault) as info:
+            host.invoke("boom")
+        assert info.value.code == "Server.Internal"
+
+    def test_role_enforcement(self, host):
+        with pytest.raises(AccessDenied):
+            host.invoke("reset")
+        ctx = InvocationContext("reset", principal="root", roles=frozenset({"admin"}))
+        assert host.invoke("reset", {}, ctx) is True
+
+    def test_result_validation(self):
+        class Liar(Service):
+            @operation
+            def f(self) -> int:
+                return "not an int"
+
+        with pytest.raises(ContractViolation):
+            ServiceHost(Liar()).invoke("f")
+
+    def test_interceptor_runs_and_can_veto(self, host):
+        seen = []
+        host.add_interceptor(lambda ctx, args: seen.append((ctx.operation, dict(args))))
+        host.invoke("add", {"a": 1, "b": 2})
+        assert seen == [("add", {"a": 1, "b": 2})]
+
+        def veto(ctx, args):
+            raise ServiceFault("nope", code="Vetoed")
+
+        host.add_interceptor(veto)
+        with pytest.raises(ServiceFault):
+            host.invoke("add", {"a": 1, "b": 2})
+
+    def test_stats_track_calls_and_faults(self, host):
+        host.invoke("add", {"a": 1, "b": 2})
+        host.invoke("add", {"a": 1, "b": 2})
+        with pytest.raises(ServiceFault):
+            host.invoke("divide", {"a": 1, "b": 0})
+        assert host.stats("add").calls == 2
+        assert host.stats("add").faults == 0
+        assert host.stats("divide").faults == 1
+        total = host.stats()
+        assert total.calls == 3 and total.faults == 1
+        assert 0 < total.availability < 1
+
+    def test_varargs_operation_rejected(self):
+        class Bad(Service):
+            @operation
+            def f(self, *args):  # pragma: no cover - signature error
+                return args
+
+        with pytest.raises(ServiceFault):
+            Bad.contract()

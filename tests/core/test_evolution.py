@@ -1,0 +1,150 @@
+"""Tests for contract evolution / backward-compatibility checking."""
+
+import pytest
+
+from repro.core import (
+    Endpoint,
+    Operation,
+    Parameter,
+    ServiceBroker,
+    ServiceContract,
+    ServiceFault,
+    check_compatibility,
+    is_backward_compatible,
+    safe_republish,
+)
+
+
+def contract(*operations):
+    c = ServiceContract("Svc")
+    for op in operations:
+        c.add(op)
+    return c
+
+
+BASE = contract(
+    Operation("get", (Parameter("key", "str"),), returns="str"),
+    Operation("put", (Parameter("key", "str"), Parameter("value", "str")), returns="bool"),
+)
+
+
+class TestCompatibility:
+    def test_identical_is_compatible(self):
+        assert is_backward_compatible(BASE, BASE)
+
+    def test_adding_operation_compatible(self):
+        extended = contract(*BASE.operations.values())
+        extended.add(Operation("delete", (Parameter("key", "str"),), returns="bool"))
+        assert is_backward_compatible(BASE, extended)
+
+    def test_removing_operation_breaking(self):
+        reduced = contract(BASE.operations["get"])
+        problems = check_compatibility(BASE, reduced)
+        assert any("removed" in p.reason for p in problems)
+
+    def test_new_required_parameter_breaking(self):
+        changed = contract(
+            Operation("get", (Parameter("key", "str"), Parameter("version", "int")), returns="str"),
+            BASE.operations["put"],
+        )
+        assert not is_backward_compatible(BASE, changed)
+
+    def test_new_optional_parameter_compatible(self):
+        changed = contract(
+            Operation(
+                "get",
+                (Parameter("key", "str"), Parameter("version", "int", optional=True, default=1)),
+                returns="str",
+            ),
+            BASE.operations["put"],
+        )
+        assert is_backward_compatible(BASE, changed)
+
+    def test_removed_parameter_breaking(self):
+        changed = contract(
+            Operation("get", (), returns="str"),
+            BASE.operations["put"],
+        )
+        problems = check_compatibility(BASE, changed)
+        assert any("removed" in p.reason for p in problems)
+
+    def test_type_narrowing_breaking_widening_ok(self):
+        narrowed = contract(
+            Operation("get", (Parameter("key", "any"),), returns="str"),
+            BASE.operations["put"],
+        )
+        # old str -> new any widens: fine
+        assert is_backward_compatible(BASE, narrowed)
+        # reverse direction narrows: breaking
+        assert not is_backward_compatible(narrowed, BASE)
+
+    def test_int_to_float_widens(self):
+        old = contract(Operation("f", (Parameter("x", "int"),), returns="int"))
+        new = contract(Operation("f", (Parameter("x", "float"),), returns="int"))
+        assert is_backward_compatible(old, new)
+        assert not is_backward_compatible(new, old)
+
+    def test_return_type_change_breaking(self):
+        changed = contract(
+            Operation("get", (Parameter("key", "str"),), returns="dict"),
+            BASE.operations["put"],
+        )
+        problems = check_compatibility(BASE, changed)
+        assert any("return type" in p.reason for p in problems)
+
+    def test_return_widening_to_any_ok(self):
+        changed = contract(
+            Operation("get", (Parameter("key", "str"),), returns="any"),
+            BASE.operations["put"],
+        )
+        assert is_backward_compatible(BASE, changed)
+
+    def test_optional_becoming_required_breaking(self):
+        old = contract(Operation("f", (Parameter("x", "int", optional=True, default=0),)))
+        new = contract(Operation("f", (Parameter("x", "int"),)))
+        problems = check_compatibility(old, new)
+        assert any("became required" in p.reason for p in problems)
+
+    def test_adding_role_requirement_breaking(self):
+        new_ops = contract(
+            Operation("get", (Parameter("key", "str"),), returns="str", requires_role="admin"),
+            BASE.operations["put"],
+        )
+        assert not is_backward_compatible(BASE, new_ops)
+
+    def test_incompatibility_str(self):
+        problems = check_compatibility(BASE, contract(BASE.operations["get"]))
+        assert "put" in str(problems[0])
+
+
+class TestSafeRepublish:
+    def test_first_publication_always_ok(self):
+        broker = ServiceBroker()
+        safe_republish(broker, BASE, Endpoint("inproc", "x"))
+        assert "Svc" in broker
+
+    def test_compatible_republish_ok(self):
+        broker = ServiceBroker()
+        safe_republish(broker, BASE, Endpoint("inproc", "x"))
+        extended = contract(*BASE.operations.values())
+        extended.add(Operation("ping"))
+        safe_republish(broker, extended, Endpoint("inproc", "y"))
+        assert "ping" in broker.lookup("Svc").contract.operations
+
+    def test_breaking_republish_refused(self):
+        broker = ServiceBroker()
+        safe_republish(broker, BASE, Endpoint("inproc", "x"))
+        reduced = contract(BASE.operations["get"])
+        with pytest.raises(ServiceFault) as info:
+            safe_republish(broker, reduced, Endpoint("inproc", "y"))
+        assert info.value.code == "Broker.BreakingChange"
+        # the old registration survives
+        assert "put" in broker.lookup("Svc").contract.operations
+
+    def test_republish_after_lease_expiry_is_fresh(self):
+        broker = ServiceBroker()
+        safe_republish(broker, BASE, Endpoint("inproc", "x"), lease_seconds=10)
+        broker.advance(11)
+        reduced = contract(BASE.operations["get"])
+        safe_republish(broker, reduced, Endpoint("inproc", "y"))  # no conflict
+        assert "put" not in broker.lookup("Svc").contract.operations

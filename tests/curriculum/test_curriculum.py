@@ -1,0 +1,213 @@
+"""Tests pinning the paper's Tables 1-5 and Figure 5 numbers."""
+
+import pytest
+
+from repro.curriculum import (
+    ACM_TABLE_1_PROGRAMMING,
+    ACM_TABLE_2_ALGORITHMS,
+    ACM_TABLE_3_CROSS_CUTTING,
+    ENROLLMENT_TABLE_4,
+    EVALUATION_TABLE_5,
+    CurriculumMap,
+    EnrollmentAnalysis,
+    EvaluationAnalysis,
+    linear_fit,
+)
+
+
+class TestTable4Data:
+    def test_row_count(self):
+        assert len(ENROLLMENT_TABLE_4) == 16  # Fall 2006 .. Spring 2014
+
+    def test_first_and_last_rows(self):
+        first, last = ENROLLMENT_TABLE_4[0], ENROLLMENT_TABLE_4[-1]
+        assert (first.year, first.semester, first.cse445, first.cse598) == (2006, "Fall", 25, 14)
+        assert (last.year, last.semester, last.cse445, last.cse598) == (2014, "Spring", 50, 62)
+
+    def test_paper_headline_totals(self):
+        analysis = EnrollmentAnalysis()
+        assert analysis.first_term_total() == 39  # "39 in Fall 2006"
+        assert analysis.total_for(2013, "Fall") == 134  # "134 in Fall 2013"
+
+    def test_known_row_totals(self):
+        analysis = EnrollmentAnalysis()
+        assert analysis.total_for(2011, "Fall") == 82
+        assert analysis.total_for(2012, "Spring") == 67
+        assert analysis.total_for(2014, "Spring") == 112
+
+    def test_peak_is_fall_2013(self):
+        assert EnrollmentAnalysis().peak() == ("Fall 2013", 134)
+
+
+class TestFigure5:
+    def test_series_shapes(self):
+        analysis = EnrollmentAnalysis()
+        series = analysis.series()
+        assert set(series) == {"CSE445", "CSE598", "Combined"}
+        assert all(len(v) == 16 for v in series.values())
+        assert series["Combined"] == [
+            a + b for a, b in zip(series["CSE445"], series["CSE598"])
+        ]
+
+    def test_significant_increase_claim(self):
+        analysis = EnrollmentAnalysis()
+        assert analysis.significant_increase()
+        fit = analysis.combined_trend()
+        assert fit.slope > 4  # ~5 students/semester
+        assert fit.r_squared > 0.75
+
+    def test_both_sections_grow(self):
+        trends = EnrollmentAnalysis().section_trends()
+        assert trends["CSE445"].slope > 0
+        assert trends["CSE598"].slope > 0
+
+    def test_growth_factor(self):
+        # 112/39 ≈ 2.9x by Spring 2014
+        assert EnrollmentAnalysis().growth_factor() == pytest.approx(112 / 39)
+
+    def test_render_table(self):
+        text = EnrollmentAnalysis().render_table()
+        assert "Fall 2006" in text and "134" in text
+
+    def test_labels_chronological(self):
+        labels = EnrollmentAnalysis().labels()
+        assert labels[0] == "Fall 2006"
+        assert labels[-1] == "Spring 2014"
+        assert labels.index("Spring 2010") < labels.index("Fall 2010")
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2)
+        assert fit.intercept == pytest.approx(1)
+        assert fit.r_squared == pytest.approx(1)
+        assert fit.predict(10) == pytest.approx(21)
+
+    def test_flat_line(self):
+        fit = linear_fit([5, 5, 5])
+        assert fit.slope == 0
+        assert fit.r_squared == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_fit([1])
+
+
+class TestTable5:
+    def test_row_count(self):
+        assert len(EVALUATION_TABLE_5) == 13
+
+    def test_score_range_matches_paper(self):
+        low, high = EvaluationAnalysis().score_range()
+        assert low == 3.69  # Fall 2006, 445
+        assert high == 4.81  # Fall 2008, 598
+
+    def test_598_always_at_least_445(self):
+        assert EvaluationAnalysis().grad_always_at_least_undergrad()
+
+    def test_scores_improve_over_time(self):
+        analysis = EvaluationAnalysis()
+        assert analysis.improved_since_first_offering()
+        assert analysis.trend_445().slope > 0
+        assert analysis.trend_598().slope > 0
+
+    def test_means(self):
+        analysis = EvaluationAnalysis()
+        assert 4.2 < analysis.mean_445() < 4.4
+        assert 4.4 < analysis.mean_598() < 4.6
+
+    def test_rubric(self):
+        analysis = EvaluationAnalysis()
+        assert analysis.verdict(4.6) == "very good"
+        assert analysis.verdict(4.0) == "good"
+        assert analysis.verdict(3.0) == "fair"
+        assert analysis.verdict(2.0) == "poor"
+        with pytest.raises(ValueError):
+            analysis.verdict(6)
+
+    def test_render_table(self):
+        text = EvaluationAnalysis().render_table()
+        assert "3.69" in text and "4.81" in text
+
+
+class TestTables123:
+    def test_topic_counts(self):
+        assert len(ACM_TABLE_1_PROGRAMMING) == 6
+        assert len(ACM_TABLE_2_ALGORITHMS) == 3
+        assert len(ACM_TABLE_3_CROSS_CUTTING) == 4
+
+    def test_bloom_levels_match_paper(self):
+        by_name = {t.topic: t.bloom for t in ACM_TABLE_1_PROGRAMMING}
+        assert by_name["Client Server"] == "C"
+        assert by_name["Synchronization"] == "A"
+        assert by_name["Tasks and threads"] == "K"
+        dependencies = next(
+            t for t in ACM_TABLE_2_ALGORITHMS if t.topic == "Dependencies"
+        )
+        assert dependencies.bloom_levels() == ("K", "A")
+
+    def test_full_coverage_by_this_repo(self):
+        """Every ACM topic of Tables 1-3 maps to importable repro modules."""
+        curriculum_map = CurriculumMap()
+        assert curriculum_map.uncovered() == []
+        assert curriculum_map.coverage_fraction() == 1.0
+
+    def test_bloom_histogram(self):
+        histogram = CurriculumMap().bloom_histogram()
+        assert histogram == {"K": 6, "C": 3, "A": 5}
+
+    def test_missing_module_detected(self):
+        curriculum_map = CurriculumMap(
+            topic_modules={"Client Server": ("repro.nonexistent",)}
+        )
+        coverage = {
+            row.topic.topic: row.covered for row in curriculum_map.coverage()
+        }
+        assert coverage["Client Server"] is False
+
+    def test_render_tables(self):
+        curriculum_map = CurriculumMap()
+        text = curriculum_map.render_all_tables()
+        assert "Table 1" in text and "Table 2" in text and "Table 3" in text
+        assert "Web services" in text
+        with pytest.raises(ValueError):
+            curriculum_map.render_table(4)
+
+
+class TestTextbook:
+    def test_fourteen_chapters_three_parts(self):
+        from repro.curriculum import TEXTBOOK_CHAPTERS, chapters_for_course
+
+        assert len(TEXTBOOK_CHAPTERS) == 14
+        assert [c.number for c in TEXTBOOK_CHAPTERS] == list(range(1, 15))
+        part1 = chapters_for_course("CSE445")
+        part2 = chapters_for_course("CSE446")
+        assert [c.number for c in part1] == [1, 2, 3, 4, 5, 6]
+        assert [c.number for c in part2] == [7, 8, 9, 10, 11, 12, 13, 14]
+
+    def test_chapter_titles_match_paper(self):
+        from repro.curriculum import TEXTBOOK_CHAPTERS
+
+        titles = {c.number: c.title for c in TEXTBOOK_CHAPTERS}
+        assert titles[4] == "XML Data Representation and Processing"
+        assert titles[9] == "Internet of Things and Robot as a Service"
+        assert titles[14] == "Cloud Computing and Software as a Service"
+
+    def test_every_chapter_implemented(self):
+        from repro.curriculum import chapter_coverage
+
+        coverage = chapter_coverage()
+        assert all(coverage.values()), f"unimplemented chapters: {coverage}"
+
+    def test_course_mapping(self):
+        from repro.curriculum import TEXTBOOK_CHAPTERS
+
+        assert TEXTBOOK_CHAPTERS[0].course == "CSE445"
+        assert TEXTBOOK_CHAPTERS[-1].course == "CSE446"
+
+    def test_unknown_course_rejected(self):
+        from repro.curriculum import chapters_for_course
+
+        with pytest.raises(ValueError):
+            chapters_for_course("CSE999")

@@ -1,0 +1,269 @@
+"""Tests for the mini relational engine and MapReduce."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    Column,
+    Database,
+    DbError,
+    MapReduceJob,
+    Query,
+    inverted_index,
+    word_count,
+)
+
+
+@pytest.fixture
+def db():
+    db = Database("test")
+    users = db.create_table(
+        "users",
+        [Column("id", "int"), Column("name", "str"), Column("email", "str", nullable=True)],
+        primary_key="id",
+        unique=["email"],
+    )
+    users.insert({"id": 1, "name": "Ada", "email": "ada@x"})
+    users.insert({"id": 2, "name": "Grace", "email": "grace@x"})
+    users.insert({"id": 3, "name": "Edsger", "email": None})
+    orders = db.create_table(
+        "orders",
+        [Column("oid", "int"), Column("uid", "int"), Column("total", "float")],
+        primary_key="oid",
+    )
+    orders.insert({"oid": 10, "uid": 1, "total": 9.5})
+    orders.insert({"oid": 11, "uid": 1, "total": 5.0})
+    orders.insert({"oid": 12, "uid": 2, "total": 20.0})
+    return db
+
+
+class TestSchema:
+    def test_type_enforcement(self, db):
+        with pytest.raises(DbError, match="expects int"):
+            db.table("users").insert({"id": "four", "name": "X"})
+        with pytest.raises(DbError, match="expects str"):
+            db.table("users").insert({"id": 4, "name": 42})
+
+    def test_bool_not_an_int(self, db):
+        with pytest.raises(DbError):
+            db.table("users").insert({"id": True, "name": "X"})
+
+    def test_int_widens_to_float(self, db):
+        db.table("orders").insert({"oid": 13, "uid": 3, "total": 7})
+
+    def test_null_constraints(self, db):
+        with pytest.raises(DbError, match="not nullable"):
+            db.table("users").insert({"id": 4, "name": None})
+        db.table("users").insert({"id": 4, "name": "Alan", "email": None})
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(DbError, match="unknown columns"):
+            db.table("users").insert({"id": 4, "name": "X", "age": 7})
+
+    def test_bad_table_definitions(self):
+        db = Database()
+        with pytest.raises(DbError):
+            db.create_table("t", [], primary_key="x")
+        with pytest.raises(DbError):
+            db.create_table("t", [Column("a"), Column("a")], primary_key="a")
+        with pytest.raises(DbError):
+            db.create_table("t", [Column("a")], primary_key="zz")
+        with pytest.raises(DbError):
+            Column("x", "quaternion")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(DbError):
+            db.create_table("users", [Column("x")], primary_key="x")
+
+    def test_unknown_table(self, db):
+        with pytest.raises(DbError):
+            db.table("ghost")
+
+
+class TestConstraints:
+    def test_primary_key_unique(self, db):
+        with pytest.raises(DbError, match="duplicate primary key"):
+            db.table("users").insert({"id": 1, "name": "Dup"})
+
+    def test_unique_column(self, db):
+        with pytest.raises(DbError, match="unique violation"):
+            db.table("users").insert({"id": 9, "name": "X", "email": "ada@x"})
+
+    def test_multiple_nulls_allowed_in_unique(self, db):
+        db.table("users").insert({"id": 9, "name": "X", "email": None})
+
+    def test_update_keeps_constraints(self, db):
+        with pytest.raises(DbError, match="unique violation"):
+            db.table("users").update(2, {"email": "ada@x"})
+        db.table("users").update(2, {"email": "new@x"})
+        assert db.table("users").get(2)["email"] == "new@x"
+
+    def test_update_unique_to_self_allowed(self, db):
+        db.table("users").update(1, {"email": "ada@x"})  # unchanged
+
+    def test_pk_change_rejected(self, db):
+        with pytest.raises(DbError, match="primary key"):
+            db.table("users").update(1, {"id": 99})
+
+    def test_delete_frees_unique_value(self, db):
+        db.table("users").delete(1)
+        db.table("users").insert({"id": 99, "name": "New", "email": "ada@x"})
+
+    def test_missing_row_operations(self, db):
+        with pytest.raises(DbError):
+            db.table("users").update(404, {"name": "x"})
+        with pytest.raises(DbError):
+            db.table("users").delete(404)
+        assert db.table("users").get(404) is None
+
+
+class TestIndexes:
+    def test_index_lookup(self, db):
+        orders = db.table("orders")
+        orders.create_index("uid")
+        rows = orders.lookup("uid", 1)
+        assert {r["oid"] for r in rows} == {10, 11}
+
+    def test_index_maintained_on_mutation(self, db):
+        orders = db.table("orders")
+        orders.create_index("uid")
+        orders.update(10, {"uid": 2})
+        assert {r["oid"] for r in orders.lookup("uid", 2)} == {10, 12}
+        orders.delete(11)
+        assert orders.lookup("uid", 1) == []
+
+    def test_scan_fallback_matches_index(self, db):
+        orders = db.table("orders")
+        scan = sorted(r["oid"] for r in orders.lookup("uid", 1))
+        orders.create_index("uid")
+        indexed = sorted(r["oid"] for r in orders.lookup("uid", 1))
+        assert scan == indexed
+
+    def test_unique_lookup(self, db):
+        rows = db.table("users").lookup("email", "ada@x")
+        assert len(rows) == 1 and rows[0]["name"] == "Ada"
+
+    def test_pk_lookup(self, db):
+        assert db.table("orders").lookup("oid", 10)[0]["total"] == 9.5
+
+    def test_index_unknown_column(self, db):
+        with pytest.raises(DbError):
+            db.table("users").create_index("ghost")
+
+
+class TestQuery:
+    def test_where_eq_select(self, db):
+        names = db.query("users").eq("name", "Ada").select("name").all()
+        assert names == [{"name": "Ada"}]
+
+    def test_order_and_limit(self, db):
+        top = db.query("orders").order_by("total", descending=True).limit(2).all()
+        assert [r["oid"] for r in top] == [12, 10]
+
+    def test_join(self, db):
+        joined = db.query("orders").join(db.query("users"), on=("uid", "id")).all()
+        assert len(joined) == 3
+        by_oid = {r["oid"]: r["name"] for r in joined}
+        assert by_oid == {10: "Ada", 11: "Ada", 12: "Grace"}
+
+    def test_join_prefixes_collisions(self):
+        left = Query([{"id": 1, "name": "left"}])
+        right = Query([{"id": 1, "name": "right"}])
+        merged = left.join(right, on=("id", "id")).first()
+        assert merged["name"] == "left" and merged["r_name"] == "right"
+
+    def test_aggregate(self, db):
+        totals = db.query("orders").aggregate("uid", "total", sum)
+        assert totals == {1: 14.5, 2: 20.0}
+
+    def test_count_first_empty(self, db):
+        assert db.query("orders").eq("uid", 404).count() == 0
+        assert db.query("orders").eq("uid", 404).first() is None
+
+    def test_query_returns_copies(self, db):
+        row = db.query("users").first()
+        row["name"] = "Mutated"
+        assert db.table("users").get(row["id"])["name"] != "Mutated"
+
+
+class TestTransactions:
+    def test_commit(self, db):
+        with db.transaction():
+            db.table("users").insert({"id": 50, "name": "T", "email": "t@x"})
+        assert db.table("users").get(50) is not None
+
+    def test_rollback_on_exception(self, db):
+        before = len(db.table("users"))
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.table("users").insert({"id": 51, "name": "U", "email": "u@x"})
+                db.table("orders").delete(10)
+                raise RuntimeError("abort")
+        assert len(db.table("users")) == before
+        assert db.table("orders").get(10) is not None
+
+    def test_rollback_restores_unique_index(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.table("users").delete(1)
+                raise RuntimeError("abort")
+        # ada@x is still taken after rollback
+        with pytest.raises(DbError):
+            db.table("users").insert({"id": 60, "name": "X", "email": "ada@x"})
+
+    def test_nested_operations_atomic_across_tables(self, db):
+        with pytest.raises(DbError):
+            with db.transaction():
+                db.table("orders").insert({"oid": 100, "uid": 1, "total": 1.0})
+                db.table("users").insert({"id": 1, "name": "Dup"})  # fails
+        assert db.table("orders").get(100) is None
+
+
+class TestMapReduce:
+    def test_word_count(self):
+        counts = word_count(["the cat sat", "The cat ran!"])
+        assert counts == {"the": 2, "cat": 2, "sat": 1, "ran": 1}
+
+    def test_word_count_parallel_matches_serial(self):
+        docs = [f"alpha beta gamma delta {i % 3}" for i in range(40)]
+        assert word_count(docs, workers=4) == word_count(docs, workers=1)
+
+    def test_inverted_index(self):
+        index = inverted_index({"d1": "cat sat", "d2": "cat ran", "d3": "dog ran"})
+        assert index["cat"] == ["d1", "d2"]
+        assert index["ran"] == ["d2", "d3"]
+
+    def test_combiner_equivalence(self):
+        docs = list(enumerate(["a b a", "b b c", "a c"]))
+
+        def mapper(_k, text):
+            for w in text.split():
+                yield w, 1
+
+        plain = MapReduceJob(mapper, lambda k, vs: sum(vs))
+        combined = MapReduceJob(
+            mapper, lambda k, vs: sum(vs), combiner=lambda k, vs: [sum(vs)]
+        )
+        assert plain.run(docs) == combined.run(docs)
+        assert (
+            combined.counters["shuffled_values"] <= plain.counters["shuffled_values"]
+        )
+
+    def test_counters(self):
+        job = MapReduceJob(lambda k, v: [(v, 1)], lambda k, vs: len(vs))
+        job.run([(i, i % 3) for i in range(30)], partitions=4)
+        assert job.counters["input_records"] == 30
+        assert job.counters["map_partitions"] == 4
+        assert job.counters["distinct_keys"] == 3
+
+    def test_empty_input(self):
+        job = MapReduceJob(lambda k, v: [(v, 1)], lambda k, vs: len(vs))
+        assert job.run([]) == {}
+
+    @given(st.lists(st.text(st.sampled_from("ab "), max_size=12), max_size=15), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_word_count_matches_naive(self, docs, workers):
+        from collections import Counter
+
+        naive = Counter(w for d in docs for w in d.lower().split())
+        assert word_count(docs, workers=workers) == dict(naive)

@@ -1,0 +1,236 @@
+"""Tests for the event bus and event store."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.events import (
+    ConcurrencyError,
+    EventBus,
+    EventStore,
+    Projection,
+    topic_matches,
+)
+
+
+class TestTopicMatching:
+    @pytest.mark.parametrize(
+        "pattern,topic,expected",
+        [
+            ("a.b.c", "a.b.c", True),
+            ("a.b.c", "a.b.d", False),
+            ("a.*.c", "a.b.c", True),
+            ("a.*.c", "a.x.c", True),
+            ("a.*.c", "a.b.c.d", False),
+            ("a.#", "a.b.c.d", True),
+            ("a.#", "a", True),  # '#' matches zero or more segments (AMQP)
+            ("#", "anything.at.all", True),
+            ("a.b", "a.b.c", False),
+            ("a.b.c", "a.b", False),
+        ],
+    )
+    def test_patterns(self, pattern, topic, expected):
+        assert topic_matches(pattern, topic) is expected
+
+    def test_hash_must_be_last(self):
+        with pytest.raises(ValueError):
+            topic_matches("a.#.b", "a.x.b")
+
+
+class TestEventBusSync:
+    def test_exact_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("orders.created", lambda e: seen.append(e.payload))
+        bus.publish("orders.created", {"id": 1})
+        bus.publish("orders.deleted", {"id": 2})
+        assert seen == [{"id": 1}]
+
+    def test_wildcard_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("robot.#", lambda e: seen.append(e.topic))
+        bus.publish("robot.pose.changed", None)
+        bus.publish("robot.goal", None)
+        bus.publish("web.request", None)
+        assert seen == ["robot.pose.changed", "robot.goal"]
+
+    def test_sequence_numbers_monotone(self):
+        bus = EventBus()
+        events = [bus.publish("t", i) for i in range(5)]
+        assert [e.sequence for e in events] == [1, 2, 3, 4, 5]
+
+    def test_handler_failure_dead_letters(self):
+        bus = EventBus()
+
+        def bad(event):
+            raise RuntimeError("handler bug")
+
+        good_seen = []
+        bus.subscribe("t", bad, name="bad")
+        bus.subscribe("t", lambda e: good_seen.append(e), name="good")
+        bus.publish("t", 1)
+        assert len(good_seen) == 1  # isolation: good handler still ran
+        assert len(bus.dead_letters) == 1
+        event, sub_name, error = bus.dead_letters[0]
+        assert sub_name == "bad" and "handler bug" in error
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        subscription = bus.subscribe("t", lambda e: seen.append(e))
+        bus.publish("t", 1)
+        bus.unsubscribe(subscription)
+        bus.publish("t", 2)
+        assert len(seen) == 1
+
+    def test_subscription_stats(self):
+        bus = EventBus()
+        subscription = bus.subscribe("t", lambda e: None)
+        bus.publish("t", 1)
+        bus.publish("t", 2)
+        assert subscription.delivered == 2
+
+    def test_correlation_id(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", lambda e: seen.append(e.correlation_id))
+        bus.publish("t", 1, correlation_id="req-9")
+        assert seen == ["req-9"]
+
+
+class TestEventBusQueued:
+    def test_queued_delivery(self):
+        seen = []
+        with EventBus() as bus:
+            bus.subscribe("t", lambda e: seen.append(e.payload))
+            for i in range(20):
+                bus.publish("t", i)
+            assert bus.flush(timeout=5)
+        assert seen == list(range(20))
+
+    def test_stop_drains(self):
+        bus = EventBus().start()
+        seen = []
+        bus.subscribe("t", lambda e: seen.append(e.payload))
+        for i in range(10):
+            bus.publish("t", i)
+        bus.stop(drain=True)
+        assert seen == list(range(10))
+
+    def test_publishers_not_blocked_by_slow_handler(self):
+        import time
+
+        with EventBus() as bus:
+            bus.subscribe("t", lambda e: time.sleep(0.01))
+            begin = time.perf_counter()
+            for i in range(20):
+                bus.publish("t", i)
+            publish_time = time.perf_counter() - begin
+            assert publish_time < 0.05  # far less than 20 * 10ms
+            bus.flush(timeout=5)
+
+
+class TestEventStore:
+    def test_append_and_read(self):
+        store = EventStore()
+        store.append("cart-1", "ItemAdded", {"sku": "a"})
+        store.append("cart-1", "ItemAdded", {"sku": "b"})
+        store.append("cart-2", "ItemAdded", {"sku": "c"})
+        events = store.read_stream("cart-1")
+        assert [e.version for e in events] == [1, 2]
+        assert len(store.read_all()) == 3
+        assert store.streams() == ["cart-1", "cart-2"]
+
+    def test_optimistic_concurrency(self):
+        store = EventStore()
+        store.append("s", "E", 1)
+        store.append("s", "E", 2, expected_version=1)
+        with pytest.raises(ConcurrencyError):
+            store.append("s", "E", 3, expected_version=1)
+        assert store.stream_version("s") == 2
+
+    def test_global_sequence_monotone(self):
+        store = EventStore()
+        for i in range(5):
+            store.append(f"s{i % 2}", "E", i)
+        sequences = [e.global_sequence for e in store.read_all()]
+        assert sequences == [1, 2, 3, 4, 5]
+
+    def test_read_from_version(self):
+        store = EventStore()
+        for i in range(5):
+            store.append("s", "E", i)
+        assert [e.payload for e in store.read_stream("s", from_version=4)] == [3, 4]
+
+    def test_concurrent_appends_consistent(self):
+        store = EventStore()
+
+        def writer(stream):
+            for _ in range(100):
+                store.append(stream, "E", None)
+
+        threads = [threading.Thread(target=writer, args=(f"s{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(store) == 400
+        sequences = [e.global_sequence for e in store.read_all()]
+        assert sequences == sorted(set(sequences))  # unique, ordered
+
+
+CART_HANDLERS = {
+    "ItemAdded": lambda state, e: {**state, e.payload: state.get(e.payload, 0) + 1},
+    "ItemRemoved": lambda state, e: {**state, e.payload: state.get(e.payload, 0) - 1},
+}
+
+
+class TestProjection:
+    def test_follow_applies_live(self):
+        store = EventStore()
+        projection = Projection({}, CART_HANDLERS).follow(store)
+        store.append("cart", "ItemAdded", "book")
+        store.append("cart", "ItemAdded", "book")
+        store.append("cart", "ItemRemoved", "book")
+        assert projection.state == {"book": 1}
+        assert projection.applied == 3
+
+    def test_catch_up_then_live(self):
+        store = EventStore()
+        store.append("cart", "ItemAdded", "pen")
+        projection = Projection({}, CART_HANDLERS).follow(store, catch_up=True)
+        store.append("cart", "ItemAdded", "pen")
+        assert projection.state == {"pen": 2}
+
+    def test_rebuild_equals_live(self):
+        store = EventStore()
+        projection = Projection({}, CART_HANDLERS).follow(store)
+        for sku in ("a", "b", "a", "c", "a"):
+            store.append("cart", "ItemAdded", sku)
+        store.append("cart", "ItemRemoved", "a")
+        assert projection.rebuild(store) == projection.state
+
+    def test_unknown_kinds_ignored(self):
+        store = EventStore()
+        projection = Projection({}, CART_HANDLERS).follow(store)
+        store.append("cart", "Unrelated", None)
+        assert projection.state == {}
+        assert projection.applied == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["ItemAdded", "ItemRemoved"]), st.sampled_from("abc")),
+        max_size=40,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_projection_replay_determinism(operations):
+    """Live-folded state always equals a from-scratch rebuild."""
+    store = EventStore()
+    projection = Projection({}, CART_HANDLERS).follow(store)
+    for kind, sku in operations:
+        store.append("cart", kind, sku)
+    assert projection.rebuild(store) == projection.state

@@ -1,0 +1,190 @@
+"""Integration tests tying the CSE446 units to the SOC stack.
+
+* Database-as-a-Service consumed by a BPEL process (unit 5 + unit 4)
+* event-driven shopping cart: service calls → events → projection read
+  model that always equals a replay (unit 4 + §V services)
+* ontology classification of the crawled directory (unit 6 + §V)
+* the Figure 5 analysis reproduced through the database service
+"""
+
+import pytest
+
+from repro.core import BusClient, ServiceBroker, ServiceBus, ServiceFault
+from repro.curriculum import ENROLLMENT_TABLE_4
+from repro.data import word_count
+from repro.directory import ServiceClassifier, ServiceCrawler, synthetic_service_web
+from repro.events import EventBus, EventStore, Projection
+from repro.services import DatabaseService, ShoppingCartService
+from repro.workflow import Assign, BpelProcess, Invoke, Sequence, While
+
+
+class TestDatabaseService:
+    @pytest.fixture
+    def client(self):
+        broker, bus = ServiceBroker(), ServiceBus()
+        bus.host_and_publish(DatabaseService(), broker)
+        return BusClient(bus, broker)
+
+    def test_crud_through_contract(self, client):
+        client.call(
+            "Database", "create_table",
+            table="users", columns=[["id", "int"], ["name", "str"]],
+            primary_key="id",
+        )
+        client.call("Database", "insert", table="users", row={"id": 1, "name": "Ada"})
+        assert client.call("Database", "get", table="users", key=1)["name"] == "Ada"
+        client.call("Database", "update", table="users", key=1, changes={"name": "A."})
+        assert client.call("Database", "get", table="users", key=1)["name"] == "A."
+        client.call("Database", "delete", table="users", key=1)
+        assert client.call("Database", "get", table="users", key=1) == {}
+
+    def test_constraint_faults_cross_contract(self, client):
+        client.call(
+            "Database", "create_table",
+            table="t", columns=[["id", "int"]], primary_key="id",
+        )
+        client.call("Database", "insert", table="t", row={"id": 1})
+        with pytest.raises(ServiceFault) as info:
+            client.call("Database", "insert", table="t", row={"id": 1})
+        assert info.value.code == "Client.Constraint"
+        with pytest.raises(ServiceFault) as info:
+            client.call("Database", "get", table="ghost", key=1)
+        assert info.value.code == "Client.NoTable"
+
+    def test_figure5_through_database_service(self, client):
+        """Load Table 4 into the DB service; recompute headline numbers."""
+        client.call(
+            "Database", "create_table",
+            table="enrollment",
+            columns=[["term", "str"], ["year", "int"], ["total", "int"]],
+            primary_key="term",
+        )
+        for record in ENROLLMENT_TABLE_4:
+            client.call(
+                "Database", "insert", table="enrollment",
+                row={"term": record.label, "year": record.year, "total": record.total},
+            )
+        assert client.call("Database", "count", table="enrollment") == 16
+        fall_2013 = client.call("Database", "get", table="enrollment", key="Fall 2013")
+        assert fall_2013["total"] == 134
+        by_year = client.call(
+            "Database", "aggregate",
+            table="enrollment", group_by="year", column="total", fn="max",
+        )
+        assert by_year["2013"] == 134 and by_year["2006"] == 39
+
+    def test_bpel_process_uses_database_partner(self):
+        """A BPEL loop writes rows through the Database service."""
+        broker, bus = ServiceBroker(), ServiceBus()
+        bus.host_and_publish(DatabaseService(), broker)
+        client = BusClient(bus, broker)
+
+        def partners(name):
+            return lambda op, args: client.call(name, op, **args)
+
+        process = BpelProcess(
+            "loader",
+            Sequence([
+                Invoke(
+                    "Database", "create_table",
+                    lambda c: {
+                        "table": "squares",
+                        "columns": [["n", "int"], ["sq", "int"]],
+                        "primary_key": "n",
+                    },
+                ),
+                Assign("i", lambda c: 0),
+                While(
+                    lambda c: c.get("i") < 5,
+                    Sequence([
+                        Invoke(
+                            "Database", "insert",
+                            lambda c: {
+                                "table": "squares",
+                                "row": {"n": c.get("i"), "sq": c.get("i") ** 2},
+                            },
+                        ),
+                        Assign("i", lambda c: c.get("i") + 1),
+                    ]),
+                ),
+            ]),
+            partners,
+        )
+        process.run()
+        assert client.call("Database", "count", table="squares") == 5
+        assert client.call("Database", "get", table="squares", key=4)["sq"] == 16
+
+
+class TestEventDrivenCart:
+    def test_cart_service_with_event_projection(self):
+        """Service calls publish events; a projection maintains revenue."""
+        store = EventStore()
+        revenue = Projection(
+            0.0,
+            {"CheckedOut": lambda total, e: total + e.payload["total"]},
+        ).follow(store)
+
+        cart_service = ShoppingCartService()
+        for skus in (["textbook"], ["sd-card", "usb-cable"]):
+            cart_id = cart_service.create_cart()
+            for sku in skus:
+                cart_service.add_item(cart_id=cart_id, sku=sku)
+            receipt = cart_service.checkout(cart_id=cart_id)
+            store.append(cart_id, "CheckedOut", receipt)
+
+        expected = 89.50 + 12.00 + 4.25
+        assert revenue.state == pytest.approx(expected)
+        # replay determinism: rebuilding from the log gives the same total
+        assert revenue.rebuild(store) == pytest.approx(expected)
+
+    def test_bus_bridges_services_to_subscribers(self):
+        bus = EventBus()
+        audit: list[str] = []
+        bus.subscribe("cart.#", lambda e: audit.append(e.topic))
+        cart_service = ShoppingCartService()
+        cart_id = cart_service.create_cart()
+        bus.publish(f"cart.{cart_id}.created", None)
+        cart_service.add_item(cart_id=cart_id, sku="textbook")
+        bus.publish(f"cart.{cart_id}.item-added", "textbook")
+        assert len(audit) == 2
+
+
+class TestOntologyDirectory:
+    def test_crawl_then_classify(self):
+        graph, seeds, _ = synthetic_service_web(
+            providers=6, services_per_provider=4, dead_link_rate=0.0, seed=21
+        )
+        report = ServiceCrawler(graph).crawl(seeds)
+        classifier = ServiceClassifier()
+        filed = classifier.classify_many(report.contracts_found)
+        assert len(filed) == len(report.contracts_found)
+        # inference rolls every service up to the root class
+        assert len(classifier.services_of_class("Service")) == len(filed)
+        # hierarchy query: financial includes stock + currency subclasses
+        financial = set(classifier.services_of_class("FinancialService"))
+        stock = set(classifier.services_of_class("StockService"))
+        currency = set(classifier.services_of_class("CurrencyService"))
+        assert stock <= financial and currency <= financial
+
+    def test_query_by_operation(self):
+        from repro.core import Operation, Parameter, ServiceContract
+
+        classifier = ServiceClassifier()
+        contract = ServiceContract("FxNow", category="currency")
+        contract.add(Operation("convert", (Parameter("amount", "float"),), returns="float"))
+        classifier.classify(contract, provider="acme")
+        assert classifier.services_offering("convert") == ["FxNow"]
+        assert "CurrencyService" in classifier.classes_of("FxNow")
+        assert "FinancialService" in classifier.classes_of("FxNow")
+
+
+class TestMapReduceOverDirectory:
+    def test_word_count_over_contract_docs(self):
+        """Big-data job over the crawled corpus (unit 5 applied to §V)."""
+        graph, seeds, _ = synthetic_service_web(
+            providers=5, services_per_provider=4, dead_link_rate=0.0, seed=33
+        )
+        report = ServiceCrawler(graph).crawl(seeds)
+        docs = [c.documentation for c in report.contracts_found]
+        counts = word_count(docs, workers=2)
+        assert counts["service"] == len(docs)  # every doc says "service"

@@ -1,0 +1,179 @@
+"""Property-based tests on cross-cutting invariants of the stack."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ContractViolation,
+    Endpoint,
+    Operation,
+    Parameter,
+    ServiceBroker,
+    ServiceContract,
+)
+from repro.data import Column, Database, DbError
+from repro.transport.wsdl import contract_from_xml, contract_to_xml
+from repro.web import Cache
+
+names = st.text(string.ascii_lowercase, min_size=1, max_size=8)
+type_names = st.sampled_from(["int", "float", "str", "bool", "list", "dict", "any"])
+
+
+@st.composite
+def contracts(draw):
+    contract = ServiceContract(
+        draw(names).capitalize(),
+        documentation=draw(st.text(string.printable.replace("\r", ""), max_size=40)),
+        category=draw(names),
+        version=f"{draw(st.integers(0, 9))}.{draw(st.integers(0, 9))}",
+    )
+    used = set()
+    for _ in range(draw(st.integers(1, 4))):
+        op_name = draw(names)
+        if op_name in used:
+            continue
+        used.add(op_name)
+        parameter_names = draw(
+            st.lists(names, max_size=3, unique=True)
+        )
+        contract.add(
+            Operation(
+                op_name,
+                tuple(Parameter(p, draw(type_names)) for p in parameter_names),
+                returns=draw(type_names),
+                documentation=draw(st.text(string.ascii_letters + " ", max_size=30)),
+                idempotent=draw(st.booleans()),
+            )
+        )
+    return contract
+
+
+@given(contracts())
+@settings(max_examples=50, deadline=None)
+def test_wsdl_round_trip_lossless(contract):
+    """contract → XML → contract is the identity on all observable fields."""
+    restored = contract_from_xml(contract_to_xml(contract))
+    assert restored.name == contract.name
+    assert restored.category == contract.category
+    assert restored.version == contract.version
+    assert restored.operation_names() == contract.operation_names()
+    for op_name, op in contract.operations.items():
+        other = restored.operation(op_name)
+        assert [(p.name, p.type, p.optional) for p in other.parameters] == [
+            (p.name, p.type, p.optional) for p in op.parameters
+        ]
+        assert other.returns == op.returns
+        assert other.idempotent == op.idempotent
+
+
+@given(
+    st.lists(
+        st.tuples(names, st.floats(1, 100), st.booleans()),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_broker_lease_invariant(publications):
+    """After any publish/advance interleaving, no expired registration is
+    ever visible through any read API."""
+    broker = ServiceBroker()
+    expiries: dict[str, float] = {}
+    now = 0.0
+    for name, lease, advance_first in publications:
+        if advance_first:
+            now += lease / 2
+            broker.advance(lease / 2)
+        contract = ServiceContract(name.capitalize())
+        contract.add(Operation("ping"))
+        broker.publish(contract, Endpoint("inproc", name), lease_seconds=lease)
+        expiries[contract.name] = now + lease
+    for registration in broker.list_services():
+        assert expiries[registration.name] > now
+    for name, expiry in expiries.items():
+        assert (name in broker) == (expiry > now)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["put", "get", "remove"]), st.integers(0, 5)),
+        max_size=60,
+    ),
+    st.integers(1, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_cache_capacity_invariant(operations, capacity):
+    """The cache never exceeds capacity, and gets never return stale
+    removed values."""
+    cache = Cache(capacity)
+    model: dict[str, int] = {}
+    for action, key_index in operations:
+        key = f"k{key_index}"
+        if action == "put":
+            cache.put(key, key_index)
+            model[key] = key_index
+        elif action == "remove":
+            cache.remove(key)
+            model.pop(key, None)
+        else:
+            value = cache.get(key)
+            if value is not None:
+                assert model.get(key) == value  # never stale
+        assert len(cache) <= capacity
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(-100, 100)),
+        max_size=40,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_minidb_matches_dict_model(operations):
+    """Insert/update/delete sequence agrees with a plain dict model."""
+    db = Database()
+    table = db.create_table(
+        "t", [Column("id", "int"), Column("v", "int")], primary_key="id"
+    )
+    model: dict[int, int] = {}
+    for key, value in operations:
+        if key in model:
+            if value % 3 == 0:
+                table.delete(key)
+                del model[key]
+            else:
+                table.update(key, {"v": value})
+                model[key] = value
+        else:
+            table.insert({"id": key, "v": value})
+            model[key] = value
+    assert len(table) == len(model)
+    for key, value in model.items():
+        assert table.get(key) == {"id": key, "v": value}
+    assert sorted(r["id"] for r in table.rows()) == sorted(model)
+
+
+@given(st.lists(st.tuples(names, st.integers(0, 3)), min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_minidb_transaction_rollback_total(rows):
+    """A failed transaction leaves NO observable change, whatever happened
+    inside it."""
+    db = Database()
+    table = db.create_table(
+        "t", [Column("id", "int"), Column("tag", "str")], primary_key="id"
+    )
+    table.insert({"id": 0, "tag": "baseline"})
+    before = sorted((r["id"], r["tag"]) for r in table.rows())
+    try:
+        with db.transaction():
+            for index, (tag, mode) in enumerate(rows, start=1):
+                if mode == 3:
+                    table.delete(0) if table.get(0) else None
+                else:
+                    table.insert({"id": index, "tag": tag})
+            raise RuntimeError("force rollback")
+    except RuntimeError:
+        pass
+    after = sorted((r["id"], r["tag"]) for r in table.rows())
+    assert before == after

@@ -1,0 +1,250 @@
+"""Tests for the Collatz workload, metrics, and the simulated machine."""
+
+import pytest
+
+from repro.parallelism import (
+    CollatzResult,
+    CostModel,
+    ScalingSeries,
+    SimulatedMachine,
+    amdahl_speedup,
+    calibrate_from_real,
+    chunk_cost,
+    collatz_steps,
+    cost,
+    efficiency,
+    gustafson_speedup,
+    karp_flatt,
+    range_chunks,
+    speedup,
+    validate_range,
+    validate_range_numpy,
+)
+
+
+class TestCollatz:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 0), (2, 1), (3, 7), (6, 8), (27, 111), (97, 118)]
+    )
+    def test_known_step_counts(self, n, expected):
+        assert collatz_steps(n) == expected
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            collatz_steps(0)
+        with pytest.raises(ValueError):
+            collatz_steps(-5)
+
+    def test_max_steps_guard(self):
+        with pytest.raises(ValueError):
+            collatz_steps(27, max_steps=10)
+
+    def test_validate_range_finds_hardest(self):
+        result = validate_range(1, 1000)
+        assert result.verified == 999
+        assert result.argmax == 871
+        assert result.max_steps == 178
+
+    def test_numpy_matches_reference(self):
+        a = validate_range(1, 2000)
+        b = validate_range_numpy(1, 2000)
+        assert (a.max_steps, a.argmax, a.total_steps, a.verified) == (
+            b.max_steps,
+            b.argmax,
+            b.total_steps,
+            b.verified,
+        )
+
+    def test_empty_numpy_range(self):
+        result = validate_range_numpy(5, 5)
+        assert result.verified == 0
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            validate_range(0, 10)
+        with pytest.raises(ValueError):
+            validate_range(10, 5)
+
+    def test_merge_results(self):
+        a = validate_range(1, 500)
+        b = validate_range(500, 1000)
+        merged = a.merge(b)
+        whole = validate_range(1, 1000)
+        assert merged.total_steps == whole.total_steps
+        assert merged.max_steps == whole.max_steps
+        assert merged.argmax == whole.argmax
+        assert merged.verified == whole.verified
+
+    def test_range_chunks_partition(self):
+        chunks = list(range_chunks(1, 100, 7))
+        assert chunks[0][0] == 1
+        assert chunks[-1][1] == 100
+        # contiguous, disjoint
+        for (a_start, a_stop), (b_start, b_stop) in zip(chunks, chunks[1:]):
+            assert a_stop == b_start
+        assert sum(stop - start for start, stop in chunks) == 99
+
+    def test_range_chunks_more_chunks_than_items(self):
+        chunks = list(range_chunks(1, 4, 10))
+        assert sum(stop - start for start, stop in chunks) == 3
+
+    def test_range_chunks_validation(self):
+        with pytest.raises(ValueError):
+            list(range_chunks(1, 10, 0))
+
+    def test_chunk_cost_additive(self):
+        assert chunk_cost(1, 50) + chunk_cost(50, 100) == chunk_cost(1, 100)
+
+
+class TestMetrics:
+    def test_speedup_efficiency_cost(self):
+        assert speedup(10, 2) == 5
+        assert efficiency(10, 2, 5) == 1.0
+        assert cost(2, 5) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(1, 0)
+        with pytest.raises(ValueError):
+            efficiency(1, 1, 0)
+        with pytest.raises(ValueError):
+            cost(1, 0)
+
+    def test_amdahl_limits(self):
+        assert amdahl_speedup(0.0, 16) == 16
+        assert amdahl_speedup(1.0, 16) == 1
+        # asymptote: 1/f
+        assert amdahl_speedup(0.1, 10**6) == pytest.approx(10.0, rel=1e-3)
+
+    def test_amdahl_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(-0.1, 4)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+
+    def test_gustafson(self):
+        assert gustafson_speedup(0.0, 8) == 8
+        assert gustafson_speedup(1.0, 8) == 1
+        assert gustafson_speedup(0.5, 9) == 5.0
+
+    def test_karp_flatt_recovers_serial_fraction(self):
+        f = 0.08
+        p = 16
+        s = amdahl_speedup(f, p)
+        assert karp_flatt(s, p) == pytest.approx(f, rel=1e-9)
+
+    def test_karp_flatt_validation(self):
+        with pytest.raises(ValueError):
+            karp_flatt(2.0, 1)
+
+    def test_scaling_series_table(self):
+        series = ScalingSeries()
+        series.add(1, 100)
+        series.add(4, 30)
+        series.add(8, 20)
+        rows = series.measurements()
+        assert rows[0].speedup == 1.0
+        assert rows[1].speedup == pytest.approx(100 / 30)
+        assert rows[2].efficiency == pytest.approx(100 / 20 / 8)
+        table = series.table("T")
+        assert "cores" in table and "efficiency" in table
+
+    def test_series_requires_baseline(self):
+        series = ScalingSeries()
+        series.add(4, 10)
+        with pytest.raises(ValueError):
+            series.measurements()
+
+    def test_shape_checks(self):
+        series = ScalingSeries()
+        for p, t in [(1, 100), (2, 55), (4, 32), (8, 21)]:
+            series.add(p, t)
+        assert series.monotone_speedup()
+        assert series.decreasing_efficiency()
+
+
+class TestSimulatedMachine:
+    def test_single_core_time_is_total_work(self):
+        machine = SimulatedMachine(1)
+        result = machine.run([10, 20, 30])
+        assert result.makespan == 60
+        assert result.utilization == 1.0
+
+    def test_perfect_parallelism_no_overheads(self):
+        machine = SimulatedMachine(4)
+        result = machine.run([10] * 8)
+        assert result.makespan == 20  # 8 tasks / 4 cores * 10
+
+    def test_sequential_cost_adds(self):
+        machine = SimulatedMachine(4, CostModel(sequential_cost=100))
+        assert machine.run([10] * 4).makespan == 110
+
+    def test_dispatch_overhead_per_task(self):
+        machine = SimulatedMachine(1, CostModel(dispatch_overhead=1))
+        assert machine.run([10, 10]).makespan == 22
+
+    def test_contention_slows_multicore_only(self):
+        model = CostModel(memory_contention=0.1)
+        single = SimulatedMachine(1, model).run([10] * 4).makespan
+        quad = SimulatedMachine(4, model).run([10] * 4).makespan
+        assert single == 40
+        assert quad == pytest.approx(10 * 1.3)  # 3 extra active cores
+
+    def test_longest_first_beats_or_ties_fifo_on_skew(self):
+        costs = [100, 1, 1, 1, 1, 1, 1, 99]
+        machine = SimulatedMachine(2)
+        assert (
+            machine.run_longest_first(costs).makespan
+            <= machine.run(costs).makespan
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedMachine(0)
+        with pytest.raises(ValueError):
+            SimulatedMachine(2).run([-1])
+        with pytest.raises(ValueError):
+            CostModel(sequential_cost=-1)
+        with pytest.raises(ValueError):
+            CostModel(memory_contention=-0.1)
+
+    def test_empty_bag(self):
+        result = SimulatedMachine(4).run([])
+        assert result.makespan == 0
+
+    def test_fig3_shape_on_collatz(self):
+        """The headline invariant: Collatz scaling on the simulated machine
+        shows monotone speedup and monotonically decreasing efficiency."""
+        costs = [chunk_cost(a, b) for a, b in range_chunks(1, 5000, 64)]
+        model = CostModel(
+            sequential_cost=sum(costs) * 0.03,
+            dispatch_overhead=sum(costs) * 0.0005 / 64,
+            memory_contention=0.004,
+        )
+        series = ScalingSeries()
+        for p in (1, 4, 8, 16, 32):
+            series.add(p, SimulatedMachine(p, model).run_longest_first(costs).makespan)
+        assert series.monotone_speedup()
+        assert series.decreasing_efficiency()
+        rows = {m.cores: m for m in series.measurements()}
+        assert rows[32].speedup > rows[4].speedup > 1
+        assert rows[32].efficiency < rows[4].efficiency < 1
+
+    def test_determinism(self):
+        costs = [chunk_cost(a, b) for a, b in range_chunks(1, 2000, 16)]
+        machine = SimulatedMachine(8, CostModel(0.5, 0.1, 0.01))
+        assert machine.run(costs).makespan == machine.run(costs).makespan
+
+    def test_calibration_produces_valid_model(self):
+        model = calibrate_from_real(10.0, 6.0, 1_000_000, 64)
+        assert model.sequential_cost >= 0
+        assert model.dispatch_overhead > 0
+
+    def test_calibration_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_from_real(0, 1, 1, 1)
+
+    def test_utilization_and_imbalance(self):
+        result = SimulatedMachine(2).run([30, 10])
+        assert result.load_imbalance() > 1.0
+        assert 0 < result.utilization <= 1.0

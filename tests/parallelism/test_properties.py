@@ -1,0 +1,124 @@
+"""Property-based tests for the parallelism package."""
+
+import operator
+
+from hypothesis import given, settings, strategies as st
+
+from repro.parallelism import (
+    CostModel,
+    SimulatedMachine,
+    Task,
+    WorkStealingScheduler,
+    amdahl_speedup,
+    collatz_steps,
+    parallel_for,
+    parallel_reduce,
+    range_chunks,
+    validate_range,
+)
+
+
+@given(st.integers(1, 100000))
+@settings(max_examples=200, deadline=None)
+def test_collatz_always_terminates(n):
+    """The conjecture holds (steps computable) for every tested n."""
+    assert collatz_steps(n) >= 0
+
+
+@given(st.integers(1, 5000))
+@settings(max_examples=50, deadline=None)
+def test_collatz_even_odd_recurrence(n):
+    """steps(n) relates to steps(next(n)) by exactly one."""
+    if n == 1:
+        return
+    nxt = 3 * n + 1 if n % 2 else n // 2
+    assert collatz_steps(n) == collatz_steps(nxt) + 1
+
+
+@given(
+    st.integers(1, 500),
+    st.integers(0, 300),
+    st.integers(1, 12),
+)
+@settings(max_examples=50, deadline=None)
+def test_range_chunks_exact_partition(start, span, chunks):
+    stop = start + span
+    pieces = list(range_chunks(start, stop, chunks))
+    covered = []
+    for a, b in pieces:
+        assert start <= a < b <= stop
+        covered.extend(range(a, b))
+    assert covered == list(range(start, stop))
+
+
+@given(st.integers(1, 200), st.integers(1, 150), st.integers(2, 6))
+@settings(max_examples=25, deadline=None)
+def test_split_validation_merges_to_whole(start, span, parts):
+    stop = start + span
+    whole = validate_range(start, stop)
+    pieces = [validate_range(a, b) for a, b in range_chunks(start, stop, parts)]
+    merged = pieces[0]
+    for piece in pieces[1:]:
+        merged = merged.merge(piece)
+    assert merged.total_steps == whole.total_steps
+    assert merged.max_steps == whole.max_steps
+    assert merged.verified == whole.verified
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=0, max_size=60), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_parallel_for_matches_serial(items, workers):
+    fn = lambda x: x * x - 3  # noqa: E731
+    assert parallel_for(fn, items, backend="threads", workers=workers) == [
+        fn(x) for x in items
+    ]
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=50), st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_parallel_reduce_matches_serial(items, workers):
+    assert parallel_reduce(
+        lambda x: x, operator.add, items, backend="threads", workers=workers
+    ) == sum(items)
+
+
+@given(st.lists(st.floats(0, 1000, allow_nan=False), max_size=50), st.integers(1, 32))
+@settings(max_examples=50, deadline=None)
+def test_machine_makespan_bounds(costs, cores):
+    """Makespan is bounded below by max task and work/p, above by total work."""
+    machine = SimulatedMachine(cores)
+    result = machine.run(costs)
+    total = sum(costs)
+    longest = max(costs, default=0.0)
+    assert result.makespan >= max(longest, total / cores) - 1e-9
+    assert result.makespan <= total + 1e-9
+
+
+@given(st.lists(st.floats(0.1, 100, allow_nan=False), min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_machine_more_cores_never_slower(costs):
+    """Without contention, p+k cores never increase the makespan."""
+    times = [
+        SimulatedMachine(p).run_longest_first(costs).makespan for p in (1, 2, 4, 8)
+    ]
+    assert all(b <= a + 1e-9 for a, b in zip(times, times[1:]))
+
+
+@given(
+    st.floats(0.0, 1.0),
+    st.integers(1, 128),
+)
+@settings(max_examples=100, deadline=None)
+def test_amdahl_bounds(f, p):
+    s = amdahl_speedup(f, p)
+    assert 1.0 - 1e-12 <= s <= p + 1e-12
+    if f > 0:
+        assert s <= 1.0 / f + 1e-9
+
+
+@given(st.lists(st.integers(0, 100), min_size=0, max_size=40), st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_scheduler_preserves_order_and_values(values, workers):
+    with WorkStealingScheduler(workers) as scheduler:
+        results = scheduler.run([Task(lambda v=v: v + 1) for v in values])
+    assert results == [v + 1 for v in values]

@@ -1,0 +1,288 @@
+"""Tests for synchronization primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.parallelism import (
+    AtomicCounter,
+    AtomicReference,
+    BoundedBuffer,
+    CountdownLatch,
+    ReadWriteLock,
+    Rendezvous,
+    TicketLock,
+)
+
+
+class TestAtomicCounter:
+    def test_increment_decrement(self):
+        counter = AtomicCounter()
+        assert counter.increment() == 1
+        assert counter.increment(5) == 6
+        assert counter.decrement(2) == 4
+        assert counter.value == 4
+
+    def test_compare_and_swap(self):
+        counter = AtomicCounter(10)
+        assert counter.compare_and_swap(10, 20)
+        assert not counter.compare_and_swap(10, 30)
+        assert counter.value == 20
+
+    def test_concurrent_increments_lose_nothing(self):
+        counter = AtomicCounter()
+        threads = [
+            threading.Thread(target=lambda: [counter.increment() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestAtomicReference:
+    def test_get_set_update(self):
+        ref = AtomicReference([1])
+        ref.update(lambda xs: xs + [2])
+        assert ref.get() == [1, 2]
+        ref.set([])
+        assert ref.get() == []
+
+    def test_concurrent_updates_all_applied(self):
+        ref = AtomicReference(0)
+        threads = [
+            threading.Thread(target=lambda: [ref.update(lambda v: v + 1) for _ in range(500)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ref.get() == 2000
+
+
+class TestBoundedBuffer:
+    def test_fifo_order(self):
+        buffer = BoundedBuffer(4)
+        for i in range(3):
+            buffer.put(i)
+        assert [buffer.take() for _ in range(3)] == [0, 1, 2]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer(0)
+
+    def test_put_blocks_when_full(self):
+        buffer = BoundedBuffer(1)
+        buffer.put("x")
+        with pytest.raises(TimeoutError):
+            buffer.put("y", timeout=0.05)
+
+    def test_take_blocks_when_empty(self):
+        buffer = BoundedBuffer(1)
+        with pytest.raises(TimeoutError):
+            buffer.take(timeout=0.05)
+
+    def test_producer_consumer_transfers_everything(self):
+        buffer = BoundedBuffer(8)
+        received = []
+        n = 500
+
+        def producer():
+            for i in range(n):
+                buffer.put(i)
+            buffer.close()
+
+        def consumer():
+            while True:
+                try:
+                    received.append(buffer.take())
+                except EOFError:
+                    return
+
+        threads = [threading.Thread(target=producer), threading.Thread(target=consumer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert received == list(range(n))
+
+    def test_close_rejects_puts_allows_drain(self):
+        buffer = BoundedBuffer(4)
+        buffer.put(1)
+        buffer.close()
+        with pytest.raises(EOFError):
+            buffer.put(2)
+        assert buffer.take() == 1
+        with pytest.raises(EOFError):
+            buffer.take()
+
+    def test_len(self):
+        buffer = BoundedBuffer(4)
+        buffer.put(1)
+        buffer.put(2)
+        assert len(buffer) == 2
+
+
+class TestReadWriteLock:
+    def test_multiple_concurrent_readers(self):
+        lock = ReadWriteLock()
+        active = AtomicCounter()
+        peak = AtomicCounter()
+
+        def reader():
+            with lock.reading():
+                current = active.increment()
+                # track the max concurrency seen
+                while True:
+                    seen = peak.value
+                    if current <= seen or peak.compare_and_swap(seen, current):
+                        break
+                time.sleep(0.02)
+                active.decrement()
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert peak.value >= 2  # readers overlapped
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        log = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.reading():
+                log.append("read")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        assert log == []  # reader blocked
+        log.append("write-done")
+        lock.release_write()
+        thread.join(timeout=2)
+        assert log == ["write-done", "read"]
+
+    def test_writer_mutual_exclusion(self):
+        lock = ReadWriteLock()
+        counter = {"v": 0}
+
+        def writer():
+            for _ in range(200):
+                with lock.writing():
+                    value = counter["v"]
+                    counter["v"] = value + 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["v"] == 800
+
+
+class TestCountdownLatch:
+    def test_wait_releases_at_zero(self):
+        latch = CountdownLatch(3)
+        for _ in range(3):
+            latch.count_down()
+        assert latch.wait(timeout=1)
+        assert latch.count == 0
+
+    def test_timeout(self):
+        latch = CountdownLatch(1)
+        assert not latch.wait(timeout=0.05)
+
+    def test_extra_countdowns_harmless(self):
+        latch = CountdownLatch(1)
+        latch.count_down()
+        latch.count_down()
+        assert latch.count == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CountdownLatch(-1)
+
+    def test_zero_latch_already_open(self):
+        assert CountdownLatch(0).wait(timeout=0.1)
+
+    def test_coordinates_threads(self):
+        latch = CountdownLatch(4)
+        done = []
+
+        def worker(i):
+            done.append(i)
+            latch.count_down()
+
+        for i in range(4):
+            threading.Thread(target=worker, args=(i,)).start()
+        assert latch.wait(timeout=2)
+        assert sorted(done) == [0, 1, 2, 3]
+
+
+class TestRendezvous:
+    def test_exchange_swaps_values(self):
+        rendezvous = Rendezvous()
+        result = {}
+
+        def side_a():
+            result["a"] = rendezvous.exchange("from-a")
+
+        thread = threading.Thread(target=side_a)
+        thread.start()
+        got = rendezvous.exchange("from-b", timeout=2)
+        thread.join(timeout=2)
+        assert got == "from-a"
+        assert result["a"] == "from-b"
+
+    def test_timeout_when_alone(self):
+        rendezvous = Rendezvous()
+        with pytest.raises(TimeoutError):
+            rendezvous.exchange("lonely", timeout=0.05)
+
+
+class TestTicketLock:
+    def test_mutual_exclusion(self):
+        lock = TicketLock()
+        counter = {"v": 0}
+
+        def worker():
+            for _ in range(300):
+                with lock:
+                    counter["v"] += 1
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["v"] == 1200
+
+    def test_fifo_fairness(self):
+        lock = TicketLock()
+        order = []
+        lock.acquire()
+        started = CountdownLatch(3)
+
+        def worker(i):
+            started.count_down()
+            # stagger arrivals so ticket order is deterministic
+            with lock:
+                order.append(i)
+
+        threads = []
+        for i in range(3):
+            t = threading.Thread(target=worker, args=(i,))
+            t.start()
+            time.sleep(0.05)  # ensure arrival order 0,1,2
+            threads.append(t)
+        lock.release()
+        for t in threads:
+            t.join(timeout=2)
+        assert order == [0, 1, 2]

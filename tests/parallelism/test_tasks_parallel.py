@@ -1,0 +1,222 @@
+"""Tests for the work-stealing scheduler and parallel algorithms."""
+
+import operator
+import threading
+
+import pytest
+
+from repro.parallelism import (
+    Pipeline,
+    Stage,
+    Task,
+    TaskGroup,
+    WorkStealingScheduler,
+    parallel_for,
+    parallel_pipeline,
+    parallel_reduce,
+)
+
+
+class TestScheduler:
+    def test_results_in_submission_order(self):
+        with WorkStealingScheduler(4) as scheduler:
+            results = scheduler.run([Task(lambda i=i: i * i) for i in range(50)])
+        assert results == [i * i for i in range(50)]
+
+    def test_map(self):
+        with WorkStealingScheduler(3) as scheduler:
+            assert scheduler.map(lambda x: x + 1, range(10)) == list(range(1, 11))
+
+    def test_empty_batch(self):
+        with WorkStealingScheduler(2) as scheduler:
+            assert scheduler.run([]) == []
+
+    def test_exception_propagates_after_drain(self):
+        def boom(i):
+            if i == 7:
+                raise ValueError("seven")
+            return i
+
+        with WorkStealingScheduler(4) as scheduler:
+            with pytest.raises(ValueError, match="seven"):
+                scheduler.run([Task(boom, (i,)) for i in range(20)])
+            # scheduler remains usable after a failed batch
+            assert scheduler.map(lambda x: x, [1, 2]) == [1, 2]
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            WorkStealingScheduler(0)
+
+    def test_sequential_batches(self):
+        with WorkStealingScheduler(2) as scheduler:
+            for _ in range(5):
+                assert scheduler.map(lambda x: -x, [1, 2, 3]) == [-1, -2, -3]
+
+    def test_stats_executed_totals(self):
+        with WorkStealingScheduler(4) as scheduler:
+            scheduler.run([Task(lambda: None) for _ in range(100)])
+            stats = scheduler.stats()
+        assert stats.total_executed == 100
+        assert stats.load_imbalance() >= 1.0
+
+    def test_stealing_happens_under_imbalance(self):
+        import time
+
+        # all work lands on worker 0's deque; others must steal.
+        # set the batch bookkeeping BEFORE exposing the work, otherwise a
+        # worker could complete a task against _pending == 0.
+        with WorkStealingScheduler(4) as scheduler:
+            tasks = [Task(time.sleep, (0.005,)) for _ in range(40)]
+            with scheduler._state_lock:
+                scheduler._pending = len(tasks)
+                scheduler._results = {}
+                scheduler._error = None
+                with scheduler._workers[0].lock:
+                    scheduler._workers[0].deque.extend(enumerate(tasks))
+                scheduler._work_available.notify_all()
+                scheduler._batch_done.wait_for(lambda: scheduler._pending == 0)
+            stats = scheduler.stats()
+        assert stats.total_stolen > 0
+
+    def test_central_queue_mode(self):
+        with WorkStealingScheduler(4, central_queue=True) as scheduler:
+            assert scheduler.map(lambda x: x * 2, range(20)) == [x * 2 for x in range(20)]
+            assert scheduler.stats().total_stolen == 0
+
+    def test_task_group(self):
+        with WorkStealingScheduler(2) as scheduler:
+            group = TaskGroup(scheduler)
+            for i in range(5):
+                group.spawn(operator.add, i, 10)
+            assert group.wait() == [10, 11, 12, 13, 14]
+            # group is reusable
+            group.spawn(operator.mul, 3, 3)
+            assert group.wait() == [9]
+
+
+class TestParallelFor:
+    @pytest.mark.parametrize("backend", ["serial", "threads"])
+    def test_backends_agree(self, backend):
+        items = list(range(100))
+        assert parallel_for(lambda x: x * 3, items, backend=backend) == [
+            x * 3 for x in items
+        ]
+
+    def test_empty_input(self):
+        assert parallel_for(lambda x: x, [], backend="threads") == []
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            parallel_for(lambda x: x, [1], backend="gpu")
+
+    def test_order_preserved_with_uneven_work(self):
+        import time
+
+        def uneven(i):
+            time.sleep(0.001 * (i % 5))
+            return i
+
+        assert parallel_for(uneven, list(range(30)), workers=4) == list(range(30))
+
+    def test_chunksize_respected(self):
+        result = parallel_for(lambda x: x + 1, list(range(10)), chunksize=3)
+        assert result == list(range(1, 11))
+
+
+class TestParallelReduce:
+    def test_sum(self):
+        total = parallel_reduce(lambda x: x, operator.add, range(1, 101), workers=4)
+        assert total == 5050
+
+    def test_map_then_reduce(self):
+        total = parallel_reduce(lambda x: x * x, operator.add, range(10), workers=3)
+        assert total == sum(x * x for x in range(10))
+
+    def test_serial_matches_threads(self):
+        items = list(range(1, 50))
+        serial = parallel_reduce(lambda x: x, operator.mul, items, backend="serial")
+        threads = parallel_reduce(lambda x: x, operator.mul, items, backend="threads")
+        assert serial == threads
+
+    def test_single_item(self):
+        assert parallel_reduce(lambda x: x + 1, operator.add, [5]) == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_reduce(lambda x: x, operator.add, [])
+
+    def test_max_reduction(self):
+        result = parallel_reduce(lambda x: x, max, [3, 1, 4, 1, 5, 9, 2, 6], workers=2)
+        assert result == 9
+
+
+class TestPipeline:
+    def test_single_stage(self):
+        assert parallel_pipeline([1, 2, 3], lambda x: x * 2) == [2, 4, 6]
+
+    def test_multi_stage_order_preserved(self):
+        result = parallel_pipeline(
+            range(50), lambda x: x + 1, lambda x: x * 2, lambda x: x - 3,
+            workers_per_stage=3,
+        )
+        assert result == [(x + 1) * 2 - 3 for x in range(50)]
+
+    def test_equivalent_to_composed_map(self):
+        import time
+
+        def slow_inc(x):
+            time.sleep(0.001)
+            return x + 1
+
+        result = parallel_pipeline(range(20), slow_inc, slow_inc, workers_per_stage=4)
+        assert result == [x + 2 for x in range(20)]
+
+    def test_stage_exception_propagates(self):
+        def boom(x):
+            if x == 3:
+                raise RuntimeError("stage failure")
+            return x
+
+        with pytest.raises(RuntimeError):
+            parallel_pipeline(range(10), boom)
+
+    def test_empty_stream(self):
+        assert parallel_pipeline([], lambda x: x) == []
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_stage_worker_validation(self):
+        with pytest.raises(ValueError):
+            Stage(lambda x: x, workers=0)
+
+    def test_buffer_capacity_bound(self):
+        # capacity-1 buffers still deliver everything
+        pipeline = Pipeline([Stage(lambda x: x + 1, 1)], buffer_capacity=1)
+        assert pipeline.process(range(20)) == list(range(1, 21))
+
+    def test_items_exceeding_total_buffer_capacity(self):
+        """Regression: feeding inline used to deadlock once in-flight items
+        exceeded the summed buffer capacity (found via faulthandler)."""
+        pipeline = Pipeline(
+            [Stage(lambda x: x * 2, 1), Stage(lambda x: x - 1, 1)],
+            buffer_capacity=1,
+        )
+        n = 200  # far beyond 3 buffers x capacity 1
+        assert pipeline.process(range(n)) == [x * 2 - 1 for x in range(n)]
+
+    def test_failure_with_tiny_buffers_does_not_deadlock(self):
+        """Regression: a failing stage must poison the pipeline so blocked
+        producers/consumers unblock instead of deadlocking."""
+
+        def boom(x):
+            if x == 5:
+                raise ValueError("stage 2 failure")
+            return x
+
+        pipeline = Pipeline(
+            [Stage(lambda x: x, 1), Stage(boom, 1)], buffer_capacity=1
+        )
+        with pytest.raises(ValueError, match="stage 2 failure"):
+            pipeline.process(range(100))

@@ -1,0 +1,194 @@
+"""Tests for the maze model, generators, and the robot simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.robotics import (
+    CollisionError,
+    Maze,
+    Robot,
+    braid,
+    corridor,
+    generate_dfs,
+    generate_prim,
+    open_room,
+)
+from repro.robotics.maze import EAST, NORTH, SOUTH, WEST
+
+
+class TestMazeModel:
+    def test_new_maze_fully_walled(self):
+        maze = Maze(3, 3)
+        for cell in maze.cells():
+            assert maze.open_directions(cell) == []
+
+    def test_remove_wall_opens_both_sides(self):
+        maze = Maze(2, 1)
+        maze.remove_wall((0, 0), EAST)
+        assert not maze.has_wall((0, 0), EAST)
+        assert not maze.has_wall((1, 0), WEST)
+
+    def test_boundary_wall_cannot_open(self):
+        maze = Maze(2, 2)
+        with pytest.raises(ValueError):
+            maze.remove_wall((0, 0), NORTH)
+
+    def test_add_wall(self):
+        maze = open_room(2, 2)
+        maze.add_wall((0, 0), EAST)
+        assert maze.has_wall((1, 0), WEST)
+
+    def test_neighbor_and_bounds(self):
+        maze = Maze(2, 2)
+        assert maze.neighbor((0, 0), EAST) == (1, 0)
+        assert maze.neighbor((0, 0), NORTH) is None
+        assert maze.in_bounds((1, 1))
+        assert not maze.in_bounds((2, 0))
+
+    def test_invalid_dimensions_and_cells(self):
+        with pytest.raises(ValueError):
+            Maze(0, 3)
+        with pytest.raises(ValueError):
+            Maze(3, 3, start=(5, 5))
+
+    def test_shortest_path_corridor(self):
+        maze = corridor(5)
+        path = maze.shortest_path()
+        assert path == [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]
+
+    def test_shortest_path_unreachable(self):
+        maze = Maze(2, 1)  # wall between the cells
+        assert maze.shortest_path() is None
+
+    def test_shortest_path_trivial(self):
+        maze = Maze(2, 2, goal=(0, 0))
+        assert maze.shortest_path() == [(0, 0)]
+
+    def test_open_room_fully_connected(self):
+        maze = open_room(4, 3)
+        assert maze.is_connected()
+        assert not maze.is_perfect()  # loops everywhere
+
+    def test_render_contains_markers(self):
+        art = corridor(3).render()
+        assert "S" in art and "G" in art
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", [generate_dfs, generate_prim])
+    @pytest.mark.parametrize("seed", [0, 1, 42])
+    def test_generated_mazes_are_perfect(self, generator, seed):
+        maze = generator(8, 6, seed=seed)
+        assert maze.is_perfect()
+
+    def test_deterministic_by_seed(self):
+        a = generate_dfs(6, 6, seed=9).render()
+        b = generate_dfs(6, 6, seed=9).render()
+        c = generate_dfs(6, 6, seed=10).render()
+        assert a == b
+        assert a != c
+
+    def test_braid_removes_dead_ends(self):
+        maze = generate_dfs(10, 10, seed=2)
+        before = len(maze.dead_ends())
+        assert before > 0
+        braid(maze, fraction=1.0, seed=2)
+        assert len(maze.dead_ends()) == 0
+        assert maze.is_connected()
+        assert not maze.is_perfect()
+
+    def test_braid_fraction_validation(self):
+        with pytest.raises(ValueError):
+            braid(generate_dfs(4, 4, seed=1), fraction=1.5)
+
+    @given(st.integers(2, 12), st.integers(2, 12), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_perfectness_property(self, width, height, seed):
+        assert generate_dfs(width, height, seed=seed).is_perfect()
+        assert generate_prim(width, height, seed=seed).is_perfect()
+
+
+class TestRobot:
+    def test_initial_pose(self):
+        robot = Robot(corridor(3))
+        assert robot.cell == (0, 0)
+        assert robot.heading == "E"
+        assert robot.moves == 0
+
+    def test_forward_moves_and_counts(self):
+        robot = Robot(corridor(3))
+        robot.forward(2)
+        assert robot.cell == (2, 0)
+        assert robot.moves == 2
+        assert robot.trail == [(0, 0), (1, 0), (2, 0)]
+
+    def test_collision_raises_and_counts(self):
+        robot = Robot(Maze(2, 1))  # walled corridor
+        with pytest.raises(CollisionError):
+            robot.forward()
+        assert robot.collisions == 1
+        assert robot.cell == (0, 0)
+
+    def test_turning(self):
+        robot = Robot(corridor(3))
+        robot.turn_left()
+        assert robot.heading == "N"
+        robot.turn_right()
+        assert robot.heading == "E"
+        robot.turn_around()
+        assert robot.heading == "W"
+        assert robot.turns == 4
+
+    def test_face_shortest_turn(self):
+        robot = Robot(corridor(3), heading="E")
+        robot.face("N")
+        assert robot.turns == 1
+        robot.face("S")
+        assert robot.turns == 3  # 180 = two turns
+        robot.face("S")
+        assert robot.turns == 3  # already facing
+
+    def test_face_validation(self):
+        with pytest.raises(ValueError):
+            Robot(corridor(2)).face("Q")
+        with pytest.raises(ValueError):
+            Robot(corridor(2), heading="X")
+
+    def test_distance_sensor(self):
+        robot = Robot(corridor(5))
+        assert robot.distance("ahead") == 4
+        assert robot.distance("behind") == 0
+        assert robot.distance("left") == 0
+        robot.forward(2)
+        assert robot.distance("ahead") == 2
+        assert robot.distance("behind") == 2
+
+    def test_distance_bad_side(self):
+        with pytest.raises(ValueError):
+            Robot(corridor(2)).distance("up")
+
+    def test_touching_and_walls(self):
+        robot = Robot(corridor(2))
+        assert not robot.touching()
+        robot.forward()
+        assert robot.touching()
+        assert robot.wall("ahead")
+        assert robot.wall("left")
+        assert not robot.wall("behind")
+
+    def test_at_goal_and_goal_distance(self):
+        maze = corridor(3)
+        robot = Robot(maze)
+        assert robot.goal_distance() == 2
+        robot.forward(2)
+        assert robot.at_goal()
+        assert robot.goal_distance() == 0
+
+    def test_reset(self):
+        robot = Robot(corridor(4))
+        robot.forward(2)
+        robot.turn_left()
+        robot.reset()
+        assert robot.cell == (0, 0)
+        assert robot.moves == 0 and robot.turns == 0
+        assert robot.trail == [(0, 0)]

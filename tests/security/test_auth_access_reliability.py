@@ -1,0 +1,456 @@
+"""Tests for authentication, RBAC, and reliability patterns."""
+
+import pytest
+
+from repro.core import AccessDenied, ServiceFault, ServiceUnavailable, TimeoutFault
+from repro.security import (
+    AccessControl,
+    AuthError,
+    Checkpointer,
+    CircuitBreaker,
+    FaultInjector,
+    PasswordPolicy,
+    PasswordVault,
+    ReplicatedInvoker,
+    TokenIssuer,
+    hash_password,
+    verify_password,
+    with_retry,
+    with_timeout,
+)
+
+
+class TestPasswordPolicy:
+    def test_strong_password_accepted(self):
+        assert PasswordPolicy().is_strong("Str0ng!pass")
+
+    @pytest.mark.parametrize(
+        "weak,expected_problem",
+        [
+            ("Sh0r!t", "shorter"),
+            ("alllower1!", "uppercase"),
+            ("ALLUPPER1!", "lowercase"),
+            ("NoDigits!!", "digit"),
+            ("NoSpecial11", "special"),
+        ],
+    )
+    def test_weak_passwords_flagged(self, weak, expected_problem):
+        problems = PasswordPolicy().problems(weak)
+        assert any(expected_problem in p for p in problems)
+
+    def test_custom_policy(self):
+        policy = PasswordPolicy(min_length=4, require_special=False, require_upper=False)
+        assert policy.is_strong("ab1c")
+
+
+class TestPasswordHashing:
+    def test_verify_correct_password(self):
+        stored = hash_password("hunter2!")
+        assert verify_password("hunter2!", stored)
+        assert not verify_password("hunter3!", stored)
+
+    def test_salting_makes_hashes_unique(self):
+        assert hash_password("same") != hash_password("same")
+
+    def test_garbage_stored_value(self):
+        assert not verify_password("x", "not-a-valid-record")
+        assert not verify_password("x", "zz$zz")
+
+
+class TestPasswordVault:
+    def test_set_and_login(self):
+        vault = PasswordVault()
+        vault.set_password("u1", "Str0ng!pass", "Str0ng!pass")
+        assert vault.has_password("u1")
+        assert vault.login("u1", "Str0ng!pass")
+        assert not vault.login("u1", "wrong")
+
+    def test_mismatch_rejected(self):
+        vault = PasswordVault()
+        with pytest.raises(AuthError, match="match"):
+            vault.set_password("u1", "Str0ng!pass", "Different!1")
+
+    def test_weak_rejected(self):
+        vault = PasswordVault()
+        with pytest.raises(AuthError, match="weak"):
+            vault.set_password("u1", "weak", "weak")
+
+    def test_unknown_user_login_fails(self):
+        assert not PasswordVault().login("ghost", "x")
+
+    def test_lockout_after_failures(self):
+        vault = PasswordVault(max_failures=3)
+        vault.set_password("u1", "Str0ng!pass", "Str0ng!pass")
+        for _ in range(3):
+            vault.login("u1", "wrong")
+        with pytest.raises(AuthError, match="locked"):
+            vault.login("u1", "Str0ng!pass")
+        vault.unlock("u1")
+        assert vault.login("u1", "Str0ng!pass")
+
+    def test_success_resets_failures(self):
+        vault = PasswordVault(max_failures=3)
+        vault.set_password("u1", "Str0ng!pass", "Str0ng!pass")
+        vault.login("u1", "wrong")
+        vault.login("u1", "wrong")
+        assert vault.login("u1", "Str0ng!pass")
+        vault.login("u1", "wrong")
+        vault.login("u1", "wrong")
+        assert vault.login("u1", "Str0ng!pass")  # not locked
+
+
+class TestTokenIssuer:
+    def test_issue_and_authenticate(self):
+        issuer = TokenIssuer()
+        token = issuer.issue("alice", {"admin"})
+        principal, roles = issuer.authenticate(token)
+        assert principal == "alice"
+        assert roles == frozenset({"admin"})
+
+    def test_unknown_token(self):
+        with pytest.raises(AuthError):
+            TokenIssuer().authenticate("bogus")
+
+    def test_expiry(self):
+        clock = {"t": 0.0}
+        issuer = TokenIssuer(ttl_seconds=10, clock=lambda: clock["t"])
+        token = issuer.issue("bob")
+        clock["t"] = 11
+        with pytest.raises(AuthError, match="expired"):
+            issuer.authenticate(token)
+
+    def test_revoke(self):
+        issuer = TokenIssuer()
+        token = issuer.issue("bob")
+        issuer.revoke(token)
+        with pytest.raises(AuthError):
+            issuer.authenticate(token)
+
+    def test_active_count(self):
+        clock = {"t": 0.0}
+        issuer = TokenIssuer(ttl_seconds=10, clock=lambda: clock["t"])
+        issuer.issue("a")
+        issuer.issue("b")
+        assert issuer.active_count() == 2
+        clock["t"] = 20
+        assert issuer.active_count() == 0
+
+
+class TestAccessControl:
+    @pytest.fixture
+    def rbac(self):
+        rbac = AccessControl()
+        rbac.define_role("reader", {"doc.read"})
+        rbac.define_role("editor", {"doc.write"}, inherits=["reader"])
+        rbac.define_role("admin", {"user.manage"}, inherits=["editor"])
+        rbac.assign_role("alice", "editor")
+        rbac.assign_role("bob", "reader")
+        return rbac
+
+    def test_direct_permission(self, rbac):
+        assert rbac.is_allowed("bob", "doc.read")
+        assert not rbac.is_allowed("bob", "doc.write")
+
+    def test_inherited_permission(self, rbac):
+        assert rbac.is_allowed("alice", "doc.read")
+        assert rbac.is_allowed("alice", "doc.write")
+        assert not rbac.is_allowed("alice", "user.manage")
+
+    def test_transitive_inheritance(self, rbac):
+        rbac.assign_role("root", "admin")
+        assert rbac.permissions_of("root") == {"doc.read", "doc.write", "user.manage"}
+        assert rbac.roles_of("root") == {"admin", "editor", "reader"}
+
+    def test_check_raises(self, rbac):
+        with pytest.raises(AccessDenied):
+            rbac.check("bob", "doc.write")
+        rbac.check("alice", "doc.write")  # no raise
+
+    def test_unknown_role_operations(self, rbac):
+        with pytest.raises(ValueError):
+            rbac.assign_role("x", "ghost")
+        with pytest.raises(ValueError):
+            rbac.grant_permission("ghost", "p")
+        with pytest.raises(ValueError):
+            rbac.define_role("r", inherits=["ghost"])
+
+    def test_cycle_rejected(self, rbac):
+        with pytest.raises(ValueError, match="cycle"):
+            rbac.define_role("reader", inherits=["admin"])
+
+    def test_grant_revoke(self, rbac):
+        rbac.grant_permission("reader", "doc.list")
+        assert rbac.is_allowed("bob", "doc.list")
+        rbac.revoke_permission("reader", "doc.list")
+        assert not rbac.is_allowed("bob", "doc.list")
+
+    def test_unassign(self, rbac):
+        rbac.unassign_role("bob", "reader")
+        assert rbac.permissions_of("bob") == frozenset()
+
+
+class TestRetry:
+    def test_succeeds_after_failures(self):
+        calls = {"n": 0}
+
+        def flaky(**kwargs):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ServiceFault("transient")
+            return "ok"
+
+        assert with_retry(flaky, attempts=3)() == "ok"
+        assert calls["n"] == 3
+
+    def test_exhausted_reraises(self):
+        def always_fails(**kwargs):
+            raise ServiceFault("down")
+
+        with pytest.raises(ServiceFault):
+            with_retry(always_fails, attempts=2)()
+
+    def test_non_retryable_passes_through(self):
+        def type_error(**kwargs):
+            raise TypeError("bug, not fault")
+
+        calls = []
+
+        with pytest.raises(TypeError):
+            with_retry(lambda **kw: (calls.append(1), type_error())[1], attempts=3)()
+        assert len(calls) == 1
+
+    def test_backoff_schedule(self):
+        sleeps = []
+
+        def always_fails(**kwargs):
+            raise ServiceFault("down")
+
+        with pytest.raises(ServiceFault):
+            with_retry(
+                always_fails,
+                attempts=4,
+                backoff_seconds=1.0,
+                backoff_factor=2.0,
+                sleep=sleeps.append,
+            )()
+        assert sleeps == [1.0, 2.0, 4.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            with_retry(lambda: None, attempts=0)
+
+
+class TestTimeout:
+    def test_fast_call_passes(self):
+        assert with_timeout(lambda **kw: 42, seconds=1.0)() == 42
+
+    def test_slow_call_times_out(self):
+        import time
+
+        def slow(**kwargs):
+            time.sleep(0.5)
+            return "late"
+
+        with pytest.raises(TimeoutFault):
+            with_timeout(slow, seconds=0.05)()
+
+    def test_exception_transported(self):
+        def boom(**kwargs):
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError):
+            with_timeout(boom, seconds=1.0)()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            with_timeout(lambda: None, seconds=0)
+
+
+class TestCircuitBreaker:
+    def make(self, fn, **kwargs):
+        self.clock = {"t": 0.0}
+        return CircuitBreaker(
+            fn, clock=lambda: self.clock["t"], recovery_seconds=30, **kwargs
+        )
+
+    def test_trips_after_threshold(self):
+        def failing(**kwargs):
+            raise ServiceFault("down")
+
+        breaker = self.make(failing, failure_threshold=3)
+        for _ in range(3):
+            with pytest.raises(ServiceFault):
+                breaker()
+        assert breaker.state == "open"
+        with pytest.raises(ServiceUnavailable):
+            breaker()
+
+    def test_half_open_probe_success_closes(self):
+        state = {"healthy": False}
+
+        def sometimes(**kwargs):
+            if not state["healthy"]:
+                raise ServiceFault("down")
+            return "ok"
+
+        breaker = self.make(sometimes, failure_threshold=1)
+        with pytest.raises(ServiceFault):
+            breaker()
+        assert breaker.state == "open"
+        self.clock["t"] = 31
+        state["healthy"] = True
+        assert breaker() == "ok"
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        def failing(**kwargs):
+            raise ServiceFault("still down")
+
+        breaker = self.make(failing, failure_threshold=1)
+        with pytest.raises(ServiceFault):
+            breaker()
+        self.clock["t"] = 31
+        assert breaker.state == "half-open"
+        with pytest.raises(ServiceFault):
+            breaker()
+        assert breaker.state == "open"
+        with pytest.raises(ServiceUnavailable):
+            breaker()
+
+    def test_success_resets_failure_count(self):
+        plan = iter([True, True, False, True, True, False])
+
+        def mostly_ok(**kwargs):
+            if next(plan):
+                return "ok"
+            raise ServiceFault("blip")
+
+        breaker = self.make(mostly_ok, failure_threshold=2)
+        breaker()
+        breaker()
+        with pytest.raises(ServiceFault):
+            breaker()
+        breaker()
+        breaker()
+        with pytest.raises(ServiceFault):
+            breaker()
+        assert breaker.state == "closed"  # never two consecutive failures
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(lambda: None, failure_threshold=0)
+
+
+class TestReplication:
+    def test_failover_to_secondary(self):
+        def primary(**kwargs):
+            raise ServiceFault("primary down")
+
+        invoker = ReplicatedInvoker([primary, lambda **kw: "secondary"])
+        assert invoker() == "secondary"
+        assert invoker.preferred_replica == 1
+
+    def test_sticky_preference(self):
+        calls = []
+
+        def a(**kwargs):
+            calls.append("a")
+            raise ServiceFault("down")
+
+        def b(**kwargs):
+            calls.append("b")
+            return "b"
+
+        invoker = ReplicatedInvoker([a, b], sticky=True)
+        invoker()
+        invoker()
+        assert calls == ["a", "b", "b"]  # second call goes straight to b
+
+    def test_non_sticky(self):
+        calls = []
+
+        def a(**kwargs):
+            calls.append("a")
+            raise ServiceFault("down")
+
+        def b(**kwargs):
+            calls.append("b")
+            return "b"
+
+        invoker = ReplicatedInvoker([a, b], sticky=False)
+        invoker()
+        invoker()
+        assert calls == ["a", "b", "a", "b"]
+
+    def test_all_fail_reraises_last(self):
+        def f1(**kwargs):
+            raise ServiceFault("one")
+
+        def f2(**kwargs):
+            raise ServiceFault("two")
+
+        with pytest.raises(ServiceFault, match="two"):
+            ReplicatedInvoker([f1, f2])()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedInvoker([])
+
+
+class TestCheckpointer:
+    def test_checkpoints_every_interval(self):
+        saves = []
+        checkpointer = Checkpointer(saves.append, lambda: None, interval=3)
+
+        def step(state):
+            return state + 1, state + 1 >= 10
+
+        result = checkpointer.run(step, 0)
+        assert result == 10
+        assert saves == [3, 6, 9, 10]
+
+    def test_resume_from_checkpoint(self):
+        store = {"state": 7}
+        checkpointer = Checkpointer(
+            lambda s: store.__setitem__("state", s), lambda: store["state"], interval=2
+        )
+
+        steps = []
+
+        def step(state):
+            steps.append(state)
+            return state + 1, state + 1 >= 10
+
+        assert checkpointer.run(step, 0) == 10
+        assert steps[0] == 7  # resumed, not restarted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Checkpointer(lambda s: None, lambda: None, interval=0)
+
+
+class TestFaultInjector:
+    def test_plan_consumed_in_order(self):
+        injector = FaultInjector(
+            lambda **kw: "ok", [ServiceFault("one"), None, ServiceFault("two")]
+        )
+        with pytest.raises(ServiceFault, match="one"):
+            injector()
+        assert injector() == "ok"
+        with pytest.raises(ServiceFault, match="two"):
+            injector()
+        assert injector() == "ok"  # plan exhausted
+        assert injector.calls == 4
+        assert injector.injected_faults == 2
+
+    def test_latency_injection(self):
+        sleeps = []
+        injector = FaultInjector(lambda **kw: "ok", [0.5], sleep=sleeps.append)
+        assert injector() == "ok"
+        assert sleeps == [0.5]
+
+    def test_composes_with_retry(self):
+        injector = FaultInjector(
+            lambda **kw: "recovered", [ServiceFault("x"), ServiceFault("y")]
+        )
+        assert with_retry(injector, attempts=3)() == "recovered"

@@ -1,0 +1,146 @@
+"""Tests for the educational cryptography primitives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.security import (
+    DiffieHellman,
+    XorStreamCipher,
+    caesar_decrypt,
+    caesar_encrypt,
+    generate_rsa_keypair,
+    rsa_decrypt,
+    rsa_encrypt,
+    vigenere_decrypt,
+    vigenere_encrypt,
+)
+
+
+class TestCaesar:
+    def test_known_vector(self):
+        assert caesar_encrypt("attack at dawn", 3) == "dwwdfn dw gdzq"
+
+    def test_case_preserved(self):
+        assert caesar_encrypt("AbC", 1) == "BcD"
+
+    def test_non_alpha_pass_through(self):
+        assert caesar_encrypt("a-b 1!", 2) == "c-d 1!"
+
+    def test_wraparound(self):
+        assert caesar_encrypt("xyz", 3) == "abc"
+
+    @given(st.text(max_size=50), st.integers(-100, 100))
+    @settings(max_examples=50)
+    def test_round_trip(self, text, shift):
+        assert caesar_decrypt(caesar_encrypt(text, shift), shift) == text
+
+    def test_shift_26_is_identity(self):
+        assert caesar_encrypt("hello", 26) == "hello"
+
+
+class TestVigenere:
+    def test_known_vector(self):
+        assert vigenere_encrypt("attackatdawn", "lemon") == "lxfopvefrnhr"
+
+    def test_key_skips_non_alpha(self):
+        # non-letters don't consume key characters
+        assert vigenere_encrypt("ab cd", "bb") == vigenere_encrypt("abcd", "bb")[:2] + " " + vigenere_encrypt("abcd", "bb")[2:]
+
+    @given(
+        st.text(max_size=50),
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8),
+    )
+    @settings(max_examples=50)
+    def test_round_trip(self, text, key):
+        assert vigenere_decrypt(vigenere_encrypt(text, key), key) == text
+
+    def test_bad_keys_rejected(self):
+        with pytest.raises(ValueError):
+            vigenere_encrypt("x", "")
+        with pytest.raises(ValueError):
+            vigenere_encrypt("x", "k3y")
+
+
+class TestXorStream:
+    def test_round_trip_text(self):
+        cipher = XorStreamCipher("secret")
+        assert cipher.decrypt_text(cipher.encrypt("hello world")) == "hello world"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = XorStreamCipher("secret")
+        assert cipher.encrypt(b"hello") != b"hello"
+
+    def test_different_keys_different_ciphertext(self):
+        a = XorStreamCipher("k1").encrypt(b"same message")
+        b = XorStreamCipher("k2").encrypt(b"same message")
+        assert a != b
+
+    def test_deterministic_across_instances(self):
+        assert XorStreamCipher("k").encrypt(b"x") == XorStreamCipher("k").encrypt(b"x")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            XorStreamCipher("")
+
+    @given(st.binary(max_size=300), st.binary(min_size=1, max_size=32))
+    @settings(max_examples=50)
+    def test_round_trip_property(self, data, key):
+        cipher = XorStreamCipher(key)
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_long_message_beyond_one_block(self):
+        cipher = XorStreamCipher("k")
+        data = b"x" * 1000  # > one SHA-256 block of keystream
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+
+class TestRsa:
+    def test_round_trip(self):
+        keys = generate_rsa_keypair(48, seed=42)
+        message = 123456789
+        assert rsa_decrypt(rsa_encrypt(message, keys.public), keys.private) == message
+
+    def test_deterministic_keygen(self):
+        assert generate_rsa_keypair(32, seed=1) == generate_rsa_keypair(32, seed=1)
+        assert generate_rsa_keypair(32, seed=1) != generate_rsa_keypair(32, seed=2)
+
+    def test_message_range_enforced(self):
+        keys = generate_rsa_keypair(32, seed=3)
+        with pytest.raises(ValueError):
+            rsa_encrypt(keys.n, keys.public)
+        with pytest.raises(ValueError):
+            rsa_encrypt(-1, keys.public)
+        with pytest.raises(ValueError):
+            rsa_decrypt(keys.n + 1, keys.private)
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(ValueError):
+            generate_rsa_keypair(4)
+
+    @given(st.integers(0, 2**30), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_property(self, message, seed):
+        keys = generate_rsa_keypair(32, seed=seed)
+        message %= keys.n
+        assert rsa_decrypt(rsa_encrypt(message, keys.public), keys.private) == message
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agrees(self):
+        alice, bob = DiffieHellman(seed=10), DiffieHellman(seed=20)
+        assert alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+
+    def test_different_pairs_different_secrets(self):
+        alice, bob, eve = DiffieHellman(seed=1), DiffieHellman(seed=2), DiffieHellman(seed=3)
+        assert alice.shared_secret(bob.public) != alice.shared_secret(eve.public)
+
+    def test_public_value_range_checked(self):
+        alice = DiffieHellman(seed=1)
+        with pytest.raises(ValueError):
+            alice.shared_secret(0)
+        with pytest.raises(ValueError):
+            alice.shared_secret(DiffieHellman.P)
+
+    def test_secret_is_32_bytes(self):
+        alice, bob = DiffieHellman(seed=5), DiffieHellman(seed=6)
+        assert len(alice.shared_secret(bob.public)) == 32

@@ -1,0 +1,165 @@
+"""Tests for the triple store, queries, and RDFS-lite inference."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.semantic import (
+    Ontology,
+    RDF_TYPE,
+    RDFS_SUBCLASS,
+    TripleStore,
+)
+
+
+class TestTripleStore:
+    @pytest.fixture
+    def store(self):
+        store = TripleStore()
+        store.add("ada", "knows", "grace")
+        store.add("ada", "knows", "alan")
+        store.add("grace", "knows", "alan")
+        store.add("ada", "works-at", "asu")
+        return store
+
+    def test_add_dedup(self, store):
+        assert not store.add("ada", "knows", "grace")
+        assert len(store) == 4
+
+    def test_contains(self, store):
+        assert ("ada", "knows", "grace") in store
+        assert ("grace", "knows", "ada") not in store
+
+    def test_match_by_each_position(self, store):
+        assert len(store.match("ada", None, None)) == 3
+        assert len(store.match(None, "knows", None)) == 3
+        assert len(store.match(None, None, "alan")) == 2
+        assert len(store.match("ada", "knows", None)) == 2
+        assert len(store.match(None, None, None)) == 4
+
+    def test_match_deterministic_order(self, store):
+        first = store.match(None, "knows", None)
+        second = store.match(None, "knows", None)
+        assert first == second == sorted(first, key=lambda t: (t.subject, t.predicate, t.object))
+
+    def test_remove(self, store):
+        store.remove("ada", "knows", "grace")
+        assert ("ada", "knows", "grace") not in store
+        assert len(store.match("ada", "knows", None)) == 1
+        store.remove("ada", "knows", "grace")  # idempotent
+
+    def test_query_single_pattern(self, store):
+        results = store.query([("?who", "works-at", "asu")])
+        assert results == [{"?who": "ada"}]
+
+    def test_query_join(self, store):
+        # who does ada know that also knows alan?
+        results = store.query([
+            ("ada", "knows", "?friend"),
+            ("?friend", "knows", "alan"),
+        ])
+        assert results == [{"?friend": "grace"}]
+
+    def test_query_shared_variable_consistency(self, store):
+        # ?x knows ?x — nobody knows themselves here
+        assert store.query([("?x", "knows", "?x")]) == []
+
+    def test_query_no_solutions_short_circuits(self, store):
+        assert store.query([("nobody", "knows", "?x"), ("?x", "knows", "?y")]) == []
+
+    def test_query_multiple_solutions(self, store):
+        results = store.query([("?a", "knows", "?b")])
+        assert len(results) == 3
+
+    def test_add_all(self):
+        store = TripleStore()
+        added = store.add_all([("a", "p", "b"), ("a", "p", "b"), ("c", "p", "d")])
+        assert added == 2
+
+
+class TestOntology:
+    @pytest.fixture
+    def ontology(self):
+        onto = Ontology()
+        onto.declare_class("Agent")
+        onto.declare_class("Person", parent="Agent")
+        onto.declare_class("Student", parent="Person")
+        onto.declare_class("Course")
+        onto.declare_property("enrolledIn", domain="Student", range_="Course")
+        onto.declare_property("takes", parent="enrolledIn")
+        onto.assert_instance("ada", "Student")
+        onto.assert_fact("bob", "takes", "cse445")
+        return onto
+
+    def test_subclass_transitivity(self, ontology):
+        ontology.infer()
+        assert ("Student", RDFS_SUBCLASS, "Agent") in ontology.store
+
+    def test_type_propagation(self, ontology):
+        ontology.infer()
+        assert ontology.classes_of("ada") == ["Agent", "Person", "Student"]
+
+    def test_subproperty_propagation(self, ontology):
+        ontology.infer()
+        assert ("bob", "enrolledIn", "cse445") in ontology.store
+
+    def test_domain_range_typing(self, ontology):
+        ontology.infer()
+        # bob takes→enrolledIn cse445; domain types bob, range types cse445
+        assert ontology.is_a("bob", "Student")
+        assert ontology.is_a("bob", "Person")  # via subclass after domain typing
+        assert ontology.is_a("cse445", "Course")
+
+    def test_instances_of(self, ontology):
+        ontology.infer()
+        assert "ada" in ontology.instances_of("Person")
+        assert "bob" in ontology.instances_of("Student")
+
+    def test_inference_fixpoint_idempotent(self, ontology):
+        first = ontology.infer()
+        assert first > 0
+        assert ontology.infer() == 0  # already at fixpoint
+
+    def test_inference_counts_additions(self):
+        onto = Ontology()
+        onto.declare_class("A")
+        onto.declare_class("B", parent="A")
+        onto.assert_instance("x", "B")
+        added = onto.infer()
+        assert added == 1  # only (x type A)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["s1", "s2", "s3"]),
+            st.sampled_from(["p1", "p2"]),
+            st.sampled_from(["o1", "o2", "o3"]),
+        ),
+        max_size=25,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_store_match_consistency(triples):
+    """Every triple added is findable through all three indexes."""
+    store = TripleStore()
+    for triple in triples:
+        store.add(*triple)
+    for s, p, o in set(triples):
+        assert (s, p, o) in store
+        assert any(t.object == o for t in store.match(s, p, None))
+        assert any(t.subject == s for t in store.match(None, p, o))
+    assert len(store) == len(set(triples))
+
+
+@given(st.integers(2, 8), st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_deep_hierarchy_inference(depth, seed):
+    """Type propagates through a chain of subclasses of any depth."""
+    onto = Ontology()
+    onto.declare_class("C0")
+    for level in range(1, depth):
+        onto.declare_class(f"C{level}", parent=f"C{level - 1}")
+    onto.assert_instance("x", f"C{depth - 1}")
+    onto.infer()
+    for level in range(depth):
+        assert onto.is_a("x", f"C{level}")

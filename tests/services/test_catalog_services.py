@@ -1,0 +1,391 @@
+"""Tests for the ASU repository service catalogue."""
+
+import pytest
+
+from repro.core import BusClient, ServiceFault, ServiceHost
+from repro.services import (
+    AccessControlService,
+    CachingService,
+    CreditScoreService,
+    EncryptionService,
+    GuessingGameService,
+    ImageService,
+    ImageVerifierService,
+    MessageBufferService,
+    MortgageService,
+    RandomStringService,
+    ShoppingCartService,
+    build_repository,
+    mount_all,
+    CATALOG_SERVICES,
+)
+
+
+class TestEncryptionService:
+    def test_caesar_round_trip(self):
+        svc = EncryptionService()
+        cipher = svc.caesar(text="attack at dawn", shift=5)
+        assert svc.caesar(text=cipher, shift=5, decrypt=True) == "attack at dawn"
+
+    def test_vigenere_round_trip(self):
+        svc = EncryptionService()
+        cipher = svc.vigenere(text="hello world", key="soc")
+        assert svc.vigenere(text=cipher, key="soc", decrypt=True) == "hello world"
+
+    def test_vigenere_bad_key_faults(self):
+        with pytest.raises(ServiceFault):
+            EncryptionService().vigenere(text="x", key="123")
+
+    def test_xor_round_trip(self):
+        svc = EncryptionService()
+        data = b"secret bytes \x00\xff"
+        assert svc.xor_encrypt(data=svc.xor_encrypt(data=data, key="k"), key="k") == data
+
+
+class TestAccessControlService:
+    def test_role_lifecycle(self):
+        svc = AccessControlService()
+        svc.define_role(role="editor", permissions=["doc.read", "doc.write"])
+        svc.assign_role(user="ada", role="editor")
+        assert svc.check(user="ada", permission="doc.write")
+        assert not svc.check(user="ada", permission="admin")
+        assert svc.permissions(user="ada") == ["doc.read", "doc.write"]
+
+    def test_unknown_role_faults(self):
+        with pytest.raises(ServiceFault):
+            AccessControlService().assign_role(user="x", role="ghost")
+
+
+class TestGuessingGame:
+    def test_full_game_binary_search(self):
+        svc = GuessingGameService(seed=42)
+        game = svc.new_game(upper=100)
+        low, high = 1, 100
+        for _ in range(8):
+            middle = (low + high) // 2
+            reply = svc.guess(game_id=game["game_id"], number=middle)
+            if reply["answer"] == "correct":
+                break
+            if reply["answer"] == "higher":
+                low = middle + 1
+            else:
+                high = middle - 1
+        stats = svc.stats(game_id=game["game_id"])
+        assert stats["won"]
+        assert stats["attempts"] <= 8
+
+    def test_guess_after_win_faults(self):
+        svc = GuessingGameService(seed=1)
+        game = svc.new_game(upper=2)
+        for number in (1, 2):
+            try:
+                if svc.guess(game_id=game["game_id"], number=number)["answer"] == "correct":
+                    break
+            except ServiceFault:  # pragma: no cover
+                pass
+        with pytest.raises(ServiceFault, match="already won"):
+            svc.guess(game_id=game["game_id"], number=1)
+
+    def test_unknown_game_faults(self):
+        with pytest.raises(ServiceFault):
+            GuessingGameService().guess(game_id="ghost", number=1)
+
+    def test_bad_upper(self):
+        with pytest.raises(ServiceFault):
+            GuessingGameService().new_game(upper=1)
+
+
+class TestRandomString:
+    def test_password_meets_policy(self):
+        from repro.security import PasswordPolicy
+
+        svc = RandomStringService()
+        for _ in range(20):
+            assert PasswordPolicy(special_characters="!@#$%^&*()-_=+").is_strong(
+                svc.password(length=12)
+            )
+
+    def test_password_length(self):
+        assert len(RandomStringService().password(length=20)) == 20
+
+    def test_password_too_short_faults(self):
+        with pytest.raises(ServiceFault):
+            RandomStringService().password(length=4)
+
+    def test_token_alphabet(self):
+        token = RandomStringService().token(length=50, alphabet="ab")
+        assert set(token) <= {"a", "b"}
+
+    def test_verifier_code_alphabet(self):
+        from repro.web.images import VERIFIER_ALPHABET
+
+        code = RandomStringService().verifier_code(length=6)
+        assert len(code) == 6
+        assert set(code) <= set(VERIFIER_ALPHABET)
+
+
+class TestImageServices:
+    def test_bar_chart(self):
+        svg = ImageService().bar_chart(labels=["a", "b"], values=[1, 2], title="T")
+        assert svg.startswith("<svg")
+
+    def test_line_chart(self):
+        svg = ImageService().line_chart(series={"s": [1, 2, 3]})
+        assert "polyline" in svg
+
+    def test_bad_chart_inputs_fault(self):
+        with pytest.raises(ServiceFault):
+            ImageService().bar_chart(labels=["a"], values=[1, 2])
+
+    def test_verifier_challenge_and_verify(self):
+        svc = ImageVerifierService(seed=5)
+        challenge = svc.challenge(length=5)
+        assert challenge["image"][:2] == b"BM"
+        code = svc._pending[challenge["challenge_id"]]  # test peeks the secret
+        assert svc.verify(challenge_id=challenge["challenge_id"], answer=code.lower())
+        # consumed: second attempt faults
+        with pytest.raises(ServiceFault):
+            svc.verify(challenge_id=challenge["challenge_id"], answer=code)
+
+    def test_wrong_answer_consumes_challenge(self):
+        svc = ImageVerifierService(seed=5)
+        challenge = svc.challenge()
+        assert svc.verify(challenge_id=challenge["challenge_id"], answer="WRONG") is False
+        with pytest.raises(ServiceFault):
+            svc.verify(challenge_id=challenge["challenge_id"], answer="WRONG")
+
+
+class TestCachingService:
+    def test_put_get_invalidate(self):
+        svc = CachingService()
+        svc.put(key="k", value="v")
+        assert svc.get(key="k") == "v"
+        svc.invalidate(key="k")
+        assert svc.get(key="k") == ""
+
+    def test_stats(self):
+        svc = CachingService()
+        svc.put(key="k", value="v")
+        svc.get(key="k")
+        svc.get(key="miss")
+        stats = svc.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+class TestShoppingCart:
+    def test_cart_lifecycle(self):
+        svc = ShoppingCartService()
+        cart = svc.create_cart()
+        svc.add_item(cart_id=cart, sku="textbook", quantity=2)
+        svc.add_item(cart_id=cart, sku="usb-cable")
+        assert svc.total(cart_id=cart) == pytest.approx(2 * 89.50 + 4.25)
+        svc.remove_item(cart_id=cart, sku="textbook")
+        receipt = svc.checkout(cart_id=cart)
+        assert receipt["items"] == {"textbook": 1, "usb-cable": 1}
+        # cart gone after checkout
+        with pytest.raises(ServiceFault):
+            svc.total(cart_id=cart)
+
+    def test_remove_clamps_to_zero(self):
+        svc = ShoppingCartService()
+        cart = svc.create_cart()
+        svc.add_item(cart_id=cart, sku="sd-card")
+        contents = svc.remove_item(cart_id=cart, sku="sd-card", quantity=5)
+        assert contents == {}
+
+    def test_faults(self):
+        svc = ShoppingCartService()
+        cart = svc.create_cart()
+        with pytest.raises(ServiceFault):
+            svc.add_item(cart_id=cart, sku="unknown")
+        with pytest.raises(ServiceFault):
+            svc.add_item(cart_id=cart, sku="sd-card", quantity=0)
+        with pytest.raises(ServiceFault):
+            svc.remove_item(cart_id=cart, sku="sd-card")
+        with pytest.raises(ServiceFault):
+            svc.checkout(cart_id=cart)  # empty
+        with pytest.raises(ServiceFault):
+            svc.total(cart_id="ghost")
+
+
+class TestMessageBuffer:
+    def test_fifo_delivery(self):
+        svc = MessageBufferService()
+        svc.send(queue="q", message="one")
+        svc.send(queue="q", message="two")
+        assert svc.depth(queue="q") == 2
+        assert svc.receive(queue="q")["message"] == "one"
+        assert svc.receive(queue="q")["message"] == "two"
+        assert svc.receive(queue="q")["has_message"] is False
+
+    def test_peek_non_destructive(self):
+        svc = MessageBufferService()
+        svc.send(queue="q", message="x")
+        assert svc.peek(queue="q")["message"] == "x"
+        assert svc.depth(queue="q") == 1
+
+    def test_capacity_fault(self):
+        svc = MessageBufferService(capacity_per_queue=2)
+        svc.send(queue="q", message="1")
+        svc.send(queue="q", message="2")
+        with pytest.raises(ServiceFault, match="full"):
+            svc.send(queue="q", message="3")
+
+    def test_queues_isolated(self):
+        svc = MessageBufferService()
+        svc.send(queue="a", message="x")
+        assert svc.depth(queue="b") == 0
+
+
+class TestCreditScore:
+    def test_deterministic_per_ssn(self):
+        svc = CreditScoreService()
+        assert svc.score(ssn="123-45-6789") == svc.score(ssn="123-45-6789")
+
+    def test_income_raises_score(self):
+        svc = CreditScoreService()
+        low = svc.score(ssn="123-45-6789", income=0)
+        high = svc.score(ssn="123-45-6789", income=200_000)
+        assert high >= low
+
+    def test_derogatory_lowers_score(self):
+        svc = CreditScoreService()
+        clean = svc.score(ssn="123-45-6789")
+        marked = svc.score(ssn="123-45-6789", derogatory_marks=5)
+        assert marked < clean
+
+    def test_score_in_band(self):
+        svc = CreditScoreService()
+        for i in range(30):
+            score = svc.score(ssn=f"{100+i:03d}-11-2233", derogatory_marks=i % 4)
+            assert 300 <= score <= 850
+
+    def test_bad_ssn_faults(self):
+        with pytest.raises(ServiceFault):
+            CreditScoreService().score(ssn="12-34")
+
+    def test_rating_bands(self):
+        svc = CreditScoreService()
+        assert svc.rating(score=550) == "poor"
+        assert svc.rating(score=600) == "fair"
+        assert svc.rating(score=700) == "good"
+        assert svc.rating(score=760) == "very-good"
+        assert svc.rating(score=820) == "excellent"
+        with pytest.raises(ServiceFault):
+            svc.rating(score=100)
+
+
+class TestMortgage:
+    def test_monthly_payment_formula(self):
+        svc = MortgageService()
+        # 300k, 6%, 30y — classic fixture: ~1798.65
+        assert svc.monthly_payment(
+            principal=300_000, annual_rate=0.06, years=30
+        ) == pytest.approx(1798.65, abs=0.02)
+
+    def test_zero_rate_payment(self):
+        svc = MortgageService()
+        assert svc.monthly_payment(principal=12000, annual_rate=0.0, years=1) == 1000.0
+
+    def test_payment_validation(self):
+        svc = MortgageService()
+        with pytest.raises(ServiceFault):
+            svc.monthly_payment(principal=0, annual_rate=0.05, years=30)
+        with pytest.raises(ServiceFault):
+            svc.monthly_payment(principal=1, annual_rate=-0.1, years=30)
+
+    def _find_ssn(self, svc, minimum):
+        credit = CreditScoreService()
+        for i in range(200):
+            ssn = f"{i:03d}-55-1234"
+            if credit.score(ssn=ssn, income=150_000) >= minimum:
+                return ssn
+        raise AssertionError("no qualifying ssn found")
+
+    def test_approval_path(self):
+        svc = MortgageService()
+        ssn = self._find_ssn(svc, 700)
+        decision = svc.apply(
+            ssn=ssn, income=150_000, loan_amount=300_000, property_value=400_000
+        )
+        assert decision["approved"], decision["reasons"]
+        status = svc.status(application_id=decision["application_id"])
+        assert status["approved"]
+
+    def test_high_ltv_rejected(self):
+        svc = MortgageService()
+        ssn = self._find_ssn(svc, 700)
+        decision = svc.apply(
+            ssn=ssn, income=150_000, loan_amount=399_000, property_value=400_000
+        )
+        assert not decision["approved"]
+        assert any("loan-to-value" in reason for reason in decision["reasons"])
+
+    def test_high_dti_rejected(self):
+        svc = MortgageService()
+        ssn = self._find_ssn(svc, 700)
+        decision = svc.apply(
+            ssn=ssn, income=30_000, loan_amount=300_000, property_value=500_000
+        )
+        assert not decision["approved"]
+        assert any("debt-to-income" in reason for reason in decision["reasons"])
+
+    def test_withdraw(self):
+        svc = MortgageService()
+        ssn = self._find_ssn(svc, 700)
+        decision = svc.apply(
+            ssn=ssn, income=150_000, loan_amount=200_000, property_value=400_000
+        )
+        assert svc.withdraw(application_id=decision["application_id"])
+        with pytest.raises(ServiceFault):
+            svc.status(application_id=decision["application_id"])
+
+    def test_bad_amounts_fault(self):
+        with pytest.raises(ServiceFault):
+            MortgageService().apply(
+                ssn="123-45-6789", income=-5, loan_amount=1, property_value=1
+            )
+
+
+class TestCatalog:
+    def test_all_services_published(self):
+        broker, bus, instances = build_repository()
+        assert len(broker) == len(CATALOG_SERVICES) == 11
+        assert set(instances) == {s().contract().name for s in CATALOG_SERVICES}
+
+    def test_all_callable_through_bus(self):
+        broker, bus, _ = build_repository()
+        client = BusClient(bus, broker)
+        assert client.call("Encryption", "caesar", text="x", shift=1) == "y"
+        assert isinstance(client.call("RandomString", "password", length=10), str)
+
+    def test_mount_all_adds_bindings(self):
+        broker, bus, instances = build_repository()
+        mount_all(instances, broker)
+        for name in instances:
+            bindings = {e.binding for e in broker.lookup(name).endpoints}
+            assert bindings == {"inproc", "soap", "rest"}
+
+    def test_discovery_by_category(self):
+        broker, _, _ = build_repository()
+        names = {r.name for r in broker.list_services("finance")}
+        assert names == {"CreditScore", "Mortgage"}
+
+    def test_keyword_discovery(self):
+        broker, _, _ = build_repository()
+        assert any(r.name == "Mortgage" for r in broker.find("underwrite"))
+
+
+class TestCartContents:
+    def test_contents_read_only(self):
+        svc = ShoppingCartService()
+        cart = svc.create_cart()
+        svc.add_item(cart_id=cart, sku="textbook", quantity=2)
+        assert svc.contents(cart_id=cart) == {"textbook": 2}
+        # reading does not mutate
+        assert svc.contents(cart_id=cart) == {"textbook": 2}
+        assert svc.contract().operation("contents").idempotent
+
+    def test_contents_unknown_cart(self):
+        with pytest.raises(ServiceFault):
+            ShoppingCartService().contents(cart_id="ghost")

@@ -1,0 +1,128 @@
+"""Tests for the Work Flow service format (§V's fourth format)."""
+
+import pytest
+
+from repro.core import (
+    ServiceBroker,
+    ServiceBus,
+    ServiceFault,
+    ServiceHost,
+    proxy_from_broker,
+)
+from repro.services import (
+    CreditScoreService,
+    WorkflowService,
+    make_prequalification_service,
+)
+from repro.workflow import Assign, BpelProcess, Sequence
+
+CREDIT = CreditScoreService()
+
+
+def ssn_with_band(bands, income=150_000.0):
+    for i in range(500):
+        ssn = f"{i:03d}-10-2030"
+        if CREDIT.rating(score=CREDIT.score(ssn=ssn, income=income)) in bands:
+            return ssn
+    raise AssertionError("no ssn in bands")
+
+
+class TestWorkflowService:
+    def make_simple(self):
+        process = BpelProcess(
+            "doubler",
+            Sequence([Assign("result", lambda c: c.get("x") * 2)]),
+            lambda name: (_ for _ in ()).throw(KeyError(name)),
+        )
+        return WorkflowService("Doubler", process, inputs=["x"], output="result")
+
+    def test_contract_shape(self):
+        contract = self.make_simple().contract()
+        assert contract.name == "Doubler"
+        assert contract.category == "workflow"
+        op = contract.operation("execute")
+        assert [p.name for p in op.parameters] == ["x"]
+
+    def test_execute_through_host(self):
+        host = ServiceHost(self.make_simple())
+        assert host.invoke("execute", {"x": 21}) == 42
+
+    def test_missing_input_faults(self):
+        host = ServiceHost(self.make_simple())
+        with pytest.raises(ServiceFault):
+            host.invoke("execute", {})
+
+    def test_missing_output_faults(self):
+        process = BpelProcess(
+            "noop", Sequence([]), lambda name: (_ for _ in ()).throw(KeyError(name))
+        )
+        service = WorkflowService("Noop", process, inputs=["x"], output="never_set")
+        with pytest.raises(ServiceFault) as info:
+            ServiceHost(service).invoke("execute", {"x": 1})
+        assert info.value.code == "Server.NoOutput"
+
+    def test_execution_counter(self):
+        service = self.make_simple()
+        host = ServiceHost(service)
+        host.invoke("execute", {"x": 1})
+        host.invoke("execute", {"x": 2})
+        assert service.executions == 2
+
+
+class TestPrequalificationService:
+    def test_qualified_applicant(self):
+        service = make_prequalification_service()
+        host = ServiceHost(service)
+        result = host.invoke(
+            "execute",
+            {
+                "ssn": ssn_with_band({"good", "very-good", "excellent"}),
+                "income": 150_000.0,
+                "loan_amount": 250_000.0,
+                "property_value": 400_000.0,
+            },
+        )
+        assert result["qualified"] is True
+        assert result["band"] in ("good", "very-good", "excellent")
+        assert result["monthly_payment"] > 0
+
+    def test_poor_band_not_qualified(self):
+        service = make_prequalification_service()
+        host = ServiceHost(service)
+        result = host.invoke(
+            "execute",
+            {
+                "ssn": ssn_with_band({"poor", "fair"}, income=0.0),
+                "income": 0.0,
+                "loan_amount": 250_000.0,
+                "property_value": 400_000.0,
+            },
+        )
+        assert result["qualified"] is False
+
+    def test_publishes_and_discovers_like_any_service(self):
+        broker, bus = ServiceBroker(), ServiceBus()
+        bus.host_and_publish(make_prequalification_service(), broker)
+        assert "LoanPrequalification" in broker
+        proxy = proxy_from_broker(broker, bus, "LoanPrequalification")
+        result = proxy.execute(
+            ssn=ssn_with_band({"good", "very-good", "excellent"}),
+            income=150_000.0,
+            loan_amount=200_000.0,
+            property_value=400_000.0,
+        )
+        assert "qualified" in result
+
+    def test_unaffordable_payment_disqualifies(self):
+        service = make_prequalification_service()
+        host = ServiceHost(service)
+        result = host.invoke(
+            "execute",
+            {
+                "ssn": ssn_with_band({"good", "very-good", "excellent"}),
+                "income": 20_000.0,  # payment exceeds 43% DTI
+                "loan_amount": 500_000.0,
+                "property_value": 600_000.0,
+            },
+        )
+        assert result["qualified"] is False

@@ -1,0 +1,373 @@
+"""Tests for the BPEL-subset engine and flowchart translation."""
+
+import pytest
+
+from repro.core import ServiceFault
+from repro.workflow import (
+    Assign,
+    BpelError,
+    BpelProcess,
+    Flow,
+    Flowchart,
+    FlowchartError,
+    Invoke,
+    Pick,
+    ProcessContext,
+    Scope,
+    Sequence,
+    Switch,
+    While,
+)
+
+
+def make_partners(services):
+    """services: {name: {operation: callable(**args)}}"""
+
+    def resolve(name):
+        if name not in services:
+            raise BpelError(f"unknown partner {name!r}")
+        table = services[name]
+
+        def invoke(operation, arguments):
+            return table[operation](**arguments)
+
+        return invoke
+
+    return resolve
+
+
+@pytest.fixture
+def partners():
+    ledger = []
+    services = {
+        "math": {
+            "add": lambda a, b: a + b,
+            "double": lambda x: x * 2,
+        },
+        "ledger": {
+            "post": lambda entry: ledger.append(entry) or len(ledger),
+            "void": lambda entry: ledger.remove(entry) or True,
+        },
+        "flaky": {
+            "always_fails": lambda: (_ for _ in ()).throw(ServiceFault("down")),
+        },
+    }
+    return make_partners(services), ledger
+
+
+class TestBpelBasics:
+    def test_sequence_and_invoke(self, partners):
+        resolve, _ = partners
+        process = BpelProcess(
+            "calc",
+            Sequence([
+                Invoke("math", "add", lambda c: {"a": c.get("x"), "b": 10}, output="sum"),
+                Invoke("math", "double", lambda c: {"x": c.get("sum")}, output="result"),
+            ]),
+            resolve,
+        )
+        final = process.run(x=5)
+        assert final["result"] == 30
+
+    def test_assign(self, partners):
+        resolve, _ = partners
+        process = BpelProcess(
+            "assign", Assign("y", lambda c: c.get("x") ** 2), resolve
+        )
+        assert process.run(x=4)["y"] == 16
+
+    def test_undefined_variable_faults(self, partners):
+        resolve, _ = partners
+        process = BpelProcess("bad", Assign("y", lambda c: c.get("ghost")), resolve)
+        with pytest.raises(BpelError, match="undefined"):
+            process.run()
+
+    def test_switch_first_match(self, partners):
+        resolve, _ = partners
+        process = BpelProcess(
+            "switch",
+            Switch(
+                cases=[
+                    (lambda c: c.get("n") < 0, Assign("sign", lambda c: "neg")),
+                    (lambda c: c.get("n") == 0, Assign("sign", lambda c: "zero")),
+                ],
+                otherwise=Assign("sign", lambda c: "pos"),
+            ),
+            resolve,
+        )
+        assert process.run(n=-1)["sign"] == "neg"
+        assert process.run(n=0)["sign"] == "zero"
+        assert process.run(n=9)["sign"] == "pos"
+
+    def test_switch_no_match_no_otherwise_is_noop(self, partners):
+        resolve, _ = partners
+        process = BpelProcess(
+            "switch", Switch(cases=[(lambda c: False, Assign("x", lambda c: 1))]), resolve
+        )
+        assert "x" not in process.run()
+
+    def test_while_loop(self, partners):
+        resolve, _ = partners
+        process = BpelProcess(
+            "loop",
+            While(
+                lambda c: c.get("i") < 5,
+                Assign("i", lambda c: c.get("i") + 1),
+            ),
+            resolve,
+        )
+        assert process.run(i=0)["i"] == 5
+
+    def test_while_iteration_cap(self, partners):
+        resolve, _ = partners
+        process = BpelProcess(
+            "spin",
+            While(lambda c: True, Assign("i", lambda c: 1), max_iterations=10),
+            resolve,
+        )
+        with pytest.raises(BpelError, match="iterations"):
+            process.run()
+
+    def test_pick(self, partners):
+        resolve, _ = partners
+        process = BpelProcess(
+            "pick",
+            Pick([
+                (lambda c: c.get("channel") == "a", Assign("got", lambda c: "A")),
+                (lambda c: c.get("channel") == "b", Assign("got", lambda c: "B")),
+            ]),
+            resolve,
+        )
+        assert process.run(channel="b")["got"] == "B"
+
+    def test_pick_none_ready(self, partners):
+        resolve, _ = partners
+        process = BpelProcess(
+            "pick", Pick([(lambda c: False, Assign("x", lambda c: 1))]), resolve
+        )
+        with pytest.raises(BpelError, match="ready"):
+            process.run()
+
+    def test_flow_runs_all_branches(self, partners):
+        resolve, _ = partners
+        process = BpelProcess(
+            "flow",
+            Flow([
+                Invoke("math", "add", lambda c: {"a": 1, "b": 2}, output="r1"),
+                Invoke("math", "add", lambda c: {"a": 3, "b": 4}, output="r2"),
+                Invoke("math", "double", lambda c: {"x": 10}, output="r3"),
+            ]),
+            resolve,
+        )
+        final = process.run()
+        assert (final["r1"], final["r2"], final["r3"]) == (3, 7, 20)
+
+    def test_flow_propagates_fault(self, partners):
+        resolve, _ = partners
+        process = BpelProcess(
+            "flow",
+            Flow([
+                Invoke("math", "add", lambda c: {"a": 1, "b": 2}, output="ok"),
+                Invoke("flaky", "always_fails"),
+            ]),
+            resolve,
+        )
+        with pytest.raises(ServiceFault):
+            process.run()
+
+    def test_unknown_partner(self, partners):
+        resolve, _ = partners
+        process = BpelProcess("bad", Invoke("ghost", "op"), resolve)
+        with pytest.raises(BpelError, match="partner"):
+            process.run()
+
+
+class TestCompensation:
+    def test_compensation_runs_in_reverse_on_fault(self, partners):
+        resolve, ledger = partners
+        undone = []
+        body = Sequence([
+            Invoke(
+                "ledger", "post", lambda c: {"entry": "first"},
+                compensate=lambda c: undone.append("first"),
+            ),
+            Invoke(
+                "ledger", "post", lambda c: {"entry": "second"},
+                compensate=lambda c: undone.append("second"),
+            ),
+            Invoke("flaky", "always_fails"),
+        ])
+        process = BpelProcess(
+            "saga",
+            Scope(body, fault_handler=lambda c, exc: c.set("failed", str(exc))),
+            resolve,
+        )
+        final = process.run()
+        assert undone == ["second", "first"]  # reverse order
+        assert "down" in final["failed"]
+        assert ledger == ["first", "second"]  # posts happened before fault
+
+    def test_no_fault_no_compensation(self, partners):
+        resolve, _ = partners
+        undone = []
+        process = BpelProcess(
+            "ok",
+            Scope(
+                Invoke(
+                    "ledger", "post", lambda c: {"entry": "x"},
+                    compensate=lambda c: undone.append("x"),
+                )
+            ),
+            resolve,
+        )
+        process.run()
+        assert undone == []
+
+    def test_fault_without_handler_propagates_after_compensation(self, partners):
+        resolve, _ = partners
+        undone = []
+        process = BpelProcess(
+            "saga",
+            Scope(
+                Sequence([
+                    Invoke(
+                        "ledger", "post", lambda c: {"entry": "a"},
+                        compensate=lambda c: undone.append("a"),
+                    ),
+                    Invoke("flaky", "always_fails"),
+                ])
+            ),
+            resolve,
+        )
+        with pytest.raises(ServiceFault):
+            process.run()
+        assert undone == ["a"]
+
+
+class TestFlowchart:
+    def build_loop_chart(self):
+        chart = Flowchart("sum-to-n")
+        chart.start("begin", "init")
+        chart.process("init", lambda c: c.update(total=0, i=0), "check")
+        chart.decision("check", lambda c: c["i"] < c["n"], "accumulate", "finish")
+        chart.process(
+            "accumulate",
+            lambda c: c.update(total=c["total"] + c["i"] + 1, i=c["i"] + 1),
+            "check",
+        )
+        chart.end("finish")
+        return chart
+
+    def test_compiles_and_runs(self):
+        run = self.build_loop_chart().compile()
+        context = run({"n": 5})
+        assert context["total"] == 15
+
+    def test_trace_recorded(self):
+        run = self.build_loop_chart().compile()
+        context = run({"n": 1})
+        assert context["__trace__"][0] == "begin"
+        assert context["__trace__"][-1] == "finish"
+
+    def test_loop_cap(self):
+        chart = Flowchart()
+        chart.start("s", "spin")
+        chart.decision("spin", lambda c: True, "spin", "done")
+        chart.end("done")
+        run = chart.compile(max_steps=100)
+        with pytest.raises(FlowchartError, match="steps"):
+            run({})
+
+    def test_validation_errors(self):
+        chart = Flowchart()
+        with pytest.raises(FlowchartError, match="start"):
+            chart.compile()
+
+        chart2 = Flowchart()
+        chart2.start("s", "e")
+        with pytest.raises(FlowchartError, match="end"):
+            chart2.compile()
+
+        chart3 = Flowchart()
+        chart3.start("s", "ghost")
+        chart3.end("e")
+        with pytest.raises(FlowchartError, match="unknown"):
+            chart3.compile()
+
+        chart4 = Flowchart()
+        chart4.start("s", "e")
+        chart4.end("e")
+        chart4.process("orphan", lambda c: None, "e")
+        with pytest.raises(FlowchartError, match="unreachable"):
+            chart4.compile()
+
+    def test_duplicate_node_rejected(self):
+        chart = Flowchart()
+        chart.end("x")
+        with pytest.raises(FlowchartError):
+            chart.end("x")
+
+    def test_double_start_rejected(self):
+        chart = Flowchart()
+        chart.start("a", "e")
+        with pytest.raises(FlowchartError):
+            chart.start("b", "e")
+
+
+class TestReceiveReply:
+    def test_receive_consumes_message(self, partners):
+        resolve, _ = partners
+        from repro.workflow import Receive, Reply
+
+        process = BpelProcess(
+            "rr",
+            Sequence([
+                Receive("orders", "order"),
+                Assign("total", lambda c: c.get("order")["amount"] * 2),
+                Reply("confirmations", lambda c: {"ok": True, "total": c.get("total")}),
+            ]),
+            resolve,
+        )
+        final = process.run(messages={"orders": [{"amount": 21}]})
+        assert final["total"] == 42
+        assert final["__outbox__"] == [("confirmations", {"ok": True, "total": 42})]
+
+    def test_receive_empty_channel_faults(self, partners):
+        resolve, _ = partners
+        from repro.workflow import Receive
+
+        process = BpelProcess("rr", Receive("orders", "order"), resolve)
+        with pytest.raises(BpelError, match="no message"):
+            process.run()
+
+    def test_receive_fifo_order(self, partners):
+        resolve, _ = partners
+        from repro.workflow import Receive
+
+        process = BpelProcess(
+            "rr",
+            Sequence([Receive("c", "first"), Receive("c", "second")]),
+            resolve,
+        )
+        final = process.run(messages={"c": ["a", "b"]})
+        assert (final["first"], final["second"]) == ("a", "b")
+
+    def test_pick_with_has_message_guard(self, partners):
+        resolve, _ = partners
+        from repro.workflow import Pick, Receive
+
+        process = BpelProcess(
+            "rr",
+            Pick([
+                (lambda c: c.has_message("express"), Receive("express", "job")),
+                (lambda c: c.has_message("standard"), Receive("standard", "job")),
+            ]),
+            resolve,
+        )
+        final = process.run(messages={"standard": ["slow-job"]})
+        assert final["job"] == "slow-job"
+
+    def test_no_outbox_key_when_no_replies(self, partners):
+        resolve, _ = partners
+        process = BpelProcess("p", Assign("x", lambda c: 1), resolve)
+        assert "__outbox__" not in process.run()

@@ -1,0 +1,291 @@
+"""Tests for the VPL dataflow engine and the FSM engine."""
+
+import pytest
+
+from repro.workflow import (
+    Activity,
+    FsmError,
+    StateMachine,
+    Variable,
+    Workflow,
+    WorkflowError,
+    branch,
+    calculate,
+    data,
+    fsm_from_xml,
+    join,
+    merge,
+)
+
+
+class TestDataflow:
+    def test_linear_pipeline(self):
+        w = Workflow()
+        w.add(data("src", 10))
+        w.add(calculate("double", lambda x: x * 2, ["x"]))
+        w.add(calculate("inc", lambda x: x + 1, ["x"]))
+        w.connect("src", "out", "double", "x")
+        w.connect("double", "result", "inc", "x")
+        outputs = w.run()
+        assert outputs["inc"]["result"] == 21
+
+    def test_fan_in_join(self):
+        w = Workflow()
+        w.add(data("a", 1))
+        w.add(data("b", 2))
+        w.add(join("pair"))
+        w.connect("a", "out", "pair", "in0")
+        w.connect("b", "out", "pair", "in1")
+        assert w.run()["pair"]["out"] == (1, 2)
+
+    def test_branch_routes_then(self):
+        w = Workflow()
+        w.add(data("src", 5))
+        w.add(branch("check", lambda v: v > 3))
+        w.add(calculate("big", lambda v: f"big:{v}", ["v"]))
+        w.add(calculate("small", lambda v: f"small:{v}", ["v"]))
+        w.connect("src", "out", "check", "in")
+        w.connect("check", "then", "big", "v")
+        w.connect("check", "else", "small", "v")
+        outputs = w.run()
+        assert outputs["big"]["result"] == "big:5"
+        assert "small" not in outputs  # starved branch never fires
+
+    def test_branch_routes_else(self):
+        w = Workflow()
+        w.add(data("src", 1))
+        w.add(branch("check", lambda v: v > 3))
+        w.add(calculate("small", lambda v: f"small:{v}", ["v"]))
+        w.connect("src", "out", "check", "in")
+        w.connect("check", "else", "small", "v")
+        assert w.run()["small"]["result"] == "small:1"
+
+    def test_merge_first_input_wins(self):
+        w = Workflow()
+        w.add(data("a", "left"))
+        w.add(merge("m"))
+        w.connect("a", "out", "m", "in0")
+        assert w.run()["m"]["out"] == "left"
+
+    def test_join_starves_without_all_inputs(self):
+        w = Workflow()
+        w.add(data("a", 1))
+        w.add(join("pair"))
+        w.connect("a", "out", "pair", "in0")
+        assert "pair" not in w.run()
+
+    def test_variable_keeps_state_across_waves(self):
+        w = Workflow()
+        counter = w.add(Variable("counter", 0))
+        w.add(data("trigger", "go"))
+        w.connect("trigger", "out", "counter", "get")
+        first = w.run()
+        assert first["counter"]["value"] == 0
+        counter.state = 5
+        assert w.run()["counter"]["value"] == 5
+
+    def test_run_until_loop(self):
+        w = Workflow()
+        counter = w.add(Variable("count", 0))
+
+        def triggers(wave):
+            return {"count": {"set": counter.state + 1, "get": True}}
+
+        outputs, waves = w.run_until(
+            triggers, lambda outs: outs["count"]["value"] >= 5
+        )
+        assert outputs["count"]["value"] == 5
+        assert waves == 5
+
+    def test_run_until_nontermination_detected(self):
+        w = Workflow()
+        w.add(data("x", 1))
+        with pytest.raises(WorkflowError, match="termination"):
+            w.run_until(lambda wave: {}, lambda outs: False, max_waves=10)
+
+    def test_cycle_rejected(self):
+        w = Workflow()
+        w.add(calculate("a", lambda x: x, ["x"]))
+        w.add(calculate("b", lambda x: x, ["x"]))
+        w.connect("a", "result", "b", "x")
+        w.connect("b", "result", "a", "x")
+        with pytest.raises(WorkflowError, match="cycle"):
+            w.run()
+
+    def test_bad_wiring_rejected(self):
+        w = Workflow()
+        w.add(data("src", 1))
+        w.add(calculate("c", lambda x: x, ["x"]))
+        with pytest.raises(WorkflowError):
+            w.connect("ghost", "out", "c", "x")
+        with pytest.raises(WorkflowError):
+            w.connect("src", "ghost_pin", "c", "x")
+        with pytest.raises(WorkflowError):
+            w.connect("src", "out", "c", "ghost_pin")
+        with pytest.raises(WorkflowError):
+            w.connect("src", "out", "ghost", "x")
+
+    def test_double_wiring_same_pin_rejected(self):
+        w = Workflow()
+        w.add(data("a", 1))
+        w.add(data("b", 2))
+        w.add(calculate("c", lambda x: x, ["x"]))
+        w.connect("a", "out", "c", "x")
+        with pytest.raises(WorkflowError, match="already wired"):
+            w.connect("b", "out", "c", "x")
+
+    def test_duplicate_activity_rejected(self):
+        w = Workflow()
+        w.add(data("a", 1))
+        with pytest.raises(WorkflowError):
+            w.add(data("a", 2))
+
+    def test_undeclared_output_detected(self):
+        w = Workflow()
+        w.add(Activity("bad", (), ("ok",), lambda values: {"oops": 1}))
+        with pytest.raises(WorkflowError, match="undeclared"):
+            w.run()
+
+    def test_duplicate_pins_rejected(self):
+        with pytest.raises(WorkflowError):
+            Activity("x", ("a", "a"), (), lambda values: {})
+
+
+class TestFsm:
+    def build_counter_machine(self, limit=3):
+        machine = StateMachine("counting")
+        machine.state("counting")
+        machine.state("done", terminal=True)
+        machine.transition(
+            "counting", "done", guard=lambda c: c["n"] >= limit, label="enough"
+        )
+        machine.transition(
+            "counting",
+            "counting",
+            action=lambda c: c.__setitem__("n", c["n"] + 1),
+            label="count",
+        )
+        return machine
+
+    def test_runs_to_terminal(self):
+        run = self.build_counter_machine(3).run({"n": 0})
+        assert run.terminated
+        assert run.final_state == "done"
+        assert run.steps == 4  # 3 counts + 1 exit transition
+
+    def test_trace_records_transitions(self):
+        run = self.build_counter_machine(2).run({"n": 0})
+        labels = [label for _, label, _ in run.trace]
+        assert labels == ["count", "count", "enough"]
+
+    def test_guard_priority_order(self):
+        machine = StateMachine("s")
+        machine.state("s")
+        machine.state("first", terminal=True)
+        machine.state("second", terminal=True)
+        machine.transition("s", "first", guard=lambda c: True)
+        machine.transition("s", "second", guard=lambda c: True)
+        assert machine.run({}).final_state == "first"
+
+    def test_stuck_state_reported(self):
+        machine = StateMachine("s")
+        machine.state("s")
+        machine.state("t", terminal=True)
+        machine.transition("s", "t", guard=lambda c: False)
+        run = machine.run({})
+        assert not run.terminated
+        assert run.final_state == "s"
+
+    def test_step_cap(self):
+        machine = StateMachine("loop")
+        machine.state("loop")
+        machine.state("end", terminal=True)
+        machine.transition("loop", "loop")
+        run = machine.run({}, max_steps=50)
+        assert not run.terminated
+        assert run.steps == 50
+
+    def test_on_entry_actions(self):
+        entered = []
+        machine = StateMachine("a")
+        machine.state("a", on_entry=lambda c: entered.append("a"))
+        machine.state("b", terminal=True, on_entry=lambda c: entered.append("b"))
+        machine.transition("a", "b")
+        machine.run({})
+        assert entered == ["a", "b"]
+
+    def test_validation_errors(self):
+        machine = StateMachine("ghost")
+        machine.state("real", terminal=True)
+        with pytest.raises(FsmError, match="initial"):
+            machine.run({})
+
+        machine2 = StateMachine("a")
+        machine2.state("a")
+        machine2.state("b")  # no terminal anywhere
+        machine2.transition("a", "b")
+        machine2.transition("b", "a")
+        with pytest.raises(FsmError, match="terminal"):
+            machine2.run({})
+
+        machine3 = StateMachine("a")
+        machine3.state("a")  # dead end, not terminal
+        machine3.state("t", terminal=True)
+        with pytest.raises(FsmError, match="dead end"):
+            machine3.run({})
+
+    def test_duplicate_state_rejected(self):
+        machine = StateMachine("a")
+        machine.state("a")
+        with pytest.raises(FsmError):
+            machine.state("a")
+
+    def test_unknown_endpoints_rejected(self):
+        machine = StateMachine("a")
+        machine.state("a")
+        with pytest.raises(FsmError):
+            machine.transition("a", "ghost")
+        with pytest.raises(FsmError):
+            machine.transition("ghost", "a")
+
+    def test_states_visited(self):
+        run = self.build_counter_machine(1).run({"n": 0})
+        assert run.states_visited[0] == "counting"
+        assert run.states_visited[-1] == "done"
+
+
+class TestFsmFromXml:
+    XML = """
+    <fsm initial="Explore">
+      <state name="Explore">
+        <transition target="Done" guard="at_goal"/>
+        <transition target="Explore" action="step"/>
+      </state>
+      <state name="Done" terminal="true"/>
+    </fsm>
+    """
+
+    def test_load_and_run(self):
+        machine = fsm_from_xml(
+            self.XML,
+            guards={"at_goal": lambda c: c["pos"] >= 3},
+            actions={"step": lambda c: c.__setitem__("pos", c["pos"] + 1)},
+        )
+        context = {"pos": 0}
+        run = machine.run(context)
+        assert run.terminated
+        assert context["pos"] == 3
+
+    def test_unknown_guard_rejected(self):
+        with pytest.raises(FsmError, match="guard"):
+            fsm_from_xml(self.XML, guards={}, actions={"step": lambda c: None})
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FsmError, match="action"):
+            fsm_from_xml(self.XML, guards={"at_goal": lambda c: True}, actions={})
+
+    def test_structure_errors(self):
+        with pytest.raises(FsmError):
+            fsm_from_xml("<notfsm/>", {}, {})
+        with pytest.raises(FsmError):
+            fsm_from_xml("<fsm><state name='x'/></fsm>", {}, {})

@@ -1,0 +1,157 @@
+"""Tests for DOM navigation helpers and the SAX push API."""
+
+import pytest
+
+from repro.xmlkit import (
+    Element,
+    ElementCounter,
+    Text,
+    TextCollector,
+    parse,
+    sax_parse,
+)
+
+CATALOG = """
+<catalog>
+  <item sku="a1"><name>Widget</name><price>3.50</price></item>
+  <item sku="a2"><name>Gadget</name><price>4.75</price></item>
+  <note>inventory</note>
+</catalog>
+"""
+
+
+class TestDomNavigation:
+    def test_find_and_findall(self):
+        root = parse(CATALOG)
+        assert len(root.findall("item")) == 2
+        assert root.find("note").text == "inventory"
+        assert root.find("missing") is None
+
+    def test_iter_descendants(self):
+        root = parse(CATALOG)
+        names = [e.text for e in root.iter("name")]
+        assert names == ["Widget", "Gadget"]
+
+    def test_parent_links_set_by_parser(self):
+        root = parse(CATALOG)
+        item = root.find("item")
+        assert item.parent is root
+        assert item.find("name").parent is item
+
+    def test_ancestors(self):
+        root = parse(CATALOG)
+        name = root.find("item").find("name")
+        assert [a.tag for a in name.ancestors()] == ["item", "catalog"]
+
+    def test_root(self):
+        root = parse(CATALOG)
+        deep = root.find("item").find("price")
+        assert deep.root() is root
+
+    def test_append_sets_parent(self):
+        a = Element("a")
+        b = a.append(Element("b"))
+        assert b.parent is a
+
+    def test_append_string_becomes_text(self):
+        a = Element("a")
+        a.append("hello")
+        assert isinstance(a.children[0], Text)
+        assert a.text == "hello"
+
+    def test_remove_clears_parent(self):
+        a = Element("a")
+        b = a.append(Element("b"))
+        a.remove(b)
+        assert b.parent is None
+        assert a.children == []
+
+    def test_insert(self):
+        a = Element("a", None, Element("c"))
+        a.insert(0, Element("b"))
+        assert [e.tag for e in a.elements()] == ["b", "c"]
+
+    def test_text_setter_replaces_children(self):
+        a = parse("<a><b/>old</a>")
+        a.text = "new"
+        assert a.toxml() == "<a>new</a>"
+
+    def test_attribute_dict_protocol(self):
+        a = Element("a")
+        a["x"] = "1"
+        assert "x" in a
+        assert a["x"] == "1"
+        assert a.get("y", "d") == "d"
+
+    def test_structural_equality_detects_attr_diff(self):
+        assert not parse('<a x="1"/>').equals(parse('<a x="2"/>'))
+
+    def test_structural_equality_detects_order(self):
+        assert not parse("<a><b/><c/></a>").equals(parse("<a><c/><b/></a>"))
+
+    def test_constructor_text_kwarg(self):
+        e = Element("name", text="Ada")
+        assert e.toxml() == "<name>Ada</name>"
+
+    def test_escaping_in_serialization(self):
+        e = Element("a", {"v": 'x"<>&'}, text="<&>")
+        out = e.toxml()
+        assert "&lt;" in out and "&amp;" in out and "&quot;" in out
+        assert parse(out).text == "<&>"
+        assert parse(out)["v"] == 'x"<>&'
+
+
+class TestSax:
+    def test_element_counter(self):
+        counter = ElementCounter()
+        sax_parse(CATALOG, counter)
+        assert counter.counts["item"] == 2
+        assert counter.counts["catalog"] == 1
+        assert counter.total() == 8
+        assert counter.max_depth == 3
+
+    def test_text_collector(self):
+        collector = TextCollector("price")
+        sax_parse(CATALOG, collector)
+        assert collector.values == ["3.50", "4.75"]
+
+    def test_text_collector_nested_same_tag(self):
+        collector = TextCollector("x")
+        sax_parse("<r><x>a<x>b</x>c</x></r>", collector)
+        assert collector.values == ["abc"]
+
+    def test_handler_callback_order(self):
+        calls = []
+
+        class Recorder(ElementCounter):
+            def start_document(self):
+                calls.append("start_doc")
+
+            def end_document(self):
+                calls.append("end_doc")
+
+            def start_element(self, tag, attributes):
+                calls.append(f"<{tag}>")
+
+            def end_element(self, tag):
+                calls.append(f"</{tag}>")
+
+            def characters(self, data):
+                if data.strip():
+                    calls.append(f"text:{data}")
+
+        sax_parse("<a><b>x</b></a>", Recorder())
+        assert calls == ["start_doc", "<a>", "<b>", "text:x", "</b>", "</a>", "end_doc"]
+
+    def test_comment_and_pi_callbacks(self):
+        seen = {}
+
+        class H(ElementCounter):
+            def comment(self, data):
+                seen["comment"] = data
+
+            def processing_instruction(self, target, data):
+                seen["pi"] = (target, data)
+
+        sax_parse("<a><!--c--><?t d?></a>", H())
+        assert seen == {"comment": "c", "pi": ("t", "d")}

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the XML stack invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlkit import (
+    Element,
+    ElementCounter,
+    dumps,
+    escape_attribute,
+    escape_text,
+    loads,
+    parse,
+    sax_parse,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+tag_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.-]{0,10}", fullmatch=True)
+
+# XML 1.0 valid chars, avoiding control chars and surrogates
+text_data = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        categories=("L", "N", "P", "S", "Z"),
+        include_characters=" \t\n<>&\"'",
+    ),
+    max_size=40,
+)
+
+attr_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_-]{0,8}", fullmatch=True)
+
+
+@st.composite
+def elements(draw, depth=3):
+    tag = draw(tag_names)
+    n_attrs = draw(st.integers(0, 3))
+    attrs = {}
+    for _ in range(n_attrs):
+        attrs[draw(attr_names)] = draw(text_data)
+    element = Element(tag, attrs)
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                element.append(draw(elements(depth=depth - 1)))
+            else:
+                element.append(draw(text_data))
+    else:
+        maybe_text = draw(st.one_of(st.none(), text_data))
+        if maybe_text:
+            element.append(maybe_text)
+    return element
+
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(string.ascii_letters, min_size=1, max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+# -- properties ---------------------------------------------------------------
+
+
+@given(elements())
+@settings(max_examples=60, deadline=None)
+def test_serialize_parse_round_trip(element):
+    """toxml() of a normalized tree always reparses structurally equal."""
+    element.normalize()
+    reparsed = parse(element.toxml())
+    assert element.equals(reparsed)
+
+
+@given(text_data)
+@settings(max_examples=100, deadline=None)
+def test_text_escaping_round_trip(data):
+    e = Element("t")
+    e.append(data)
+    assert parse(e.toxml()).text == data
+
+
+@given(text_data)
+@settings(max_examples=100, deadline=None)
+def test_attribute_escaping_round_trip(data):
+    e = Element("t", {"v": data})
+    assert parse(e.toxml())["v"] == data
+
+
+@given(elements())
+@settings(max_examples=40, deadline=None)
+def test_sax_dom_agree_on_element_count(element):
+    """SAX counter over serialized output matches DOM traversal count."""
+    counter = ElementCounter()
+    sax_parse(element.toxml(), counter)
+    dom_count = sum(1 for _ in element.iter())
+    assert counter.total() == dom_count
+
+
+@given(elements())
+@settings(max_examples=40, deadline=None)
+def test_pretty_print_preserves_structure(element):
+    element.normalize()
+    pretty = element.topretty()
+    assert parse(pretty).equals(element, ignore_whitespace=True) or element.equals(
+        parse(pretty), ignore_whitespace=True
+    )
+
+
+@given(json_values)
+@settings(max_examples=80, deadline=None)
+def test_databind_round_trip(value):
+    """dumps/loads is lossless for the supported value universe."""
+    assert loads(dumps("root", value)) == value
+
+
+@given(text_data)
+def test_escape_text_never_emits_raw_specials(data):
+    escaped = escape_text(data)
+    assert "<" not in escaped.replace("&lt;", "")
+    # all ampersands must start entities we produced
+    rest = escaped
+    for ent in ("&amp;", "&lt;", "&gt;"):
+        rest = rest.replace(ent, "")
+    assert "&" not in rest
+
+
+@given(text_data)
+def test_escape_attribute_never_emits_quote(data):
+    escaped = escape_attribute(data)
+    rest = escaped
+    for ent in ("&amp;", "&lt;", "&gt;", "&quot;", "&apos;"):
+        rest = rest.replace(ent, "")
+    assert '"' not in rest
+
+
+@given(elements())
+@settings(max_examples=40, deadline=None)
+def test_xpath_descendant_matches_iter(element):
+    """//tag selects exactly the DOM-traversal descendants, in order."""
+    from repro.xmlkit import select
+
+    element.normalize()
+    tags = {e.tag for e in element.iter()}
+    for tag in list(tags)[:3]:
+        via_xpath = select(element, f"//{tag}")
+        via_iter = [e for e in element.iter(tag)]
+        assert via_xpath == via_iter
+
+
+@given(elements())
+@settings(max_examples=40, deadline=None)
+def test_xpath_wildcard_children(element):
+    """'*' selects exactly the direct child elements."""
+    from repro.xmlkit import select
+
+    assert select(element, "*") == list(element.elements())
+
+
+@given(elements())
+@settings(max_examples=30, deadline=None)
+def test_xpath_parent_inverts_child(element):
+    """For every child reached by '*', '..' climbs back to the element."""
+    from repro.xmlkit import select
+
+    for child in select(element, "*"):
+        parents = select(child, "..")
+        assert parents == [element]

@@ -1,0 +1,305 @@
+"""Tests for schema validation, XSLT transforms, and databinding."""
+
+import pytest
+
+from repro.xmlkit import (
+    Attribute,
+    DataBindingError,
+    INTEGER,
+    STRING,
+    Schema,
+    SchemaError,
+    Stylesheet,
+    XSLTError,
+    choice,
+    dumps,
+    element,
+    enumeration,
+    from_element,
+    integer_type,
+    loads,
+    parse,
+    schema_from_xml,
+    sequence,
+    string_type,
+    to_element,
+    transform,
+)
+
+ACCOUNT_SCHEMA = Schema(
+    element(
+        "account",
+        sequence(
+            element("name", STRING),
+            element("ssn", string_type(pattern=r"\d{3}-\d{2}-\d{4}")),
+            element("score", integer_type(minimum=300, maximum=850)),
+            element("tag", STRING, min_occurs=0, max_occurs=None),
+        ),
+        attributes={"id": Attribute("id", STRING, required=True)},
+    )
+)
+
+VALID = '<account id="u1"><name>Ada</name><ssn>123-45-6789</ssn><score>720</score></account>'
+
+
+class TestSchemaValidation:
+    def test_valid_document(self):
+        assert ACCOUNT_SCHEMA.is_valid(parse(VALID))
+
+    def test_wrong_root(self):
+        violations = ACCOUNT_SCHEMA.validate(parse("<user/>"))
+        assert any("root element" in v.message for v in violations)
+
+    def test_missing_required_attribute(self):
+        doc = parse(VALID.replace(' id="u1"', ""))
+        violations = ACCOUNT_SCHEMA.validate(doc)
+        assert any("required attribute" in v.message for v in violations)
+
+    def test_undeclared_attribute(self):
+        doc = parse(VALID.replace('id="u1"', 'id="u1" hacked="y"'))
+        assert not ACCOUNT_SCHEMA.is_valid(doc)
+
+    def test_pattern_facet(self):
+        doc = parse(VALID.replace("123-45-6789", "12345"))
+        violations = ACCOUNT_SCHEMA.validate(doc)
+        assert any("pattern" in v.message for v in violations)
+
+    def test_integer_range(self):
+        doc = parse(VALID.replace("720", "900"))
+        violations = ACCOUNT_SCHEMA.validate(doc)
+        assert any("maxInclusive" in v.message for v in violations)
+
+    def test_non_integer(self):
+        doc = parse(VALID.replace("720", "abc"))
+        assert not ACCOUNT_SCHEMA.is_valid(doc)
+
+    def test_missing_required_child(self):
+        doc = parse('<account id="u1"><name>Ada</name><score>720</score></account>')
+        violations = ACCOUNT_SCHEMA.validate(doc)
+        assert any("ssn" in v.message for v in violations)
+
+    def test_out_of_order_rejected(self):
+        doc = parse(
+            '<account id="u1"><ssn>123-45-6789</ssn><name>Ada</name><score>720</score></account>'
+        )
+        assert not ACCOUNT_SCHEMA.is_valid(doc)
+
+    def test_repeatable_optional_element(self):
+        doc = parse(VALID.replace("</account>", "<tag>a</tag><tag>b</tag></account>"))
+        assert ACCOUNT_SCHEMA.is_valid(doc)
+
+    def test_unexpected_trailing_element(self):
+        doc = parse(VALID.replace("</account>", "<extra/></account>"))
+        assert not ACCOUNT_SCHEMA.is_valid(doc)
+
+    def test_assert_valid_raises(self):
+        with pytest.raises(SchemaError):
+            ACCOUNT_SCHEMA.assert_valid(parse("<user/>"))
+
+    def test_choice_accepts_either(self):
+        schema = Schema(
+            element("payment", choice(element("card", STRING), element("cash", STRING)))
+        )
+        assert schema.is_valid(parse("<payment><card>visa</card></payment>"))
+        assert schema.is_valid(parse("<payment><cash>20</cash></payment>"))
+
+    def test_choice_rejects_mixed(self):
+        schema = Schema(
+            element("payment", choice(element("card", STRING), element("cash", STRING)))
+        )
+        assert not schema.is_valid(parse("<payment><card>v</card><cash>2</cash></payment>"))
+
+    def test_choice_rejects_foreign(self):
+        schema = Schema(
+            element("payment", choice(element("card", STRING), element("cash", STRING)))
+        )
+        assert not schema.is_valid(parse("<payment><check>n</check></payment>"))
+
+    def test_enumeration(self):
+        schema = Schema(element("status", enumeration("status", ["ok", "fail"])))
+        assert schema.is_valid(parse("<status>ok</status>"))
+        assert not schema.is_valid(parse("<status>maybe</status>"))
+
+    def test_occurrence_bounds_validation(self):
+        with pytest.raises(SchemaError):
+            element("x", STRING, min_occurs=2, max_occurs=1)
+
+
+class TestSchemaFromXml:
+    SCHEMA_XML = """
+    <schema>
+      <element name="account">
+        <sequence>
+          <element name="name" type="string"/>
+          <element name="score" type="integer" min="300" max="850"/>
+          <element name="tag" type="string" minOccurs="0" maxOccurs="unbounded"/>
+        </sequence>
+        <attribute name="id" type="string" required="true"/>
+      </element>
+    </schema>
+    """
+
+    def test_loaded_schema_validates(self):
+        schema = schema_from_xml(self.SCHEMA_XML)
+        good = parse('<account id="1"><name>A</name><score>500</score></account>')
+        bad = parse('<account id="1"><name>A</name><score>900</score></account>')
+        assert schema.is_valid(good)
+        assert not schema.is_valid(bad)
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_xml("<notschema/>")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            schema_from_xml(
+                '<schema><element name="x" type="quaternion"/></schema>'
+            )
+
+
+class TestXslt:
+    SHEET = """
+    <stylesheet>
+      <template match="/">
+        <html><apply-templates/></html>
+      </template>
+      <template match="book">
+        <li id="{@isbn}"><value-of select="title"/></li>
+      </template>
+    </stylesheet>
+    """
+    SOURCE = """
+    <library>
+      <book isbn="1"><title>SOA</title></book>
+      <book isbn="2"><title>Cloud</title></book>
+    </library>
+    """
+
+    def test_template_transform(self):
+        out = transform(self.SOURCE, self.SHEET)
+        root = parse(out)
+        items = root.findall("li")
+        assert [i["id"] for i in items] == ["1", "2"]
+        assert [i.text for i in items] == ["SOA", "Cloud"]
+
+    def test_for_each(self):
+        sheet = """
+        <stylesheet>
+          <template match="/">
+            <out><for-each select="//title"><t><value-of select="."/></t></for-each></out>
+          </template>
+        </stylesheet>
+        """
+        out = transform(self.SOURCE, sheet)
+        assert [t.text for t in parse(out).findall("t")] == ["SOA", "Cloud"]
+
+    def test_if_true_and_false(self):
+        sheet = """
+        <stylesheet>
+          <template match="/">
+            <out>
+              <if test="//book[@isbn='1']"><yes/></if>
+              <if test="//book[@isbn='9']"><no/></if>
+            </out>
+          </template>
+        </stylesheet>
+        """
+        root = parse(transform(self.SOURCE, sheet))
+        assert root.find("yes") is not None
+        assert root.find("no") is None
+
+    def test_builtin_rules_copy_text(self):
+        sheet = """
+        <stylesheet>
+          <template match="title"><value-of select="."/></template>
+        </stylesheet>
+        """
+        out = transform(self.SOURCE, sheet)
+        assert "SOA" in out and "Cloud" in out
+
+    def test_copy_of(self):
+        sheet = """
+        <stylesheet>
+          <template match="/"><keep><copy-of select="//book[@isbn='2']"/></keep></template>
+        </stylesheet>
+        """
+        root = parse(transform(self.SOURCE, sheet))
+        assert root.find("book")["isbn"] == "2"
+
+    def test_more_specific_template_wins(self):
+        sheet = """
+        <stylesheet>
+          <template match="*"><any/></template>
+          <template match="book"><b/></template>
+        </stylesheet>
+        """
+        root = parse("<x><book/></x>")
+        out = Stylesheet.from_xml(sheet).apply_to_string(root)
+        # match="*" applies to root <x>; book template must win for <book>
+        assert "<any/>" in out
+
+    def test_missing_match_rejected(self):
+        with pytest.raises(XSLTError):
+            Stylesheet.from_xml("<stylesheet><template/></stylesheet>")
+
+    def test_empty_stylesheet_rejected(self):
+        with pytest.raises(XSLTError):
+            Stylesheet.from_xml("<stylesheet/>")
+
+
+class TestDatabind:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            3.14159,
+            "",
+            "hello <world> & 'friends'",
+            b"\x00\x01\xff",
+            [1, 2, 3],
+            [],
+            {"a": 1, "b": [True, None]},
+            {},
+            {"nested": {"deep": {"list": ["x", 2.5]}}},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert loads(dumps("v", value)) == value
+
+    def test_bool_not_confused_with_int(self):
+        assert loads(dumps("v", True)) is True
+        assert loads(dumps("v", 1)) == 1
+        assert not isinstance(loads(dumps("v", 1)), bool)
+
+    def test_dataclass_encoding(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: int
+
+        decoded = from_element(to_element("p", Point(1, 2)))
+        assert decoded == {"x": 1, "y": 2}
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(DataBindingError):
+            to_element("v", object())
+
+    def test_non_string_map_key_rejected(self):
+        with pytest.raises(DataBindingError):
+            to_element("v", {1: "x"})
+
+    def test_missing_type_attribute_rejected(self):
+        with pytest.raises(DataBindingError):
+            from_element(parse("<v>1</v>"))
+
+    def test_bad_payloads_rejected(self):
+        with pytest.raises(DataBindingError):
+            from_element(parse('<v type="int">xyz</v>'))
+        with pytest.raises(DataBindingError):
+            from_element(parse('<v type="teapot">x</v>'))

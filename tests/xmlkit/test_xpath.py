@@ -1,0 +1,143 @@
+"""Tests for the XPath subset."""
+
+import pytest
+
+from repro.xmlkit import XPath, XPathError, count, exists, parse, select, select_one
+
+DOC = parse(
+    """
+<library>
+  <shelf id="s1">
+    <book isbn="111" year="1999"><title>SOA Basics</title><price>30</price></book>
+    <book isbn="222" year="2011"><title>Web Services</title><price>45</price></book>
+  </shelf>
+  <shelf id="s2">
+    <book isbn="333" year="2011"><title>Cloud</title><price>50</price></book>
+  </shelf>
+  <owner>ASU</owner>
+</library>
+"""
+)
+
+
+class TestPaths:
+    def test_absolute_path(self):
+        titles = select(DOC, "/library/shelf/book/title")
+        assert [t.text for t in titles] == ["SOA Basics", "Web Services", "Cloud"]
+
+    def test_relative_path(self):
+        shelf = DOC.find("shelf")
+        assert count(shelf, "book") == 2
+
+    def test_descendant_shorthand(self):
+        assert count(DOC, "//book") == 3
+        assert count(DOC, "//title") == 3
+
+    def test_descendant_mid_path(self):
+        prices = select(DOC, "/library//price")
+        assert [p.text for p in prices] == ["30", "45", "50"]
+
+    def test_wildcard(self):
+        assert count(DOC, "/library/*") == 3
+
+    def test_parent_step(self):
+        shelves = select(DOC, "//book/..")
+        assert {s["id"] for s in shelves} == {"s1", "s2"}
+
+    def test_self_step(self):
+        assert select_one(DOC, "/library/.").tag == "library"
+
+    def test_root_mismatch_returns_empty(self):
+        assert select(DOC, "/nothere/book") == []
+
+
+class TestTerminalSelections:
+    def test_attribute_selection(self):
+        assert select(DOC, "//book/@isbn") == ["111", "222", "333"]
+
+    def test_attribute_wildcard(self):
+        values = select(DOC, "/library/shelf[1]/@*")
+        assert values == ["s1"]
+
+    def test_text_selection(self):
+        assert select(DOC, "/library/owner/text()") == ["ASU"]
+
+    def test_missing_attribute_skipped(self):
+        assert select(DOC, "/library/owner/@id") == []
+
+
+class TestPredicates:
+    def test_positional(self):
+        assert select_one(DOC, "/library/shelf[2]")["id"] == "s2"
+
+    def test_last(self):
+        assert select_one(DOC, "/library/shelf[last()]")["id"] == "s2"
+
+    def test_attribute_equality(self):
+        book = select_one(DOC, "//book[@isbn='222']")
+        assert book.find("title").text == "Web Services"
+
+    def test_attribute_inequality(self):
+        assert count(DOC, "//book[@isbn!='222']") == 2
+
+    def test_attribute_existence(self):
+        assert count(DOC, "//book[@isbn]") == 3
+        assert count(DOC, "//book[@missing]") == 0
+
+    def test_child_existence(self):
+        assert count(DOC, "//book[title]") == 3
+        assert count(DOC, "//shelf[owner]") == 0
+
+    def test_child_value(self):
+        assert select_one(DOC, "//book[title='Cloud']")["isbn"] == "333"
+
+    def test_numeric_comparison(self):
+        cheap = select(DOC, "//book[price<40]")
+        assert [b["isbn"] for b in cheap] == ["111"]
+        assert count(DOC, "//book[price>=45]") == 2
+
+    def test_dot_value_predicate(self):
+        assert count(DOC, "//title[.='Cloud']") == 1
+
+    def test_chained_predicates(self):
+        result = select(DOC, "//book[@year='2011'][price>45]")
+        assert [b["isbn"] for b in result] == ["333"]
+
+    def test_predicate_on_mid_step(self):
+        titles = select(DOC, "/library/shelf[@id='s1']/book/title")
+        assert len(titles) == 2
+
+
+class TestOperatorsAndApi:
+    def test_union(self):
+        results = select(DOC, "/library/owner | //book[@isbn='111']/title")
+        texts = [r.text for r in results]
+        assert set(texts) == {"ASU", "SOA Basics"}
+
+    def test_exists(self):
+        assert exists(DOC, "//book")
+        assert not exists(DOC, "//magazine")
+
+    def test_compiled_reuse(self):
+        xp = XPath("//book")
+        assert len(xp.select(DOC)) == 3
+        other = parse("<library><shelf><book/></shelf></library>")
+        assert len(xp.select(other)) == 1
+
+    def test_document_context_accepted(self):
+        from repro.xmlkit import parse_document
+
+        doc = parse_document("<r><x/></r>")
+        assert count(doc, "/r/x") == 1
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(XPathError):
+            XPath("   ")
+
+    def test_no_duplicate_elements_from_overlapping_union(self):
+        results = select(DOC, "//book | /library/shelf/book")
+        assert len(results) == 3
+
+    def test_namespace_local_name_match(self):
+        doc = parse("<s:env><s:body><x/></s:body></s:env>")
+        assert count(doc, "/env/body/x") == 1
