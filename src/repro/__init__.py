@@ -17,6 +17,9 @@ parallelism   sync primitives, work stealing, parallel algorithms,
 web           web app framework: state management, caching, forms,
               templates, dynamic images (Unit 5)
 security      dependability: ciphers, auth, RBAC, reliability patterns
+resilience    policy-driven resilience middleware: deadlines, retry
+              budgets, per-endpoint circuit breakers, bulkheads,
+              fallback, broker QoS feedback, chaos harness
 workflow      VPL dataflow, FSM (Fig. 2), BPEL orchestration, flowcharts
 robotics      maze world, robot simulator, Robot-as-a-Service, web
               programming environment (Figs. 1-2)
@@ -37,6 +40,6 @@ __version__ = "1.0.0"
 
 __all__ = [
     "xmlkit", "core", "transport", "parallelism", "web", "security",
-    "workflow", "robotics", "services", "directory", "curriculum", "apps",
-    "events", "data", "semantic", "cloud",
+    "resilience", "workflow", "robotics", "services", "directory",
+    "curriculum", "apps", "events", "data", "semantic", "cloud",
 ]

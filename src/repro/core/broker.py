@@ -45,18 +45,30 @@ class Endpoint:
     binding: str
     address: str
 
+    @property
+    def key(self) -> str:
+        """Stable identity used for per-endpoint QoS and circuit breakers."""
+        return f"{self.binding}:{self.address}"
+
 
 @dataclass
 class QoSReport:
-    """Aggregated client-observed quality of a registration."""
+    """Aggregated client-observed quality of a registration or endpoint.
+
+    ``fast_fails`` counts rejections that never reached the provider
+    (open circuit, saturated bulkhead) — they hurt availability but are
+    excluded from mean latency, which measures the provider itself.
+    """
 
     samples: int = 0
     faults: int = 0
     total_latency: float = 0.0
+    fast_fails: int = 0
 
     @property
     def mean_latency(self) -> float:
-        return self.total_latency / self.samples if self.samples else 0.0
+        provider_samples = self.samples - self.fast_fails
+        return self.total_latency / provider_samples if provider_samples > 0 else 0.0
 
     @property
     def availability(self) -> float:
@@ -72,10 +84,15 @@ class Registration:
     provider: str = "anonymous"
     lease_expires: Optional[float] = None  # broker-clock timestamp
     qos: QoSReport = field(default_factory=QoSReport)
+    endpoint_qos: dict[str, QoSReport] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
         return self.contract.name
+
+    def qos_for(self, endpoint: Endpoint) -> QoSReport:
+        """Per-endpoint QoS (empty report when nothing was observed yet)."""
+        return self.endpoint_qos.get(endpoint.key, QoSReport())
 
 
 class ServiceBroker:
@@ -220,16 +237,66 @@ class ServiceBroker:
         )
 
     # -- QoS feedback -------------------------------------------------------
-    def report(self, name: str, latency_seconds: float, *, fault: bool = False) -> None:
-        """Clients report observed call quality back to the broker."""
+    def report(
+        self,
+        name: str,
+        latency_seconds: float,
+        *,
+        fault: bool = False,
+        endpoint: Optional[Endpoint | str] = None,
+        fast_fail: bool = False,
+    ) -> None:
+        """Clients report observed call quality back to the broker.
+
+        When ``endpoint`` is given (an :class:`Endpoint` or its ``key``),
+        the sample is additionally attributed to that endpoint so
+        :meth:`endpoints_by_preference` can rank bindings of one service.
+        ``fast_fail`` marks policy-layer rejections (circuit open,
+        bulkhead full) that never touched the provider.
+        """
         with self._lock:
             registration = self._registrations.get(name)
             if registration is None:
                 return  # provider vanished; nothing to attribute
-            registration.qos.samples += 1
-            registration.qos.total_latency += latency_seconds
-            if fault:
-                registration.qos.faults += 1
+            for report in self._reports_for_locked(registration, endpoint):
+                report.samples += 1
+                if fast_fail:
+                    report.fast_fails += 1
+                else:
+                    report.total_latency += latency_seconds
+                if fault:
+                    report.faults += 1
+
+    @staticmethod
+    def _reports_for_locked(
+        registration: Registration, endpoint: Optional[Endpoint | str]
+    ) -> list[QoSReport]:
+        reports = [registration.qos]
+        if endpoint is not None:
+            key = endpoint.key if isinstance(endpoint, Endpoint) else endpoint
+            reports.append(registration.endpoint_qos.setdefault(key, QoSReport()))
+        return reports
+
+    def endpoints_by_preference(self, name: str) -> list[Endpoint]:
+        """All endpoints of ``name``, healthiest first.
+
+        Ranking is per-endpoint availability (descending) then mean
+        latency (ascending); endpoints with no observations rank as
+        perfectly healthy (optimistic first contact).  This is what the
+        resilient proxy uses to prefer healthy bindings and fail over.
+        """
+        with self._lock:
+            registration = self._get_locked(name)
+            endpoints = list(registration.endpoints)
+            ranked = sorted(
+                range(len(endpoints)),
+                key=lambda i: (
+                    -registration.qos_for(endpoints[i]).availability,
+                    registration.qos_for(endpoints[i]).mean_latency,
+                    i,  # stable: publication order breaks ties
+                ),
+            )
+            return [endpoints[i] for i in ranked]
 
     def best_by_qos(self, names: list[str]) -> Optional[Registration]:
         """Among published ``names``, pick highest availability then lowest latency."""

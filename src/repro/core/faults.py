@@ -63,9 +63,28 @@ class UnknownOperation(ServiceFault):
 
 
 class ServiceUnavailable(ServiceFault):
-    """The provider exists but refuses work (overload, maintenance, circuit open)."""
+    """The provider exists but refuses work (overload, maintenance, circuit open).
+
+    ``retry_after`` optionally hints how long (seconds) the caller should
+    wait before trying again; it maps to/from the HTTP 503 ``Retry-After``
+    header and is honored by the retry machinery in
+    :mod:`repro.security.reliability` and :mod:`repro.resilience`.
+    ``fast_fail`` marks rejections that never reached the provider (open
+    circuit, saturated bulkhead).
+    """
 
     code = "Server.Unavailable"
+
+    def __init__(
+        self,
+        message: str,
+        code: Optional[str] = None,
+        detail: Any = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message, code, detail)
+        self.retry_after = retry_after
+        self.fast_fail = False
 
 
 class AccessDenied(ServiceFault):

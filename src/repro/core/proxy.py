@@ -78,8 +78,30 @@ def proxy_from_broker(
     broker: ServiceBroker,
     bus: ServiceBus,
     service_name: str,
+    *,
+    policy: Optional[Any] = None,
+    **policy_kwargs: Any,
 ) -> ServiceProxy:
-    """Discover ``service_name`` in the broker and bind over the in-process bus."""
+    """Discover ``service_name`` in the broker and bind a typed proxy.
+
+    Without a ``policy``, binds directly over the in-process bus (the
+    original SOD workflow).  With a ``policy`` (a
+    :class:`repro.resilience.ResiliencePolicy`), the proxy instead
+    dispatches through a broker-guided
+    :class:`~repro.resilience.binding.FailoverInvoker`: endpoints are
+    tried healthiest-first across *all* registered bindings, every
+    attempt is policy-defended, and outcomes feed the broker's QoS loop.
+    ``policy_kwargs`` (``clock``, ``sleep``, ``rng``, ``budget``,
+    ``http_factory``, ``middlewares``) pass through to the failover
+    invoker for deterministic testing.
+    """
+    if policy is not None:
+        # Lazy import: core stays importable without the resilience layer.
+        from ..resilience.binding import resilient_proxy_from_broker
+
+        return resilient_proxy_from_broker(
+            broker, service_name, bus=bus, policy=policy, **policy_kwargs
+        )
     registration = broker.lookup(service_name)
     endpoint = broker.endpoint_for(service_name, binding="inproc")
 

@@ -7,6 +7,14 @@ discovers available services online."
 BFS over a :class:`~repro.directory.webgraph.WebGraph` with per-domain
 politeness budgets, a page cap, and dead-link accounting.  Any fetched
 XML page that parses as a contract document is harvested.
+
+Dependability (the §V "often offline or removed without notice"
+lesson applied to the crawler itself): dead fetches can be retried under
+a shared :class:`~repro.resilience.RetryBudget` (so a dying web does not
+multiply crawl cost), and domains that keep failing are quarantined
+through a leased :class:`~repro.resilience.Quarantine` — consistent with
+broker lease expiry, a quarantined host gets another chance only after
+its lease lapses.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.contracts import ServiceContract
+from ..resilience.policy import RetryBudget
+from ..resilience.quarantine import Quarantine
 from ..transport.wsdl import contract_from_xml
 from .webgraph import WebGraph
 
@@ -32,6 +42,10 @@ class CrawlReport:
     skipped_by_budget: int = 0
     simulated_seconds: float = 0.0
     visited: set[str] = field(default_factory=set)
+    retries: int = 0
+    retries_denied: int = 0
+    skipped_by_quarantine: int = 0
+    quarantined_domains: set[str] = field(default_factory=set)
 
     @property
     def contract_names(self) -> list[str]:
@@ -49,7 +63,11 @@ class ServiceCrawler:
     """Breadth-first crawler with per-domain budgets.
 
     ``max_pages`` caps total fetches; ``per_domain_budget`` caps fetches
-    per host (politeness).  Deterministic: FIFO frontier, link order as
+    per host (politeness).  ``fetch_attempts`` > 1 retries dead fetches,
+    each retry drawing on ``retry_budget`` when one is supplied (a
+    crawler-wide cap on retry amplification).  With a ``quarantine``,
+    domains whose URLs keep coming back dead are skipped until their
+    quarantine lease lapses.  Deterministic: FIFO frontier, link order as
     found, no randomness.
     """
 
@@ -59,14 +77,40 @@ class ServiceCrawler:
         *,
         max_pages: int = 1000,
         per_domain_budget: Optional[int] = None,
+        fetch_attempts: int = 1,
+        retry_budget: Optional[RetryBudget] = None,
+        quarantine: Optional[Quarantine] = None,
     ) -> None:
         if max_pages < 1:
             raise ValueError("max_pages must be >= 1")
+        if fetch_attempts < 1:
+            raise ValueError("fetch_attempts must be >= 1")
         self.graph = graph
         self.max_pages = max_pages
         self.per_domain_budget = per_domain_budget
+        self.fetch_attempts = fetch_attempts
+        self.retry_budget = retry_budget
+        self.quarantine = quarantine
+
+    def _fetch_with_retry(self, url: str, report: CrawlReport):
+        """Fetch ``url``, retrying dead results within attempts + budget."""
+        if self.retry_budget is not None:
+            self.retry_budget.record_attempt()
+        page = self.graph.fetch(url)
+        report.pages_fetched += 1
+        attempt = 1
+        while page is None and attempt < self.fetch_attempts:
+            if self.retry_budget is not None and not self.retry_budget.allow_retry():
+                report.retries_denied += 1
+                break
+            report.retries += 1
+            page = self.graph.fetch(url)
+            report.pages_fetched += 1
+            attempt += 1
+        return page
 
     def crawl(self, seeds: list[str]) -> CrawlReport:
+        """Run one crawl from ``seeds``; returns the full accounting."""
         report = CrawlReport()
         frontier: deque[str] = deque(seeds)
         queued = set(seeds)
@@ -74,6 +118,9 @@ class ServiceCrawler:
         while frontier and report.pages_fetched < self.max_pages:
             url = frontier.popleft()
             domain = _domain(url)
+            if self.quarantine is not None and self.quarantine.is_quarantined(domain):
+                report.skipped_by_quarantine += 1
+                continue
             if (
                 self.per_domain_budget is not None
                 and domain_counts.get(domain, 0) >= self.per_domain_budget
@@ -81,11 +128,16 @@ class ServiceCrawler:
                 report.skipped_by_budget += 1
                 continue
             domain_counts[domain] = domain_counts.get(domain, 0) + 1
-            page = self.graph.fetch(url)
-            report.pages_fetched += 1
+            page = self._fetch_with_retry(url, report)
             if page is None:
                 report.dead_links += 1
+                if self.quarantine is not None and self.quarantine.report_failure(
+                    domain
+                ):
+                    report.quarantined_domains.add(domain)
                 continue
+            if self.quarantine is not None:
+                self.quarantine.report_success(domain)
             report.visited.add(url)
             report.simulated_seconds += page.latency
             if page.content_type == "application/xml":

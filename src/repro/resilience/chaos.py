@@ -1,0 +1,163 @@
+"""Deterministic chaos harness: seeded fault plans and manual clocks.
+
+Chaos testing here is *reproducible by construction*: a
+:class:`ChaosPlan` is generated from a seed, every injected latency spike
+advances a :class:`ManualClock` instead of sleeping, and plans compile to
+:class:`~repro.security.reliability.FaultInjector` specs so the same plan
+can be driven at the provider layer, the transport layer, or the client
+invoker — the chaos suite in ``tests/integration/test_chaos_bindings.py``
+proves all three bindings surface identical faults under identical plans.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.faults import ServiceFault, ServiceUnavailable, TransportError
+
+__all__ = ["ManualClock", "ChaosEvent", "ChaosPlan"]
+
+
+class ManualClock:
+    """An injectable clock advanced explicitly — no sleeps, no flakes.
+
+    Doubles as the ``sleep`` callable for retry backoff and the
+    ``sleep``/latency hook for fault injectors: "sleeping" advances the
+    clock, so simulated time passes instantly and deterministically.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        return self.now()
+
+    def now(self) -> float:
+        """Current simulated time."""
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward (also usable directly as a ``sleep``)."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        with self._lock:
+            self._now += seconds
+
+    sleep = advance  # alias: inject the clock where a sleep is expected
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One planned injection: ``kind`` in {ok, fault, unavailable, drop, latency}."""
+
+    kind: str
+    value: float = 0.0  # latency seconds, or retry_after for unavailable
+
+    KINDS = ("ok", "fault", "unavailable", "drop", "latency")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}")
+
+
+class ChaosPlan:
+    """A finite, seeded schedule of fault injections.
+
+    ``generate`` draws events from a weighted kind distribution with a
+    private :class:`random.Random`, so a (seed, length, weights) triple
+    always yields the same plan.  Exhausted plans inject nothing.
+    """
+
+    def __init__(self, events: Sequence[ChaosEvent]) -> None:
+        self.events = list(events)
+        self._position = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        length: int,
+        *,
+        weights: Optional[dict[str, float]] = None,
+        latency_range: tuple[float, float] = (0.5, 5.0),
+        retry_after_range: tuple[float, float] = (0.1, 1.0),
+    ) -> "ChaosPlan":
+        """Build a deterministic plan of ``length`` events from ``seed``."""
+        rng = random.Random(seed)
+        weights = weights or {
+            "ok": 0.5,
+            "fault": 0.15,
+            "unavailable": 0.15,
+            "drop": 0.1,
+            "latency": 0.1,
+        }
+        kinds = list(weights)
+        kind_weights = [weights[k] for k in kinds]
+        events = []
+        for _ in range(length):
+            kind = rng.choices(kinds, weights=kind_weights)[0]
+            if kind == "latency":
+                value = rng.uniform(*latency_range)
+            elif kind == "unavailable":
+                value = rng.uniform(*retry_after_range)
+            else:
+                value = 0.0
+            events.append(ChaosEvent(kind, value))
+        return cls(events)
+
+    def next_event(self) -> Optional[ChaosEvent]:
+        """Consume and return the next event (None once exhausted)."""
+        with self._lock:
+            if self._position >= len(self.events):
+                return None
+            event = self.events[self._position]
+            self._position += 1
+            return event
+
+    def reset(self) -> None:
+        """Rewind the plan so the identical schedule replays from the start."""
+        with self._lock:
+            self._position = 0
+
+    def remaining(self) -> int:
+        """Events not yet consumed."""
+        with self._lock:
+            return len(self.events) - self._position
+
+    def kinds(self) -> list[str]:
+        """The full planned kind sequence (for assertions and reports)."""
+        return [event.kind for event in self.events]
+
+    def as_injector_specs(self) -> list[Optional[Exception | float]]:
+        """Compile to :class:`~repro.security.reliability.FaultInjector` specs.
+
+        ``ok`` → None, ``fault`` → :class:`ServiceFault`, ``unavailable``
+        → :class:`ServiceUnavailable` (with ``retry_after``), ``drop`` →
+        :class:`TransportError`, ``latency`` → injected seconds.
+        """
+        specs: list[Optional[Exception | float]] = []
+        for event in self.events:
+            if event.kind == "ok":
+                specs.append(None)
+            elif event.kind == "fault":
+                specs.append(ServiceFault("chaos: provider fault", code="Server.Chaos"))
+            elif event.kind == "unavailable":
+                specs.append(
+                    ServiceUnavailable(
+                        "chaos: provider refused work", retry_after=event.value
+                    )
+                )
+            elif event.kind == "drop":
+                specs.append(TransportError("chaos: message dropped"))
+            else:  # latency
+                specs.append(event.value)
+        return specs
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,197 @@
+"""Declarative resilience policies.
+
+A :class:`ResiliencePolicy` is a *description* of how an invocation should
+be defended — deadline, retry schedule, circuit breaking, bulkhead
+concurrency, graceful degradation.  It contains no behaviour of its own;
+:mod:`repro.resilience.middleware` compiles a policy into a middleware
+chain attached at the proxy/bus/transport boundary, so the same policy
+object governs in-process, SOAP-style, and REST-style invocations
+identically (the paper's "same service, many bindings" property extended
+to dependability).
+
+Everything time- or randomness-dependent is injectable, so policies are
+fully deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.faults import (
+    ServiceUnavailable,
+    TimeoutFault,
+    TransportError,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitPolicy",
+    "BulkheadPolicy",
+    "FallbackPolicy",
+    "ResiliencePolicy",
+    "RetryBudget",
+    "NO_FALLBACK",
+    "RETRYABLE_FAULTS",
+]
+
+#: Exception types that are safe to retry by default: the provider either
+#: refused work, timed out, or was unreachable — never application faults.
+RETRYABLE_FAULTS: tuple[type[Exception], ...] = (
+    ServiceUnavailable,
+    TimeoutFault,
+    TransportError,
+    OSError,
+)
+
+
+class _NoFallback:
+    """Sentinel: a fallback policy with no static value configured."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NO_FALLBACK"
+
+
+NO_FALLBACK = _NoFallback()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff schedule.
+
+    ``attempts`` counts the first try; ``jitter`` is the +/- fraction of
+    each delay randomized through the injected RNG.  A ``retry_after``
+    hint carried by the failure (e.g. from an HTTP 503 ``Retry-After``
+    header) raises the wait to at least that long.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.0
+    retry_on: tuple[type[Exception], ...] = RETRYABLE_FAULTS
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CircuitPolicy:
+    """Per-endpoint circuit breaker configuration (single-probe half-open)."""
+
+    failure_threshold: int = 5
+    recovery_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.recovery_seconds <= 0:
+            raise ValueError("recovery_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class BulkheadPolicy:
+    """Cap concurrent in-flight calls per endpoint; excess fail fast."""
+
+    max_concurrent: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """Graceful degradation: static value and/or last-good-value cache.
+
+    When an invocation fails with one of ``applies_to`` after all retries,
+    the chain first consults the last-good-value cache (if
+    ``use_last_good``), then the static ``value`` (if configured), and
+    only then lets the fault propagate.
+    """
+
+    value: Any = NO_FALLBACK
+    use_last_good: bool = False
+    applies_to: tuple[type[Exception], ...] = RETRYABLE_FAULTS
+
+    @property
+    def has_static_value(self) -> bool:
+        """True when a static fallback value was configured."""
+        return not isinstance(self.value, _NoFallback)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The complete declarative policy a middleware chain compiles from.
+
+    ``deadline_seconds`` bounds the *whole* invocation including retries
+    (cooperative: checked against the injected clock before and after each
+    attempt, never by killing threads).  Any component set to ``None`` is
+    simply omitted from the chain.
+    """
+
+    deadline_seconds: Optional[float] = None
+    retry: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
+    circuit: Optional[CircuitPolicy] = field(default_factory=CircuitPolicy)
+    bulkhead: Optional[BulkheadPolicy] = None
+    fallback: Optional[FallbackPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+
+    @classmethod
+    def unprotected(cls) -> "ResiliencePolicy":
+        """A policy that adds nothing — useful as an explicit baseline."""
+        return cls(retry=None, circuit=None)
+
+
+class RetryBudget:
+    """Token-bucket retry budget shared across calls of one client.
+
+    Every first attempt deposits ``ratio`` tokens (capped at ``burst``);
+    every retry withdraws one whole token.  Under a widespread outage the
+    budget drains and retries stop, preventing retry storms from
+    amplifying load — the paper's "frequent timeout" complaint turned into
+    a first-class protection.  Thread-safe and fully deterministic.
+    """
+
+    def __init__(self, *, ratio: float = 0.1, burst: float = 10.0) -> None:
+        if ratio <= 0:
+            raise ValueError("ratio must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.ratio = ratio
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._lock = threading.Lock()
+        self.attempts = 0
+        self.retries_allowed = 0
+        self.retries_denied = 0
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (for observability)."""
+        with self._lock:
+            return self._tokens
+
+    def record_attempt(self) -> None:
+        """A first attempt happened; deposit ``ratio`` tokens."""
+        with self._lock:
+            self.attempts += 1
+            self._tokens = min(self.burst, self._tokens + self.ratio)
+
+    def allow_retry(self) -> bool:
+        """Withdraw one token if available; False means: do not retry."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self.retries_allowed += 1
+                return True
+            self.retries_denied += 1
+            return False

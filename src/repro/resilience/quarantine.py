@@ -1,0 +1,84 @@
+"""Leased quarantine for dead services and hosts.
+
+The broker already models "offline or removed without notice" providers
+with lease expiry; the quarantine is the mirror image on the *consumer*
+side: after ``threshold`` consecutive failures a key (a domain, an
+endpoint, a service name) is denied for ``lease_seconds`` of the injected
+clock, after which the entry lapses exactly like a broker lease and the
+key gets another chance.  Used by the
+:class:`~repro.directory.crawler.ServiceCrawler` to stop hammering dead
+provider hosts, and available to any client-side failover loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["Quarantine"]
+
+
+class Quarantine:
+    """Failure-count-triggered deny list with lease expiry.
+
+    Deterministic under test: inject a manual ``clock``.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        lease_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        self.threshold = threshold
+        self.lease_seconds = lease_seconds
+        self.clock = clock
+        self._failures: dict[str, int] = {}
+        self._until: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def report_failure(self, key: str) -> bool:
+        """Record one failure; returns True when ``key`` is now quarantined."""
+        with self._lock:
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count >= self.threshold:
+                self._until[key] = self.clock() + self.lease_seconds
+                self._failures[key] = 0  # re-arm for the next lease cycle
+                return True
+            return False
+
+    def report_success(self, key: str) -> None:
+        """A success clears the failure streak and any active quarantine."""
+        with self._lock:
+            self._failures.pop(key, None)
+            self._until.pop(key, None)
+
+    def is_quarantined(self, key: str) -> bool:
+        """True while ``key``'s quarantine lease has not yet lapsed."""
+        with self._lock:
+            until = self._until.get(key)
+            if until is None:
+                return False
+            if self.clock() >= until:
+                del self._until[key]
+                return False
+            return True
+
+    def active(self) -> list[str]:
+        """Currently quarantined keys (expired leases pruned)."""
+        now = self.clock()
+        with self._lock:
+            expired = [k for k, t in self._until.items() if now >= t]
+            for key in expired:
+                del self._until[key]
+            return sorted(self._until)
+
+    def __len__(self) -> int:
+        return len(self.active())

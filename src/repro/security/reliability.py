@@ -15,6 +15,7 @@ Unit 6 teaches the client-side defenses.  Each pattern wraps an invokable
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Any, Callable, Optional, Sequence
@@ -39,12 +40,28 @@ def with_retry(
     attempts: int = 3,
     backoff_seconds: float = 0.0,
     backoff_factor: float = 2.0,
+    jitter: float = 0.0,
+    rng: Optional[random.Random] = None,
     retry_on: tuple[type[Exception], ...] = (ServiceFault, OSError),
     sleep: Callable[[float], None] = time.sleep,
 ) -> Invokable:
-    """Retry on listed exception types; re-raise the last failure."""
+    """Retry on listed exception types; re-raise the last failure.
+
+    ``jitter`` randomizes each backoff delay by +/- that fraction through
+    ``rng`` (an injectable :class:`random.Random`; defaults to a fixed
+    seed, so retries are deterministic unless you supply entropy) —
+    de-synchronizing retry storms across clients.  A ``retry_after``
+    hint on the failure (set by :class:`~repro.core.faults.ServiceUnavailable`
+    and populated from HTTP 503 ``Retry-After`` headers by the wire
+    bindings) raises the wait to at least that long, even when no backoff
+    was configured.
+    """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError("jitter must be in [0, 1]")
+    if rng is None:
+        rng = random.Random(0)
 
     def wrapped(**kwargs: Any) -> Any:
         delay = backoff_seconds
@@ -54,8 +71,16 @@ def with_retry(
                 return fn(**kwargs)
             except retry_on as exc:
                 last = exc
-                if attempt + 1 < attempts and delay > 0:
-                    sleep(delay)
+                if attempt + 1 < attempts:
+                    wait = delay
+                    if jitter and wait > 0:
+                        wait += wait * jitter * (2.0 * rng.random() - 1.0)
+                        wait = max(wait, 0.0)
+                    retry_after = getattr(exc, "retry_after", None)
+                    if retry_after is not None:
+                        wait = max(wait, float(retry_after))
+                    if wait > 0:
+                        sleep(wait)
                     delay *= backoff_factor
         assert last is not None
         raise last
@@ -101,7 +126,14 @@ class CircuitBreaker:
     * closed: calls pass; ``failure_threshold`` consecutive failures trip it
     * open: calls fail fast with :class:`ServiceUnavailable` until
       ``recovery_seconds`` of the supplied clock elapse
-    * half-open: one probe call; success closes, failure re-opens
+    * half-open: exactly **one** probe call at a time — concurrent callers
+      observing half-open fail fast with :class:`ServiceUnavailable`
+      instead of stampeding the recovering provider; the probe's success
+      closes the circuit, its failure re-opens it
+
+    Fast-fail :class:`ServiceUnavailable` exceptions carry a
+    ``retry_after`` hint (remaining recovery time) that
+    :func:`with_retry` honors.
     """
 
     def __init__(
@@ -121,6 +153,7 @@ class CircuitBreaker:
         self._state = "closed"
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self._probe_in_flight = False
         self._lock = threading.Lock()
 
     @property
@@ -140,20 +173,35 @@ class CircuitBreaker:
         with self._lock:
             self._maybe_half_open_locked()
             if self._state == "open":
+                remaining = self.recovery_seconds - (self.clock() - self._opened_at)
                 raise ServiceUnavailable(
-                    f"circuit open; retry after {self.recovery_seconds}s"
+                    f"circuit open; retry after {self.recovery_seconds}s",
+                    retry_after=max(remaining, 0.0),
                 )
-            probing = self._state == "half-open"
+            probing = False
+            if self._state == "half-open":
+                if self._probe_in_flight:
+                    # exactly one probe: everyone else sheds load fast
+                    raise ServiceUnavailable(
+                        "circuit half-open; probe already in flight",
+                        retry_after=self.recovery_seconds,
+                    )
+                self._probe_in_flight = True
+                probing = True
         try:
             result = self.fn(**kwargs)
         except Exception:
             with self._lock:
+                if probing:
+                    self._probe_in_flight = False
                 self._consecutive_failures += 1
                 if probing or self._consecutive_failures >= self.failure_threshold:
                     self._state = "open"
                     self._opened_at = self.clock()
             raise
         with self._lock:
+            if probing:
+                self._probe_in_flight = False
             self._consecutive_failures = 0
             self._state = "closed"
         return result
@@ -165,20 +213,47 @@ class ReplicatedInvoker:
     Tries replicas in preference order; first success wins.  With
     ``sticky=True`` the last successful replica is tried first next time
     (primary promotion).  Raises the last failure if all replicas fail.
+
+    An optional ``order`` callable (returning replica indices, best
+    first) overrides the sticky rotation on every call — e.g. a ranking
+    derived from :meth:`repro.core.broker.ServiceBroker.best_by_qos`, so
+    observed QoS drives which provider is tried first.  Indices missing
+    from ``order`` are appended in sticky order as a safety net.
     """
 
-    def __init__(self, replicas: Sequence[Invokable], *, sticky: bool = True) -> None:
+    def __init__(
+        self,
+        replicas: Sequence[Invokable],
+        *,
+        sticky: bool = True,
+        order: Optional[Callable[[], Sequence[int]]] = None,
+    ) -> None:
         if not replicas:
             raise ValueError("need at least one replica")
         self._replicas = list(replicas)
         self.sticky = sticky
+        self.order = order
         self._preferred = 0
         self._lock = threading.Lock()
 
-    def __call__(self, **kwargs: Any) -> Any:
+    def _call_order(self) -> list[int]:
         with self._lock:
-            order = list(range(len(self._replicas)))
-            order = order[self._preferred :] + order[: self._preferred]
+            sticky_order = list(range(len(self._replicas)))
+            sticky_order = (
+                sticky_order[self._preferred :] + sticky_order[: self._preferred]
+            )
+        if self.order is None:
+            return sticky_order
+        ranked = [
+            index
+            for index in self.order()
+            if 0 <= index < len(self._replicas)
+        ]
+        ranked.extend(index for index in sticky_order if index not in ranked)
+        return ranked
+
+    def __call__(self, **kwargs: Any) -> Any:
+        order = self._call_order()
         last: Optional[Exception] = None
         for index in order:
             try:

@@ -16,6 +16,7 @@ from .http11 import (
     parse_response,
 )
 from .httpserver import HttpClient, HttpServer, serve_once
+from .statusmap import attach_retry_after, parse_retry_after, raise_transport_status
 from .wsdl import contract_from_xml, contract_to_xml, contract_to_element, contract_from_element
 from .soap import SoapClient, SoapEndpoint, build_call, build_fault, build_result, parse_envelope, soap_proxy
 from .rest import RestClient, RestEndpoint, RestRouter, coerce_argument, rest_proxy
@@ -24,6 +25,7 @@ __all__ = [
     "HttpError", "HttpRequest", "HttpResponse", "parse_request", "parse_response",
     "parse_query_string", "encode_query",
     "HttpServer", "HttpClient", "serve_once",
+    "parse_retry_after", "attach_retry_after", "raise_transport_status",
     "contract_to_xml", "contract_from_xml", "contract_to_element", "contract_from_element",
     "SoapEndpoint", "SoapClient", "soap_proxy",
     "build_call", "build_result", "build_fault", "parse_envelope",

@@ -40,6 +40,7 @@ STATUS_PHRASES = {
     403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",

@@ -36,12 +36,21 @@ _RECV_CHUNK = 65536
 def _read_message(sock: socket.socket) -> Optional[bytes]:
     """Read one full HTTP message (headers + Content-Length body).
 
-    Returns None on clean EOF before any bytes arrive.
+    Returns None on clean EOF — or on a socket timeout — before any bytes
+    arrive (an idle keep-alive connection going away is not an error).  A
+    timeout *after* bytes arrived means the client stalled mid-message;
+    that surfaces as :class:`HttpError` 408 so the server can answer
+    ``408 Request Timeout`` instead of pinning the thread forever.
     """
     buffer = b""
     # read until header terminator
     while b"\r\n\r\n" not in buffer:
-        chunk = sock.recv(_RECV_CHUNK)
+        try:
+            chunk = sock.recv(_RECV_CHUNK)
+        except socket.timeout:
+            if not buffer:
+                return None  # idle keep-alive connection; close quietly
+            raise HttpError("client stalled mid-headers", status=408) from None
         if not chunk:
             if not buffer:
                 return None
@@ -58,7 +67,10 @@ def _read_message(sock: socket.socket) -> Optional[bytes]:
             except ValueError as exc:
                 raise HttpError("bad Content-Length") from exc
     while len(rest) < content_length:
-        chunk = sock.recv(_RECV_CHUNK)
+        try:
+            chunk = sock.recv(_RECV_CHUNK)
+        except socket.timeout:
+            raise HttpError("client stalled mid-body", status=408) from None
         if not chunk:
             raise HttpError("connection closed mid-body")
         rest += chunk
@@ -75,8 +87,18 @@ class HttpServer:
             response = client.get("/ping")
     """
 
-    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        request_timeout: float = 30.0,
+    ) -> None:
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
         self.handler = handler
+        self.request_timeout = request_timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -149,11 +171,21 @@ class HttpServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
-            conn.settimeout(30)
+            conn.settimeout(self.request_timeout)
             while self._running:
                 try:
                     raw = _read_message(conn)
-                except (HttpError, socket.timeout, OSError):
+                except HttpError as exc:
+                    # a stalled or malformed client gets a diagnostic
+                    # response (408 for timeouts) before the close
+                    try:
+                        conn.sendall(
+                            HttpResponse.error(exc.status, str(exc)).to_bytes()
+                        )
+                    except OSError:  # pragma: no cover - peer already gone
+                        pass
+                    break
+                except (socket.timeout, OSError):
                     break
                 if raw is None:
                     break

@@ -29,6 +29,7 @@ from ..core.service import InvocationContext, ServiceHost
 from ..xmlkit import Element, from_element, parse, to_element
 from .http11 import HttpRequest, HttpResponse, encode_query
 from .httpserver import HttpClient
+from .statusmap import attach_retry_after, raise_transport_status
 from .wsdl import contract_to_xml
 
 __all__ = ["RestEndpoint", "RestClient", "rest_proxy", "RestRouter", "coerce_argument"]
@@ -69,9 +70,15 @@ def _fault_response(fault: ServiceFault) -> HttpResponse:
         status = 400
     elif fault.code == "Server.Unavailable":
         status = 503
+    elif fault.code == "Server.Timeout":
+        status = 408
     else:
         status = 500
-    return HttpResponse.xml_response(error.toxml(), status=status)
+    response = HttpResponse.xml_response(error.toxml(), status=status)
+    retry_after = getattr(fault, "retry_after", None)
+    if retry_after is not None:
+        response.headers.set("Retry-After", f"{retry_after:g}")
+    return response
 
 
 class RestEndpoint:
@@ -161,6 +168,7 @@ class RestClient:
         if self._contract is None:
             response = self.http.get(f"{self.prefix}/{self.service_name}")
             if not response.ok:
+                raise_transport_status(response)
                 raise TransportError(f"contract fetch failed: HTTP {response.status}")
             self._contract = contract_from_xml(response.text())
         return self._contract
@@ -181,6 +189,12 @@ class RestClient:
             for name, value in arguments.items():
                 body.append(to_element(name, value))
             response = self.http.post(path, body.toxml(), content_type="application/xml")
+        if response.content_type != "application/xml":
+            raise_transport_status(response)
+            raise TransportError(
+                f"expected XML response, got {response.content_type!r} "
+                f"(HTTP {response.status})"
+            )
         root = parse(response.text())
         if root.tag == "error":
             message_el = root.find("message")
@@ -189,11 +203,13 @@ class RestClient:
             if detail_el is not None:
                 value = detail_el.find("value")
                 detail = from_element(value) if value is not None else None
-            raise fault_from_code(
+            fault = fault_from_code(
                 root.get("code", "Server"),
                 message_el.text if message_el is not None else "unknown error",
                 detail,
             )
+            attach_retry_after(fault, response)
+            raise fault
         if root.tag != "result":
             raise TransportError(f"unexpected response element <{root.tag}>")
         return from_element(root)
@@ -205,10 +221,31 @@ def _query_repr(value: Any) -> str:
     return str(value)
 
 
-def rest_proxy(http: HttpClient, service_name: str, prefix: str = "/rest") -> ServiceProxy:
-    """Fetch the remote contract and return a typed proxy over REST."""
+def rest_proxy(
+    http: HttpClient,
+    service_name: str,
+    prefix: str = "/rest",
+    *,
+    policy: Any = None,
+    **policy_kwargs: Any,
+) -> ServiceProxy:
+    """Fetch the remote contract and return a typed proxy over REST.
+
+    With a ``policy`` (a :class:`repro.resilience.ResiliencePolicy`), the
+    proxy's invoker is wrapped in the resilience middleware chain, so the
+    REST binding is defended exactly like the bus and SOAP bindings.
+    ``policy_kwargs`` (``clock``, ``sleep``, ``rng``, ``budget``,
+    ``reporter``, ``middlewares``...) pass through to
+    :class:`~repro.resilience.ResilientInvoker`.
+    """
     client = RestClient(http, service_name, prefix)
-    return make_proxy(client.fetch_contract(), client.call)
+    invoker = client.call
+    if policy is not None:
+        from ..resilience.middleware import ResilientInvoker  # lazy: layering
+
+        policy_kwargs.setdefault("endpoint", f"rest:{service_name}")
+        invoker = ResilientInvoker(client.call, policy, **policy_kwargs)
+    return make_proxy(client.fetch_contract(), invoker)
 
 
 class RestRouter:

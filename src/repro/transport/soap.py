@@ -25,6 +25,7 @@ from ..core.service import InvocationContext, ServiceHost
 from ..xmlkit import Element, from_element, parse, to_element
 from .http11 import HttpRequest, HttpResponse
 from .httpserver import HttpClient
+from .statusmap import attach_retry_after, raise_transport_status
 from .wsdl import contract_to_xml
 
 __all__ = [
@@ -170,8 +171,21 @@ class SoapEndpoint:
         try:
             result = host.invoke(operation, arguments, context)
         except ServiceFault as exc:
-            status = 400 if exc.code.startswith("Client") else 500
-            return HttpResponse.xml_response(build_fault(exc).toxml(), status=status)
+            if exc.code == "Server.Unavailable":
+                status = 503
+            elif exc.code == "Server.Timeout":
+                status = 408
+            elif exc.code.startswith("Client"):
+                status = 400
+            else:
+                status = 500
+            response = HttpResponse.xml_response(
+                build_fault(exc).toxml(), status=status
+            )
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                response.headers.set("Retry-After", f"{retry_after:g}")
+            return response
         return HttpResponse.xml_response(build_result(operation, result).toxml())
 
 
@@ -192,7 +206,14 @@ class SoapClient:
     def call(self, operation: str, arguments: dict[str, Any]) -> Any:
         request_xml = build_call(operation, arguments, self.headers).toxml()
         response = self.http.post(self.path, request_xml, content_type=CONTENT_TYPE)
+        if response.content_type not in (CONTENT_TYPE, "application/xml"):
+            raise_transport_status(response)
+            raise TransportError(
+                f"expected XML envelope, got {response.content_type!r} "
+                f"(HTTP {response.status})"
+            )
         if not response.body:
+            raise_transport_status(response)
             raise TransportError(f"empty response (HTTP {response.status})")
         _, payload = parse_envelope(response.text())
         if payload.local_name() == "Fault":
@@ -203,11 +224,13 @@ class SoapClient:
             if detail_el is not None:
                 value = detail_el.find("value")
                 detail = from_element(value) if value is not None else None
-            raise fault_from_code(
+            fault = fault_from_code(
                 code_el.text if code_el is not None else "Server",
                 string_el.text if string_el is not None else "unknown fault",
                 detail,
             )
+            attach_retry_after(fault, response)
+            raise fault
         if payload.local_name() != "Result":
             raise TransportError(f"unexpected body element <{payload.tag}>")
         return_el = payload.find("return")
@@ -221,12 +244,33 @@ class SoapClient:
 
         response = self.http.get(self.path + "?wsdl")
         if not response.ok:
+            raise_transport_status(response)
             raise TransportError(f"wsdl fetch failed: HTTP {response.status}")
         return contract_from_xml(response.text())
 
 
-def soap_proxy(http: HttpClient, service_name: str, prefix: str = "/soap") -> ServiceProxy:
-    """Discover the remote contract and return a typed proxy over SOAP."""
+def soap_proxy(
+    http: HttpClient,
+    service_name: str,
+    prefix: str = "/soap",
+    *,
+    policy: Any = None,
+    **policy_kwargs: Any,
+) -> ServiceProxy:
+    """Discover the remote contract and return a typed proxy over SOAP.
+
+    With a ``policy`` (a :class:`repro.resilience.ResiliencePolicy`), the
+    proxy's invoker runs through the resilience middleware chain, so the
+    SOAP binding is defended exactly like the bus and REST bindings.
+    ``policy_kwargs`` pass through to
+    :class:`~repro.resilience.ResilientInvoker`.
+    """
     client = SoapClient(http, service_name, prefix)
     contract = client.fetch_contract()
-    return make_proxy(contract, client.call)
+    invoker = client.call
+    if policy is not None:
+        from ..resilience.middleware import ResilientInvoker  # lazy: layering
+
+        policy_kwargs.setdefault("endpoint", f"soap:{service_name}")
+        invoker = ResilientInvoker(client.call, policy, **policy_kwargs)
+    return make_proxy(contract, invoker)

@@ -1,0 +1,57 @@
+"""Client-side mapping from raw HTTP statuses to typed service faults.
+
+When an HTTP binding receives a response that carries no SOAP/REST fault
+document — a gateway-level 408 from the server's socket timeout, a bare
+503 from an overloaded host — the typed fault contract must still hold:
+the proxy surfaces the same :class:`~repro.core.faults.ServiceFault`
+subtype a bus client would see.  Shared by the SOAP and REST clients.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.faults import ServiceFault, ServiceUnavailable, TimeoutFault
+from .http11 import HttpResponse
+
+__all__ = ["parse_retry_after", "attach_retry_after", "raise_transport_status"]
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Parse a ``Retry-After`` header (delta-seconds form) to seconds."""
+    if not value:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None
+    return max(seconds, 0.0)
+
+
+def attach_retry_after(fault: ServiceFault, response: HttpResponse) -> None:
+    """Copy a ``Retry-After`` hint from ``response`` onto ``fault`` in place."""
+    retry_after = parse_retry_after(response.headers.get("Retry-After"))
+    if retry_after is not None and getattr(fault, "retry_after", None) is None:
+        fault.retry_after = retry_after
+
+
+def raise_transport_status(response: HttpResponse) -> None:
+    """Raise the typed fault implied by a bare (non-fault-document) status.
+
+    * 408 → :class:`TimeoutFault` (the server's request timeout — e.g. a
+      stalled upload killed by the socket timeout)
+    * 503 → :class:`ServiceUnavailable` carrying any ``Retry-After`` hint
+    * 429 → :class:`ServiceUnavailable` (throttled) with the same hint
+
+    Any other status returns without raising: the caller decides.
+    """
+    if response.status == 408:
+        raise TimeoutFault(
+            f"server reported request timeout (HTTP 408): {response.text()[:200]}"
+        )
+    if response.status in (503, 429):
+        raise ServiceUnavailable(
+            f"provider refused work (HTTP {response.status}): "
+            f"{response.text()[:200]}",
+            retry_after=parse_retry_after(response.headers.get("Retry-After")),
+        )

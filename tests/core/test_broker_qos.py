@@ -1,0 +1,192 @@
+"""Broker QoS bookkeeping: endpoint ranking, leases, and concurrency.
+
+Satellite coverage for the QoS loop: client-observed fault rates and
+latencies must actually change which endpoint the broker recommends, and
+the bookkeeping must stay consistent under concurrent publish/unpublish
+and reporting (the broker is hit from many client threads at once).
+"""
+
+import threading
+
+import pytest
+
+from repro.core import Endpoint, Service, ServiceBroker, operation
+from repro.resilience import Quarantine
+
+
+class Echo(Service):
+    """Minimal provider for registry tests."""
+
+    category = "demo"
+
+    @operation
+    def say(self, text: str) -> str:
+        """Return the text unchanged."""
+        return text
+
+
+@pytest.fixture
+def broker():
+    return ServiceBroker()
+
+
+def three_endpoints():
+    return [
+        Endpoint("inproc", "inproc://echo"),
+        Endpoint("soap", "http://h:1/soap/Echo"),
+        Endpoint("rest", "http://h:1/rest/Echo"),
+    ]
+
+
+class TestEndpointRanking:
+    def test_fault_rate_demotes_endpoint(self, broker):
+        inproc, soap, rest = three_endpoints()
+        broker.publish(Echo.contract(), [inproc, soap, rest])
+        for _ in range(4):
+            broker.report("Echo", 0.1, endpoint=inproc)
+        for _ in range(2):
+            broker.report("Echo", 0.1, fault=True, endpoint=inproc)
+        broker.report("Echo", 0.1, endpoint=soap)
+        broker.report("Echo", 0.2, endpoint=rest)
+        order = [e.binding for e in broker.endpoints_by_preference("Echo")]
+        assert order == ["soap", "rest", "inproc"]
+
+    def test_latency_orders_equally_available_endpoints(self, broker):
+        inproc, soap, rest = three_endpoints()
+        broker.publish(Echo.contract(), [inproc, soap, rest])
+        broker.report("Echo", 0.50, endpoint=inproc)
+        broker.report("Echo", 0.05, endpoint=soap)
+        broker.report("Echo", 0.20, endpoint=rest)
+        order = [e.binding for e in broker.endpoints_by_preference("Echo")]
+        assert order == ["soap", "rest", "inproc"]
+
+    def test_recovery_is_observable(self, broker):
+        """An endpoint that starts answering again climbs back up."""
+        good, bad, _ = three_endpoints()
+        broker.publish(Echo.contract(), [bad, good])
+        broker.report("Echo", 0.1, fault=True, endpoint=bad)
+        broker.report("Echo", 0.1, endpoint=good)
+        assert broker.endpoints_by_preference("Echo")[0] == good
+        # bad recovers: many clean samples dilute the one fault
+        for _ in range(99):
+            broker.report("Echo", 0.01, endpoint=bad)
+        ranked = broker.endpoints_by_preference("Echo")
+        bad_qos = broker.lookup("Echo").qos_for(bad)
+        assert bad_qos.availability == pytest.approx(0.99)
+        # still below good's 1.0 availability, so good stays first —
+        # availability dominates, recency is not modelled
+        assert ranked[0] == good
+
+    def test_endpoint_key_identity(self):
+        a = Endpoint("soap", "http://h:1/soap/Echo")
+        b = Endpoint("rest", "http://h:1/soap/Echo")
+        assert a.key != b.key
+        assert a.key == "soap:http://h:1/soap/Echo"
+
+    def test_report_accepts_key_string(self, broker):
+        endpoint = Endpoint("inproc", "inproc://echo")
+        broker.publish(Echo.contract(), [endpoint])
+        broker.report("Echo", 0.3, endpoint=endpoint.key)
+        assert broker.lookup("Echo").qos_for(endpoint).samples == 1
+
+    def test_fast_fail_excluded_from_mean_latency(self, broker):
+        endpoint = Endpoint("inproc", "inproc://echo")
+        broker.publish(Echo.contract(), [endpoint])
+        broker.report("Echo", 0.4, endpoint=endpoint)
+        broker.report("Echo", 0.0, fault=True, endpoint=endpoint, fast_fail=True)
+        qos = broker.lookup("Echo").qos_for(endpoint)
+        assert qos.mean_latency == pytest.approx(0.4)
+        assert qos.availability == pytest.approx(0.5)
+
+    def test_republish_resets_endpoint_qos(self, broker):
+        endpoint = Endpoint("inproc", "inproc://echo")
+        broker.publish(Echo.contract(), [endpoint])
+        broker.report("Echo", 0.4, fault=True, endpoint=endpoint)
+        broker.publish(Echo.contract(), [endpoint])  # fresh registration
+        assert broker.lookup("Echo").qos_for(endpoint).samples == 0
+
+
+class TestLeasesAndQuarantineUnderConcurrency:
+    def test_concurrent_publish_unpublish_report(self, broker):
+        """Hammer the broker from many threads; bookkeeping stays sane."""
+        endpoint = Endpoint("inproc", "inproc://echo")
+        stop = threading.Event()
+        errors = []
+
+        def publisher():
+            try:
+                while not stop.is_set():
+                    broker.publish(Echo.contract(), [endpoint], lease_seconds=5)
+            except Exception as exc:  # noqa: BLE001 - collected for assertion
+                errors.append(exc)
+
+        def reporter():
+            try:
+                while not stop.is_set():
+                    broker.report("Echo", 0.1, endpoint=endpoint)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def expirer():
+            try:
+                while not stop.is_set():
+                    broker.advance(0.01)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=target)
+            for target in (publisher, publisher, reporter, reporter, expirer)
+        ]
+        for thread in threads:
+            thread.start()
+        stop_timer = threading.Timer(0.3, stop.set)
+        stop_timer.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        stop_timer.cancel()
+        assert errors == []
+        # The broker is still coherent: lookup either works or the lease
+        # lapsed — no torn state either way.
+        registration = broker.try_lookup("Echo")
+        if registration is not None:
+            assert registration.qos.samples >= 0
+
+    def test_lease_expiry_drops_qos_history(self, broker):
+        endpoint = Endpoint("inproc", "inproc://echo")
+        broker.publish(Echo.contract(), [endpoint], lease_seconds=10)
+        broker.report("Echo", 0.5, fault=True, endpoint=endpoint)
+        broker.advance(11)
+        assert "Echo" not in broker
+        broker.report("Echo", 0.5)  # must not raise, must not resurrect
+        assert "Echo" not in broker
+
+    def test_quarantine_mirrors_lease_semantics(self):
+        """Quarantine leases expire the way broker leases do."""
+        clock = {"t": 0.0}
+        quarantine = Quarantine(
+            threshold=1, lease_seconds=10.0, clock=lambda: clock["t"]
+        )
+        quarantine.report_failure("host")
+        assert quarantine.is_quarantined("host")
+        assert quarantine.active() == ["host"]
+        clock["t"] = 9.9
+        assert quarantine.is_quarantined("host")
+        clock["t"] = 10.0
+        assert not quarantine.is_quarantined("host")
+        assert len(quarantine) == 0
+
+    def test_quarantine_threadsafe_counting(self):
+        quarantine = Quarantine(threshold=100, lease_seconds=60.0)
+        threads = [
+            threading.Thread(
+                target=lambda: [quarantine.report_failure("h") for _ in range(10)]
+            )
+            for _ in range(10)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # exactly 100 failures: the threshold fired exactly once
+        assert quarantine.is_quarantined("h")

@@ -254,3 +254,128 @@ class TestRegistrationWebFrontend:
         assert parse(response.text()).get("name") == "FetchMe"
         missing = serve_once(router, HttpRequest("GET", "/sse/contract/Ghost"))
         assert missing.status == 404
+
+
+class FlakyGraph(WebGraph):
+    """A web graph where chosen URLs are dead for their first N fetches."""
+
+    def __init__(self, flaky: dict):
+        super().__init__()
+        self._remaining_failures = dict(flaky)
+
+    def fetch(self, url):
+        left = self._remaining_failures.get(url, 0)
+        if left > 0:
+            self._remaining_failures[url] = left - 1
+            self.fetches += 1
+            return None
+        return super().fetch(url)
+
+
+class TestCrawlerRetry:
+    """Satellite: dead fetches retried under a shared retry budget."""
+
+    def test_retry_recovers_transient_dead_link(self):
+        graph = FlakyGraph({"http://a/svc": 1})
+        graph.add(Page("http://a/i", "x", links=["http://a/svc"]))
+        graph.add(Page("http://a/svc", "y"))
+        report = ServiceCrawler(graph, fetch_attempts=2).crawl(["http://a/i"])
+        assert report.dead_links == 0
+        assert report.retries == 1
+        assert "http://a/svc" in report.visited
+        assert report.pages_fetched == graph.fetches  # invariant kept
+
+    def test_permanently_dead_link_still_counted(self):
+        graph = WebGraph()
+        graph.add(Page("http://a/i", "x", links=["http://a/dead"]))
+        report = ServiceCrawler(graph, fetch_attempts=3).crawl(["http://a/i"])
+        assert report.dead_links == 1
+        assert report.retries == 2  # 3 attempts total on the dead URL
+
+    def test_budget_caps_retry_amplification(self):
+        from repro.resilience import RetryBudget
+
+        graph = WebGraph()
+        graph.add(
+            Page(
+                "http://a/i",
+                "x",
+                links=["http://a/d1", "http://a/d2", "http://a/d3"],
+            )
+        )
+        budget = RetryBudget(ratio=0.25, burst=2.0)
+        report = ServiceCrawler(
+            graph, fetch_attempts=2, retry_budget=budget
+        ).crawl(["http://a/i"])
+        # 4 first attempts deposit 4*0.25 = 1 token over the starting 2
+        # (capped at burst); only 2 retries fit before the bucket is dry.
+        assert report.retries == 2
+        assert report.retries_denied == 1
+        assert report.dead_links == 3
+
+    def test_fetch_attempts_validation(self):
+        with pytest.raises(ValueError):
+            ServiceCrawler(WebGraph(), fetch_attempts=0)
+
+
+class TestCrawlerQuarantine:
+    """Satellite: repeatedly-dead domains are leased out of the frontier."""
+
+    def make_graph(self):
+        graph = WebGraph()
+        graph.add(
+            Page(
+                "http://hub/i",
+                "x",
+                links=[
+                    "http://bad/1",
+                    "http://bad/2",
+                    "http://bad/3",
+                    "http://good/svc",
+                ],
+            )
+        )
+        graph.add(Page("http://good/svc", "y"))
+        return graph
+
+    def test_dead_domain_quarantined(self):
+        from repro.resilience import Quarantine
+
+        clock = {"t": 0.0}
+        quarantine = Quarantine(
+            threshold=2, lease_seconds=60.0, clock=lambda: clock["t"]
+        )
+        graph = self.make_graph()
+        report = ServiceCrawler(graph, quarantine=quarantine).crawl(["http://hub/i"])
+        assert report.quarantined_domains == {"bad"}
+        assert report.dead_links == 2  # third bad URL never fetched
+        assert report.skipped_by_quarantine == 1
+        assert "http://good/svc" in report.visited
+
+    def test_lease_expiry_gives_domain_another_chance(self):
+        from repro.resilience import Quarantine
+
+        clock = {"t": 0.0}
+        quarantine = Quarantine(
+            threshold=1, lease_seconds=60.0, clock=lambda: clock["t"]
+        )
+        assert quarantine.report_failure("bad") is True
+        assert quarantine.is_quarantined("bad")
+        clock["t"] = 61.0
+        assert not quarantine.is_quarantined("bad")
+        # ...and the crawler would fetch it again now.
+        graph = WebGraph()
+        graph.add(Page("http://bad/svc", "alive again"))
+        report = ServiceCrawler(graph, quarantine=quarantine).crawl(
+            ["http://bad/svc"]
+        )
+        assert "http://bad/svc" in report.visited
+
+    def test_success_clears_failure_streak(self):
+        from repro.resilience import Quarantine
+
+        quarantine = Quarantine(threshold=2, lease_seconds=60.0)
+        quarantine.report_failure("d")
+        quarantine.report_success("d")
+        quarantine.report_failure("d")
+        assert not quarantine.is_quarantined("d")  # streak was broken

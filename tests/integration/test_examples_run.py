@@ -68,6 +68,17 @@ def test_cloud_saas():
     assert "capacity reclaimed" in out
 
 
+def test_resilient_client():
+    out = run_example("resilient_client.py")
+    assert "healthy call: 45.0" in out
+    assert "outage call 2: 45.0 (last-good fallback)" in out
+    assert "broker saw faults: True" in out
+    assert "after recovery: 45.0" in out
+    assert "failover call: 45.0" in out
+    assert "broker now prefers: inproc://quoteservice" in out
+    assert "simulated seconds elapsed: 35.0" in out
+
+
 def test_cart_webapp():
     out = run_example("cart_webapp.py")
     assert "Total: $428.99" in out

@@ -1,0 +1,439 @@
+"""Failover across bindings, broker endpoint preference, and the QoS loop.
+
+The tentpole claim under test: the broker learns which endpoints are
+healthy from policy outcomes, and the resilient proxy uses that knowledge
+to prefer healthy endpoints and fail over across *bindings* — inproc,
+SOAP, and REST are interchangeable faces of one contract.
+"""
+
+import pytest
+
+from repro.core import (
+    BusClient,
+    Endpoint,
+    Service,
+    ServiceBroker,
+    ServiceBus,
+    ServiceUnavailable,
+    operation,
+    proxy_from_broker,
+)
+from repro.core.service import ServiceHost
+from repro.resilience import (
+    CircuitPolicy,
+    FailoverInvoker,
+    ManualClock,
+    ResiliencePolicy,
+    RetryPolicy,
+    broker_reporter,
+    invoker_for_endpoint,
+    resilient_proxy_from_broker,
+)
+from repro.resilience.middleware import Observation
+from repro.security.reliability import ReplicatedInvoker
+from repro.transport.http11 import HttpRequest
+from repro.transport.rest import RestEndpoint
+from repro.transport.soap import SoapEndpoint
+
+
+class Echo(Service):
+    """Echoes its input; the healthy provider."""
+
+    category = "demo"
+
+    @operation
+    def say(self, text: str) -> str:
+        """Return the text unchanged."""
+        return text
+
+
+class DownEcho(Service):
+    """Same contract shape as Echo, but always refuses work."""
+
+    service_name = "Echo"
+    category = "demo"
+
+    @operation
+    def say(self, text: str) -> str:
+        """Always raise ServiceUnavailable."""
+        raise ServiceUnavailable("provider down for maintenance", retry_after=5.0)
+
+
+class InMemoryHttp:
+    """Duck-typed HttpClient double: routes requests straight to a handler."""
+
+    def __init__(self, handler):
+        self.handler = handler
+        self.requests = []
+
+    def request(self, request):
+        self.requests.append(request)
+        return self.handler(request)
+
+    def get(self, target, headers=None):
+        return self.request(HttpRequest("GET", target, dict(headers or {})))
+
+    def post(self, target, body, content_type="application/octet-stream", headers=None):
+        payload = body.encode("utf-8") if isinstance(body, str) else body
+        merged = {"Content-Type": content_type, **(headers or {})}
+        return self.request(HttpRequest("POST", target, merged, payload))
+
+
+def http_factory_for(handlers):
+    """Build an http_factory dispatching on host name to in-memory handlers."""
+
+    made = []
+
+    def factory(host, port):
+        http = InMemoryHttp(handlers[host])
+        made.append((host, port, http))
+        return http
+
+    factory.made = made
+    return factory
+
+
+NO_WAIT = ResiliencePolicy(retry=RetryPolicy(attempts=1), circuit=None)
+
+
+class TestEndpointPreference:
+    def test_unobserved_endpoints_keep_publication_order(self):
+        broker = ServiceBroker()
+        broker.publish(
+            Echo.contract(),
+            [Endpoint("inproc", "inproc://a"), Endpoint("soap", "http://h:1/soap/Echo")],
+        )
+        preferred = broker.endpoints_by_preference("Echo")
+        assert [e.binding for e in preferred] == ["inproc", "soap"]
+
+    def test_availability_dominates_latency(self):
+        broker = ServiceBroker()
+        fast_flaky = Endpoint("inproc", "inproc://fast")
+        slow_solid = Endpoint("inproc", "inproc://slow")
+        broker.publish(Echo.contract(), [fast_flaky, slow_solid])
+        broker.report("Echo", 0.01, endpoint=fast_flaky)
+        broker.report("Echo", 0.01, fault=True, endpoint=fast_flaky)
+        broker.report("Echo", 0.9, endpoint=slow_solid)
+        preferred = broker.endpoints_by_preference("Echo")
+        assert preferred[0] == slow_solid
+
+    def test_latency_breaks_availability_ties(self):
+        broker = ServiceBroker()
+        slow = Endpoint("rest", "http://h:1/rest/Echo")
+        fast = Endpoint("soap", "http://h:1/soap/Echo")
+        broker.publish(Echo.contract(), [slow, fast])
+        broker.report("Echo", 0.8, endpoint=slow)
+        broker.report("Echo", 0.1, endpoint=fast)
+        assert broker.endpoints_by_preference("Echo")[0] == fast
+
+    def test_fast_fails_hurt_availability_not_latency(self):
+        broker = ServiceBroker()
+        endpoint = Endpoint("soap", "http://h:1/soap/Echo")
+        broker.publish(Echo.contract(), [endpoint])
+        broker.report("Echo", 0.2, endpoint=endpoint)
+        broker.report("Echo", 0.0, fault=True, endpoint=endpoint, fast_fail=True)
+        qos = broker.lookup("Echo").qos_for(endpoint)
+        assert qos.samples == 2
+        assert qos.fast_fails == 1
+        assert qos.mean_latency == pytest.approx(0.2)  # fast-fail excluded
+        assert qos.availability == pytest.approx(0.5)
+
+
+class TestBrokerReporter:
+    def test_observations_attributed_per_endpoint(self):
+        broker = ServiceBroker()
+        endpoint = Endpoint("inproc", "inproc://echo")
+        broker.publish(Echo.contract(), [endpoint])
+        report = broker_reporter(broker, "Echo")
+        report(Observation(endpoint.key, "say", 0.25, fault=False, fast_fail=False))
+        report(Observation(endpoint.key, "say", 0.0, fault=True, fast_fail=True))
+        qos = broker.lookup("Echo").qos_for(endpoint)
+        assert (qos.samples, qos.faults, qos.fast_fails) == (2, 1, 1)
+        assert broker.lookup("Echo").qos.samples == 2  # service-level too
+
+    def test_vanished_service_is_ignored(self):
+        broker = ServiceBroker()
+        report = broker_reporter(broker, "Ghost")
+        report(Observation("inproc:x", "say", 0.1, fault=False, fast_fail=False))
+
+
+class TestInprocFailover:
+    def make_world(self):
+        broker = ServiceBroker()
+        bus = ServiceBus()
+        down = bus.host(DownEcho(), "echo-down")
+        up = bus.host(Echo(), "echo-up")
+        broker.publish(
+            Echo.contract(), [Endpoint("inproc", down), Endpoint("inproc", up)]
+        )
+        return broker, bus, down, up
+
+    def test_fails_over_to_healthy_endpoint(self):
+        broker, bus, down, up = self.make_world()
+        clock = ManualClock()
+        invoker = FailoverInvoker(
+            broker, "Echo", bus=bus, policy=NO_WAIT, clock=clock, sleep=clock.advance
+        )
+        assert invoker("say", {"text": "hi"}) == "hi"
+        reg = broker.lookup("Echo")
+        assert reg.qos_for(Endpoint("inproc", down)).faults == 1
+        assert reg.qos_for(Endpoint("inproc", up)).faults == 0
+
+    def test_qos_loop_reorders_next_call(self):
+        broker, bus, down, up = self.make_world()
+        clock = ManualClock()
+        invoker = FailoverInvoker(
+            broker, "Echo", bus=bus, policy=NO_WAIT, clock=clock, sleep=clock.advance
+        )
+        invoker("say", {"text": "first"})
+        # The broker learned: the dead endpoint now ranks last.
+        preferred = broker.endpoints_by_preference("Echo")
+        assert preferred[0].address == up
+        # Second call goes straight to the healthy endpoint: only one more
+        # sample lands there and none on the dead one.
+        before = broker.lookup("Echo").qos_for(Endpoint("inproc", down)).samples
+        invoker("say", {"text": "second"})
+        reg = broker.lookup("Echo")
+        assert reg.qos_for(Endpoint("inproc", down)).samples == before
+        assert reg.qos_for(Endpoint("inproc", up)).samples == 2
+
+    def test_all_endpoints_down_raises_last_fault(self):
+        broker = ServiceBroker()
+        bus = ServiceBus()
+        down = bus.host(DownEcho(), "echo-down")
+        broker.publish(Echo.contract(), [Endpoint("inproc", down)])
+        clock = ManualClock()
+        invoker = FailoverInvoker(
+            broker, "Echo", bus=bus, policy=NO_WAIT, clock=clock, sleep=clock.advance
+        )
+        with pytest.raises(ServiceUnavailable):
+            invoker("say", {"text": "hi"})
+
+    def test_application_faults_do_not_fail_over(self):
+        broker, bus, down, up = self.make_world()
+        clock = ManualClock()
+        invoker = FailoverInvoker(
+            broker, "Echo", bus=bus, policy=NO_WAIT, clock=clock, sleep=clock.advance
+        )
+        # Unknown operation is a Client.* fault: retrying another binding of
+        # the same contract would fail identically, so it must propagate.
+        from repro.core import UnknownOperation
+
+        with pytest.raises(UnknownOperation):
+            invoker("shout", {"text": "hi"})
+
+    def test_circuit_open_endpoint_reports_fast_fails(self):
+        broker = ServiceBroker()
+        bus = ServiceBus()
+        down = bus.host(DownEcho(), "echo-down")
+        broker.publish(Echo.contract(), [Endpoint("inproc", down)])
+        clock = ManualClock()
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(attempts=1),
+            circuit=CircuitPolicy(failure_threshold=1, recovery_seconds=60.0),
+        )
+        invoker = FailoverInvoker(
+            broker, "Echo", bus=bus, policy=policy, clock=clock, sleep=clock.advance
+        )
+        with pytest.raises(ServiceUnavailable):
+            invoker("say", {"text": "a"})  # trips the breaker
+        assert invoker.breakers.states()[f"inproc:{down}"] == "open"
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            invoker("say", {"text": "b"})  # fast-fails without touching the bus
+        assert excinfo.value.fast_fail is True
+        qos = broker.lookup("Echo").qos_for(Endpoint("inproc", down))
+        assert qos.fast_fails == 1
+        assert qos.samples == 2
+
+
+class TestCrossBindingFailover:
+    def make_world(self):
+        broker = ServiceBroker()
+        soap_endpoint = SoapEndpoint()
+        rest_endpoint = RestEndpoint()
+        soap_endpoint.mount(ServiceHost(DownEcho()))
+        rest_endpoint.mount(ServiceHost(Echo()))
+        broker.publish(
+            Echo.contract(),
+            [
+                Endpoint("soap", "http://soap-host:80/soap/Echo"),
+                Endpoint("rest", "http://rest-host:80/rest/Echo"),
+            ],
+        )
+        factory = http_factory_for(
+            {"soap-host": soap_endpoint, "rest-host": rest_endpoint}
+        )
+        return broker, factory
+
+    def test_soap_down_rest_answers(self):
+        broker, factory = self.make_world()
+        clock = ManualClock()
+        invoker = FailoverInvoker(
+            broker,
+            "Echo",
+            policy=NO_WAIT,
+            clock=clock,
+            sleep=clock.advance,
+            http_factory=factory,
+        )
+        assert invoker("say", {"text": "over the wire"}) == "over the wire"
+        hosts = [host for host, _, _ in factory.made]
+        assert hosts == ["soap-host", "rest-host"]
+        reg = broker.lookup("Echo")
+        assert reg.qos_for(Endpoint("soap", "http://soap-host:80/soap/Echo")).faults == 1
+        assert reg.qos_for(Endpoint("rest", "http://rest-host:80/rest/Echo")).faults == 0
+
+    def test_soap_503_carries_retry_after_hint(self):
+        broker, factory = self.make_world()
+        clock = ManualClock()
+        slept = []
+
+        def sleep(seconds):
+            slept.append(seconds)
+            clock.advance(seconds)
+
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(attempts=2, base_delay=0.0), circuit=None
+        )
+        invoker = FailoverInvoker(
+            broker, "Echo", policy=policy, clock=clock, sleep=sleep,
+            http_factory=factory,
+        )
+        assert invoker("say", {"text": "x"}) == "x"
+        # The provider's retry_after=5.0 crossed the SOAP wire as a 503
+        # Retry-After header and drove the retry wait.
+        assert slept == [pytest.approx(5.0)]
+
+    def test_resilient_proxy_end_to_end(self):
+        broker, factory = self.make_world()
+        clock = ManualClock()
+        proxy = resilient_proxy_from_broker(
+            broker,
+            "Echo",
+            policy=NO_WAIT,
+            clock=clock,
+            sleep=clock.advance,
+            http_factory=factory,
+        )
+        assert proxy.say(text="typed and defended") == "typed and defended"
+
+    def test_proxy_validates_against_discovered_contract(self):
+        broker, factory = self.make_world()
+        clock = ManualClock()
+        proxy = resilient_proxy_from_broker(
+            broker,
+            "Echo",
+            policy=NO_WAIT,
+            clock=clock,
+            sleep=clock.advance,
+            http_factory=factory,
+        )
+        from repro.core import ContractViolation
+
+        with pytest.raises(ContractViolation):
+            proxy.say(text=42)
+        assert factory.made == []  # invalid call never built a client
+
+
+class TestInvokerForEndpoint:
+    def test_inproc_requires_bus(self):
+        from repro.core import TransportError
+
+        with pytest.raises(TransportError):
+            invoker_for_endpoint(Endpoint("inproc", "inproc://echo"), Echo.contract())
+
+    def test_unknown_binding_rejected(self):
+        from repro.core import TransportError
+
+        with pytest.raises(TransportError):
+            invoker_for_endpoint(Endpoint("carrier-pigeon", "coop://1"), Echo.contract())
+
+    def test_rest_invoker_uses_discovered_contract(self):
+        rest_endpoint = RestEndpoint()
+        rest_endpoint.mount(ServiceHost(Echo()))
+        http = InMemoryHttp(rest_endpoint)
+        call = invoker_for_endpoint(
+            Endpoint("rest", "http://h:80/rest/Echo"),
+            Echo.contract(),
+            http_factory=lambda host, port: http,
+        )
+        assert call("say", {"text": "no wsdl round-trip"}) == "no wsdl round-trip"
+        # First request is the operation itself — the contract came from the
+        # broker, not a discovery GET.
+        assert http.requests[0].method == "POST"
+
+
+class TestProxyFromBrokerPolicyPath:
+    def test_policy_kwarg_routes_through_resilience(self):
+        broker = ServiceBroker()
+        bus = ServiceBus()
+        bus.host_and_publish(Echo(), broker)
+        clock = ManualClock()
+        proxy = proxy_from_broker(
+            broker, bus, "Echo", policy=NO_WAIT, clock=clock, sleep=clock.advance
+        )
+        assert proxy.say(text="hello") == "hello"
+        reg = broker.lookup("Echo")
+        assert reg.qos.samples == 1
+        assert reg.qos_for(Endpoint("inproc", "inproc://echo")).samples == 1
+
+    def test_bus_client_policy_reports_endpoint_qos(self):
+        broker = ServiceBroker()
+        bus = ServiceBus()
+        bus.host_and_publish(Echo(), broker)
+        clock = ManualClock()
+        client = BusClient(
+            bus, broker, policy=NO_WAIT, clock=clock, sleep=clock.advance
+        )
+        assert client.call("Echo", "say", text="bus") == "bus"
+        reg = broker.lookup("Echo")
+        assert reg.qos_for(Endpoint("inproc", "inproc://echo")).samples == 1
+
+
+class TestReplicatedInvokerOrder:
+    def test_order_callable_overrides_sticky(self):
+        calls = []
+
+        def replica(tag):
+            def run(**kwargs):
+                calls.append(tag)
+                return tag
+
+            return run
+
+        invoker = ReplicatedInvoker(
+            [replica("a"), replica("b"), replica("c")], order=lambda: [2, 0, 1]
+        )
+        assert invoker() == "c"
+        assert calls == ["c"]
+
+    def test_order_from_broker_qos(self):
+        broker = ServiceBroker()
+        bus = ServiceBus()
+        bus.host_and_publish(Echo(), broker)
+        reg = broker.lookup("Echo")
+        endpoints = reg.endpoints
+        broker.report("Echo", 0.1, fault=True, endpoint=endpoints[0])
+
+        def order():
+            preferred = broker.endpoints_by_preference("Echo")
+            return [endpoints.index(e) for e in preferred]
+
+        seen = []
+        invoker = ReplicatedInvoker(
+            [lambda **kw: seen.append(0) or "zero"], order=order
+        )
+        assert invoker() == "zero"
+
+    def test_invalid_indices_skipped_missing_appended(self):
+        def ok(**kwargs):
+            return "ok"
+
+        def bad(**kwargs):
+            raise ServiceUnavailable("no")
+
+        invoker = ReplicatedInvoker([bad, ok], order=lambda: [7, -1])
+        # order() gave only junk: sticky order is the safety net, and the
+        # failover semantics still reach the good replica.
+        assert invoker() == "ok"
+        assert invoker.preferred_replica == 1

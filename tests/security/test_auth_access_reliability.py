@@ -454,3 +454,207 @@ class TestFaultInjector:
             lambda **kw: "recovered", [ServiceFault("x"), ServiceFault("y")]
         )
         assert with_retry(injector, attempts=3)() == "recovered"
+
+
+class TestCircuitBreakerHalfOpenRace:
+    """Regression: half-open must admit exactly one probe at a time.
+
+    Before the fix, every caller observing the half-open state was let
+    through simultaneously — a thundering herd onto a provider that had
+    just started recovering.
+    """
+
+    def make(self, fn, **kwargs):
+        self.clock = {"t": 0.0}
+        return CircuitBreaker(
+            fn, clock=lambda: self.clock["t"], recovery_seconds=30, **kwargs
+        )
+
+    def test_concurrent_half_open_callers_single_probe(self):
+        import threading
+
+        probe_entered = threading.Event()
+        release_probe = threading.Event()
+        provider_calls = []
+
+        def slow_recovering(**kwargs):
+            provider_calls.append(1)
+            probe_entered.set()
+            release_probe.wait(timeout=5)
+            return "recovered"
+
+        breaker = self.make(slow_recovering, failure_threshold=1)
+        # Trip it.
+        breaker.fn = lambda **kw: (_ for _ in ()).throw(ServiceFault("down"))
+        with pytest.raises(ServiceFault):
+            breaker()
+        breaker.fn = slow_recovering
+        self.clock["t"] = 31  # past recovery: next caller becomes THE probe
+
+        results = {}
+
+        def probe():
+            results["probe"] = breaker()
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        assert probe_entered.wait(timeout=5)
+        # A second caller while the probe is in flight: fail fast, never
+        # reach the provider.
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            breaker()
+        assert excinfo.value.retry_after is not None
+        release_probe.set()
+        thread.join(timeout=5)
+        assert results["probe"] == "recovered"
+        assert len(provider_calls) == 1
+        assert breaker.state == "closed"
+
+    def test_probe_failure_keeps_single_probe_invariant(self):
+        attempts = []
+
+        def failing(**kwargs):
+            attempts.append(1)
+            raise ServiceFault("still down")
+
+        breaker = self.make(failing, failure_threshold=1)
+        with pytest.raises(ServiceFault):
+            breaker()
+        self.clock["t"] = 31
+        with pytest.raises(ServiceFault):
+            breaker()  # the probe itself
+        # Probe failed: circuit re-opened, flag released — after another
+        # recovery window a fresh probe is admitted (no stuck flag).
+        self.clock["t"] = 62
+        with pytest.raises(ServiceFault):
+            breaker()
+        assert len(attempts) == 3
+
+    def test_open_fast_fail_carries_retry_after(self):
+        def failing(**kwargs):
+            raise ServiceFault("down")
+
+        breaker = self.make(failing, failure_threshold=1)
+        with pytest.raises(ServiceFault):
+            breaker()
+        self.clock["t"] = 10  # 20s of the 30s recovery remain
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            breaker()
+        assert excinfo.value.retry_after == pytest.approx(20.0)
+
+
+class TestRetryJitterAndRetryAfter:
+    """Satellite: jittered backoff and Retry-After hints in with_retry."""
+
+    def test_jitter_is_deterministic_per_seed(self):
+        import random
+
+        def run(seed):
+            sleeps = []
+            plan = iter([True, True, False])
+
+            def flaky(**kwargs):
+                if next(plan):
+                    raise ServiceFault("blip")
+                return "ok"
+
+            fn = with_retry(
+                flaky,
+                attempts=3,
+                backoff_seconds=1.0,
+                jitter=0.5,
+                rng=random.Random(seed),
+                retry_on=(ServiceFault,),
+                sleep=sleeps.append,
+            )
+            assert fn() == "ok"
+            return sleeps
+
+        assert run(7) == run(7)  # reproducible
+        assert run(7) != run(8)  # seed actually matters
+        for wait in run(7):
+            assert wait >= 0.0
+
+    def test_jitter_stays_within_band(self):
+        import random
+
+        sleeps = []
+        plan = iter([True, False])
+
+        def flaky(**kwargs):
+            if next(plan):
+                raise ServiceFault("blip")
+            return "ok"
+
+        with_retry(
+            flaky,
+            attempts=2,
+            backoff_seconds=1.0,
+            jitter=0.25,
+            rng=random.Random(3),
+            retry_on=(ServiceFault,),
+            sleep=sleeps.append,
+        )()
+        assert len(sleeps) == 1
+        assert 0.75 <= sleeps[0] <= 1.25
+
+    def test_retry_after_hint_raises_the_wait(self):
+        sleeps = []
+        plan = iter([True, False])
+
+        def refusing(**kwargs):
+            if next(plan):
+                raise ServiceUnavailable("overloaded", retry_after=4.5)
+            return "ok"
+
+        fn = with_retry(
+            refusing, attempts=2, backoff_seconds=0.1, sleep=sleeps.append
+        )
+        assert fn() == "ok"
+        assert sleeps == [pytest.approx(4.5)]
+
+    def test_retry_after_honored_even_without_backoff(self):
+        sleeps = []
+        plan = iter([True, False])
+
+        def refusing(**kwargs):
+            if next(plan):
+                raise ServiceUnavailable("busy", retry_after=2.0)
+            return "ok"
+
+        fn = with_retry(refusing, attempts=2, sleep=sleeps.append)
+        assert fn() == "ok"
+        assert sleeps == [pytest.approx(2.0)]
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            with_retry(lambda **kw: None, jitter=1.5)
+
+
+class TestReplicatedInvokerQosOrder:
+    """Satellite: QoS-derived ordering overrides sticky rotation."""
+
+    def test_order_callable_is_consulted_every_call(self):
+        calls = []
+
+        def replica(tag):
+            def run(**kwargs):
+                calls.append(tag)
+                return tag
+
+            return run
+
+        ranking = {"order": [1, 0]}
+        invoker = ReplicatedInvoker(
+            [replica("a"), replica("b")], order=lambda: ranking["order"]
+        )
+        assert invoker() == "b"
+        ranking["order"] = [0, 1]
+        assert invoker() == "a"
+        assert calls == ["b", "a"]
+
+    def test_out_of_range_indices_ignored(self):
+        invoker = ReplicatedInvoker(
+            [lambda **kw: "only"], order=lambda: [5, -2, 0]
+        )
+        assert invoker() == "only"

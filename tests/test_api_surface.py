@@ -15,8 +15,8 @@ import repro
 SUBPACKAGES = [
     "repro." + name
     for name in (
-        "xmlkit core transport parallelism web security workflow robotics "
-        "services directory curriculum apps events data semantic cloud"
+        "xmlkit core transport parallelism web security resilience workflow "
+        "robotics services directory curriculum apps events data semantic cloud"
     ).split()
 ]
 

@@ -194,3 +194,115 @@ class TestServerLifecycle:
                 server, b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n"
             )
             assert b"200" in response
+
+
+class TestRequestTimeout:
+    """Satellite: stalled clients get 408 instead of pinning a thread."""
+
+    def test_stalled_mid_headers_gets_408(self):
+        with HttpServer(echo_handler, request_timeout=0.2) as server:
+            with socket.create_connection(
+                (server.host, server.port), timeout=5
+            ) as sock:
+                sock.sendall(b"GET /slow HTTP/1.1\r\nHost: x")  # never finishes
+                sock.settimeout(5)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+            assert b"HTTP/1.1 408" in data
+
+    def test_stalled_mid_body_gets_408(self):
+        with HttpServer(echo_handler, request_timeout=0.2) as server:
+            head = b"POST /p HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-a-bit"
+            with socket.create_connection(
+                (server.host, server.port), timeout=5
+            ) as sock:
+                sock.sendall(head)
+                sock.settimeout(5)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+            assert b"HTTP/1.1 408" in data
+
+    def test_idle_keep_alive_closed_quietly(self):
+        with HttpServer(echo_handler, request_timeout=0.2) as server:
+            with socket.create_connection(
+                (server.host, server.port), timeout=5
+            ) as sock:
+                # Complete one request...
+                sock.sendall(b"GET /one HTTP/1.1\r\n\r\n")
+                sock.settimeout(5)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    data += sock.recv(65536)
+                assert b"200" in data
+                # ...then sit idle: server must close without sending 408.
+                tail = b""
+                try:
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break
+                        tail += chunk
+                except socket.timeout:
+                    pass
+            assert b"408" not in tail
+
+    def test_server_survives_stalled_client(self):
+        with HttpServer(echo_handler, request_timeout=0.2) as server:
+            with socket.create_connection(
+                (server.host, server.port), timeout=5
+            ) as sock:
+                sock.sendall(b"GET /stall HTTP/1.1\r\nHost:")
+                time.sleep(0.4)
+            response = raw_exchange(server, b"GET /after HTTP/1.1\r\n\r\n")
+            assert b"200" in response
+
+    def test_request_timeout_validation(self):
+        with pytest.raises(ValueError):
+            HttpServer(echo_handler, request_timeout=0)
+
+
+class TestStatusMapping:
+    """Satellite: bare transport statuses map to typed faults client-side."""
+
+    def test_408_maps_to_timeout_fault(self):
+        from repro.core import TimeoutFault
+        from repro.transport import raise_transport_status
+
+        response = HttpResponse.text_response("Request Timeout", status=408)
+        with pytest.raises(TimeoutFault):
+            raise_transport_status(response)
+
+    def test_503_maps_to_service_unavailable_with_retry_after(self):
+        from repro.core import ServiceUnavailable
+        from repro.transport import raise_transport_status
+        from repro.transport.http11 import _Headers
+
+        response = HttpResponse(
+            503,
+            _Headers([("Content-Type", "text/plain"), ("Retry-After", "7")]),
+            b"down",
+        )
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            raise_transport_status(response)
+        assert excinfo.value.retry_after == pytest.approx(7.0)
+
+    def test_other_statuses_pass_through(self):
+        from repro.transport import raise_transport_status
+
+        assert raise_transport_status(HttpResponse.text_response("x", 404)) is None
+
+    def test_retry_after_parsing(self):
+        from repro.transport import parse_retry_after
+
+        assert parse_retry_after("12") == pytest.approx(12.0)
+        assert parse_retry_after("1.5") == pytest.approx(1.5)
+        assert parse_retry_after("soon") is None
+        assert parse_retry_after(None) is None
