@@ -20,6 +20,8 @@ security      dependability: ciphers, auth, RBAC, reliability patterns
 resilience    policy-driven resilience middleware: deadlines, retry
               budgets, per-endpoint circuit breakers, bulkheads,
               fallback, broker QoS feedback, chaos harness
+observability cross-binding telemetry: distributed tracing, a metrics
+              registry, and the /metrics + /healthz exposition plane
 workflow      VPL dataflow, FSM (Fig. 2), BPEL orchestration, flowcharts
 robotics      maze world, robot simulator, Robot-as-a-Service, web
               programming environment (Figs. 1-2)
@@ -40,6 +42,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "xmlkit", "core", "transport", "parallelism", "web", "security",
-    "resilience", "workflow", "robotics", "services", "directory",
-    "curriculum", "apps", "events", "data", "semantic", "cloud",
+    "resilience", "observability", "workflow", "robotics", "services",
+    "directory", "curriculum", "apps", "events", "data", "semantic",
+    "cloud",
 ]

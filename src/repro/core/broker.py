@@ -22,6 +22,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..observability.runtime import OBS
 from .contracts import ServiceContract
 from .faults import ServiceFault
 
@@ -157,7 +158,9 @@ class ServiceBroker:
                 lease_expires=lease,
             )
             self._registrations[contract.name] = registration
-            return registration
+        if OBS.enabled:
+            OBS.instruments.broker_ops.inc(op="publish", outcome="ok")
+        return registration
 
     def renew(self, name: str, lease_seconds: float) -> None:
         with self._lock:
@@ -167,8 +170,14 @@ class ServiceBroker:
     def unpublish(self, name: str) -> None:
         with self._lock:
             if name not in self._registrations:
+                if OBS.enabled:
+                    OBS.instruments.broker_ops.inc(
+                        op="unpublish", outcome="missing"
+                    )
                 raise BrokerError(f"service {name!r} is not published")
             del self._registrations[name]
+        if OBS.enabled:
+            OBS.instruments.broker_ops.inc(op="unpublish", outcome="ok")
 
     def add_endpoint(self, name: str, endpoint: Endpoint) -> None:
         with self._lock:
@@ -184,8 +193,16 @@ class ServiceBroker:
 
     def lookup(self, name: str) -> Registration:
         """Exact-name discovery; raises :class:`BrokerError` when absent."""
-        with self._lock:
-            return self._get_locked(name)
+        try:
+            with self._lock:
+                registration = self._get_locked(name)
+        except BrokerError:
+            if OBS.enabled:
+                OBS.instruments.broker_ops.inc(op="lookup", outcome="missing")
+            raise
+        if OBS.enabled:
+            OBS.instruments.broker_ops.inc(op="lookup", outcome="ok")
+        return registration
 
     def try_lookup(self, name: str) -> Optional[Registration]:
         with self._lock:
@@ -266,6 +283,9 @@ class ServiceBroker:
                     report.total_latency += latency_seconds
                 if fault:
                     report.faults += 1
+        if OBS.enabled:
+            kind = "fast_fail" if fast_fail else ("fault" if fault else "ok")
+            OBS.instruments.broker_qos.inc(kind=kind)
 
     @staticmethod
     def _reports_for_locked(

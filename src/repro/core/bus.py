@@ -11,13 +11,17 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_left
 from typing import Any, Optional
 
+from ..observability.runtime import OBS
 from .broker import Endpoint, ServiceBroker
 from .faults import TransportError
 from .service import InvocationContext, Service, ServiceHost
 
 __all__ = ["ServiceBus", "BusClient"]
+
+_perf_counter = time.perf_counter
 
 
 class ServiceBus:
@@ -84,8 +88,94 @@ class ServiceBus:
         arguments: Optional[dict[str, Any]] = None,
         context: Optional[InvocationContext] = None,
     ) -> Any:
-        """Invoke an operation on the service at ``address``."""
-        return self.resolve(address).invoke(operation, arguments, context)
+        """Invoke an operation on the service at ``address``.
+
+        The bus is the system's hottest dispatch path (~5µs/call), so
+        its instrumentation is budgeted: disabled observability costs
+        one flag check; enabled-with-no-op-exporter costs exact outcome
+        counts plus 1-in-N sampled latency (see
+        ``benchmarks/bench_observability_overhead.py``); span
+        construction happens only under a collecting exporter.
+        """
+        if not OBS.enabled:
+            return self.resolve(address).invoke(operation, arguments, context)
+        host = self.resolve(address)
+        bus_metrics = OBS.instruments.bus
+        if OBS.tracer.sampling:
+            return self._traced_call(
+                host, bus_metrics, address, operation, arguments, context
+            )
+        # Metrics-only fast path: inline on purpose — every attribute
+        # load and method call here is paid by all instrumented traffic.
+        # Outcome counts are atomic ``next()`` ticks; the unsampled
+        # branch never touches a clock or a lock.
+        record = bus_metrics.records.get(operation)
+        if record is None:
+            record = bus_metrics.record_for(operation)
+        if next(bus_metrics.tick) & bus_metrics.mask:
+            try:
+                result = host.invoke(operation, arguments, context)
+            except Exception:
+                next(record.fault)
+                raise
+            next(record.ok)
+            return result
+        start = _perf_counter()
+        try:
+            result = host.invoke(operation, arguments, context)
+        except Exception:
+            elapsed = _perf_counter() - start
+            next(record.fault)
+            with record.lock:
+                record.counts[bisect_left(bus_metrics.buckets, elapsed)] += 1
+                record.total += elapsed
+            raise
+        elapsed = _perf_counter() - start
+        next(record.ok)
+        with record.lock:
+            record.counts[bisect_left(bus_metrics.buckets, elapsed)] += 1
+            record.total += elapsed
+        return result
+
+    def _traced_call(
+        self,
+        host: ServiceHost,
+        bus_metrics: Any,
+        address: str,
+        operation: str,
+        arguments: Optional[dict[str, Any]],
+        context: Optional[InvocationContext],
+    ) -> Any:
+        """Span-per-dispatch path (a collecting exporter is installed)."""
+        record = bus_metrics.record_for(operation)
+        with OBS.tracer.span(
+            "bus.call",
+            kind="server",
+            attributes={
+                "binding": "inproc",
+                "address": address,
+                "operation": operation,
+            },
+        ) as span:
+            start = _perf_counter()
+            try:
+                result = host.invoke(operation, arguments, context)
+            except Exception as exc:
+                elapsed = _perf_counter() - start
+                span.record_exception(exc)
+                next(record.fault)
+                with record.lock:
+                    record.counts[
+                        bisect_left(bus_metrics.buckets, elapsed)
+                    ] += 1
+                    record.total += elapsed
+                raise
+            elapsed = _perf_counter() - start
+            next(record.ok)
+            with record.lock:
+                record.counts[bisect_left(bus_metrics.buckets, elapsed)] += 1
+                record.total += elapsed
+            return result
 
     def addresses(self) -> list[str]:
         with self._lock:

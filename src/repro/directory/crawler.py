@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.contracts import ServiceContract
+from ..observability.runtime import OBS
 from ..resilience.policy import RetryBudget
 from ..resilience.quarantine import Quarantine
 from ..transport.wsdl import contract_from_xml
@@ -102,15 +103,36 @@ class ServiceCrawler:
         while page is None and attempt < self.fetch_attempts:
             if self.retry_budget is not None and not self.retry_budget.allow_retry():
                 report.retries_denied += 1
+                if OBS.enabled:
+                    OBS.instruments.crawler_fetches.inc(outcome="retry_denied")
                 break
             report.retries += 1
+            if OBS.enabled:
+                OBS.instruments.crawler_fetches.inc(outcome="retry")
             page = self.graph.fetch(url)
             report.pages_fetched += 1
             attempt += 1
         return page
 
     def crawl(self, seeds: list[str]) -> CrawlReport:
-        """Run one crawl from ``seeds``; returns the full accounting."""
+        """Run one crawl from ``seeds``; returns the full accounting.
+
+        With tracing collecting, the whole crawl is one ``crawler.crawl``
+        span whose attributes summarise the report — crawl cost shows up
+        in the same trace tree as the service calls it feeds.
+        """
+        if not OBS.enabled:
+            return self._crawl(seeds)
+        with OBS.tracer.span(
+            "crawler.crawl", attributes={"seeds": len(seeds)}
+        ) as span:
+            report = self._crawl(seeds)
+            span.set_attribute("pages", report.pages_fetched)
+            span.set_attribute("dead_links", report.dead_links)
+            span.set_attribute("contracts", len(report.contracts_found))
+            return report
+
+    def _crawl(self, seeds: list[str]) -> CrawlReport:
         report = CrawlReport()
         frontier: deque[str] = deque(seeds)
         queued = set(seeds)
@@ -120,6 +142,8 @@ class ServiceCrawler:
             domain = _domain(url)
             if self.quarantine is not None and self.quarantine.is_quarantined(domain):
                 report.skipped_by_quarantine += 1
+                if OBS.enabled:
+                    OBS.instruments.crawler_quarantine.inc(event="skipped")
                 continue
             if (
                 self.per_domain_budget is not None
@@ -131,11 +155,19 @@ class ServiceCrawler:
             page = self._fetch_with_retry(url, report)
             if page is None:
                 report.dead_links += 1
+                if OBS.enabled:
+                    OBS.instruments.crawler_fetches.inc(outcome="dead")
                 if self.quarantine is not None and self.quarantine.report_failure(
                     domain
                 ):
                     report.quarantined_domains.add(domain)
+                    if OBS.enabled:
+                        OBS.instruments.crawler_quarantine.inc(
+                            event="quarantined"
+                        )
                 continue
+            if OBS.enabled:
+                OBS.instruments.crawler_fetches.inc(outcome="ok")
             if self.quarantine is not None:
                 self.quarantine.report_success(domain)
             report.visited.add(url)

@@ -1,0 +1,78 @@
+"""Cross-binding telemetry: tracing, metrics, and the exposition plane.
+
+The dependability story of PR 1 gave every call a *policy*; this package
+gives every call a *record*.  Three pillars, wired through the whole
+stack (bus, broker, SOAP/REST transports, resilience middleware,
+crawler, web app):
+
+* **tracing** (:mod:`.trace`) — :class:`TraceContext` propagated via a
+  context-local and W3C-style ``traceparent`` headers, so one trace
+  spans inproc → SOAP → REST hops; spans record timing, binding,
+  operation, fault subtype, and resilience events.
+* **metrics** (:mod:`.metrics`) — a thread-safe, lock-striped
+  :class:`MetricsRegistry` (counter / gauge / histogram with label
+  sets) with instruments pre-registered for every subsystem
+  (:class:`~.runtime.Instruments`).
+* **exposition** (:mod:`.exposition`) — Prometheus-text ``/metrics``,
+  a ``/healthz`` summarising breaker states and quarantine leases, the
+  in-memory :class:`SpanCollector`, and :func:`render_trace_tree`.
+
+Everything is off by default and costs a flag check per call site;
+``OBS.enable()`` / :func:`observed` turn it on.  See
+``examples/traced_call.py`` and the "Observability layer" section of
+DESIGN.md.
+"""
+
+from .trace import (
+    NOOP_SPAN,
+    TRACEPARENT_HEADER,
+    NullExporter,
+    Span,
+    SpanCollector,
+    SpanEvent,
+    TraceContext,
+    Tracer,
+    add_event,
+    current_span,
+    render_trace_tree,
+)
+from .metrics import (
+    LATENCY_BUCKETS,
+    AtomicCounter,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsError,
+    MetricsRegistry,
+)
+from .runtime import (
+    OBS,
+    BusDispatchMetrics,
+    Instruments,
+    Observability,
+    observed,
+    server_span,
+)
+from .exposition import (
+    HealthHandler,
+    metrics_handler,
+    observability_routes,
+    render_prometheus,
+)
+
+__all__ = [
+    # trace
+    "TraceContext", "Span", "SpanEvent", "Tracer", "SpanCollector",
+    "NullExporter", "NOOP_SPAN", "TRACEPARENT_HEADER",
+    "current_span", "add_event", "render_trace_tree",
+    # metrics
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "AtomicCounter",
+    "MetricFamily", "MetricsError", "LATENCY_BUCKETS",
+    # runtime
+    "OBS", "Observability", "Instruments", "BusDispatchMetrics",
+    "observed", "server_span",
+    # exposition
+    "render_prometheus", "metrics_handler", "HealthHandler",
+    "observability_routes",
+]

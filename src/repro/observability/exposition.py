@@ -1,0 +1,240 @@
+"""The exposition plane: ``/metrics`` (Prometheus text) and ``/healthz``.
+
+Both are plain ``HttpRequest -> HttpResponse`` handlers, so they mount
+on :class:`~repro.transport.httpserver.HttpServer` beside the SOAP/REST
+endpoints and the web application via
+:func:`repro.web.app.compose_handlers` — one server, all bindings, plus
+its own telemetry, as on the paper's single IIS host.
+
+:func:`render_prometheus` implements Prometheus text exposition format
+0.0.4 (``# HELP``/``# TYPE`` rows, label escaping, cumulative histogram
+``_bucket``/``_sum``/``_count`` series) without any dependency.
+
+HTTP types are imported lazily so :mod:`repro.core.bus` can import the
+observability package without dragging the transport layer in — the
+layering stays one-directional until a handler is actually built.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable, Optional
+
+from .metrics import MetricFamily, MetricsRegistry
+from .runtime import OBS
+
+__all__ = [
+    "render_prometheus",
+    "metrics_handler",
+    "HealthHandler",
+    "observability_routes",
+]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_block(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    pairs = [f'{name}="{_escape_label(value)}"' for name, value in zip(names, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _render_family(family: MetricFamily) -> list[str]:
+    lines = [
+        f"# HELP {family.name} {_escape_help(family.help)}",
+        f"# TYPE {family.name} {family.kind}",
+    ]
+    for key in sorted(family.samples):
+        value = family.samples[key]
+        if family.kind == "histogram":
+            counts, total, count = value
+            cumulative = 0
+            bounds = [*family.buckets, float("inf")]
+            for bound, bucket_count in zip(bounds, counts):
+                cumulative += bucket_count
+                le = "+Inf" if bound == float("inf") else _format_value(bound)
+                lines.append(
+                    f"{family.name}_bucket"
+                    + _label_block(family.labelnames, key, f'le="{le}"')
+                    + f" {cumulative}"
+                )
+            lines.append(
+                f"{family.name}_sum"
+                + _label_block(family.labelnames, key)
+                + f" {repr(float(total))}"
+            )
+            lines.append(
+                f"{family.name}_count"
+                + _label_block(family.labelnames, key)
+                + f" {count}"
+            )
+        else:
+            lines.append(
+                family.name
+                + _label_block(family.labelnames, key)
+                + f" {_format_value(value)}"
+            )
+    return lines
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render every family of ``registry`` (default: the global one)."""
+    reg = registry if registry is not None else OBS.registry
+    lines: list[str] = []
+    for family in reg.collect():
+        lines.extend(_render_family(family))
+    return "\n".join(lines) + "\n"
+
+
+def metrics_handler(
+    registry: Optional[MetricsRegistry] = None,
+) -> Callable[[Any], Any]:
+    """Build the ``/metrics`` handler.
+
+    With ``registry=None`` the handler re-reads ``OBS.registry`` per
+    scrape, so it keeps working across :func:`~.runtime.observed` swaps.
+    """
+    from ..transport.http11 import HttpResponse  # lazy: layering
+
+    def handle(request) -> "HttpResponse":
+        if request.method != "GET":
+            return HttpResponse.error(405, "GET only")
+        return HttpResponse.text_response(
+            render_prometheus(registry),
+            content_type="text/plain; version=0.0.4",
+        )
+
+    return handle
+
+
+# ---------------------------------------------------------------------------
+# health
+# ---------------------------------------------------------------------------
+
+
+class HealthHandler:
+    """``/healthz``: one JSON verdict summarising dependability state.
+
+    Sources plug in after construction:
+
+    * :meth:`watch_breakers` — a
+      :class:`~repro.resilience.breaker.CircuitBreakerRegistry` (or any
+      object with ``states() -> dict[str, str]``); any endpoint not
+      ``closed`` degrades the verdict.
+    * :meth:`watch_quarantine` — a
+      :class:`~repro.resilience.quarantine.Quarantine` (anything with
+      ``active() -> list[str]``); active leases degrade the verdict.
+    * :meth:`add_check` — a named callable; falsy return or an exception
+      degrades the verdict.
+
+    ``GET`` answers 200 when everything is healthy, 503 when degraded —
+    load balancers act on the status line, humans read the body.
+    """
+
+    def __init__(self) -> None:
+        self._breakers: list[tuple[str, Any]] = []
+        self._quarantines: list[tuple[str, Any]] = []
+        self._checks: list[tuple[str, Callable[[], Any]]] = []
+
+    # -- registration ----------------------------------------------------
+    def watch_breakers(self, registry: Any, name: str = "breakers") -> "HealthHandler":
+        self._breakers.append((name, registry))
+        return self
+
+    def watch_quarantine(self, quarantine: Any, name: str = "quarantine") -> "HealthHandler":
+        self._quarantines.append((name, quarantine))
+        return self
+
+    def add_check(self, name: str, check: Callable[[], Any]) -> "HealthHandler":
+        self._checks.append((name, check))
+        return self
+
+    # -- evaluation ------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """The health document (also the JSON body of a ``GET``)."""
+        healthy = True
+        breakers: dict[str, dict[str, str]] = {}
+        for name, registry in self._breakers:
+            states = dict(registry.states())
+            breakers[name] = states
+            if any(state != "closed" for state in states.values()):
+                healthy = False
+        quarantines: dict[str, list[str]] = {}
+        for name, quarantine in self._quarantines:
+            active = list(quarantine.active())
+            quarantines[name] = active
+            if active:
+                healthy = False
+        checks: dict[str, str] = {}
+        for name, check in self._checks:
+            try:
+                ok = bool(check())
+            except Exception as exc:  # noqa: BLE001 - a check must not kill /healthz
+                checks[name] = f"error: {exc}"
+                healthy = False
+                continue
+            checks[name] = "ok" if ok else "failing"
+            if not ok:
+                healthy = False
+        document: dict[str, Any] = {"status": "ok" if healthy else "degraded"}
+        if breakers:
+            document["breakers"] = breakers
+        if quarantines:
+            document["quarantines"] = quarantines
+        if checks:
+            document["checks"] = checks
+        return document
+
+    def __call__(self, request):
+        from ..transport.http11 import HttpResponse  # lazy: layering
+
+        if request.method != "GET":
+            return HttpResponse.error(405, "GET only")
+        document = self.snapshot()
+        status = 200 if document["status"] == "ok" else 503
+        return HttpResponse.text_response(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            status=status,
+            content_type="application/json",
+        )
+
+
+def observability_routes(
+    registry: Optional[MetricsRegistry] = None,
+    health: Optional[HealthHandler] = None,
+) -> dict[str, Callable[[Any], Any]]:
+    """Route table for :func:`repro.web.app.compose_handlers`.
+
+    ::
+
+        health = HealthHandler().watch_breakers(invoker.breakers)
+        handler = compose_handlers({
+            "/soap": soap_endpoint,
+            "/rest": rest_endpoint,
+            **observability_routes(health=health),
+        })
+    """
+    return {
+        "/metrics": metrics_handler(registry),
+        "/healthz": health if health is not None else HealthHandler(),
+    }

@@ -1,0 +1,476 @@
+"""Distributed tracing: trace contexts, spans, exporters, pretty-printing.
+
+One *trace* follows a logical request across every binding hop — an
+in-process bus dispatch that fans out through a SOAP envelope into a
+RESTful call is still one trace.  The pieces:
+
+* :class:`TraceContext` — the (trace_id, span_id) pair that crosses
+  process/binding boundaries, encoded W3C-``traceparent``-style
+  (``00-<32 hex>-<16 hex>-01``) in HTTP headers and SOAP header blocks.
+* :class:`Span` — one timed operation within a trace: name, kind
+  (``server``/``client``/``internal``), attributes (binding, operation,
+  endpoint, fault subtype), and point-in-time *events* (retry attempts,
+  breaker transitions, bulkhead rejections, fallbacks).
+* :class:`Tracer` — creates spans, keeps the active span in a
+  context-local (:mod:`contextvars`), and hands finished spans to an
+  *exporter*.  With no exporter — or a non-collecting one such as
+  :class:`NullExporter` — ``span()`` returns a shared no-op span, so
+  instrumented call sites cost a flag check when nobody is looking
+  (measured by ``benchmarks/bench_observability_overhead.py``).
+* :class:`SpanCollector` — the in-memory exporter tests and examples
+  use; pairs with :func:`render_trace_tree` for a human-readable view.
+
+Everything is stdlib-only and clock-injectable: deterministic tests pass
+a manual clock, production uses ``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "NullExporter",
+    "SpanCollector",
+    "NOOP_SPAN",
+    "current_span",
+    "add_event",
+    "render_trace_tree",
+]
+
+#: Header / SOAP-header-block name carrying the trace context on the wire.
+TRACEPARENT_HEADER = "traceparent"
+
+_SPAN_KINDS = ("internal", "server", "client")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The propagated identity of one span within one trace."""
+
+    trace_id: int  # 128-bit
+    span_id: int   # 64-bit
+
+    def traceparent(self) -> str:
+        """Encode as a W3C-style ``traceparent`` header value."""
+        return f"00-{self.trace_id:032x}-{self.span_id:016x}-01"
+
+    @staticmethod
+    def parse(header: Optional[str]) -> Optional["TraceContext"]:
+        """Decode a ``traceparent`` value; None for absent/malformed input.
+
+        Malformed headers are *ignored*, never fatal: a bad peer must not
+        break request serving, it just starts a fresh trace.
+        """
+        if not header:
+            return None
+        parts = header.strip().split("-")
+        if len(parts) != 4 or parts[0] != "00":
+            return None
+        trace_hex, span_hex = parts[1], parts[2]
+        if len(trace_hex) != 32 or len(span_hex) != 16:
+            return None
+        try:
+            trace_id = int(trace_hex, 16)
+            span_id = int(span_hex, 16)
+        except ValueError:
+            return None
+        if trace_id == 0 or span_id == 0:
+            return None
+        return TraceContext(trace_id, span_id)
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """A point-in-time annotation on a span (retry, breaker trip...)."""
+
+    name: str
+    timestamp: float
+    attributes: dict[str, Any]
+
+
+# The active span (a Span) or remote parent (a TraceContext) for the
+# current logical context.  contextvars gives each thread — and each
+# asyncio task, should one appear — its own slot.
+_ACTIVE: ContextVar[Optional[object]] = ContextVar("repro_active_span", default=None)
+
+
+class Span:
+    """One timed operation; a context manager that exports itself on exit."""
+
+    __slots__ = (
+        "name", "kind", "trace_id", "span_id", "parent_id",
+        "start", "end", "attributes", "events", "status", "error",
+        "_tracer", "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        kind: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        attributes: Optional[dict[str, Any]],
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = start
+        self.attributes: dict[str, Any] = attributes if attributes is not None else {}
+        self.events: list[SpanEvent] = []
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self._tracer = tracer
+        self._token = None
+
+    # -- identity -------------------------------------------------------
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def recording(self) -> bool:
+        return True
+
+    # -- mutation -------------------------------------------------------
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def add_event(self, name: str, **attributes: Any) -> "Span":
+        self.events.append(
+            SpanEvent(name, self._tracer._clock(), attributes)
+        )
+        return self
+
+    def record_exception(self, exc: BaseException) -> "Span":
+        """Mark the span failed, capturing the fault subtype.
+
+        ``fault.code`` is the service-fault code when the exception
+        carries one (the typed-fault taxonomy of :mod:`repro.core.faults`)
+        and the exception class name otherwise, so a trace answers
+        *which* kind of failure occurred, not just that one did.
+        """
+        self.status = "error"
+        self.error = str(exc)
+        code = getattr(exc, "code", None)
+        self.attributes["fault.code"] = code if code else type(exc).__name__
+        if getattr(exc, "fast_fail", False):
+            self.attributes["fault.fast_fail"] = True
+        return self
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._token = _ACTIVE.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc is not None and self.status == "ok":
+            self.record_exception(exc)
+        self.end = self._tracer._clock()
+        if self._token is not None:
+            _ACTIVE.reset(self._token)
+            self._token = None
+        self._tracer._export(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, kind={self.kind!r}, "
+            f"trace={self.trace_id:032x}, span={self.span_id:016x})"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the disabled/no-op-exporter fast path.
+
+    Stateless, so one instance is safely shared across threads and
+    reentrant ``with`` blocks.
+    """
+
+    __slots__ = ()
+
+    context = None
+    recording = False
+    events: tuple = ()
+    attributes: dict = {}
+
+    def set_attribute(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    def add_event(self, name: str, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def record_exception(self, exc: BaseException) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<noop span>"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class NullExporter:
+    """Accepts spans and drops them; advertises that it does not collect.
+
+    The tracer uses ``collects=False`` to skip span construction
+    entirely — "pay for what you observe" is the subsystem's overhead
+    contract.
+    """
+
+    collects = False
+
+    def export(self, span: Span) -> None:  # pragma: no cover - never called
+        pass
+
+
+class SpanCollector:
+    """Thread-safe in-memory exporter for tests, examples and debugging."""
+
+    collects = True
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    def export(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self) -> list[Span]:
+        """Snapshot of finished spans, in export (finish) order."""
+        with self._lock:
+            return list(self._spans)
+
+    def by_trace(self, trace_id: int) -> list[Span]:
+        with self._lock:
+            return [s for s in self._spans if s.trace_id == trace_id]
+
+    def trace_ids(self) -> set[int]:
+        with self._lock:
+            return {s.trace_id for s in self._spans}
+
+    def named(self, name: str) -> list[Span]:
+        with self._lock:
+            return [s for s in self._spans if s.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class Tracer:
+    """Creates spans and routes finished ones to the exporter.
+
+    ``exporter=None`` (the default) disables tracing outright;
+    an exporter with ``collects=False`` (:class:`NullExporter`) keeps the
+    wiring "on" while skipping span construction — both cases make
+    :meth:`span` return :data:`NOOP_SPAN`.
+    """
+
+    def __init__(
+        self,
+        exporter: Optional[object] = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._clock = clock
+        self._rng = rng or random.Random()
+        self._exporter: Optional[object] = None
+        #: True when spans are actually being built and exported.  A plain
+        #: attribute (not a property): the bus reads it on every dispatch,
+        #: and a descriptor call is measurable at that frequency.
+        self.sampling = False
+        self.configure(exporter)
+
+    # -- configuration --------------------------------------------------
+    def configure(self, exporter: Optional[object]) -> "Tracer":
+        self._exporter = exporter
+        self.sampling = bool(
+            exporter is not None and getattr(exporter, "collects", True)
+        )
+        return self
+
+    @property
+    def exporter(self) -> Optional[object]:
+        return self._exporter
+
+    # -- span creation --------------------------------------------------
+    def span(
+        self,
+        name: str,
+        *,
+        kind: str = "internal",
+        parent: Optional[TraceContext] = None,
+        attributes: Optional[dict[str, Any]] = None,
+    ):
+        """Open a span (use as a context manager).
+
+        ``parent`` overrides the context-local parent — servers pass the
+        remote context extracted from a ``traceparent`` header; everyone
+        else inherits whatever span is active on this thread.
+        """
+        if not self.sampling:
+            return NOOP_SPAN
+        if parent is None:
+            parent = self.current()
+        if parent is None:
+            trace_id = self._rng.getrandbits(128) or 1
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        return Span(
+            self,
+            name,
+            kind if kind in _SPAN_KINDS else "internal",
+            trace_id,
+            self._rng.getrandbits(64) or 1,
+            parent_id,
+            self._clock(),
+            attributes,
+        )
+
+    # -- context access -------------------------------------------------
+    def current(self) -> Optional[TraceContext]:
+        """The active trace context (from a local span or a remote parent)."""
+        active = _ACTIVE.get()
+        if active is None:
+            return None
+        if isinstance(active, Span):
+            return active.context
+        return active  # a bare TraceContext activated by a server
+
+    def current_span(self) -> Optional[Span]:
+        active = _ACTIVE.get()
+        return active if isinstance(active, Span) else None
+
+    def activate(self, context: TraceContext):
+        """Make a remote context the local parent; returns a reset token."""
+        return _ACTIVE.set(context)
+
+    def deactivate(self, token) -> None:
+        _ACTIVE.reset(token)
+
+    # -- export ---------------------------------------------------------
+    def _export(self, span: Span) -> None:
+        exporter = self._exporter
+        if exporter is not None:
+            exporter.export(span)
+
+
+def current_span() -> Optional[Span]:
+    """The span active on this thread, if any (module-level convenience)."""
+    active = _ACTIVE.get()
+    return active if isinstance(active, Span) else None
+
+
+def add_event(name: str, **attributes: Any) -> None:
+    """Attach an event to the active span; no-op when none is recording.
+
+    This is the seam the resilience middleware reports through — cheap
+    enough to sit on fault paths unconditionally.
+    """
+    active = _ACTIVE.get()
+    if isinstance(active, Span):
+        active.events.append(
+            SpanEvent(name, active._tracer._clock(), attributes)
+        )
+
+
+# ---------------------------------------------------------------------------
+# pretty printing
+# ---------------------------------------------------------------------------
+
+_TREE_ATTRS = ("binding", "operation", "endpoint", "http.method", "http.target")
+
+
+def _format_span(span: Span) -> str:
+    bits = [f"{span.name} [{span.kind}]"]
+    for key in _TREE_ATTRS:
+        value = span.attributes.get(key)
+        if value is not None:
+            bits.append(f"{key}={value}")
+    bits.append(f"{span.duration * 1e3:.2f}ms")
+    if span.status == "error":
+        code = span.attributes.get("fault.code", "error")
+        bits.append(f"!{code}")
+    return " ".join(bits)
+
+
+def render_trace_tree(spans: Iterable[Span], *, include_events: bool = True) -> str:
+    """Render spans as per-trace ASCII trees (children sorted by start).
+
+    Spans whose parent was remote (not among ``spans``) render as roots
+    of their trace — a trace tree is best-effort over whatever spans the
+    collector saw.
+    """
+    spans = list(spans)
+    by_id = {s.span_id: s for s in spans}
+    children: dict[Optional[int], list[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start, s.span_id))
+
+    lines: list[str] = []
+
+    def walk(span: Span, prefix: str, tail: bool, root: bool) -> None:
+        if root:
+            lines.append(prefix + _format_span(span))
+            child_prefix = prefix + "  "
+        else:
+            branch = "└─ " if tail else "├─ "
+            lines.append(prefix + branch + _format_span(span))
+            child_prefix = prefix + ("   " if tail else "│  ")
+        if include_events:
+            for event in span.events:
+                attrs = " ".join(f"{k}={v}" for k, v in sorted(event.attributes.items()))
+                lines.append(
+                    child_prefix + f"· {event.name}" + (f" {attrs}" if attrs else "")
+                )
+        kids = children.get(span.span_id, [])
+        for i, child in enumerate(kids):
+            walk(child, child_prefix, i == len(kids) - 1, False)
+
+    roots = children.get(None, [])
+    traces: dict[int, list[Span]] = {}
+    for root in roots:
+        traces.setdefault(root.trace_id, []).append(root)
+    for trace_id in sorted(traces, key=lambda t: min(r.start for r in traces[t])):
+        lines.append(f"trace {trace_id:032x}")
+        for root in traces[trace_id]:
+            walk(root, "  ", True, True)
+    return "\n".join(lines)

@@ -105,8 +105,12 @@ class EndpointBreaker:
                 return True
             return False
 
-    def on_success(self, probing: bool) -> None:
-        """Record a successful attempt; closes the circuit."""
+    def on_success(self, probing: bool) -> bool:
+        """Record a successful attempt; closes the circuit.
+
+        Returns True when this success *re-closed* a tripped circuit —
+        the transition observability cares about.
+        """
         # Hot path: success-on-closed with a clean failure streak changes
         # nothing — skip the lock entirely.
         if (
@@ -114,22 +118,32 @@ class EndpointBreaker:
             and self._state == "closed"
             and self._consecutive_failures == 0
         ):
-            return
+            return False
         with self._lock:
             if probing:
                 self._probe_in_flight = False
+            reclosed = self._state != "closed"
             self._consecutive_failures = 0
             self._state = "closed"
+            return reclosed
 
-    def on_failure(self, probing: bool) -> None:
-        """Record a failed attempt; may (re-)open the circuit."""
+    def on_failure(self, probing: bool) -> bool:
+        """Record a failed attempt; may (re-)open the circuit.
+
+        Returns True when this failure *tripped* the circuit (closed or
+        half-open → open), so callers can emit one event per transition
+        rather than one per failure.
+        """
         with self._lock:
             if probing:
                 self._probe_in_flight = False
             self._consecutive_failures += 1
             if probing or self._consecutive_failures >= self.policy.failure_threshold:
+                opened = self._state != "open"
                 self._state = "open"
                 self._opened_at = self.clock()
+                return opened
+            return False
 
     def __call__(self, fn: Callable[[], object]) -> object:
         """Run ``fn`` under the breaker (convenience for direct use)."""

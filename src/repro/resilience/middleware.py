@@ -30,6 +30,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from ..core.faults import ServiceUnavailable, TimeoutFault
+from ..observability.runtime import OBS
+from ..observability.trace import add_event
 from .breaker import CircuitBreakerRegistry
 from .policy import ResiliencePolicy, RetryBudget
 
@@ -82,6 +84,20 @@ Middleware = Callable[[Handler], Handler]
 Reporter = Callable[[Observation], None]
 
 
+def _note(event: str, **attributes: Any) -> None:
+    """Report one policy deviation to the active span and the metrics.
+
+    Sits on fault/slow paths only, so a disabled subsystem costs one
+    branch; enabled, the event lands on whatever span is active (e.g.
+    the enclosing ``resilience.call``) and bumps
+    ``repro_resilience_events_total``.
+    """
+    if not OBS.enabled:
+        return
+    add_event(event, **attributes)
+    OBS.instruments.resilience_events.inc(event=event)
+
+
 def build_chain(
     policy: ResiliencePolicy,
     terminal: Handler,
@@ -128,12 +144,22 @@ def _deadline_middleware(handler: Handler, clock: Callable[[], float]) -> Handle
     def run(invocation: Invocation) -> Any:
         deadline = invocation.deadline
         if deadline is not None and clock() >= deadline:
+            _note(
+                "deadline",
+                operation=invocation.operation,
+                phase="before-attempt",
+            )
             raise TimeoutFault(
                 f"deadline exceeded before attempt {invocation.attempt + 1} "
                 f"of {invocation.operation!r}"
             )
         result = handler(invocation)
         if deadline is not None and clock() > deadline:
+            _note(
+                "deadline",
+                operation=invocation.operation,
+                phase="after-attempt",
+            )
             raise TimeoutFault(
                 f"deadline exceeded during {invocation.operation!r} "
                 f"(attempt {invocation.attempt + 1})"
@@ -148,6 +174,11 @@ def _bulkhead_middleware(handler: Handler, max_concurrent: int) -> Handler:
 
     def run(invocation: Invocation) -> Any:
         if not semaphore.acquire(blocking=False):
+            _note(
+                "bulkhead_reject",
+                endpoint=invocation.endpoint,
+                max_concurrent=max_concurrent,
+            )
             fault = ServiceUnavailable(
                 f"bulkhead saturated ({max_concurrent} in flight) "
                 f"for {invocation.endpoint!r}"
@@ -175,13 +206,21 @@ def _breaker_middleware(handler: Handler, breakers: CircuitBreakerRegistry) -> H
             entry = (breaker.before_call, breaker.on_success, breaker.on_failure)
             cache[invocation.endpoint] = entry
         before_call, on_success, on_failure = entry
-        probing = before_call()
+        try:
+            probing = before_call()
+        except ServiceUnavailable:
+            _note("breaker_fast_fail", endpoint=invocation.endpoint)
+            raise
+        if probing:
+            _note("breaker_probe", endpoint=invocation.endpoint)
         try:
             result = handler(invocation)
         except Exception:
-            on_failure(probing)
+            if on_failure(probing):
+                _note("breaker_open", endpoint=invocation.endpoint)
             raise
-        on_success(probing)
+        if on_success(probing):
+            _note("breaker_close", endpoint=invocation.endpoint)
         return result
 
     return run
@@ -266,6 +305,12 @@ def _retry_middleware(
                 sleep(wait)
             delay = min(delay * factor, max_delay)
             invocation.attempt = attempt
+            _note(
+                "retry",
+                operation=invocation.operation,
+                attempt=attempt,
+                endpoint=invocation.endpoint,
+            )
             try:
                 return handler(invocation)
             except retry_on as exc:
@@ -288,9 +333,21 @@ def _fallback_middleware(handler: Handler, policy: ResiliencePolicy) -> Handler:
         except fallback.applies_to:
             if fallback.use_last_good:
                 with lock:
-                    if key in last_good:
-                        return last_good[key]
+                    cached = key in last_good
+                    value = last_good.get(key)
+                if cached:
+                    _note(
+                        "fallback",
+                        source="last_good",
+                        operation=invocation.operation,
+                    )
+                    return value
             if fallback.has_static_value:
+                _note(
+                    "fallback",
+                    source="static",
+                    operation=invocation.operation,
+                )
                 return fallback.value
             raise
         if fallback.use_last_good:
@@ -348,11 +405,28 @@ class ResilientInvoker:
         )
 
     def __call__(self, operation: str, arguments: dict[str, Any]) -> Any:
-        """Invoke ``operation`` under the compiled policy chain."""
+        """Invoke ``operation`` under the compiled policy chain.
+
+        With tracing collecting, the whole defended invocation runs
+        inside one ``resilience.call`` span: each attempt's inner span
+        (bus dispatch, SOAP/REST client call) becomes a *sibling* child,
+        and policy deviations land on it as events — a retry storm reads
+        directly off the trace tree.
+        """
         invocation = Invocation(operation, arguments, endpoint=self.endpoint)
         if self._deadline_seconds is not None:
             invocation.deadline = self._clock() + self._deadline_seconds
-        return self._chain(invocation)
+        if not OBS.enabled or not OBS.tracer.sampling:
+            return self._chain(invocation)
+        with OBS.tracer.span(
+            "resilience.call",
+            kind="internal",
+            attributes={"endpoint": self.endpoint, "operation": operation},
+        ) as span:
+            result = self._chain(invocation)
+            if invocation.attempt:
+                span.set_attribute("attempts", invocation.attempt + 1)
+            return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResilientInvoker(endpoint={self.endpoint!r})"

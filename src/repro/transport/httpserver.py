@@ -16,8 +16,11 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Callable, Optional
 
+from ..observability.runtime import OBS, server_span
+from ..observability.trace import TRACEPARENT_HEADER
 from .http11 import (
     HttpError,
     HttpRequest,
@@ -29,6 +32,9 @@ from .http11 import (
 __all__ = ["HttpServer", "HttpClient", "serve_once"]
 
 Handler = Callable[[HttpRequest], HttpResponse]
+
+#: Access-log hook signature: (method, target, status, duration_seconds).
+RequestObserver = Callable[[str, str, int, float], None]
 
 _RECV_CHUNK = 65536
 
@@ -94,10 +100,17 @@ class HttpServer:
         port: int = 0,
         *,
         request_timeout: float = 30.0,
+        on_request: Optional[RequestObserver] = None,
     ) -> None:
+        """``on_request`` is an optional access-log hook called after every
+        dispatched request as ``(method, target, status, duration_seconds)``.
+        It runs on the connection thread; exceptions it raises are swallowed
+        — an observer must never break serving.
+        """
         if request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
         self.handler = handler
+        self.on_request = on_request
         self.request_timeout = request_timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -194,10 +207,7 @@ class HttpServer:
                 except HttpError as exc:
                     conn.sendall(HttpResponse.error(exc.status, str(exc)).to_bytes())
                     break
-                try:
-                    response = self.handler(request)
-                except Exception as exc:  # noqa: BLE001 - server must not die
-                    response = HttpResponse.error(500, f"handler error: {exc}")
+                response = self._handle(request)
                 keep_alive = (
                     request.headers.get("Connection", "keep-alive").lower()
                     != "close"
@@ -217,6 +227,43 @@ class HttpServer:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
+
+    def _handle(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch one parsed request: handler + telemetry + access hook.
+
+        The server span (parented on an inbound ``traceparent`` header,
+        when present) is *active* while the handler runs, so endpoint
+        spans opened inside — SOAP dispatch, REST dispatch, bus calls —
+        nest under it and share its trace.
+        """
+        start = time.perf_counter()
+        with server_span(
+            "http.server",
+            header=request.headers.get(TRACEPARENT_HEADER),
+            **{"http.method": request.method, "http.target": request.target},
+        ) as span:
+            try:
+                response = self.handler(request)
+            except Exception as exc:  # noqa: BLE001 - server must not die
+                span.record_exception(exc)
+                response = HttpResponse.error(500, f"handler error: {exc}")
+            status = response.status
+            span.set_attribute("http.status", status)
+        duration = time.perf_counter() - start
+        if OBS.enabled:
+            instruments = OBS.instruments
+            instruments.transport_requests.inc(
+                method=request.method, status=str(status)
+            )
+            instruments.transport_seconds.observe(
+                duration, method=request.method
+            )
+        if self.on_request is not None:
+            try:
+                self.on_request(request.method, request.target, status, duration)
+            except Exception:  # noqa: BLE001 - observers must not break serving
+                pass
+        return response
 
 
 class HttpClient:
@@ -249,7 +296,20 @@ class HttpClient:
         self.close()
 
     def request(self, request: HttpRequest) -> HttpResponse:
-        """Send one request, reusing the connection when possible."""
+        """Send one request, reusing the connection when possible.
+
+        When a trace is active on this thread, the request carries a
+        ``traceparent`` header (unless the caller set one), so the server
+        side joins the same trace — every HTTP-based binding inherits
+        propagation from this one seam.
+        """
+        if OBS.enabled and OBS.tracer.sampling:
+            context = OBS.tracer.current()
+            if (
+                context is not None
+                and request.headers.get(TRACEPARENT_HEADER) is None
+            ):
+                request.headers.set(TRACEPARENT_HEADER, context.traceparent())
         with self._lock:
             for attempt in (1, 2):
                 if self._sock is None:

@@ -26,6 +26,8 @@ from ..core.contracts import Operation
 from ..core.faults import ServiceFault, TransportError, fault_from_code
 from ..core.proxy import ServiceProxy, make_proxy
 from ..core.service import InvocationContext, ServiceHost
+from ..observability.runtime import OBS, server_span
+from ..observability.trace import TRACEPARENT_HEADER
 from ..xmlkit import Element, from_element, parse, to_element
 from .http11 import HttpRequest, HttpResponse, encode_query
 from .httpserver import HttpClient
@@ -127,10 +129,18 @@ class RestEndpoint:
             return _fault_response(ServiceFault(str(exc), code="Client.BadRequest"))
 
         context = InvocationContext(operation_name, headers=dict(request.headers.items()))
-        try:
-            result = host.invoke(operation_name, arguments, context)
-        except ServiceFault as exc:
-            return _fault_response(exc)
+        with server_span(
+            "rest.invoke",
+            header=request.headers.get(TRACEPARENT_HEADER),
+            binding="rest",
+            operation=operation_name,
+            service=service_name,
+        ) as span:
+            try:
+                result = host.invoke(operation_name, arguments, context)
+            except ServiceFault as exc:
+                span.record_exception(exc)
+                return _fault_response(exc)
         return HttpResponse.xml_response(to_element("result", result).toxml())
 
     @staticmethod
@@ -174,6 +184,30 @@ class RestClient:
         return self._contract
 
     def call(self, operation: str, arguments: dict[str, Any]) -> Any:
+        if not OBS.enabled:
+            return self._exchange(operation, arguments)
+        with OBS.tracer.span(
+            "rest.call",
+            kind="client",
+            attributes={
+                "binding": "rest",
+                "operation": operation,
+                "endpoint": f"{self.prefix}/{self.service_name}",
+            },
+        ) as span:
+            # traceparent rides the HTTP headers: HttpClient injects it
+            # from the span this block just activated.
+            try:
+                result = self._exchange(operation, arguments)
+            except Exception as exc:
+                span.record_exception(exc)
+                OBS.instruments.client_calls.inc(binding="rest", outcome="fault")
+                raise
+            OBS.instruments.client_calls.inc(binding="rest", outcome="ok")
+            return result
+
+    def _exchange(self, operation: str, arguments: dict[str, Any]) -> Any:
+        """One raw resource round-trip (no telemetry)."""
         contract = self.fetch_contract()
         op = contract.operation(operation)
         path = f"{self.prefix}/{self.service_name}/{operation}"

@@ -22,6 +22,8 @@ from typing import Any, Callable, Optional
 from ..core.faults import ServiceFault, TransportError, fault_from_code
 from ..core.proxy import ServiceProxy, make_proxy
 from ..core.service import InvocationContext, ServiceHost
+from ..observability.runtime import OBS, server_span
+from ..observability.trace import TRACEPARENT_HEADER
 from ..xmlkit import Element, from_element, parse, to_element
 from .http11 import HttpRequest, HttpResponse
 from .httpserver import HttpClient
@@ -168,24 +170,35 @@ class SoapEndpoint:
         context = InvocationContext(
             operation, principal=principal, roles=roles, headers=headers
         )
-        try:
-            result = host.invoke(operation, arguments, context)
-        except ServiceFault as exc:
-            if exc.code == "Server.Unavailable":
-                status = 503
-            elif exc.code == "Server.Timeout":
-                status = 408
-            elif exc.code.startswith("Client"):
-                status = 400
-            else:
-                status = 500
-            response = HttpResponse.xml_response(
-                build_fault(exc).toxml(), status=status
-            )
-            retry_after = getattr(exc, "retry_after", None)
-            if retry_after is not None:
-                response.headers.set("Retry-After", f"{retry_after:g}")
-            return response
+        # The dispatch span prefers the active http.server span as its
+        # parent; the envelope's traceparent header block covers carriers
+        # that are not HTTP (or tests that bypass the server).
+        with server_span(
+            "soap.invoke",
+            header=headers.get(TRACEPARENT_HEADER),
+            binding="soap",
+            operation=operation,
+            service=service_name,
+        ) as span:
+            try:
+                result = host.invoke(operation, arguments, context)
+            except ServiceFault as exc:
+                span.record_exception(exc)
+                if exc.code == "Server.Unavailable":
+                    status = 503
+                elif exc.code == "Server.Timeout":
+                    status = 408
+                elif exc.code.startswith("Client"):
+                    status = 400
+                else:
+                    status = 500
+                response = HttpResponse.xml_response(
+                    build_fault(exc).toxml(), status=status
+                )
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    response.headers.set("Retry-After", f"{retry_after:g}")
+                return response
         return HttpResponse.xml_response(build_result(operation, result).toxml())
 
 
@@ -204,7 +217,45 @@ class SoapClient:
         self.headers = dict(headers or {})
 
     def call(self, operation: str, arguments: dict[str, Any]) -> Any:
-        request_xml = build_call(operation, arguments, self.headers).toxml()
+        if not OBS.enabled:
+            return self._exchange(operation, arguments, self.headers)
+        with OBS.tracer.span(
+            "soap.call",
+            kind="client",
+            attributes={
+                "binding": "soap",
+                "operation": operation,
+                "endpoint": self.path,
+            },
+        ) as span:
+            headers = self.headers
+            context = span.context
+            if context is not None:
+                # In-band propagation: the trace context rides in the
+                # envelope's header blocks as well as the HTTP header
+                # (which HttpClient injects), so non-HTTP carriers of
+                # the same envelope still propagate.
+                headers = {
+                    **headers,
+                    TRACEPARENT_HEADER: context.traceparent(),
+                }
+            try:
+                result = self._exchange(operation, arguments, headers)
+            except Exception as exc:
+                span.record_exception(exc)
+                OBS.instruments.client_calls.inc(binding="soap", outcome="fault")
+                raise
+            OBS.instruments.client_calls.inc(binding="soap", outcome="ok")
+            return result
+
+    def _exchange(
+        self,
+        operation: str,
+        arguments: dict[str, Any],
+        headers: dict[str, str],
+    ) -> Any:
+        """One raw envelope round-trip (no telemetry)."""
+        request_xml = build_call(operation, arguments, headers).toxml()
         response = self.http.post(self.path, request_xml, content_type=CONTENT_TYPE)
         if response.content_type not in (CONTENT_TYPE, "application/xml"):
             raise_transport_status(response)

@@ -16,10 +16,12 @@ with SOAP/REST endpoints via :func:`compose_handlers`.
 
 from __future__ import annotations
 
-import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from ..observability.metrics import AtomicCounter
+from ..observability.runtime import OBS
 from ..transport.http11 import HttpRequest, HttpResponse
 from ..transport.rest import RestRouter
 from .state import ApplicationState, Session, SessionManager
@@ -104,8 +106,9 @@ class WebApp:
             404, f"no page at {request.path}"
         )
         self._error_handler: Optional[Callable[[HttpRequest, Exception], HttpResponse]] = None
-        self._request_count = 0
-        self._lock = threading.Lock()
+        # One shared atomic primitive with the metrics registry: the tally
+        # stays exact under HttpServer's thread-per-connection dispatch.
+        self._requests = AtomicCounter()
 
     # -- registration ------------------------------------------------------
     def page(self, pattern: str, methods: Sequence[str] = ("GET",)):
@@ -149,8 +152,19 @@ class WebApp:
 
     # -- dispatch --------------------------------------------------------
     def __call__(self, request: HttpRequest) -> HttpResponse:
-        with self._lock:
-            self._request_count += 1
+        self._requests.inc()
+        if not OBS.enabled:
+            return self._dispatch(request)
+        start = time.perf_counter()
+        response = self._dispatch(request)
+        instruments = OBS.instruments
+        instruments.webapp_seconds.observe(time.perf_counter() - start)
+        instruments.webapp_requests.inc(
+            outcome="error" if response.status >= 500 else "ok"
+        )
+        return response
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
         try:
             return self._router(request)
         except Exception as exc:  # noqa: BLE001 - error page boundary
@@ -160,8 +174,7 @@ class WebApp:
 
     @property
     def request_count(self) -> int:
-        with self._lock:
-            return self._request_count
+        return int(self._requests.value)
 
 
 def compose_handlers(

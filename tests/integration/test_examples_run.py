@@ -83,3 +83,17 @@ def test_cart_webapp():
     out = run_example("cart_webapp.py")
     assert "Total: $428.99" in out
     assert "checkout ->" in out
+
+
+def test_traced_call():
+    out = run_example("traced_call.py")
+    assert "spread(ACME) = 0.0" in out
+    assert "1 trace" in out
+    assert "bus.call [server] binding=inproc" in out
+    assert "· retry attempt=1" in out
+    # both bindings appear under the one tree
+    assert "soap.invoke [server] binding=soap" in out
+    assert "rest.invoke [server] binding=rest" in out
+    assert 'repro_bus_dispatch_total{operation="spread",outcome="ok"} 1' in out
+    assert "/healthz -> 200" in out
+    assert "with an open breaker, /healthz -> 503" in out

@@ -1,0 +1,216 @@
+"""One trace across three bindings.
+
+A single logical request fans out inproc -> SOAP -> REST over real
+sockets; every hop must join the same trace, with parent/child edges
+following the call chain.  Resilience retries show up as sibling client
+spans under one ``resilience.call`` span.
+"""
+
+import pytest
+
+from repro.core import ServiceBus, ServiceHost, ServiceUnavailable
+from repro.core.service import Service, operation
+from repro.observability import OBS, SpanCollector, observed, render_trace_tree
+from repro.resilience import ResiliencePolicy, ResilientInvoker, RetryPolicy
+from repro.transport import (
+    HttpClient,
+    HttpServer,
+    RestEndpoint,
+    SoapEndpoint,
+    rest_proxy,
+    soap_proxy,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class Pricer(Service):
+    """Backend: prices a symbol (hosted over SOAP and over REST)."""
+
+    @operation
+    def price(self, symbol: str) -> float:
+        """A deterministic quote."""
+        return float(len(symbol))
+
+
+class Flaky(Service):
+    """Backend that fails N times before recovering."""
+
+    failures = 0
+
+    @operation
+    def wobble(self) -> str:
+        """Unavailable until the failure budget is spent."""
+        if Flaky.failures > 0:
+            Flaky.failures -= 1
+            raise ServiceUnavailable("warming up")
+        return "steady"
+
+
+@pytest.fixture
+def backends():
+    soap_endpoint = SoapEndpoint()
+    soap_endpoint.mount(ServiceHost(Pricer()))
+    rest_endpoint = RestEndpoint()
+    rest_endpoint.mount(ServiceHost(Pricer()))
+    with HttpServer(soap_endpoint) as soap_server:
+        with HttpServer(rest_endpoint) as rest_server:
+            yield soap_server, rest_server
+
+
+class TestTraceSpansThreeBindings:
+    def test_single_trace_id_across_inproc_soap_rest(self, backends):
+        soap_server, rest_server = backends
+        collector = SpanCollector()
+        with HttpClient(soap_server.host, soap_server.port) as soap_http:
+            with HttpClient(rest_server.host, rest_server.port) as rest_http:
+                soap_backend = soap_proxy(soap_http, "Pricer")
+                rest_backend = rest_proxy(rest_http, "Pricer")
+
+                class Aggregator(Service):
+                    """Front service fanning out to both remote bindings."""
+
+                    @operation
+                    def spread(self, symbol: str) -> float:
+                        """SOAP quote minus REST quote."""
+                        return soap_backend.price(
+                            symbol=symbol
+                        ) - rest_backend.price(symbol=symbol.lower())
+
+                bus = ServiceBus()
+                address = bus.host(Aggregator())
+                with observed(collector):
+                    assert bus.call(address, "spread", {"symbol": "ACME"}) == 0.0
+
+        spans = collector.spans()
+        # every hop of the fan-out joined the one trace
+        assert len(collector.trace_ids()) == 1
+        names = sorted(span.name for span in spans)
+        assert names == [
+            "bus.call",
+            "http.server",
+            "http.server",
+            "rest.call",
+            "rest.invoke",
+            "soap.call",
+            "soap.invoke",
+        ]
+        bindings = {
+            span.attributes.get("binding")
+            for span in spans
+            if "binding" in span.attributes
+        }
+        assert {"inproc", "soap", "rest"} <= bindings
+
+    def test_parent_child_edges_follow_the_call_chain(self, backends):
+        soap_server, _ = backends
+        collector = SpanCollector()
+        with HttpClient(soap_server.host, soap_server.port) as soap_http:
+            backend = soap_proxy(soap_http, "Pricer")
+
+            class Front(Service):
+                """Thin inproc facade over the SOAP backend."""
+
+                @operation
+                def quote(self, symbol: str) -> float:
+                    """Delegate to SOAP."""
+                    return backend.price(symbol=symbol)
+
+            bus = ServiceBus()
+            address = bus.host(Front())
+            with observed(collector):
+                assert bus.call(address, "quote", {"symbol": "XY"}) == 2.0
+
+        by_name = {span.name: span for span in collector.spans()}
+        bus_span = by_name["bus.call"]
+        client_span = by_name["soap.call"]
+        server_span = by_name["http.server"]
+        invoke_span = by_name["soap.invoke"]
+        assert bus_span.parent_id is None
+        # the client span nests under the bus dispatch on the caller thread
+        assert client_span.parent_id == bus_span.span_id
+        # the server thread has no local context: it joins via traceparent
+        assert server_span.parent_id == client_span.span_id
+        assert invoke_span.parent_id == server_span.span_id
+        assert (
+            bus_span.trace_id
+            == client_span.trace_id
+            == server_span.trace_id
+            == invoke_span.trace_id
+        )
+
+
+class TestRetriesAreSiblingSpans:
+    def test_each_attempt_is_a_sibling_under_resilience_call(self):
+        Flaky.failures = 2
+        endpoint = SoapEndpoint()
+        endpoint.mount(ServiceHost(Flaky()))
+        collector = SpanCollector()
+        with HttpServer(endpoint) as server:
+            with HttpClient(server.host, server.port) as http:
+                from repro.transport.soap import SoapClient
+
+                client = SoapClient(http, "Flaky")
+                invoker = ResilientInvoker(
+                    client.call,
+                    ResiliencePolicy(
+                        retry=RetryPolicy(attempts=3, base_delay=0.0),
+                        circuit=None,
+                    ),
+                )
+                with observed(collector):
+                    assert invoker("wobble", {}) == "steady"
+
+        assert len(collector.trace_ids()) == 1
+        (resilience_span,) = collector.named("resilience.call")
+        attempts = collector.named("soap.call")
+        assert len(attempts) == 3
+        # all three attempts are siblings: same parent, distinct spans
+        assert {span.parent_id for span in attempts} == {
+            resilience_span.span_id
+        }
+        assert len({span.span_id for span in attempts}) == 3
+        # the first two attempts failed; the probe that succeeded did not
+        assert [span.status for span in attempts].count("error") == 2
+        assert [event.name for event in resilience_span.events] == [
+            "retry",
+            "retry",
+        ]
+        assert resilience_span.attributes["attempts"] == 3
+
+    def test_trace_tree_renders_the_fan_out(self):
+        Flaky.failures = 1
+        endpoint = SoapEndpoint()
+        endpoint.mount(ServiceHost(Flaky()))
+        collector = SpanCollector()
+        with HttpServer(endpoint) as server:
+            with HttpClient(server.host, server.port) as http:
+                from repro.transport.soap import SoapClient
+
+                client = SoapClient(http, "Flaky")
+                invoker = ResilientInvoker(
+                    client.call,
+                    ResiliencePolicy(
+                        retry=RetryPolicy(attempts=2, base_delay=0.0),
+                        circuit=None,
+                    ),
+                )
+                with observed(collector):
+                    assert invoker("wobble", {}) == "steady"
+        text = render_trace_tree(collector.spans())
+        assert text.startswith("trace ")
+        assert "resilience.call" in text
+        assert text.count("soap.call") == 2
+        assert "· retry" in text
+
+
+class TestNothingLeaksWhenDisabled:
+    def test_no_spans_without_observed(self, backends):
+        soap_server, _ = backends
+        assert not OBS.enabled
+        with HttpClient(soap_server.host, soap_server.port) as http:
+            backend = soap_proxy(http, "Pricer")
+            assert backend.price(symbol="Q") == 1.0
+        # nothing to assert on a collector: none was installed; the check
+        # is that the call path ran with observability fully disabled
+        assert not OBS.tracer.sampling

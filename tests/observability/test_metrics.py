@@ -1,0 +1,157 @@
+"""Unit tests for the metrics pillar: registry, instruments, collectors."""
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    AtomicCounter,
+    LATENCY_BUCKETS,
+    MetricFamily,
+    MetricsError,
+    MetricsRegistry,
+)
+
+pytestmark = pytest.mark.obs
+
+
+class TestAtomicCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = AtomicCounter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_exact_under_contention(self):
+        counter = AtomicCounter()
+
+        def hammer():
+            for _ in range(2000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 16000
+
+
+class TestCounter:
+    def test_labelled_counts(self):
+        registry = MetricsRegistry()
+        calls = registry.counter("calls_total", "calls", ("binding", "outcome"))
+        calls.inc(binding="soap", outcome="ok")
+        calls.inc(binding="soap", outcome="ok")
+        calls.inc(binding="rest", outcome="fault")
+        assert calls.value(binding="soap", outcome="ok") == 2
+        assert calls.value(binding="rest", outcome="fault") == 1
+        assert calls.value(binding="rest", outcome="ok") == 0
+
+    def test_counters_only_go_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ups_total")
+        with pytest.raises(MetricsError):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", labelnames=("a",))
+        with pytest.raises(MetricsError):
+            counter.inc(b="nope")
+        with pytest.raises(MetricsError):
+            counter.inc()  # missing label
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("in_flight", labelnames=("pool",))
+        gauge.set(5, pool="a")
+        gauge.inc(pool="a")
+        gauge.dec(3, pool="a")
+        assert gauge.value(pool="a") == 3
+        assert gauge.value(pool="b") == 0
+
+
+class TestHistogram:
+    def test_observations_bucketed_cumulatively_at_scrape(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        family = next(f for f in registry.collect() if f.name == "lat_seconds")
+        counts, total, count = family.samples[()]
+        assert counts == [1, 1, 1]  # per-bucket (0.1], (1.0], +Inf
+        assert count == 3
+        assert total == pytest.approx(5.55)
+
+    def test_boundary_lands_in_its_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("edge_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.1)  # le="0.1" is inclusive, Prometheus-style
+        family = next(f for f in registry.collect() if f.name == "edge_seconds")
+        counts, _, _ = family.samples[()]
+        assert counts == [1, 0, 0]
+
+    def test_needs_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.histogram("bad_seconds", buckets=())
+
+    def test_default_buckets_are_sorted_latency_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("d_seconds")
+        assert hist.buckets == tuple(sorted(LATENCY_BUCKETS))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("same_total", "help", ("l",))
+        b = registry.counter("same_total", "other help", ("l",))
+        assert a is b
+
+    def test_kind_or_labels_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total", labelnames=("l",))
+        with pytest.raises(MetricsError):
+            registry.gauge("thing_total", labelnames=("l",))
+        with pytest.raises(MetricsError):
+            registry.counter("thing_total", labelnames=("other",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", "has space", "has-dash"):
+            with pytest.raises(MetricsError):
+                registry.counter(bad)
+
+    def test_collect_sorted_and_includes_collectors(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz_total")
+        registry.register_collector(
+            lambda: [MetricFamily("aaa_total", "counter", "", (), {(): 1.0})]
+        )
+        names = registry.family_names()
+        assert names == sorted(names)
+        assert "aaa_total" in names and "zzz_total" in names
+        assert len(registry) == 2
+
+    def test_striped_counter_exact_under_contention(self):
+        registry = MetricsRegistry(stripes=4)
+        counter = registry.counter("hot_total", labelnames=("shard",))
+
+        def hammer(shard):
+            for _ in range(2000):
+                counter.inc(shard=str(shard))
+
+        threads = [
+            threading.Thread(target=hammer, args=(i % 3,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(counter.value(shard=str(s)) for s in range(3))
+        assert total == 12000

@@ -1,0 +1,201 @@
+"""Unit tests for the tracing pillar: contexts, spans, tracer, rendering."""
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    NOOP_SPAN,
+    NullExporter,
+    SpanCollector,
+    TraceContext,
+    Tracer,
+    render_trace_tree,
+)
+from repro.observability.trace import add_event, current_span
+
+pytestmark = pytest.mark.obs
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTraceContext:
+    def test_traceparent_roundtrip(self):
+        context = TraceContext(trace_id=0xABC, span_id=0x123)
+        header = context.traceparent()
+        assert header == f"00-{0xABC:032x}-{0x123:016x}-01"
+        assert TraceContext.parse(header) == context
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-bad-01",
+            "01-" + "0" * 32 + "-" + "1" * 16 + "-01",  # wrong version
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # zero trace id
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # zero span id
+            "00-" + "x" * 32 + "-" + "1" * 16 + "-01",  # non-hex
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, bad):
+        assert TraceContext.parse(bad) is None
+
+
+class TestTracer:
+    def test_no_exporter_means_noop_spans(self):
+        tracer = Tracer()
+        assert not tracer.sampling
+        assert tracer.span("x") is NOOP_SPAN
+
+    def test_null_exporter_keeps_noop_spans(self):
+        tracer = Tracer(NullExporter())
+        assert not tracer.sampling
+        assert tracer.span("x") is NOOP_SPAN
+
+    def test_noop_span_is_inert_and_reentrant(self):
+        with NOOP_SPAN as outer, NOOP_SPAN as inner:
+            assert outer is inner is NOOP_SPAN
+        assert NOOP_SPAN.set_attribute("k", "v") is NOOP_SPAN
+        assert NOOP_SPAN.add_event("e") is NOOP_SPAN
+        assert NOOP_SPAN.record_exception(ValueError()) is NOOP_SPAN
+        assert NOOP_SPAN.context is None
+        assert not NOOP_SPAN.recording
+
+    def test_span_parenting_follows_context(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                assert child.trace_id == parent.trace_id
+                assert child.parent_id == parent.span_id
+        assert [s.name for s in collector.spans()] == ["child", "parent"]
+
+    def test_explicit_remote_parent_wins(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        remote = TraceContext(trace_id=7, span_id=9)
+        with tracer.span("served", parent=remote) as span:
+            assert span.trace_id == 7
+            assert span.parent_id == 9
+
+    def test_activate_remote_context_parents_new_spans(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        token = tracer.activate(TraceContext(trace_id=5, span_id=6))
+        try:
+            with tracer.span("inner") as span:
+                assert span.trace_id == 5
+                assert span.parent_id == 6
+        finally:
+            tracer.deactivate(token)
+        assert tracer.current() is None
+
+    def test_span_records_exception_and_duration(self):
+        clock = ManualClock()
+        collector = SpanCollector()
+        tracer = Tracer(collector, clock=clock)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                clock.advance(0.5)
+                raise ValueError("nope")
+        (span,) = collector.spans()
+        assert span.status == "error"
+        assert span.attributes["fault.code"] == "ValueError"
+        assert span.duration == pytest.approx(0.5)
+
+    def test_fault_code_prefers_service_fault_code(self):
+        from repro.core import ServiceUnavailable
+
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        fault = ServiceUnavailable("down")
+        fault.fast_fail = True
+        with pytest.raises(ServiceUnavailable):
+            with tracer.span("call"):
+                raise fault
+        (span,) = collector.spans()
+        assert span.attributes["fault.code"] == "Server.Unavailable"
+        assert span.attributes["fault.fast_fail"] is True
+
+    def test_current_span_and_add_event_helpers(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        assert current_span() is None
+        add_event("ignored-when-no-span")  # must not raise
+        with tracer.span("op") as span:
+            assert current_span() is span
+            add_event("retry", attempt=2)
+        (finished,) = collector.spans()
+        assert [e.name for e in finished.events] == ["retry"]
+        assert finished.events[0].attributes == {"attempt": 2}
+
+    def test_threads_have_independent_active_spans(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        seen = {}
+
+        def worker():
+            seen["other"] = tracer.current()
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+    def test_collector_queries(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert len(collector) == 2
+        assert len(collector.trace_ids()) == 2
+        assert [s.name for s in collector.named("a")] == ["a"]
+        first = collector.spans()[0]
+        assert collector.by_trace(first.trace_id) == [first]
+        collector.clear()
+        assert len(collector) == 0
+
+
+class TestRenderTraceTree:
+    def test_tree_shape_and_events(self):
+        clock = ManualClock()
+        collector = SpanCollector()
+        tracer = Tracer(collector, clock=clock)
+        with tracer.span("root", kind="server", attributes={"binding": "inproc"}):
+            clock.advance(0.001)
+            with tracer.span("child-one") as c1:
+                c1.add_event("retry", attempt=1)
+                clock.advance(0.001)
+            with tracer.span("child-two"):
+                clock.advance(0.001)
+        text = render_trace_tree(collector.spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("trace ")
+        assert "root [server] binding=inproc" in lines[1]
+        assert any("├─ child-one" in line for line in lines)
+        assert any("└─ child-two" in line for line in lines)
+        assert any("· retry attempt=1" in line for line in lines)
+
+    def test_orphan_spans_render_as_roots(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        remote = TraceContext(trace_id=3, span_id=4)
+        with tracer.span("served", parent=remote):
+            pass
+        text = render_trace_tree(collector.spans())
+        assert "served" in text
+        assert text.startswith("trace ")

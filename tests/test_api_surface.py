@@ -15,8 +15,9 @@ import repro
 SUBPACKAGES = [
     "repro." + name
     for name in (
-        "xmlkit core transport parallelism web security resilience workflow "
-        "robotics services directory curriculum apps events data semantic cloud"
+        "xmlkit core transport parallelism web security resilience "
+        "observability workflow robotics services directory curriculum "
+        "apps events data semantic cloud"
     ).split()
 ]
 

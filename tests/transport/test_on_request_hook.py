@@ -1,0 +1,85 @@
+"""HttpServer's ``on_request`` access-log hook.
+
+The hook sees ``(method, target, status, duration)`` for every served
+request — including handler crashes mapped to 500 — and a misbehaving
+hook must never take the connection down with it.
+"""
+
+import threading
+
+import pytest
+
+from repro.transport import HttpClient, HttpRequest, HttpResponse, HttpServer
+
+
+def handler(request):
+    if request.path == "/boom":
+        raise RuntimeError("handler exploded")
+    return HttpResponse.text_response("ok")
+
+
+class TestOnRequestHook:
+    def test_hook_sees_method_target_status_duration(self):
+        seen = []
+        done = threading.Event()
+
+        def hook(method, target, status, duration):
+            seen.append((method, target, status, duration))
+            done.set()
+
+        with HttpServer(handler, on_request=hook) as server:
+            with HttpClient(server.host, server.port) as client:
+                response = client.request(HttpRequest("GET", "/hello?x=1"))
+                assert response.status == 200
+            assert done.wait(timeout=5)
+        ((method, target, status, duration),) = seen
+        assert method == "GET"
+        assert target == "/hello?x=1"
+        assert status == 200
+        assert duration >= 0.0
+
+    def test_handler_crash_reported_as_500(self):
+        seen = []
+        done = threading.Event()
+
+        def hook(method, target, status, duration):
+            seen.append(status)
+            done.set()
+
+        with HttpServer(handler, on_request=hook) as server:
+            with HttpClient(server.host, server.port) as client:
+                assert client.request(HttpRequest("GET", "/boom")).status == 500
+            assert done.wait(timeout=5)
+        assert seen == [500]
+
+    def test_raising_hook_does_not_break_serving(self):
+        calls = []
+
+        def bad_hook(method, target, status, duration):
+            calls.append(target)
+            raise RuntimeError("observer died")
+
+        with HttpServer(handler, on_request=bad_hook) as server:
+            with HttpClient(server.host, server.port) as client:
+                for i in range(3):
+                    response = client.request(HttpRequest("GET", f"/ok/{i}"))
+                    assert response.status == 200
+        assert len(calls) == 3
+
+    def test_no_hook_is_the_default(self):
+        with HttpServer(handler) as server:
+            assert server.on_request is None
+            with HttpClient(server.host, server.port) as client:
+                assert client.request(HttpRequest("GET", "/")).status == 200
+
+    def test_hook_counts_every_request_on_one_connection(self):
+        counted = []
+
+        def hook(method, target, status, duration):
+            counted.append(status)
+
+        with HttpServer(handler, on_request=hook) as server:
+            with HttpClient(server.host, server.port) as client:
+                for _ in range(5):
+                    client.request(HttpRequest("GET", "/ping"))
+        assert counted == [200] * 5

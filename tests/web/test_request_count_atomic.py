@@ -1,0 +1,72 @@
+"""WebApp.request_count stays exact when many threads dispatch at once.
+
+The counter is the same :class:`~repro.observability.AtomicCounter`
+primitive the metrics registry uses, so the web tier's request tally and
+the ``/metrics`` page can never drift apart under the HTTP server's
+thread-per-connection dispatch.
+"""
+
+import threading
+
+from repro.transport.http11 import HttpRequest, HttpResponse
+from repro.web import WebApp
+
+THREADS = 8
+CALLS = 250
+
+
+def _app():
+    app = WebApp()
+
+    @app.page("/ping")
+    def ping(context):
+        return HttpResponse.text_response("pong")
+
+    @app.page("/boom")
+    def boom(context):
+        raise RuntimeError("kaboom")
+
+    return app
+
+
+class TestRequestCountAtomicity:
+    def test_exact_under_thread_contention(self):
+        app = _app()
+        barrier = threading.Barrier(THREADS)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(CALLS):
+                app(HttpRequest("GET", "/ping"))
+
+        threads = [threading.Thread(target=hammer) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert app.request_count == THREADS * CALLS
+
+    def test_errors_and_misses_still_counted(self):
+        app = _app()
+        assert app(HttpRequest("GET", "/ping")).status == 200
+        assert app(HttpRequest("GET", "/boom")).status == 500
+        assert app(HttpRequest("GET", "/nope")).status == 404
+        assert app.request_count == 3
+
+    def test_mixed_outcomes_exact_under_contention(self):
+        app = _app()
+        targets = ["/ping", "/boom", "/nope"]
+
+        def hammer(target):
+            for _ in range(CALLS):
+                app(HttpRequest("GET", target))
+
+        threads = [
+            threading.Thread(target=hammer, args=(targets[i % 3],))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert app.request_count == 6 * CALLS
