@@ -2,7 +2,7 @@
 
 Observability only earns a place on the dispatch path if watching a call
 costs almost nothing.  This benchmark times the same in-process
-invocation four ways —
+invocation six ways —
 
 * **bare**: ``bus.call`` with observability disabled (one boolean read)
 * **metrics_sampled**: OBS enabled, no exporter (the no-op exporter
@@ -11,10 +11,17 @@ invocation four ways —
   (``latency_sample=1``) — the worst metrics configuration
 * **traced**: a collecting ``SpanCollector`` exporter, so every dispatch
   builds and exports a real span — the debugging configuration
+* **logging_on**: metrics_sampled plus one structured log record per
+  call into a :class:`RingBufferSink` — the monitoring plane's hot-path
+  logging cost
+* **tail_sampling_on**: a :class:`TailSampler` exporter configured to
+  drop everything — spans are built, buffered per trace, decided, and
+  *never* exported downstream (asserted): the steady-state sampling tax
 
 — and records the results in ``BENCH_observability.json`` next to the
 repo root.  Acceptance: the no-op-exporter path (metrics_sampled) costs
-at most 10% over bare.
+at most 10% over bare, and the logging / tail-sampling rows stay within
+their own ceilings (``CEILINGS``).
 
 Timing method mirrors ``bench_resilience_overhead.py``: best-of-REPEATS
 batches, interleaved bare/instrumented trials, best ratio kept (the true
@@ -28,7 +35,14 @@ from pathlib import Path
 import pytest
 
 from repro.core import Service, ServiceBus, operation
-from repro.observability import OBS, SpanCollector, observed
+from repro.observability import (
+    OBS,
+    Logger,
+    RingBufferSink,
+    SpanCollector,
+    TailSampler,
+    observed,
+)
 
 pytestmark = pytest.mark.obs
 
@@ -37,6 +51,13 @@ REPEATS = 7
 TRIALS = 5  # re-measure up to this many times; keep the best ratio seen
 LATENCY_SAMPLE = 16  # 1-in-N latency sampling for the acceptance variant
 OVERHEAD_CEILING = 0.10  # acceptance: metrics_sampled <= bare * 1.10
+#: per-row overhead ceilings (fraction over bare) enforced here and by
+#: ``bench_regression_guard.py``
+CEILINGS = {
+    "metrics_sampled": OVERHEAD_CEILING,
+    "logging_on": 1.0,        # one structured record per call
+    "tail_sampling_on": 2.5,  # span build + per-trace buffering, all dropped
+}
 RESULTS_PATH = (
     Path(__file__).resolve().parent.parent / "BENCH_observability.json"
 )
@@ -113,23 +134,60 @@ def test_dispatch_telemetry_overhead(report):
         with observed(SpanCollector(), latency_sample=LATENCY_SAMPLE):
             return best_seconds(call)
 
+    sink = RingBufferSink(capacity=1024)
+    log = Logger("bench", sink=sink)
+
+    def logged_call(i):
+        result = bus.call(address, "add", {"a": i, "b": 1})
+        log.info("call", op="add", i=i)
+        return result
+
+    def logging_batch():
+        with observed(latency_sample=LATENCY_SAMPLE):
+            return best_seconds(logged_call)
+
+    drop_everything = SpanCollector()
+
+    def tail_sampling_batch():
+        # slow_threshold inf + p=0: every trace is decided and dropped —
+        # the steady-state cost of sampling when nothing is interesting.
+        sampler = TailSampler(
+            drop_everything,
+            slow_threshold=float("inf"),
+            keep_probability=0.0,
+        )
+        with observed(sampler, latency_sample=LATENCY_SAMPLE):
+            seconds = best_seconds(call)
+        assert sampler.pending_traces() == 0
+        assert sampler.kept() == 0
+        return seconds
+
     overhead_sampled, bare_s, sampled_s = measure_overhead(
         call, metrics_sampled_batch
     )
     exact_s = metrics_exact_batch()
     traced_s = traced_batch()
+    logging_s = logging_batch()
+    tail_s = tail_sampling_batch()
     assert not OBS.enabled  # observed() restored the disabled runtime
+    # the sampling path must not export dropped traces
+    assert len(drop_everything) == 0
+    assert len(sink) > 0  # the logging row really logged
 
     timings = {
         "bare_bus": bare_s,
         "metrics_sampled": sampled_s,
         "metrics_exact": exact_s,
         "traced_collecting": traced_s,
+        "logging_on": logging_s,
+        "tail_sampling_on": tail_s,
     }
     overheads = {
         "metrics_sampled": overhead_sampled,
         "metrics_exact": exact_s / bare_s - 1.0,
         "traced_collecting": traced_s / bare_s - 1.0,
+        "logging_on": logging_s / bare_s - 1.0,
+        "tail_sampling_on": tail_s / bare_s - 1.0,
     }
     results = {
         "calls": CALLS,
@@ -142,6 +200,7 @@ def test_dispatch_telemetry_overhead(report):
         },
         "overhead_vs_bare": overheads,
         "ceiling": OVERHEAD_CEILING,
+        "ceilings": CEILINGS,
     }
     RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
 
@@ -156,16 +215,21 @@ def test_dispatch_telemetry_overhead(report):
                 f"  (+{overheads['metrics_exact'] * 100:.1f}%)",
                 f"traced (collect)  : {traced_s / CALLS * 1e6:8.2f} us/call"
                 f"  (+{overheads['traced_collecting'] * 100:.1f}%)",
+                f"logging on        : {logging_s / CALLS * 1e6:8.2f} us/call"
+                f"  (+{overheads['logging_on'] * 100:.1f}%)",
+                f"tail sampling     : {tail_s / CALLS * 1e6:8.2f} us/call"
+                f"  (+{overheads['tail_sampling_on'] * 100:.1f}%)",
                 f"written to        : {RESULTS_PATH.name}",
             ]
         ),
     )
 
-    # Acceptance: the no-op-exporter configuration is within the ceiling.
-    assert overhead_sampled <= OVERHEAD_CEILING, (
-        f"metrics-only dispatch costs {overhead_sampled * 100:.1f}% over "
-        f"bare bus (ceiling {OVERHEAD_CEILING * 100:.0f}%)"
-    )
+    # Acceptance: every ceilinged row stays within its budget.
+    for row, ceiling in CEILINGS.items():
+        assert overheads[row] <= ceiling, (
+            f"{row} costs {overheads[row] * 100:.1f}% over bare bus "
+            f"(ceiling {ceiling * 100:.0f}%)"
+        )
 
 
 def test_scrape_cost_is_off_the_hot_path(report):

@@ -1,0 +1,131 @@
+"""Bench regression guard: hold the overhead benches to their baselines.
+
+The ROADMAP's open item: the two overhead benches
+(``bench_resilience_overhead.py``, ``bench_observability_overhead.py``)
+write machine-local results into ``BENCH_resilience.json`` /
+``BENCH_observability.json`` — but nothing *held* fresh runs to the
+committed numbers.  This guard does, two ways:
+
+* **ceiling breach** — each bench enforces its own overhead ceilings
+  internally; a red bench subprocess fails the guard outright.
+* **drift** — every instrumented row's *cost factor* (its
+  microseconds-per-call divided by the same run's ``bare_bus``) is
+  compared against the committed baseline's factor; a *slowdown* over
+  ``DRIFT_TOLERANCE`` (25%) fails.  Normalising by the run's own bare
+  row cancels machine speed, so the guard flags "this code path got
+  slower", not "this box is busy"; getting faster never fails.
+
+The benches rewrite their JSONs as they run, so the guard snapshots the
+committed baselines first and always restores them — a guard run leaves
+the work tree untouched.
+
+Opt-in lane (not tier-1)::
+
+    PYTHONPATH=src python -m pytest benchmarks -m benchguard -q
+
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_regression_guard.py
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.benchguard
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+DRIFT_TOLERANCE = 0.25  # max relative change of a row's bare-normalised factor
+
+#: (bench file, committed baseline JSON) pairs under guard
+GUARDED = (
+    ("bench_resilience_overhead.py", "BENCH_resilience.json"),
+    ("bench_observability_overhead.py", "BENCH_observability.json"),
+)
+
+
+def cost_factors(results: dict) -> dict[str, float]:
+    """Per-row cost relative to the same run's ``bare_bus`` row."""
+    rows = results["microseconds_per_call"]
+    bare = rows.get("bare_bus")
+    if not bare:
+        raise ValueError("results carry no bare_bus row to normalise by")
+    return {
+        name: value / bare for name, value in rows.items() if name != "bare_bus"
+    }
+
+
+def compare(baseline: dict, fresh: dict) -> list[str]:
+    """Human-readable drift violations of ``fresh`` against ``baseline``."""
+    violations = []
+    base_factors = cost_factors(baseline)
+    fresh_factors = cost_factors(fresh)
+    for row, base in sorted(base_factors.items()):
+        current = fresh_factors.get(row)
+        if current is None:
+            violations.append(f"row {row!r} disappeared from the bench output")
+            continue
+        drift = current / base - 1.0
+        if drift > DRIFT_TOLERANCE:  # only slowdowns are regressions
+            violations.append(
+                f"{row}: cost factor {base:.3f}x -> {current:.3f}x "
+                f"({drift:+.1%} drift, tolerance +{DRIFT_TOLERANCE:.0%})"
+            )
+    return violations
+
+
+def run_bench(bench_file: str) -> subprocess.CompletedProcess:
+    """One bench file in a fresh interpreter (isolated OBS/global state)."""
+    return subprocess.run(
+        [sys.executable, "-m", "pytest", str(BENCH_DIR / bench_file), "-x", "-q"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+
+
+def guard_one(bench_file: str, baseline_name: str) -> list[str]:
+    """Run one bench against its committed baseline; return violations."""
+    baseline_path = ROOT / baseline_name
+    committed_text = baseline_path.read_text()
+    baseline = json.loads(committed_text)
+    try:
+        proc = run_bench(bench_file)
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stdout.splitlines()[-15:])
+            return [f"{bench_file} failed (ceiling breach?):\n{tail}"]
+        fresh = json.loads(baseline_path.read_text())
+        return [f"{bench_file}: {v}" for v in compare(baseline, fresh)]
+    finally:
+        baseline_path.write_text(committed_text)  # guard leaves no footprint
+
+
+@pytest.mark.parametrize("bench_file,baseline_name", GUARDED)
+def test_bench_holds_its_baseline(bench_file, baseline_name):
+    violations = guard_one(bench_file, baseline_name)
+    assert not violations, "\n".join(violations)
+
+
+def main() -> int:
+    failures = 0
+    for bench_file, baseline_name in GUARDED:
+        print(f"== {bench_file} vs {baseline_name} ==")
+        violations = guard_one(bench_file, baseline_name)
+        if violations:
+            failures += 1
+            for violation in violations:
+                print(f"  FAIL {violation}")
+        else:
+            print("  ok: within ceilings, drift under "
+                  f"{DRIFT_TOLERANCE:.0%}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

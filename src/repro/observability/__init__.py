@@ -13,14 +13,30 @@ crawler, web app):
   :class:`MetricsRegistry` (counter / gauge / histogram with label
   sets) with instruments pre-registered for every subsystem
   (:class:`~.runtime.Instruments`).
-* **exposition** (:mod:`.exposition`) — Prometheus-text ``/metrics``,
+* **exposition** (:mod:`.exposition`) — Prometheus-text ``/metrics``
+  (and its parser, :func:`parse_prometheus`, the federation direction),
   a ``/healthz`` summarising breaker states and quarantine leases, the
-  in-memory :class:`SpanCollector`, and :func:`render_trace_tree`.
+  bounded in-memory :class:`SpanCollector`, and :func:`render_trace_tree`.
+
+The monitoring plane builds three more pillars on top:
+
+* **logs** (:mod:`.logs`) — levelled structured records that
+  auto-attach the active span's ``trace_id``/``span_id``, a lock-free
+  :class:`RingBufferSink`, and :func:`access_log` for the HTTP server's
+  ``on_request`` hook.
+* **sampling** (:mod:`.sampling`) — :class:`TailSampler` buffers spans
+  per trace and keeps only slow/errored/marked traces (plus a
+  probabilistic baseline), honouring head decisions carried in the
+  ``traceparent`` flags across SOAP/REST hops.
+* **slo** (:mod:`.slo`) — :class:`SloObjective` + multi-window
+  :class:`BurnRateRule` evaluated from metric families (local or
+  fleet-merged), with a deterministic pending → firing → resolved
+  alert machine publishing onto :class:`repro.events.bus.EventBus`.
 
 Everything is off by default and costs a flag check per call site;
 ``OBS.enable()`` / :func:`observed` turn it on.  See
-``examples/traced_call.py`` and the "Observability layer" section of
-DESIGN.md.
+``examples/traced_call.py``, ``examples/monitor_demo.py`` and the
+"Observability layer" / "Monitoring plane" sections of DESIGN.md.
 """
 
 from .trace import (
@@ -58,7 +74,32 @@ from .exposition import (
     HealthHandler,
     metrics_handler,
     observability_routes,
+    parse_prometheus,
     render_prometheus,
+)
+from .logs import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    LogRecord,
+    Logger,
+    RingBufferSink,
+    access_log,
+    default_sink,
+    format_records,
+    get_logger,
+    level_name,
+)
+from .sampling import KEEP_ATTRIBUTE, SamplingPolicy, TailSampler, mark_trace
+from .slo import (
+    DEFAULT_RULES,
+    TOPIC_FIRING,
+    TOPIC_RESOLVED,
+    AlertState,
+    BurnRateRule,
+    SloEngine,
+    SloObjective,
 )
 
 __all__ = [
@@ -73,6 +114,15 @@ __all__ = [
     "OBS", "Observability", "Instruments", "BusDispatchMetrics",
     "observed", "server_span",
     # exposition
-    "render_prometheus", "metrics_handler", "HealthHandler",
-    "observability_routes",
+    "render_prometheus", "parse_prometheus", "metrics_handler",
+    "HealthHandler", "observability_routes",
+    # logs
+    "LogRecord", "Logger", "RingBufferSink", "access_log", "get_logger",
+    "default_sink", "format_records", "level_name",
+    "DEBUG", "INFO", "WARNING", "ERROR",
+    # sampling
+    "TailSampler", "SamplingPolicy", "mark_trace", "KEEP_ATTRIBUTE",
+    # slo
+    "SloObjective", "BurnRateRule", "AlertState", "SloEngine",
+    "DEFAULT_RULES", "TOPIC_FIRING", "TOPIC_RESOLVED",
 ]

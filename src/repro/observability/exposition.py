@@ -25,6 +25,7 @@ from .runtime import OBS
 
 __all__ = [
     "render_prometheus",
+    "parse_prometheus",
     "metrics_handler",
     "HealthHandler",
     "observability_routes",
@@ -104,6 +105,187 @@ def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
     for family in reg.collect():
         lines.extend(_render_family(family))
     return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text parsing (the federation direction)
+# ---------------------------------------------------------------------------
+
+
+def _unescape_label(value: str) -> str:
+    out: list[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        if nxt == "n":
+            out.append("\n")
+        elif nxt in ('"', "\\"):
+            out.append(nxt)
+        else:
+            out.append("\\" + nxt)
+    return "".join(out)
+
+
+def _parse_labels(block: str) -> dict[str, str]:
+    """Parse the inside of a ``{...}`` label block."""
+    labels: dict[str, str] = {}
+    i = 0
+    length = len(block)
+    while i < length:
+        eq = block.index("=", i)
+        name = block[i:eq].strip().strip(",").strip()
+        if block[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {block[eq:]!r}")
+        j = eq + 2
+        raw: list[str] = []
+        while j < length:
+            ch = block[j]
+            if ch == "\\":
+                raw.append(block[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        labels[name] = _unescape_label("".join(raw))
+        i = j + 1
+        while i < length and block[i] in ", ":
+            i += 1
+    return labels
+
+
+def _parse_sample_line(line: str) -> tuple[str, dict[str, str], float]:
+    """Split ``name{labels} value`` into its parts (labels may be absent)."""
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        block, _, value_text = rest.rpartition("}")
+        labels = _parse_labels(block)
+    else:
+        name, _, value_text = line.partition(" ")
+        labels = {}
+    text = value_text.strip().split()[0]
+    if text == "+Inf":
+        value = float("inf")
+    elif text == "-Inf":
+        value = float("-inf")
+    else:
+        value = float(text)
+    return name.strip(), labels, value
+
+
+def parse_prometheus(text: str) -> list[MetricFamily]:
+    """Parse Prometheus text exposition back into :class:`MetricFamily` rows.
+
+    The inverse of :func:`render_prometheus` — the seam that lets a
+    :class:`~repro.services.monitor.FleetMonitor` scrape *other nodes'*
+    ``/metrics`` pages over HTTP and re-evaluate SLOs over the merged
+    result.  Histograms are reassembled from their cumulative
+    ``_bucket``/``_sum``/``_count`` series into the per-bucket counts
+    :class:`MetricFamily` carries internally.  Unknown *and* malformed
+    lines are skipped — a peer speaking a slightly richer (or slightly
+    broken) dialect must not discard a whole scrape.
+    """
+    kinds: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    order: list[str] = []
+    # family -> labelkey(frozen items w/o le) -> {"buckets": {le: cum}, "sum": x, "count": n}
+    histograms: dict[str, dict[tuple[tuple[str, str], ...], dict[str, Any]]] = {}
+    scalars: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+
+    def base_family(sample_name: str) -> Optional[str]:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                candidate = sample_name[: -len(suffix)]
+                if kinds.get(candidate) == "histogram":
+                    return candidate
+        return sample_name if sample_name in kinds else None
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) >= 4:
+                kinds[parts[2]] = parts[3]
+                if parts[2] not in order:
+                    order.append(parts[2])
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) >= 3:
+                helps[parts[2]] = parts[3] if len(parts) == 4 else ""
+            continue
+        if line.startswith("#"):
+            continue
+        try:
+            name, labels, value = _parse_sample_line(line)
+        except (ValueError, IndexError):
+            continue  # malformed peer line: skip, keep the scrape
+        family = base_family(name)
+        if family is None:
+            continue  # sample without a TYPE row: not ours, skip
+        if kinds[family] == "histogram":
+            le = labels.pop("le", None)
+            key = tuple(sorted(labels.items()))
+            entry = histograms.setdefault(family, {}).setdefault(
+                key, {"buckets": {}, "sum": 0.0, "count": 0}
+            )
+            if name.endswith("_bucket") and le is not None:
+                bound = float("inf") if le == "+Inf" else float(le)
+                entry["buckets"][bound] = value
+            elif name.endswith("_sum"):
+                entry["sum"] = value
+            elif name.endswith("_count"):
+                entry["count"] = int(value)
+        else:
+            key = tuple(sorted(labels.items()))
+            scalars.setdefault(family, {})[key] = value
+
+    families: list[MetricFamily] = []
+    for family in order:
+        kind = kinds[family]
+        help_text = helps.get(family, "")
+        if kind == "histogram":
+            children = histograms.get(family, {})
+            bounds: list[float] = sorted(
+                {b for entry in children.values() for b in entry["buckets"]}
+            )
+            finite = tuple(b for b in bounds if b != float("inf"))
+            labelnames: tuple[str, ...] = ()
+            samples: dict[tuple[str, ...], Any] = {}
+            for key, entry in sorted(children.items()):
+                labelnames = tuple(name for name, _ in key)
+                cumulative = [entry["buckets"].get(b, 0.0) for b in finite]
+                inf_cum = entry["buckets"].get(float("inf"), entry["count"])
+                counts: list[int] = []
+                previous = 0.0
+                for cum in [*cumulative, inf_cum]:
+                    counts.append(int(cum - previous))
+                    previous = cum
+                samples[tuple(value for _, value in key)] = (
+                    counts,
+                    entry["sum"],
+                    entry["count"],
+                )
+            families.append(
+                MetricFamily(family, kind, help_text, labelnames, samples, finite)
+            )
+        else:
+            children_scalar = scalars.get(family, {})
+            labelnames = ()
+            samples = {}
+            for key, value in sorted(children_scalar.items()):
+                labelnames = tuple(name for name, _ in key)
+                samples[tuple(v for _, v in key)] = value
+            families.append(
+                MetricFamily(family, kind, help_text, labelnames, samples)
+            )
+    return families
 
 
 def metrics_handler(

@@ -1,0 +1,358 @@
+"""Structured, trace-correlated logging: the fourth telemetry pillar.
+
+Metrics say *how much*, traces say *where the time went*; logs say *what
+happened* — but only if a log line can be joined back to the trace that
+produced it.  Every record emitted here auto-attaches the
+``trace_id``/``span_id`` of the span active on the calling thread, so
+``grep trace_id=<hex>`` across a fleet's logs reconstructs one request's
+story, the way the federated i3 systems join their per-institution
+records behind one web-service call.
+
+Design points, all stdlib-only:
+
+* :class:`LogRecord` — an immutable levelled key-value record (logfmt
+  rendering via :meth:`LogRecord.format`, machine form via
+  :meth:`LogRecord.to_dict`).
+* :class:`RingBufferSink` — a fixed-capacity, *lock-free* sink: one
+  shared ``itertools.count`` claims a slot (atomic under the GIL), a
+  list item store publishes the record.  Writers never block each other
+  and never block a reader; old records are overwritten, never
+  accumulated — the sink is bounded by construction.
+* :class:`Logger` — levelled emit with keyword fields; when the global
+  observability runtime is enabled, every emit also ticks the
+  ``repro_logs_emitted_total{level=...}`` counter so log *volume* is
+  itself monitorable.
+* :func:`access_log` — re-expresses the
+  :class:`~repro.transport.httpserver.HttpServer` ``on_request`` hook as
+  a structured access log (method/target/status/duration + trace ids).
+
+Clock-injectable throughout; tests pass a manual clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable, Iterable, Optional
+
+from .runtime import OBS  # no cycle: runtime imports trace/metrics, not logs
+from .trace import current_span
+
+__all__ = [
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "LEVEL_NAMES",
+    "level_name",
+    "LogRecord",
+    "RingBufferSink",
+    "Logger",
+    "get_logger",
+    "default_sink",
+    "access_log",
+    "format_records",
+]
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+LEVEL_NAMES: dict[int, str] = {
+    DEBUG: "debug",
+    INFO: "info",
+    WARNING: "warning",
+    ERROR: "error",
+}
+
+
+def level_name(level: int) -> str:
+    """Canonical lower-case name for a numeric level (nearest at-or-below)."""
+    if level in LEVEL_NAMES:
+        return LEVEL_NAMES[level]
+    candidates = [value for value in LEVEL_NAMES if value <= level]
+    return LEVEL_NAMES[max(candidates)] if candidates else "debug"
+
+
+def _escape_value(value: Any) -> str:
+    text = str(value)
+    if any(ch in text for ch in (" ", '"', "=", "\n")):
+        return '"' + text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n") + '"'
+    return text
+
+
+class LogRecord:
+    """One structured record: timestamp, level, logger, message, fields.
+
+    ``trace_id``/``span_id`` are the hexadecimal forms of the active
+    span's identity at emit time (``None`` when no span was recording) —
+    the join key against exported spans and tail-sampled traces.
+    """
+
+    __slots__ = (
+        "timestamp", "level", "logger", "message", "fields",
+        "trace_id", "span_id",
+    )
+
+    def __init__(
+        self,
+        timestamp: float,
+        level: int,
+        logger: str,
+        message: str,
+        fields: dict[str, Any],
+        trace_id: Optional[str],
+        span_id: Optional[str],
+    ) -> None:
+        self.timestamp = timestamp
+        self.level = level
+        self.logger = logger
+        self.message = message
+        self.fields = fields
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    @property
+    def levelname(self) -> str:
+        return level_name(self.level)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable form (stable key order for JSON dumps)."""
+        doc: dict[str, Any] = {
+            "ts": self.timestamp,
+            "level": self.levelname,
+            "logger": self.logger,
+            "msg": self.message,
+        }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+            doc["span_id"] = self.span_id
+        doc.update(self.fields)
+        return doc
+
+    def format(self) -> str:
+        """One logfmt-style line: ``ts=... level=... msg=... k=v ...``."""
+        parts = [
+            f"ts={self.timestamp:.6f}",
+            f"level={self.levelname}",
+            f"logger={self.logger}",
+            f"msg={_escape_value(self.message)}",
+        ]
+        if self.trace_id is not None:
+            parts.append(f"trace_id={self.trace_id}")
+            parts.append(f"span_id={self.span_id}")
+        for key, value in self.fields.items():
+            parts.append(f"{key}={_escape_value(value)}")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<LogRecord {self.format()}>"
+
+
+class RingBufferSink:
+    """Lock-free bounded record sink (single process, GIL-atomic ops).
+
+    A shared :func:`itertools.count` hands each writer a unique slot
+    index (one C-level ``next()``, atomic under the GIL); the writer
+    then stores into a pre-sized list (also a single atomic bytecode).
+    No lock is ever taken on the write path, so the sink is safe on the
+    request hot path and under the thread-per-connection server.
+
+    Readers take a best-effort snapshot: records() orders the live
+    window oldest → newest.  A record may be overwritten concurrently
+    with a read — the reader then simply sees the newer record, never a
+    torn one (list stores are atomic object swaps).
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._slots: list[Optional[LogRecord]] = [None] * capacity
+        self._tick = itertools.count()
+
+    def emit(self, record: LogRecord) -> None:
+        self._slots[next(self._tick) % self.capacity] = record
+
+    @property
+    def emitted(self) -> int:
+        """How many records were ever emitted (including overwritten ones)."""
+        text = repr(self._tick)  # "count(n)": n == ticks so far
+        return int(text[6:-1])
+
+    def records(self) -> list[LogRecord]:
+        """Live window, oldest first (at most ``capacity`` records)."""
+        emitted = self.emitted
+        slots = list(self._slots)  # snapshot the list object contents
+        if emitted <= self.capacity:
+            window = slots[:emitted]
+        else:
+            head = emitted % self.capacity
+            window = slots[head:] + slots[:head]
+        return [record for record in window if record is not None]
+
+    def tail(self, n: int) -> list[LogRecord]:
+        return self.records()[-n:]
+
+    def by_trace(self, trace_id: int | str) -> list[LogRecord]:
+        """Records carrying one trace id (int or 32-hex string form)."""
+        needle = trace_id if isinstance(trace_id, str) else f"{trace_id:032x}"
+        return [r for r in self.records() if r.trace_id == needle]
+
+    def clear(self) -> None:
+        self._slots = [None] * self.capacity
+        self._tick = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+#: Process-wide default sink; :func:`get_logger` binds to it unless told
+#: otherwise.  Bounded, so "logging on by default" cannot leak memory.
+_DEFAULT_SINK = RingBufferSink()
+
+
+def default_sink() -> RingBufferSink:
+    """The process-wide ring buffer backing :func:`get_logger` loggers."""
+    return _DEFAULT_SINK
+
+
+#: (instruments, {level: bound counter child}) — rebuilt whenever the
+#: runtime swaps its Instruments (``observed()`` does, per test); bound
+#: children skip per-emit label validation on the hot path.
+_TICK_CACHE: tuple[Any, dict[int, Any]] = (None, {})
+
+
+def _level_child(level: int):
+    """Bound ``logs_emitted_total`` child for a level, cached per runtime."""
+    global _TICK_CACHE
+    instruments = OBS.instruments
+    cached_instruments, children = _TICK_CACHE
+    if cached_instruments is not instruments:
+        counter = instruments.logs_emitted
+        children = {
+            value: counter.labels(level=name)
+            for value, name in LEVEL_NAMES.items()
+        }
+        _TICK_CACHE = (instruments, children)
+    child = children.get(level)
+    if child is None:  # off-scale level: fall back to the validated path
+        return instruments.logs_emitted.labels(level=level_name(level))
+    return child
+
+
+class Logger:
+    """Levelled structured logger bound to one sink.
+
+    Emitting is cheap by construction: a level check, a clock read, one
+    record object, a lock-free ring store, and (when the observability
+    runtime is enabled) one pre-bound counter tick — measured by
+    ``benchmarks/bench_observability_overhead.py`` (``logging_on`` row).
+    """
+
+    __slots__ = ("name", "level", "sink", "_clock")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        sink: Optional[RingBufferSink] = None,
+        level: int = INFO,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.name = name
+        self.level = level
+        self.sink = sink if sink is not None else _DEFAULT_SINK
+        self._clock = clock
+
+    def is_enabled_for(self, level: int) -> bool:
+        return level >= self.level
+
+    def log(self, level: int, message: str, **fields: Any) -> Optional[LogRecord]:
+        """Emit one record (returns it, or None when below the level)."""
+        if level < self.level:
+            return None
+        span = current_span()
+        if span is not None:
+            trace_id: Optional[str] = f"{span.trace_id:032x}"
+            span_id: Optional[str] = f"{span.span_id:016x}"
+        else:
+            trace_id = None
+            span_id = None
+        record = LogRecord(
+            self._clock(), level, self.name, message, fields, trace_id, span_id
+        )
+        self.sink.emit(record)
+        # Log volume is itself a monitorable signal.
+        if OBS.enabled:
+            _level_child(level).inc()
+        return record
+
+    def debug(self, message: str, **fields: Any) -> Optional[LogRecord]:
+        return self.log(DEBUG, message, **fields)
+
+    def info(self, message: str, **fields: Any) -> Optional[LogRecord]:
+        return self.log(INFO, message, **fields)
+
+    def warning(self, message: str, **fields: Any) -> Optional[LogRecord]:
+        return self.log(WARNING, message, **fields)
+
+    def error(self, message: str, **fields: Any) -> Optional[LogRecord]:
+        return self.log(ERROR, message, **fields)
+
+
+_LOGGERS: dict[str, Logger] = {}
+
+
+def get_logger(name: str, **kwargs: Any) -> Logger:
+    """A named logger bound to the default sink (cached per name).
+
+    Keyword arguments are honoured only on first creation of a name;
+    pass an explicit :class:`Logger` where per-call configuration
+    matters.
+    """
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS.setdefault(name, Logger(name, **kwargs))
+    return logger
+
+
+def access_log(
+    logger: Optional[Logger] = None,
+    *,
+    slow_threshold: float = 1.0,
+) -> Callable[[str, str, int, float], None]:
+    """Build an ``HttpServer(on_request=...)`` observer emitting access records.
+
+    Each served request becomes one structured ``http.access`` record —
+    method, target, status, duration — at ``info`` for successes,
+    ``warning`` for slow requests (``>= slow_threshold`` seconds) and
+    ``error`` for 5xx responses.  Because the server span is still
+    active when the hook runs, the record carries the request's
+    ``trace_id`` — the joint the SLO monitor and tail sampler pivot on.
+    """
+    log = logger if logger is not None else get_logger("http.access")
+
+    def observe(method: str, target: str, status: int, duration: float) -> None:
+        if status >= 500:
+            level = ERROR
+        elif duration >= slow_threshold:
+            level = WARNING
+        else:
+            level = INFO
+        log.log(
+            level,
+            "http.access",
+            method=method,
+            target=target,
+            status=status,
+            duration_ms=round(duration * 1e3, 3),
+        )
+
+    return observe
+
+
+def format_records(records: Iterable[LogRecord]) -> str:
+    """Render records as logfmt lines, one per record."""
+    return "\n".join(record.format() for record in records)

@@ -206,6 +206,11 @@ class Counter(_Instrument):
             raise MetricsError("counters only go up")
         self._child_for(self._key(labelvalues)).inc(amount)
 
+    def labels(self, **labelvalues: Any) -> AtomicCounter:
+        """Bind a label set once; the returned child's ``inc`` skips
+        per-call label validation — hoist it outside hot loops."""
+        return self._child_for(self._key(labelvalues))
+
     def value(self, **labelvalues: Any) -> float:
         child = self._children.get(self._key(labelvalues))
         return child.value if child is not None else 0.0

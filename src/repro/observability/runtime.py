@@ -235,6 +235,31 @@ class Instruments:
             "Resilience middleware outcomes that deviated from plain success.",
             ("event",),
         )
+        self.logs_emitted = registry.counter(
+            "repro_logs_emitted_total",
+            "Structured log records emitted, by level.",
+            ("level",),
+        )
+        self.spans_dropped = registry.counter(
+            "repro_spans_dropped_total",
+            "Spans discarded by bounded collectors and the tail sampler.",
+            ("reason",),
+        )
+        self.trace_sampling = registry.counter(
+            "repro_trace_sampling_total",
+            "Tail-sampling verdicts per trace, by decision.",
+            ("decision",),
+        )
+        self.monitor_scrapes = registry.counter(
+            "repro_monitor_scrapes_total",
+            "Fleet monitor scrape attempts, by node and outcome.",
+            ("node", "outcome"),
+        )
+        self.slo_alerts = registry.counter(
+            "repro_slo_alert_transitions_total",
+            "SLO alert state transitions, by objective and state.",
+            ("objective", "state"),
+        )
 
 
 class Observability:
@@ -335,4 +360,8 @@ def server_span(name: str, *, header: Optional[str] = None, **attributes: Any):
     parent = tracer.current()
     if parent is None and header:
         parent = TraceContext.parse(header)
+        if parent is not None:
+            # The parent span lives on another node: this span is the
+            # *local root* of the trace — the tail sampler's flush point.
+            attributes["trace.remote_parent"] = True
     return tracer.span(name, kind="server", parent=parent, attributes=attributes)

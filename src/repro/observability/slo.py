@@ -1,0 +1,399 @@
+"""SLO engine: objectives, multi-window burn-rate rules, alert lifecycle.
+
+A service-level *objective* states, over the metrics the system already
+exports, what "good enough" means: *99% of ``add`` calls complete within
+25ms*, *99.9% of requests succeed*.  This module evaluates such
+objectives directly from :class:`~repro.observability.metrics.MetricFamily`
+rows — the same rows ``/metrics`` renders — so the engine works
+identically over a local :class:`MetricsRegistry` and over the *merged
+fleet view* a :class:`~repro.services.monitor.FleetMonitor` assembles
+from many nodes' scrapes.
+
+The alerting discipline is the multi-window burn-rate method: an alert
+condition holds when the error budget is burning faster than
+``burn_threshold`` over *both* a short and a long window (the short
+window makes alerts resolve promptly; the long one suppresses blips).
+Alert lifecycle is a small deterministic state machine —
+
+    inactive → pending → firing → inactive (resolved)
+
+— with the ``pending`` hold (``for_seconds``) filtering flapping, and
+exactly one ``firing`` and one ``resolved`` event published per episode
+onto a :class:`repro.events.bus.EventBus` (topics ``slo.alert.firing`` /
+``slo.alert.resolved``).  Everything is clock-injectable: tests drive
+transitions with a manual clock, production passes ``time.time``.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from .metrics import MetricFamily
+from .runtime import OBS
+
+__all__ = [
+    "SloObjective",
+    "BurnRateRule",
+    "AlertState",
+    "SloEngine",
+    "DEFAULT_RULES",
+    "TOPIC_FIRING",
+    "TOPIC_RESOLVED",
+]
+
+TOPIC_FIRING = "slo.alert.firing"
+TOPIC_RESOLVED = "slo.alert.resolved"
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One per-operation objective evaluated from exported metric families.
+
+    ``kind="latency"`` reads a histogram family: *good* events are the
+    observations at or under ``latency_bound`` seconds (resolved to the
+    nearest bucket bound at or above, the conservative direction), *total*
+    is the histogram count.
+
+    ``kind="availability"`` reads a counter family carrying an
+    ``outcome``-style label: *good* events are the samples whose
+    ``outcome_label`` value is in ``good_outcomes``, *total* is every
+    matching sample.
+
+    ``labels`` restricts which children count (e.g. one operation); any
+    *other* labels — including the ``node`` label the fleet monitor adds
+    — are summed over, which is exactly what makes one objective span a
+    federation.
+    """
+
+    name: str
+    family: str
+    objective: float                      # e.g. 0.99 — fraction of good events
+    kind: str = "latency"                 # "latency" | "availability"
+    latency_bound: Optional[float] = None  # seconds; required for latency kind
+    labels: dict[str, str] = field(default_factory=dict)
+    outcome_label: str = "outcome"
+    good_outcomes: tuple[str, ...] = ("ok",)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be a fraction in (0, 1)")
+        if self.kind not in ("latency", "availability"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "latency" and self.latency_bound is None:
+            raise ValueError("latency objectives need latency_bound seconds")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    # -- counting -------------------------------------------------------
+    def _labels_match(self, labelnames: tuple[str, ...], key: tuple[str, ...]) -> bool:
+        values = dict(zip(labelnames, key))
+        return all(values.get(name) == want for name, want in self.labels.items())
+
+    def measure(self, families: Iterable[MetricFamily]) -> tuple[float, float]:
+        """Cumulative (good, total) event counts for this objective."""
+        good = 0.0
+        total = 0.0
+        for family in families:
+            if family.name != self.family:
+                continue
+            if self.kind == "latency":
+                bucket_index = self._bound_index(family.buckets)
+                for key, sample in family.samples.items():
+                    if not self._labels_match(family.labelnames, key):
+                        continue
+                    counts, _sum, count = sample
+                    total += count
+                    if bucket_index is not None:
+                        good += sum(counts[: bucket_index + 1])
+            else:
+                try:
+                    outcome_at = family.labelnames.index(self.outcome_label)
+                except ValueError:
+                    continue
+                for key, sample in family.samples.items():
+                    if not self._labels_match(family.labelnames, key):
+                        continue
+                    total += sample
+                    if key[outcome_at] in self.good_outcomes:
+                        good += sample
+        return good, total
+
+    def _bound_index(self, buckets: tuple[float, ...]) -> Optional[int]:
+        """Index of the first bucket bound >= latency_bound (None: +Inf only)."""
+        assert self.latency_bound is not None
+        for index, bound in enumerate(buckets):
+            if bound >= self.latency_bound - 1e-12:
+                return index
+        return None  # bound beyond every finite bucket: only +Inf is "bad"
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when the budget burns > ``burn_threshold``× on both windows.
+
+    ``short_window``/``long_window`` are seconds; ``for_seconds`` is the
+    pending hold before a firing transition.  A classic fast-burn pair is
+    ``BurnRateRule(300, 3600, burn_threshold=14.4)``; tests use small
+    windows with an injected clock.
+    """
+
+    short_window: float
+    long_window: float
+    burn_threshold: float = 1.0
+    for_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.short_window <= 0 or self.long_window < self.short_window:
+            raise ValueError("need 0 < short_window <= long_window")
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"burn>{self.burn_threshold:g}x@{self.short_window:g}s/{self.long_window:g}s"
+
+
+#: Page-worthy default: budget burning 10× or faster over 1m and 5m.
+DEFAULT_RULES: tuple[BurnRateRule, ...] = (
+    BurnRateRule(60.0, 300.0, burn_threshold=10.0, for_seconds=0.0),
+)
+
+
+class _History:
+    """Cumulative (t, good, total) snapshots, pruned to the longest window."""
+
+    __slots__ = ("points", "horizon")
+
+    def __init__(self, horizon: float) -> None:
+        self.points: list[tuple[float, float, float]] = []
+        self.horizon = horizon
+
+    def add(self, now: float, good: float, total: float) -> None:
+        insort(self.points, (now, good, total))
+        cutoff = now - self.horizon
+        # keep one point at or before the cutoff as the window baseline
+        while len(self.points) >= 2 and self.points[1][0] <= cutoff:
+            self.points.pop(0)
+
+    def window_rates(self, now: float, window: float) -> tuple[float, float]:
+        """(bad_events, total_events) deltas over the trailing window."""
+        if not self.points:
+            return 0.0, 0.0
+        latest = self.points[-1]
+        cutoff = now - window
+        baseline = self.points[0]
+        for point in self.points:
+            if point[0] <= cutoff:
+                baseline = point
+            else:
+                break
+        good_delta = latest[1] - baseline[1]
+        total_delta = latest[2] - baseline[2]
+        if total_delta <= 0:
+            return 0.0, 0.0
+        return max(total_delta - good_delta, 0.0), total_delta
+
+
+class AlertState:
+    """Lifecycle of one (objective, rule) alert: the deterministic core.
+
+    ``observe(condition, now)`` advances the machine and returns the
+    transition performed — ``None``, ``"pending"``, ``"firing"`` or
+    ``"resolved"`` — with duplicate-fire suppression built in: within
+    one episode ``firing`` is returned exactly once, and ``resolved``
+    only ever follows a ``firing``.
+    """
+
+    __slots__ = ("objective", "rule", "state", "pending_since", "fired_at", "episodes")
+
+    def __init__(self, objective: SloObjective, rule: BurnRateRule) -> None:
+        self.objective = objective
+        self.rule = rule
+        self.state = "inactive"
+        self.pending_since: Optional[float] = None
+        self.fired_at: Optional[float] = None
+        self.episodes = 0
+
+    def observe(self, condition: bool, now: float) -> Optional[str]:
+        if condition:
+            if self.state == "inactive":
+                self.pending_since = now
+                if self.rule.for_seconds <= 0:
+                    self.state = "firing"
+                    self.fired_at = now
+                    self.episodes += 1
+                    return "firing"
+                self.state = "pending"
+                return "pending"
+            if self.state == "pending":
+                assert self.pending_since is not None
+                if now - self.pending_since >= self.rule.for_seconds:
+                    self.state = "firing"
+                    self.fired_at = now
+                    self.episodes += 1
+                    return "firing"
+                return None
+            return None  # already firing: suppress duplicates
+        # condition clear
+        if self.state == "firing":
+            self.state = "inactive"
+            self.pending_since = None
+            self.fired_at = None
+            return "resolved"
+        if self.state == "pending":
+            self.state = "inactive"
+            self.pending_since = None
+            return None  # never fired: nothing to resolve
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "objective": self.objective.name,
+            "rule": self.rule.name,
+            "state": self.state,
+            "episodes": self.episodes,
+        }
+        if self.pending_since is not None:
+            doc["pending_since"] = self.pending_since
+        if self.fired_at is not None:
+            doc["fired_at"] = self.fired_at
+        return doc
+
+
+class SloEngine:
+    """Evaluates objectives from metric families and manages alerts.
+
+    Call :meth:`evaluate` on a cadence (the monitor's scrape tick) with
+    the current family rows; the engine snapshots cumulative counts,
+    computes windowed burn rates, advances every alert state machine and
+    publishes lifecycle events.  Event payloads carry the objective,
+    rule, burn rates and window so a subscriber can route or page.
+    """
+
+    def __init__(
+        self,
+        objectives: Iterable[SloObjective],
+        *,
+        rules: Iterable[BurnRateRule] = DEFAULT_RULES,
+        bus: Optional[Any] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.objectives = list(objectives)
+        self.rules = tuple(rules)
+        if not self.rules:
+            raise ValueError("need at least one burn-rate rule")
+        self.bus = bus
+        self._clock = clock
+        horizon = max(rule.long_window for rule in self.rules)
+        self._history: dict[str, _History] = {
+            obj.name: _History(horizon) for obj in self.objectives
+        }
+        self._alerts: dict[tuple[str, str], AlertState] = {
+            (obj.name, rule.name): AlertState(obj, rule)
+            for obj in self.objectives
+            for rule in self.rules
+        }
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate(
+        self,
+        families: Iterable[MetricFamily],
+        *,
+        now: Optional[float] = None,
+    ) -> list[dict[str, Any]]:
+        """One tick: measure, update burn rates, advance alerts.
+
+        Returns the transitions performed this tick (also published to
+        the bus), in deterministic objective-then-rule order.
+        """
+        stamp = self._clock() if now is None else now
+        families = list(families)
+        transitions: list[dict[str, Any]] = []
+        for objective in self.objectives:
+            good, total = objective.measure(families)
+            history = self._history[objective.name]
+            history.add(stamp, good, total)
+            for rule in self.rules:
+                burn_short = self._burn(history, stamp, rule.short_window, objective)
+                burn_long = self._burn(history, stamp, rule.long_window, objective)
+                condition = (
+                    burn_short > rule.burn_threshold
+                    and burn_long > rule.burn_threshold
+                )
+                alert = self._alerts[(objective.name, rule.name)]
+                transition = alert.observe(condition, stamp)
+                if transition in ("firing", "resolved"):
+                    payload = {
+                        **alert.snapshot(),
+                        "transition": transition,
+                        "burn_short": burn_short,
+                        "burn_long": burn_long,
+                        "at": stamp,
+                        "description": objective.description,
+                    }
+                    transitions.append(payload)
+                    self._publish(transition, payload)
+        return transitions
+
+    def _burn(
+        self,
+        history: _History,
+        now: float,
+        window: float,
+        objective: SloObjective,
+    ) -> float:
+        bad, total = history.window_rates(now, window)
+        if total <= 0:
+            return 0.0
+        return (bad / total) / objective.error_budget
+
+    def _publish(self, transition: str, payload: dict[str, Any]) -> None:
+        if OBS.enabled:
+            OBS.instruments.slo_alerts.inc(
+                objective=payload["objective"], state=transition
+            )
+        if self.bus is not None:
+            topic = TOPIC_FIRING if transition == "firing" else TOPIC_RESOLVED
+            self.bus.publish(topic, payload)
+
+    # -- introspection --------------------------------------------------
+    def alerts(self, *, state: Optional[str] = None) -> list[dict[str, Any]]:
+        """Current alert snapshots (optionally filtered by state)."""
+        snapshots = [
+            alert.snapshot()
+            for _key, alert in sorted(self._alerts.items())
+        ]
+        if state is not None:
+            snapshots = [s for s in snapshots if s["state"] == state]
+        return snapshots
+
+    def firing(self) -> list[dict[str, Any]]:
+        return self.alerts(state="firing")
+
+    def objective_status(
+        self, families: Iterable[MetricFamily]
+    ) -> list[dict[str, Any]]:
+        """Point-in-time compliance report over the given families."""
+        families = list(families)
+        report = []
+        for objective in self.objectives:
+            good, total = objective.measure(families)
+            attained = good / total if total else 1.0
+            report.append(
+                {
+                    "objective": objective.name,
+                    "kind": objective.kind,
+                    "target": objective.objective,
+                    "attained": attained,
+                    "good": good,
+                    "total": total,
+                    "compliant": attained >= objective.objective or total == 0,
+                }
+            )
+        return report

@@ -29,6 +29,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+from collections import deque
 from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
@@ -55,14 +56,23 @@ _SPAN_KINDS = ("internal", "server", "client")
 
 @dataclass(frozen=True, slots=True)
 class TraceContext:
-    """The propagated identity of one span within one trace."""
+    """The propagated identity of one span within one trace.
+
+    ``sampled`` is the W3C trace-flags bit: a *head* sampling decision
+    that crosses hops with the ids.  ``sampled=False`` means an upstream
+    node already decided to drop this trace — downstream tail samplers
+    honour that verdict without buffering (see
+    :class:`repro.observability.sampling.TailSampler`).
+    """
 
     trace_id: int  # 128-bit
     span_id: int   # 64-bit
+    sampled: bool = True
 
     def traceparent(self) -> str:
         """Encode as a W3C-style ``traceparent`` header value."""
-        return f"00-{self.trace_id:032x}-{self.span_id:016x}-01"
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id:032x}-{self.span_id:016x}-{flags}"
 
     @staticmethod
     def parse(header: Optional[str]) -> Optional["TraceContext"]:
@@ -86,7 +96,8 @@ class TraceContext:
             return None
         if trace_id == 0 or span_id == 0:
             return None
-        return TraceContext(trace_id, span_id)
+        sampled = parts[3][-1:] != "0"  # flags 00 => head-dropped
+        return TraceContext(trace_id, span_id, sampled)
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,7 +119,7 @@ class Span:
     """One timed operation; a context manager that exports itself on exit."""
 
     __slots__ = (
-        "name", "kind", "trace_id", "span_id", "parent_id",
+        "name", "kind", "trace_id", "span_id", "parent_id", "sampled",
         "start", "end", "attributes", "events", "status", "error",
         "_tracer", "_token",
     )
@@ -123,12 +134,14 @@ class Span:
         parent_id: Optional[int],
         start: float,
         attributes: Optional[dict[str, Any]],
+        sampled: bool = True,
     ) -> None:
         self.name = name
         self.kind = kind
         self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
+        self.sampled = sampled
         self.start = start
         self.end = start
         self.attributes: dict[str, Any] = attributes if attributes is not None else {}
@@ -141,7 +154,7 @@ class Span:
     # -- identity -------------------------------------------------------
     @property
     def context(self) -> TraceContext:
-        return TraceContext(self.trace_id, self.span_id)
+        return TraceContext(self.trace_id, self.span_id, self.sampled)
 
     @property
     def duration(self) -> float:
@@ -251,20 +264,45 @@ class NullExporter:
 
 
 class SpanCollector:
-    """Thread-safe in-memory exporter for tests, examples and debugging."""
+    """Thread-safe bounded in-memory exporter (ring buffer semantics).
+
+    Capacity defaults to 4096 finished spans; exporting past capacity
+    evicts the oldest span rather than growing without bound — under the
+    ROADMAP's heavy multi-node traffic an unbounded collector would be a
+    slow memory leak.  Evictions are counted locally (:attr:`dropped`)
+    and, when the observability runtime is enabled, on the
+    ``repro_spans_dropped_total{reason="collector_capacity"}`` counter.
+
+    All reads snapshot under the same lock the writer takes, so
+    :meth:`spans` stays consistent while a concurrent export evicts.
+    """
 
     collects = True
 
-    def __init__(self) -> None:
-        self._spans: list[Span] = []
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self._spans: deque[Span] = deque()
         self._lock = threading.Lock()
 
     def export(self, span: Span) -> None:
+        evicted = False
         with self._lock:
+            if len(self._spans) >= self.capacity:
+                self._spans.popleft()
+                self.dropped += 1
+                evicted = True
             self._spans.append(span)
+        if evicted:
+            from .runtime import OBS  # local: runtime imports this module
+
+            if OBS.enabled:
+                OBS.instruments.spans_dropped.inc(reason="collector_capacity")
 
     def spans(self) -> list[Span]:
-        """Snapshot of finished spans, in export (finish) order."""
+        """Snapshot of retained finished spans, in export (finish) order."""
         with self._lock:
             return list(self._spans)
 
@@ -348,9 +386,11 @@ class Tracer:
         if parent is None:
             trace_id = self._rng.getrandbits(128) or 1
             parent_id = None
+            sampled = True
         else:
             trace_id = parent.trace_id
             parent_id = parent.span_id
+            sampled = parent.sampled
         return Span(
             self,
             name,
@@ -360,6 +400,7 @@ class Tracer:
             parent_id,
             self._clock(),
             attributes,
+            sampled,
         )
 
     # -- context access -------------------------------------------------

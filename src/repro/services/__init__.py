@@ -1,7 +1,9 @@
 """The ASU WSRepository service catalogue (§V of the paper): encryption,
 access control, guessing game, random string, dynamic image, image
 verifier, caching, shopping cart, message buffer, credit score, and
-mortgage services — each publishable over every binding."""
+mortgage services — each publishable over every binding.  The catalogue
+also offers *monitoring as a service*: :class:`MonitorService` federates
+other nodes' ``/metrics`` behind a discoverable contract."""
 
 from .basic import (
     AccessControlService,
@@ -20,6 +22,14 @@ from .commerce import (
 )
 from .catalog import CATALOG_SERVICES, build_repository, mount_all
 from .data_service import DatabaseService
+from .monitor import (
+    FleetMonitor,
+    MonitorService,
+    ScrapeTarget,
+    merge_families,
+    monitor_routes,
+    publish_monitor,
+)
 from .workflow_service import WorkflowService, make_prequalification_service
 
 __all__ = [
@@ -30,4 +40,6 @@ __all__ = [
     "CATALOG_SERVICES", "build_repository", "mount_all",
     "DatabaseService",
     "WorkflowService", "make_prequalification_service",
+    "MonitorService", "FleetMonitor", "ScrapeTarget",
+    "merge_families", "monitor_routes", "publish_monitor",
 ]

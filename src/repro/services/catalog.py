@@ -31,7 +31,7 @@ from .commerce import (
     ShoppingCartService,
 )
 
-__all__ = ["CATALOG_SERVICES", "build_repository", "mount_all"]
+__all__ = ["CATALOG_SERVICES", "build_repository", "mount_all", "attach_monitoring"]
 
 #: every service class of the §V catalogue
 CATALOG_SERVICES: list[type[Service]] = [
@@ -90,3 +90,32 @@ def mount_all(
             broker.add_endpoint(name, Endpoint("soap", base_url + soap_path))
             broker.add_endpoint(name, Endpoint("rest", base_url + rest_path))
     return soap, rest
+
+
+def attach_monitoring(
+    broker: ServiceBroker,
+    bus: Optional[ServiceBus] = None,
+    *,
+    soap: Optional[SoapEndpoint] = None,
+    rest: Optional[RestEndpoint] = None,
+    base_url: str = "",
+    engine=None,
+    provider: str = "monitor.venus.eas.asu.edu",
+):
+    """Add Monitoring-as-a-Service to an existing catalogue.
+
+    Builds a :class:`~repro.services.monitor.MonitorService` around a
+    fresh :class:`~repro.services.monitor.FleetMonitor` (optionally with
+    an :class:`~repro.observability.slo.SloEngine`), and publishes it to
+    ``broker`` over whichever bindings are supplied — the monitor then
+    shows up in discovery like any §V repository member, WSDL included.
+    Returns the service instance.
+    """
+    from .monitor import FleetMonitor, MonitorService, publish_monitor
+
+    service = MonitorService(FleetMonitor(engine))
+    publish_monitor(
+        service, broker, bus, soap=soap, rest=rest,
+        base_url=base_url, provider=provider,
+    )
+    return service

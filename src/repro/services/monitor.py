@@ -1,0 +1,478 @@
+"""Monitoring as a Service: the federated fleet monitor of the catalogue.
+
+PR 2 gave every node a ``/metrics`` page; this module closes the SOA
+loop by making *monitoring itself* an invokable service, the way the
+paper's Repository of Services exposes every capability behind a
+contract.  Three layers:
+
+* :class:`FleetMonitor` — the engine: scrapes other nodes' ``/metrics``
+  over :class:`~repro.transport.httpserver.HttpClient`, parses the
+  Prometheus text back into metric families
+  (:func:`~repro.observability.exposition.parse_prometheus`), merges
+  them into one fleet view (every sample gains a ``node`` label), and
+  evaluates SLOs over the merged data with a
+  :class:`~repro.observability.slo.SloEngine` — alerts fire onto the
+  event bus exactly as local ones would.  Federation in the i3 sense:
+  many systems, one pane.
+* :class:`MonitorService` — the :class:`~repro.core.service.Service`
+  façade: ``add_target`` / ``targets`` / ``scrape`` / ``alerts`` /
+  ``slo_report`` as contract operations, so the monitor publishes into
+  the broker and is discoverable and invokable over the in-process bus,
+  SOAP (with a ``?wsdl`` contract document) and REST, like any other
+  catalogue member.
+* :func:`publish_monitor` / :func:`monitor_routes` — wiring helpers:
+  broker registration across all three bindings, and the ``/alerts`` +
+  ``/dashboard`` HTTP handlers that mount beside ``/metrics`` and
+  ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from ..core.broker import Endpoint, ServiceBroker
+from ..core.bus import ServiceBus
+from ..core.faults import ServiceFault
+from ..core.service import Service, ServiceHost, operation
+from ..observability.exposition import parse_prometheus
+from ..observability.metrics import MetricFamily
+from ..observability.runtime import OBS
+from ..observability.slo import SloEngine
+from ..transport.rest import RestEndpoint
+from ..transport.soap import SoapEndpoint
+
+__all__ = [
+    "ScrapeTarget",
+    "merge_families",
+    "FleetMonitor",
+    "MonitorService",
+    "publish_monitor",
+    "monitor_routes",
+]
+
+NODE_LABEL = "node"
+
+
+class ScrapeTarget:
+    """One monitored node: a name plus the address of its ``/metrics``."""
+
+    __slots__ = (
+        "name", "host", "port", "path", "up", "last_error",
+        "last_scrape_seconds", "scrapes", "failures", "families",
+    )
+
+    def __init__(self, name: str, host: str, port: int, path: str = "/metrics") -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.path = path
+        self.up: Optional[bool] = None  # None until first scrape
+        self.last_error: Optional[str] = None
+        self.last_scrape_seconds = 0.0
+        self.scrapes = 0
+        self.failures = 0
+        self.families: list[MetricFamily] = []
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def status(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "url": self.base_url + self.path,
+            "up": bool(self.up),
+            "scrapes": self.scrapes,
+            "failures": self.failures,
+            "last_scrape_ms": round(self.last_scrape_seconds * 1e3, 3),
+        }
+        if self.last_error:
+            doc["last_error"] = self.last_error
+        return doc
+
+
+def _parse_base_url(base_url: str) -> tuple[str, int]:
+    """Split ``http://host:port`` (scheme optional) into (host, port)."""
+    text = base_url.strip()
+    for scheme in ("http://", "https://"):
+        if text.startswith(scheme):
+            text = text[len(scheme):]
+            break
+    text = text.rstrip("/")
+    host, _, port_text = text.partition(":")
+    if not host or not port_text:
+        raise ServiceFault(
+            f"target address must look like host:port, got {base_url!r}",
+            code="Client.BadInput",
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ServiceFault(
+            f"bad port in target address {base_url!r}", code="Client.BadInput"
+        ) from None
+    return host, port
+
+
+def relabel_families(
+    families: list[MetricFamily], node: str
+) -> list[MetricFamily]:
+    """Return copies of ``families`` with a ``node`` label on every sample."""
+    out: list[MetricFamily] = []
+    for family in families:
+        labelnames = (NODE_LABEL, *family.labelnames)
+        samples = {
+            (node, *key): value for key, value in family.samples.items()
+        }
+        out.append(
+            MetricFamily(
+                family.name,
+                family.kind,
+                family.help,
+                labelnames,
+                samples,
+                family.buckets,
+            )
+        )
+    return out
+
+
+def merge_families(
+    per_node: dict[str, list[MetricFamily]]
+) -> list[MetricFamily]:
+    """Merge many nodes' families into one fleet view.
+
+    Each node's samples keep their identity under an added ``node``
+    label, so nothing is lost; consumers that want fleet totals (the SLO
+    engine) simply sum over the ``node`` label, which
+    :meth:`~repro.observability.slo.SloObjective.measure` does for every
+    label it was not asked to pin.  Families sharing a name must agree on
+    kind; disagreeing nodes are skipped rather than poisoning the view.
+    """
+    merged: dict[str, MetricFamily] = {}
+    order: list[str] = []
+    for node in sorted(per_node):
+        for family in relabel_families(per_node[node], node):
+            existing = merged.get(family.name)
+            if existing is None:
+                merged[family.name] = family
+                order.append(family.name)
+                continue
+            if existing.kind != family.kind or existing.labelnames != family.labelnames:
+                continue  # incompatible peer dialect: keep first seen
+            existing.samples.update(family.samples)
+    return [merged[name] for name in sorted(order)]
+
+
+class FleetMonitor:
+    """Scrape many nodes, merge, evaluate SLOs — the monitoring engine.
+
+    ``client_factory`` is injectable for tests (anything returning an
+    object with ``get(path) -> HttpResponse`` and ``close()``); the
+    default builds a real :class:`HttpClient` per target.  All public
+    methods are thread-safe: a scrape tick may race service-operation
+    reads from SOAP/REST worker threads.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[SloEngine] = None,
+        *,
+        client_factory: Optional[Callable[[str, int], Any]] = None,
+        scrape_timeout: float = 5.0,
+    ) -> None:
+        self.engine = engine
+        self.scrape_timeout = scrape_timeout
+        if client_factory is None:
+            def client_factory(host: str, port: int):
+                from ..transport.httpserver import HttpClient  # lazy: layering
+
+                return HttpClient(host, port, timeout=self.scrape_timeout)
+        self._client_factory = client_factory
+        self._targets: dict[str, ScrapeTarget] = {}
+        self._clients: dict[str, Any] = {}
+        self._lock = threading.RLock()
+        self._fleet: list[MetricFamily] = []
+        self.ticks = 0
+
+    # -- target management ----------------------------------------------
+    def add_target(self, name: str, base_url: str, *, path: str = "/metrics") -> ScrapeTarget:
+        host, port = _parse_base_url(base_url)
+        target = ScrapeTarget(name, host, port, path)
+        with self._lock:
+            old = self._clients.pop(name, None)
+            self._targets[name] = target
+        if old is not None:
+            try:
+                old.close()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+        return target
+
+    def remove_target(self, name: str) -> bool:
+        with self._lock:
+            client = self._clients.pop(name, None)
+            removed = self._targets.pop(name, None)
+        if client is not None:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover
+                pass
+        return removed is not None
+
+    def targets(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [t.status() for t in self._targets.values()]
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- scraping --------------------------------------------------------
+    def _client_for(self, target: ScrapeTarget) -> Any:
+        client = self._clients.get(target.name)
+        if client is None:
+            client = self._client_factory(target.host, target.port)
+            self._clients[target.name] = client
+        return client
+
+    def _scrape_one(self, target: ScrapeTarget) -> None:
+        started = time.perf_counter()
+        try:
+            client = self._client_for(target)
+            response = client.get(target.path)
+            if response.status != 200:
+                raise ServiceFault(
+                    f"scrape returned HTTP {response.status}",
+                    code="Monitor.ScrapeFailed",
+                )
+            families = parse_prometheus(response.text())
+        except Exception as exc:  # noqa: BLE001 - a down node is data, not death
+            target.up = False
+            target.failures += 1
+            target.last_error = str(exc)
+            self._clients.pop(target.name, None)
+            if OBS.enabled:
+                OBS.instruments.monitor_scrapes.inc(
+                    node=target.name, outcome="error"
+                )
+        else:
+            target.up = True
+            target.last_error = None
+            target.families = families
+            if OBS.enabled:
+                OBS.instruments.monitor_scrapes.inc(node=target.name, outcome="ok")
+        finally:
+            target.scrapes += 1
+            target.last_scrape_seconds = time.perf_counter() - started
+
+    def scrape_all(self) -> list[MetricFamily]:
+        """Scrape every target and rebuild the merged fleet view."""
+        with self._lock:
+            targets = list(self._targets.values())
+            for target in targets:
+                self._scrape_one(target)
+            per_node = {
+                t.name: t.families for t in targets if t.up and t.families
+            }
+            self._fleet = merge_families(per_node)
+            return list(self._fleet)
+
+    def fleet_families(self) -> list[MetricFamily]:
+        """The most recent merged view (without re-scraping)."""
+        with self._lock:
+            return list(self._fleet)
+
+    # -- evaluation ------------------------------------------------------
+    def tick(self, *, now: Optional[float] = None) -> list[dict[str, Any]]:
+        """One monitor cycle: scrape, merge, evaluate SLOs over the fleet.
+
+        Returns the alert transitions this cycle produced (also published
+        onto the engine's event bus).  With no engine configured the tick
+        is scrape-and-merge only.
+        """
+        families = self.scrape_all()
+        self.ticks += 1
+        if self.engine is None:
+            return []
+        kwargs: dict[str, Any] = {}
+        if now is not None:
+            kwargs["now"] = now
+        return self.engine.evaluate(families, **kwargs)
+
+    # -- reporting -------------------------------------------------------
+    def alerts(self) -> list[dict[str, Any]]:
+        return self.engine.alerts() if self.engine is not None else []
+
+    def slo_report(self) -> list[dict[str, Any]]:
+        if self.engine is None:
+            return []
+        return self.engine.objective_status(self.fleet_families())
+
+    def dashboard(self) -> str:
+        """A text dashboard: targets, objectives, alerts — human-first."""
+        lines = ["== fleet monitor =="]
+        targets = self.targets()
+        lines.append(f"targets ({len(targets)}):")
+        for status in targets:
+            mark = "up  " if status["up"] else "DOWN"
+            suffix = f"  last_error={status.get('last_error')}" if not status["up"] and status.get("last_error") else ""
+            lines.append(
+                f"  [{mark}] {status['name']:<16} {status['url']} "
+                f"scrapes={status['scrapes']} failures={status['failures']}{suffix}"
+            )
+        report = self.slo_report()
+        if report:
+            lines.append("objectives:")
+            for row in report:
+                verdict = "OK  " if row["compliant"] else "MISS"
+                lines.append(
+                    f"  [{verdict}] {row['objective']:<24} "
+                    f"target={row['target']:.4f} attained={row['attained']:.4f} "
+                    f"({row['good']:.0f}/{row['total']:.0f})"
+                )
+        firing = [a for a in self.alerts() if a["state"] == "firing"]
+        lines.append(f"alerts firing: {len(firing)}")
+        for alert in firing:
+            lines.append(f"  !! {alert['objective']} [{alert['rule']}]")
+        return "\n".join(lines) + "\n"
+
+
+class MonitorService(Service):
+    """Monitoring offered *as a service*: the catalogue's watchtower.
+
+    Wraps a :class:`FleetMonitor` behind contract operations so a client
+    can discover the monitor in the broker and drive a whole monitoring
+    cycle over any binding — add targets, scrape, read alerts — exactly
+    like invoking any other repository service.
+    """
+
+    service_name = "FleetMonitor"
+    category = "monitoring"
+
+    def __init__(self, monitor: Optional[FleetMonitor] = None) -> None:
+        self.monitor = monitor or FleetMonitor()
+
+    @operation(idempotent=True)
+    def targets(self) -> list:
+        """Monitored nodes with their scrape health."""
+        return self.monitor.targets()
+
+    @operation
+    def add_target(self, name: str, base_url: str) -> bool:
+        """Register a node to scrape (``base_url`` like ``http://host:port``)."""
+        self.monitor.add_target(name, base_url)
+        return True
+
+    @operation
+    def remove_target(self, name: str) -> bool:
+        """Forget a node; returns whether it was known."""
+        return self.monitor.remove_target(name)
+
+    @operation
+    def scrape(self) -> dict:
+        """Run one monitor cycle; returns scrape + alert summary."""
+        transitions = self.monitor.tick()
+        statuses = self.monitor.targets()
+        return {
+            "targets": len(statuses),
+            "up": sum(1 for s in statuses if s["up"]),
+            "families": len(self.monitor.fleet_families()),
+            "transitions": transitions,
+        }
+
+    @operation(idempotent=True)
+    def alerts(self) -> list:
+        """Current alert state snapshots (all rules, all objectives)."""
+        return self.monitor.alerts()
+
+    @operation(idempotent=True)
+    def slo_report(self) -> list:
+        """Point-in-time SLO compliance over the merged fleet view."""
+        return self.monitor.slo_report()
+
+    @operation(idempotent=True)
+    def dashboard(self) -> str:
+        """The text dashboard, identical to ``GET /dashboard``."""
+        return self.monitor.dashboard()
+
+
+def monitor_routes(monitor: FleetMonitor) -> dict[str, Callable[[Any], Any]]:
+    """``/alerts`` (JSON) + ``/dashboard`` (text) handlers for this monitor.
+
+    Mount beside :func:`~repro.observability.exposition.observability_routes`
+    via :func:`repro.web.app.compose_handlers` — the node then serves its
+    own telemetry *and* the fleet's.
+    """
+    from ..transport.http11 import HttpResponse  # lazy: layering
+
+    def alerts_handler(request):
+        if request.method != "GET":
+            return HttpResponse.error(405, "GET only")
+        document = {
+            "alerts": monitor.alerts(),
+            "targets": monitor.targets(),
+            "slo": monitor.slo_report(),
+        }
+        return HttpResponse.text_response(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            content_type="application/json",
+        )
+
+    def dashboard_handler(request):
+        if request.method != "GET":
+            return HttpResponse.error(405, "GET only")
+        return HttpResponse.text_response(monitor.dashboard())
+
+    return {"/alerts": alerts_handler, "/dashboard": dashboard_handler}
+
+
+def publish_monitor(
+    service: MonitorService,
+    broker: ServiceBroker,
+    bus: Optional[ServiceBus] = None,
+    *,
+    soap: Optional[SoapEndpoint] = None,
+    rest: Optional[RestEndpoint] = None,
+    base_url: str = "",
+    provider: str = "monitor.local",
+    lease_seconds: Optional[float] = None,
+) -> dict[str, Endpoint]:
+    """Register the monitor in the catalogue across every binding.
+
+    Hosts the service on the bus (when given), mounts it on the SOAP and
+    REST endpoints (when given — its WSDL contract document is then a
+    ``GET ?wsdl`` away), and publishes one broker registration holding
+    every endpoint.  Returns ``{binding: Endpoint}``.
+    """
+    endpoints: dict[str, Endpoint] = {}
+    if bus is not None:
+        address = bus.host(service)
+        endpoints["inproc"] = Endpoint("inproc", address)
+    if soap is not None:
+        path = soap.mount(ServiceHost(service))
+        endpoints["soap"] = Endpoint("soap", base_url + path)
+    if rest is not None:
+        path = rest.mount(ServiceHost(service))
+        endpoints["rest"] = Endpoint("rest", base_url + path)
+    if not endpoints:
+        raise ServiceFault(
+            "publish_monitor needs at least one of bus/soap/rest",
+            code="Client.BadInput",
+        )
+    broker.publish(
+        service.contract(),
+        list(endpoints.values()),
+        provider=provider,
+        lease_seconds=lease_seconds,
+    )
+    return endpoints

@@ -104,7 +104,9 @@ class HttpServer:
     ) -> None:
         """``on_request`` is an optional access-log hook called after every
         dispatched request as ``(method, target, status, duration_seconds)``.
-        It runs on the connection thread; exceptions it raises are swallowed
+        It runs on the connection thread, *inside* the request's server
+        span — so :func:`repro.observability.logs.access_log` observers
+        emit trace-correlated records.  Exceptions it raises are swallowed
         — an observer must never break serving.
         """
         if request_timeout <= 0:
@@ -249,7 +251,17 @@ class HttpServer:
                 response = HttpResponse.error(500, f"handler error: {exc}")
             status = response.status
             span.set_attribute("http.status", status)
-        duration = time.perf_counter() - start
+            duration = time.perf_counter() - start
+            if self.on_request is not None:
+                # Inside the span on purpose: a structured access log
+                # observer (repro.observability.logs.access_log) sees the
+                # request's trace context and emits a correlated record.
+                try:
+                    self.on_request(
+                        request.method, request.target, status, duration
+                    )
+                except Exception:  # noqa: BLE001 - observers must not break serving
+                    pass
         if OBS.enabled:
             instruments = OBS.instruments
             instruments.transport_requests.inc(
@@ -258,11 +270,6 @@ class HttpServer:
             instruments.transport_seconds.observe(
                 duration, method=request.method
             )
-        if self.on_request is not None:
-            try:
-                self.on_request(request.method, request.target, status, duration)
-            except Exception:  # noqa: BLE001 - observers must not break serving
-                pass
         return response
 
 

@@ -97,3 +97,14 @@ def test_traced_call():
     assert 'repro_bus_dispatch_total{operation="spread",outcome="ok"} 1' in out
     assert "/healthz -> 200" in out
     assert "with an open breaker, /healthz -> 503" in out
+
+
+def test_monitor_demo():
+    out = run_example("monitor_demo.py")
+    assert "monitor registered in broker: True" in out
+    assert "event: slo.alert.firing" in out
+    assert "event: slo.alert.resolved" in out
+    assert "/alerts states: ['firing']" in out
+    assert "alerts firing: 1" in out
+    assert "alert episodes completed: 1" in out
+    assert "log lines joining a tail-sampled kept trace: 3" in out

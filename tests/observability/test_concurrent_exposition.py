@@ -1,0 +1,118 @@
+"""Scrape under fire: writers hammer the registry while /metrics renders.
+
+The satellite contract: concurrent counter/gauge/histogram writers plus a
+scrape loop must produce no exceptions, counters that only move forward
+between successive scrapes, and text that parses cleanly every time.
+"""
+
+import threading
+
+from repro.observability import (
+    MetricsRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
+
+WRITERS = 6
+ITERATIONS = 400
+
+
+def _counter_value(families, name, key):
+    for family in families:
+        if family.name == name:
+            return family.samples.get(key, 0.0)
+    return 0.0
+
+
+class TestConcurrentExposition:
+    def test_scrape_loop_against_writer_storm(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", labelnames=("worker",))
+        gauge = registry.gauge("depth", labelnames=("worker",))
+        hist = registry.histogram(
+            "latency_seconds", labelnames=("worker",), buckets=(0.01, 0.1, 1.0)
+        )
+        errors: list[BaseException] = []
+        start = threading.Barrier(WRITERS + 1)
+
+        def writer(worker: str) -> None:
+            try:
+                start.wait()
+                for i in range(ITERATIONS):
+                    counter.inc(worker=worker)
+                    gauge.set(i % 7, worker=worker)
+                    hist.observe(0.001 * (i % 30), worker=worker)
+            except BaseException as exc:  # pragma: no cover - assertion target
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(f"w{n}",))
+            for n in range(WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+
+        previous: dict[tuple[str, ...], float] = {}
+        scrapes = 0
+        try:
+            start.wait()
+            while any(t.is_alive() for t in threads) or scrapes == 0:
+                text = render_prometheus(registry)
+                parsed = parse_prometheus(text)
+                scrapes += 1
+                # stable parse: every family type survives the round trip
+                kinds = {f.name: f.kind for f in parsed}
+                assert kinds.get("hits_total") in (None, "counter")
+                assert kinds.get("latency_seconds") in (None, "histogram")
+                # monotone counters: no sample ever goes backwards
+                for family in parsed:
+                    if family.name != "hits_total":
+                        continue
+                    for key, value in family.samples.items():
+                        assert value >= previous.get(key, 0.0)
+                        previous[key] = value
+                # histogram internal consistency per scrape
+                for family in parsed:
+                    if family.name != "latency_seconds":
+                        continue
+                    for counts, _sum, count in family.samples.values():
+                        assert sum(counts) == count
+        finally:
+            for thread in threads:
+                thread.join()
+
+        assert errors == []
+        assert scrapes >= 1
+
+        # final scrape accounts for every write exactly
+        final = parse_prometheus(render_prometheus(registry))
+        for n in range(WRITERS):
+            assert _counter_value(final, "hits_total", (f"w{n}",)) == ITERATIONS
+        for family in final:
+            if family.name == "latency_seconds":
+                total = sum(count for _c, _s, count in family.samples.values())
+                assert total == WRITERS * ITERATIONS
+
+    def test_registering_while_scraping_is_safe(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def registrar() -> None:
+            try:
+                n = 0
+                while not stop.is_set():
+                    registry.counter(f"family_{n % 50}_total").inc()
+                    n += 1
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        thread = threading.Thread(target=registrar)
+        thread.start()
+        try:
+            for _ in range(200):
+                parse_prometheus(render_prometheus(registry))
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []

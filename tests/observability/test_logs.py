@@ -1,0 +1,192 @@
+"""Structured logging: levels, ring semantics, trace correlation, access log."""
+
+import json
+import threading
+
+from repro.observability import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    Logger,
+    RingBufferSink,
+    SpanCollector,
+    Tracer,
+    access_log,
+    format_records,
+    get_logger,
+    level_name,
+    observed,
+)
+from repro.observability.logs import LogRecord
+
+
+def manual_clock(value=0.0):
+    state = [value]
+
+    def clock():
+        return state[0]
+
+    clock.advance = lambda d: state.__setitem__(0, state[0] + d)  # type: ignore[attr-defined]
+    return clock
+
+
+class TestLevels:
+    def test_level_names(self):
+        assert level_name(DEBUG) == "debug"
+        assert level_name(INFO) == "info"
+        assert level_name(WARNING) == "warning"
+        assert level_name(ERROR) == "error"
+        assert level_name(35) == "warning"  # nearest at-or-below
+        assert level_name(5) == "debug"
+
+    def test_below_level_is_suppressed(self):
+        sink = RingBufferSink(capacity=8)
+        log = Logger("t", sink=sink, level=WARNING)
+        assert log.debug("no") is None
+        assert log.info("no") is None
+        assert log.warning("yes") is not None
+        assert log.error("yes") is not None
+        assert len(sink) == 2
+        assert sink.emitted == 2
+
+
+class TestRingBufferSink:
+    def test_wraps_and_orders_oldest_first(self):
+        sink = RingBufferSink(capacity=3)
+        log = Logger("t", sink=sink, level=DEBUG, clock=manual_clock())
+        for i in range(7):
+            log.info("m", i=i)
+        records = sink.records()
+        assert [r.fields["i"] for r in records] == [4, 5, 6]
+        assert sink.emitted == 7
+        assert len(sink) == 3
+
+    def test_tail_and_clear(self):
+        sink = RingBufferSink(capacity=8)
+        log = Logger("t", sink=sink)
+        for i in range(5):
+            log.info("m", i=i)
+        assert [r.fields["i"] for r in sink.tail(2)] == [3, 4]
+        sink.clear()
+        assert len(sink) == 0
+        assert sink.emitted == 0
+
+    def test_concurrent_writers_never_error_and_bound_holds(self):
+        sink = RingBufferSink(capacity=64)
+        log = Logger("t", sink=sink)
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(500):
+                    log.info("m", worker=worker, i=i)
+            except Exception as exc:  # pragma: no cover - the assertion target
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert sink.emitted == 8 * 500
+        assert len(sink) <= 64
+
+    def test_snapshot_during_writes_is_well_formed(self):
+        sink = RingBufferSink(capacity=16)
+        log = Logger("t", sink=sink)
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                log.info("m", i=i)
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                for record in sink.records():
+                    assert isinstance(record, LogRecord)
+                    assert record.message == "m"
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestTraceCorrelation:
+    def test_record_attaches_active_span_identity(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        sink = RingBufferSink()
+        log = Logger("t", sink=sink)
+        with tracer.span("op") as span:
+            record = log.info("inside")
+        outside = log.info("outside")
+        assert record.trace_id == f"{span.trace_id:032x}"
+        assert record.span_id == f"{span.span_id:016x}"
+        assert outside.trace_id is None and outside.span_id is None
+        assert sink.by_trace(span.trace_id) == [record]
+
+    def test_logs_emitted_counter_ticks_by_level(self):
+        sink = RingBufferSink()
+        log = Logger("t", sink=sink, level=DEBUG)
+        with observed() as obs:
+            log.info("a")
+            log.info("b")
+            log.error("c")
+            counter = obs.registry.get("repro_logs_emitted_total")
+            assert counter.value(level="info") == 2
+            assert counter.value(level="error") == 1
+
+
+class TestFormatting:
+    def test_logfmt_escapes_and_orders(self):
+        record = LogRecord(
+            1.5, INFO, "web", 'say "hi" now', {"user": "a b", "n": 3},
+            "ab" * 16, "cd" * 8,
+        )
+        line = record.format()
+        assert line.startswith("ts=1.500000 level=info logger=web")
+        assert 'msg="say \\"hi\\" now"' in line
+        assert 'user="a b"' in line
+        assert "n=3" in line
+        assert f"trace_id={'ab' * 16}" in line
+
+    def test_to_dict_is_json_serialisable(self):
+        record = LogRecord(1.0, ERROR, "x", "boom", {"k": 1}, None, None)
+        doc = json.loads(json.dumps(record.to_dict()))
+        assert doc["level"] == "error"
+        assert doc["msg"] == "boom"
+        assert "trace_id" not in doc
+
+    def test_format_records_joins_lines(self):
+        sink = RingBufferSink()
+        log = Logger("t", sink=sink)
+        log.info("one")
+        log.info("two")
+        text = format_records(sink.records())
+        assert text.count("\n") == 1
+        assert "msg=one" in text and "msg=two" in text
+
+
+class TestAccessLog:
+    def test_levels_by_status_and_duration(self):
+        sink = RingBufferSink()
+        observer = access_log(Logger("acc", sink=sink), slow_threshold=0.5)
+        observer("GET", "/ok", 200, 0.01)
+        observer("GET", "/slow", 200, 0.75)
+        observer("POST", "/boom", 503, 0.01)
+        levels = [r.levelname for r in sink.records()]
+        assert levels == ["info", "warning", "error"]
+        record = sink.records()[0]
+        assert record.message == "http.access"
+        assert record.fields["method"] == "GET"
+        assert record.fields["target"] == "/ok"
+        assert record.fields["status"] == 200
+        assert record.fields["duration_ms"] == 10.0
+
+    def test_default_logger_is_cached_by_name(self):
+        assert get_logger("http.access") is get_logger("http.access")

@@ -1,0 +1,238 @@
+"""SLO engine: objective measurement, burn rates, alert state machine."""
+
+import pytest
+
+from repro.events.bus import EventBus
+from repro.observability import (
+    TOPIC_FIRING,
+    TOPIC_RESOLVED,
+    AlertState,
+    BurnRateRule,
+    MetricsRegistry,
+    SloEngine,
+    SloObjective,
+    observed,
+)
+
+
+def manual_clock(value=0.0):
+    state = [value]
+
+    def clock():
+        return state[0]
+
+    clock.advance = lambda d: state.__setitem__(0, state[0] + d)  # type: ignore[attr-defined]
+    return clock
+
+
+BUCKETS = (0.01, 0.05, 0.1, 0.5)
+
+
+def latency_objective(**overrides):
+    kwargs = dict(
+        name="add-latency",
+        family="rpc_seconds",
+        objective=0.9,
+        kind="latency",
+        latency_bound=0.05,
+        labels={"operation": "add"},
+    )
+    kwargs.update(overrides)
+    return SloObjective(**kwargs)
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_objective(objective=1.0)
+        with pytest.raises(ValueError):
+            latency_objective(kind="nope")
+        with pytest.raises(ValueError):
+            latency_objective(latency_bound=None)
+        assert latency_objective().error_budget == pytest.approx(0.1)
+
+    def test_latency_measure_counts_buckets_at_or_under_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "rpc_seconds", labelnames=("operation",), buckets=BUCKETS
+        )
+        for value in (0.005, 0.04, 0.2):  # two good, one bad
+            hist.observe(value, operation="add")
+        hist.observe(0.2, operation="sub")  # different operation: excluded
+        good, total = latency_objective().measure(registry.collect())
+        assert (good, total) == (2.0, 3.0)
+
+    def test_latency_measure_sums_over_extra_labels(self):
+        # the fleet monitor adds a node label; pinned labels still match
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "rpc_seconds", labelnames=("operation", "node"), buckets=BUCKETS
+        )
+        hist.observe(0.01, operation="add", node="a")
+        hist.observe(0.2, operation="add", node="b")
+        good, total = latency_objective().measure(registry.collect())
+        assert (good, total) == (1.0, 2.0)
+
+    def test_availability_measure_reads_outcome_label(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rpc_total", labelnames=("op", "outcome"))
+        counter.inc(8, op="add", outcome="ok")
+        counter.inc(2, op="add", outcome="fault")
+        counter.inc(5, op="sub", outcome="fault")
+        objective = SloObjective(
+            name="add-availability",
+            family="rpc_total",
+            objective=0.99,
+            kind="availability",
+            labels={"op": "add"},
+        )
+        good, total = objective.measure(registry.collect())
+        assert (good, total) == (8.0, 10.0)
+
+
+class TestBurnRateRule:
+    def test_validation_and_name(self):
+        with pytest.raises(ValueError):
+            BurnRateRule(0, 10)
+        with pytest.raises(ValueError):
+            BurnRateRule(20, 10)
+        with pytest.raises(ValueError):
+            BurnRateRule(10, 20, burn_threshold=0)
+        rule = BurnRateRule(10, 30, burn_threshold=2)
+        assert rule.name == "burn>2x@10s/30s"
+
+
+class TestAlertState:
+    def _state(self, for_seconds=0.0):
+        return AlertState(latency_objective(), BurnRateRule(10, 30, for_seconds=for_seconds))
+
+    def test_immediate_fire_and_resolve(self):
+        alert = self._state()
+        assert alert.observe(True, 0.0) == "firing"
+        assert alert.observe(True, 1.0) is None  # duplicate suppressed
+        assert alert.observe(True, 2.0) is None
+        assert alert.observe(False, 3.0) == "resolved"
+        assert alert.observe(False, 4.0) is None  # nothing left to resolve
+        assert alert.episodes == 1
+
+    def test_pending_hold_filters_blips(self):
+        alert = self._state(for_seconds=5.0)
+        assert alert.observe(True, 0.0) == "pending"
+        assert alert.observe(True, 3.0) is None  # still holding
+        assert alert.observe(False, 4.0) is None  # blip cleared: no resolve
+        assert alert.state == "inactive"
+        # a sustained episode does fire, once
+        assert alert.observe(True, 10.0) == "pending"
+        assert alert.observe(True, 15.0) == "firing"
+        assert alert.observe(True, 16.0) is None
+        assert alert.observe(False, 17.0) == "resolved"
+        assert alert.episodes == 1
+
+    def test_second_episode_fires_again(self):
+        alert = self._state()
+        alert.observe(True, 0.0)
+        alert.observe(False, 1.0)
+        assert alert.observe(True, 2.0) == "firing"
+        assert alert.episodes == 2
+
+    def test_snapshot_shape(self):
+        alert = self._state(for_seconds=5.0)
+        alert.observe(True, 7.0)
+        doc = alert.snapshot()
+        assert doc["state"] == "pending"
+        assert doc["pending_since"] == 7.0
+        assert doc["objective"] == "add-latency"
+        assert "fired_at" not in doc
+
+
+class TestSloEngine:
+    """Drive a full firing -> resolved episode from real metric families."""
+
+    def _make(self, bus=None, **rule_kw):
+        clock = manual_clock()
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "rpc_seconds", labelnames=("operation",), buckets=BUCKETS
+        )
+        rule = BurnRateRule(10.0, 30.0, burn_threshold=2.0, **rule_kw)
+        engine = SloEngine(
+            [latency_objective()], rules=[rule], bus=bus, clock=clock
+        )
+        return engine, registry, hist, clock
+
+    def _tick(self, engine, registry, clock, advance=5.0):
+        clock.advance(advance)
+        return engine.evaluate(registry.collect())
+
+    def test_lifecycle_deterministic_under_injected_clock(self):
+        engine, registry, hist, clock = self._make()
+        # healthy traffic: all fast
+        for _ in range(3):
+            for _ in range(10):
+                hist.observe(0.01, operation="add")
+            assert self._tick(engine, registry, clock) == []
+        assert engine.firing() == []
+        # incident: every call blows the bound -> burn 10x > threshold 2x
+        for _ in range(10):
+            hist.observe(0.4, operation="add")
+        transitions = self._tick(engine, registry, clock)
+        assert [t["transition"] for t in transitions] == ["firing"]
+        assert transitions[0]["burn_short"] > 2.0
+        assert engine.firing()[0]["objective"] == "add-latency"
+        # still burning: no duplicate fire
+        for _ in range(10):
+            hist.observe(0.4, operation="add")
+        assert self._tick(engine, registry, clock) == []
+        # recovery: fast traffic pushes the windows back under threshold
+        resolved = []
+        for _ in range(12):
+            for _ in range(50):
+                hist.observe(0.01, operation="add")
+            resolved.extend(self._tick(engine, registry, clock))
+            if resolved:
+                break
+        assert [t["transition"] for t in resolved] == ["resolved"]
+        assert engine.firing() == []
+        assert engine.alerts()[0]["episodes"] == 1
+
+    def test_event_bus_delivery_order(self):
+        bus = EventBus()  # unstarted: synchronous delivery
+        seen = []
+        bus.subscribe("slo.alert.*", lambda e: seen.append((e.topic, e.sequence)))
+        engine, registry, hist, clock = self._make(bus=bus)
+        hist.observe(0.01, operation="add")
+        self._tick(engine, registry, clock)  # baseline point
+        for _ in range(10):
+            hist.observe(0.4, operation="add")
+        self._tick(engine, registry, clock)
+        for _ in range(6):
+            for _ in range(80):
+                hist.observe(0.01, operation="add")
+            self._tick(engine, registry, clock)
+        topics = [t for t, _ in seen]
+        assert topics == [TOPIC_FIRING, TOPIC_RESOLVED]
+        sequences = [s for _, s in seen]
+        assert sequences == sorted(sequences)
+
+    def test_transitions_tick_instrument(self):
+        with observed() as obs:
+            engine, registry, hist, clock = self._make()
+            hist.observe(0.01, operation="add")
+            self._tick(engine, registry, clock)  # baseline point
+            for _ in range(10):
+                hist.observe(0.4, operation="add")
+            self._tick(engine, registry, clock)
+            counter = obs.registry.get("repro_slo_alert_transitions_total")
+            assert counter.value(objective="add-latency", state="firing") == 1
+
+    def test_no_traffic_means_no_alert(self):
+        engine, registry, _hist, clock = self._make()
+        for _ in range(5):
+            assert self._tick(engine, registry, clock) == []
+        report = engine.objective_status(registry.collect())
+        assert report[0]["compliant"] is True
+        assert report[0]["total"] == 0
+
+    def test_engine_requires_rules(self):
+        with pytest.raises(ValueError):
+            SloEngine([latency_objective()], rules=[])
