@@ -19,18 +19,21 @@ its lease lapses.
 
 from __future__ import annotations
 
+import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
+from urllib.parse import urljoin, urlsplit
 
 from ..core.contracts import ServiceContract
 from ..observability.runtime import OBS
 from ..resilience.policy import RetryBudget
 from ..resilience.quarantine import Quarantine
 from ..transport.wsdl import contract_from_xml
-from .webgraph import WebGraph
+from .webgraph import Page, WebGraph
 
-__all__ = ["CrawlReport", "ServiceCrawler"]
+__all__ = ["CrawlReport", "HttpFetcher", "ServiceCrawler"]
 
 
 @dataclass
@@ -58,6 +61,120 @@ def _domain(url: str) -> str:
         return url.split("/")[2]
     except IndexError:
         return url
+
+
+def _extract_links(content: str, base_url: str) -> list[str]:
+    """Harvest ``href="..."`` targets from an HTML-ish page, resolved
+    against ``base_url`` — dependency-free, order-as-found, deduplicated."""
+    links: list[str] = []
+    seen: set[str] = set()
+    lowered = content.lower()
+    position = 0
+    while True:
+        anchor = lowered.find('href="', position)
+        if anchor == -1:
+            break
+        start = anchor + len('href="')
+        end = content.find('"', start)
+        if end == -1:
+            break
+        position = end + 1
+        target = content[start:end].strip()
+        if not target or target.startswith(("#", "mailto:", "javascript:")):
+            continue
+        resolved = urljoin(base_url, target)
+        if resolved not in seen:
+            seen.add(resolved)
+            links.append(resolved)
+    return links
+
+
+class HttpFetcher:
+    """Fetch crawl pages over *live* HTTP through pooled clients.
+
+    Adapts the socket transport to the crawler's ``fetch(url) ->
+    Optional[Page]`` protocol, so the same BFS that walks the synthetic
+    :class:`WebGraph` can walk provider sites actually served by
+    :class:`~repro.transport.httpserver.HttpServer` nodes.  One pooled
+    :class:`~repro.transport.httpserver.HttpClient` is kept per
+    ``host:port`` authority (keep-alive across the many pages of one
+    provider — the crawler's dominant access pattern); dead links —
+    connection failures, timeouts, non-200s — come back as ``None``,
+    exactly like a missing page in the synthetic graph, so retry
+    budgets and domain quarantine apply unchanged.  Links are harvested
+    from ``href="..."`` attributes of fetched HTML; ``latency`` carries
+    the measured wall-clock fetch cost.
+    """
+
+    def __init__(
+        self,
+        *,
+        timeout: float = 5.0,
+        pool_size: int = 2,
+        client_factory=None,
+    ) -> None:
+        if client_factory is None:
+            def client_factory(host: str, port: int):
+                from ..transport.httpserver import HttpClient  # lazy: layering
+
+                return HttpClient(
+                    host, port, timeout=timeout, pool_size=pool_size
+                )
+        self._client_factory = client_factory
+        self._clients: dict[tuple[str, int], object] = {}
+        self._lock = threading.Lock()
+        self.fetches = 0
+
+    def _client_for(self, host: str, port: int):
+        key = (host, port)
+        with self._lock:
+            client = self._clients.get(key)
+            if client is None:
+                client = self._client_factory(host, port)
+                self._clients[key] = client
+            return client
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+
+    def fetch(self, url: str) -> Optional[Page]:
+        """GET ``url``; a Page on 200, None on any failure (dead link)."""
+        self.fetches += 1
+        parts = urlsplit(url)
+        if parts.scheme not in ("http", "") or not parts.hostname:
+            return None
+        host = parts.hostname
+        port = parts.port or 80
+        target = parts.path or "/"
+        if parts.query:
+            target += "?" + parts.query
+        started = time.perf_counter()
+        try:
+            client = self._client_for(host, port)
+            response = client.get(target)
+        except Exception:  # noqa: BLE001 - unreachable host == dead link
+            return None
+        if response.status != 200:
+            return None
+        content = response.body.decode("utf-8", "replace")
+        content_type = response.content_type or "text/html"
+        links = (
+            _extract_links(content, url) if "html" in content_type else []
+        )
+        return Page(
+            url,
+            content,
+            content_type,
+            links,
+            latency=time.perf_counter() - started,
+        )
 
 
 class ServiceCrawler:

@@ -194,6 +194,21 @@ class Instruments:
             ("method",),
             buckets=LATENCY_BUCKETS,
         )
+        self.transport_workers_busy = registry.gauge(
+            "repro_transport_workers_busy",
+            "HTTP server worker threads currently handling a request.",
+            ("server",),
+        )
+        self.transport_queue_depth = registry.gauge(
+            "repro_transport_accept_queue_depth",
+            "Readable connections waiting for a free HTTP server worker.",
+            ("server",),
+        )
+        self.transport_rejections = registry.counter(
+            "repro_transport_rejected_total",
+            "Connections refused 503 at saturation (queue or conn limit).",
+            ("server",),
+        )
         self.client_calls = registry.counter(
             "repro_client_calls_total",
             "Outbound SOAP/REST client calls, by binding and outcome.",

@@ -18,6 +18,7 @@ This module closes the QoS loop the broker's bookkeeping was waiting for:
 from __future__ import annotations
 
 import random
+import threading
 import time
 from typing import Any, Callable, Optional
 
@@ -173,11 +174,44 @@ class FailoverInvoker:
         )
         self._reporter = broker_reporter(broker, service_name)
         self._invokers: dict[str, ResilientInvoker] = {}
+        self._http_clients: dict[tuple[str, int], Any] = {}
+        self._http_lock = threading.Lock()
 
     @property
     def breakers(self) -> Optional[CircuitBreakerRegistry]:
         """The shared per-endpoint breaker registry (None when disabled)."""
         return self._breakers
+
+    def _shared_http_client(self, host: str, port: int) -> Any:
+        """One pooled :class:`HttpClient` per authority, shared by every
+        endpoint invoker of this service.
+
+        SOAP and REST endpoints of the same provider usually live behind
+        one ``host:port``; sharing the pooled client means their
+        keep-alive sockets are pooled *together*, and concurrent calls
+        through this invoker overlap on the wire instead of each binding
+        dialing (and locking) its own single socket.
+        """
+        key = (host, port)
+        with self._http_lock:
+            client = self._http_clients.get(key)
+            if client is None:
+                from ..transport.httpserver import HttpClient  # lazy: layering
+
+                client = HttpClient(host, port)
+                self._http_clients[key] = client
+            return client
+
+    def close(self) -> None:
+        """Close every pooled HTTP client this invoker dialed."""
+        with self._http_lock:
+            clients = list(self._http_clients.values())
+            self._http_clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
 
     def _invoker_for(self, endpoint: Endpoint, contract: ServiceContract) -> ResilientInvoker:
         invoker = self._invokers.get(endpoint.key)
@@ -186,7 +220,7 @@ class FailoverInvoker:
                 endpoint,
                 contract,
                 bus=self._bus,
-                http_factory=self._http_factory,
+                http_factory=self._http_factory or self._shared_http_client,
             )
             invoker = ResilientInvoker(
                 raw,

@@ -183,14 +183,20 @@ class FleetMonitor:
         *,
         client_factory: Optional[Callable[[str, int], Any]] = None,
         scrape_timeout: float = 5.0,
+        max_parallel_scrapes: int = 8,
     ) -> None:
+        if max_parallel_scrapes < 1:
+            raise ValueError("max_parallel_scrapes must be >= 1")
         self.engine = engine
         self.scrape_timeout = scrape_timeout
+        self.max_parallel_scrapes = max_parallel_scrapes
         if client_factory is None:
             def client_factory(host: str, port: int):
                 from ..transport.httpserver import HttpClient  # lazy: layering
 
-                return HttpClient(host, port, timeout=self.scrape_timeout)
+                return HttpClient(
+                    host, port, timeout=self.scrape_timeout, pool_size=2
+                )
         self._client_factory = client_factory
         self._targets: dict[str, ScrapeTarget] = {}
         self._clients: dict[str, Any] = {}
@@ -239,11 +245,21 @@ class FleetMonitor:
 
     # -- scraping --------------------------------------------------------
     def _client_for(self, target: ScrapeTarget) -> Any:
-        client = self._clients.get(target.name)
-        if client is None:
-            client = self._client_factory(target.host, target.port)
-            self._clients[target.name] = client
-        return client
+        with self._lock:
+            client = self._clients.get(target.name)
+            if client is None:
+                client = self._client_factory(target.host, target.port)
+                self._clients[target.name] = client
+            return client
+
+    def _drop_client(self, name: str) -> None:
+        with self._lock:
+            client = self._clients.pop(name, None)
+        if client is not None:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
 
     def _scrape_one(self, target: ScrapeTarget) -> None:
         started = time.perf_counter()
@@ -260,7 +276,7 @@ class FleetMonitor:
             target.up = False
             target.failures += 1
             target.last_error = str(exc)
-            self._clients.pop(target.name, None)
+            self._drop_client(target.name)
             if OBS.enabled:
                 OBS.instruments.monitor_scrapes.inc(
                     node=target.name, outcome="error"
@@ -276,11 +292,30 @@ class FleetMonitor:
             target.last_scrape_seconds = time.perf_counter() - started
 
     def scrape_all(self) -> list[MetricFamily]:
-        """Scrape every target and rebuild the merged fleet view."""
+        """Scrape every target — concurrently — and rebuild the fleet view.
+
+        A fleet tick is latency-bound by its slowest node; scraping each
+        target on its own thread (up to ``max_parallel_scrapes``) makes
+        the tick cost ``max(node latency)`` instead of ``sum(...)``, and
+        the pooled :class:`HttpClient` per target keeps the sockets warm
+        between ticks.  No lock is held during network I/O — a slow peer
+        cannot stall service-operation reads (``targets()``, ``alerts()``)
+        from SOAP/REST worker threads.
+        """
         with self._lock:
             targets = list(self._targets.values())
+        if len(targets) > 1 and self.max_parallel_scrapes > 1:
+            from concurrent.futures import ThreadPoolExecutor  # stdlib
+
+            with ThreadPoolExecutor(
+                max_workers=min(self.max_parallel_scrapes, len(targets)),
+                thread_name_prefix="monitor-scrape",
+            ) as pool:
+                list(pool.map(self._scrape_one, targets))
+        else:
             for target in targets:
                 self._scrape_one(target)
+        with self._lock:
             per_node = {
                 t.name: t.families for t in targets if t.up and t.families
             }

@@ -17,6 +17,7 @@ __all__ = [
     "HttpError",
     "HttpRequest",
     "HttpResponse",
+    "content_length_of",
     "parse_request",
     "parse_response",
     "parse_query_string",
@@ -46,6 +47,7 @@ STATUS_PHRASES = {
     413: "Payload Too Large",
     415: "Unsupported Media Type",
     429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
     503: "Service Unavailable",
@@ -211,13 +213,16 @@ class HttpResponse:
     def redirect(cls, location: str, status: int = 302) -> "HttpResponse":
         return cls(status, _Headers([("Location", location)]))
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, *, include_body: bool = True) -> bytes:
+        """Serialize; ``include_body=False`` emits the HEAD-response form:
+        full status line and headers — ``Content-Length`` still describing
+        the body — with the body itself omitted (RFC 7230 §3.3)."""
         headers = _Headers(self.headers.items())
         headers.set("Content-Length", str(len(self.body)))
         lines = [f"{self.version} {self.status} {self.reason}"]
         lines.extend(f"{k}: {v}" for k, v in headers.items())
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        return head + self.body
+        return head + self.body if include_body else head
 
 
 # ---------------------------------------------------------------------------
@@ -254,10 +259,24 @@ def _parse_headers(lines: list[str]) -> _Headers:
     return headers
 
 
-def _body_with_length(headers: _Headers, body: bytes) -> bytes:
-    raw_length = headers.get("Content-Length")
-    if raw_length is None:
-        return body
+def content_length_of(headers: _Headers) -> Optional[int]:
+    """The message's declared ``Content-Length``, strictly validated.
+
+    Duplicate ``Content-Length`` headers — agreeing or not — are rejected
+    outright (HTTP 400): a message that frames differently depending on
+    whether a parser honours the first or the last copy is the shape of a
+    request-smuggling desync, so neither interpretation is acceptable.
+    The socket framer in :mod:`repro.transport.httpserver` applies the
+    same rule, keeping both layers' framing decisions identical.
+    """
+    values = headers.get_all("Content-Length")
+    if not values:
+        return None
+    if len(values) > 1:
+        raise HttpError(
+            "duplicate Content-Length headers (request-smuggling shape)"
+        )
+    raw_length = values[0]
     try:
         length = int(raw_length)
     except ValueError as exc:
@@ -266,6 +285,13 @@ def _body_with_length(headers: _Headers, body: bytes) -> bytes:
         raise HttpError("negative Content-Length")
     if length > MAX_BODY_BYTES:
         raise HttpError("body too large", status=413)
+    return length
+
+
+def _body_with_length(headers: _Headers, body: bytes) -> bytes:
+    length = content_length_of(headers)
+    if length is None:
+        return body
     if len(body) < length:
         raise HttpError("incomplete message: body shorter than Content-Length")
     return body[:length]
@@ -288,8 +314,13 @@ def parse_request(raw: bytes) -> HttpRequest:
     return HttpRequest(method, target, headers, _body_with_length(headers, body), version)
 
 
-def parse_response(raw: bytes) -> HttpResponse:
-    """Parse a full response message from bytes."""
+def parse_response(raw: bytes, *, head_response: bool = False) -> HttpResponse:
+    """Parse a full response message from bytes.
+
+    ``head_response=True`` parses the response to a ``HEAD`` request:
+    per RFC 7230 §3.3 its ``Content-Length`` describes the body a ``GET``
+    *would* have carried, so no body bytes are expected or consumed.
+    """
     lines, body = _split_message(raw)
     parts = lines[0].split(" ", 2)
     if len(parts) < 2 or not parts[0].startswith("HTTP/"):
@@ -299,6 +330,9 @@ def parse_response(raw: bytes) -> HttpResponse:
     except ValueError as exc:
         raise HttpError(f"bad status code {parts[1]!r}") from exc
     headers = _parse_headers(lines[1:])
+    if head_response:
+        content_length_of(headers)  # still validated, never read
+        return HttpResponse(status, headers, b"", parts[0])
     return HttpResponse(status, headers, _body_with_length(headers, body), parts[0])
 
 

@@ -1,27 +1,61 @@
-"""Threaded socket HTTP server and client.
+"""Worker-pool socket HTTP server and pooled keep-alive client.
 
-A deliberately small, dependency-free web server: one accept loop, a
-thread per connection, Content-Length framing, keep-alive support.  It
-hosts any *handler* — a callable ``HttpRequest -> HttpResponse`` — so the
-SOAP endpoint, REST endpoint, web application framework, and the service
-directory all run on the same substrate, as they did on the paper's IIS
-deployment.
+A dependency-free web substrate built for concurrency: the server runs a
+*bounded worker pool* fed by a readiness reactor instead of spawning one
+thread per connection, and the client keeps a *pool* of keep-alive
+sockets instead of serializing every caller on one global lock.  It
+hosts any *handler* — a callable ``HttpRequest -> HttpResponse`` — so
+the SOAP endpoint, REST endpoint, web application framework, the service
+directory and the fleet monitor all ride the same substrate, as they did
+on the paper's IIS deployment.
 
-The matching :class:`HttpClient` speaks the same dialect over a plain
-socket (no ``http.client``), completing the self-hosted loop used in the
-end-to-end integration tests and benchmarks.
+Server architecture (three kinds of threads, all daemonic):
+
+* the **accept thread** accepts sockets and parks them with the reactor;
+* the **reactor thread** watches parked (idle keep-alive) connections
+  with a ``selectors`` selector and moves a connection into the bounded
+  *ready queue* the moment request bytes arrive — so an idle connection
+  never pins a worker, and a slow-loris peer occupies a selector slot,
+  not a thread;
+* ``workers`` **worker threads** pop ready connections, read exactly as
+  many pipelined requests as are already buffered, dispatch, respond,
+  and park the connection again.
+
+Backpressure is explicit: when the ready queue stays full past a short
+grace period (the pool is saturated), the connection is answered ``503
+Service Unavailable`` with a ``Retry-After`` hint and closed; the same
+happens at accept time past ``max_connections``.  Saturation is visible
+in ``OBS.instruments`` (busy-worker and queue-depth gauges, a rejection
+counter).
+
+The connection loop carries leftover bytes between requests, so
+pipelined requests that arrive in one segment are all served rather
+than silently dropped, and both layers of the stack frame messages with
+the same strict ``Content-Length`` rules (duplicates rejected — the
+request-smuggling shape) and the same 64 KiB header ceiling
+(:data:`~repro.transport.http11.MAX_HEADER_BYTES`).
+
+The matching :class:`HttpClient` speaks the same dialect over up to
+``pool_size`` plain sockets (no ``http.client``): concurrent callers —
+the resilient proxy, the crawler, the fleet monitor's scrapes — each
+borrow their own connection instead of queueing on a single socket.
 """
 
 from __future__ import annotations
 
+import queue
+import selectors
 import socket
 import threading
 import time
+from collections import deque
 from typing import Callable, Optional
 
 from ..observability.runtime import OBS, server_span
 from ..observability.trace import TRACEPARENT_HEADER
 from .http11 import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
     HttpError,
     HttpRequest,
     HttpResponse,
@@ -38,40 +72,85 @@ RequestObserver = Callable[[str, str, int, float], None]
 
 _RECV_CHUNK = 65536
 
+#: Methods safe to replay after a mid-exchange failure (RFC 7231 §4.2.2).
+#: ``POST``/``PATCH`` are *not* here: replaying one can double-apply a
+#: side effect, so their retries belong to an explicit
+#: :mod:`repro.resilience` policy, never to the transport.
+IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "PUT", "DELETE", "OPTIONS"})
 
-def _read_message(sock: socket.socket) -> Optional[bytes]:
-    """Read one full HTTP message (headers + Content-Length body).
 
-    Returns None on clean EOF — or on a socket timeout — before any bytes
-    arrive (an idle keep-alive connection going away is not an error).  A
-    timeout *after* bytes arrived means the client stalled mid-message;
-    that surfaces as :class:`HttpError` 408 so the server can answer
-    ``408 Request Timeout`` instead of pinning the thread forever.
+def _frame_content_length(head: bytes) -> int:
+    """Framing ``Content-Length`` from a raw header block.
+
+    Applies exactly the rules of
+    :func:`repro.transport.http11.content_length_of` — in particular,
+    *duplicate* ``Content-Length`` headers are rejected rather than
+    resolved first-wins or last-wins.  The seed framed on the last copy
+    while the parser read the first: two layers disagreeing about where
+    a message ends is the request-smuggling desync this refuses.
     """
-    buffer = b""
-    # read until header terminator
+    values: list[bytes] = []
+    for line in head.split(b"\r\n")[1:]:
+        if line.lower().startswith(b"content-length:"):
+            values.append(line.split(b":", 1)[1].strip())
+    if not values:
+        return 0
+    if len(values) > 1:
+        raise HttpError(
+            "duplicate Content-Length headers (request-smuggling shape)"
+        )
+    try:
+        length = int(values[0])
+    except ValueError as exc:
+        raise HttpError("bad Content-Length") from exc
+    if length < 0:
+        raise HttpError("negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise HttpError("body too large", status=413)
+    return length
+
+
+def _read_message(
+    sock: socket.socket,
+    buffer: bytes = b"",
+    *,
+    head_response: bool = False,
+) -> tuple[Optional[bytes], bytes]:
+    """Read one exactly-framed HTTP message; return ``(message, leftover)``.
+
+    ``buffer`` carries bytes already read off the socket (the tail of a
+    previous keep-alive exchange); any bytes past this message's framing
+    come back as ``leftover`` so pipelined messages survive intact —
+    the seed concatenated them onto the body and silently lost them.
+
+    Returns ``(None, b"")`` on clean EOF — or on a socket timeout —
+    before any bytes arrive (an idle keep-alive connection going away is
+    not an error).  A timeout *after* bytes arrived means the peer
+    stalled mid-message; that surfaces as :class:`HttpError` 408.
+    Headers above :data:`MAX_HEADER_BYTES` raise 431 — the same ceiling
+    the message parser enforces.  ``head_response=True`` frames the
+    response to a ``HEAD`` request, whose ``Content-Length`` describes a
+    body that never arrives.
+    """
+    # read until the header terminator
     while b"\r\n\r\n" not in buffer:
+        if len(buffer) > MAX_HEADER_BYTES:
+            raise HttpError("header section too large", status=431)
         try:
             chunk = sock.recv(_RECV_CHUNK)
         except socket.timeout:
             if not buffer:
-                return None  # idle keep-alive connection; close quietly
+                return None, b""  # idle keep-alive connection; close quietly
             raise HttpError("client stalled mid-headers", status=408) from None
         if not chunk:
             if not buffer:
-                return None
+                return None, b""
             raise HttpError("connection closed mid-headers")
         buffer += chunk
-        if len(buffer) > 1024 * 1024:
-            raise HttpError("header section too large", status=431)
     head, _, rest = buffer.partition(b"\r\n\r\n")
-    content_length = 0
-    for line in head.split(b"\r\n")[1:]:
-        if line.lower().startswith(b"content-length:"):
-            try:
-                content_length = int(line.split(b":", 1)[1].strip())
-            except ValueError as exc:
-                raise HttpError("bad Content-Length") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError("header section too large", status=431)
+    content_length = 0 if head_response else _frame_content_length(head)
     while len(rest) < content_length:
         try:
             chunk = sock.recv(_RECV_CHUNK)
@@ -80,17 +159,58 @@ def _read_message(sock: socket.socket) -> Optional[bytes]:
         if not chunk:
             raise HttpError("connection closed mid-body")
         rest += chunk
-    return head + b"\r\n\r\n" + rest
+    return head + b"\r\n\r\n" + rest[:content_length], rest[content_length:]
+
+
+def _buffered_message_ready(buffer: bytes) -> bool:
+    """Does ``buffer`` already hold one complete message?
+
+    Used by workers to serve pipelined requests back-to-back without a
+    trip through the reactor.  Malformed framing counts as "ready": the
+    worker must dispatch it to produce the 400/413/431 diagnostic.
+    """
+    separator = buffer.find(b"\r\n\r\n")
+    if separator == -1:
+        return len(buffer) > MAX_HEADER_BYTES  # ready to be rejected (431)
+    try:
+        length = _frame_content_length(buffer[:separator])
+    except HttpError:
+        return True
+    return len(buffer) - (separator + 4) >= length
+
+
+class _Connection:
+    """Server-side per-connection state: socket + inter-request buffer."""
+
+    __slots__ = ("sock", "buffer", "parked_at")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buffer = b""
+        self.parked_at = 0.0
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
 
 
 class HttpServer:
-    """Accept-loop server dispatching requests to a handler callable.
+    """Bounded worker-pool server dispatching requests to a handler.
 
     Use as a context manager in tests::
 
-        with HttpServer(handler) as server:
-            client = HttpClient("127.0.0.1", server.port)
+        with HttpServer(handler, workers=8) as server:
+            client = HttpClient("127.0.0.1", server.port, pool_size=4)
             response = client.get("/ping")
+
+    ``workers`` bounds concurrent request handling; parked keep-alive
+    connections cost a selector slot, not a thread, so thousands of idle
+    clients can coexist with a small pool.  ``queue_size`` bounds the
+    ready queue between reactor and workers: connections that cannot be
+    dispatched within ``saturation_grace`` seconds are refused with
+    ``503`` + ``Retry-After: {retry_after}``.
     """
 
     def __init__(
@@ -101,35 +221,85 @@ class HttpServer:
         *,
         request_timeout: float = 30.0,
         on_request: Optional[RequestObserver] = None,
+        workers: int = 4,
+        queue_size: Optional[int] = None,
+        max_connections: int = 512,
+        saturation_grace: float = 0.5,
+        retry_after: float = 1.0,
     ) -> None:
         """``on_request`` is an optional access-log hook called after every
         dispatched request as ``(method, target, status, duration_seconds)``.
-        It runs on the connection thread, *inside* the request's server
-        span — so :func:`repro.observability.logs.access_log` observers
-        emit trace-correlated records.  Exceptions it raises are swallowed
-        — an observer must never break serving.
+        It runs on the worker thread, *inside* the request's server span —
+        so :func:`repro.observability.logs.access_log` observers emit
+        trace-correlated records.  Exceptions it raises are swallowed —
+        an observer must never break serving.
         """
         if request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
         self.handler = handler
         self.on_request = on_request
         self.request_timeout = request_timeout
+        self.workers = workers
+        self.retry_after = retry_after
+        self.saturation_grace = saturation_grace
+        self.max_connections = max_connections
+        self.queue_size = max(queue_size or 8 * workers, workers)
+        self.rejected_connections = 0  # 503s sent at saturation (stats)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(64)
+        self._listener.listen(128)
         self.host, self.port = self._listener.getsockname()
         self._running = False
         self._accept_thread: Optional[threading.Thread] = None
-        self._connections: set[socket.socket] = set()
+        self._reactor_thread: Optional[threading.Thread] = None
+        self._worker_threads: list[threading.Thread] = []
+        self._ready: "queue.Queue[Optional[_Connection]]" = queue.Queue(
+            maxsize=self.queue_size
+        )
+        self._connections: set[_Connection] = set()
         self._lock = threading.Lock()
+        # reactor plumbing: a selector over parked connections plus a
+        # self-pipe so workers can wake the reactor to (re)park.
+        self._selector = selectors.DefaultSelector()
+        self._park_requests: deque[_Connection] = deque()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._label = None  # bound gauge children, set in start()
 
     @property
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    # -- lifecycle ------------------------------------------------------
     def start(self) -> "HttpServer":
         self._running = True
+        if OBS.enabled:
+            # Bind the per-server gauge children once: worker loops then
+            # update them without per-call label validation.  Captured as
+            # a tuple so a mid-flight OBS reconfiguration (tests swapping
+            # registries) cannot strand an inc without its dec.
+            server = f"{self.host}:{self.port}"
+            instruments = OBS.instruments
+            self._label = (
+                instruments.transport_workers_busy.labels(server=server),
+                instruments.transport_queue_depth.labels(server=server),
+                instruments.transport_rejections.labels(server=server),
+            )
+        self._reactor_thread = threading.Thread(
+            target=self._reactor_loop, name="http-reactor", daemon=True
+        )
+        self._reactor_thread.start()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"http-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._worker_threads.append(thread)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="http-accept", daemon=True
         )
@@ -154,15 +324,41 @@ class HttpServer:
             self._listener.close()
         except OSError:  # pragma: no cover
             pass
+        self._wake_reactor()  # reactor notices _running went False
+        if self._reactor_thread is not None:
+            self._reactor_thread.join(timeout=2)
+        # close every connection: parked, queued, or mid-request
         with self._lock:
             for conn in list(self._connections):
-                try:
-                    conn.close()
-                except OSError:  # pragma: no cover
-                    pass
+                conn.close()
             self._connections.clear()
+        # drain queued connections, then send one sentinel per worker
+        while True:
+            try:
+                item = self._ready.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                item.close()
+        for _ in self._worker_threads:
+            try:
+                self._ready.put(None, timeout=1)
+            except queue.Full:  # pragma: no cover - workers wedged
+                break
+        for thread in self._worker_threads:
+            thread.join(timeout=2)
+        self._worker_threads.clear()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2)
+        try:
+            self._wake_r.close()
+            self._wake_w.close()
+        except OSError:  # pragma: no cover
+            pass
+        try:
+            self._selector.close()
+        except (OSError, RuntimeError):  # pragma: no cover
+            pass
 
     def __enter__(self) -> "HttpServer":
         return self.start()
@@ -170,65 +366,204 @@ class HttpServer:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
-    # -- internals -----------------------------------------------------
+    # -- saturation -----------------------------------------------------
+    def _reject(self, conn: _Connection, message: str) -> None:
+        """Refuse a connection with 503 + Retry-After, then close it."""
+        # Count before the refusal hits the wire: a caller reacting to
+        # the 503 must already see it in the stats/instruments.
+        self.rejected_connections += 1
+        if self._label is not None:
+            self._label[2].inc()
+        response = HttpResponse.error(503, message)
+        response.headers.set("Retry-After", f"{self.retry_after:g}")
+        response.headers.set("Connection", "close")
+        try:
+            conn.sock.sendall(response.to_bytes())
+        except OSError:  # pragma: no cover - peer already gone
+            pass
+        self._discard(conn)
+
+    def _discard(self, conn: _Connection) -> None:
+        with self._lock:
+            self._connections.discard(conn)
+        conn.close()
+
+    # -- accept ---------------------------------------------------------
     def _accept_loop(self) -> None:
         while self._running:
             try:
-                conn, _addr = self._listener.accept()
+                sock, _addr = self._listener.accept()
             except OSError:
                 return  # listener closed
+            sock.settimeout(self.request_timeout)
+            conn = _Connection(sock)
             with self._lock:
-                self._connections.add(conn)
-            thread = threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
-            )
-            thread.start()
+                overloaded = len(self._connections) >= self.max_connections
+                if not overloaded:
+                    self._connections.add(conn)
+            if overloaded:
+                conn.parked_at = time.monotonic()
+                self._reject(conn, "server saturated: connection limit reached")
+                continue
+            self._park(conn)
 
-    def _serve_connection(self, conn: socket.socket) -> None:
+    # -- reactor --------------------------------------------------------
+    def _park(self, conn: _Connection) -> None:
+        """Hand a connection to the reactor to await its next request."""
+        conn.parked_at = time.monotonic()
+        self._park_requests.append(conn)
+        self._wake_reactor()
+
+    def _wake_reactor(self) -> None:
         try:
-            conn.settimeout(self.request_timeout)
-            while self._running:
-                try:
-                    raw = _read_message(conn)
-                except HttpError as exc:
-                    # a stalled or malformed client gets a diagnostic
-                    # response (408 for timeouts) before the close
-                    try:
-                        conn.sendall(
-                            HttpResponse.error(exc.status, str(exc)).to_bytes()
-                        )
-                    except OSError:  # pragma: no cover - peer already gone
-                        pass
-                    break
-                except (socket.timeout, OSError):
-                    break
-                if raw is None:
-                    break
-                try:
-                    request = parse_request(raw)
-                except HttpError as exc:
-                    conn.sendall(HttpResponse.error(exc.status, str(exc)).to_bytes())
-                    break
-                response = self._handle(request)
-                keep_alive = (
-                    request.headers.get("Connection", "keep-alive").lower()
-                    != "close"
-                )
-                if not keep_alive:
-                    response.headers.set("Connection", "close")
-                try:
-                    conn.sendall(response.to_bytes())
-                except OSError:
-                    break
-                if not keep_alive:
-                    break
-        finally:
-            with self._lock:
-                self._connections.discard(conn)
+            self._wake_w.send(b"\0")
+        except OSError:  # pragma: no cover - reactor already shut down
+            pass
+
+    def _reactor_loop(self) -> None:
+        self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+        while self._running:
             try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
+                events = self._selector.select(timeout=0.1)
+            except OSError:  # pragma: no cover - selector closed under us
+                return
+            for key, _mask in events:
+                if key.fileobj is self._wake_r:
+                    try:
+                        while self._wake_r.recv(4096):
+                            pass
+                    except (BlockingIOError, OSError):
+                        pass
+                    continue
+                conn: _Connection = key.data
+                try:
+                    self._selector.unregister(conn.sock)
+                except (KeyError, ValueError, OSError):  # pragma: no cover
+                    continue
+                self._dispatch(conn)
+            # register connections parked by accept/workers
+            while self._park_requests:
+                conn = self._park_requests.popleft()
+                if not self._running:
+                    self._discard(conn)
+                    continue
+                try:
+                    self._selector.register(
+                        conn.sock, selectors.EVENT_READ, conn
+                    )
+                except (KeyError, ValueError, OSError):
+                    self._discard(conn)
+            self._close_idle()
+        # shutdown: release whatever is still parked
+        try:
+            for key in list(self._selector.get_map().values()):
+                if key.data is not None:
+                    self._discard(key.data)
+        except (RuntimeError, OSError):  # pragma: no cover
+            pass
+
+    def _dispatch(self, conn: _Connection) -> None:
+        """Queue a readable connection for a worker, with backpressure."""
+        try:
+            self._ready.put_nowait(conn)
+        except queue.Full:
+            # Saturated: give the pool a short grace, then shed load.
+            try:
+                self._ready.put(conn, timeout=self.saturation_grace)
+            except queue.Full:
+                self._reject(conn, "server saturated: worker pool busy")
+                return
+        if self._label is not None:
+            self._label[1].set(self._ready.qsize())
+
+    def _close_idle(self) -> None:
+        """Quietly close parked connections idle past request_timeout."""
+        deadline = time.monotonic() - self.request_timeout
+        stale = [
+            key.data
+            for key in list(self._selector.get_map().values())
+            if key.data is not None and key.data.parked_at < deadline
+        ]
+        for conn in stale:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                continue
+            self._discard(conn)
+
+    # -- workers --------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            conn = self._ready.get()
+            if conn is None:
+                return  # sentinel: shutting down
+            label = self._label
+            if label is not None:
+                label[0].inc()  # workers busy
+                label[1].set(self._ready.qsize())
+            try:
+                self._serve_ready(conn)
+            finally:
+                if label is not None:
+                    label[0].dec()
+
+    def _serve_ready(self, conn: _Connection) -> None:
+        """Serve every request already in flight on ``conn``, then park.
+
+        Loops while complete pipelined messages sit in the connection
+        buffer (no reactor round-trip between them), parks the connection
+        when the buffer runs dry, closes it on ``Connection: close``,
+        errors, or EOF.
+        """
+        while self._running:
+            try:
+                raw, conn.buffer = _read_message(conn.sock, conn.buffer)
+            except HttpError as exc:
+                # a stalled or malformed peer gets a diagnostic response
+                # (408 timeout / 400 framing / 431 headers) before close
+                response = HttpResponse.error(exc.status, str(exc))
+                response.headers.set("Connection", "close")
+                try:
+                    conn.sock.sendall(response.to_bytes())
+                except OSError:  # pragma: no cover - peer already gone
+                    pass
+                break
+            except (socket.timeout, OSError):
+                break
+            if raw is None:
+                break  # clean EOF
+            try:
+                request = parse_request(raw)
+            except HttpError as exc:
+                response = HttpResponse.error(exc.status, str(exc))
+                response.headers.set("Connection", "close")
+                try:
+                    conn.sock.sendall(response.to_bytes())
+                except OSError:  # pragma: no cover
+                    pass
+                break
+            response = self._handle(request)
+            keep_alive = (
+                request.headers.get("Connection", "keep-alive").lower()
+                != "close"
+            )
+            if not keep_alive:
+                response.headers.set("Connection", "close")
+            try:
+                conn.sock.sendall(
+                    # HEAD: status line + headers only; Content-Length
+                    # still describes the suppressed body (RFC 7230 §3.3)
+                    response.to_bytes(include_body=request.method != "HEAD")
+                )
+            except OSError:
+                break
+            if not keep_alive:
+                break
+            if conn.buffer and _buffered_message_ready(conn.buffer):
+                continue  # next pipelined request is already here
+            self._park(conn)
+            return
+        self._discard(conn)
 
     def _handle(self, request: HttpRequest) -> HttpResponse:
         """Dispatch one parsed request: handler + telemetry + access hook.
@@ -273,28 +608,151 @@ class HttpServer:
         return response
 
 
-class HttpClient:
-    """Persistent-connection HTTP client over a raw socket."""
+class _PooledConnection:
+    """Client-side pooled socket: keep-alive state + leftover buffer."""
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+    __slots__ = ("sock", "buffer", "last_used")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buffer = b""
+        self.last_used = time.monotonic()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def stale(self, timeout: float) -> bool:
+        """Non-destructive peek: did the server already close (or poison)
+        this idle keep-alive socket?
+
+        A zero-timeout ``MSG_PEEK`` that *returns* means either EOF
+        (server closed while we idled) or unsolicited bytes (framing
+        desync) — both make the socket unusable.  ``BlockingIOError``
+        means a healthy, quiet socket.  Detecting staleness *before*
+        writing is what lets even non-idempotent requests migrate to a
+        fresh connection safely: no bytes of theirs were ever sent.
+        """
+        sock = self.sock
+        try:
+            sock.settimeout(0)
+            try:
+                sock.recv(1, socket.MSG_PEEK)
+            finally:
+                sock.settimeout(timeout)
+        except (BlockingIOError, InterruptedError):
+            return False
+        except OSError:
+            return True
+        return True  # EOF or unsolicited bytes: either way unusable
+
+
+class HttpClient:
+    """Pooled persistent-connection HTTP client over raw sockets.
+
+    Up to ``pool_size`` keep-alive sockets are kept to ``host:port``;
+    concurrent callers each borrow one (waiting up to ``timeout`` when
+    all are busy), so requests from many threads overlap on the wire
+    instead of serializing on a single global lock.  Idle sockets are
+    reaped after ``idle_ttl`` seconds and probed for staleness before
+    reuse.  Mid-exchange failures are retried once on a fresh
+    connection for idempotent methods only (RFC 7231 §4.2.2); a failed
+    ``POST``/``PATCH`` surfaces immediately — replay policy belongs to
+    :mod:`repro.resilience`, not the transport.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        *,
+        pool_size: int = 4,
+        idle_ttl: float = 30.0,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if idle_ttl <= 0:
+            raise ValueError("idle_ttl must be positive")
         self.host = host
         self.port = port
         self.timeout = timeout
-        self._sock: Optional[socket.socket] = None
+        self.pool_size = pool_size
+        self.idle_ttl = idle_ttl
+        self.created_connections = 0  # pool stats (tests, debugging)
+        self.reaped_connections = 0
+        self._idle: list[_PooledConnection] = []
+        self._in_use = 0
         self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
 
-    def _connect(self) -> socket.socket:
-        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
-        return sock
+    # -- pool internals --------------------------------------------------
+    def _acquire(self) -> _PooledConnection:
+        """Borrow a connection: pooled if healthy, else freshly dialed."""
+        deadline = time.monotonic() + self.timeout
+        with self._available:
+            while True:
+                while self._idle:
+                    conn = self._idle.pop()  # LIFO: warmest socket first
+                    if (
+                        time.monotonic() - conn.last_used > self.idle_ttl
+                        or conn.stale(self.timeout)
+                    ):
+                        conn.close()
+                        self.reaped_connections += 1
+                        continue
+                    self._in_use += 1
+                    return conn
+                if self._in_use < self.pool_size:
+                    self._in_use += 1  # reserve the slot; dial unlocked
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._available.wait(remaining):
+                    raise OSError(
+                        f"HTTP connection pool to {self.host}:{self.port} "
+                        f"exhausted ({self.pool_size} in use)"
+                    )
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except BaseException:
+            with self._available:
+                self._in_use -= 1
+                self._available.notify()
+            raise
+        self.created_connections += 1
+        return _PooledConnection(sock)
+
+    def _release(self, conn: _PooledConnection, *, reusable: bool) -> None:
+        with self._available:
+            self._in_use -= 1
+            if reusable:
+                conn.last_used = time.monotonic()
+                self._idle.append(conn)
+            else:
+                conn.close()
+            self._available.notify()
+
+    def pool_stats(self) -> dict[str, int]:
+        """Point-in-time pool occupancy (for tests and dashboards)."""
+        with self._lock:
+            return {
+                "idle": len(self._idle),
+                "in_use": self._in_use,
+                "created": self.created_connections,
+                "reaped": self.reaped_connections,
+            }
 
     def close(self) -> None:
-        with self._lock:
-            if self._sock is not None:
-                try:
-                    self._sock.close()
-                except OSError:  # pragma: no cover
-                    pass
-                self._sock = None
+        """Close every idle pooled socket.  The client stays usable:
+        the next request simply dials fresh connections."""
+        with self._available:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
 
     def __enter__(self) -> "HttpClient":
         return self
@@ -302,13 +760,19 @@ class HttpClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- requests --------------------------------------------------------
     def request(self, request: HttpRequest) -> HttpResponse:
-        """Send one request, reusing the connection when possible.
+        """Send one request over a pooled connection.
 
         When a trace is active on this thread, the request carries a
         ``traceparent`` header (unless the caller set one), so the server
         side joins the same trace — every HTTP-based binding inherits
         propagation from this one seam.
+
+        Only idempotent methods are retried (once, on a fresh socket)
+        after a mid-exchange failure; for everything the stale-peek in
+        the pool already covers the "connection died before any bytes
+        were written" case by never handing out a detectably-dead socket.
         """
         if OBS.enabled and OBS.tracer.sampling:
             context = OBS.tracer.current()
@@ -317,25 +781,44 @@ class HttpClient:
                 and request.headers.get(TRACEPARENT_HEADER) is None
             ):
                 request.headers.set(TRACEPARENT_HEADER, context.traceparent())
-        with self._lock:
-            for attempt in (1, 2):
-                if self._sock is None:
-                    self._sock = self._connect()
-                try:
-                    self._sock.sendall(request.to_bytes())
-                    raw = _read_message(self._sock)
-                    if raw is None:
-                        raise OSError("server closed connection")
-                    return parse_response(raw)
-                except (OSError, HttpError):
-                    self.close()
-                    if attempt == 2:
-                        raise
-            raise AssertionError("unreachable")  # pragma: no cover
+        attempts = 2 if request.method in IDEMPOTENT_METHODS else 1
+        payload = request.to_bytes()
+        for attempt in range(1, attempts + 1):
+            conn = self._acquire()
+            reusable = False
+            try:
+                conn.sock.sendall(payload)
+                raw, leftover = _read_message(
+                    conn.sock,
+                    conn.buffer,
+                    head_response=request.method == "HEAD",
+                )
+                conn.buffer = b""
+                if raw is None:
+                    raise OSError("server closed connection")
+                response = parse_response(
+                    raw, head_response=request.method == "HEAD"
+                )
+                conn.buffer = leftover
+                reusable = (
+                    (request.headers.get("Connection") or "").lower() != "close"
+                    and (response.headers.get("Connection") or "").lower()
+                    != "close"
+                )
+                return response
+            except (OSError, HttpError):
+                if attempt >= attempts:
+                    raise
+            finally:
+                self._release(conn, reusable=reusable)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- verb helpers ---------------------------------------------------
     def get(self, target: str, headers: Optional[dict[str, str]] = None) -> HttpResponse:
         return self.request(HttpRequest("GET", target, dict(headers or {})))
+
+    def head(self, target: str, headers: Optional[dict[str, str]] = None) -> HttpResponse:
+        return self.request(HttpRequest("HEAD", target, dict(headers or {})))
 
     def post(
         self,

@@ -15,6 +15,13 @@ practical interface lesson the course labs drill.
 
 Also includes :class:`RestRouter`, a generic path-pattern router used by
 the web-application framework and the service directory frontend.
+
+:class:`RestClient` is safe to share across threads when backed by the
+pooled :class:`~repro.transport.httpserver.HttpClient`: each concurrent
+call borrows its own keep-alive socket, so idempotent GETs additionally
+get the transport's one-shot retry on a fresh connection while POSTs of
+non-idempotent operations fail fast (their replays belong to a
+:mod:`repro.resilience` policy).
 """
 
 from __future__ import annotations
@@ -171,6 +178,10 @@ class RestClient:
         self.service_name = service_name
         self.prefix = prefix.rstrip("/")
         self._contract = None
+
+    def close(self) -> None:
+        """Release the underlying HTTP client's pooled connections."""
+        self.http.close()
 
     def fetch_contract(self):
         from .wsdl import contract_from_xml

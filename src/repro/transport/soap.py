@@ -13,6 +13,14 @@ re-raises as the same typed fault at the client.
 * :class:`SoapClient` — client side: speaks the envelope dialect over an
   :class:`~repro.transport.httpserver.HttpClient`; pair with
   :func:`repro.core.proxy.make_proxy` for a typed façade.
+
+:class:`SoapClient` is thread-safe to the extent its ``HttpClient`` is:
+the pooled client hands each concurrent caller its own keep-alive
+socket, so one ``SoapClient`` can be shared across worker threads and
+calls overlap on the wire instead of serializing on a client lock.
+Envelope POSTs are *not* retried by the transport after a mid-exchange
+failure (they are non-idempotent on the wire) — wrap the invoker in a
+:mod:`repro.resilience` policy to opt into replays.
 """
 
 from __future__ import annotations
@@ -215,6 +223,10 @@ class SoapClient:
         self.http = http
         self.path = f"{prefix.rstrip('/')}/{service_name}"
         self.headers = dict(headers or {})
+
+    def close(self) -> None:
+        """Release the underlying HTTP client's pooled connections."""
+        self.http.close()
 
     def call(self, operation: str, arguments: dict[str, Any]) -> Any:
         if not OBS.enabled:

@@ -1,0 +1,118 @@
+"""The crawler walking a *live* provider site over pooled HTTP.
+
+:class:`~repro.directory.crawler.HttpFetcher` adapts the socket
+transport to the crawler's ``fetch(url) -> Optional[Page]`` protocol, so
+the same BFS that walks the synthetic :class:`WebGraph` harvests
+contracts from pages actually served by an :class:`HttpServer`.
+"""
+
+import pytest
+
+from repro.core import Operation, Parameter, ServiceContract
+from repro.directory import ServiceCrawler
+from repro.directory.crawler import HttpFetcher, _extract_links
+from repro.transport import HttpResponse, HttpServer
+from repro.transport.wsdl import contract_to_xml
+
+
+def make_contract(name):
+    contract = ServiceContract(name, documentation=f"{name} docs")
+    contract.add(Operation("run", (Parameter("x", "str"),), returns="str"))
+    return contract
+
+
+def site_handler(request):
+    """A tiny provider site: an index page linking two contract documents
+    and one dead link."""
+    pages = {
+        "/": (
+            "<html><body>"
+            '<a href="/svc/Weather.xml">weather</a> '
+            '<a href="/svc/Geo.xml">geo</a> '
+            '<a href="/svc/Gone.xml">gone</a> '
+            '<a href="#frag">skip</a> '
+            '<a href="mailto:ops@example">skip too</a>'
+            "</body></html>",
+            "text/html",
+        ),
+        "/svc/Weather.xml": (contract_to_xml(make_contract("Weather")), "application/xml"),
+        "/svc/Geo.xml": (contract_to_xml(make_contract("Geo")), "application/xml"),
+    }
+    hit = pages.get(request.path)
+    if hit is None:
+        return HttpResponse.error(404, "no such page")
+    body, content_type = hit
+    return HttpResponse.text_response(body, content_type=content_type)
+
+
+class TestExtractLinks:
+    def test_resolves_and_filters(self):
+        html = (
+            '<a href="/a">x</a><a href="b.html">y</a>'
+            '<a href="#f">n</a><a href="mailto:z">n</a>'
+            '<a href="javascript:void(0)">n</a><a href="/a">dup</a>'
+        )
+        links = _extract_links(html, "http://site:81/dir/index.html")
+        assert links == ["http://site:81/a", "http://site:81/dir/b.html"]
+
+
+class TestHttpFetcher:
+    @pytest.fixture
+    def server(self):
+        with HttpServer(site_handler) as srv:
+            yield srv
+
+    def test_fetch_returns_page_with_links(self, server):
+        fetcher = HttpFetcher()
+        try:
+            page = fetcher.fetch(f"{server.base_url}/")
+            assert page is not None
+            assert page.content_type == "text/html"
+            assert f"{server.base_url}/svc/Weather.xml" in page.links
+            assert page.latency > 0
+            # fragment/mailto links were filtered out
+            assert all("mailto" not in link for link in page.links)
+        finally:
+            fetcher.close()
+
+    def test_dead_links_come_back_none(self, server):
+        fetcher = HttpFetcher()
+        try:
+            assert fetcher.fetch(f"{server.base_url}/svc/Gone.xml") is None
+            assert fetcher.fetch("http://127.0.0.1:9/unreachable") is None
+            assert fetcher.fetch("ftp://example/not-http") is None
+        finally:
+            fetcher.close()
+
+    def test_crawl_live_site_harvests_contracts(self, server):
+        fetcher = HttpFetcher()
+        try:
+            crawler = ServiceCrawler(fetcher, max_pages=10)
+            report = crawler.crawl([f"{server.base_url}/"])
+            assert report.contract_names == ["Geo", "Weather"]
+            assert report.dead_links == 1  # /svc/Gone.xml 404s
+            assert report.pages_fetched == 4
+            assert report.simulated_seconds > 0
+        finally:
+            fetcher.close()
+
+    def test_clients_pooled_per_authority(self, server):
+        created = []
+
+        def factory(host, port):
+            from repro.transport import HttpClient
+
+            client = HttpClient(host, port, timeout=5, pool_size=2)
+            created.append(client)
+            return client
+
+        fetcher = HttpFetcher(client_factory=factory)
+        try:
+            fetcher.fetch(f"{server.base_url}/")
+            fetcher.fetch(f"{server.base_url}/svc/Weather.xml")
+            fetcher.fetch(f"{server.base_url}/svc/Geo.xml")
+            assert len(created) == 1  # one pooled client per host:port
+            assert created[0].created_connections == 1  # keep-alive reuse
+            assert fetcher.fetches == 3
+        finally:
+            fetcher.close()

@@ -122,8 +122,24 @@ class TestReadMessage:
         a, b = self.make_pair()
         try:
             b.sendall(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcEXTRA")
-            message = _read_message(a)
-            assert message.endswith(b"abcEXTRA")  # extra bytes buffered with msg
+            message, leftover = _read_message(a)
+            # the message is framed *exactly*; pipelined bytes come back
+            # as leftover instead of being glued to the body (seed bug)
+            assert message.endswith(b"\r\n\r\nabc")
+            assert leftover == b"EXTRA"
+        finally:
+            a.close()
+            b.close()
+
+    def test_leftover_buffer_feeds_next_message(self):
+        a, b = self.make_pair()
+        try:
+            b.sendall(b"GET /second HTTP/1.1\r\n\r\n")
+            message, leftover = _read_message(a, b"GET /first HTTP/1.1\r\n\r\n")
+            assert b"/first" in message
+            assert leftover == b""
+            message, leftover = _read_message(a)
+            assert b"/second" in message
         finally:
             a.close()
             b.close()
@@ -132,7 +148,9 @@ class TestReadMessage:
         a, b = self.make_pair()
         try:
             b.close()
-            assert _read_message(a) is None
+            message, leftover = _read_message(a)
+            assert message is None
+            assert leftover == b""
         finally:
             a.close()
 

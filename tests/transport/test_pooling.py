@@ -1,0 +1,364 @@
+"""Worker-pool server and pooled-client behaviour.
+
+Covers the tentpole contract: keep-alive edge cases (pipelining, idle
+close, ``Connection: close`` echo, oversized headers), explicit
+backpressure (503 + ``Retry-After`` at saturation), client pool
+concurrency, exhaustion, idle reaping, and stale-socket detection —
+plus the saturation instruments in ``OBS.instruments``.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.observability.exposition import render_prometheus
+from repro.observability.runtime import observed
+from repro.transport import HttpClient, HttpResponse, HttpServer
+
+
+def echo_handler(request):
+    return HttpResponse.text_response(f"{request.method} {request.path}")
+
+
+@pytest.fixture
+def server():
+    with HttpServer(echo_handler) as srv:
+        yield srv
+
+
+class WireReader:
+    """Frame successive Content-Length responses off one raw socket,
+    keeping leftover bytes so pipelined responses are not lost."""
+
+    def __init__(self, sock) -> None:
+        self.sock = sock
+        self.buffer = b""
+
+    def read_response(self) -> bytes:
+        self.sock.settimeout(5)
+        while b"\r\n\r\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                blob, self.buffer = self.buffer, b""
+                return blob
+            self.buffer += chunk
+        head, _, rest = self.buffer.partition(b"\r\n\r\n")
+        needed = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                needed = int(line.split(b":")[1])
+        while len(rest) < needed:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                break
+            rest += chunk
+        self.buffer = rest[needed:]
+        return head + b"\r\n\r\n" + rest[:needed]
+
+
+def read_one_response(sock) -> bytes:
+    """Read exactly one Content-Length framed response off ``sock``."""
+    return WireReader(sock).read_response()
+
+
+class TestKeepAliveEdges:
+    def test_pipelined_requests_in_one_segment_both_served(self, server):
+        """Two requests in one sendall: the seed concatenated the second
+        onto the first's body and dropped it; now both are answered in
+        order on the same connection."""
+        payload = (
+            b"GET /first HTTP/1.1\r\nHost: x\r\n\r\n"
+            b"GET /second HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        with socket.create_connection((server.host, server.port), timeout=5) as sock:
+            sock.sendall(payload)
+            reader = WireReader(sock)
+            first = reader.read_response()
+            second = reader.read_response()
+        assert first.endswith(b"GET /first")
+        assert second.endswith(b"GET /second")
+
+    def test_pipelined_post_bodies_not_merged(self, server):
+        """Exact Content-Length framing: the second request's bytes never
+        leak into the first request's body."""
+        payload = (
+            b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"
+            b"POST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz"
+        )
+        with socket.create_connection((server.host, server.port), timeout=5) as sock:
+            sock.sendall(payload)
+            reader = WireReader(sock)
+            first = reader.read_response()
+            second = reader.read_response()
+        assert first.endswith(b"POST /a")
+        assert second.endswith(b"POST /b")
+
+    def test_idle_keep_alive_closed_quietly(self):
+        """A parked connection idle past request_timeout is closed by the
+        reactor without any error response."""
+        with HttpServer(echo_handler, request_timeout=0.3) as srv:
+            with socket.create_connection((srv.host, srv.port), timeout=5) as sock:
+                sock.sendall(b"GET /warm HTTP/1.1\r\n\r\n")
+                assert read_one_response(sock).endswith(b"GET /warm")
+                sock.settimeout(5)
+                assert sock.recv(65536) == b""  # EOF, not a 408 diagnostic
+
+    def test_connection_close_echoed_and_honoured(self, server):
+        with socket.create_connection((server.host, server.port), timeout=5) as sock:
+            sock.sendall(b"GET /bye HTTP/1.1\r\nConnection: close\r\n\r\n")
+            blob = read_one_response(sock)
+            assert b"Connection: close" in blob
+            sock.settimeout(5)
+            assert sock.recv(65536) == b""  # server hung up after answering
+
+    def test_oversized_headers_rejected_with_431(self, server):
+        from repro.transport.http11 import MAX_HEADER_BYTES
+
+        with socket.create_connection((server.host, server.port), timeout=5) as sock:
+            sock.sendall(
+                b"GET /x HTTP/1.1\r\nX-Pad: " + b"p" * (MAX_HEADER_BYTES + 100)
+            )
+            blob = read_one_response(sock)
+        assert blob.startswith(b"HTTP/1.1 431 Request Header Fields Too Large")
+        assert b"Connection: close" in blob
+
+
+class TestBackpressure:
+    def test_saturated_pool_sheds_with_503_retry_after(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocking_handler(request):
+            started.set()
+            release.wait(10)
+            return HttpResponse.text_response("done")
+
+        with HttpServer(
+            blocking_handler,
+            workers=1,
+            queue_size=1,
+            saturation_grace=0.05,
+            retry_after=2.0,
+        ) as srv:
+            conns = []
+            try:
+                # A occupies the only worker...
+                a = socket.create_connection((srv.host, srv.port), timeout=5)
+                conns.append(a)
+                a.sendall(b"GET /a HTTP/1.1\r\n\r\n")
+                assert started.wait(5)
+                # ...B fills the ready queue...
+                b = socket.create_connection((srv.host, srv.port), timeout=5)
+                conns.append(b)
+                b.sendall(b"GET /b HTTP/1.1\r\n\r\n")
+                deadline = time.monotonic() + 5
+                while srv._ready.qsize() < 1 and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                # ...so C is shed with an honest diagnostic.
+                c = socket.create_connection((srv.host, srv.port), timeout=5)
+                conns.append(c)
+                c.sendall(b"GET /c HTTP/1.1\r\n\r\n")
+                refusal = read_one_response(c)
+                assert refusal.startswith(b"HTTP/1.1 503 ")
+                assert b"Retry-After: 2" in refusal
+                assert b"Connection: close" in refusal
+                assert srv.rejected_connections == 1
+                # releasing the worker serves A then B: shedding C never
+                # corrupted the accepted requests
+                release.set()
+                assert read_one_response(a).endswith(b"done")
+                assert read_one_response(b).endswith(b"done")
+            finally:
+                release.set()
+                for sock in conns:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+
+    def test_connection_limit_rejects_at_accept(self):
+        with HttpServer(
+            echo_handler, workers=1, max_connections=1, retry_after=0.5
+        ) as srv:
+            with socket.create_connection((srv.host, srv.port), timeout=5) as first:
+                first.sendall(b"GET /ok HTTP/1.1\r\n\r\n")
+                assert read_one_response(first).endswith(b"GET /ok")
+                with socket.create_connection(
+                    (srv.host, srv.port), timeout=5
+                ) as second:
+                    refusal = read_one_response(second)
+                    assert refusal.startswith(b"HTTP/1.1 503 ")
+                    assert b"Retry-After" in refusal
+
+    def test_parked_connections_do_not_pin_workers(self):
+        """More live keep-alive connections than workers: every client
+        still gets served, because idle connections cost a selector slot
+        rather than a worker thread."""
+        with HttpServer(echo_handler, workers=2) as srv:
+            clients = [
+                HttpClient(srv.host, srv.port, pool_size=1) for _ in range(6)
+            ]
+            try:
+                for round_number in range(3):
+                    for index, client in enumerate(clients):
+                        response = client.get(f"/r{round_number}/c{index}")
+                        assert response.status == 200
+            finally:
+                for client in clients:
+                    client.close()
+
+
+class TestClientPool:
+    def test_concurrent_callers_overlap_on_the_wire(self):
+        """Four threads through one pooled client run in parallel, not
+        serialized on a single-socket lock."""
+        def slow_handler(request):
+            time.sleep(0.15)
+            return HttpResponse.text_response("ok")
+
+        with HttpServer(slow_handler, workers=8) as srv:
+            client = HttpClient(srv.host, srv.port, pool_size=4)
+            errors = []
+
+            def call():
+                try:
+                    assert client.get("/slow").status == 200
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=call) for _ in range(4)]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            client.close()
+        assert not errors
+        # serialized on one socket this would take >= 0.6s
+        assert elapsed < 0.45, f"pool did not parallelize: {elapsed:.3f}s"
+
+    def test_sockets_are_reused_across_requests(self, server):
+        client = HttpClient(server.host, server.port, pool_size=2)
+        try:
+            for index in range(8):
+                assert client.get(f"/req{index}").status == 200
+            assert client.created_connections == 1  # sequential: one socket
+        finally:
+            client.close()
+
+    def test_pool_exhaustion_raises_after_timeout(self, server):
+        client = HttpClient(server.host, server.port, timeout=0.2, pool_size=1)
+        held = client._acquire()  # occupy the only slot
+        try:
+            with pytest.raises(OSError, match="exhausted"):
+                client.get("/starved")
+        finally:
+            client._release(held, reusable=False)
+            client.close()
+
+    def test_idle_ttl_reaps_cold_sockets(self, server):
+        client = HttpClient(
+            server.host, server.port, pool_size=2, idle_ttl=0.05
+        )
+        try:
+            assert client.get("/warm").status == 200
+            stats = client.pool_stats()
+            assert stats == {"idle": 1, "in_use": 0, "created": 1, "reaped": 0}
+            time.sleep(0.1)  # socket goes cold past the TTL
+            assert client.get("/again").status == 200
+            stats = client.pool_stats()
+            assert stats["reaped"] == 1
+            assert stats["created"] == 2
+        finally:
+            client.close()
+
+    def test_stale_peek_protects_non_idempotent_requests(self):
+        """The server closes the parked socket; the pool detects the EOF
+        *before* writing, so even a POST migrates to a fresh connection
+        without ever being replayed."""
+        with HttpServer(echo_handler, request_timeout=0.3) as srv:
+            client = HttpClient(srv.host, srv.port, pool_size=1, idle_ttl=60)
+            try:
+                assert client.get("/warm").status == 200
+                time.sleep(0.8)  # reactor closes the idle parked conn
+                response = client.post("/effect", b"once")
+                assert response.status == 200
+                assert client.reaped_connections >= 1
+                assert client.created_connections == 2
+            finally:
+                client.close()
+
+    def test_close_keeps_client_usable(self, server):
+        client = HttpClient(server.host, server.port)
+        assert client.get("/a").status == 200
+        client.close()
+        assert client.pool_stats()["idle"] == 0
+        assert client.get("/b").status == 200  # dials fresh after close
+        client.close()
+
+    def test_pool_size_validation(self):
+        with pytest.raises(ValueError):
+            HttpClient("127.0.0.1", 1, pool_size=0)
+        with pytest.raises(ValueError):
+            HttpClient("127.0.0.1", 1, idle_ttl=0)
+
+
+@pytest.mark.obs
+class TestSaturationInstruments:
+    def test_gauges_and_rejection_counter_exported(self):
+        release = threading.Event()
+
+        def blocking_handler(request):
+            release.wait(10)
+            return HttpResponse.text_response("done")
+
+        with observed() as obs:
+            with HttpServer(
+                blocking_handler,
+                workers=1,
+                queue_size=1,
+                saturation_grace=0.05,
+                retry_after=1.0,
+            ) as srv:
+                conns = []
+                try:
+                    for path in (b"/a", b"/b", b"/c"):
+                        sock = socket.create_connection(
+                            (srv.host, srv.port), timeout=5
+                        )
+                        conns.append(sock)
+                        sock.sendall(b"GET " + path + b" HTTP/1.1\r\n\r\n")
+                        time.sleep(0.2)
+                    refusal = read_one_response(conns[2])
+                    assert refusal.startswith(b"HTTP/1.1 503 ")
+                    release.set()
+                    assert read_one_response(conns[0]).endswith(b"done")
+                    assert read_one_response(conns[1]).endswith(b"done")
+                finally:
+                    release.set()
+                    for sock in conns:
+                        try:
+                            sock.close()
+                        except OSError:
+                            pass
+            text = render_prometheus(obs.registry)
+        assert "repro_transport_workers_busy" in text
+        assert "repro_transport_accept_queue_depth" in text
+        assert 'repro_transport_rejected_total{server=' in text
+
+    def test_busy_gauge_settles_back_to_zero(self, server):
+        with observed() as obs:
+            with HttpServer(echo_handler, workers=2) as srv:
+                client = HttpClient(srv.host, srv.port)
+                assert client.get("/one").status == 200
+                assert client.get("/two").status == 200
+                client.close()
+            text = render_prometheus(obs.registry)
+        for line in text.splitlines():
+            if line.startswith("repro_transport_workers_busy{"):
+                assert line.rstrip().endswith(" 0") or line.rstrip().endswith(
+                    " 0.0"
+                )
