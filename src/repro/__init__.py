@@ -22,6 +22,9 @@ resilience    policy-driven resilience middleware: deadlines, retry
               fallback, broker QoS feedback, chaos harness
 observability cross-binding telemetry: distributed tracing, a metrics
               registry, and the /metrics + /healthz exposition plane
+replication   replica sets: N-node publication behind one registration,
+              health-gated load balancing, kill/restart/drain chaos
+              handles, per-service fleet SLOs
 workflow      VPL dataflow, FSM (Fig. 2), BPEL orchestration, flowcharts
 robotics      maze world, robot simulator, Robot-as-a-Service, web
               programming environment (Figs. 1-2)
@@ -42,7 +45,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "xmlkit", "core", "transport", "parallelism", "web", "security",
-    "resilience", "observability", "workflow", "robotics", "services",
-    "directory", "curriculum", "apps", "events", "data", "semantic",
-    "cloud",
+    "resilience", "observability", "replication", "workflow", "robotics",
+    "services", "directory", "curriculum", "apps", "events", "data",
+    "semantic", "cloud",
 ]

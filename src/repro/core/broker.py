@@ -59,12 +59,15 @@ class QoSReport:
     ``fast_fails`` counts rejections that never reached the provider
     (open circuit, saturated bulkhead) — they hurt availability but are
     excluded from mean latency, which measures the provider itself.
+    ``last_seen`` is the broker-clock timestamp of the newest sample, so
+    rankings can discount reports from a replica nobody has heard from.
     """
 
     samples: int = 0
     faults: int = 0
     total_latency: float = 0.0
     fast_fails: int = 0
+    last_seen: Optional[float] = None
 
     @property
     def mean_latency(self) -> float:
@@ -75,10 +78,32 @@ class QoSReport:
     def availability(self) -> float:
         return 1.0 - self.faults / self.samples if self.samples else 1.0
 
+    def health(self, now: float, staleness_window: float) -> float:
+        """Availability decayed by report staleness, in ``[0, 1]``.
+
+        A replica that keeps reporting scores its plain availability; one
+        that went silent decays hyperbolically (``window / age``) once its
+        newest sample is older than ``staleness_window`` — so a perfect
+        history can no longer pin a dead replica at the top of the
+        preference order forever.  Unobserved endpoints score 1.0
+        (optimistic first contact, matching :attr:`availability`).
+        """
+        if self.samples == 0 or self.last_seen is None:
+            return 1.0
+        age = now - self.last_seen
+        if staleness_window <= 0 or age <= staleness_window:
+            return self.availability
+        return self.availability * (staleness_window / age)
+
 
 @dataclass
 class Registration:
-    """A published service: contract + endpoints + lease + provider id."""
+    """A published service: contract + endpoints + lease + provider id.
+
+    ``draining`` holds endpoint keys that are leaving gracefully: still
+    reachable for in-flight work, but excluded from new-call preference
+    until :meth:`ServiceBroker.undrain_endpoint` or removal.
+    """
 
     contract: ServiceContract
     endpoints: list[Endpoint] = field(default_factory=list)
@@ -86,6 +111,7 @@ class Registration:
     lease_expires: Optional[float] = None  # broker-clock timestamp
     qos: QoSReport = field(default_factory=QoSReport)
     endpoint_qos: dict[str, QoSReport] = field(default_factory=dict)
+    draining: set[str] = field(default_factory=set)
 
     @property
     def name(self) -> str:
@@ -104,11 +130,21 @@ class ServiceBroker:
     leases can pass ``time.time`` as ``clock``.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        *,
+        qos_staleness_seconds: float = 60.0,
+    ) -> None:
+        if qos_staleness_seconds < 0:
+            raise ValueError("qos_staleness_seconds must be >= 0")
         self._registrations: dict[str, Registration] = {}
         self._lock = threading.RLock()
         self._now = 0.0
         self._clock = clock
+        #: How long a QoS report stays fresh before its health decays
+        #: (0 disables decay).  See :meth:`QoSReport.health`.
+        self.qos_staleness_seconds = qos_staleness_seconds
 
     # -- time -----------------------------------------------------------
     def now(self) -> float:
@@ -182,6 +218,79 @@ class ServiceBroker:
     def add_endpoint(self, name: str, endpoint: Endpoint) -> None:
         with self._lock:
             self._get_locked(name).endpoints.append(endpoint)
+
+    # -- replica-set lifecycle -------------------------------------------
+    def drain_endpoint(self, name: str, endpoint: Endpoint | str) -> None:
+        """Mark one endpoint as leaving: kept for in-flight work, skipped
+        by :meth:`endpoints_by_preference` / :meth:`replica_health`."""
+        key = endpoint.key if isinstance(endpoint, Endpoint) else endpoint
+        with self._lock:
+            registration = self._get_locked(name)
+            if not any(e.key == key for e in registration.endpoints):
+                raise BrokerError(f"service {name!r} has no endpoint {key!r}")
+            registration.draining.add(key)
+        if OBS.enabled:
+            OBS.instruments.broker_ops.inc(op="drain", outcome="ok")
+
+    def undrain_endpoint(self, name: str, endpoint: Endpoint | str) -> None:
+        """Return a draining endpoint to full rotation."""
+        key = endpoint.key if isinstance(endpoint, Endpoint) else endpoint
+        with self._lock:
+            self._get_locked(name).draining.discard(key)
+
+    def remove_endpoint(self, name: str, endpoint: Endpoint | str) -> None:
+        """A replica leaves the set for good (its QoS history goes too).
+
+        Removing the last endpoint unpublishes the service — a
+        registration must always hold at least one endpoint.
+        """
+        key = endpoint.key if isinstance(endpoint, Endpoint) else endpoint
+        with self._lock:
+            registration = self._get_locked(name)
+            kept = [e for e in registration.endpoints if e.key != key]
+            if len(kept) == len(registration.endpoints):
+                raise BrokerError(f"service {name!r} has no endpoint {key!r}")
+            registration.endpoints[:] = kept
+            registration.draining.discard(key)
+            registration.endpoint_qos.pop(key, None)
+            if not registration.endpoints:
+                del self._registrations[name]
+        if OBS.enabled:
+            OBS.instruments.broker_ops.inc(op="leave", outcome="ok")
+
+    def replica_health(
+        self, name: str, *, binding: Optional[str] = None
+    ) -> list[tuple[Endpoint, float]]:
+        """Live replicas of ``name`` with staleness-decayed health scores.
+
+        Draining endpoints are excluded (unless *every* endpoint is
+        draining — a degraded answer beats none); order is publication
+        order, so balancers can index replicas stably.
+        """
+        with self._lock:
+            registration = self._get_locked(name)
+            now = self.now()
+            pool = [
+                e
+                for e in registration.endpoints
+                if e.key not in registration.draining
+                and (binding is None or e.binding == binding)
+            ]
+            if not pool:
+                pool = [
+                    e
+                    for e in registration.endpoints
+                    if binding is None or e.binding == binding
+                ]
+            return [
+                (
+                    e,
+                    registration.qos_for(e).health(
+                        now, self.qos_staleness_seconds
+                    ),
+                )
+                for e in pool
+            ]
 
     # -- discovery --------------------------------------------------------
     def _get_locked(self, name: str) -> Registration:
@@ -275,8 +384,10 @@ class ServiceBroker:
             registration = self._registrations.get(name)
             if registration is None:
                 return  # provider vanished; nothing to attribute
+            stamp = self.now()
             for report in self._reports_for_locked(registration, endpoint):
                 report.samples += 1
+                report.last_seen = stamp
                 if fast_fail:
                     report.fast_fails += 1
                 else:
@@ -298,20 +409,31 @@ class ServiceBroker:
         return reports
 
     def endpoints_by_preference(self, name: str) -> list[Endpoint]:
-        """All endpoints of ``name``, healthiest first.
+        """All live endpoints of ``name``, healthiest first.
 
-        Ranking is per-endpoint availability (descending) then mean
-        latency (ascending); endpoints with no observations rank as
-        perfectly healthy (optimistic first contact).  This is what the
+        Ranking is per-endpoint health — availability decayed by report
+        staleness (see :meth:`QoSReport.health`) — descending, then mean
+        latency ascending; endpoints with no observations rank as
+        perfectly healthy (optimistic first contact).  Draining endpoints
+        are excluded unless every endpoint is draining.  This is what the
         resilient proxy uses to prefer healthy bindings and fail over.
         """
         with self._lock:
             registration = self._get_locked(name)
-            endpoints = list(registration.endpoints)
+            now = self.now()
+            endpoints = [
+                e
+                for e in registration.endpoints
+                if e.key not in registration.draining
+            ]
+            if not endpoints:
+                endpoints = list(registration.endpoints)
             ranked = sorted(
                 range(len(endpoints)),
                 key=lambda i: (
-                    -registration.qos_for(endpoints[i]).availability,
+                    -registration.qos_for(endpoints[i]).health(
+                        now, self.qos_staleness_seconds
+                    ),
                     registration.qos_for(endpoints[i]).mean_latency,
                     i,  # stable: publication order breaks ties
                 ),

@@ -275,6 +275,26 @@ class Instruments:
             "SLO alert state transitions, by objective and state.",
             ("objective", "state"),
         )
+        self.replica_calls = registry.counter(
+            "repro_replica_calls_total",
+            "Replica-balanced calls, by service and outcome.",
+            ("service", "outcome"),
+        )
+        self.replica_events = registry.counter(
+            "repro_replica_events_total",
+            "Replica lifecycle events (eject/probe/readmit/cooldown/drain).",
+            ("service", "event"),
+        )
+        self.replica_hedges = registry.counter(
+            "repro_replica_hedges_total",
+            "Hedged replica calls, by service and winning leg.",
+            ("service", "result"),
+        )
+        self.replica_live = registry.gauge(
+            "repro_replica_live",
+            "Replicas currently selectable (not ejected or cooling).",
+            ("service",),
+        )
 
 
 class Observability:

@@ -1,0 +1,39 @@
+"""Replica sets: N-node publication, health-gated balancing, fleet SLOs.
+
+The horizontal scale-out layer of the curriculum's SOA stack.  The
+broker already maps one service name to many endpoints with per-replica
+QoS (:mod:`repro.core.broker`); the balancer spreads calls across live
+replicas with ejection, cooldown and hedging
+(:mod:`repro.resilience.replica`).  This package adds the provider and
+operator halves:
+
+* :func:`publish_replicated` — stand up N real
+  :class:`~repro.transport.httpserver.HttpServer` nodes for one service
+  behind a single broker registration, each with its own ``/metrics``;
+* :class:`ReplicaSet` / :class:`ReplicaNode` — kill, restart, drain and
+  leave — the handles the chaos drills drive;
+* :func:`replica_objectives` / :func:`watch_replica_set` — per-service
+  fleet SLOs evaluated by a
+  :class:`~repro.services.monitor.FleetMonitor`, so killing one replica
+  under load keeps the service alert resolved while the dashboards still
+  show which node died.
+"""
+
+from .publish import (
+    NODE_REQUESTS_FAMILY,
+    NODE_SECONDS_FAMILY,
+    ReplicaNode,
+    ReplicaSet,
+    publish_replicated,
+)
+from .fleet import replica_objectives, watch_replica_set
+
+__all__ = [
+    "NODE_REQUESTS_FAMILY",
+    "NODE_SECONDS_FAMILY",
+    "ReplicaNode",
+    "ReplicaSet",
+    "publish_replicated",
+    "replica_objectives",
+    "watch_replica_set",
+]

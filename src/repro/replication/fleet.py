@@ -1,0 +1,91 @@
+"""Fleet SLOs for replica sets: objectives per *service*, not per node.
+
+A per-node alert is the wrong pager for a replicated service — one
+replica dying is routine; the question is whether the *set* kept its
+promises.  :func:`replica_objectives` builds availability + latency
+objectives over the per-node request families every
+:func:`~repro.replication.publish.publish_replicated` node exports, and
+:func:`watch_replica_set` wires a set into a
+:class:`~repro.services.monitor.FleetMonitor` so those objectives are
+evaluated over the merged replicas each tick — alerts fire only when the
+fleet as a whole burns budget, exactly the kill-a-replica drill's
+"SLO stays green" criterion.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable, Optional
+
+from ..observability.slo import DEFAULT_RULES, BurnRateRule, SloEngine, SloObjective
+from .publish import NODE_REQUESTS_FAMILY, NODE_SECONDS_FAMILY, ReplicaSet
+
+__all__ = ["replica_objectives", "watch_replica_set"]
+
+
+def replica_objectives(
+    service: str,
+    *,
+    availability: float = 0.99,
+    latency_target: float = 0.95,
+    latency_bound: float = 0.25,
+) -> list[SloObjective]:
+    """Availability + latency objectives spanning one service's replicas.
+
+    Both objectives pin the ``service`` label and sum over everything
+    else — including the ``node`` label the monitor adds while merging —
+    so a killed replica whose peers absorb its traffic never shows up as
+    an SLO miss.
+    """
+    return [
+        SloObjective(
+            name=f"{service}-availability",
+            family=NODE_REQUESTS_FAMILY,
+            objective=availability,
+            kind="availability",
+            labels={"service": service},
+            description=f"{availability:.2%} of {service} calls succeed, fleet-wide",
+        ),
+        SloObjective(
+            name=f"{service}-latency",
+            family=NODE_SECONDS_FAMILY,
+            objective=latency_target,
+            kind="latency",
+            latency_bound=latency_bound,
+            labels={"service": service},
+            description=(
+                f"{latency_target:.0%} of {service} calls finish within "
+                f"{latency_bound * 1e3:.0f}ms, fleet-wide"
+            ),
+        ),
+    ]
+
+
+def watch_replica_set(
+    monitor: Any,
+    replica_set: ReplicaSet,
+    *,
+    objectives: Optional[Iterable[SloObjective]] = None,
+    rules: Iterable[BurnRateRule] = DEFAULT_RULES,
+    bus: Optional[Any] = None,
+    clock: Callable[[], float] = time.time,
+) -> SloEngine:
+    """Put a replica set under fleet-SLO watch; returns its engine.
+
+    Adds every node as a scrape target of ``monitor`` and registers a
+    per-service :class:`SloEngine` (defaulting to
+    :func:`replica_objectives`) via
+    :meth:`~repro.services.monitor.FleetMonitor.watch_service`.  Alert
+    transitions then carry a ``service`` field in the monitor's
+    ``/alerts`` view and on the event bus.
+    """
+    engine = SloEngine(
+        list(objectives)
+        if objectives is not None
+        else replica_objectives(replica_set.service_name),
+        rules=rules,
+        bus=bus,
+        clock=clock,
+    )
+    replica_set.watch(monitor, engine)
+    return engine

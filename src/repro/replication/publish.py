@@ -1,0 +1,326 @@
+"""Stand up N HttpServer replicas of one service behind one registration.
+
+:func:`publish_replicated` is the provider-side half of horizontal
+scale-out: it builds ``replicas`` independent nodes — each with its own
+service instance, its own :class:`~repro.transport.httpserver.HttpServer`
+(real sockets, worker pool, load shedding) and its own per-node
+:class:`~repro.observability.metrics.MetricsRegistry` served at
+``/metrics`` — and publishes **one** broker registration whose endpoint
+list covers every node.  Client-side, a
+:class:`~repro.resilience.replica.ReplicaBalancer` then spreads calls
+across the set.
+
+The returned :class:`ReplicaSet` is the chaos-drill handle:
+:meth:`~ReplicaSet.kill` hard-stops a node's server *without telling the
+broker* (a silent crash — detection is the balancer's and monitor's
+job), :meth:`~ReplicaSet.restart` brings it back on the same port,
+:meth:`~ReplicaSet.drain`/:meth:`~ReplicaSet.leave` are the graceful
+exits, and :meth:`~ReplicaSet.watch` registers every node with a
+:class:`~repro.services.monitor.FleetMonitor` under a per-service SLO.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from ..core.broker import Endpoint, ServiceBroker
+from ..core.faults import ServiceFault
+from ..core.service import Service, ServiceHost
+from ..observability.exposition import observability_routes
+from ..observability.metrics import LATENCY_BUCKETS, MetricsRegistry
+from ..observability.slo import SloEngine
+from ..transport.httpserver import HttpServer
+from ..transport.rest import RestEndpoint
+from ..transport.soap import SoapEndpoint
+from ..web.app import compose_handlers
+
+__all__ = [
+    "NODE_REQUESTS_FAMILY",
+    "NODE_SECONDS_FAMILY",
+    "ReplicaNode",
+    "ReplicaSet",
+    "publish_replicated",
+]
+
+#: Per-node request counter family (``service``, ``outcome`` labels);
+#: the fleet monitor's per-service availability objective reads it.
+NODE_REQUESTS_FAMILY = "repro_replica_node_requests_total"
+#: Per-node request latency histogram family (``service`` label).
+NODE_SECONDS_FAMILY = "repro_replica_node_request_seconds"
+
+
+class ReplicaNode:
+    """One replica: service instance + HTTP server + private registry.
+
+    The node records every served request into its own registry (the
+    :data:`NODE_REQUESTS_FAMILY` counter and :data:`NODE_SECONDS_FAMILY`
+    histogram), so a scrape of this node's ``/metrics`` describes *this
+    replica only* — the fleet monitor merges the set back together under
+    ``node`` labels.
+    """
+
+    def __init__(
+        self,
+        service_name: str,
+        index: int,
+        *,
+        handler: Callable[[Any], Any],
+        registry: MetricsRegistry,
+        host: str,
+        workers: int,
+        request_timeout: float,
+    ) -> None:
+        self.service_name = service_name
+        self.index = index
+        self.name = f"{service_name.lower()}-{index}"
+        self.registry = registry
+        self._handler = handler
+        self._host = host
+        self._workers = workers
+        self._request_timeout = request_timeout
+        self._requests = registry.counter(
+            NODE_REQUESTS_FAMILY,
+            "Requests served by this replica, by service and outcome.",
+            ("service", "outcome"),
+        )
+        self._seconds = registry.histogram(
+            NODE_SECONDS_FAMILY,
+            "Request latency on this replica.",
+            ("service",),
+            buckets=LATENCY_BUCKETS,
+        )
+        self._lock = threading.Lock()
+        self._alive = False
+        self.server = self._start(port=0)
+        self.endpoints: dict[str, Endpoint] = {}
+
+    def _observe(self, method: str, target: str, status: int, duration: float) -> None:
+        outcome = "ok" if status < 500 else "error"
+        self._requests.inc(service=self.service_name, outcome=outcome)
+        self._seconds.observe(duration, service=self.service_name)
+
+    def _start(self, port: int) -> HttpServer:
+        server = HttpServer(
+            self._handler,
+            self._host,
+            port,
+            on_request=self._observe,
+            workers=self._workers,
+            request_timeout=self._request_timeout,
+        )
+        server.start()
+        self._alive = True
+        return server
+
+    @property
+    def alive(self) -> bool:
+        """Whether this node's server is accepting connections."""
+        with self._lock:
+            return self._alive
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def kill(self) -> None:
+        """Hard-stop the server — a crash, not a drain.
+
+        The broker is *not* told: registration, endpoints and QoS history
+        stay put, exactly like a process death.  Detecting and routing
+        around the corpse is the balancer's job.
+        """
+        with self._lock:
+            if not self._alive:
+                return
+            self._alive = False
+            self.server.stop()
+
+    def restart(self) -> None:
+        """Bring a killed node back on the same host:port.
+
+        The original server object cannot be revived (its listener is
+        closed); a fresh :class:`HttpServer` rebinds the same port via
+        ``SO_REUSEADDR``, so the published endpoint addresses stay valid.
+        """
+        with self._lock:
+            if self._alive:
+                return
+            self.server = self._start(port=self.server.port)
+
+
+class ReplicaSet:
+    """The handle over a replicated publication: nodes + broker wiring."""
+
+    def __init__(
+        self, service_name: str, broker: ServiceBroker, nodes: list[ReplicaNode]
+    ) -> None:
+        self.service_name = service_name
+        self.broker = broker
+        self.nodes = nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> ReplicaNode:
+        return self.nodes[index]
+
+    def endpoints(self) -> list[Endpoint]:
+        """Every endpoint of every node, publication order."""
+        return [
+            endpoint
+            for node in self.nodes
+            for endpoint in node.endpoints.values()
+        ]
+
+    # -- chaos / lifecycle -----------------------------------------------
+    def kill(self, index: int) -> ReplicaNode:
+        """Hard-kill one node (broker not informed); returns it."""
+        node = self.nodes[index]
+        node.kill()
+        return node
+
+    def restart(self, index: int) -> ReplicaNode:
+        """Restart a killed node on its original port; returns it."""
+        node = self.nodes[index]
+        node.restart()
+        return node
+
+    def drain(self, index: int) -> None:
+        """Gracefully remove one node from new-call rotation."""
+        for endpoint in self.nodes[index].endpoints.values():
+            self.broker.drain_endpoint(self.service_name, endpoint)
+
+    def undrain(self, index: int) -> None:
+        """Return a drained node to rotation."""
+        for endpoint in self.nodes[index].endpoints.values():
+            self.broker.undrain_endpoint(self.service_name, endpoint)
+
+    def leave(self, index: int) -> None:
+        """A node leaves for good: endpoints removed, server stopped."""
+        node = self.nodes[index]
+        for endpoint in node.endpoints.values():
+            self.broker.remove_endpoint(self.service_name, endpoint)
+        node.endpoints.clear()
+        node.kill()
+
+    def close(self) -> None:
+        """Stop every node's server (broker registration left behind)."""
+        for node in self.nodes:
+            node.kill()
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- monitoring ------------------------------------------------------
+    def watch(self, monitor: Any, engine: SloEngine) -> list[str]:
+        """Register every node as a scrape target of ``monitor`` and
+        evaluate ``engine`` over the merged set (per-service SLOs).
+
+        Returns the target names used (``<service>-<index>``) so callers
+        can correlate monitor output with nodes.
+        """
+        names = []
+        for node in self.nodes:
+            monitor.add_target(node.name, node.base_url)
+            names.append(node.name)
+        monitor.watch_service(self.service_name, names, engine)
+        return names
+
+
+def publish_replicated(
+    service_factory: Callable[[], Service],
+    broker: ServiceBroker,
+    replicas: int = 3,
+    *,
+    bindings: Sequence[str] = ("rest",),
+    provider: str = "replicated.local",
+    lease_seconds: Optional[float] = None,
+    host: str = "127.0.0.1",
+    workers: int = 4,
+    request_timeout: float = 10.0,
+) -> ReplicaSet:
+    """Publish ``replicas`` HTTP nodes of one service as one replica set.
+
+    Each node runs its *own* instance from ``service_factory`` (no shared
+    state unless the factory shares it deliberately), mounts the
+    requested ``bindings`` (``"rest"`` and/or ``"soap"``) plus the
+    ``/metrics`` + ``/healthz`` observability plane, and starts serving
+    immediately.  The broker receives one registration for the service
+    whose endpoint list holds every node's binding endpoints — which is
+    precisely the shape :class:`~repro.resilience.replica.ReplicaBalancer`
+    balances over.
+    """
+    if replicas < 1:
+        raise ServiceFault(
+            "a replica set needs at least one replica", code="Client.BadInput"
+        )
+    unknown = [b for b in bindings if b not in ("rest", "soap")]
+    if unknown:
+        raise ServiceFault(
+            f"replicated publication supports rest/soap, not {unknown!r}",
+            code="Client.BadInput",
+        )
+    if not bindings:
+        raise ServiceFault(
+            "need at least one binding", code="Client.BadInput"
+        )
+
+    nodes: list[ReplicaNode] = []
+    service_name: Optional[str] = None
+    contract = None
+    try:
+        for index in range(replicas):
+            service = service_factory()
+            contract = service.contract()
+            if service_name is None:
+                service_name = contract.name
+            elif contract.name != service_name:
+                raise ServiceFault(
+                    "service_factory produced differing contracts: "
+                    f"{service_name!r} vs {contract.name!r}",
+                    code="Client.BadInput",
+                )
+            registry = MetricsRegistry()
+            routes: dict[str, Callable[[Any], Any]] = {}
+            mounted: dict[str, str] = {}
+            if "soap" in bindings:
+                soap = SoapEndpoint()
+                mounted["soap"] = soap.mount(ServiceHost(service))
+                routes[soap.prefix] = soap
+            if "rest" in bindings:
+                rest = RestEndpoint()
+                mounted["rest"] = rest.mount(ServiceHost(service))
+                routes[rest.prefix] = rest
+            routes.update(observability_routes(registry=registry))
+            node = ReplicaNode(
+                service_name,
+                index,
+                handler=compose_handlers(routes),
+                registry=registry,
+                host=host,
+                workers=workers,
+                request_timeout=request_timeout,
+            )
+            node.endpoints = {
+                binding: Endpoint(binding, node.base_url + path)
+                for binding, path in mounted.items()
+            }
+            nodes.append(node)
+    except Exception:
+        for node in nodes:
+            node.kill()
+        raise
+
+    assert service_name is not None and contract is not None
+    replica_set = ReplicaSet(service_name, broker, nodes)
+    broker.publish(
+        contract,
+        replica_set.endpoints(),
+        provider=provider,
+        lease_seconds=lease_seconds,
+    )
+    return replica_set

@@ -39,9 +39,17 @@ from .middleware import (
 from .binding import (
     FAILOVER_FAULTS,
     FailoverInvoker,
+    PooledHttpClients,
     broker_reporter,
+    failover_call,
     invoker_for_endpoint,
     resilient_proxy_from_broker,
+)
+from .replica import (
+    EjectionPolicy,
+    HedgePolicy,
+    ReplicaBalancer,
+    replica_proxy_from_broker,
 )
 from .quarantine import Quarantine
 from .chaos import ChaosEvent, ChaosPlan, ManualClock
@@ -52,8 +60,11 @@ __all__ = [
     "EndpointBreaker", "CircuitBreakerRegistry",
     "Invocation", "Observation", "Handler", "Middleware", "Reporter",
     "ResilientInvoker", "build_chain",
-    "broker_reporter", "invoker_for_endpoint", "FailoverInvoker",
+    "broker_reporter", "invoker_for_endpoint", "failover_call",
+    "PooledHttpClients", "FailoverInvoker",
     "resilient_proxy_from_broker", "FAILOVER_FAULTS",
+    "EjectionPolicy", "HedgePolicy", "ReplicaBalancer",
+    "replica_proxy_from_broker",
     "Quarantine",
     "ManualClock", "ChaosEvent", "ChaosPlan",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 import threading
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ..core.broker import Endpoint, ServiceBroker
 from ..core.bus import ServiceBus
@@ -38,6 +38,8 @@ from .policy import ResiliencePolicy, RetryBudget
 __all__ = [
     "broker_reporter",
     "invoker_for_endpoint",
+    "failover_call",
+    "PooledHttpClients",
     "FailoverInvoker",
     "resilient_proxy_from_broker",
     "FAILOVER_FAULTS",
@@ -56,6 +58,77 @@ FAILOVER_FAULTS: tuple[type[Exception], ...] = (
     TransportError,
     OSError,
 )
+
+
+def failover_call(
+    attempts: "Iterable[Callable[[], Any]]",
+    *,
+    failover_on: tuple[type[Exception], ...] = FAILOVER_FAULTS,
+    exhausted: Optional[Callable[[], Exception]] = None,
+) -> Any:
+    """Try zero-argument ``attempts`` in order; first success wins.
+
+    This is the one failover semantics shared by
+    :class:`FailoverInvoker`, the replica balancer and the legacy
+    :class:`~repro.security.reliability.ReplicatedInvoker` shim: failures
+    in ``failover_on`` move on to the next attempt, anything else
+    propagates immediately (another replica of the same contract would
+    fail identically), and when every attempt failed the *last* failure
+    is re-raised.  ``exhausted`` supplies the exception for an empty
+    attempt sequence.
+    """
+    last: Optional[Exception] = None
+    for attempt in attempts:
+        try:
+            return attempt()
+        except failover_on as exc:
+            last = exc
+    if last is None:
+        if exhausted is not None:
+            raise exhausted()
+        raise ServiceUnavailable("no attempts to fail over across")
+    raise last
+
+
+class PooledHttpClients:
+    """One pooled :class:`HttpClient` per ``host:port`` authority.
+
+    SOAP and REST endpoints of the same provider usually live behind one
+    authority; sharing the pooled client means their keep-alive sockets
+    are pooled *together*, and concurrent calls overlap on the wire
+    instead of each binding dialing (and locking) its own single socket.
+    Used as the ``http_factory`` of broker-guided invokers.
+    """
+
+    def __init__(self, factory: Optional[HttpFactory] = None) -> None:
+        self._factory = factory
+        self._clients: dict[tuple[str, int], Any] = {}
+        self._lock = threading.Lock()
+
+    def __call__(self, host: str, port: int) -> Any:
+        key = (host, port)
+        with self._lock:
+            client = self._clients.get(key)
+            if client is None:
+                if self._factory is not None:
+                    client = self._factory(host, port)
+                else:
+                    from ..transport.httpserver import HttpClient  # lazy: layering
+
+                    client = HttpClient(host, port)
+                self._clients[key] = client
+            return client
+
+    def close(self) -> None:
+        """Close every pooled HTTP client dialed so far."""
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
 
 
 def broker_reporter(broker: ServiceBroker, service_name: str) -> Reporter:
@@ -174,44 +247,16 @@ class FailoverInvoker:
         )
         self._reporter = broker_reporter(broker, service_name)
         self._invokers: dict[str, ResilientInvoker] = {}
-        self._http_clients: dict[tuple[str, int], Any] = {}
-        self._http_lock = threading.Lock()
+        self._shared_http_client = PooledHttpClients()
 
     @property
     def breakers(self) -> Optional[CircuitBreakerRegistry]:
         """The shared per-endpoint breaker registry (None when disabled)."""
         return self._breakers
 
-    def _shared_http_client(self, host: str, port: int) -> Any:
-        """One pooled :class:`HttpClient` per authority, shared by every
-        endpoint invoker of this service.
-
-        SOAP and REST endpoints of the same provider usually live behind
-        one ``host:port``; sharing the pooled client means their
-        keep-alive sockets are pooled *together*, and concurrent calls
-        through this invoker overlap on the wire instead of each binding
-        dialing (and locking) its own single socket.
-        """
-        key = (host, port)
-        with self._http_lock:
-            client = self._http_clients.get(key)
-            if client is None:
-                from ..transport.httpserver import HttpClient  # lazy: layering
-
-                client = HttpClient(host, port)
-                self._http_clients[key] = client
-            return client
-
     def close(self) -> None:
         """Close every pooled HTTP client this invoker dialed."""
-        with self._http_lock:
-            clients = list(self._http_clients.values())
-            self._http_clients.clear()
-        for client in clients:
-            try:
-                client.close()
-            except OSError:  # pragma: no cover - peer already gone
-                pass
+        self._shared_http_client.close()
 
     def _invoker_for(self, endpoint: Endpoint, contract: ServiceContract) -> ResilientInvoker:
         invoker = self._invokers.get(endpoint.key)
@@ -240,19 +285,18 @@ class FailoverInvoker:
     def __call__(self, operation: str, arguments: dict[str, Any]) -> Any:
         registration = self.broker.lookup(self.service_name)
         endpoints = self.broker.endpoints_by_preference(self.service_name)
-        last: Optional[Exception] = None
-        for endpoint in endpoints:
+
+        def attempt(endpoint: Endpoint) -> Callable[[], Any]:
             invoker = self._invoker_for(endpoint, registration.contract)
-            try:
-                return invoker(operation, arguments)
-            except self._failover_on as exc:
-                last = exc
-                continue
-        if last is None:
-            raise ServiceUnavailable(
+            return lambda: invoker(operation, arguments)
+
+        return failover_call(
+            (attempt(endpoint) for endpoint in endpoints),
+            failover_on=self._failover_on,
+            exhausted=lambda: ServiceUnavailable(
                 f"service {self.service_name!r} has no endpoints"
-            )
-        raise last
+            ),
+        )
 
 
 def resilient_proxy_from_broker(

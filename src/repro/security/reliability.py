@@ -20,7 +20,10 @@ import threading
 import time
 from typing import Any, Callable, Optional, Sequence
 
-from ..core.faults import ServiceFault, ServiceUnavailable, TimeoutFault
+from ..core.faults import ServiceFault, TimeoutFault
+from ..resilience.binding import failover_call
+from ..resilience.breaker import EndpointBreaker
+from ..resilience.policy import CircuitPolicy
 
 __all__ = [
     "with_retry",
@@ -123,17 +126,29 @@ def with_timeout(fn: Invokable, *, seconds: float) -> Invokable:
 class CircuitBreaker:
     """The closed → open → half-open availability automaton.
 
+    .. deprecated::
+        This is now a thin shim over
+        :class:`repro.resilience.breaker.EndpointBreaker` — there is one
+        breaker automaton in the codebase, and it lives in
+        :mod:`repro.resilience`.  New code should use an
+        :class:`~repro.resilience.breaker.CircuitBreakerRegistry` (or a
+        :class:`~repro.resilience.policy.ResiliencePolicy`) directly;
+        this wrapper remains for the CSE445 Unit 6 exercises.
+
     * closed: calls pass; ``failure_threshold`` consecutive failures trip it
     * open: calls fail fast with :class:`ServiceUnavailable` until
       ``recovery_seconds`` of the supplied clock elapse
     * half-open: exactly **one** probe call at a time — concurrent callers
-      observing half-open fail fast with :class:`ServiceUnavailable`
-      instead of stampeding the recovering provider; the probe's success
-      closes the circuit, its failure re-opens it
+      observing half-open fail fast instead of stampeding the recovering
+      provider; the probe's success closes the circuit, its failure
+      re-opens it
 
     Fast-fail :class:`ServiceUnavailable` exceptions carry a
     ``retry_after`` hint (remaining recovery time) that
-    :func:`with_retry` honors.
+    :func:`with_retry` honors.  Pass ``breaker`` (e.g. from a registry's
+    :meth:`~repro.resilience.breaker.CircuitBreakerRegistry.breaker_for`)
+    to share trip/recovery state with the resilience middleware guarding
+    the same endpoint.
     """
 
     def __init__(
@@ -143,72 +158,57 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         recovery_seconds: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        breaker: Optional[EndpointBreaker] = None,
     ) -> None:
-        if failure_threshold < 1:
-            raise ValueError("failure_threshold must be >= 1")
         self.fn = fn
-        self.failure_threshold = failure_threshold
-        self.recovery_seconds = recovery_seconds
-        self.clock = clock
-        self._state = "closed"
-        self._consecutive_failures = 0
-        self._opened_at = 0.0
-        self._probe_in_flight = False
-        self._lock = threading.Lock()
+        if breaker is None:
+            breaker = EndpointBreaker(
+                CircuitPolicy(
+                    failure_threshold=failure_threshold,
+                    recovery_seconds=recovery_seconds,
+                ),
+                clock=clock,
+                endpoint=getattr(fn, "__name__", "fn"),
+            )
+        self.breaker = breaker
+
+    @property
+    def failure_threshold(self) -> int:
+        return self.breaker.policy.failure_threshold
+
+    @property
+    def recovery_seconds(self) -> float:
+        return self.breaker.policy.recovery_seconds
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self.breaker.clock
 
     @property
     def state(self) -> str:
-        with self._lock:
-            self._maybe_half_open_locked()
-            return self._state
-
-    def _maybe_half_open_locked(self) -> None:
-        if (
-            self._state == "open"
-            and self.clock() - self._opened_at >= self.recovery_seconds
-        ):
-            self._state = "half-open"
+        return self.breaker.state
 
     def __call__(self, **kwargs: Any) -> Any:
-        with self._lock:
-            self._maybe_half_open_locked()
-            if self._state == "open":
-                remaining = self.recovery_seconds - (self.clock() - self._opened_at)
-                raise ServiceUnavailable(
-                    f"circuit open; retry after {self.recovery_seconds}s",
-                    retry_after=max(remaining, 0.0),
-                )
-            probing = False
-            if self._state == "half-open":
-                if self._probe_in_flight:
-                    # exactly one probe: everyone else sheds load fast
-                    raise ServiceUnavailable(
-                        "circuit half-open; probe already in flight",
-                        retry_after=self.recovery_seconds,
-                    )
-                self._probe_in_flight = True
-                probing = True
+        probing = self.breaker.before_call()
         try:
             result = self.fn(**kwargs)
         except Exception:
-            with self._lock:
-                if probing:
-                    self._probe_in_flight = False
-                self._consecutive_failures += 1
-                if probing or self._consecutive_failures >= self.failure_threshold:
-                    self._state = "open"
-                    self._opened_at = self.clock()
+            self.breaker.on_failure(probing)
             raise
-        with self._lock:
-            if probing:
-                self._probe_in_flight = False
-            self._consecutive_failures = 0
-            self._state = "closed"
+        self.breaker.on_success(probing)
         return result
 
 
 class ReplicatedInvoker:
     """Failover across equivalent providers (active/standby replication).
+
+    .. deprecated::
+        This is the pedagogical wrapper; ordering aside, the failover
+        semantics are :func:`repro.resilience.binding.failover_call`,
+        shared with :class:`~repro.resilience.binding.FailoverInvoker`
+        and :class:`~repro.resilience.replica.ReplicaBalancer` — which
+        add broker health, ejection and hedging.  New code should
+        balance through the broker (:mod:`repro.replication`).
 
     Tries replicas in preference order; first success wins.  With
     ``sticky=True`` the last successful replica is tried first next time
@@ -253,20 +253,23 @@ class ReplicatedInvoker:
         return ranked
 
     def __call__(self, **kwargs: Any) -> Any:
-        order = self._call_order()
-        last: Optional[Exception] = None
-        for index in order:
-            try:
+        def attempt(index: int) -> Invokable:
+            def call() -> Any:
                 result = self._replicas[index](**kwargs)
-            except Exception as exc:  # noqa: BLE001 - failover semantics
-                last = exc
-                continue
-            if self.sticky:
-                with self._lock:
-                    self._preferred = index
-            return result
-        assert last is not None
-        raise last
+                if self.sticky:
+                    with self._lock:
+                        self._preferred = index
+                return result
+
+            return call
+
+        # Legacy semantics fail over on *any* exception (the course
+        # exercises inject plain ServiceFaults); the shared helper keeps
+        # the try-next/raise-last discipline identical to the new stack.
+        return failover_call(
+            (attempt(index) for index in self._call_order()),
+            failover_on=(Exception,),
+        )
 
     @property
     def preferred_replica(self) -> int:

@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ..core.broker import Endpoint, ServiceBroker
 from ..core.bus import ServiceBus
@@ -202,6 +202,7 @@ class FleetMonitor:
         self._clients: dict[str, Any] = {}
         self._lock = threading.RLock()
         self._fleet: list[MetricFamily] = []
+        self._services: dict[str, tuple[tuple[str, ...], SloEngine]] = {}
         self.ticks = 0
 
     # -- target management ----------------------------------------------
@@ -232,6 +233,48 @@ class FleetMonitor:
     def targets(self) -> list[dict[str, Any]]:
         with self._lock:
             return [t.status() for t in self._targets.values()]
+
+    # -- replica-set watches ---------------------------------------------
+    def watch_service(
+        self, service: str, nodes: Iterable[str], engine: SloEngine
+    ) -> None:
+        """Evaluate SLOs for one *service's replica set*, not per node.
+
+        ``nodes`` names already-added scrape targets (the replicas of
+        ``service``); each :meth:`tick` merges just those nodes' families
+        and runs ``engine`` over the merged view — so the objective spans
+        the whole set (a killed replica whose peers absorb the load keeps
+        the service SLO green), and its alerts surface in
+        :meth:`alerts` / ``/alerts`` tagged with the service name.
+        """
+        with self._lock:
+            self._services[service] = (tuple(nodes), engine)
+
+    def unwatch_service(self, service: str) -> bool:
+        """Stop evaluating a replica set; returns whether it was watched."""
+        with self._lock:
+            return self._services.pop(service, None) is not None
+
+    def watched_services(self) -> list[str]:
+        """Names of replica sets under per-service SLO evaluation."""
+        with self._lock:
+            return sorted(self._services)
+
+    def service_families(self, service: str) -> list[MetricFamily]:
+        """Merged families of one watched service's (up) replicas."""
+        with self._lock:
+            watch = self._services.get(service)
+            if watch is None:
+                return []
+            nodes, _engine = watch
+            per_node = {
+                name: self._targets[name].families
+                for name in nodes
+                if name in self._targets
+                and self._targets[name].up
+                and self._targets[name].families
+            }
+        return merge_families(per_node)
 
     def close(self) -> None:
         with self._lock:
@@ -337,21 +380,46 @@ class FleetMonitor:
         """
         families = self.scrape_all()
         self.ticks += 1
-        if self.engine is None:
-            return []
         kwargs: dict[str, Any] = {}
         if now is not None:
             kwargs["now"] = now
-        return self.engine.evaluate(families, **kwargs)
+        transitions: list[dict[str, Any]] = []
+        if self.engine is not None:
+            transitions.extend(self.engine.evaluate(families, **kwargs))
+        with self._lock:
+            watches = list(self._services.items())
+        for service, (_nodes, engine) in watches:
+            for transition in engine.evaluate(
+                self.service_families(service), **kwargs
+            ):
+                transitions.append({**transition, "service": service})
+        return transitions
 
     # -- reporting -------------------------------------------------------
     def alerts(self) -> list[dict[str, Any]]:
-        return self.engine.alerts() if self.engine is not None else []
+        snapshots = self.engine.alerts() if self.engine is not None else []
+        with self._lock:
+            watches = sorted(self._services.items())
+        for service, (_nodes, engine) in watches:
+            snapshots.extend(
+                {**snapshot, "service": service} for snapshot in engine.alerts()
+            )
+        return snapshots
 
     def slo_report(self) -> list[dict[str, Any]]:
-        if self.engine is None:
-            return []
-        return self.engine.objective_status(self.fleet_families())
+        report = (
+            self.engine.objective_status(self.fleet_families())
+            if self.engine is not None
+            else []
+        )
+        with self._lock:
+            watches = sorted(self._services.items())
+        for service, (_nodes, engine) in watches:
+            report.extend(
+                {**row, "service": service}
+                for row in engine.objective_status(self.service_families(service))
+            )
+        return report
 
     def dashboard(self) -> str:
         """A text dashboard: targets, objectives, alerts — human-first."""
@@ -370,10 +438,11 @@ class FleetMonitor:
             lines.append("objectives:")
             for row in report:
                 verdict = "OK  " if row["compliant"] else "MISS"
+                scope = f" service={row['service']}" if "service" in row else ""
                 lines.append(
                     f"  [{verdict}] {row['objective']:<24} "
                     f"target={row['target']:.4f} attained={row['attained']:.4f} "
-                    f"({row['good']:.0f}/{row['total']:.0f})"
+                    f"({row['good']:.0f}/{row['total']:.0f}){scope}"
                 )
         firing = [a for a in self.alerts() if a["state"] == "firing"]
         lines.append(f"alerts firing: {len(firing)}")

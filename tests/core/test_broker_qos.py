@@ -106,6 +106,114 @@ class TestEndpointRanking:
         assert broker.lookup("Echo").qos_for(endpoint).samples == 0
 
 
+class TestQoSStaleness:
+    """Regression: QoS reports must expire — a silently-dead replica's
+    perfect history can no longer keep it at the top of the ranking."""
+
+    def test_stale_perfect_history_decays_below_fresh_reports(self):
+        broker = ServiceBroker(qos_staleness_seconds=10.0)
+        dead, live, _ = three_endpoints()
+        broker.publish(Echo.contract(), [dead, live])
+        # 'dead' builds a flawless record, then goes silent.
+        for _ in range(50):
+            broker.report("Echo", 0.001, endpoint=dead)
+        # 'live' keeps reporting — imperfectly (one fault) and slower.
+        broker.report("Echo", 0.2, fault=True, endpoint=live)
+        assert broker.endpoints_by_preference("Echo")[0] == dead
+        for _ in range(3):
+            broker.advance(10.0)
+            broker.report("Echo", 0.2, endpoint=live)
+        # 30s of silence against a 10s window: health 1.0 -> 1/3,
+        # below live's 0.75 availability.
+        registration = broker.lookup("Echo")
+        now = broker.now()
+        assert registration.qos_for(dead).health(now, 10.0) == pytest.approx(1 / 3)
+        assert registration.qos_for(live).health(now, 10.0) == pytest.approx(0.75)
+        assert broker.endpoints_by_preference("Echo")[0] == live
+
+    def test_fresh_reports_keep_plain_availability(self):
+        broker = ServiceBroker(qos_staleness_seconds=10.0)
+        endpoint = three_endpoints()[0]
+        broker.publish(Echo.contract(), [endpoint])
+        broker.report("Echo", 0.1, endpoint=endpoint)
+        broker.advance(10.0)  # exactly at the window: still fresh
+        qos = broker.lookup("Echo").qos_for(endpoint)
+        assert qos.health(broker.now(), 10.0) == pytest.approx(1.0)
+
+    def test_unobserved_endpoint_stays_optimistic(self):
+        broker = ServiceBroker(qos_staleness_seconds=10.0)
+        endpoint = three_endpoints()[0]
+        broker.publish(Echo.contract(), [endpoint])
+        broker.advance(1000.0)
+        qos = broker.lookup("Echo").qos_for(endpoint)
+        assert qos.health(broker.now(), 10.0) == 1.0
+
+    def test_zero_window_disables_decay(self):
+        broker = ServiceBroker(qos_staleness_seconds=0.0)
+        endpoint = three_endpoints()[0]
+        broker.publish(Echo.contract(), [endpoint])
+        broker.report("Echo", 0.1, endpoint=endpoint)
+        broker.advance(1000.0)
+        qos = broker.lookup("Echo").qos_for(endpoint)
+        assert qos.health(broker.now(), broker.qos_staleness_seconds) == 1.0
+
+    def test_replica_health_reflects_decay(self):
+        broker = ServiceBroker(qos_staleness_seconds=10.0)
+        a, b, _ = three_endpoints()
+        broker.publish(Echo.contract(), [a, b])
+        broker.report("Echo", 0.1, endpoint=a)
+        broker.advance(20.0)
+        broker.report("Echo", 0.1, endpoint=b)
+        health = dict(broker.replica_health("Echo"))
+        assert health[a] == pytest.approx(0.5)  # 10s window / 20s age
+        assert health[b] == pytest.approx(1.0)
+
+
+class TestReplicaLifecycle:
+    def test_drain_removes_from_preference_until_undrained(self, broker):
+        a, b, _ = three_endpoints()
+        broker.publish(Echo.contract(), [a, b])
+        broker.drain_endpoint("Echo", a)
+        assert broker.endpoints_by_preference("Echo") == [b]
+        assert [e for e, _h in broker.replica_health("Echo")] == [b]
+        broker.undrain_endpoint("Echo", a)
+        assert a in broker.endpoints_by_preference("Echo")
+
+    def test_all_draining_still_answers(self, broker):
+        a, b, _ = three_endpoints()
+        broker.publish(Echo.contract(), [a, b])
+        broker.drain_endpoint("Echo", a)
+        broker.drain_endpoint("Echo", b)
+        # a degraded answer beats none: both come back
+        assert len(broker.endpoints_by_preference("Echo")) == 2
+
+    def test_remove_endpoint_drops_qos_history(self, broker):
+        a, b, _ = three_endpoints()
+        broker.publish(Echo.contract(), [a, b])
+        broker.report("Echo", 0.1, fault=True, endpoint=a)
+        broker.remove_endpoint("Echo", a)
+        assert broker.lookup("Echo").endpoints == [b]
+        # rejoining starts with a clean slate
+        broker.add_endpoint("Echo", a)
+        assert broker.lookup("Echo").qos_for(a).samples == 0
+
+    def test_removing_last_endpoint_unpublishes(self, broker):
+        a = three_endpoints()[0]
+        broker.publish(Echo.contract(), [a])
+        broker.remove_endpoint("Echo", a)
+        assert "Echo" not in broker
+
+    def test_drain_unknown_endpoint_raises(self, broker):
+        from repro.core.broker import BrokerError
+
+        a, b, _ = three_endpoints()
+        broker.publish(Echo.contract(), [a])
+        with pytest.raises(BrokerError):
+            broker.drain_endpoint("Echo", b)
+        with pytest.raises(BrokerError):
+            broker.remove_endpoint("Echo", b)
+
+
 class TestLeasesAndQuarantineUnderConcurrency:
     def test_concurrent_publish_unpublish_report(self, broker):
         """Hammer the broker from many threads; bookkeeping stays sane."""

@@ -355,3 +355,151 @@ class TestPolicyDefendedRecovery:
             traces["inproc"] == traces["soap"] == traces["rest"]
             == ["closed", "open", "open", "closed"]
         )
+
+
+class Steady(Service):
+    """A healthy replicated provider for the kill-a-replica drill."""
+
+    service_name = "Steady"
+    category = "chaos"
+
+    @operation(idempotent=True)
+    def ping(self, n: int) -> int:
+        """Return ``n`` — replicas are healthy; the chaos is the kill."""
+        return n
+
+
+class TestKillAReplicaMidLoad:
+    """The replication drill: three real HTTP replicas under concurrent
+    load, one hard-killed mid-flight.  Callers must see ZERO faults, the
+    balancer must eject the corpse and re-admit it after restart, and the
+    per-service fleet SLO must stay green throughout."""
+
+    THREADS = 4
+    CALLS_PER_THREAD = 10
+    READMIT_AFTER = 0.4
+
+    def hammer(self, balancer, tag):
+        """Fire THREADS x CALLS_PER_THREAD concurrent calls; collect faults."""
+        import threading as _threading
+
+        faults = []
+        done = []
+        barrier = _threading.Barrier(self.THREADS)
+
+        def caller(worker):
+            barrier.wait()
+            for i in range(self.CALLS_PER_THREAD):
+                n = worker * 1000 + i
+                try:
+                    assert balancer("ping", {"n": n}) == n
+                except Exception as exc:  # noqa: BLE001 - the drill's verdict
+                    faults.append((tag, worker, i, exc))
+                else:
+                    done.append(n)
+
+        threads = [
+            _threading.Thread(target=caller, args=(w,))
+            for w in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        return faults, done
+
+    def test_kill_one_replica_under_load_zero_caller_faults(self):
+        import time as _time
+
+        from repro.observability import BurnRateRule, observed
+        from repro.replication import publish_replicated, watch_replica_set
+        from repro.resilience import EjectionPolicy, ReplicaBalancer
+        from repro.services import FleetMonitor
+        from repro.core import ServiceBroker
+
+        def manual_clock(value=0.0):
+            state = [value]
+            clock = lambda: state[0]  # noqa: E731
+            clock.advance = lambda d: state.__setitem__(0, state[0] + d)
+            return clock
+
+        slo_clock = manual_clock()
+        broker = ServiceBroker()
+        monitor = FleetMonitor()
+        with observed() as obs, publish_replicated(
+            Steady, broker, 3
+        ) as replica_set:
+            watch_replica_set(
+                monitor,
+                replica_set,
+                rules=[BurnRateRule(10.0, 30.0, burn_threshold=2.0)],
+                clock=slo_clock,
+            )
+            balancer = ReplicaBalancer(
+                broker,
+                "Steady",
+                ejection=EjectionPolicy(
+                    consecutive_failures=1, readmit_after=self.READMIT_AFTER
+                ),
+            )
+            try:
+                # phase 1: healthy fleet under concurrent load
+                faults, done = self.hammer(balancer, "healthy")
+                assert faults == []
+                assert len(done) == self.THREADS * self.CALLS_PER_THREAD
+
+                # phase 2: hard-kill replica 1, keep hammering — the
+                # broker is never told; detection is the balancer's job
+                replica_set.kill(1)
+                faults, done = self.hammer(balancer, "one-dead")
+                assert faults == []  # ZERO caller-visible faults
+                assert len(done) == self.THREADS * self.CALLS_PER_THREAD
+                dead_key = next(
+                    key
+                    for key in balancer.states()
+                    if replica_set.node(1).base_url in key
+                )
+                assert balancer.states()[dead_key]["status"] in (
+                    "ejected", "probation",
+                )
+
+                # the fleet SLO stays green: survivors absorbed the load
+                transitions = monitor.tick(now=slo_clock())
+                assert transitions == []
+                slo_clock.advance(30.0)
+                transitions = monitor.tick(now=slo_clock())
+                assert transitions == []
+                # "stays resolved": no alert ever entered firing
+                for alert in monitor.alerts():
+                    assert alert["state"] != "firing"
+                    assert alert["episodes"] == 0
+                report = [
+                    row
+                    for row in monitor.slo_report()
+                    if row.get("service") == "Steady"
+                ]
+                assert report and all(row["compliant"] for row in report)
+
+                # phase 3: restart, wait out the cooldown, verify the
+                # probe re-admits the reborn replica
+                replica_set.restart(1)
+                _time.sleep(self.READMIT_AFTER + 0.1)
+                faults, done = self.hammer(balancer, "reborn")
+                assert faults == []
+                assert all(
+                    state["status"] == "live"
+                    for state in balancer.states().values()
+                )
+
+                # the repro_replica_* metrics tell the same story
+                calls = obs.instruments.replica_calls
+                events = obs.instruments.replica_events
+                total = 3 * self.THREADS * self.CALLS_PER_THREAD
+                assert calls.value(service="Steady", outcome="ok") == total
+                assert calls.value(service="Steady", outcome="error") == 0
+                assert calls.value(service="Steady", outcome="failover") >= 1
+                assert events.value(service="Steady", event="eject") >= 1
+                assert events.value(service="Steady", event="readmit") >= 1
+            finally:
+                balancer.close()
+            monitor.close()

@@ -108,3 +108,13 @@ def test_monitor_demo():
     assert "alerts firing: 1" in out
     assert "alert episodes completed: 1" in out
     assert "log lines joining a tail-sampled kept trace: 3" in out
+
+
+def test_replicated_service():
+    out = run_example("replicated_service.py")
+    assert "broker holds ONE registration, 3 endpoints" in out
+    assert "one replica dead: 12/12 calls ok" in out
+    assert "balancer ejected it: status=ejected" in out
+    assert "fleet SLO green: True; firing alerts: 0" in out
+    assert "all replicas live again: True" in out
+    assert "error=0" in out

@@ -658,3 +658,66 @@ class TestReplicatedInvokerQosOrder:
             [lambda **kw: "only"], order=lambda: [5, -2, 0]
         )
         assert invoker() == "only"
+
+
+class TestSharedBreakerState:
+    """Regression for the PR-6 unification: the security-layer
+    CircuitBreaker is a shim over the resilience layer's EndpointBreaker,
+    so both call paths guarding one endpoint share one automaton."""
+
+    def make_shared(self):
+        from repro.resilience.breaker import CircuitBreakerRegistry
+        from repro.resilience.policy import CircuitPolicy
+
+        self.clock = {"t": 0.0}
+        registry = CircuitBreakerRegistry(
+            CircuitPolicy(failure_threshold=2, recovery_seconds=30.0),
+            clock=lambda: self.clock["t"],
+        )
+        return registry, registry.breaker_for("rest:http://h:1/rest/Echo")
+
+    def test_legacy_failures_trip_the_resilience_breaker(self):
+        registry, shared = self.make_shared()
+
+        def failing(**kwargs):
+            raise ServiceFault("down")
+
+        legacy = CircuitBreaker(failing, breaker=shared)
+        # configuration is read through the shared breaker, not duplicated
+        assert legacy.failure_threshold == 2
+        assert legacy.recovery_seconds == 30.0
+        for _ in range(2):
+            with pytest.raises(ServiceFault):
+                legacy()
+        # the legacy path's failures opened the ONE automaton both see
+        assert legacy.state == "open"
+        assert shared.state == "open"
+        with pytest.raises(ServiceUnavailable) as caught:
+            shared.before_call()  # resilience path fast-fails too
+        assert caught.value.retry_after == pytest.approx(30.0)
+
+    def test_resilience_trip_fast_fails_the_legacy_path(self):
+        registry, shared = self.make_shared()
+        for _ in range(2):
+            probing = shared.before_call()
+            shared.on_failure(probing)
+        calls = []
+
+        def fn(**kwargs):
+            calls.append(1)
+            return "ok"
+
+        legacy = CircuitBreaker(fn, breaker=shared)
+        with pytest.raises(ServiceUnavailable):
+            legacy()
+        assert calls == []  # fast-fail: the callable never ran
+        # recovery probes flow through either path: the legacy call is
+        # the half-open probe whose success closes the shared breaker
+        self.clock["t"] = 31.0
+        assert legacy() == "ok"
+        assert shared.state == "closed"
+        assert legacy.state == "closed"
+
+    def test_registry_hands_out_the_same_breaker_per_endpoint(self):
+        registry, shared = self.make_shared()
+        assert registry.breaker_for("rest:http://h:1/rest/Echo") is shared

@@ -16,8 +16,8 @@ SUBPACKAGES = [
     "repro." + name
     for name in (
         "xmlkit core transport parallelism web security resilience "
-        "observability workflow robotics services directory curriculum "
-        "apps events data semantic cloud"
+        "observability replication workflow robotics services directory "
+        "curriculum apps events data semantic cloud"
     ).split()
 ]
 
