@@ -49,12 +49,15 @@ DRIFT_TOLERANCE = 0.25  # max relative change of a row's bare-normalised factor
 #: pooling speedup, and losing the speedup is what trips the guard.
 #: The failover bench normalises by its single-replica run: the guarded
 #: factors are the inverse scale-out of three replicas and the relative
-#: cost of a batch with a mid-load kill.
+#: cost of a batch with a mid-load kill.  The gateway bench normalises
+#: by the direct-to-replica p50, so its guarded factor is the relative
+#: p50 cost of mediation (auth + rate limit + balanced forward).
 GUARDED = (
     ("bench_resilience_overhead.py", "BENCH_resilience.json", "bare_bus"),
     ("bench_observability_overhead.py", "BENCH_observability.json", "bare_bus"),
     ("bench_transport_throughput.py", "BENCH_transport.json", "serialized_client"),
     ("bench_failover.py", "BENCH_failover.json", "single_replica"),
+    ("bench_gateway.py", "BENCH_gateway.json", "direct_replica"),
 )
 
 

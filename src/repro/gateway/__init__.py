@@ -1,0 +1,36 @@
+"""Gateway mediation plane: the SOA front door.
+
+The curriculum's integration unit teaches that point-to-point service
+consumption does not scale past a handful of providers — the Gateway
+(ESB-lite) pattern moves routing, authentication, authorization and
+traffic policy into one mediated choke point.  This package is that
+front door for the repro stack:
+
+* :class:`Gateway` — the HttpServer-hosted mediation pipeline
+  (route → authenticate → authorize → rate-limit → balance);
+* :class:`GatewayRoute` / :class:`GatewayRouter` — longest-prefix route
+  table with contract-version mediation;
+* :class:`RateLimiter` / :class:`RateLimitPolicy` — per-principal token
+  buckets and daily quotas behind 429 + ``Retry-After``;
+* :class:`SecurityPolicy` / :class:`Principal` — bearer termination and
+  RBAC over :mod:`repro.security`, with RFC 6750 challenges.
+"""
+
+from .policy import ANONYMOUS, GatewayAuthError, Principal, SecurityPolicy
+from .rate_limiter import RateDecision, RateLimiter, RateLimitPolicy
+from .router import GatewayRoute, GatewayRouter, version_accepts
+from .server import Gateway
+
+__all__ = [
+    "Gateway",
+    "GatewayRoute",
+    "GatewayRouter",
+    "version_accepts",
+    "RateLimiter",
+    "RateLimitPolicy",
+    "RateDecision",
+    "SecurityPolicy",
+    "Principal",
+    "ANONYMOUS",
+    "GatewayAuthError",
+]

@@ -1,0 +1,84 @@
+"""Gateway route table: path prefix + contract version → backend service.
+
+A :class:`GatewayRoute` names the broker-registered service behind one
+path prefix, the RBAC permission a caller must hold (``None`` = public),
+and the contract version the route promises.  Resolution is
+longest-prefix-wins over the request path, like
+:func:`repro.web.app.compose_handlers` — so ``/api/accounts/v2`` can
+shadow ``/api/accounts``.
+
+Version mediation: a route's ``version`` is a *constraint* checked
+against the broker-resolved contract at call time — ``"1"`` accepts any
+``1.x``, ``"1.0"`` exactly ``1.0``, ``None`` anything.  Callers may also
+pin a version per request with an ``X-Contract-Version`` header; a pin
+the backend contract cannot satisfy is refused before any upstream call
+(the gateway is where contract evolution is policed, not each client).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["GatewayRoute", "GatewayRouter", "version_accepts"]
+
+
+def version_accepts(constraint: Optional[str], actual: str) -> bool:
+    """Does ``actual`` (e.g. ``"1.0"``) satisfy ``constraint``?
+
+    ``None`` accepts everything; otherwise the versions must be equal or
+    ``actual`` must extend the constraint by dotted segments (``"1"``
+    accepts ``"1.0"`` and ``"1.2.3"``, never ``"10.0"``).
+    """
+    if constraint is None:
+        return True
+    return actual == constraint or actual.startswith(constraint + ".")
+
+
+@dataclass(frozen=True)
+class GatewayRoute:
+    """One mediated path: prefix → broker service, guarded by RBAC."""
+
+    prefix: str                      # e.g. "/api/Converter"
+    service: str                     # broker registration name
+    permission: Optional[str] = None  # RBAC permission; None = public
+    version: Optional[str] = None     # contract version constraint
+    binding: Optional[str] = None     # restrict backend binding ("rest"...)
+
+    def __post_init__(self) -> None:
+        if not self.prefix.startswith("/") or self.prefix.rstrip("/") == "":
+            raise ValueError(f"route prefix must be a non-root path: {self.prefix!r}")
+        if self.prefix.rstrip("/") != self.prefix:
+            object.__setattr__(self, "prefix", self.prefix.rstrip("/"))
+
+    def matches(self, path: str) -> bool:
+        return path == self.prefix or path.startswith(self.prefix + "/")
+
+    def strip(self, path: str) -> str:
+        """The path remainder behind the prefix (no leading slash)."""
+        return path[len(self.prefix) :].strip("/")
+
+
+class GatewayRouter:
+    """Longest-prefix route resolution over a fixed table."""
+
+    def __init__(self, routes: Optional[list[GatewayRoute]] = None) -> None:
+        self._routes: list[GatewayRoute] = []
+        for route in routes or []:
+            self.add(route)
+
+    def add(self, route: GatewayRoute) -> None:
+        if any(existing.prefix == route.prefix for existing in self._routes):
+            raise ValueError(f"duplicate route prefix {route.prefix!r}")
+        self._routes.append(route)
+        self._routes.sort(key=lambda r: -len(r.prefix))
+
+    def routes(self) -> list[GatewayRoute]:
+        return list(self._routes)
+
+    def resolve(self, path: str) -> Optional[GatewayRoute]:
+        """The longest-prefix route covering ``path``, or ``None``."""
+        for route in self._routes:  # kept sorted longest-first
+            if route.matches(path):
+                return route
+        return None

@@ -295,6 +295,22 @@ class Instruments:
             "Replicas currently selectable (not ejected or cooling).",
             ("service",),
         )
+        self.gateway_requests = registry.counter(
+            "repro_gateway_requests_total",
+            "Requests through the gateway mediation plane, by route and outcome.",
+            ("route", "outcome"),
+        )
+        self.gateway_seconds = registry.histogram(
+            "repro_gateway_request_seconds",
+            "Gateway end-to-end request duration (auth + policy + upstream).",
+            ("route",),
+            buckets=LATENCY_BUCKETS,
+        )
+        self.gateway_rejections = registry.counter(
+            "repro_gateway_rejected_total",
+            "Requests the gateway refused before any upstream call, by reason.",
+            ("reason",),
+        )
 
 
 class Observability:

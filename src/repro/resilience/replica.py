@@ -172,6 +172,7 @@ class ReplicaBalancer:
         rng: Optional[random.Random] = None,
         budget: Optional[RetryBudget] = None,
         http_factory: Optional[HttpFactory] = None,
+        http_clients: Optional[PooledHttpClients] = None,
         middlewares: tuple[Middleware, ...] = (),
         failover_on: tuple[type[Exception], ...] = FAILOVER_FAULTS,
     ) -> None:
@@ -197,7 +198,11 @@ class ReplicaBalancer:
         self._reporter = broker_reporter(broker, service_name)
         self._invokers: dict[str, ResilientInvoker] = {}
         self._invoker_lock = threading.Lock()
-        self._shared_http_client = PooledHttpClients()
+        # A caller-supplied pool (e.g. the gateway sharing one pool
+        # across every fronted service) is borrowed, not owned: close()
+        # must not yank sockets out from under the other balancers.
+        self._owns_http_clients = http_clients is None
+        self._shared_http_client = http_clients or PooledHttpClients()
         self._states: dict[str, _ReplicaState] = {}
         self._lock = threading.Lock()
         self._latencies = _LatencyWindow(hedge.window if hedge else 128)
@@ -209,8 +214,10 @@ class ReplicaBalancer:
         return self._breakers
 
     def close(self) -> None:
-        """Close every pooled HTTP client this balancer dialed."""
-        self._shared_http_client.close()
+        """Close every pooled HTTP client this balancer dialed (no-op
+        when the pool was injected by — and belongs to — the caller)."""
+        if self._owns_http_clients:
+            self._shared_http_client.close()
 
     def _invoker_for(
         self, endpoint: Endpoint, registration: Registration

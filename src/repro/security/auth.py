@@ -93,7 +93,16 @@ def verify_password(password: str, stored: str) -> bool:
 
 
 class PasswordVault:
-    """User-id → password-hash store with lockout after failed attempts."""
+    """User-id → password-hash store with lockout after failed attempts.
+
+    :meth:`login` runs the PBKDF2 verification *outside* the vault lock:
+    the hash is the expensive part (tens of thousands of iterations), and
+    holding the lock across it would serialize every concurrent login in
+    the process.  The lock guards only the two cheap map reads/writes
+    around it, with the failure-count update double-checked against the
+    stored record so a concurrent password change discards a stale
+    verdict instead of acting on it.
+    """
 
     def __init__(self, policy: Optional[PasswordPolicy] = None, max_failures: int = 5) -> None:
         self.policy = policy or PasswordPolicy()
@@ -101,6 +110,7 @@ class PasswordVault:
         self._records: dict[str, str] = {}
         self._failures: dict[str, int] = {}
         self._lock = threading.Lock()
+        self._decoy: Optional[str] = None  # lazily built; see _decoy_record
 
     def set_password(self, user_id: str, password: str, confirmation: str) -> None:
         """The Figure 4 create-password flow: Match? then Strong? then store."""
@@ -117,14 +127,46 @@ class PasswordVault:
         with self._lock:
             return user_id in self._records
 
+    def _decoy_record(self) -> str:
+        """A throwaway ``salt$hash`` record for unknown-user logins.
+
+        Verifying against it makes an unknown user cost the same PBKDF2
+        work as a wrong password — without it, ``login`` returns
+        instantly for unknown users and the latency difference enumerates
+        which user ids exist.
+        """
+        with self._lock:
+            decoy = self._decoy
+        if decoy is None:
+            decoy = hash_password(secrets.token_urlsafe(16))
+            with self._lock:
+                if self._decoy is None:
+                    self._decoy = decoy
+                decoy = self._decoy
+        return decoy
+
     def login(self, user_id: str, password: str) -> bool:
         with self._lock:
             stored = self._records.get(user_id)
-            if stored is None:
+            if (
+                stored is not None
+                and self._failures.get(user_id, 0) >= self.max_failures
+            ):
+                raise AuthError("account locked: too many failed attempts")
+        if stored is None:
+            # burn the same hashing cost a real verification would
+            verify_password(password, self._decoy_record())
+            return False
+        # the expensive part, deliberately outside the vault lock
+        matched = verify_password(password, stored)
+        with self._lock:
+            if self._records.get(user_id) != stored:
+                # password changed (or user removed) while we hashed:
+                # the verdict is about a record that no longer exists
                 return False
             if self._failures.get(user_id, 0) >= self.max_failures:
                 raise AuthError("account locked: too many failed attempts")
-            if verify_password(password, stored):
+            if matched:
                 self._failures.pop(user_id, None)
                 return True
             self._failures[user_id] = self._failures.get(user_id, 0) + 1
@@ -146,18 +188,56 @@ class TokenIssuer:
     """Bearer-token issuance and validation for service calls.
 
     Opaque random tokens with expiry; the SOAP/REST endpoints consult
-    :meth:`authenticate` from their header authenticators.
+    :meth:`authenticate` from their header authenticators, and the
+    gateway's bearer termination rides the same method.
+
+    Expired tokens are reclaimed with an *amortized sweep*: every
+    ``sweep_interval`` issuances (and on every :meth:`active_count`) the
+    whole map is purged of expired entries.  Without it an expired token
+    was only deleted when that exact token was re-presented, so
+    high-churn issuance — a gateway minting short-lived tokens all day —
+    grew ``_tokens`` without bound.
     """
 
-    def __init__(self, ttl_seconds: float = 3600.0, clock=time.monotonic) -> None:
+    def __init__(
+        self,
+        ttl_seconds: float = 3600.0,
+        clock=time.monotonic,
+        *,
+        sweep_interval: int = 256,
+    ) -> None:
+        if sweep_interval < 1:
+            raise ValueError("sweep_interval must be >= 1")
         self.ttl = ttl_seconds
+        self.sweep_interval = sweep_interval
         self._clock = clock
         self._tokens: dict[str, _Token] = {}
+        self._issued_since_sweep = 0
         self._lock = threading.Lock()
+
+    def _purge_locked(self) -> int:
+        now = self._clock()
+        expired = [
+            token
+            for token, record in self._tokens.items()
+            if record.expires < now
+        ]
+        for token in expired:
+            del self._tokens[token]
+        self._issued_since_sweep = 0
+        return len(expired)
+
+    def purge_expired(self) -> int:
+        """Drop every expired token now; returns how many were dropped."""
+        with self._lock:
+            return self._purge_locked()
 
     def issue(self, principal: str, roles: frozenset[str] | set[str] = frozenset()) -> str:
         token = secrets.token_urlsafe(24)
         with self._lock:
+            self._issued_since_sweep += 1
+            if self._issued_since_sweep >= self.sweep_interval:
+                self._purge_locked()
             self._tokens[token] = _Token(
                 principal, frozenset(roles), self._clock() + self.ttl
             )
@@ -178,7 +258,20 @@ class TokenIssuer:
         with self._lock:
             self._tokens.pop(token, None)
 
-    def active_count(self) -> int:
-        now = self._clock()
+    def revoke_all(self, principal: str) -> int:
+        """Revoke every live token of ``principal`` (the logout-everywhere
+        path); returns how many tokens were revoked."""
         with self._lock:
-            return sum(1 for t in self._tokens.values() if t.expires >= now)
+            mine = [
+                token
+                for token, record in self._tokens.items()
+                if record.principal == principal
+            ]
+            for token in mine:
+                del self._tokens[token]
+            return len(mine)
+
+    def active_count(self) -> int:
+        with self._lock:
+            self._purge_locked()
+            return len(self._tokens)

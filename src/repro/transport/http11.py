@@ -50,7 +50,9 @@ STATUS_PHRASES = {
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
+    502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 _METHODS = {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH"}
@@ -117,13 +119,20 @@ def _normalize_headers(
 
 @dataclass
 class HttpRequest:
-    """One HTTP request: method, target (path + query), headers, body."""
+    """One HTTP request: method, target (path + query), headers, body.
+
+    ``client_address`` is the peer IP as observed by the server socket
+    (``None`` for requests that never crossed a socket, e.g.
+    :func:`~repro.transport.httpserver.serve_once`).  The gateway's
+    anonymous rate-limit buckets key on it.
+    """
 
     method: str
     target: str
     headers: _Headers = field(default_factory=_Headers)
     body: bytes = b""
     version: str = "HTTP/1.1"
+    client_address: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.headers = _normalize_headers(self.headers)  # type: ignore[arg-type]

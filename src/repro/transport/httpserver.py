@@ -182,12 +182,16 @@ def _buffered_message_ready(buffer: bytes) -> bool:
 class _Connection:
     """Server-side per-connection state: socket + inter-request buffer."""
 
-    __slots__ = ("sock", "buffer", "parked_at")
+    __slots__ = ("sock", "buffer", "parked_at", "peer")
 
     def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
         self.buffer = b""
         self.parked_at = 0.0
+        try:
+            self.peer: Optional[str] = sock.getpeername()[0]
+        except (OSError, IndexError):
+            self.peer = None
 
     def close(self) -> None:
         try:
@@ -534,6 +538,7 @@ class HttpServer:
                 break  # clean EOF
             try:
                 request = parse_request(raw)
+                request.client_address = conn.peer
             except HttpError as exc:
                 response = HttpResponse.error(exc.status, str(exc))
                 response.headers.set("Connection", "close")

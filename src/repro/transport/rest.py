@@ -41,7 +41,14 @@ from .httpserver import HttpClient
 from .statusmap import attach_retry_after, raise_transport_status
 from .wsdl import contract_to_xml
 
-__all__ = ["RestEndpoint", "RestClient", "rest_proxy", "RestRouter", "coerce_argument"]
+__all__ = [
+    "RestEndpoint",
+    "RestClient",
+    "rest_proxy",
+    "RestRouter",
+    "coerce_argument",
+    "fault_to_response",
+]
 
 
 def coerce_argument(raw: str, type_name: str) -> Any:
@@ -65,6 +72,9 @@ def coerce_argument(raw: str, type_name: str) -> Any:
 
 
 def _fault_response(fault: ServiceFault) -> HttpResponse:
+    """Render a fault as the REST dialect's ``<error>`` document, with
+    the fault code mapped to an HTTP status (and ``Retry-After`` when
+    the fault carries one)."""
     error = Element("error", {"code": fault.code})
     error.append(Element("message", text=str(fault)))
     if fault.detail is not None:
@@ -88,6 +98,11 @@ def _fault_response(fault: ServiceFault) -> HttpResponse:
     if retry_after is not None:
         response.headers.set("Retry-After", f"{retry_after:g}")
     return response
+
+
+#: Public name for the fault-document renderer: the REST dialect's
+#: status mapping is also how the gateway reports upstream faults.
+fault_to_response = _fault_response
 
 
 class RestEndpoint:

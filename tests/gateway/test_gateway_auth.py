@@ -1,0 +1,235 @@
+"""The gateway auth matrix: bearer termination, RBAC, token lifecycle.
+
+These tests drive the :class:`Gateway` handler directly with
+:class:`HttpRequest` objects — the security pipeline runs before any
+upstream call, so refusal paths need no backend.  Success paths go
+through a real single-replica fleet.
+"""
+
+import json
+
+import pytest
+
+from repro.core.broker import ServiceBroker
+from repro.core.service import Service, operation
+from repro.gateway import (
+    Gateway,
+    GatewayRoute,
+    RateLimiter,
+    RateLimitPolicy,
+    SecurityPolicy,
+)
+from repro.replication.publish import publish_replicated
+from repro.security.access import AccessControl
+from repro.security.auth import PasswordVault, TokenIssuer
+from repro.transport.http11 import HttpRequest
+
+PASSWORD = "Correct-Horse-7"
+
+
+class EchoService(Service):
+    service_name = "Echo"
+    category = "test"
+
+    @operation(idempotent=True)
+    def shout(self, text: str) -> str:
+        return text.upper()
+
+
+def make_security(clock=None):
+    vault = PasswordVault()
+    vault.set_password("ada", PASSWORD, PASSWORD)
+    vault.set_password("bob", PASSWORD, PASSWORD)  # bob holds no roles
+    access = AccessControl()
+    access.define_role("caller", ["echo:call"])
+    access.assign_role("ada", "caller")
+    issuer = TokenIssuer(clock=clock) if clock else TokenIssuer()
+    return SecurityPolicy(issuer, access, vault)
+
+
+def request(method, target, token=None, body=b"", **kwargs):
+    headers = {"Authorization": f"Bearer {token}"} if token else {}
+    return HttpRequest(method, target, headers, body, **kwargs)
+
+
+def issue_token(gw, user="ada", password=PASSWORD):
+    response = gw(
+        request("POST", "/auth/token", body=f"user={user}&password={password}".encode())
+    )
+    assert response.status == 200, response.text()
+    return json.loads(response.text())["token"]
+
+
+@pytest.fixture(scope="module")
+def stack():
+    broker = ServiceBroker()
+    with publish_replicated(EchoService, broker, replicas=1) as fleet:
+        gw = Gateway(
+            broker,
+            [
+                GatewayRoute("/api/Echo", "Echo", permission="echo:call"),
+                GatewayRoute("/pub/Echo", "Echo"),  # public route
+            ],
+            security=make_security(),
+            limiter=RateLimiter(
+                RateLimitPolicy(rate=1000.0, burst=1000.0),
+                anonymous=RateLimitPolicy(rate=1000.0, burst=1000.0),
+            ),
+        )
+        yield gw
+        gw.close()
+
+
+class TestAuthMatrix:
+    def test_valid_token_reaches_backend(self, stack):
+        token = issue_token(stack)
+        response = stack(request("GET", "/api/Echo/shout?text=hi", token))
+        assert response.status == 200
+        assert "HI" in response.text()
+
+    def test_anonymous_on_protected_route_gets_bare_challenge(self, stack):
+        response = stack(request("GET", "/api/Echo/shout?text=hi"))
+        assert response.status == 401
+        assert response.headers.get("WWW-Authenticate") == 'Bearer realm="repro-gateway"'
+
+    def test_garbage_token_is_invalid_token(self, stack):
+        response = stack(request("GET", "/api/Echo/shout?text=hi", "not-a-token"))
+        assert response.status == 401
+        assert 'error="invalid_token"' in response.headers.get("WWW-Authenticate")
+
+    def test_expired_token_is_invalid_token(self):
+        clock = [1000.0]
+        security = make_security(clock=lambda: clock[0])
+        gw = Gateway(
+            ServiceBroker(),
+            [GatewayRoute("/api/Echo", "Echo", permission="echo:call")],
+            security=security,
+        )
+        token = security.issuer.issue("ada", frozenset({"caller"}))
+        clock[0] += security.issuer.ttl + 1.0
+        response = gw(request("GET", "/api/Echo/shout?text=hi", token))
+        assert response.status == 401
+        assert 'error="invalid_token"' in response.headers.get("WWW-Authenticate")
+
+    def test_revoked_token_is_refused(self, stack):
+        token = issue_token(stack)
+        logout = stack(request("POST", "/auth/logout", token))
+        assert logout.status == 200
+        response = stack(request("GET", "/api/Echo/shout?text=hi", token))
+        assert response.status == 401
+
+    def test_authenticated_without_permission_is_403(self, stack):
+        token = issue_token(stack, user="bob")
+        response = stack(request("GET", "/api/Echo/shout?text=hi", token))
+        assert response.status == 403
+        assert response.headers.get("WWW-Authenticate") is None
+
+    def test_public_route_admits_anonymous(self, stack):
+        response = stack(request("GET", "/pub/Echo/shout?text=ok"))
+        assert response.status == 200
+
+    def test_bad_token_on_public_route_is_still_401(self, stack):
+        # a caller who *tried* to authenticate must learn the credential
+        # is bad, not be silently downgraded to anonymous
+        response = stack(request("GET", "/pub/Echo/shout?text=ok", "bogus"))
+        assert response.status == 401
+
+    def test_non_bearer_scheme_is_invalid_request(self, stack):
+        response = stack(
+            HttpRequest(
+                "GET",
+                "/api/Echo/shout?text=hi",
+                {"Authorization": "Basic YWRhOnNlY3JldA=="},
+            )
+        )
+        assert response.status == 401
+        assert 'error="invalid_request"' in response.headers.get("WWW-Authenticate")
+
+
+class TestTokenEndpoint:
+    def test_wrong_password_is_invalid_grant(self, stack):
+        response = stack(
+            request("POST", "/auth/token", body=b"user=ada&password=wrong")
+        )
+        assert response.status == 401
+        assert 'error="invalid_grant"' in response.headers.get("WWW-Authenticate")
+
+    def test_unknown_user_same_shape_as_wrong_password(self, stack):
+        known = stack(request("POST", "/auth/token", body=b"user=ada&password=wrong"))
+        unknown = stack(
+            request("POST", "/auth/token", body=b"user=nobody&password=wrong")
+        )
+        # no user enumeration: identical status, challenge and body
+        assert (unknown.status, unknown.headers.get("WWW-Authenticate")) == (
+            known.status,
+            known.headers.get("WWW-Authenticate"),
+        )
+        assert unknown.text() == known.text()
+
+    def test_token_response_shape(self, stack):
+        response = stack(
+            request("POST", "/auth/token", body=f"user=ada&password={PASSWORD}".encode())
+        )
+        payload = json.loads(response.text())
+        assert payload["token_type"] == "Bearer"
+        assert payload["expires_in"] > 0
+
+    def test_get_is_not_allowed(self, stack):
+        assert stack(request("GET", "/auth/token")).status == 405
+
+    def test_missing_user_field_is_400(self, stack):
+        assert stack(request("POST", "/auth/token", body=b"password=x")).status == 400
+
+
+class TestLogout:
+    def test_logout_requires_a_token(self, stack):
+        assert stack(request("POST", "/auth/logout")).status == 401
+
+    def test_logout_everywhere_revokes_every_session(self, stack):
+        first = issue_token(stack)
+        second = issue_token(stack)
+        response = stack(request("POST", "/auth/logout?everywhere=true", first))
+        # at least the two we minted (other tests may hold ada tokens too)
+        assert json.loads(response.text())["revoked"] >= 2
+        for token in (first, second):
+            assert stack(request("GET", "/api/Echo/shout?text=hi", token)).status == 401
+
+
+class TestAnonymousRateKeying:
+    def test_anonymous_buckets_are_per_client_address(self):
+        gw = Gateway(
+            ServiceBroker(),
+            [GatewayRoute("/api/Echo", "Echo", permission="echo:call")],
+            security=make_security(),
+            limiter=RateLimiter(
+                anonymous=RateLimitPolicy(rate=0.001, burst=1.0)
+            ),
+        )
+        # exhaust one address's login bucket; another address still admitted
+        first = gw(
+            request("POST", "/auth/token", body=b"user=ada&password=wrong",
+                    client_address="10.0.0.1")
+        )
+        assert first.status == 401  # admitted by limiter, refused by vault
+        throttled = gw(
+            request("POST", "/auth/token", body=b"user=ada&password=wrong",
+                    client_address="10.0.0.1")
+        )
+        assert throttled.status == 429
+        assert float(throttled.headers.get("Retry-After")) > 0
+        other = gw(
+            request("POST", "/auth/token", body=b"user=ada&password=wrong",
+                    client_address="10.0.0.2")
+        )
+        assert other.status == 401
+
+
+class TestRefusalMetrics:
+    def test_rejections_are_counted_by_reason(self, stack):
+        stack(request("GET", "/api/Echo/shout?text=hi"))  # unauthenticated
+        stack(request("GET", "/nowhere"))  # no_route
+        exposition = stack(request("GET", "/metrics")).text()
+        assert 'repro_gateway_rejected_total{reason="unauthenticated"}' in exposition
+        assert 'repro_gateway_rejected_total{reason="no_route"}' in exposition
+        assert "repro_gateway_requests_total" in exposition
+        assert "repro_gateway_request_seconds_bucket" in exposition

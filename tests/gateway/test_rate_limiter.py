@@ -1,0 +1,198 @@
+"""Token-bucket + quota admission control under an injected clock."""
+
+import threading
+
+import pytest
+
+from repro.gateway import RateDecision, RateLimiter, RateLimitPolicy
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def limiter(policy=None, **kwargs):
+    clock = FakeClock()
+    return RateLimiter(policy, clock=clock, **kwargs), clock
+
+
+class TestPolicyValidation:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            RateLimitPolicy(rate=0.0)
+
+    def test_rejects_fractional_burst(self):
+        with pytest.raises(ValueError):
+            RateLimitPolicy(burst=0.5)
+
+    def test_rejects_zero_quota(self):
+        with pytest.raises(ValueError):
+            RateLimitPolicy(quota=0)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            RateLimitPolicy(quota=5, quota_window=0.0)
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        lim, _ = limiter(RateLimitPolicy(rate=1.0, burst=3.0))
+        verdicts = [lim.check("ada").allowed for _ in range(4)]
+        assert verdicts == [True, True, True, False]
+
+    def test_retry_after_is_exact_refill_time(self):
+        lim, clock = limiter(RateLimitPolicy(rate=2.0, burst=1.0))
+        assert lim.check("ada").allowed
+        denied = lim.check("ada")
+        assert not denied.allowed
+        assert denied.reason == "throttled"
+        # bucket is empty: one token at 2/s takes 0.5s
+        assert denied.retry_after == pytest.approx(0.5)
+
+    def test_honouring_retry_after_succeeds(self):
+        lim, clock = limiter(RateLimitPolicy(rate=2.0, burst=1.0))
+        lim.check("ada")
+        denied = lim.check("ada")
+        clock.advance(denied.retry_after)
+        assert lim.check("ada").allowed
+
+    def test_denial_spends_nothing(self):
+        lim, clock = limiter(RateLimitPolicy(rate=1.0, burst=1.0))
+        lim.check("ada")
+        for _ in range(50):  # hammering while empty must not push retry out
+            denied = lim.check("ada")
+        assert denied.retry_after == pytest.approx(1.0)
+
+    def test_refill_caps_at_burst(self):
+        lim, clock = limiter(RateLimitPolicy(rate=10.0, burst=2.0))
+        clock.advance(3600.0)
+        assert [lim.check("ada").allowed for _ in range(3)] == [True, True, False]
+
+    def test_keys_are_independent(self):
+        lim, _ = limiter(RateLimitPolicy(rate=1.0, burst=1.0))
+        assert lim.check("ada").allowed
+        assert not lim.check("ada").allowed
+        assert lim.check("bob").allowed
+
+
+class TestQuota:
+    def test_quota_denies_after_volume(self):
+        lim, _ = limiter(RateLimitPolicy(rate=100.0, burst=100.0, quota=3))
+        verdicts = [lim.check("ada") for _ in range(4)]
+        assert [v.allowed for v in verdicts] == [True, True, True, False]
+        assert verdicts[-1].reason == "quota"
+        assert verdicts[-1].remaining_quota == 0
+
+    def test_quota_retry_after_points_at_window_end(self):
+        lim, clock = limiter(
+            RateLimitPolicy(rate=100.0, burst=100.0, quota=1, quota_window=100.0)
+        )
+        lim.check("ada")
+        clock.advance(30.0)
+        denied = lim.check("ada")
+        assert denied.retry_after == pytest.approx(70.0)
+
+    def test_window_rollover_resets_quota(self):
+        lim, clock = limiter(
+            RateLimitPolicy(rate=100.0, burst=100.0, quota=1, quota_window=100.0)
+        )
+        lim.check("ada")
+        assert not lim.check("ada").allowed
+        clock.advance(100.0)
+        assert lim.check("ada").allowed
+
+    def test_quota_outranks_throttle_verdict(self):
+        # empty bucket AND spent quota: the caller must see the quota's
+        # (much longer) Retry-After, not the bucket's
+        lim, _ = limiter(
+            RateLimitPolicy(rate=1.0, burst=1.0, quota=1, quota_window=100.0)
+        )
+        lim.check("ada")
+        denied = lim.check("ada")
+        assert denied.reason == "quota"
+        assert denied.retry_after > 10.0
+
+    def test_remaining_quota_counts_down(self):
+        lim, _ = limiter(RateLimitPolicy(rate=100.0, burst=100.0, quota=3))
+        remaining = [lim.check("ada").remaining_quota for _ in range(3)]
+        assert remaining == [2, 1, 0]
+
+
+class TestPolicySelection:
+    def test_anonymous_policy_is_stingier_by_default(self):
+        lim, _ = limiter()
+        assert lim.policy_for("addr:1.2.3.4", anonymous=True) is lim.anonymous
+        assert lim.anonymous.burst < lim.default.burst
+
+    def test_override_wins_over_both(self):
+        lim, _ = limiter()
+        vip = RateLimitPolicy(rate=500.0, burst=100.0)
+        lim.set_policy("ada", vip)
+        assert lim.policy_for("ada") is vip
+        assert lim.policy_for("ada", anonymous=True) is vip
+
+    def test_override_resets_existing_bucket(self):
+        lim, _ = limiter(RateLimitPolicy(rate=1.0, burst=1.0))
+        lim.check("ada")
+        assert not lim.check("ada").allowed
+        lim.set_policy("ada", RateLimitPolicy(rate=1.0, burst=5.0))
+        assert lim.check("ada").allowed  # fresh bucket at the new burst
+
+
+class TestSweep:
+    def test_idle_buckets_are_reclaimed(self):
+        lim, clock = limiter(idle_ttl=60.0)
+        for i in range(100):
+            lim.check(f"addr:10.0.0.{i}", anonymous=True)
+        assert lim.tracked_keys() == 100
+        clock.advance(61.0)
+        assert lim.sweep() == 100
+        assert lim.tracked_keys() == 0
+
+    def test_sweep_is_amortized_into_check(self):
+        lim, clock = limiter(idle_ttl=60.0, sweep_interval=10)
+        for i in range(9):
+            lim.check(f"one-shot-{i}")
+        clock.advance(61.0)
+        lim.check("steady")  # 10th check triggers the sweep
+        assert lim.tracked_keys() == 1
+
+    def test_active_buckets_survive_sweep(self):
+        lim, clock = limiter(idle_ttl=60.0)
+        lim.check("ada")
+        clock.advance(30.0)
+        lim.check("ada")
+        clock.advance(45.0)  # 75s after creation, 45s after last use
+        assert lim.sweep() == 0
+        assert lim.tracked_keys() == 1
+
+
+def test_thread_safety_never_overadmits():
+    lim = RateLimiter(RateLimitPolicy(rate=0.001, burst=50.0))
+    admitted = []
+    barrier = threading.Barrier(8)
+
+    def worker():
+        barrier.wait()
+        admitted.extend(lim.check("shared").allowed for _ in range(25))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sum(admitted) == 50  # exactly the burst, no lost updates
+
+
+def test_decision_defaults():
+    decision = RateDecision(True)
+    assert decision.reason == "ok"
+    assert decision.retry_after == 0.0
+    assert decision.remaining_quota is None

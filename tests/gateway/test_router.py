@@ -1,0 +1,78 @@
+"""Route table resolution and contract-version constraint semantics."""
+
+import pytest
+
+from repro.gateway import GatewayRoute, GatewayRouter, version_accepts
+
+
+class TestVersionAccepts:
+    def test_none_accepts_everything(self):
+        assert version_accepts(None, "1.0")
+        assert version_accepts(None, "99.7")
+
+    def test_exact_match(self):
+        assert version_accepts("1.0", "1.0")
+        assert not version_accepts("1.0", "1.1")
+
+    def test_prefix_extends_by_dotted_segments(self):
+        assert version_accepts("1", "1.0")
+        assert version_accepts("1", "1.2.3")
+        assert version_accepts("1.2", "1.2.3")
+
+    def test_prefix_never_matches_across_segments(self):
+        assert not version_accepts("1", "10.0")
+        assert not version_accepts("1.2", "1.23")
+
+
+class TestGatewayRoute:
+    def test_prefix_must_be_nonroot_path(self):
+        with pytest.raises(ValueError):
+            GatewayRoute("api/Echo", "Echo")
+        with pytest.raises(ValueError):
+            GatewayRoute("/", "Echo")
+
+    def test_trailing_slash_is_normalized(self):
+        assert GatewayRoute("/api/Echo/", "Echo").prefix == "/api/Echo"
+
+    def test_matches_exact_and_subpaths_only(self):
+        route = GatewayRoute("/api/Echo", "Echo")
+        assert route.matches("/api/Echo")
+        assert route.matches("/api/Echo/shout")
+        assert not route.matches("/api/EchoService")  # not a path boundary
+        assert not route.matches("/api")
+
+    def test_strip_returns_bare_remainder(self):
+        route = GatewayRoute("/api/Echo", "Echo")
+        assert route.strip("/api/Echo") == ""
+        assert route.strip("/api/Echo/shout") == "shout"
+        assert route.strip("/api/Echo/shout/") == "shout"
+
+
+class TestGatewayRouter:
+    def test_longest_prefix_wins(self):
+        general = GatewayRoute("/api/accounts", "AccountsV1")
+        specific = GatewayRoute("/api/accounts/v2", "AccountsV2")
+        router = GatewayRouter([general, specific])
+        assert router.resolve("/api/accounts/v2/lookup") is specific
+        assert router.resolve("/api/accounts/lookup") is general
+
+    def test_insertion_order_does_not_matter(self):
+        general = GatewayRoute("/api/accounts", "AccountsV1")
+        specific = GatewayRoute("/api/accounts/v2", "AccountsV2")
+        assert GatewayRouter([specific, general]).resolve(
+            "/api/accounts/v2/lookup"
+        ) is specific
+
+    def test_no_route_resolves_none(self):
+        router = GatewayRouter([GatewayRoute("/api/Echo", "Echo")])
+        assert router.resolve("/other/Echo/shout") is None
+
+    def test_duplicate_prefix_rejected(self):
+        router = GatewayRouter([GatewayRoute("/api/Echo", "Echo")])
+        with pytest.raises(ValueError):
+            router.add(GatewayRoute("/api/Echo", "Other"))
+
+    def test_routes_returns_a_copy(self):
+        router = GatewayRouter([GatewayRoute("/api/Echo", "Echo")])
+        router.routes().clear()
+        assert len(router.routes()) == 1

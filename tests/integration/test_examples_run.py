@@ -118,3 +118,14 @@ def test_replicated_service():
     assert "fleet SLO green: True; firing alerts: 0" in out
     assert "all replicas live again: True" in out
     assert "error=0" in out
+
+
+def test_gateway_demo():
+    out = run_example("gateway_demo.py")
+    assert 'anonymous call   -> 401 (Bearer realm="repro-gateway")' in out
+    assert "token issued     -> 200" in out
+    assert "mediated call    -> 200" in out
+    assert "brute-force wall -> 429" in out
+    assert "replica killed   -> 10/10 calls still ok" in out
+    assert "after logout     -> 401" in out
+    assert 'repro_gateway_requests_total{route="/api/Quote",outcome="ok"}' in out
