@@ -58,6 +58,7 @@ GUARDED = (
     ("bench_transport_throughput.py", "BENCH_transport.json", "serialized_client"),
     ("bench_failover.py", "BENCH_failover.json", "single_replica"),
     ("bench_gateway.py", "BENCH_gateway.json", "direct_replica"),
+    ("bench_profiling.py", "BENCH_profiling.json", "profiler_off"),
 )
 
 

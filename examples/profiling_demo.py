@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Continuous profiling: where the time goes, joined to traces and SLOs.
+
+The monitoring plane says *that* a service is slow; the profiling plane
+says *where*.  This demo:
+
+1. starts an HTTP node whose ``/work`` route burns CPU in a
+   recognizable function, serving ``/metrics`` and the ``/debug/*``
+   routes (``/debug/profile``, ``/debug/threads``,
+   ``/debug/profiles/last``)
+2. pulls a profile over the wire while load threads hammer ``/work``
+   and shows the folded stacks + ASCII flamegraph naming the hot frame
+   — tagged with the route the server span carried
+3. fires a real burn-rate SLO alert and shows the alert *auto-captures*
+   a profile into the bounded ring that ``/debug/profiles/last`` serves
+4. shows the slow bucket's OpenMetrics exemplar (``# {trace_id="..."}``)
+   resolving to a trace the tail sampler kept
+5. points a ``FleetMonitor`` at the node and renders the fleet-wide
+   hot-path section of its dashboard, plus the connection-pool gauges
+   on ``/healthz``
+"""
+
+import threading
+import time
+
+from repro.events.bus import EventBus
+from repro.observability import (
+    BurnRateRule,
+    HealthHandler,
+    MetricsRegistry,
+    ProfileRing,
+    SloEngine,
+    SloObjective,
+    SpanCollector,
+    TailSampler,
+    attach_auto_capture,
+    observability_routes,
+    observed,
+    parse_prometheus,
+)
+from repro.services import FleetMonitor
+from repro.transport import HttpClient, HttpResponse, HttpServer
+from repro.web import compose_handlers
+
+BURN = 0.08   # seconds of CPU per slow /work call
+BOUND = 0.05  # SLO latency bound
+
+
+def burn_cpu(seconds: float) -> int:
+    """The hot frame every profile in this demo should name."""
+    acc = 0
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        acc = (acc * 31 + 7) % 1000003
+    return acc
+
+
+def main() -> None:
+    registry = MetricsRegistry()
+    latency = registry.histogram(
+        "rpc_seconds", "Observed /work latency.",
+        labelnames=("operation",), buckets=(0.01, BOUND, 0.25, 1.0),
+    )
+
+    def work(request):
+        seconds = float(request.query.get("d", "0"))
+        started = time.perf_counter()
+        if seconds:
+            burn_cpu(seconds)
+        latency.observe(time.perf_counter() - started, operation="work")
+        return HttpResponse.text_response("ok\n")
+
+    keeper = SpanCollector()
+    sampler = TailSampler(keeper, slow_threshold=BOUND)
+    ring = ProfileRing(4)
+    clock = [0.0]
+    alert_bus = EventBus()  # unstarted: synchronous delivery
+    attach_auto_capture(alert_bus, ring, seconds=0.4, hz=200.0, background=False)
+    engine = SloEngine(
+        [
+            SloObjective(
+                name="work-latency",
+                family="rpc_seconds",
+                objective=0.9,
+                latency_bound=BOUND,
+                labels={"operation": "work"},
+            )
+        ],
+        rules=[BurnRateRule(10.0, 30.0, burn_threshold=2.0)],
+        bus=alert_bus,
+        clock=lambda: clock[0],
+    )
+
+    health = HealthHandler()
+    handler = compose_handlers(
+        {
+            "/work": work,
+            **observability_routes(
+                registry=registry, health=health, profile_ring=ring
+            ),
+        }
+    )
+
+    with observed(sampler), HttpServer(handler, workers=4) as node:
+        client = HttpClient(node.host, node.port, pool_size=4)
+        health.watch_pool(client, "demo_pool")
+        stop = threading.Event()
+
+        def pound():
+            mine = HttpClient(node.host, node.port)
+            try:
+                while not stop.is_set():
+                    mine.get(f"/work?d={BURN}")
+            except OSError:
+                pass
+            finally:
+                mine.close()
+
+        load = [threading.Thread(target=pound, daemon=True) for _ in range(3)]
+        for thread in load:
+            thread.start()
+        try:
+            print("-- 1. profile over the wire while the load burns --")
+            page = client.get("/debug/profile?seconds=0.5&hz=200").text()
+            top = next(
+                l for l in page.splitlines()
+                if not l.startswith(("#", "(idle)"))
+            )
+            print(f"  hottest working stack: ...{top[-70:]}")
+            print(f"  names the burner: {'burn_cpu' in page}")
+            tagged = [l for l in page.splitlines() if l.startswith("route:/work")]
+            print(f"  tagged with its route: {bool(tagged)}")
+            flame = client.get(
+                "/debug/profile?seconds=0.3&hz=200&format=flame"
+            ).text()
+            print("  flamegraph excerpt:")
+            for line in flame.splitlines()[:4]:
+                print(f"    {line}")
+
+            print("\n-- 2. SLO firing auto-captures a profile --")
+            engine.evaluate(registry.collect())  # healthy baseline
+            clock[0] += 5.0
+            transitions = engine.evaluate(registry.collect())
+            while not transitions:
+                clock[0] += 5.0
+                transitions = engine.evaluate(registry.collect())
+            print(f"  alert: {transitions[0]['objective']} -> firing")
+            report = ring.last()
+            print(f"  auto-captured: reason={report.reason} "
+                  f"samples={report.samples}")
+            served = client.get("/debug/profiles/last").text()
+            print(f"  /debug/profiles/last serves it: "
+                  f"{f'reason={report.reason}' in served}")
+        finally:
+            stop.set()
+            for thread in load:
+                thread.join(timeout=10.0)
+
+        print("\n-- 3. the slow bucket exemplar joins metrics to traces --")
+        metrics_page = client.get("/metrics").text()
+        exemplar_line = next(
+            l for l in metrics_page.splitlines() if "# {trace_id=" in l
+        )
+        print(f"  {exemplar_line}")
+        family = next(
+            f for f in parse_prometheus(metrics_page) if f.name == "rpc_seconds"
+        )
+        exemplars = family.exemplars[("work",)]
+        slow_bound = min(b for b in exemplars if b > BOUND)
+        trace_hex, value = exemplars[slow_bound]
+        kept = int(trace_hex, 16) in keeper.trace_ids()
+        print(f"  slow exemplar {trace_hex[:16]}... ({value:.3f}s) "
+              f"resolves to a kept trace: {kept}")
+
+        print("\n-- 4. fleet hot paths + pool capacity --")
+        monitor = FleetMonitor()
+        monitor.add_target("alpha", node.base_url)
+        stop = threading.Event()
+        refill = [threading.Thread(target=pound, daemon=True) for _ in range(2)]
+        for thread in refill:
+            thread.start()
+        try:
+            monitor.profile_fleet(seconds=0.4, hz=200.0)
+        finally:
+            stop.set()
+            for thread in refill:
+                thread.join(timeout=10.0)
+        for line in monitor.dashboard().splitlines():
+            if "hot paths" in line or "burn_cpu" in line:
+                print(f"  {line.strip()}")
+        stats = client.pool_stats()
+        print(f"  client pool: in_use={stats['in_use']} idle={stats['idle']} "
+              f"waiters={stats['waiters']}")
+        healthz = client.get("/healthz").text()
+        print(f"  /healthz carries pool detail: {'demo_pool' in healthz}")
+        client.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -50,9 +50,9 @@ from ..core.faults import (
     TimeoutFault,
     TransportError,
 )
-from ..observability.exposition import HealthHandler, metrics_handler
+from ..observability.exposition import HealthHandler, debug_routes, metrics_handler
 from ..observability.logs import Logger, access_log, get_logger
-from ..observability.metrics import LATENCY_BUCKETS, MetricsRegistry
+from ..observability.metrics import LATENCY_BUCKETS, MetricFamily, MetricsRegistry
 from ..observability.runtime import OBS
 from ..resilience.binding import PooledHttpClients
 from ..resilience.replica import ReplicaBalancer
@@ -96,6 +96,7 @@ class Gateway:
         registry: Optional[MetricsRegistry] = None,
         access_logger: Optional[Logger] = None,
         balancer_factory: Optional[Callable[[str, GatewayRoute], Any]] = None,
+        debug_permission: Optional[str] = "debug:profile",
         **balancer_kwargs: Any,
     ) -> None:
         self.broker = broker
@@ -103,6 +104,9 @@ class Gateway:
         self.security = security or SecurityPolicy()
         self.limiter = limiter or RateLimiter()
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: RBAC permission guarding ``/debug/*`` (``None`` = any
+        #: *authenticated* principal; anonymous callers are always 401).
+        self.debug_permission = debug_permission
         self._balancer_factory = balancer_factory
         self._balancer_kwargs = balancer_kwargs
         self._http_clients = PooledHttpClients()
@@ -126,8 +130,14 @@ class Gateway:
             "Requests the gateway refused before any upstream call, by reason.",
             ("reason",),
         )
+        self.registry.register_collector(self._capacity_families)
         self._metrics_route = metrics_handler(self.registry)
-        self.health = HealthHandler().add_check("backends", self._backends_published)
+        self._debug_handlers = debug_routes()
+        self.health = (
+            HealthHandler()
+            .add_check("backends", self._backends_published)
+            .watch_pool(self._http_clients, "upstream_pools")
+        )
 
     # -- lifecycle -------------------------------------------------------
     def start(
@@ -216,6 +226,23 @@ class Gateway:
         if OBS.enabled:
             OBS.instruments.gateway_rejections.inc(reason=reason)
 
+    def _capacity_families(self) -> list[MetricFamily]:
+        """Scrape-time capacity gauges: live rate-limiter bucket count.
+
+        Tracked keys grow one per active principal (or anonymous
+        address), so this gauge is the gateway's live-client cardinality
+        — and an early sign of key-cardinality abuse.
+        """
+        return [
+            MetricFamily(
+                "repro_gateway_rate_buckets",
+                "gauge",
+                "Live per-principal rate-limiter buckets tracked by the gateway.",
+                (),
+                {(): float(self.limiter.tracked_keys())},
+            )
+        ]
+
     # -- dispatch --------------------------------------------------------
     def __call__(self, request: HttpRequest) -> HttpResponse:
         started = time.perf_counter()
@@ -224,6 +251,10 @@ class Gateway:
             return self._metrics_route(request)
         if path == "/healthz":
             return self.health(request)
+        if path == "/debug" or path.startswith("/debug/"):
+            response = self._debug_route(request)
+            self._observe("/debug", "ok" if response.ok else "denied", started)
+            return response
         if path == "/auth/token":
             response = self._token_route(request)
         elif path == "/auth/logout":
@@ -249,6 +280,28 @@ class Gateway:
         return response
 
     # -- self-routes -----------------------------------------------------
+    def _debug_route(self, request: HttpRequest) -> HttpResponse:
+        """RBAC-guarded front for the observability ``/debug/*`` routes.
+
+        Profiling and thread dumps expose internals (code paths, remote
+        targets), so unlike ``/metrics`` they are never anonymous: the
+        caller must present a valid bearer token carrying
+        :attr:`debug_permission`.
+        """
+        try:
+            principal = self.security.authenticate(request)
+            if self.debug_permission is not None:
+                self.security.authorize(principal, self.debug_permission)
+            else:
+                self.security.require(principal)
+        except GatewayAuthError as exc:
+            self._refused("unauthenticated" if exc.status == 401 else "forbidden")
+            return self._auth_error_response(exc)
+        handler = self._debug_handlers.get(request.path)
+        if handler is None:
+            return HttpResponse.error(404, f"no debug route {request.path}")
+        return handler(request)
+
     def _token_route(self, request: HttpRequest) -> HttpResponse:
         if request.method != "POST":
             return HttpResponse.error(405, "POST only")

@@ -32,6 +32,12 @@ The monitoring plane builds three more pillars on top:
   :class:`BurnRateRule` evaluated from metric families (local or
   fleet-merged), with a deterministic pending → firing → resolved
   alert machine publishing onto :class:`repro.events.bus.EventBus`.
+* **profiling** (:mod:`.profiling`) — a zero-dependency
+  :class:`SamplingProfiler` over ``sys._current_frames()`` producing
+  route-tagged folded stacks (collapsed text + ASCII flamegraphs),
+  ``/debug/profile`` / ``/debug/threads`` routes, SLO-firing
+  auto-capture into a bounded :class:`ProfileRing`, and histogram
+  *trace exemplars* linking slow buckets to tail-sampled traces.
 
 Everything is off by default and costs a flag check per call site;
 ``OBS.enable()`` / :func:`observed` turn it on.  See
@@ -50,6 +56,7 @@ from .trace import (
     Tracer,
     add_event,
     current_span,
+    current_trace_id,
     render_trace_tree,
 )
 from .metrics import (
@@ -72,6 +79,7 @@ from .runtime import (
 )
 from .exposition import (
     HealthHandler,
+    debug_routes,
     metrics_handler,
     observability_routes,
     parse_prometheus,
@@ -91,6 +99,17 @@ from .logs import (
     get_logger,
     level_name,
 )
+from .profiling import (
+    LAST_PROFILES,
+    ProfileReport,
+    ProfileRing,
+    SamplingProfiler,
+    attach_auto_capture,
+    dump_threads,
+    merge_folded,
+    parse_collapsed,
+    render_flamegraph,
+)
 from .sampling import KEEP_ATTRIBUTE, SamplingPolicy, TailSampler, mark_trace
 from .slo import (
     DEFAULT_RULES,
@@ -106,7 +125,7 @@ __all__ = [
     # trace
     "TraceContext", "Span", "SpanEvent", "Tracer", "SpanCollector",
     "NullExporter", "NOOP_SPAN", "TRACEPARENT_HEADER",
-    "current_span", "add_event", "render_trace_tree",
+    "current_span", "current_trace_id", "add_event", "render_trace_tree",
     # metrics
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "AtomicCounter",
     "MetricFamily", "MetricsError", "LATENCY_BUCKETS",
@@ -115,7 +134,11 @@ __all__ = [
     "observed", "server_span",
     # exposition
     "render_prometheus", "parse_prometheus", "metrics_handler",
-    "HealthHandler", "observability_routes",
+    "HealthHandler", "observability_routes", "debug_routes",
+    # profiling
+    "SamplingProfiler", "ProfileReport", "ProfileRing", "LAST_PROFILES",
+    "attach_auto_capture", "dump_threads", "parse_collapsed",
+    "merge_folded", "render_flamegraph",
     # logs
     "LogRecord", "Logger", "RingBufferSink", "access_log", "get_logger",
     "default_sink", "format_records", "level_name",

@@ -28,6 +28,7 @@ __all__ = [
     "parse_prometheus",
     "metrics_handler",
     "HealthHandler",
+    "debug_routes",
     "observability_routes",
 ]
 
@@ -69,15 +70,25 @@ def _render_family(family: MetricFamily) -> list[str]:
         value = family.samples[key]
         if family.kind == "histogram":
             counts, total, count = value
+            exemplars = family.exemplars.get(key, {})
             cumulative = 0
             bounds = [*family.buckets, float("inf")]
             for bound, bucket_count in zip(bounds, counts):
                 cumulative += bucket_count
                 le = "+Inf" if bound == float("inf") else _format_value(bound)
+                exemplar = exemplars.get(bound)
+                annotation = ""
+                if exemplar is not None:
+                    trace_hex, observed = exemplar
+                    annotation = (
+                        f' # {{trace_id="{_escape_label(trace_hex)}"}}'
+                        f" {repr(float(observed))}"
+                    )
                 lines.append(
                     f"{family.name}_bucket"
                     + _label_block(family.labelnames, key, f'le="{le}"')
                     + f" {cumulative}"
+                    + annotation
                 )
             lines.append(
                 f"{family.name}_sum"
@@ -158,6 +169,49 @@ def _parse_labels(block: str) -> dict[str, str]:
     return labels
 
 
+def _split_exemplar(
+    line: str,
+) -> tuple[str, Optional[tuple[dict[str, str], float]]]:
+    """Peel an OpenMetrics exemplar annotation off a sample line.
+
+    ``name{le="0.1"} 5 # {trace_id="ab..."} 0.09`` returns the plain
+    sample line plus ``({"trace_id": "ab..."}, 0.09)``.  The scan walks
+    outside quoted label values, so a ``#`` *inside* a label survives.
+    A malformed annotation is dropped (the sample itself is kept) —
+    exemplars are decoration, never worth losing the count over.
+    """
+    in_quotes = False
+    i = 0
+    length = len(line)
+    while i < length:
+        ch = line[i]
+        if in_quotes:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == '"':
+                in_quotes = False
+            i += 1
+            continue
+        if ch == '"':
+            in_quotes = True
+        elif ch == "#" and i > 0 and line[i - 1] == " ":
+            body = line[: i - 1].rstrip()
+            annotation = line[i + 1 :].strip()
+            if annotation.startswith("{"):
+                block, closed, value_text = annotation[1:].partition("}")
+                if closed:
+                    try:
+                        labels = _parse_labels(block)
+                        value = float(value_text.strip().split()[0])
+                    except (ValueError, IndexError):
+                        return body, None
+                    return body, (labels, value)
+            return body, None
+        i += 1
+    return line, None
+
+
 def _parse_sample_line(line: str) -> tuple[str, dict[str, str], float]:
     """Split ``name{labels} value`` into its parts (labels may be absent)."""
     if "{" in line:
@@ -222,6 +276,7 @@ def parse_prometheus(text: str) -> list[MetricFamily]:
             continue
         if line.startswith("#"):
             continue
+        line, exemplar = _split_exemplar(line)
         try:
             name, labels, value = _parse_sample_line(line)
         except (ValueError, IndexError):
@@ -233,11 +288,16 @@ def parse_prometheus(text: str) -> list[MetricFamily]:
             le = labels.pop("le", None)
             key = tuple(sorted(labels.items()))
             entry = histograms.setdefault(family, {}).setdefault(
-                key, {"buckets": {}, "sum": 0.0, "count": 0}
+                key, {"buckets": {}, "sum": 0.0, "count": 0, "exemplars": {}}
             )
             if name.endswith("_bucket") and le is not None:
                 bound = float("inf") if le == "+Inf" else float(le)
                 entry["buckets"][bound] = value
+                if exemplar is not None and "trace_id" in exemplar[0]:
+                    entry["exemplars"][bound] = (
+                        exemplar[0]["trace_id"],
+                        exemplar[1],
+                    )
             elif name.endswith("_sum"):
                 entry["sum"] = value
             elif name.endswith("_count"):
@@ -258,6 +318,7 @@ def parse_prometheus(text: str) -> list[MetricFamily]:
             finite = tuple(b for b in bounds if b != float("inf"))
             labelnames: tuple[str, ...] = ()
             samples: dict[tuple[str, ...], Any] = {}
+            exemplars: dict[tuple[str, ...], dict[float, tuple[str, float]]] = {}
             for key, entry in sorted(children.items()):
                 labelnames = tuple(name for name, _ in key)
                 cumulative = [entry["buckets"].get(b, 0.0) for b in finite]
@@ -267,13 +328,19 @@ def parse_prometheus(text: str) -> list[MetricFamily]:
                 for cum in [*cumulative, inf_cum]:
                     counts.append(int(cum - previous))
                     previous = cum
-                samples[tuple(value for _, value in key)] = (
+                value_key = tuple(value for _, value in key)
+                samples[value_key] = (
                     counts,
                     entry["sum"],
                     entry["count"],
                 )
+                if entry["exemplars"]:
+                    exemplars[value_key] = dict(entry["exemplars"])
             families.append(
-                MetricFamily(family, kind, help_text, labelnames, samples, finite)
+                MetricFamily(
+                    family, kind, help_text, labelnames, samples, finite,
+                    exemplars=exemplars,
+                )
             )
         else:
             children_scalar = scalars.get(family, {})
@@ -337,6 +404,7 @@ class HealthHandler:
         self._breakers: list[tuple[str, Any]] = []
         self._quarantines: list[tuple[str, Any]] = []
         self._checks: list[tuple[str, Callable[[], Any]]] = []
+        self._pools: list[tuple[str, Any]] = []
 
     # -- registration ----------------------------------------------------
     def watch_breakers(self, registry: Any, name: str = "breakers") -> "HealthHandler":
@@ -349,6 +417,19 @@ class HealthHandler:
 
     def add_check(self, name: str, check: Callable[[], Any]) -> "HealthHandler":
         self._checks.append((name, check))
+        return self
+
+    def watch_pool(self, pool: Any, name: str = "http_pool") -> "HealthHandler":
+        """Surface connection-pool occupancy in the health document.
+
+        ``pool`` is anything with ``pool_stats()`` — a single
+        :class:`~repro.transport.httpserver.HttpClient` or a
+        :class:`~repro.resilience.binding.PooledHttpClients` aggregate.
+        Occupancy is *detail*, not a verdict: a busy pool does not flip
+        ``/healthz`` to 503, but ``waiters > 0`` is visible here before
+        any borrow-timeout ``OSError`` fires.
+        """
+        self._pools.append((name, pool))
         return self
 
     # -- evaluation ------------------------------------------------------
@@ -378,6 +459,12 @@ class HealthHandler:
             checks[name] = "ok" if ok else "failing"
             if not ok:
                 healthy = False
+        pools: dict[str, Any] = {}
+        for name, pool in self._pools:
+            try:
+                pools[name] = pool.pool_stats()
+            except Exception as exc:  # noqa: BLE001 - detail must not kill /healthz
+                pools[name] = f"error: {exc}"
         document: dict[str, Any] = {"status": "ok" if healthy else "degraded"}
         if breakers:
             document["breakers"] = breakers
@@ -385,6 +472,8 @@ class HealthHandler:
             document["quarantines"] = quarantines
         if checks:
             document["checks"] = checks
+        if pools:
+            document["pools"] = pools
         return document
 
     def __call__(self, request):
@@ -401,9 +490,113 @@ class HealthHandler:
         )
 
 
+# ---------------------------------------------------------------------------
+# debug routes: on-demand profiling and thread dumps
+# ---------------------------------------------------------------------------
+
+#: Server-side caps on ``/debug/profile`` query parameters: a remote
+#: caller must not be able to park a worker thread for minutes or spin
+#: the sampler at absurd rates.
+MAX_PROFILE_SECONDS = 30.0
+MAX_PROFILE_HZ = 997.0
+
+
+def profile_handler(
+    *,
+    default_seconds: float = 1.0,
+    default_hz: float = 100.0,
+) -> Callable[[Any], Any]:
+    """``GET /debug/profile?seconds=&hz=``: run one profiling session.
+
+    Blocks the serving worker for ``seconds`` (capped), then answers with
+    collapsed-stack text — or an ASCII flamegraph with ``format=flame``.
+    ``idle=1`` keeps parked-thread stacks verbatim instead of folding
+    them into ``(idle)``.
+    """
+    from ..transport.http11 import HttpResponse  # lazy: layering
+
+    def handle(request) -> "HttpResponse":
+        if request.method != "GET":
+            return HttpResponse.error(405, "GET only")
+        from .profiling import SamplingProfiler  # lazy: only when used
+
+        query = request.query
+        try:
+            seconds = float(query.get("seconds", default_seconds))
+            hz = float(query.get("hz", default_hz))
+        except ValueError:
+            return HttpResponse.error(400, "seconds and hz must be numbers")
+        if seconds <= 0 or hz <= 0:
+            return HttpResponse.error(400, "seconds and hz must be positive")
+        seconds = min(seconds, MAX_PROFILE_SECONDS)
+        hz = min(hz, MAX_PROFILE_HZ)
+        profiler = SamplingProfiler(hz=hz, include_idle=query.get("idle") == "1")
+        report = profiler.profile(seconds, reason="debug_endpoint")
+        if query.get("format") == "flame":
+            return HttpResponse.text_response(report.flamegraph())
+        return HttpResponse.text_response(report.collapsed())
+
+    return handle
+
+
+def threads_handler() -> Callable[[Any], Any]:
+    """``GET /debug/threads``: instant stack dump of every live thread."""
+    from ..transport.http11 import HttpResponse  # lazy: layering
+
+    def handle(request) -> "HttpResponse":
+        if request.method != "GET":
+            return HttpResponse.error(405, "GET only")
+        from .profiling import dump_threads  # lazy: only when used
+
+        return HttpResponse.text_response(dump_threads())
+
+    return handle
+
+
+def last_profiles_handler(ring: Optional[Any] = None) -> Callable[[Any], Any]:
+    """``GET /debug/profiles/last``: the newest auto-captured profile.
+
+    Serves from ``ring`` (default: the module-wide
+    :data:`~repro.observability.profiling.LAST_PROFILES` that SLO-firing
+    auto-capture fills); 404 until something has been captured.
+    """
+    from ..transport.http11 import HttpResponse  # lazy: layering
+
+    def handle(request) -> "HttpResponse":
+        if request.method != "GET":
+            return HttpResponse.error(405, "GET only")
+        from .profiling import LAST_PROFILES  # lazy: only when used
+
+        source = ring if ring is not None else LAST_PROFILES
+        report = source.last()
+        if report is None:
+            return HttpResponse.error(404, "no profile captured yet")
+        if request.query.get("format") == "flame":
+            return HttpResponse.text_response(report.flamegraph())
+        return HttpResponse.text_response(report.collapsed())
+
+    return handle
+
+
+def debug_routes(profile_ring: Optional[Any] = None) -> dict[str, Callable[[Any], Any]]:
+    """The ``/debug/*`` route table (profiling + thread dumps).
+
+    Mounted by default via :func:`observability_routes`; the gateway
+    fronts the same paths behind RBAC (``Gateway.debug_permission``).
+    """
+    return {
+        "/debug/profile": profile_handler(),
+        "/debug/threads": threads_handler(),
+        "/debug/profiles/last": last_profiles_handler(profile_ring),
+    }
+
+
 def observability_routes(
     registry: Optional[MetricsRegistry] = None,
     health: Optional[HealthHandler] = None,
+    *,
+    debug: bool = True,
+    profile_ring: Optional[Any] = None,
 ) -> dict[str, Callable[[Any], Any]]:
     """Route table for :func:`repro.web.app.compose_handlers`.
 
@@ -415,8 +608,17 @@ def observability_routes(
             "/rest": rest_endpoint,
             **observability_routes(health=health),
         })
+
+    ``debug=True`` (the default) also mounts :func:`debug_routes` —
+    ``/debug/profile``, ``/debug/threads`` and ``/debug/profiles/last``.
+    Nodes exposed directly to untrusted callers should either pass
+    ``debug=False`` or sit behind the gateway, which guards the paths
+    with RBAC.
     """
-    return {
+    routes: dict[str, Callable[[Any], Any]] = {
         "/metrics": metrics_handler(registry),
         "/healthz": health if health is not None else HealthHandler(),
     }
+    if debug:
+        routes.update(debug_routes(profile_ring))
+    return routes

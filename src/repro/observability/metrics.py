@@ -21,6 +21,8 @@ import threading
 from bisect import bisect_left
 from typing import Any, Callable, Iterable, Optional, Sequence
 
+from .trace import current_trace_id
+
 __all__ = [
     "AtomicCounter",
     "Counter",
@@ -73,21 +75,32 @@ class AtomicCounter:
 
 
 class HistogramData:
-    """One histogram child: cumulative-ready bucket counts, sum, count."""
+    """One histogram child: cumulative-ready bucket counts, sum, count.
 
-    __slots__ = ("_lock", "buckets", "counts", "sum")
+    Each bucket also remembers its *exemplar* — the last
+    ``(trace_id_hex, observed_value)`` that landed in it while a sampled
+    trace was active — so a slow bucket on ``/metrics`` links straight to
+    a concrete trace (OpenMetrics-style).  Exemplars ride beside the
+    counts, never inside the ``(counts, sum, count)`` snapshot triple:
+    every existing consumer keeps unpacking exactly three elements.
+    """
+
+    __slots__ = ("_lock", "buckets", "counts", "sum", "exemplars")
 
     def __init__(self, buckets: tuple[float, ...], lock: threading.Lock) -> None:
         self._lock = lock
         self.buckets = buckets
         self.counts = [0] * (len(buckets) + 1)  # +1: the +Inf bucket
         self.sum = 0.0
+        self.exemplars: list[Optional[tuple[str, float]]] = [None] * len(self.counts)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[int] = None) -> None:
         index = bisect_left(self.buckets, value)
         with self._lock:
             self.counts[index] += 1
             self.sum += value
+            if trace_id is not None:
+                self.exemplars[index] = (f"{trace_id:032x}", value)
 
     def snapshot(self) -> tuple[list[int], float, int]:
         """(per-bucket counts, sum, total count) — consistent under lock."""
@@ -95,16 +108,33 @@ class HistogramData:
             counts = list(self.counts)
             return counts, self.sum, sum(counts)
 
+    def exemplar_snapshot(self) -> dict[float, tuple[str, float]]:
+        """Bucket upper bound -> (trace_id hex, value); +Inf is ``inf``."""
+        with self._lock:
+            exemplars = list(self.exemplars)
+        bounds = self.buckets + (float("inf"),)
+        return {
+            bounds[i]: exemplar
+            for i, exemplar in enumerate(exemplars)
+            if exemplar is not None
+        }
+
 
 class MetricFamily:
     """A scrape-time row set for one instrument family.
 
     ``kind`` ∈ {"counter", "gauge", "histogram"}.  ``samples`` maps a
     label-values tuple to a float (counter/gauge) or to a
-    ``(bucket_counts, sum, count)`` triple (histogram).
+    ``(bucket_counts, sum, count)`` triple (histogram).  Histogram
+    families may additionally carry ``exemplars`` — a parallel mapping of
+    the same label-values tuples to ``{bucket_bound: (trace_id_hex,
+    value)}`` — kept *outside* the sample triple so consumers that unpack
+    three elements are untouched.
     """
 
-    __slots__ = ("name", "kind", "help", "labelnames", "samples", "buckets")
+    __slots__ = (
+        "name", "kind", "help", "labelnames", "samples", "buckets", "exemplars",
+    )
 
     def __init__(
         self,
@@ -114,6 +144,7 @@ class MetricFamily:
         labelnames: tuple[str, ...],
         samples: dict[tuple[str, ...], Any],
         buckets: tuple[float, ...] = (),
+        exemplars: Optional[dict[tuple[str, ...], dict[float, tuple[str, float]]]] = None,
     ) -> None:
         self.name = name
         self.kind = kind
@@ -121,6 +152,7 @@ class MetricFamily:
         self.labelnames = labelnames
         self.samples = samples
         self.buckets = buckets
+        self.exemplars = exemplars if exemplars is not None else {}
 
 
 class _Instrument:
@@ -292,11 +324,38 @@ class Histogram(_Instrument):
         return child.snapshot()
 
     def observe(self, value: float, **labelvalues: Any) -> None:
-        self._child_for(self._key(labelvalues)).observe(value)
+        """Record ``value``, stamping the bucket with the active trace.
+
+        When a sampled span is open on this thread, its trace id becomes
+        the bucket's exemplar — the link from a latency bucket back to a
+        tail-sampled trace.  Outside any trace the observe is exactly as
+        cheap as before (one ContextVar read extra).
+        """
+        self._child_for(self._key(labelvalues)).observe(value, current_trace_id())
 
     def count(self, **labelvalues: Any) -> int:
         child = self._children.get(self._key(labelvalues))
         return child.snapshot()[2] if child is not None else 0
+
+    def family(self) -> MetricFamily:
+        with self._lock:
+            children = dict(self._children)
+        exemplars = {}
+        samples = {}
+        for key, child in children.items():
+            samples[key] = child.snapshot()
+            bucket_exemplars = child.exemplar_snapshot()
+            if bucket_exemplars:
+                exemplars[key] = bucket_exemplars
+        return MetricFamily(
+            self.name,
+            self.kind,
+            self.help,
+            self.labelnames,
+            samples,
+            self.buckets,
+            exemplars=exemplars,
+        )
 
 
 Collector = Callable[[], Iterable[MetricFamily]]

@@ -21,6 +21,7 @@ leak samples into each other.
 from __future__ import annotations
 
 import itertools
+import sys
 import threading
 import time
 from contextlib import contextmanager
@@ -169,6 +170,14 @@ class BusDispatchMetrics:
         ]
 
 
+def _transport_pool_families() -> list[MetricFamily]:
+    """Scrape-time bridge to the HttpClient pool gauges, if transport is up."""
+    transport = sys.modules.get("repro.transport.httpserver")
+    if transport is None:
+        return []
+    return transport.pool_metric_families()
+
+
 class Instruments:
     """Every pre-registered instrument family, one attribute each.
 
@@ -311,6 +320,33 @@ class Instruments:
             "Requests the gateway refused before any upstream call, by reason.",
             ("reason",),
         )
+        self.replica_inflight = registry.gauge(
+            "repro_replica_inflight",
+            "Calls currently in flight to each replica endpoint.",
+            ("service", "replica"),
+        )
+        self.profiler_active = registry.gauge(
+            "repro_profiler_active",
+            "Sampling profiler sessions currently running in this process.",
+            (),
+        )
+        self.profiler_samples = registry.counter(
+            "repro_profiler_samples_total",
+            "Thread-stack samples aggregated by the sampling profiler.",
+            (),
+        )
+        self.profiler_captures = registry.counter(
+            "repro_profiler_captures_total",
+            "Profiles captured automatically, by trigger.",
+            ("trigger",),
+        )
+        # Connection-pool capacity gauges come from a scrape-time
+        # collector rather than pre-registered children: pools are
+        # per-HttpClient objects living in the transport layer, which
+        # observability must not import eagerly (layering).  The
+        # collector reports only when the transport module is already
+        # loaded — it never triggers the import itself.
+        registry.register_collector(_transport_pool_families)
 
 
 class Observability:

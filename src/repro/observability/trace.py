@@ -44,7 +44,9 @@ __all__ = [
     "SpanCollector",
     "NOOP_SPAN",
     "current_span",
+    "current_trace_id",
     "add_event",
+    "set_profile_hook",
     "render_trace_tree",
 ]
 
@@ -113,6 +115,23 @@ class SpanEvent:
 # current logical context.  contextvars gives each thread — and each
 # asyncio task, should one appear — its own slot.
 _ACTIVE: ContextVar[Optional[object]] = ContextVar("repro_active_span", default=None)
+
+# Profiler hooks: while a SamplingProfiler runs, repro.observability.profiling
+# installs (enter, exit) callables here so samples can be tagged with the
+# active span's route.  Both None when no profiler is live — the cost on
+# every span enter/exit is then one global load and a falsy branch.
+_PROFILE_ENTER: Optional[Callable[["Span"], None]] = None
+_PROFILE_EXIT: Optional[Callable[["Span"], None]] = None
+
+
+def set_profile_hook(
+    enter: Optional[Callable[["Span"], None]],
+    exit: Optional[Callable[["Span"], None]],
+) -> None:
+    """Install (or, with ``None, None``, remove) the profiler span hooks."""
+    global _PROFILE_ENTER, _PROFILE_EXIT
+    _PROFILE_ENTER = enter
+    _PROFILE_EXIT = exit
 
 
 class Span:
@@ -194,6 +213,8 @@ class Span:
     # -- context manager ------------------------------------------------
     def __enter__(self) -> "Span":
         self._token = _ACTIVE.set(self)
+        if _PROFILE_ENTER is not None:
+            _PROFILE_ENTER(self)
         return self
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
@@ -203,6 +224,8 @@ class Span:
         if self._token is not None:
             _ACTIVE.reset(self._token)
             self._token = None
+        if _PROFILE_EXIT is not None:
+            _PROFILE_EXIT(self)
         self._tracer._export(self)
         return False
 
@@ -435,6 +458,20 @@ def current_span() -> Optional[Span]:
     """The span active on this thread, if any (module-level convenience)."""
     active = _ACTIVE.get()
     return active if isinstance(active, Span) else None
+
+
+def current_trace_id() -> Optional[int]:
+    """The active *sampled* trace id, or None.
+
+    The exemplar seam: ``Histogram.observe`` calls this to stamp the
+    bucket a latency landed in with the trace that produced it.  Traces
+    an upstream head-sampler dropped return None — an exemplar pointing
+    at a trace nobody kept would be a dead link.
+    """
+    active = _ACTIVE.get()  # a Span or a server-activated TraceContext
+    if active is None or not active.sampled:
+        return None
+    return active.trace_id
 
 
 def add_event(name: str, **attributes: Any) -> None:

@@ -119,6 +119,23 @@ class PooledHttpClients:
                 self._clients[key] = client
             return client
 
+    def pool_stats(self) -> dict[str, dict[str, int]]:
+        """Per-authority pool occupancy across every dialed client.
+
+        The shape :meth:`HealthHandler.watch_pool` renders into the
+        ``/healthz`` detail — clients without ``pool_stats`` (custom
+        factories) are skipped rather than failing the document.
+        """
+        with self._lock:
+            clients = dict(self._clients)
+        stats: dict[str, dict[str, int]] = {}
+        for (host, port), client in sorted(clients.items()):
+            stats_fn = getattr(client, "pool_stats", None)
+            if stats_fn is None:
+                continue
+            stats[f"{host}:{port}"] = stats_fn()
+        return stats
+
     def close(self) -> None:
         """Close every pooled HTTP client dialed so far."""
         with self._lock:

@@ -113,7 +113,10 @@ class HedgePolicy:
 class _ReplicaState:
     """Balancer-local bookkeeping for one endpoint (broker holds QoS)."""
 
-    __slots__ = ("failures", "ejected_until", "cooling_until", "ejections", "ejected")
+    __slots__ = (
+        "failures", "ejected_until", "cooling_until", "ejections", "ejected",
+        "inflight",
+    )
 
     def __init__(self) -> None:
         self.failures = 0
@@ -121,6 +124,7 @@ class _ReplicaState:
         self.cooling_until = 0.0
         self.ejections = 0
         self.ejected = False
+        self.inflight = 0
 
 
 class _LatencyWindow:
@@ -383,6 +387,7 @@ class ReplicaBalancer:
                     "status": status,
                     "failures": state.failures,
                     "ejections": state.ejections,
+                    "inflight": state.inflight,
                 }
             return out
 
@@ -421,16 +426,39 @@ class ReplicaBalancer:
         def call() -> Any:
             invoker = self._invoker_for(endpoint, registration)
             started = self._clock()
+            self._inflight_delta(endpoint, +1)
             try:
                 result = invoker(operation, arguments)
             except self._failover_on as exc:
                 self._record_failure(endpoint, exc)
                 self._outcome("failover")
                 raise
+            finally:
+                self._inflight_delta(endpoint, -1)
             self._record_success(endpoint, self._clock() - started)
             return result
 
         return call
+
+    def _inflight_delta(self, endpoint: Endpoint, delta: int) -> None:
+        """Track concurrent calls per replica (capacity observability)."""
+        with self._lock:
+            state = self._state_locked(endpoint.key)
+            state.inflight += delta
+            value = state.inflight
+        if OBS.enabled:
+            OBS.instruments.replica_inflight.set(
+                value, service=self.service_name, replica=endpoint.key
+            )
+
+    def inflight(self) -> dict[str, int]:
+        """Point-in-time concurrent calls per replica endpoint."""
+        with self._lock:
+            return {
+                key: state.inflight
+                for key, state in self._states.items()
+                if state.inflight
+            }
 
     def _call_sequential(
         self,

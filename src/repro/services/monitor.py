@@ -39,6 +39,7 @@ from ..core.faults import ServiceFault
 from ..core.service import Service, ServiceHost, operation
 from ..observability.exposition import parse_prometheus
 from ..observability.metrics import MetricFamily
+from ..observability.profiling import IDLE_KEY, OVERFLOW_KEY, merge_folded, parse_collapsed
 from ..observability.runtime import OBS
 from ..observability.slo import SloEngine
 from ..transport.rest import RestEndpoint
@@ -120,12 +121,20 @@ def _parse_base_url(base_url: str) -> tuple[str, int]:
 def relabel_families(
     families: list[MetricFamily], node: str
 ) -> list[MetricFamily]:
-    """Return copies of ``families`` with a ``node`` label on every sample."""
+    """Return copies of ``families`` with a ``node`` label on every sample.
+
+    Histogram exemplars are rekeyed the same way, so a slow bucket in the
+    merged fleet view still names the trace id (and the node) it came
+    from.
+    """
     out: list[MetricFamily] = []
     for family in families:
         labelnames = (NODE_LABEL, *family.labelnames)
         samples = {
             (node, *key): value for key, value in family.samples.items()
+        }
+        exemplars = {
+            (node, *key): value for key, value in family.exemplars.items()
         }
         out.append(
             MetricFamily(
@@ -135,6 +144,7 @@ def relabel_families(
                 labelnames,
                 samples,
                 family.buckets,
+                exemplars=exemplars,
             )
         )
     return out
@@ -164,6 +174,7 @@ def merge_families(
             if existing.kind != family.kind or existing.labelnames != family.labelnames:
                 continue  # incompatible peer dialect: keep first seen
             existing.samples.update(family.samples)
+            existing.exemplars.update(family.exemplars)
     return [merged[name] for name in sorted(order)]
 
 
@@ -203,6 +214,7 @@ class FleetMonitor:
         self._lock = threading.RLock()
         self._fleet: list[MetricFamily] = []
         self._services: dict[str, tuple[tuple[str, ...], SloEngine]] = {}
+        self._hot_paths: dict[str, int] = {}
         self.ticks = 0
 
     # -- target management ----------------------------------------------
@@ -370,6 +382,69 @@ class FleetMonitor:
         with self._lock:
             return list(self._fleet)
 
+    # -- fleet profiling --------------------------------------------------
+    def profile_fleet(
+        self, seconds: float = 1.0, hz: float = 100.0
+    ) -> dict[str, int]:
+        """Profile every target concurrently and merge the folded stacks.
+
+        Pulls each node's ``/debug/profile?seconds=&hz=`` (the collapsed
+        format) in parallel — each target blocks for ``seconds``, so the
+        fleet-wide wall cost is ``seconds`` plus scrape latency, not
+        ``seconds × targets``.  Keep ``seconds`` comfortably under
+        ``scrape_timeout`` or the pull times out.  Nodes that fail or
+        don't serve the route contribute nothing (a heterogeneous fleet
+        is fine).  The merged counts land in the ``/dashboard`` hot-path
+        section and are returned.
+        """
+        if seconds >= self.scrape_timeout:
+            raise ValueError(
+                f"seconds ({seconds:g}) must be under scrape_timeout "
+                f"({self.scrape_timeout:g}) or every pull times out"
+            )
+        with self._lock:
+            targets = list(self._targets.values())
+
+        def pull(target: ScrapeTarget) -> Optional[dict[str, int]]:
+            try:
+                client = self._client_for(target)
+                response = client.get(
+                    f"/debug/profile?seconds={seconds:g}&hz={hz:g}"
+                )
+                if response.status != 200:
+                    return None
+                return parse_collapsed(response.text())
+            except Exception:  # noqa: BLE001 - an unprofiled node is data, not death
+                self._drop_client(target.name)
+                return None
+
+        if len(targets) > 1 and self.max_parallel_scrapes > 1:
+            from concurrent.futures import ThreadPoolExecutor  # stdlib
+
+            with ThreadPoolExecutor(
+                max_workers=min(self.max_parallel_scrapes, len(targets)),
+                thread_name_prefix="monitor-profile",
+            ) as pool:
+                profiles = list(pool.map(pull, targets))
+        else:
+            profiles = [pull(target) for target in targets]
+        merged = merge_folded(p for p in profiles if p)
+        with self._lock:
+            self._hot_paths = merged
+        return merged
+
+    def hot_paths(self, n: int = 5) -> list[tuple[str, int]]:
+        """The ``n`` busiest folded stacks from the last fleet profile."""
+        with self._lock:
+            folded = dict(self._hot_paths)
+        rows = [
+            (stack, count)
+            for stack, count in folded.items()
+            if stack not in (IDLE_KEY, OVERFLOW_KEY)
+        ]
+        rows.sort(key=lambda row: (-row[1], row[0]))
+        return rows[:n]
+
     # -- evaluation ------------------------------------------------------
     def tick(self, *, now: Optional[float] = None) -> list[dict[str, Any]]:
         """One monitor cycle: scrape, merge, evaluate SLOs over the fleet.
@@ -448,6 +523,17 @@ class FleetMonitor:
         lines.append(f"alerts firing: {len(firing)}")
         for alert in firing:
             lines.append(f"  !! {alert['objective']} [{alert['rule']}]")
+        hot = self.hot_paths()
+        if hot:
+            total = sum(self._hot_paths.values()) or 1
+            lines.append("hot paths (fleet-merged profile):")
+            for stack, count in hot:
+                leaf = stack.rsplit(";", 1)[-1]
+                route = stack.split(";", 1)[0] if stack.startswith("route:") else ""
+                scope = f" [{route}]" if route else ""
+                lines.append(
+                    f"  {count / total * 100:5.1f}% {count:>6} {leaf}{scope}"
+                )
         return "\n".join(lines) + "\n"
 
 
@@ -508,6 +594,19 @@ class MonitorService(Service):
     def dashboard(self) -> str:
         """The text dashboard, identical to ``GET /dashboard``."""
         return self.monitor.dashboard()
+
+    @operation
+    def profile_fleet(self, seconds: float = 1.0, hz: float = 100.0) -> dict:
+        """Profile every target and merge the folded stacks fleet-wide."""
+        merged = self.monitor.profile_fleet(float(seconds), float(hz))
+        return {
+            "stacks": len(merged),
+            "samples": sum(merged.values()),
+            "hot_paths": [
+                {"stack": stack, "count": count}
+                for stack, count in self.monitor.hot_paths()
+            ],
+        }
 
 
 def monitor_routes(monitor: FleetMonitor) -> dict[str, Callable[[Any], Any]]:

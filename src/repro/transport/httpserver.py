@@ -48,9 +48,11 @@ import selectors
 import socket
 import threading
 import time
+import weakref
 from collections import deque
 from typing import Callable, Optional
 
+from ..observability.metrics import MetricFamily
 from ..observability.runtime import OBS, server_span
 from ..observability.trace import TRACEPARENT_HEADER
 from .http11 import (
@@ -63,7 +65,7 @@ from .http11 import (
     parse_response,
 )
 
-__all__ = ["HttpServer", "HttpClient", "serve_once"]
+__all__ = ["HttpServer", "HttpClient", "pool_metric_families", "serve_once"]
 
 Handler = Callable[[HttpRequest], HttpResponse]
 
@@ -281,6 +283,12 @@ class HttpServer:
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "HttpServer":
+        # Idempotent: ``with gateway.start() as server`` enters an
+        # already-started server, and a second thread fleet (plus a
+        # second wake-pipe registration in the reactor's selector) must
+        # not spawn.
+        if self._running:
+            return self
         self._running = True
         if OBS.enabled:
             # Bind the per-server gauge children once: worker loops then
@@ -654,6 +662,62 @@ class _PooledConnection:
         return True  # EOF or unsolicited bytes: either way unusable
 
 
+#: Every live HttpClient, for scrape-time capacity gauges.  A WeakSet so
+#: the registry never keeps a discarded client (and its idle sockets)
+#: alive; iteration snapshots under the lock because clients are created
+#: from many threads.
+_LIVE_CLIENTS: "weakref.WeakSet[HttpClient]" = weakref.WeakSet()
+_LIVE_CLIENTS_LOCK = threading.Lock()
+
+
+def pool_metric_families() -> list[MetricFamily]:
+    """Capacity gauges over every live :class:`HttpClient` pool.
+
+    Aggregated per ``authority`` (``host:port``) across clients:
+    ``repro_transport_pool_in_use``, ``_idle`` and ``_waiters`` — the
+    waiters gauge is the early-warning signal that borrowers are queueing
+    *before* the borrow-timeout ``OSError`` ever fires.  The global
+    registry reaches these through a collector in
+    :mod:`repro.observability.runtime` (observability never imports the
+    transport layer; it just reads this module when already loaded).
+    """
+    with _LIVE_CLIENTS_LOCK:
+        clients = list(_LIVE_CLIENTS)
+    in_use: dict[tuple[str, ...], float] = {}
+    idle: dict[tuple[str, ...], float] = {}
+    waiters: dict[tuple[str, ...], float] = {}
+    for client in clients:
+        stats = client.pool_stats()
+        key = (f"{client.host}:{client.port}",)
+        in_use[key] = in_use.get(key, 0.0) + stats["in_use"]
+        idle[key] = idle.get(key, 0.0) + stats["idle"]
+        waiters[key] = waiters.get(key, 0.0) + stats["waiters"]
+    labelnames = ("authority",)
+    return [
+        MetricFamily(
+            "repro_transport_pool_in_use",
+            "gauge",
+            "HTTP client pool connections currently borrowed, by authority.",
+            labelnames,
+            in_use,
+        ),
+        MetricFamily(
+            "repro_transport_pool_idle",
+            "gauge",
+            "HTTP client pool connections idle in keep-alive, by authority.",
+            labelnames,
+            idle,
+        ),
+        MetricFamily(
+            "repro_transport_pool_waiters",
+            "gauge",
+            "Threads blocked waiting to borrow a pooled connection, by authority.",
+            labelnames,
+            waiters,
+        ),
+    ]
+
+
 class HttpClient:
     """Pooled persistent-connection HTTP client over raw sockets.
 
@@ -690,8 +754,11 @@ class HttpClient:
         self.reaped_connections = 0
         self._idle: list[_PooledConnection] = []
         self._in_use = 0
+        self._waiters = 0
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
+        with _LIVE_CLIENTS_LOCK:
+            _LIVE_CLIENTS.add(self)
 
     # -- pool internals --------------------------------------------------
     def _acquire(self) -> _PooledConnection:
@@ -714,7 +781,17 @@ class HttpClient:
                     self._in_use += 1  # reserve the slot; dial unlocked
                     break
                 remaining = deadline - time.monotonic()
-                if remaining <= 0 or not self._available.wait(remaining):
+                if remaining <= 0:
+                    raise OSError(
+                        f"HTTP connection pool to {self.host}:{self.port} "
+                        f"exhausted ({self.pool_size} in use)"
+                    )
+                self._waiters += 1
+                try:
+                    signalled = self._available.wait(remaining)
+                finally:
+                    self._waiters -= 1
+                if not signalled:
                     raise OSError(
                         f"HTTP connection pool to {self.host}:{self.port} "
                         f"exhausted ({self.pool_size} in use)"
@@ -742,11 +819,18 @@ class HttpClient:
             self._available.notify()
 
     def pool_stats(self) -> dict[str, int]:
-        """Point-in-time pool occupancy (for tests and dashboards)."""
+        """Point-in-time pool occupancy (for tests and dashboards).
+
+        ``waiters`` counts threads currently blocked in ``_acquire``
+        waiting for a borrow slot — nonzero means the pool is the
+        bottleneck *now*, ahead of any borrow-timeout ``OSError``.
+        """
         with self._lock:
             return {
                 "idle": len(self._idle),
                 "in_use": self._in_use,
+                "waiters": self._waiters,
+                "pool_size": self.pool_size,
                 "created": self.created_connections,
                 "reaped": self.reaped_connections,
             }

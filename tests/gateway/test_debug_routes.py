@@ -1,0 +1,137 @@
+"""The gateway's RBAC front over ``/debug/*`` plus capacity visibility.
+
+Profiling and thread dumps expose code paths and upstream topology, so
+unlike ``/metrics`` they are never anonymous: the default gateway wants
+a bearer token carrying ``debug:profile``.  The same file covers the two
+capacity surfaces the gateway itself contributes — the live rate-bucket
+gauge on ``/metrics`` and upstream pool occupancy on ``/healthz``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.broker import ServiceBroker
+from repro.gateway import (
+    Gateway,
+    RateLimiter,
+    RateLimitPolicy,
+    SecurityPolicy,
+)
+from repro.security.access import AccessControl
+from repro.security.auth import PasswordVault, TokenIssuer
+from repro.transport.http11 import HttpRequest
+
+PASSWORD = "Correct-Horse-7"
+
+
+def make_security():
+    vault = PasswordVault()
+    vault.set_password("ada", PASSWORD, PASSWORD)
+    vault.set_password("bob", PASSWORD, PASSWORD)  # bob may not profile
+    access = AccessControl()
+    access.define_role("profiler", ["debug:profile"])
+    access.define_role("caller", ["echo:call"])
+    access.assign_role("ada", "profiler")
+    access.assign_role("bob", "caller")
+    issuer = TokenIssuer()
+    return SecurityPolicy(issuer, access, vault)
+
+
+def make_gateway(**kwargs):
+    return Gateway(
+        ServiceBroker(),
+        [],
+        security=make_security(),
+        limiter=RateLimiter(
+            RateLimitPolicy(rate=1000.0, burst=1000.0),
+            anonymous=RateLimitPolicy(rate=1000.0, burst=1000.0),
+        ),
+        **kwargs,
+    )
+
+
+def request(method, target, token=None):
+    headers = {"Authorization": f"Bearer {token}"} if token else {}
+    return HttpRequest(method, target, headers)
+
+
+def issue_token(gw, user):
+    body = f"user={user}&password={PASSWORD}".encode()
+    response = gw(HttpRequest("POST", "/auth/token", {}, body))
+    assert response.status == 200, response.text()
+    return json.loads(response.text())["token"]
+
+
+@pytest.fixture(scope="module")
+def gw():
+    gateway = make_gateway()
+    yield gateway
+    gateway.close()
+
+
+class TestDebugRbac:
+    def test_anonymous_is_challenged(self, gw):
+        response = gw(request("GET", "/debug/threads"))
+        assert response.status == 401
+        assert response.headers.get("WWW-Authenticate") == 'Bearer realm="repro-gateway"'
+
+    def test_token_without_permission_is_forbidden(self, gw):
+        token = issue_token(gw, "bob")
+        response = gw(request("GET", "/debug/threads", token))
+        assert response.status == 403
+
+    def test_permitted_principal_gets_thread_dump(self, gw):
+        token = issue_token(gw, "ada")
+        response = gw(request("GET", "/debug/threads", token))
+        assert response.status == 200
+        assert response.text().startswith("== ")
+
+    def test_permitted_principal_can_profile(self, gw):
+        token = issue_token(gw, "ada")
+        response = gw(
+            request("GET", "/debug/profile?seconds=0.05&hz=200", token)
+        )
+        assert response.status == 200
+        assert response.text().startswith("# profile reason=debug_endpoint")
+
+    def test_unknown_debug_path_is_404_after_auth(self, gw):
+        token = issue_token(gw, "ada")
+        assert gw(request("GET", "/debug/nope", token)).status == 404
+        # but unauthenticated callers cannot even probe for paths
+        assert gw(request("GET", "/debug/nope")).status == 401
+
+    def test_refusals_are_counted(self, gw):
+        gw(request("GET", "/debug/threads"))  # anonymous
+        families = {f.name: f for f in gw.registry.collect()}
+        rejected = families["repro_gateway_rejected_total"].samples
+        assert rejected.get(("unauthenticated",), 0) >= 1
+
+    def test_debug_permission_none_admits_any_authenticated_principal(self):
+        gateway = make_gateway(debug_permission=None)
+        try:
+            assert gateway(request("GET", "/debug/threads")).status == 401
+            token = issue_token(gateway, "bob")  # no debug role needed
+            assert gateway(request("GET", "/debug/threads", token)).status == 200
+        finally:
+            gateway.close()
+
+
+class TestCapacityVisibility:
+    def test_metrics_exposes_live_rate_bucket_gauge(self, gw):
+        issue_token(gw, "ada")  # at least one principal tracked
+        response = gw(request("GET", "/metrics"))
+        assert response.status == 200
+        body = response.text()
+        assert "# TYPE repro_gateway_rate_buckets gauge" in body
+        line = next(
+            l for l in body.splitlines()
+            if l.startswith("repro_gateway_rate_buckets")
+        )
+        assert float(line.split()[-1]) >= 0.0
+
+    def test_healthz_surfaces_upstream_pool_detail(self, gw):
+        response = gw(request("GET", "/healthz"))
+        document = json.loads(response.text())
+        # no backends published: degraded, but the pool detail is present
+        assert document["pools"] == {"upstream_pools": {}}

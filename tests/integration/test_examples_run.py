@@ -129,3 +129,15 @@ def test_gateway_demo():
     assert "replica killed   -> 10/10 calls still ok" in out
     assert "after logout     -> 401" in out
     assert 'repro_gateway_requests_total{route="/api/Quote",outcome="ok"}' in out
+
+
+def test_profiling_demo():
+    out = run_example("profiling_demo.py")
+    assert "names the burner: True" in out
+    assert "tagged with its route: True" in out
+    assert "-> firing" in out
+    assert "auto-captured: reason=slo:work-latency" in out
+    assert "/debug/profiles/last serves it: True" in out
+    assert "resolves to a kept trace: True" in out
+    assert "burn_cpu [route:/work]" in out
+    assert "/healthz carries pool detail: True" in out

@@ -1,0 +1,165 @@
+"""Trace exemplars: histogram buckets remember the last trace that hit them.
+
+The round trip the ISSUE demands: an observation made under a sampled
+span stamps its bucket with the trace id; ``render_prometheus`` emits it
+as an OpenMetrics ``# {trace_id="..."}`` annotation; ``parse_prometheus``
+recovers it; ``merge_families`` carries it (re-keyed per node) into the
+fleet view; and the id names a trace the tail sampler actually kept.
+"""
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    SpanCollector,
+    TailSampler,
+    TraceContext,
+    current_trace_id,
+    observed,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.observability.exposition import _split_exemplar
+from repro.services.monitor import merge_families, relabel_families
+
+pytestmark = pytest.mark.obs
+
+BUCKETS = (0.1, 1.0)
+
+
+def _histogram(registry, **kwargs):
+    return registry.histogram(
+        "repro_rpc_seconds", "Observed call latency.", buckets=BUCKETS, **kwargs
+    )
+
+
+def _family(families, name="repro_rpc_seconds"):
+    for family in families:
+        if family.name == name:
+            return family
+    raise AssertionError(f"{name} not in {[f.name for f in families]}")
+
+
+class TestExemplarCapture:
+    def test_no_active_span_means_no_exemplar(self):
+        registry = MetricsRegistry()
+        hist = _histogram(registry)
+        assert current_trace_id() is None
+        hist.observe(0.5)
+        assert _family(registry.collect()).exemplars == {}
+
+    def test_sampled_span_stamps_its_bucket(self):
+        registry = MetricsRegistry()
+        hist = _histogram(registry)
+        with observed(SpanCollector()) as obs:
+            with obs.tracer.span("call") as span:
+                hist.observe(0.5)
+        family = _family(registry.collect())
+        assert family.exemplars[()] == {1.0: (f"{span.trace_id:032x}", 0.5)}
+
+    def test_unsampled_span_leaves_no_exemplar(self):
+        registry = MetricsRegistry()
+        hist = _histogram(registry)
+        dropped = TraceContext(trace_id=7, span_id=3, sampled=False)
+        with observed(SpanCollector()) as obs:
+            with obs.tracer.span("call", parent=dropped):
+                assert current_trace_id() is None
+                hist.observe(0.5)
+        assert _family(registry.collect()).exemplars == {}
+
+    def test_last_observation_per_bucket_wins(self):
+        registry = MetricsRegistry()
+        hist = _histogram(registry)
+        with observed(SpanCollector()) as obs:
+            with obs.tracer.span("first"):
+                hist.observe(0.5)
+            with obs.tracer.span("second") as second:
+                hist.observe(0.6)
+            with obs.tracer.span("fast") as fast:
+                hist.observe(0.01)
+        family = _family(registry.collect())
+        assert family.exemplars[()][1.0] == (f"{second.trace_id:032x}", 0.6)
+        assert family.exemplars[()][0.1] == (f"{fast.trace_id:032x}", 0.01)
+
+    def test_labelled_children_keep_exemplars_apart(self):
+        registry = MetricsRegistry()
+        hist = _histogram(registry, labelnames=("operation",))
+        with observed(SpanCollector()) as obs:
+            with obs.tracer.span("add") as add_span:
+                hist.observe(0.5, operation="add")
+            with obs.tracer.span("sub") as sub_span:
+                hist.observe(0.02, operation="sub")
+        family = _family(registry.collect())
+        assert family.exemplars[("add",)] == {
+            1.0: (f"{add_span.trace_id:032x}", 0.5)
+        }
+        assert family.exemplars[("sub",)] == {
+            0.1: (f"{sub_span.trace_id:032x}", 0.02)
+        }
+
+
+class TestExemplarWireFormat:
+    def _observed_registry(self):
+        registry = MetricsRegistry()
+        hist = _histogram(registry)
+        with observed(SpanCollector()) as obs:
+            with obs.tracer.span("call") as span:
+                hist.observe(0.5)
+        return registry, f"{span.trace_id:032x}"
+
+    def _observed_family(self):
+        registry, trace_hex = self._observed_registry()
+        return _family(registry.collect()), trace_hex
+
+    def test_render_emits_openmetrics_annotation(self):
+        registry, trace_hex = self._observed_registry()
+        text = render_prometheus(registry)
+        assert f'# {{trace_id="{trace_hex}"}} 0.5' in text
+        # only the bucket that holds the exemplar is annotated
+        assert text.count("# {trace_id=") == 1
+
+    def test_parse_recovers_exemplars(self):
+        registry, trace_hex = self._observed_registry()
+        family = _family(registry.collect())
+        parsed = _family(parse_prometheus(render_prometheus(registry)))
+        assert parsed.exemplars[()] == {1.0: (trace_hex, 0.5)}
+        # and the sample values round-tripped untouched
+        assert parsed.samples == family.samples
+
+    def test_merge_families_rekeys_exemplars_per_node(self):
+        family, trace_hex = self._observed_family()
+        merged = _family(merge_families({"alpha": [family]}))
+        assert merged.labelnames == ("node",)
+        assert merged.exemplars[("alpha",)] == {1.0: (trace_hex, 0.5)}
+
+    def test_relabel_preserves_exemplars(self):
+        family, trace_hex = self._observed_family()
+        relabelled = relabel_families([family], "beta")[0]
+        assert relabelled.exemplars[("beta",)] == {1.0: (trace_hex, 0.5)}
+
+    def test_split_exemplar_ignores_hash_inside_label_values(self):
+        line = 'm_bucket{le="1.0",path="/a # b"} 3 # {trace_id="abc"} 0.2'
+        body, exemplar = _split_exemplar(line)
+        assert body == 'm_bucket{le="1.0",path="/a # b"} 3'
+        assert exemplar == ({"trace_id": "abc"}, 0.2)
+
+    def test_split_exemplar_passes_plain_lines_through(self):
+        line = 'm_bucket{le="1.0"} 3'
+        assert _split_exemplar(line) == (line, None)
+
+
+class TestExemplarResolvesToKeptTrace:
+    def test_slow_request_exemplar_names_a_tail_kept_trace(self):
+        keeper = SpanCollector()
+        sampler = TailSampler(keeper, slow_threshold=0.0)  # keep everything
+        registry = MetricsRegistry()
+        hist = _histogram(registry)
+        with observed(sampler) as obs:
+            with obs.tracer.span("slow-call"):
+                hist.observe(0.5)
+        family = _family(registry.collect())
+        trace_hex, observed_value = family.exemplars[()][1.0]
+        assert observed_value == 0.5
+        assert sampler.kept() == 1
+        # the annotation is a working join key into the kept traces
+        assert int(trace_hex, 16) in keeper.trace_ids()

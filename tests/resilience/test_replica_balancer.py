@@ -161,7 +161,7 @@ class TestFailoverAndEjection:
             assert balancer("work", {"tag": "x"})
         key0 = next(k for k in balancer.states() if "work-0" in k)
         assert balancer.states()[key0] == {
-            "status": "ejected", "failures": 3, "ejections": 1,
+            "status": "ejected", "failures": 3, "ejections": 1, "inflight": 0,
         }
         # while ejected, the dead replica receives no traffic
         assert replicas[0].calls == 3

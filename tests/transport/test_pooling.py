@@ -266,7 +266,10 @@ class TestClientPool:
         try:
             assert client.get("/warm").status == 200
             stats = client.pool_stats()
-            assert stats == {"idle": 1, "in_use": 0, "created": 1, "reaped": 0}
+            assert stats == {
+                "idle": 1, "in_use": 0, "waiters": 0, "pool_size": 2,
+                "created": 1, "reaped": 0,
+            }
             time.sleep(0.1)  # socket goes cold past the TTL
             assert client.get("/again").status == 200
             stats = client.pool_stats()
