@@ -59,6 +59,7 @@ GUARDED = (
     ("bench_failover.py", "BENCH_failover.json", "single_replica"),
     ("bench_gateway.py", "BENCH_gateway.json", "direct_replica"),
     ("bench_profiling.py", "BENCH_profiling.json", "profiler_off"),
+    ("bench_trace_export.py", "BENCH_trace_export.json", "tracing_only"),
 )
 
 

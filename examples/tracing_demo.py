@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Tracing as a service: follow one request across the fleet.
+
+Per-node tracing (``traced_call.py``) answers "what did *this* process
+do"; a fleet answers questions per trace, not per process.  This demo
+runs the full trace plane:
+
+1. publishes a ``TraceStore`` behind HTTP ingest + query routes — the
+   tracing *service* every other node ships spans to
+2. chains a ``BatchSpanExporter`` behind the ``TailSampler``, so only
+   traces worth keeping (errors, slow requests) ever cross the wire
+3. drives load through the gateway over a three-replica quote service;
+   boring traffic is decided away at the tail, then one slow, failing
+   request is kept
+4. reads the incident back the way an operator would: the stitched
+   cross-node tree and critical path from ``/traces/<id>`` (through the
+   gateway's RBAC front), the service-dependency rollup from
+   ``/dependencies``, and a ``/metrics`` exemplar's trace id resolved
+   through the ``FleetMonitor`` against the store
+"""
+
+import json
+import threading
+import time
+
+from repro.core import ServiceBroker
+from repro.core.service import Service, ServiceFault, operation
+from repro.gateway import (
+    Gateway,
+    GatewayRoute,
+    RateLimiter,
+    RateLimitPolicy,
+    SecurityPolicy,
+)
+from repro.observability import BatchSpanExporter, TailSampler, observed
+from repro.observability.runtime import OBS
+from repro.replication.publish import publish_replicated
+from repro.security.access import AccessControl
+from repro.security.auth import PasswordVault, TokenIssuer
+from repro.services import FleetMonitor
+from repro.services.tracestore import TraceStore, tracestore_routes
+from repro.transport import HttpClient, HttpRequest, HttpServer
+from repro.web import compose_handlers
+
+PASSWORD = "Correct-Horse-7"
+SLOW_KEEP = 0.04   # tail sampler keeps traces slower than this
+FAIL_BURN = 0.08   # the failing call burns well past the keep bound
+
+
+class QuoteService(Service):
+    """A stock-quote lookalike whose backend gives up on one symbol."""
+
+    service_name = "Quote"
+    category = "demo"
+
+    @operation(idempotent=True)
+    def quote(self, symbol: str) -> str:
+        if symbol == "DOOM":
+            time.sleep(FAIL_BURN)  # slow burn, then the backend fails
+            raise ServiceFault("pricing backend down", code="Server.Backend")
+        return f"{symbol}:100"
+
+
+def make_security() -> SecurityPolicy:
+    vault = PasswordVault()
+    vault.set_password("ada", PASSWORD, PASSWORD)
+    access = AccessControl()
+    access.define_role("tracer", ["traces:read"])
+    access.assign_role("ada", "tracer")
+    return SecurityPolicy(TokenIssuer(), access, vault)
+
+
+def gateway_get(gateway: Gateway, target: str, token: str) -> dict:
+    response = gateway(
+        HttpRequest("GET", target, {"Authorization": f"Bearer {token}"})
+    )
+    assert response.status == 200, response.text()
+    return json.loads(response.text())
+
+
+def main() -> None:
+    # -- 1. the tracing service itself ----------------------------------
+    store = TraceStore(settle_seconds=0.05)
+    handler = compose_handlers(dict(tracestore_routes(store)), default=None)
+    broker = ServiceBroker()
+    with HttpServer(handler, workers=2) as store_server:
+        print(f"trace store listening on {store_server.base_url}")
+
+        # -- 2. every node's pipeline: tail sample, then batch-export ---
+        exporter = BatchSpanExporter(
+            store_server.host, store_server.port,
+            node="loadgen", flush_interval=0.05,
+        )
+        sampler = TailSampler(exporter, slow_threshold=SLOW_KEEP)
+        with observed(sampler), publish_replicated(
+            QuoteService, broker, replicas=3
+        ):
+            gateway = Gateway(
+                broker,
+                [GatewayRoute("/pub/Quote", "Quote")],
+                security=make_security(),
+                limiter=RateLimiter(
+                    RateLimitPolicy(rate=1000.0, burst=1000.0),
+                    anonymous=RateLimitPolicy(rate=1000.0, burst=1000.0),
+                ),
+            )
+            try:
+                with gateway.start(workers=4) as server:
+                    gateway.attach_trace_store(
+                        store_server.host, store_server.port
+                    )
+                    run_incident(
+                        gateway, server, store, store_server, sampler, exporter
+                    )
+            finally:
+                exporter.close()
+                gateway.close()
+
+
+def run_incident(gateway, server, store, store_server, sampler, exporter):
+    # -- 3. boring traffic, then the incident ---------------------------
+    def pound():
+        mine = HttpClient(server.host, server.port)
+        try:
+            for _ in range(10):
+                mine.get("/pub/Quote/quote?symbol=OK")
+        finally:
+            mine.close()
+
+    load = [threading.Thread(target=pound, daemon=True) for _ in range(3)]
+    for thread in load:
+        thread.start()
+    for thread in load:
+        thread.join()
+
+    client = HttpClient(server.host, server.port)
+    try:
+        with OBS.tracer.span("load.request", kind="client") as span:
+            response = client.get("/pub/Quote/quote?symbol=DOOM")
+            if response.status != 200:
+                span.record_exception(
+                    RuntimeError(f"upstream said {response.status}")
+                )
+        print(f"DOOM quote came back {response.status}")
+    finally:
+        client.close()
+    exporter.flush()
+    print(
+        f"tail sampler: kept {sampler.kept()} trace(s), "
+        f"dropped {sampler.decisions.get('dropped', 0)} boring one(s)"
+    )
+
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        rows = store.search(error=True)
+        if rows and len(rows[0]["nodes"]) >= 3:
+            break
+        time.sleep(0.05)
+    trace_hex = store.search(error=True)[0]["trace_id"]
+    while time.monotonic() < deadline:
+        if store.get(trace_hex)["state"] == "complete":
+            break
+        time.sleep(0.05)
+
+    # -- 4a. the stitched tree, through the gateway's RBAC front --------
+    body = f"user=ada&password={PASSWORD}".encode()
+    token = json.loads(
+        gateway(HttpRequest("POST", "/auth/token", {}, body)).text()
+    )["token"]
+    doc = gateway_get(gateway, f"/traces/{trace_hex}", token)
+    print(f"\ntrace {trace_hex} assembled from {len(doc['nodes'])} nodes:")
+    print(doc["tree"])
+    print("critical path:")
+    for hop in doc["critical_path"]:
+        print(
+            f"  {hop['name']:<16} on {hop['node']:<10} "
+            f"{hop['duration_ms']:8.2f}ms (self {hop['self_ms']:.2f}ms)"
+        )
+
+    # -- 4b. the dependency rollup --------------------------------------
+    print("service dependencies:")
+    for edge in gateway_get(gateway, "/dependencies", token)["edges"]:
+        print(
+            f"  {edge['caller']} -> {edge['callee']}  "
+            f"calls={edge['calls']} errors={edge['errors']} "
+            f"avg={edge['avg_ms']:.2f}ms"
+        )
+
+    # -- 4c. a /metrics exemplar, resolved fleet-wide -------------------
+    monitor = FleetMonitor()
+    try:
+        monitor.add_target("gw", server.base_url)
+        monitor.attach_trace_store(store_server.base_url)
+        monitor.tick()
+        for row in monitor.exemplar_traces(limit=64):
+            if row["trace_id"] == trace_hex:
+                print(
+                    f"exemplar {row['trace_id'][:16]}… "
+                    f"({row['family']}) resolved: {row['found']} "
+                    f"state={row.get('state')} nodes={row.get('nodes')}"
+                )
+    finally:
+        monitor.close()
+
+
+if __name__ == "__main__":
+    main()

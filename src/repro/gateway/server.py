@@ -97,6 +97,7 @@ class Gateway:
         access_logger: Optional[Logger] = None,
         balancer_factory: Optional[Callable[[str, GatewayRoute], Any]] = None,
         debug_permission: Optional[str] = "debug:profile",
+        trace_permission: Optional[str] = "traces:read",
         **balancer_kwargs: Any,
     ) -> None:
         self.broker = broker
@@ -107,6 +108,11 @@ class Gateway:
         #: RBAC permission guarding ``/debug/*`` (``None`` = any
         #: *authenticated* principal; anonymous callers are always 401).
         self.debug_permission = debug_permission
+        #: RBAC permission guarding the trace plane (``/traces*`` and
+        #: ``/dependencies``) — traces expose request internals, so like
+        #: ``/debug/*`` they are never anonymous.
+        self.trace_permission = trace_permission
+        self._trace_store: Optional[tuple[str, int]] = None
         self._balancer_factory = balancer_factory
         self._balancer_kwargs = balancer_kwargs
         self._http_clients = PooledHttpClients()
@@ -153,6 +159,7 @@ class Gateway:
         Returns the :class:`HttpServer` (usable as a context manager —
         stopping it leaves the gateway reusable via a fresh ``start``).
         """
+        server_kwargs.setdefault("node_name", "gateway")
         self.server = HttpServer(
             self,
             host,
@@ -255,6 +262,14 @@ class Gateway:
             response = self._debug_route(request)
             self._observe("/debug", "ok" if response.ok else "denied", started)
             return response
+        if (
+            path == "/traces"
+            or path.startswith("/traces/")
+            or path == "/dependencies"
+        ):
+            response = self._traces_route(request)
+            self._observe("/traces", "ok" if response.ok else "denied", started)
+            return response
         if path == "/auth/token":
             response = self._token_route(request)
         elif path == "/auth/logout":
@@ -301,6 +316,45 @@ class Gateway:
         if handler is None:
             return HttpResponse.error(404, f"no debug route {request.path}")
         return handler(request)
+
+    def attach_trace_store(self, host: str, port: int) -> None:
+        """Front a :class:`~repro.services.tracestore.TraceStore` node.
+
+        ``/traces``, ``/traces/<id>`` and ``/dependencies`` then proxy
+        (GET only, RBAC first) to the store over the shared upstream
+        pool — one place to ask "what happened to request X", guarded
+        like the debug plane.  Span *ingest* stays node→store direct;
+        the gateway fronts queries, not the firehose.
+        """
+        self._trace_store = (host, int(port))
+
+    def _traces_route(self, request: HttpRequest) -> HttpResponse:
+        """RBAC-guarded GET proxy onto the attached trace store."""
+        try:
+            principal = self.security.authenticate(request)
+            if self.trace_permission is not None:
+                self.security.authorize(principal, self.trace_permission)
+            else:
+                self.security.require(principal)
+        except GatewayAuthError as exc:
+            self._refused("unauthenticated" if exc.status == 401 else "forbidden")
+            return self._auth_error_response(exc)
+        if request.method != "GET":
+            return HttpResponse.error(405, "GET only (ingest goes direct)")
+        if self._trace_store is None:
+            self._refused("no_trace_store")
+            return HttpResponse.error(503, "no trace store attached")
+        host, port = self._trace_store
+        try:
+            upstream = self._http_clients(host, port).get(request.target)
+        except (OSError, TransportError) as exc:
+            return HttpResponse.error(502, f"trace store unreachable: {exc}")
+        content_type = (
+            upstream.headers.get("Content-Type") or "application/json"
+        ).split(";")[0].strip()
+        return HttpResponse.text_response(
+            upstream.text(), upstream.status, content_type
+        )
 
     def _token_route(self, request: HttpRequest) -> HttpResponse:
         if request.method != "POST":

@@ -32,6 +32,10 @@ The monitoring plane builds three more pillars on top:
   :class:`BurnRateRule` evaluated from metric families (local or
   fleet-merged), with a deterministic pending → firing → resolved
   alert machine publishing onto :class:`repro.events.bus.EventBus`.
+* **export** (:mod:`.export`) — :class:`BatchSpanExporter` ships
+  tail-kept spans off-node as batched JSON POSTs to the trace store
+  (``services.tracestore``), bounded-queue drop-not-block, completing
+  the trace plane: local spans → sampler → wire → fleet assembly.
 * **profiling** (:mod:`.profiling`) — a zero-dependency
   :class:`SamplingProfiler` over ``sys._current_frames()`` producing
   route-tagged folded stacks (collapsed text + ASCII flamegraphs),
@@ -58,7 +62,9 @@ from .trace import (
     current_span,
     current_trace_id,
     render_trace_tree,
+    span_from_dict,
 )
+from .export import INGEST_PATH, BatchSpanExporter
 from .metrics import (
     LATENCY_BUCKETS,
     AtomicCounter,
@@ -126,6 +132,9 @@ __all__ = [
     "TraceContext", "Span", "SpanEvent", "Tracer", "SpanCollector",
     "NullExporter", "NOOP_SPAN", "TRACEPARENT_HEADER",
     "current_span", "current_trace_id", "add_event", "render_trace_tree",
+    "span_from_dict",
+    # export
+    "BatchSpanExporter", "INGEST_PATH",
     # metrics
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "AtomicCounter",
     "MetricFamily", "MetricsError", "LATENCY_BUCKETS",

@@ -325,6 +325,21 @@ class Instruments:
             "Calls currently in flight to each replica endpoint.",
             ("service", "replica"),
         )
+        self.trace_export_exported = registry.counter(
+            "repro_trace_export_exported_total",
+            "Spans handed to the batch exporter's queue for shipping.",
+            (),
+        )
+        self.trace_export_dropped = registry.counter(
+            "repro_trace_export_dropped_total",
+            "Spans the batch exporter discarded instead of blocking.",
+            ("reason",),
+        )
+        self.trace_export_batches = registry.counter(
+            "repro_trace_export_batches_total",
+            "Span batches POSTed to the trace store, by outcome.",
+            ("outcome",),
+        )
         self.profiler_active = registry.gauge(
             "repro_profiler_active",
             "Sampling profiler sessions currently running in this process.",

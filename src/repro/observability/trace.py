@@ -47,6 +47,7 @@ __all__ = [
     "current_trace_id",
     "add_event",
     "set_profile_hook",
+    "span_from_dict",
     "render_trace_tree",
 ]
 
@@ -194,6 +195,39 @@ class Span:
         )
         return self
 
+    # -- wire format ----------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-safe wire form a :class:`~repro.observability.export.
+        BatchSpanExporter` ships and :func:`span_from_dict` reverses.
+
+        Ids travel as hex strings (the 128-bit trace id would survive
+        Python's JSON but not every peer's), timestamps stay in this
+        node's clock frame — cross-node alignment is the trace store's
+        job, because only the assembler sees both frames.
+        """
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "trace_id": f"{self.trace_id:032x}",
+            "span_id": f"{self.span_id:016x}",
+            "parent_id": (
+                f"{self.parent_id:016x}" if self.parent_id is not None else None
+            ),
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+            "events": [
+                {
+                    "name": event.name,
+                    "timestamp": event.timestamp,
+                    "attributes": dict(event.attributes),
+                }
+                for event in self.events
+            ],
+        }
+
     def record_exception(self, exc: BaseException) -> "Span":
         """Mark the span failed, capturing the fault subtype.
 
@@ -234,6 +268,42 @@ class Span:
             f"Span({self.name!r}, kind={self.kind!r}, "
             f"trace={self.trace_id:032x}, span={self.span_id:016x})"
         )
+
+
+def span_from_dict(payload: dict[str, Any]) -> Span:
+    """Rebuild a finished :class:`Span` from its :meth:`Span.to_dict` form.
+
+    The inverse half of the span wire format: the trace store calls this
+    on every ingested span so the assembled record is made of real
+    ``Span`` objects — :func:`render_trace_tree` and the critical-path
+    walk work on local and remote spans alike.  Malformed payloads raise
+    ``ValueError``/``KeyError``/``TypeError``; callers decide whether a
+    bad peer span poisons the batch (the store skips it and counts).
+    """
+    parent_text = payload.get("parent_id")
+    span = Span(
+        None,  # type: ignore[arg-type]  # finished: never re-exported
+        str(payload["name"]),
+        str(payload.get("kind", "internal")),
+        int(str(payload["trace_id"]), 16),
+        int(str(payload["span_id"]), 16),
+        int(str(parent_text), 16) if parent_text is not None else None,
+        float(payload["start"]),
+        dict(payload.get("attributes") or {}),
+    )
+    span.end = float(payload["end"])
+    span.status = str(payload.get("status", "ok"))
+    error = payload.get("error")
+    span.error = str(error) if error is not None else None
+    for event in payload.get("events") or ():
+        span.events.append(
+            SpanEvent(
+                str(event["name"]),
+                float(event.get("timestamp", span.start)),
+                dict(event.get("attributes") or {}),
+            )
+        )
+    return span
 
 
 class _NoopSpan:
@@ -298,6 +368,11 @@ class SpanCollector:
 
     All reads snapshot under the same lock the writer takes, so
     :meth:`spans` stays consistent while a concurrent export evicts.
+
+    A ``trace_id -> spans`` index is maintained beside the ring, so
+    :meth:`by_trace` — the exemplar-join hot path — costs one dict hit
+    plus a copy proportional to *that trace*, not a scan of the whole
+    ring.
     """
 
     collects = True
@@ -308,21 +383,36 @@ class SpanCollector:
         self.capacity = capacity
         self.dropped = 0
         self._spans: deque[Span] = deque()
+        self._by_trace: dict[int, list[Span]] = {}
         self._lock = threading.Lock()
 
     def export(self, span: Span) -> None:
         evicted = False
         with self._lock:
             if len(self._spans) >= self.capacity:
-                self._spans.popleft()
+                oldest = self._spans.popleft()
+                self._unindex(oldest)
                 self.dropped += 1
                 evicted = True
             self._spans.append(span)
+            self._by_trace.setdefault(span.trace_id, []).append(span)
         if evicted:
             from .runtime import OBS  # local: runtime imports this module
 
             if OBS.enabled:
                 OBS.instruments.spans_dropped.inc(reason="collector_capacity")
+
+    def _unindex(self, span: Span) -> None:
+        """Drop one evicted span from the trace index (lock held)."""
+        bucket = self._by_trace.get(span.trace_id)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(span)
+        except ValueError:  # pragma: no cover - index and ring agree
+            pass
+        if not bucket:
+            del self._by_trace[span.trace_id]
 
     def spans(self) -> list[Span]:
         """Snapshot of retained finished spans, in export (finish) order."""
@@ -330,12 +420,13 @@ class SpanCollector:
             return list(self._spans)
 
     def by_trace(self, trace_id: int) -> list[Span]:
+        """Spans of one trace, export order — indexed, not a ring scan."""
         with self._lock:
-            return [s for s in self._spans if s.trace_id == trace_id]
+            return list(self._by_trace.get(trace_id, ()))
 
     def trace_ids(self) -> set[int]:
         with self._lock:
-            return {s.trace_id for s in self._spans}
+            return set(self._by_trace)
 
     def named(self, name: str) -> list[Span]:
         with self._lock:
@@ -344,6 +435,7 @@ class SpanCollector:
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
+            self._by_trace.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -494,8 +586,10 @@ def add_event(name: str, **attributes: Any) -> None:
 _TREE_ATTRS = ("binding", "operation", "endpoint", "http.method", "http.target")
 
 
-def _format_span(span: Span) -> str:
+def _format_span(span: Span, *, orphan: bool = False) -> str:
     bits = [f"{span.name} [{span.kind}]"]
+    if orphan:
+        bits.append("(orphan)")
     for key in _TREE_ATTRS:
         value = span.attributes.get(key)
         if value is not None:
@@ -510,9 +604,12 @@ def _format_span(span: Span) -> str:
 def render_trace_tree(spans: Iterable[Span], *, include_events: bool = True) -> str:
     """Render spans as per-trace ASCII trees (children sorted by start).
 
-    Spans whose parent was remote (not among ``spans``) render as roots
-    of their trace — a trace tree is best-effort over whatever spans the
-    collector saw.
+    Spans whose parent is absent from ``spans`` still render — as roots
+    of their trace, marked ``(orphan)`` when they *claim* a parent the
+    renderer cannot see.  That case is routine, not exceptional: a
+    cross-node partial trace (the gateway-side spans arrived, the
+    replica's did not — or vice versa) must stay readable, so a trace
+    tree is always best-effort over whatever spans the caller has.
     """
     spans = list(spans)
     by_id = {s.span_id: s for s in spans}
@@ -527,7 +624,8 @@ def render_trace_tree(spans: Iterable[Span], *, include_events: bool = True) -> 
 
     def walk(span: Span, prefix: str, tail: bool, root: bool) -> None:
         if root:
-            lines.append(prefix + _format_span(span))
+            orphan = span.parent_id is not None  # claims an unseen parent
+            lines.append(prefix + _format_span(span, orphan=orphan))
             child_prefix = prefix + "  "
         else:
             branch = "└─ " if tail else "├─ "

@@ -108,6 +108,7 @@ class ReplicaNode:
             on_request=self._observe,
             workers=self._workers,
             request_timeout=self._request_timeout,
+            node_name=self.name,
         )
         server.start()
         self._alive = True

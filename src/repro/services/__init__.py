@@ -3,7 +3,9 @@ access control, guessing game, random string, dynamic image, image
 verifier, caching, shopping cart, message buffer, credit score, and
 mortgage services — each publishable over every binding.  The catalogue
 also offers *monitoring as a service*: :class:`MonitorService` federates
-other nodes' ``/metrics`` behind a discoverable contract."""
+other nodes' ``/metrics`` behind a discoverable contract — and *tracing
+as a service*: :class:`TraceStoreService` assembles every node's
+exported spans into fleet-wide traces (:mod:`.tracestore`)."""
 
 from .basic import (
     AccessControlService,
@@ -30,6 +32,13 @@ from .monitor import (
     monitor_routes,
     publish_monitor,
 )
+from .tracestore import (
+    TraceRecord,
+    TraceStore,
+    TraceStoreService,
+    publish_tracestore,
+    tracestore_routes,
+)
 from .workflow_service import WorkflowService, make_prequalification_service
 
 __all__ = [
@@ -42,4 +51,6 @@ __all__ = [
     "WorkflowService", "make_prequalification_service",
     "MonitorService", "FleetMonitor", "ScrapeTarget",
     "merge_families", "monitor_routes", "publish_monitor",
+    "TraceStore", "TraceRecord", "TraceStoreService",
+    "tracestore_routes", "publish_tracestore",
 ]

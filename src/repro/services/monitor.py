@@ -211,6 +211,8 @@ class FleetMonitor:
         self._client_factory = client_factory
         self._targets: dict[str, ScrapeTarget] = {}
         self._clients: dict[str, Any] = {}
+        self._trace_store: Optional[tuple[str, int]] = None
+        self._trace_client: Any = None
         self._lock = threading.RLock()
         self._fleet: list[MetricFamily] = []
         self._services: dict[str, tuple[tuple[str, ...], SloEngine]] = {}
@@ -292,6 +294,9 @@ class FleetMonitor:
         with self._lock:
             clients = list(self._clients.values())
             self._clients.clear()
+            if self._trace_client is not None:
+                clients.append(self._trace_client)
+                self._trace_client = None
         for client in clients:
             try:
                 client.close()
@@ -445,6 +450,100 @@ class FleetMonitor:
         rows.sort(key=lambda row: (-row[1], row[0]))
         return rows[:n]
 
+    # -- trace plane -----------------------------------------------------
+    def attach_trace_store(self, base_url: str) -> None:
+        """Point the monitor at a fleet trace store (``services.tracestore``).
+
+        ``/dashboard`` then grows slowest-traces and dependency-graph
+        sections, and :meth:`resolve_exemplar` can turn any exemplar's
+        ``trace_id`` — from *any* node's histograms — into the assembled
+        cross-node trace.  The store is just another HTTP peer; a down
+        store degrades the sections to empty, never breaks the monitor.
+        """
+        host, port = _parse_base_url(base_url)
+        with self._lock:
+            old, self._trace_client = self._trace_client, None
+            self._trace_store = (host, port)
+        if old is not None:
+            try:
+                old.close()
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+
+    def _trace_store_json(self, path: str) -> Optional[Any]:
+        """GET one store route as parsed JSON; None on any failure."""
+        with self._lock:
+            if self._trace_store is None:
+                return None
+            client = self._trace_client
+            if client is None:
+                host, port = self._trace_store
+                client = self._trace_client = self._client_factory(host, port)
+        try:
+            response = client.get(path)
+            if response.status != 200:
+                return None
+            return json.loads(response.text())
+        except Exception:  # noqa: BLE001 - a down store is data, not death
+            with self._lock:
+                stale, self._trace_client = self._trace_client, None
+            if stale is not None:
+                try:
+                    stale.close()
+                except OSError:  # pragma: no cover
+                    pass
+            return None
+
+    def slowest_traces(self, n: int = 5) -> list[dict[str, Any]]:
+        """The store's slowest assembled traces (empty without a store)."""
+        document = self._trace_store_json(f"/traces?limit={int(n)}")
+        if not isinstance(document, dict):
+            return []
+        return list(document.get("traces") or [])
+
+    def trace_dependencies(self) -> list[dict[str, Any]]:
+        """The store's service dependency edges (empty without a store)."""
+        document = self._trace_store_json("/dependencies")
+        if not isinstance(document, dict):
+            return []
+        return list(document.get("edges") or [])
+
+    def resolve_exemplar(self, trace_id: str) -> Optional[dict[str, Any]]:
+        """One exemplar's ``trace_id`` → the assembled cross-node trace."""
+        clean = str(trace_id).strip().lower()
+        if not clean or any(c not in "0123456789abcdef" for c in clean):
+            return None
+        return self._trace_store_json(f"/traces/{clean}")
+
+    def exemplar_traces(self, limit: int = 8) -> list[dict[str, Any]]:
+        """Every exemplar in the merged fleet view, resolved via the store.
+
+        Walks the histogram exemplars of the last scrape's merged
+        families (each ``(trace_id, value)`` riding a bucket), asks the
+        store for each distinct trace, and reports whether the fleet
+        plane could stitch it — the join the PR 7 exemplars promised but
+        could only answer node-locally.
+        """
+        seen: dict[str, str] = {}
+        for family in self.fleet_families():
+            for bucket_exemplars in family.exemplars.values():
+                for trace_hex, _value in bucket_exemplars.values():
+                    seen.setdefault(trace_hex, family.name)
+        rows: list[dict[str, Any]] = []
+        for trace_hex in sorted(seen)[: max(0, limit)]:
+            resolved = self.resolve_exemplar(trace_hex)
+            row: dict[str, Any] = {
+                "trace_id": trace_hex,
+                "family": seen[trace_hex],
+                "found": resolved is not None,
+            }
+            if resolved is not None:
+                row["state"] = resolved.get("state")
+                row["duration_ms"] = resolved.get("duration_ms")
+                row["nodes"] = resolved.get("nodes")
+            rows.append(row)
+        return rows
+
     # -- evaluation ------------------------------------------------------
     def tick(self, *, now: Optional[float] = None) -> list[dict[str, Any]]:
         """One monitor cycle: scrape, merge, evaluate SLOs over the fleet.
@@ -534,6 +633,27 @@ class FleetMonitor:
                 lines.append(
                     f"  {count / total * 100:5.1f}% {count:>6} {leaf}{scope}"
                 )
+        slowest = self.slowest_traces()
+        if slowest:
+            lines.append("slowest traces (fleet store):")
+            for row in slowest:
+                mark = "!!" if row.get("error") else "  "
+                nodes = ",".join(row.get("nodes") or [])
+                lines.append(
+                    f"  {mark} {row['trace_id'][:16]} "
+                    f"{row.get('duration_ms', 0.0):9.2f}ms "
+                    f"{row.get('root') or '?':<20} "
+                    f"nodes={nodes} [{row.get('state', '?')}]"
+                )
+        edges = self.trace_dependencies()
+        if edges:
+            lines.append("service dependencies (from traces):")
+            for edge in edges:
+                lines.append(
+                    f"  {edge['caller']} -> {edge['callee']}  "
+                    f"calls={edge['calls']} errors={edge['errors']} "
+                    f"avg={edge['avg_ms']:.2f}ms max={edge['max_ms']:.2f}ms"
+                )
         return "\n".join(lines) + "\n"
 
 
@@ -594,6 +714,28 @@ class MonitorService(Service):
     def dashboard(self) -> str:
         """The text dashboard, identical to ``GET /dashboard``."""
         return self.monitor.dashboard()
+
+    @operation
+    def attach_trace_store(self, base_url: str) -> bool:
+        """Point the monitor at a fleet trace store node."""
+        self.monitor.attach_trace_store(base_url)
+        return True
+
+    @operation(idempotent=True)
+    def slowest_traces(self, n: float = 5) -> list:
+        """Slowest assembled traces from the attached store."""
+        return self.monitor.slowest_traces(int(n))
+
+    @operation(idempotent=True)
+    def resolve_exemplar(self, trace_id: str) -> dict:
+        """An exemplar's trace_id resolved to its cross-node trace."""
+        resolved = self.monitor.resolve_exemplar(trace_id)
+        if resolved is None:
+            raise ServiceFault(
+                f"trace {trace_id!r} not found in the fleet store",
+                code="Client.NotFound",
+            )
+        return resolved
 
     @operation
     def profile_fleet(self, seconds: float = 1.0, hz: float = 100.0) -> dict:

@@ -232,6 +232,7 @@ class HttpServer:
         max_connections: int = 512,
         saturation_grace: float = 0.5,
         retry_after: float = 1.0,
+        node_name: Optional[str] = None,
     ) -> None:
         """``on_request`` is an optional access-log hook called after every
         dispatched request as ``(method, target, status, duration_seconds)``.
@@ -239,6 +240,11 @@ class HttpServer:
         so :func:`repro.observability.logs.access_log` observers emit
         trace-correlated records.  Exceptions it raises are swallowed —
         an observer must never break serving.
+
+        ``node_name`` stamps every server span with a ``node`` attribute
+        — the identity the trace store's cross-node assembly attributes
+        spans by.  Replica sets and the gateway set it; plain servers
+        may leave it off (spans then inherit attribution upstream).
         """
         if request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
@@ -248,6 +254,7 @@ class HttpServer:
             raise ValueError("max_connections must be >= 1")
         self.handler = handler
         self.on_request = on_request
+        self.node_name = node_name
         self.request_timeout = request_timeout
         self.workers = workers
         self.retry_after = retry_after
@@ -587,10 +594,13 @@ class HttpServer:
         nest under it and share its trace.
         """
         start = time.perf_counter()
+        attributes = {"http.method": request.method, "http.target": request.target}
+        if self.node_name is not None:
+            attributes["node"] = self.node_name
         with server_span(
             "http.server",
             header=request.headers.get(TRACEPARENT_HEADER),
-            **{"http.method": request.method, "http.target": request.target},
+            **attributes,
         ) as span:
             try:
                 response = self.handler(request)
@@ -687,6 +697,11 @@ def pool_metric_families() -> list[MetricFamily]:
     idle: dict[tuple[str, ...], float] = {}
     waiters: dict[tuple[str, ...], float] = {}
     for client in clients:
+        if client.closed:
+            # close()d but still referenced: not in service — exporting
+            # its (all-zero) series would keep dead authorities on
+            # /metrics forever.  The flag clears if the client redials.
+            continue
         stats = client.pool_stats()
         key = (f"{client.host}:{client.port}",)
         in_use[key] = in_use.get(key, 0.0) + stats["in_use"]
@@ -752,6 +767,7 @@ class HttpClient:
         self.idle_ttl = idle_ttl
         self.created_connections = 0  # pool stats (tests, debugging)
         self.reaped_connections = 0
+        self.closed = False  # set by close(); cleared if the client redials
         self._idle: list[_PooledConnection] = []
         self._in_use = 0
         self._waiters = 0
@@ -765,6 +781,7 @@ class HttpClient:
         """Borrow a connection: pooled if healthy, else freshly dialed."""
         deadline = time.monotonic() + self.timeout
         with self._available:
+            self.closed = False  # back in service: gauges resume
             while True:
                 while self._idle:
                     conn = self._idle.pop()  # LIFO: warmest socket first
@@ -837,9 +854,12 @@ class HttpClient:
 
     def close(self) -> None:
         """Close every idle pooled socket.  The client stays usable:
-        the next request simply dials fresh connections."""
+        the next request simply dials fresh connections.  Until it does,
+        ``closed`` keeps the pool gauges from exporting series for a
+        client that is merely *referenced*, not in service."""
         with self._available:
             idle, self._idle = self._idle, []
+            self.closed = True
         for conn in idle:
             conn.close()
 

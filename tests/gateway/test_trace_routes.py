@@ -1,0 +1,169 @@
+"""The gateway's RBAC front over the trace plane (``/traces*``).
+
+Assembled traces expose request internals — operation names, node
+topology, error details — so like ``/debug/*`` they are never
+anonymous: the default gateway wants a bearer token carrying
+``traces:read``, and only then proxies GETs to the attached store.
+"""
+
+import json
+
+import pytest
+
+from repro.core.broker import ServiceBroker
+from repro.gateway import (
+    Gateway,
+    RateLimiter,
+    RateLimitPolicy,
+    SecurityPolicy,
+)
+from repro.security.access import AccessControl
+from repro.security.auth import PasswordVault, TokenIssuer
+from repro.services.tracestore import TraceStore, tracestore_routes
+from repro.transport.http11 import HttpRequest
+from repro.transport.httpserver import HttpServer
+from repro.web.app import compose_handlers
+
+PASSWORD = "Correct-Horse-7"
+
+
+def make_security():
+    vault = PasswordVault()
+    vault.set_password("ada", PASSWORD, PASSWORD)
+    vault.set_password("bob", PASSWORD, PASSWORD)  # bob may not read traces
+    access = AccessControl()
+    access.define_role("tracer", ["traces:read"])
+    access.define_role("caller", ["echo:call"])
+    access.assign_role("ada", "tracer")
+    access.assign_role("bob", "caller")
+    issuer = TokenIssuer()
+    return SecurityPolicy(issuer, access, vault)
+
+
+def make_gateway(**kwargs):
+    return Gateway(
+        ServiceBroker(),
+        [],
+        security=make_security(),
+        limiter=RateLimiter(
+            RateLimitPolicy(rate=1000.0, burst=1000.0),
+            anonymous=RateLimitPolicy(rate=1000.0, burst=1000.0),
+        ),
+        **kwargs,
+    )
+
+
+def request(method, target, token=None):
+    headers = {"Authorization": f"Bearer {token}"} if token else {}
+    return HttpRequest(method, target, headers)
+
+
+def issue_token(gw, user):
+    body = f"user={user}&password={PASSWORD}".encode()
+    response = gw(HttpRequest("POST", "/auth/token", {}, body))
+    assert response.status == 200, response.text()
+    return json.loads(response.text())["token"]
+
+
+def seeded_store():
+    store = TraceStore(settle_seconds=0.01)
+    store.ingest("gateway", [{
+        "name": "http.server", "kind": "server",
+        "trace_id": f"{0xFACE:032x}", "span_id": f"{7:016x}",
+        "parent_id": None, "start": 1.0, "end": 1.5, "status": "ok",
+        "error": None, "attributes": {"node": "gateway"}, "events": [],
+    }])
+    return store
+
+
+@pytest.fixture(scope="module")
+def plane():
+    store = seeded_store()
+    handler = compose_handlers(dict(tracestore_routes(store)), default=None)
+    with HttpServer(handler) as server:
+        gateway = make_gateway()
+        gateway.attach_trace_store(server.host, server.port)
+        yield gateway
+        gateway.close()
+
+
+class TestTraceRbac:
+    def test_anonymous_is_challenged(self, plane):
+        for target in ("/traces", f"/traces/{0xFACE:032x}", "/dependencies"):
+            response = plane(request("GET", target))
+            assert response.status == 401
+            assert (
+                response.headers.get("WWW-Authenticate")
+                == 'Bearer realm="repro-gateway"'
+            )
+
+    def test_token_without_permission_is_forbidden(self, plane):
+        token = issue_token(plane, "bob")
+        assert plane(request("GET", "/traces", token)).status == 403
+        assert plane(request("GET", "/dependencies", token)).status == 403
+
+    def test_permitted_principal_reads_the_store_through_the_gateway(self, plane):
+        token = issue_token(plane, "ada")
+        listing = plane(request("GET", "/traces?limit=5", token))
+        assert listing.status == 200
+        rows = json.loads(listing.text())["traces"]
+        assert rows and rows[0]["trace_id"] == f"{0xFACE:032x}"
+
+        detail = plane(request("GET", f"/traces/{0xFACE:032x}", token))
+        assert detail.status == 200
+        doc = json.loads(detail.text())
+        assert doc["root"] == "http.server"
+        assert "critical_path" in doc
+
+        deps = plane(request("GET", "/dependencies", token))
+        assert deps.status == 200
+        assert "edges" in json.loads(deps.text())
+
+    def test_store_errors_pass_through(self, plane):
+        token = issue_token(plane, "ada")
+        missing = plane(request("GET", f"/traces/{0xD00D:032x}", token))
+        assert missing.status == 404
+
+    def test_ingest_is_not_proxied(self, plane):
+        token = issue_token(plane, "ada")
+        response = plane(
+            HttpRequest(
+                "POST",
+                "/traces/ingest",
+                {"Authorization": f"Bearer {token}"},
+                b"{}",
+            )
+        )
+        assert response.status == 405  # queries only; ingest goes direct
+
+    def test_refusals_are_counted(self, plane):
+        plane(request("GET", "/traces"))  # anonymous
+        families = {f.name: f for f in plane.registry.collect()}
+        rejected = families["repro_gateway_rejected_total"].samples
+        assert rejected.get(("unauthenticated",), 0) >= 1
+
+
+class TestUnattachedStore:
+    def test_authed_caller_sees_503_without_a_store(self):
+        gateway = make_gateway()
+        try:
+            token = issue_token(gateway, "ada")
+            response = gateway(request("GET", "/traces", token))
+            assert response.status == 503
+            families = {f.name: f for f in gateway.registry.collect()}
+            rejected = families["repro_gateway_rejected_total"].samples
+            assert rejected.get(("no_trace_store",), 0) >= 1
+        finally:
+            gateway.close()
+
+    def test_dead_store_maps_to_502(self):
+        gateway = make_gateway()
+        try:
+            with HttpServer(lambda r: None) as doomed:
+                host, port = doomed.host, doomed.port
+            gateway.attach_trace_store(host, port)  # server already stopped
+            token = issue_token(gateway, "ada")
+            response = gateway(request("GET", "/traces", token))
+            assert response.status == 502
+        finally:
+            gateway.close()

@@ -141,3 +141,13 @@ def test_profiling_demo():
     assert "resolves to a kept trace: True" in out
     assert "burn_cpu [route:/work]" in out
     assert "/healthz carries pool detail: True" in out
+
+
+def test_tracing_demo():
+    out = run_example("tracing_demo.py")
+    assert "DOOM quote came back 500" in out
+    assert "assembled from 3 nodes" in out
+    assert "rest.invoke" in out
+    assert "critical path:" in out
+    assert "gateway -> Quote  calls=1 errors=1" in out
+    assert "resolved: True state=complete" in out

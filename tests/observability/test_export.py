@@ -1,0 +1,256 @@
+"""BatchSpanExporter: batching, backpressure drops, self-silencing."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.observability import (
+    OBS,
+    BatchSpanExporter,
+    INGEST_PATH,
+    SpanCollector,
+    TailSampler,
+    Tracer,
+    observed,
+    render_prometheus,
+)
+from repro.observability.trace import TRACEPARENT_HEADER, TraceContext
+from repro.transport.http11 import HttpResponse
+from repro.transport.httpserver import HttpServer
+
+pytestmark = pytest.mark.obs
+
+
+class IngestSink:
+    """A minimal trace-store stand-in: records every batch it receives."""
+
+    def __init__(self, status: int = 200) -> None:
+        self.status = status
+        self.batches: list[dict] = []
+        self.headers: list[dict] = []
+        self._lock = threading.Lock()
+        self.arrived = threading.Event()
+
+    def __call__(self, request):
+        if request.path != INGEST_PATH:
+            return HttpResponse.error(404)
+        with self._lock:
+            self.batches.append(json.loads(request.body.decode()))
+            self.headers.append(dict(request.headers.items()))
+        self.arrived.set()
+        return HttpResponse.text_response("{}", self.status, "application/json")
+
+    def spans(self) -> list[dict]:
+        with self._lock:
+            return [span for batch in self.batches for span in batch["spans"]]
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestBatching:
+    def test_spans_ship_in_batches_with_node_identity(self):
+        sink = IngestSink()
+        with HttpServer(sink) as server:
+            with BatchSpanExporter(
+                server.host, server.port, node="alpha", flush_interval=0.05
+            ) as exporter:
+                tracer = Tracer(exporter)
+                for _ in range(3):
+                    with tracer.span("op"):
+                        pass
+                assert wait_until(lambda: len(sink.spans()) == 3)
+            assert exporter.exported == 3
+            assert exporter.dropped == 0
+            assert all(b["node"] == "alpha" for b in sink.batches)
+            names = {span["name"] for span in sink.spans()}
+            assert names == {"op"}
+
+    def test_batch_size_triggers_immediate_flush(self):
+        sink = IngestSink()
+        with HttpServer(sink) as server:
+            with BatchSpanExporter(
+                server.host,
+                server.port,
+                batch_size=4,
+                flush_interval=30.0,  # too long: only the size trigger fires
+            ) as exporter:
+                tracer = Tracer(exporter)
+                for _ in range(4):
+                    with tracer.span("burst"):
+                        pass
+                assert wait_until(lambda: exporter.exported >= 4, timeout=2.0)
+
+    def test_flush_drains_synchronously(self):
+        sink = IngestSink()
+        with HttpServer(sink) as server:
+            exporter = BatchSpanExporter(
+                server.host, server.port, flush_interval=60.0
+            )
+            try:
+                tracer = Tracer(exporter)
+                for _ in range(5):
+                    with tracer.span("op"):
+                        pass
+                exporter.flush()
+                assert exporter.exported == 5
+                assert len(sink.spans()) == 5
+                assert exporter.queue_depth() == 0
+            finally:
+                exporter.close()
+
+
+class TestSelfSilencing:
+    def test_ingest_posts_carry_unsampled_traceparent(self):
+        sink = IngestSink()
+        with HttpServer(sink) as server:
+            with BatchSpanExporter(
+                server.host, server.port, flush_interval=0.05
+            ) as exporter:
+                tracer = Tracer(exporter)
+                with tracer.span("op"):
+                    pass
+                assert wait_until(lambda: bool(sink.headers))
+        header = sink.headers[0].get(TRACEPARENT_HEADER)
+        assert header is not None
+        context = TraceContext.parse(header)
+        assert context is not None
+        assert context.sampled is False  # the store's sampler head-drops it
+
+    def test_store_side_sampler_discards_ingest_spans_unbuffered(self):
+        # Simulate the store's own pipeline receiving its server span for
+        # an ingest POST: sampled=False means no buffering, no export.
+        keeper = SpanCollector()
+        sampler = TailSampler(keeper)
+        tracer = Tracer(sampler)
+        silenced = TraceContext.parse(
+            "00-" + "ab" * 16 + "-" + "cd" * 8 + "-00"
+        )
+        with tracer.span("http.server", kind="server", parent=silenced):
+            pass
+        assert sampler.pending_traces() == 0
+        assert len(keeper) == 0
+        assert sampler.spans_dropped == 1
+
+    def test_exporter_itself_drops_unsampled_spans(self):
+        # Without a tail sampler in between, the exporter is the last
+        # line of defence against the self-export feedback loop.
+        sink = IngestSink()
+        with HttpServer(sink) as server:
+            with BatchSpanExporter(server.host, server.port) as exporter:
+                tracer = Tracer(exporter)
+                silenced = TraceContext.parse(
+                    "00-" + "ab" * 16 + "-" + "cd" * 8 + "-00"
+                )
+                with tracer.span("http.server", kind="server", parent=silenced):
+                    pass
+                assert exporter.dropped == 1
+                assert exporter.queue_depth() == 0
+        assert sink.batches == []
+
+
+class TestBackpressure:
+    def test_full_queue_drops_instead_of_blocking(self):
+        sink = IngestSink()
+        with HttpServer(sink) as server:
+            exporter = BatchSpanExporter(
+                server.host,
+                server.port,
+                max_queue=8,
+                batch_size=64,
+                flush_interval=60.0,  # flusher effectively asleep
+            )
+            try:
+                tracer = Tracer(exporter)
+                started = time.perf_counter()
+                for _ in range(40):
+                    with tracer.span("op"):
+                        pass
+                elapsed = time.perf_counter() - started
+                assert elapsed < 2.0  # never blocked on the wire
+                assert exporter.dropped == 32
+                assert exporter.queue_depth() == 8
+            finally:
+                exporter.close()
+
+    def test_dead_store_counts_send_failures_not_exceptions(self):
+        with HttpServer(lambda r: HttpResponse.error(503)) as server:
+            exporter = BatchSpanExporter(
+                server.host, server.port, flush_interval=0.05
+            )
+            try:
+                tracer = Tracer(exporter)
+                with tracer.span("op"):
+                    pass
+                assert wait_until(lambda: exporter.failed_batches >= 1)
+                assert exporter.dropped >= 1
+                assert exporter.exported == 0
+            finally:
+                exporter.close()
+
+    def test_export_after_close_is_a_counted_drop(self):
+        sink = IngestSink()
+        with HttpServer(sink) as server:
+            exporter = BatchSpanExporter(server.host, server.port)
+            tracer = Tracer(exporter)
+            with tracer.span("before"):
+                pass
+            exporter.close()
+            with tracer.span("after"):
+                pass
+            assert exporter.dropped >= 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BatchSpanExporter()
+        with pytest.raises(ValueError):
+            BatchSpanExporter("h", 1, max_queue=0)
+        with pytest.raises(ValueError):
+            BatchSpanExporter("h", 1, flush_interval=0.0)
+
+
+class TestChainedAfterTailSampler:
+    def test_only_kept_traces_cross_the_wire(self):
+        sink = IngestSink()
+        with HttpServer(sink) as server:
+            with BatchSpanExporter(
+                server.host, server.port, flush_interval=0.05
+            ) as exporter:
+                sampler = TailSampler(exporter, slow_threshold=10.0)
+                tracer = Tracer(sampler)
+                # boring trace: dropped at the tail, never exported
+                with tracer.span("boring"):
+                    pass
+                # errored trace: kept and exported
+                with tracer.span("failing") as span:
+                    span.record_exception(RuntimeError("boom"))
+                assert wait_until(lambda: len(sink.spans()) >= 1)
+                time.sleep(0.1)  # grace: a late 'boring' flush would land now
+        names = {span["name"] for span in sink.spans()}
+        assert names == {"failing"}
+        assert sampler.kept("kept_error") == 1
+
+    def test_export_metrics_reach_the_registry(self):
+        sink = IngestSink()
+        with HttpServer(sink) as server:
+            with observed() as obs:
+                with BatchSpanExporter(
+                    server.host, server.port, flush_interval=0.05
+                ) as exporter:
+                    tracer = Tracer(exporter)
+                    with tracer.span("op"):
+                        pass
+                    assert wait_until(lambda: exporter.exported == 1)
+                text = render_prometheus(obs.registry)
+        assert "repro_trace_export_exported_total 1" in text
+        assert 'repro_trace_export_batches_total{outcome="ok"} 1' in text
+        assert "repro_trace_export_dropped_total" in text  # family documented
+        assert not OBS.enabled

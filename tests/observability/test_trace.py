@@ -1,5 +1,6 @@
 """Unit tests for the tracing pillar: contexts, spans, tracer, rendering."""
 
+import json
 import threading
 
 import pytest
@@ -12,7 +13,7 @@ from repro.observability import (
     Tracer,
     render_trace_tree,
 )
-from repro.observability.trace import add_event, current_span
+from repro.observability.trace import add_event, current_span, span_from_dict
 
 pytestmark = pytest.mark.obs
 
@@ -199,3 +200,174 @@ class TestRenderTraceTree:
         text = render_trace_tree(collector.spans())
         assert "served" in text
         assert text.startswith("trace ")
+
+
+class TestSpanWireFormat:
+    def test_roundtrip_preserves_identity_timing_and_events(self):
+        clock = ManualClock()
+        collector = SpanCollector()
+        tracer = Tracer(collector, clock=clock)
+        with tracer.span("outer", kind="server", attributes={"binding": "rest"}):
+            clock.advance(0.25)
+            with tracer.span("inner") as inner:
+                inner.add_event("retry", attempt=2)
+                clock.advance(0.5)
+                inner.record_exception(RuntimeError("boom"))
+        for original in collector.spans():
+            copy = span_from_dict(original.to_dict())
+            assert copy.name == original.name
+            assert copy.kind == original.kind
+            assert copy.trace_id == original.trace_id
+            assert copy.span_id == original.span_id
+            assert copy.parent_id == original.parent_id
+            assert copy.start == original.start
+            assert copy.end == original.end
+            assert copy.status == original.status
+            assert copy.error == original.error
+            assert copy.attributes == original.attributes
+            assert [e.name for e in copy.events] == [
+                e.name for e in original.events
+            ]
+
+    def test_wire_format_is_json_safe_hex(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        with tracer.span("x"):
+            pass
+        doc = json.loads(json.dumps(collector.spans()[0].to_dict()))
+        assert len(doc["trace_id"]) == 32
+        assert len(doc["span_id"]) == 16
+        assert doc["parent_id"] is None
+        assert span_from_dict(doc).trace_id == collector.spans()[0].trace_id
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("trace_id"),
+            lambda d: d.update(trace_id="zz" * 16),
+            lambda d: d.update(span_id=None),
+            lambda d: d.update(start="not-a-number"),
+            lambda d: d.update(events="not-a-list"),
+        ],
+    )
+    def test_malformed_payloads_raise(self, mutate):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        with tracer.span("x"):
+            pass
+        doc = collector.spans()[0].to_dict()
+        mutate(doc)
+        with pytest.raises((KeyError, ValueError, TypeError)):
+            span_from_dict(doc)
+
+
+class TestTraceIndex:
+    def test_by_trace_uses_index_not_ring_scan(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        ids = []
+        for _ in range(5):
+            with tracer.span("root") as root:
+                ids.append(root.trace_id)
+                with tracer.span("child"):
+                    pass
+        spans = collector.by_trace(ids[2])
+        assert len(spans) == 2
+        assert {s.trace_id for s in spans} == {ids[2]}
+        assert collector.trace_ids() == set(ids)
+
+    def test_eviction_unindexes_the_evicted_trace(self):
+        collector = SpanCollector(capacity=2)
+        tracer = Tracer(collector)
+        first = last = None
+        for _ in range(4):
+            with tracer.span("one") as span:
+                last = span.trace_id
+                if first is None:
+                    first = span.trace_id
+        assert collector.by_trace(first) == []
+        assert first not in collector.trace_ids()
+        assert len(collector.by_trace(last)) == 1
+        assert collector.dropped == 2
+
+    def test_threaded_exports_keep_index_consistent(self):
+        collector = SpanCollector(capacity=64)  # small: forces evictions
+        tracer = Tracer(collector)
+        per_thread_ids: dict[int, list[int]] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(9)
+
+        def writer(worker: int) -> None:
+            ids = per_thread_ids.setdefault(worker, [])
+            try:
+                barrier.wait(5)
+                for _ in range(50):
+                    with tracer.span("w") as root:
+                        ids.append(root.trace_id)
+                        with tracer.span("c"):
+                            pass
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                barrier.wait(5)
+                for _ in range(200):
+                    for trace_id in list(collector.trace_ids()):
+                        for span in collector.by_trace(trace_id):
+                            assert span.trace_id == trace_id
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(6)
+        ] + [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert not errors
+        # settled state: index and ring agree exactly
+        spans = collector.spans()
+        assert len(spans) == 64
+        by_index = [
+            span
+            for trace_id in collector.trace_ids()
+            for span in collector.by_trace(trace_id)
+        ]
+        assert sorted(id(s) for s in by_index) == sorted(id(s) for s in spans)
+
+
+class TestOrphanRendering:
+    def test_gateway_side_only_spans_render_as_marked_orphans(self):
+        """A partial trace (only the gateway's spans arrived) still renders."""
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        remote = TraceContext(trace_id=0xFEED, span_id=0xBEEF)
+        with tracer.span("http.server", kind="server", parent=remote):
+            with tracer.span("gateway.forward"):
+                pass
+        text = render_trace_tree(collector.spans())
+        lines = text.splitlines()
+        assert "http.server [server] (orphan)" in text
+        assert "(orphan)" not in [l for l in lines if "gateway.forward" in l][0]
+        assert "gateway.forward" in text  # child still nests under it
+
+    def test_true_roots_are_not_marked(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        with tracer.span("root"):
+            pass
+        assert "(orphan)" not in render_trace_tree(collector.spans())
+
+    def test_mixed_set_marks_only_absent_parent_roots(self):
+        collector = SpanCollector()
+        tracer = Tracer(collector)
+        with tracer.span("local-root"):
+            pass
+        with tracer.span("served", parent=TraceContext(trace_id=7, span_id=9)):
+            pass
+        text = render_trace_tree(collector.spans())
+        marked = [l for l in text.splitlines() if "(orphan)" in l]
+        assert len(marked) == 1
+        assert "served" in marked[0]

@@ -365,3 +365,41 @@ class TestSaturationInstruments:
                 assert line.rstrip().endswith(" 0") or line.rstrip().endswith(
                     " 0.0"
                 )
+
+
+@pytest.mark.obs
+class TestClosedPoolSeries:
+    def test_closed_clients_series_disappears_from_metrics(self, server):
+        with HttpServer(lambda r: HttpResponse.text_response("ok")) as other:
+            with observed() as obs:
+                kept = HttpClient(server.host, server.port)
+                closed = HttpClient(other.host, other.port)
+                try:
+                    assert kept.get("/a").status == 200
+                    assert closed.get("/a").status == 200
+                    kept_series = f'authority="{server.host}:{server.port}"'
+                    closed_series = f'authority="{other.host}:{other.port}"'
+                    text = render_prometheus(obs.registry)
+                    assert kept_series in text
+                    assert closed_series in text
+
+                    closed.close()
+                    text = render_prometheus(obs.registry)
+                    assert kept_series in text  # live peer still exported
+                    assert closed_series not in text  # closed: gone
+                finally:
+                    kept.close()
+                    closed.close()
+
+    def test_redialing_after_close_resumes_the_series(self, server):
+        with observed() as obs:
+            client = HttpClient(server.host, server.port)
+            try:
+                assert client.get("/a").status == 200
+                client.close()
+                series = f'authority="{server.host}:{server.port}"'
+                assert series not in render_prometheus(obs.registry)
+                assert client.get("/b").status == 200  # redial clears the flag
+                assert series in render_prometheus(obs.registry)
+            finally:
+                client.close()
