@@ -1,0 +1,166 @@
+"""Caching-plane bench: what does the caching plane actually buy?
+
+Two claims, measured:
+
+* **cache-aside** — the directory's tf-idf search through a
+  :class:`ShardedCache` must run at least ``MIN_SPEEDUP`` (2x) faster
+  hot than the same query computed uncached;
+* **304 revalidation** — a conditional GET against an unchanged,
+  ``ETag``-tagged representation must transfer **zero body bytes** on
+  the wire (the client's validation cache serves the stored body), and
+  the bytes-saved accounting must equal ``calls x body size``.
+
+Results land in ``BENCH_cache.json``; ``bench_regression_guard.py``
+normalises future runs by their own ``uncached`` row, so the guarded
+factors are the relative cost of a cache hit and of a wire
+revalidation against this machine's compute baseline — machine speed
+cancels.
+"""
+
+import json
+import socket
+import statistics
+import time
+from pathlib import Path
+
+from repro.directory.search import ServiceSearchEngine
+from repro.services import ShardedCache, build_repository
+from repro.transport import HttpClient, HttpResponse, HttpServer, conditional
+
+SEARCH_CALLS = 2000
+HTTP_CALLS = 200
+REPEATS = 3            # best-of per variant (by p50)
+MIN_SPEEDUP = 2.0      # cache-aside hot path must be >= 2x the uncached
+QUERY = "credit score mortgage cache image service"
+BODY = b"<catalog>" + b"<service name='x'/>" * 200 + b"</catalog>"
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+
+
+def indexed_engine(cache=None):
+    engine = ServiceSearchEngine(cache=cache)
+    _broker, _bus, services = build_repository()
+    for service in services.values():
+        engine.index(service.contract())
+    return engine
+
+
+def time_calls(calls, fn):
+    """Per-call seconds (p50) over best-of-REPEATS timed loops."""
+    fn()  # warm (fills caches where there are any)
+    totals = []
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        totals.append((time.perf_counter() - started) / calls)
+    return statistics.median(totals)
+
+
+def catalog_handler(request):
+    return HttpResponse.text_response(BODY.decode("ascii"), 200, "text/xml")
+
+
+def wire_body_bytes_of_revalidation(host, port, etag):
+    """One raw conditional GET: the bytes after the 304's header section."""
+    with socket.create_connection((host, port), timeout=5) as sock:
+        sock.sendall(
+            b"GET /catalog HTTP/1.1\r\n"
+            b"If-None-Match: " + etag.encode("ascii") + b"\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        blob = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            blob += chunk
+    head, _, body = blob.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 304 "), head[:64]
+    return len(body)
+
+
+def test_cache_plane_speedups(report):
+    # -- cache-aside: tf-idf search hot vs cold ------------------------
+    uncached_engine = indexed_engine()
+    uncached = time_calls(
+        SEARCH_CALLS // 4, lambda: uncached_engine.search(QUERY)
+    )
+    cache = ShardedCache("bench", capacity=4096)
+    cached_engine = indexed_engine(cache)
+    cache_aside = time_calls(SEARCH_CALLS, lambda: cached_engine.search(QUERY))
+    speedup = uncached / cache_aside
+
+    # -- wire revalidation: conditional GET + client validation cache --
+    with HttpServer(conditional(catalog_handler)) as server:
+        with HttpClient(server.host, server.port) as cold_client:
+            first = cold_client.get("/catalog")
+            etag = first.headers.get("ETag")
+            assert first.status == 200 and etag
+
+        wire_body_bytes = wire_body_bytes_of_revalidation(
+            server.host, server.port, etag
+        )
+
+        with HttpClient(server.host, server.port, validation_cache=0) as plain:
+            full_get = time_calls(HTTP_CALLS, lambda: plain.get("/catalog"))
+
+        with HttpClient(server.host, server.port) as validating:
+            revalidation = time_calls(
+                HTTP_CALLS, lambda: validating.get("/catalog")
+            )
+            stats = validating.validation_stats()
+
+    timings = {
+        "uncached": uncached,
+        "cache_aside": cache_aside,
+        "full_get": full_get,
+        "revalidation_304": revalidation,
+    }
+    results = {
+        "search_calls": SEARCH_CALLS,
+        "http_calls": HTTP_CALLS,
+        "query": QUERY,
+        "body_bytes": len(BODY),
+        "method": "per-call p50 over best-of-repeats loops; search over the "
+                  "full built repository catalogue; HTTP against a "
+                  "conditional()-wrapped server on loopback",
+        "microseconds_per_call": {
+            name: seconds * 1e6 for name, seconds in timings.items()
+        },
+        "cache_aside_speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "revalidation": {
+            "wire_body_bytes": wire_body_bytes,
+            "hits": stats["hits"],
+            "bytes_saved": stats["bytes_saved"],
+        },
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    report(
+        "Caching plane: cache-aside speedup + zero-byte revalidation",
+        "\n".join(
+            [
+                f"tf-idf search    : uncached {uncached * 1e6:8.1f} us/call, "
+                f"cache-aside {cache_aside * 1e6:8.1f} us/call "
+                f"({speedup:.1f}x, floor {MIN_SPEEDUP:.0f}x)",
+                f"catalog GET      : full {full_get * 1e6:8.1f} us/call, "
+                f"revalidated {revalidation * 1e6:8.1f} us/call",
+                f"revalidation     : {wire_body_bytes} body bytes on the "
+                f"wire; {stats['bytes_saved']} bytes served from the "
+                f"validation cache over {stats['hits']} hits",
+                f"written to       : {RESULTS_PATH.name}",
+            ]
+        ),
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"cache-aside hot path is only {speedup:.2f}x the uncached "
+        f"baseline, floor {MIN_SPEEDUP:.0f}x"
+    )
+    assert wire_body_bytes == 0, (
+        f"a 304 revalidation moved {wire_body_bytes} body bytes"
+    )
+    # every timed revalidation (plus the warm call) hit the stored body
+    assert stats["hits"] >= HTTP_CALLS
+    assert stats["bytes_saved"] == stats["hits"] * len(BODY)

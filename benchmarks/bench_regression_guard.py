@@ -51,7 +51,10 @@ DRIFT_TOLERANCE = 0.25  # max relative change of a row's bare-normalised factor
 #: factors are the inverse scale-out of three replicas and the relative
 #: cost of a batch with a mid-load kill.  The gateway bench normalises
 #: by the direct-to-replica p50, so its guarded factor is the relative
-#: p50 cost of mediation (auth + rate limit + balanced forward).
+#: p50 cost of mediation (auth + rate limit + balanced forward).  The
+#: cache bench normalises by its uncached tf-idf search, so its guarded
+#: factors are the relative cost of a cache-aside hit and of a wire
+#: revalidation — losing the cache-aside speedup is what trips it.
 GUARDED = (
     ("bench_resilience_overhead.py", "BENCH_resilience.json", "bare_bus"),
     ("bench_observability_overhead.py", "BENCH_observability.json", "bare_bus"),
@@ -60,6 +63,7 @@ GUARDED = (
     ("bench_gateway.py", "BENCH_gateway.json", "direct_replica"),
     ("bench_profiling.py", "BENCH_profiling.json", "profiler_off"),
     ("bench_trace_export.py", "BENCH_trace_export.json", "tracing_only"),
+    ("bench_cache.py", "BENCH_cache.json", "uncached"),
 )
 
 

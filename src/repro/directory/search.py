@@ -57,13 +57,24 @@ class SearchHit:
 
 
 class ServiceSearchEngine:
-    """Index contracts; query with ranked free-text search."""
+    """Index contracts; query with ranked free-text search.
 
-    def __init__(self) -> None:
+    ``cache`` (any object with the
+    :meth:`~repro.services.cache_service.ShardedCache.get_or_compute`
+    surface) turns :meth:`search` cache-aside: repeated queries against
+    an unchanged index serve the ranked hits from the cache.  Every
+    index mutation bumps a generation counter baked into the cache key,
+    so stale rankings are unreachable rather than invalidated one by
+    one.
+    """
+
+    def __init__(self, cache=None) -> None:
         self._contracts: dict[str, ServiceContract] = {}
         self._term_frequencies: dict[str, dict[str, int]] = {}
         self._document_lengths: dict[str, int] = {}
         self._lock = threading.RLock()
+        self._cache = cache
+        self._generation = 0
 
     # -- indexing --------------------------------------------------------
     def index(self, contract: ServiceContract) -> None:
@@ -78,6 +89,7 @@ class ServiceSearchEngine:
             self._document_lengths[contract.name] = max(len(tokens), 1)
             for token, count in frequencies.items():
                 self._term_frequencies.setdefault(token, {})[contract.name] = count
+            self._generation += 1
 
     def index_many(self, contracts: list[ServiceContract]) -> int:
         for contract in contracts:
@@ -92,6 +104,7 @@ class ServiceSearchEngine:
             del self._document_lengths[name]
             for postings in self._term_frequencies.values():
                 postings.pop(name, None)
+            self._generation += 1
 
     def __len__(self) -> int:
         with self._lock:
@@ -104,6 +117,16 @@ class ServiceSearchEngine:
     # -- query ------------------------------------------------------------
     def search(self, query: str, *, limit: int = 10) -> list[SearchHit]:
         """tf-idf ranked results; empty query or no match → empty list."""
+        if self._cache is None:
+            return self._search_uncached(query, limit)
+        with self._lock:
+            generation = self._generation
+        key = f"sse:{generation}:{limit}:{query}"
+        return self._cache.get_or_compute(
+            key, lambda: self._search_uncached(query, limit)
+        )
+
+    def _search_uncached(self, query: str, limit: int) -> list[SearchHit]:
         tokens = _tokenize(query)
         if not tokens:
             return []

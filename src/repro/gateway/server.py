@@ -113,6 +113,7 @@ class Gateway:
         #: ``/debug/*`` they are never anonymous.
         self.trace_permission = trace_permission
         self._trace_store: Optional[tuple[str, int]] = None
+        self._cache_node: Optional[tuple[str, int]] = None
         self._balancer_factory = balancer_factory
         self._balancer_kwargs = balancer_kwargs
         self._http_clients = PooledHttpClients()
@@ -270,6 +271,10 @@ class Gateway:
             response = self._traces_route(request)
             self._observe("/traces", "ok" if response.ok else "denied", started)
             return response
+        if path == "/cache/stats":
+            response = self._cache_route(request)
+            self._observe("/cache", "ok" if response.ok else "denied", started)
+            return response
         if path == "/auth/token":
             response = self._token_route(request)
         elif path == "/auth/logout":
@@ -349,6 +354,41 @@ class Gateway:
             upstream = self._http_clients(host, port).get(request.target)
         except (OSError, TransportError) as exc:
             return HttpResponse.error(502, f"trace store unreachable: {exc}")
+        content_type = (
+            upstream.headers.get("Content-Type") or "application/json"
+        ).split(";")[0].strip()
+        return HttpResponse.text_response(
+            upstream.text(), upstream.status, content_type
+        )
+
+    def attach_cache(self, host: str, port: int) -> None:
+        """Front a node serving :func:`~repro.services.cache_service.cache_routes`.
+
+        ``/cache/stats`` then proxies (GET only, authenticated) to the
+        cache node over the shared upstream pool — hit rates and
+        eviction counts on the same pane of glass as ``/traces`` and
+        ``/debug``, without exposing the cache node itself.
+        """
+        self._cache_node = (host, int(port))
+
+    def _cache_route(self, request: HttpRequest) -> HttpResponse:
+        """Authenticated GET proxy onto the attached cache node."""
+        try:
+            principal = self.security.authenticate(request)
+            self.security.require(principal)
+        except GatewayAuthError as exc:
+            self._refused("unauthenticated" if exc.status == 401 else "forbidden")
+            return self._auth_error_response(exc)
+        if request.method != "GET":
+            return HttpResponse.error(405, "GET only")
+        if self._cache_node is None:
+            self._refused("no_cache_node")
+            return HttpResponse.error(503, "no cache node attached")
+        host, port = self._cache_node
+        try:
+            upstream = self._http_clients(host, port).get(request.target)
+        except (OSError, TransportError) as exc:
+            return HttpResponse.error(502, f"cache node unreachable: {exc}")
         content_type = (
             upstream.headers.get("Content-Type") or "application/json"
         ).split(";")[0].strip()

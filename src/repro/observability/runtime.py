@@ -178,6 +178,14 @@ def _transport_pool_families() -> list[MetricFamily]:
     return transport.pool_metric_families()
 
 
+def _service_cache_families() -> list[MetricFamily]:
+    """Scrape-time bridge to sharded-cache stats, if the service is up."""
+    cache_service = sys.modules.get("repro.services.cache_service")
+    if cache_service is None:
+        return []
+    return cache_service.cache_metric_families()
+
+
 class Instruments:
     """Every pre-registered instrument family, one attribute each.
 
@@ -355,13 +363,20 @@ class Instruments:
             "Profiles captured automatically, by trigger.",
             ("trigger",),
         )
+        self.client_validation = registry.counter(
+            "repro_client_validation_total",
+            "HttpClient validation-cache events (stored / revalidated).",
+            ("outcome",),
+        )
         # Connection-pool capacity gauges come from a scrape-time
         # collector rather than pre-registered children: pools are
         # per-HttpClient objects living in the transport layer, which
         # observability must not import eagerly (layering).  The
         # collector reports only when the transport module is already
-        # loaded — it never triggers the import itself.
+        # loaded — it never triggers the import itself.  The sharded
+        # service caches bridge the same way.
         registry.register_collector(_transport_pool_families)
+        registry.register_collector(_service_cache_families)
 
 
 class Observability:

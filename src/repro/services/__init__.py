@@ -22,6 +22,13 @@ from .commerce import (
     MortgageService,
     ShoppingCartService,
 )
+from .cache_service import (
+    CacheService,
+    ShardedCache,
+    cache_metric_families,
+    cache_routes,
+    publish_cache_service,
+)
 from .catalog import CATALOG_SERVICES, build_repository, mount_all
 from .data_service import DatabaseService
 from .monitor import (
@@ -53,4 +60,6 @@ __all__ = [
     "merge_families", "monitor_routes", "publish_monitor",
     "TraceStore", "TraceRecord", "TraceStoreService",
     "tracestore_routes", "publish_tracestore",
+    "ShardedCache", "CacheService", "cache_metric_families",
+    "cache_routes", "publish_cache_service",
 ]

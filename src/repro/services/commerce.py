@@ -14,7 +14,7 @@ from typing import Any, Optional
 
 from ..core.faults import ServiceFault
 from ..core.service import Service, operation
-from ..web.caching import Cache
+from .cache_service import ShardedCache
 
 __all__ = [
     "CachingService",
@@ -26,13 +26,19 @@ __all__ = [
 
 
 class CachingService(Service):
-    """Caching as a service: shared key-value cache with expirations."""
+    """Caching as a service: shared key-value cache with expirations.
+
+    The course's simple string-valued API, now riding the lock-striped
+    :class:`~repro.services.cache_service.ShardedCache` engine — same
+    contract, but concurrent students on different keys no longer share
+    one lock, and the engine's ``repro_cache_*`` series cover it.
+    """
 
     service_name = "Caching"
     category = "infrastructure"
 
     def __init__(self, capacity: int = 4096) -> None:
-        self._cache = Cache(capacity)
+        self._cache = ShardedCache("caching-service", capacity=capacity)
 
     @operation
     def put(self, key: str, value: str, ttl_seconds: float = 0.0) -> bool:
@@ -52,13 +58,7 @@ class CachingService(Service):
 
     @operation(idempotent=True)
     def stats(self) -> dict:
-        stats = self._cache.stats
-        return {
-            "hits": stats.hits,
-            "misses": stats.misses,
-            "hit_rate": stats.hit_rate,
-            "entries": len(self._cache),
-        }
+        return self._cache.stats()
 
 
 class ShoppingCartService(Service):
@@ -208,14 +208,36 @@ class CreditScoreService(Service):
     Deterministic synthetic model (no bureau access, per the substitution
     rule): score = base from a stable hash of the SSN, adjusted by
     reported income and derogatory marks — same SSN, same score.
+
+    Determinism makes the pull a perfect cache-aside candidate: pass a
+    :class:`~repro.services.cache_service.ShardedCache` and repeated
+    pulls for one applicant (the mortgage flow scores every
+    re-underwrite) hit the cache instead of re-deriving; the shard's
+    singleflight absorbs a stampede of concurrent identical pulls.
     """
 
     service_name = "CreditScore"
     category = "finance"
 
+    #: cached scores expire so a (hypothetical) model update propagates
+    SCORE_TTL_SECONDS = 300.0
+
+    def __init__(self, cache: Optional[ShardedCache] = None) -> None:
+        self._cache = cache
+
     @operation(idempotent=True)
     def score(self, ssn: str, income: float = 0.0, derogatory_marks: int = 0) -> int:
         """FICO-like score in [300, 850]."""
+        if self._cache is None:
+            return self._compute_score(ssn, income, derogatory_marks)
+        key = f"credit-score:{ssn.replace('-', '')}:{income}:{derogatory_marks}"
+        return self._cache.get_or_compute(
+            key,
+            lambda: self._compute_score(ssn, income, derogatory_marks),
+            absolute_seconds=self.SCORE_TTL_SECONDS,
+        )
+
+    def _compute_score(self, ssn: str, income: float, derogatory_marks: int) -> int:
         import hashlib
 
         if not ssn or len(ssn.replace("-", "")) != 9 or not ssn.replace("-", "").isdigit():

@@ -10,12 +10,23 @@ from .http11 import (
     HttpError,
     HttpRequest,
     HttpResponse,
+    bodyless_status,
     encode_query,
     parse_query_string,
     parse_request,
     parse_response,
 )
 from .httpserver import HttpClient, HttpServer, serve_once
+from .conditional import (
+    compute_etag,
+    conditional,
+    etag_matches,
+    http_date,
+    if_none_match,
+    not_modified,
+    parse_etag_list,
+    parse_http_date,
+)
 from .statusmap import attach_retry_after, parse_retry_after, raise_transport_status
 from .wsdl import contract_from_xml, contract_to_xml, contract_to_element, contract_from_element
 from .soap import SoapClient, SoapEndpoint, build_call, build_fault, build_result, parse_envelope, soap_proxy
@@ -23,8 +34,10 @@ from .rest import RestClient, RestEndpoint, RestRouter, coerce_argument, rest_pr
 
 __all__ = [
     "HttpError", "HttpRequest", "HttpResponse", "parse_request", "parse_response",
-    "parse_query_string", "encode_query",
+    "parse_query_string", "encode_query", "bodyless_status",
     "HttpServer", "HttpClient", "serve_once",
+    "conditional", "compute_etag", "etag_matches", "if_none_match",
+    "not_modified", "parse_etag_list", "http_date", "parse_http_date",
     "parse_retry_after", "attach_retry_after", "raise_transport_status",
     "contract_to_xml", "contract_from_xml", "contract_to_element", "contract_from_element",
     "SoapEndpoint", "SoapClient", "soap_proxy",

@@ -1,0 +1,171 @@
+"""Conditional-request support: ETags, HTTP dates, and a 304 middleware.
+
+RFC 7232 in miniature, sized for the course's service stack.  A server
+wraps any handler with :func:`conditional` and gets validation caching
+for free: every successful ``GET``/``HEAD`` response is tagged with a
+strong ``ETag`` (computed from the body when the handler didn't set
+one), and a request presenting ``If-None-Match`` / ``If-Modified-Since``
+that still matches is answered ``304 Not Modified`` — header-only on the
+wire (RFC 7230 §3.3.3), so an unchanged representation costs validators,
+not bytes.
+
+Comparison rules follow RFC 7232 §2.3.2: ``If-None-Match`` uses the
+*weak* comparison (``W/"x"`` matches ``"x"``), because the client is
+asking "has it changed?", not "is it byte-identical?".  ``*`` matches
+any current representation.  ``If-Modified-Since`` is only consulted
+when the request carries no ``If-None-Match`` (§3.3: validators rank,
+etags win).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from email.utils import formatdate, parsedate_to_datetime
+from typing import Callable, Optional
+
+from .http11 import HttpRequest, HttpResponse
+
+__all__ = [
+    "compute_etag",
+    "conditional",
+    "etag_matches",
+    "http_date",
+    "if_none_match",
+    "not_modified",
+    "parse_etag_list",
+    "parse_http_date",
+]
+
+
+def compute_etag(body: bytes) -> str:
+    """Strong entity-tag for a representation: quoted content digest."""
+    return '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+
+
+def parse_etag_list(header: str) -> list[str]:
+    """Split an ``If-None-Match`` value into individual entity-tags.
+
+    Handles ``*``, quoted tags, ``W/`` weak prefixes, and comma
+    separation; commas *inside* quoted tags are kept (an etag is an
+    opaque quoted string).
+    """
+    tags: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    for char in header:
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+        elif char == "," and not in_quotes:
+            tag = "".join(current).strip()
+            if tag:
+                tags.append(tag)
+            current = []
+        else:
+            current.append(char)
+    tag = "".join(current).strip()
+    if tag:
+        tags.append(tag)
+    return tags
+
+
+def _opaque(tag: str) -> str:
+    """The opaque part of an entity-tag: strip a ``W/`` weakness prefix."""
+    return tag[2:] if tag.startswith("W/") else tag
+
+
+def etag_matches(candidate: str, other: str, *, weak: bool = True) -> bool:
+    """RFC 7232 §2.3.2 comparison between two entity-tags.
+
+    *Weak* comparison ignores weakness prefixes on both sides; *strong*
+    comparison requires both tags to be strong and byte-equal.
+    """
+    if weak:
+        return _opaque(candidate) == _opaque(other)
+    if candidate.startswith("W/") or other.startswith("W/"):
+        return False
+    return candidate == other
+
+
+def if_none_match(header: Optional[str], current_etag: Optional[str]) -> bool:
+    """True when ``If-None-Match`` matches → the condition *fails* → 304."""
+    if header is None:
+        return False
+    header = header.strip()
+    if header == "*":
+        return current_etag is not None
+    if current_etag is None:
+        return False
+    return any(
+        etag_matches(tag, current_etag, weak=True)
+        for tag in parse_etag_list(header)
+    )
+
+
+def http_date(timestamp: float) -> str:
+    """IMF-fixdate (``Tue, 15 Nov 1994 08:12:31 GMT``) for a Unix time."""
+    return formatdate(timestamp, usegmt=True)
+
+
+def parse_http_date(value: str) -> Optional[float]:
+    """Unix timestamp for an HTTP date, ``None`` when unparseable."""
+    try:
+        return parsedate_to_datetime(value).timestamp()
+    except (TypeError, ValueError):
+        return None
+
+
+def not_modified(response: HttpResponse) -> HttpResponse:
+    """A ``304`` carrying the response's validators and caching headers.
+
+    RFC 7232 §4.1: a 304 should repeat the headers the client needs to
+    update its stored response — validators and freshness, not
+    representation metadata.
+    """
+    stripped = HttpResponse(304)
+    for name in ("ETag", "Last-Modified", "Cache-Control", "Expires", "Vary"):
+        value = response.headers.get(name)
+        if value is not None:
+            stripped.headers.set(name, value)
+    return stripped
+
+
+def conditional(
+    handler: Callable[[HttpRequest], HttpResponse],
+) -> Callable[[HttpRequest], HttpResponse]:
+    """Wrap a handler with ETag tagging and conditional-GET handling.
+
+    Successful ``GET``/``HEAD`` responses gain a strong ``ETag``
+    (content digest) when the handler didn't set its own; matching
+    ``If-None-Match`` (or, absent etags, ``If-Modified-Since`` vs
+    ``Last-Modified``) turns the answer into a bodyless ``304``.
+    Non-GET methods and non-200 responses pass through untouched.
+    """
+
+    def wrapped(request: HttpRequest) -> HttpResponse:
+        response = handler(request)
+        if request.method not in ("GET", "HEAD") or response.status != 200:
+            return response
+        etag = response.headers.get("ETag")
+        if etag is None:
+            etag = compute_etag(response.body)
+            response.headers.set("ETag", etag)
+        inm = request.headers.get("If-None-Match")
+        if inm is not None:
+            if if_none_match(inm, etag):
+                return not_modified(response)
+            return response
+        ims = request.headers.get("If-Modified-Since")
+        last_modified = response.headers.get("Last-Modified")
+        if ims is not None and last_modified is not None:
+            since = parse_http_date(ims)
+            modified = parse_http_date(last_modified)
+            if (
+                since is not None
+                and modified is not None
+                and modified <= since
+            ):
+                return not_modified(response)
+        return response
+
+    return wrapped

@@ -17,6 +17,7 @@ __all__ = [
     "HttpError",
     "HttpRequest",
     "HttpResponse",
+    "bodyless_status",
     "content_length_of",
     "parse_request",
     "parse_response",
@@ -56,6 +57,21 @@ STATUS_PHRASES = {
 }
 
 _METHODS = {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH"}
+
+
+def bodyless_status(status: int) -> bool:
+    """Statuses whose responses carry no message body (RFC 7230 §3.3.3).
+
+    ``1xx``, ``204 No Content`` and ``304 Not Modified`` responses are
+    terminated by the end of the header section regardless of any
+    ``Content-Length`` present — a 304 *may* carry the length the full
+    representation would have had, and a peer that frames on it anyway
+    desyncs the keep-alive connection (reads the next response's status
+    line as body bytes, or hangs waiting for a body that never comes).
+    Both the serializer and the parsers consult this one predicate so
+    the two sides can never disagree.
+    """
+    return status == 204 or status == 304 or 100 <= status < 200
 
 
 class HttpError(ValueError):
@@ -225,8 +241,23 @@ class HttpResponse:
     def to_bytes(self, *, include_body: bool = True) -> bytes:
         """Serialize; ``include_body=False`` emits the HEAD-response form:
         full status line and headers — ``Content-Length`` still describing
-        the body — with the body itself omitted (RFC 7230 §3.3)."""
+        the body — with the body itself omitted (RFC 7230 §3.3).
+
+        Bodyless statuses (:func:`bodyless_status`: 1xx, 204, 304) never
+        emit body bytes.  204 and 1xx drop ``Content-Length`` entirely
+        (RFC 7230 §3.3.2 forbids it); 304 keeps an explicitly-set
+        ``Content-Length`` — it describes the representation the client
+        already holds — but never frames bytes under it.  The seed framed
+        ``Content-Length: len(body)`` plus the body unconditionally, so a
+        304 built from a cached 200 desynced every keep-alive peer.
+        """
         headers = _Headers(self.headers.items())
+        if bodyless_status(self.status):
+            if self.status != 304:
+                headers.remove("Content-Length")
+            lines = [f"{self.version} {self.status} {self.reason}"]
+            lines.extend(f"{k}: {v}" for k, v in headers.items())
+            return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         headers.set("Content-Length", str(len(self.body)))
         lines = [f"{self.version} {self.status} {self.reason}"]
         lines.extend(f"{k}: {v}" for k, v in headers.items())
@@ -329,6 +360,9 @@ def parse_response(raw: bytes, *, head_response: bool = False) -> HttpResponse:
     ``head_response=True`` parses the response to a ``HEAD`` request:
     per RFC 7230 §3.3 its ``Content-Length`` describes the body a ``GET``
     *would* have carried, so no body bytes are expected or consumed.
+    Bodyless statuses (1xx, 204, 304) are treated the same way whatever
+    the request method was: their ``Content-Length``, if present, is
+    validated but never framed over.
     """
     lines, body = _split_message(raw)
     parts = lines[0].split(" ", 2)
@@ -339,7 +373,7 @@ def parse_response(raw: bytes, *, head_response: bool = False) -> HttpResponse:
     except ValueError as exc:
         raise HttpError(f"bad status code {parts[1]!r}") from exc
     headers = _parse_headers(lines[1:])
-    if head_response:
+    if head_response or bodyless_status(status):
         content_length_of(headers)  # still validated, never read
         return HttpResponse(status, headers, b"", parts[0])
     return HttpResponse(status, headers, _body_with_length(headers, body), parts[0])

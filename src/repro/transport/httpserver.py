@@ -49,7 +49,7 @@ import socket
 import threading
 import time
 import weakref
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Callable, Optional
 
 from ..observability.metrics import MetricFamily
@@ -61,6 +61,8 @@ from .http11 import (
     HttpError,
     HttpRequest,
     HttpResponse,
+    _Headers,
+    bodyless_status,
     parse_request,
     parse_response,
 )
@@ -112,6 +114,26 @@ def _frame_content_length(head: bytes) -> int:
     return length
 
 
+def _response_status_of(head: bytes) -> Optional[int]:
+    """The status code when ``head`` frames an HTTP *response*, else None.
+
+    The framer needs it because bodyless statuses (1xx/204/304 —
+    :func:`~repro.transport.http11.bodyless_status`) are terminated by
+    the header section regardless of any ``Content-Length`` they carry:
+    framing over a 304's would-be length reads the *next* response's
+    bytes as body — the keep-alive desync this module refuses to have.
+    """
+    if not head.startswith(b"HTTP/"):
+        return None
+    parts = head.split(b"\r\n", 1)[0].split(b" ", 2)
+    if len(parts) < 2:
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None
+
+
 def _read_message(
     sock: socket.socket,
     buffer: bytes = b"",
@@ -152,7 +174,16 @@ def _read_message(
     head, _, rest = buffer.partition(b"\r\n\r\n")
     if len(head) > MAX_HEADER_BYTES:
         raise HttpError("header section too large", status=431)
-    content_length = 0 if head_response else _frame_content_length(head)
+    if head_response:
+        content_length = 0
+    else:
+        content_length = _frame_content_length(head)
+        status = _response_status_of(head)
+        if status is not None and bodyless_status(status):
+            # 1xx/204/304: header-terminated whatever Content-Length
+            # says (RFC 7230 §3.3.3) — the length, already validated
+            # above, describes a body that never arrives.
+            content_length = 0
     while len(rest) < content_length:
         try:
             chunk = sock.recv(_RECV_CHUNK)
@@ -733,6 +764,78 @@ def pool_metric_families() -> list[MetricFamily]:
     ]
 
 
+class _ValidationEntry:
+    """One validated GET representation: body + the validators it carried."""
+
+    __slots__ = ("etag", "last_modified", "body", "headers")
+
+    def __init__(
+        self,
+        etag: Optional[str],
+        last_modified: Optional[str],
+        body: bytes,
+        headers: list[tuple[str, str]],
+    ) -> None:
+        self.etag = etag
+        self.last_modified = last_modified
+        self.body = body
+        self.headers = headers
+
+
+class _ValidationCache:
+    """Bounded LRU of ``target -> validated representation`` per authority.
+
+    The client-side half of HTTP validation caching: a stored entry's
+    validators ride the next GET to the same target (``If-None-Match``
+    / ``If-Modified-Since``), and a ``304 Not Modified`` answer is
+    resolved against the stored body — the representation crosses the
+    wire once, every revalidation after that is headers-only.
+    """
+
+    __slots__ = ("capacity", "_entries", "_lock", "hits", "stores", "bytes_saved")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, _ValidationEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0        # 304s resolved from the store
+        self.stores = 0      # validated 200s cached
+        self.bytes_saved = 0  # body bytes a 304 did not re-transfer
+
+    def get(self, target: str) -> Optional[_ValidationEntry]:
+        with self._lock:
+            entry = self._entries.get(target)
+            if entry is not None:
+                self._entries.move_to_end(target)
+            return entry
+
+    def put(self, target: str, entry: _ValidationEntry) -> None:
+        with self._lock:
+            self._entries[target] = entry
+            self._entries.move_to_end(target)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            self.stores += 1
+
+    def remove(self, target: str) -> None:
+        with self._lock:
+            self._entries.pop(target, None)
+
+    def record_hit(self, saved: int) -> None:
+        with self._lock:
+            self.hits += 1
+            self.bytes_saved += saved
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "stores": self.stores,
+                "bytes_saved": self.bytes_saved,
+            }
+
+
 class HttpClient:
     """Pooled persistent-connection HTTP client over raw sockets.
 
@@ -745,6 +848,13 @@ class HttpClient:
     connection for idempotent methods only (RFC 7231 §4.2.2); a failed
     ``POST``/``PATCH`` surfaces immediately — replay policy belongs to
     :mod:`repro.resilience`, not the transport.
+
+    ``validation_cache`` bounds a per-authority LRU of validated GET
+    representations (url → etag/body): when a server tags responses
+    with ``ETag``/``Last-Modified``, later GETs to the same target
+    revalidate transparently (``If-None-Match``/``If-Modified-Since``)
+    and a ``304`` is answered to the caller as the stored ``200`` —
+    same body, zero body bytes on the wire.  ``0`` disables.
     """
 
     def __init__(
@@ -755,11 +865,14 @@ class HttpClient:
         *,
         pool_size: int = 4,
         idle_ttl: float = 30.0,
+        validation_cache: int = 64,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
         if idle_ttl <= 0:
             raise ValueError("idle_ttl must be positive")
+        if validation_cache < 0:
+            raise ValueError("validation_cache cannot be negative")
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -768,6 +881,9 @@ class HttpClient:
         self.created_connections = 0  # pool stats (tests, debugging)
         self.reaped_connections = 0
         self.closed = False  # set by close(); cleared if the client redials
+        self._validation = (
+            _ValidationCache(validation_cache) if validation_cache else None
+        )
         self._idle: list[_PooledConnection] = []
         self._in_use = 0
         self._waiters = 0
@@ -890,6 +1006,7 @@ class HttpClient:
                 and request.headers.get(TRACEPARENT_HEADER) is None
             ):
                 request.headers.set(TRACEPARENT_HEADER, context.traceparent())
+        stored = self._prepare_validation(request)
         attempts = 2 if request.method in IDEMPOTENT_METHODS else 1
         payload = request.to_bytes()
         for attempt in range(1, attempts + 1):
@@ -914,13 +1031,85 @@ class HttpClient:
                     and (response.headers.get("Connection") or "").lower()
                     != "close"
                 )
-                return response
+                return self._resolve_validation(request, response, stored)
             except (OSError, HttpError):
                 if attempt >= attempts:
                     raise
             finally:
                 self._release(conn, reusable=reusable)
         raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- validation caching ----------------------------------------------
+    def _prepare_validation(
+        self, request: HttpRequest
+    ) -> Optional[_ValidationEntry]:
+        """Attach stored validators to an eligible GET; return the entry.
+
+        A request that already carries its own conditional headers is the
+        caller's business — the client neither overrides them nor resolves
+        the resulting 304 (the caller asked for it and gets it raw).
+        """
+        if self._validation is None or request.method != "GET":
+            return None
+        if (
+            "If-None-Match" in request.headers
+            or "If-Modified-Since" in request.headers
+        ):
+            return None
+        entry = self._validation.get(request.target)
+        if entry is None:
+            return None
+        if entry.etag:
+            request.headers.set("If-None-Match", entry.etag)
+        if entry.last_modified:
+            request.headers.set("If-Modified-Since", entry.last_modified)
+        return entry
+
+    def _resolve_validation(
+        self,
+        request: HttpRequest,
+        response: HttpResponse,
+        stored: Optional[_ValidationEntry],
+    ) -> HttpResponse:
+        """Store validated 200s; answer our own 304s from the store."""
+        if self._validation is None or request.method != "GET":
+            return response
+        if response.status == 304 and stored is not None:
+            self._validation.record_hit(len(stored.body))
+            OBS.instruments.client_validation.inc(outcome="revalidated")
+            resolved = HttpResponse(
+                200, _Headers(list(stored.headers)), stored.body
+            )
+            # a 304 may refresh validators/caching headers (RFC 7232 §4.1)
+            for name in ("ETag", "Last-Modified", "Cache-Control", "Date"):
+                value = response.headers.get(name)
+                if value is not None:
+                    resolved.headers.set(name, value)
+            return resolved
+        if response.status == 200:
+            etag = response.headers.get("ETag")
+            last_modified = response.headers.get("Last-Modified")
+            if etag or last_modified:
+                self._validation.put(
+                    request.target,
+                    _ValidationEntry(
+                        etag, last_modified, response.body, response.headers.items()
+                    ),
+                )
+                OBS.instruments.client_validation.inc(outcome="stored")
+            else:
+                self._validation.remove(request.target)
+        elif 400 <= response.status < 600 or response.status == 304:
+            # stored==None 304 (caller's own conditional) or an error:
+            # the stored representation may be stale — drop it.
+            self._validation.remove(request.target)
+        return response
+
+    def validation_stats(self) -> dict[str, int]:
+        """Validation-cache counters (entries, hits, stores, bytes_saved)."""
+        if self._validation is None:
+            return {"entries": 0, "hits": 0, "stores": 0, "bytes_saved": 0}
+        return self._validation.stats()
 
     # -- verb helpers ---------------------------------------------------
     def get(self, target: str, headers: Optional[dict[str, str]] = None) -> HttpResponse:

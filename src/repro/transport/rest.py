@@ -36,6 +36,7 @@ from ..core.service import InvocationContext, ServiceHost
 from ..observability.runtime import OBS, server_span
 from ..observability.trace import TRACEPARENT_HEADER
 from ..xmlkit import Element, from_element, parse, to_element
+from .conditional import compute_etag, if_none_match
 from .http11 import HttpRequest, HttpResponse, encode_query
 from .httpserver import HttpClient
 from .statusmap import attach_retry_after, raise_transport_status
@@ -111,10 +112,24 @@ class RestEndpoint:
     def __init__(self, prefix: str = "/rest") -> None:
         self.prefix = prefix.rstrip("/")
         self._hosts: dict[str, ServiceHost] = {}
+        # the catalog hot path: a mounted host's contract document is
+        # immutable, so render + tag it once, not per GET; the ETag
+        # makes the document revalidatable (conditional GET → 304).
+        self._contract_documents: dict[str, tuple[str, str]] = {}
 
     def mount(self, host: ServiceHost) -> str:
         self._hosts[host.name] = host
+        self._contract_documents.pop(host.name, None)
         return f"{self.prefix}/{host.name}"
+
+    def _contract_document(self, name: str) -> tuple[str, str]:
+        """Memoized ``(xml, etag)`` for a mounted host's contract."""
+        document = self._contract_documents.get(name)
+        if document is None:
+            xml = contract_to_xml(self._hosts[name].contract)
+            document = (xml, compute_etag(xml.encode("utf-8")))
+            self._contract_documents[name] = document
+        return document
 
     def __call__(self, request: HttpRequest) -> HttpResponse:
         if not request.path.startswith(self.prefix + "/"):
@@ -124,7 +139,14 @@ class RestEndpoint:
             host = self._hosts.get(parts[0])
             if host is None:
                 return HttpResponse.error(404, f"no service {parts[0]!r}")
-            return HttpResponse.xml_response(contract_to_xml(host.contract))
+            xml, etag = self._contract_document(parts[0])
+            if if_none_match(request.headers.get("If-None-Match"), etag):
+                response = HttpResponse(304)
+                response.headers.set("ETag", etag)
+                return response
+            response = HttpResponse.xml_response(xml)
+            response.headers.set("ETag", etag)
+            return response
         if len(parts) != 2:
             return HttpResponse.error(404, "expected /rest/<Service>/<operation>")
         service_name, operation_name = parts

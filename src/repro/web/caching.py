@@ -5,6 +5,21 @@ course's cache has the ASP.NET Cache semantics: absolute and sliding
 expirations, *dependencies* (invalidate entry B when A changes), LRU
 eviction under a capacity bound, and hit/miss statistics (the numbers the
 caching-ablation benchmark reports).
+
+Hardened for service use (the sharded
+:class:`~repro.services.cache_service.CacheService` runs many of these):
+
+* :meth:`Cache.get_or_compute` is a **singleflight**: N concurrent
+  misses on one key run ``compute()`` exactly once — followers block on
+  the leader's flight and share its value.  A failing compute releases
+  the key (one follower becomes the new leader) and re-raises only at
+  the leader, so a stampede never amplifies a slow or crashing backend
+  (the "dogpile" the distributed-cache literature warns about).
+* invalidation accounting is uniform: a *dependent* removed by any
+  cascade — explicit ``remove``, replacement via ``put``, or expiry —
+  counts in :attr:`CacheStats.invalidations`.  The seed counted
+  dependents only under ``remove``, so entries silently vanished from
+  the stats when their dependency was replaced or expired.
 """
 
 from __future__ import annotations
@@ -40,6 +55,22 @@ class _Entry:
     dependencies: frozenset[str]
 
 
+class _Flight:
+    """One in-progress compute: followers wait on ``done``.
+
+    ``value`` is set before ``done`` only on success; a failed leader
+    leaves ``ok`` False so woken followers retry leadership themselves
+    rather than inheriting the exception.
+    """
+
+    __slots__ = ("done", "value", "ok")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.ok = False
+
+
 class Cache:
     """Thread-safe cache with expirations, dependencies and LRU bound."""
 
@@ -55,6 +86,8 @@ class Cache:
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._dependents: dict[str, set[str]] = {}
         self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
         self.stats = CacheStats()
 
     # -- write ------------------------------------------------------------
@@ -80,6 +113,9 @@ class Cache:
         dependencies = frozenset(depends_on)
         with self._lock:
             if key in self._entries:
+                # the replaced key itself is not an invalidation (the
+                # caller is updating it) — but its dependents vanish,
+                # and _remove_locked counts every cascaded dependent.
                 self._remove_locked(key, cascade=True, count_invalidation=False)
             entry = _Entry(
                 value,
@@ -120,14 +156,44 @@ class Cache:
         compute: Callable[[], Any],
         **put_options: Any,
     ) -> Any:
-        """Cache-aside read: on miss, compute, insert, return."""
+        """Cache-aside read with per-key singleflight dogpile suppression.
+
+        On miss, exactly one caller (the *leader*) runs ``compute()`` and
+        inserts the result; concurrent missing callers wait for the
+        leader's flight and share its value.  If the leader's compute
+        raises, the key is released — the exception surfaces only at the
+        leader, and one waiting follower takes over as the new leader.
+        """
         sentinel = object()
-        value = self.get(key, sentinel)
-        if value is not sentinel:
+        while True:
+            value = self.get(key, sentinel)
+            if value is not sentinel:
+                return value
+            with self._flights_lock:
+                flight = self._flights.get(key)
+                leader = flight is None
+                if leader:
+                    flight = _Flight()
+                    self._flights[key] = flight
+            if not leader:
+                flight.done.wait()
+                if flight.ok:
+                    return flight.value
+                continue  # leader failed: retry (maybe become leader)
+            try:
+                value = compute()
+            except BaseException:
+                with self._flights_lock:
+                    self._flights.pop(key, None)
+                flight.done.set()  # wake followers; they re-contend
+                raise
+            self.put(key, value, **put_options)
+            flight.value = value
+            flight.ok = True
+            with self._flights_lock:
+                self._flights.pop(key, None)
+            flight.done.set()
             return value
-        value = compute()
-        self.put(key, value, **put_options)
-        return value
 
     def __contains__(self, key: str) -> bool:
         sentinel = object()
@@ -160,6 +226,14 @@ class Cache:
         return False
 
     def _remove_locked(self, key: str, *, cascade: bool, count_invalidation: bool) -> None:
+        """Remove ``key``; ``count_invalidation`` applies to ``key`` itself.
+
+        Cascaded *dependents* always count as invalidations, whatever
+        removed their dependency (explicit remove, replacement, expiry,
+        eviction): from the dependent's point of view every one of those
+        is "my data was invalidated underneath me", and the stats must
+        agree across triggers.
+        """
         entry = self._entries.pop(key, None)
         if entry is None:
             return
@@ -171,7 +245,7 @@ class Cache:
                 dependents.discard(key)
         if cascade:
             for dependent in list(self._dependents.get(key, ())):
-                self._remove_locked(dependent, cascade=True, count_invalidation=count_invalidation)
+                self._remove_locked(dependent, cascade=True, count_invalidation=True)
             self._dependents.pop(key, None)
 
     def __len__(self) -> int:

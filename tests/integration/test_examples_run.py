@@ -143,6 +143,17 @@ def test_profiling_demo():
     assert "/healthz carries pool detail: True" in out
 
 
+def test_cached_service():
+    out = run_example("cached_service.py")
+    assert "catalogue member -> CacheService" in out
+    assert "get over bus: service-oriented!" in out
+    assert "search hot == cold: True" in out
+    assert "16-thread stampede -> 1 compute (singleflight)" in out
+    assert "revalidated GET  -> 200, body identical: True" in out
+    assert "/cache/stats     -> 200" in out
+    assert "done: computed once, served many" in out
+
+
 def test_tracing_demo():
     out = run_example("tracing_demo.py")
     assert "DOOM quote came back 500" in out

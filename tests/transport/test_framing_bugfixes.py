@@ -9,7 +9,12 @@ Each test here fails on the pre-fix transport:
 * the client blindly re-sent non-idempotent POSTs after a mid-exchange
   failure (double-apply hazard);
 * the socket framer allowed 1 MiB of headers while the message parser
-  capped at 64 KiB, and 431 had no status phrase.
+  capped at 64 KiB, and 431 had no status phrase;
+* 304/204/1xx responses were framed like any other — ``to_bytes`` put
+  body bytes after a 304 and the client read ``Content-Length`` bytes of
+  phantom body (RFC 7230 §3.3.3: those statuses terminate at the header
+  section), hanging keep-alive connections or swallowing the next
+  response.
 """
 
 import socket
@@ -23,8 +28,10 @@ from repro.transport.http11 import (
     STATUS_PHRASES,
     HttpError,
     HttpRequest,
+    bodyless_status,
     content_length_of,
     parse_request,
+    parse_response,
 )
 from repro.transport.httpserver import (
     IDEMPOTENT_METHODS,
@@ -257,6 +264,158 @@ class TestIdempotentOnlyRetry:
             client.close()
         finally:
             flaky.close()
+
+
+class _ScriptedServer:
+    """Raw server answering each parsed request with the next canned blob.
+
+    Lets a test put *wrong* bytes on the wire (a 304 carrying
+    ``Content-Length: 999`` and no body) to prove the client frames by
+    status, not by the lying header.
+    """
+
+    def __init__(self, scripts: list[bytes]) -> None:
+        self.scripts = list(scripts)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.host, self.port = self._listener.getsockname()
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while self._running:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._handle, args=(sock,), daemon=True).start()
+
+    def _handle(self, sock: socket.socket) -> None:
+        sock.settimeout(5)
+        buffer = b""
+        try:
+            while self.scripts:
+                raw, buffer = _read_message(sock, buffer)
+                if raw is None:
+                    return
+                sock.sendall(self.scripts.pop(0))
+        except (HttpError, OSError):
+            return
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+class TestBodylessStatuses:
+    """304/204/1xx terminate at the header section (RFC 7230 §3.3.3)."""
+
+    def test_predicate(self):
+        assert bodyless_status(304)
+        assert bodyless_status(204)
+        assert bodyless_status(100) and bodyless_status(101)
+        assert not bodyless_status(200)
+        assert not bodyless_status(404)
+
+    def test_to_bytes_304_emits_no_body_bytes(self):
+        """Pre-fix ``to_bytes`` framed ``Content-Length: 5`` + the body."""
+        wire = HttpResponse(304, body=b"stale").to_bytes()
+        head, _, after = wire.partition(b"\r\n\r\n")
+        assert after == b""
+        assert b"stale" not in wire
+        assert b"Content-Length" not in head  # none was explicitly set
+
+    def test_to_bytes_304_keeps_explicit_content_length(self):
+        """A 304 MAY state the would-be representation length — keep the
+        header the handler set, but still never frame bytes after it."""
+        response = HttpResponse(304)
+        response.headers.set("Content-Length", "1234")
+        wire = response.to_bytes()
+        head, _, after = wire.partition(b"\r\n\r\n")
+        assert b"Content-Length: 1234" in head
+        assert after == b""
+
+    def test_to_bytes_204_strips_content_length(self):
+        """204 MUST NOT carry Content-Length (RFC 7230 §3.3.2)."""
+        response = HttpResponse(204, body=b"accidental")
+        response.headers.set("Content-Length", "10")
+        wire = response.to_bytes()
+        assert b"Content-Length" not in wire
+        assert b"accidental" not in wire
+
+    def test_parse_response_ignores_lying_304_content_length(self):
+        response = parse_response(
+            b"HTTP/1.1 304 Not Modified\r\nContent-Length: 999\r\nETag: \"x\"\r\n\r\n"
+        )
+        assert response.status == 304
+        assert response.body == b""
+
+    def test_parse_response_1xx_is_bodyless(self):
+        response = parse_response(b"HTTP/1.1 100 Continue\r\n\r\n")
+        assert response.status == 100
+        assert response.body == b""
+
+    def test_server_304_keeps_keepalive_in_sync(self):
+        """Pre-fix: a handler answering 304 with a (stale) body attribute
+        put those bytes on the wire after the 304 head, so the bytes a
+        compliant peer reads as "the next response" began mid-garbage."""
+
+        def handler(request):
+            if request.path == "/cond":
+                return HttpResponse(304, body=b"SHOULD-NEVER-APPEAR")
+            return HttpResponse.text_response(f"{request.method} {request.path}")
+
+        with HttpServer(handler) as srv:
+            blob = raw_exchange(
+                srv,
+                b"GET /cond HTTP/1.1\r\n\r\n"
+                b"GET /after HTTP/1.1\r\nConnection: close\r\n\r\n",
+            )
+        assert b"SHOULD-NEVER-APPEAR" not in blob
+        first_head, _, rest = blob.partition(b"\r\n\r\n")
+        assert first_head.startswith(b"HTTP/1.1 304 ")
+        # the very next bytes after the 304's header section must be the
+        # second response's status line — nothing smuggled in between
+        assert rest.startswith(b"HTTP/1.1 200 ")
+        assert rest.endswith(b"GET /after")
+
+    def test_client_does_not_hang_on_304_with_content_length(self):
+        """Pre-fix the client waited for 999 phantom body bytes (until
+        the read timed out); now it frames the 304 at the header section
+        and the connection stays usable for the next exchange."""
+        ok = HttpResponse.text_response("fresh").to_bytes()
+        scripted = _ScriptedServer(
+            [
+                b"HTTP/1.1 304 Not Modified\r\nContent-Length: 999\r\n\r\n",
+                ok,
+            ]
+        )
+        try:
+            client = HttpClient(
+                scripted.host, scripted.port, timeout=3, pool_size=1,
+                validation_cache=0,
+            )
+            response = client.get("/resource")
+            assert response.status == 304
+            assert response.body == b""
+            follow_up = client.get("/resource")
+            assert follow_up.status == 200
+            assert follow_up.body == b"fresh"
+            assert client.created_connections == 1  # same socket, no desync
+            client.close()
+        finally:
+            scripted.close()
 
 
 class TestHeaderLimits:

@@ -1,0 +1,189 @@
+"""Regression tests for the :mod:`repro.web.caching` bugfixes.
+
+Each test here fails on the pre-fix cache:
+
+* ``get_or_compute`` let every concurrent miss run ``compute()`` — the
+  dogpile: 16 threads stampeding one cold key did 16 computes;
+* a failing compute left nothing behind, but neither did it let a
+  *waiting* caller take over — with singleflight the key must be
+  released so one follower becomes the new leader;
+* invalidation accounting was split-brained: cascading dependents away
+  counted in ``CacheStats.invalidations`` under ``remove`` but not when
+  the dependency was *replaced* (``put``) or *expired* — the same
+  cascade, silently missing from the stats.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.web.caching import Cache
+
+
+class TestSingleflight:
+    def test_16_thread_stampede_computes_exactly_once(self):
+        cache = Cache(capacity=64)
+        computes = []
+        gate = threading.Barrier(16)
+        results = []
+
+        def compute():
+            computes.append(threading.get_ident())
+            time.sleep(0.05)  # hold the flight open so followers pile up
+            return "expensive"
+
+        def stampede():
+            gate.wait()
+            results.append(cache.get_or_compute("hot", compute))
+
+        threads = [threading.Thread(target=stampede) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(computes) == 1  # pre-fix: 16
+        assert results == ["expensive"] * 16
+        assert cache.get("hot") == "expensive"
+
+    def test_different_keys_do_not_serialize(self):
+        cache = Cache(capacity=64)
+        order = []
+
+        def compute_for(key):
+            def compute():
+                order.append(key)
+                return key
+
+            return compute
+
+        threads = [
+            threading.Thread(
+                target=lambda k=key: cache.get_or_compute(k, compute_for(k))
+            )
+            for key in ("a", "b", "c", "d")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert sorted(order) == ["a", "b", "c", "d"]
+
+    def test_failed_compute_releases_the_key(self):
+        cache = Cache(capacity=64)
+        attempts = []
+
+        def failing():
+            attempts.append("fail")
+            raise RuntimeError("backend down")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", failing)
+        # the key is released: the next caller leads a fresh flight
+        assert cache.get_or_compute("k", lambda: "recovered") == "recovered"
+        assert attempts == ["fail"]
+
+    def test_follower_takes_over_after_leader_failure(self):
+        """The exception surfaces only at the failed leader; a waiting
+        follower becomes the new leader and succeeds."""
+        cache = Cache(capacity=64)
+        leader_entered = threading.Event()
+        release_leader = threading.Event()
+        outcomes = []
+
+        def failing():
+            leader_entered.set()
+            release_leader.wait(timeout=5)
+            raise RuntimeError("leader crashed")
+
+        def leader():
+            try:
+                cache.get_or_compute("k", failing)
+            except RuntimeError:
+                outcomes.append("leader-raised")
+
+        def follower():
+            leader_entered.wait(timeout=5)
+            outcomes.append(
+                ("follower", cache.get_or_compute("k", lambda: "takeover"))
+            )
+
+        leader_thread = threading.Thread(target=leader)
+        follower_thread = threading.Thread(target=follower)
+        leader_thread.start()
+        follower_thread.start()
+        leader_entered.wait(timeout=5)
+        time.sleep(0.05)  # let the follower park on the flight
+        release_leader.set()
+        leader_thread.join(timeout=10)
+        follower_thread.join(timeout=10)
+        assert "leader-raised" in outcomes
+        assert ("follower", "takeover") in outcomes
+
+    def test_hit_skips_the_flight_entirely(self):
+        cache = Cache(capacity=64)
+        cache.put("k", "cached")
+        assert cache.get_or_compute("k", lambda: pytest.fail("computed")) == "cached"
+
+
+class TestCascadeAccounting:
+    """``CacheStats.invalidations`` must agree across cascade triggers."""
+
+    def _cache_with_dependent(self, clock=None):
+        cache = Cache(capacity=64, clock=clock) if clock else Cache(capacity=64)
+        cache.put("parent", 1)
+        cache.put("child", 2, depends_on=["parent"])
+        return cache
+
+    def test_remove_counts_key_and_dependent(self):
+        cache = self._cache_with_dependent()
+        cache.remove("parent")
+        assert cache.stats.invalidations == 2
+        assert "child" not in cache
+
+    def test_replace_counts_cascaded_dependent(self):
+        """Pre-fix: replacing the parent removed the child with
+        ``count_invalidation=False`` — the cascade vanished from stats."""
+        cache = self._cache_with_dependent()
+        cache.put("parent", 99)  # replace, not remove
+        assert "child" not in cache
+        assert cache.stats.invalidations == 1  # the cascaded child
+
+    def test_expiry_counts_cascaded_dependent(self):
+        now = [0.0]
+        cache = self._cache_with_dependent(clock=lambda: now[0])
+        cache.put("parent", 1, absolute_seconds=10.0)
+        # re-putting parent cascaded child away; re-create it
+        cache.put("child", 2, depends_on=["parent"])
+        before = cache.stats.invalidations
+        now[0] = 11.0
+        assert cache.get("parent") is None  # expired on read
+        assert "child" not in cache
+        assert cache.stats.invalidations == before + 1  # the cascade
+
+    def test_triggers_agree(self):
+        """One dependent cascaded away counts exactly once, whatever
+        removed the dependency."""
+        by_trigger = {}
+
+        cache = self._cache_with_dependent()
+        base = cache.stats.invalidations
+        cache.put("parent", 2)
+        by_trigger["replace"] = cache.stats.invalidations - base
+
+        now = [0.0]
+        cache = self._cache_with_dependent(clock=lambda: now[0])
+        cache.put("parent", 1, absolute_seconds=5.0)
+        cache.put("child", 2, depends_on=["parent"])
+        base = cache.stats.invalidations
+        now[0] = 6.0
+        cache.get("parent")
+        by_trigger["expiry"] = cache.stats.invalidations - base
+
+        assert by_trigger["replace"] == by_trigger["expiry"] == 1
+
+    def test_plain_replace_without_dependents_counts_nothing(self):
+        cache = Cache(capacity=64)
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.stats.invalidations == 0
